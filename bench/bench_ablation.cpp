@@ -1,0 +1,120 @@
+// ABL: design-choice ablations behind Fig. 1 / §7.2 — the four corners of
+// {fusion on/off} x {heterogeneous algorithms on/off}, plus the Winograd
+// tile-size exploration the paper fixes at F(4x4, 3x3).
+
+#include <cstdio>
+
+#include "baseline/uniform.h"
+#include "bench_util.h"
+#include "core/dp_optimizer.h"
+#include "nn/model_zoo.h"
+
+using namespace hetacc;
+
+namespace {
+
+core::OptimizeResult run(const nn::Network& net, const fpga::Device& dev,
+                         bool winograd, bool fusion) {
+  fpga::EngineModelParams p;
+  p.enable_winograd = winograd;
+  const fpga::EngineModel model(dev, p);
+  core::OptimizerOptions oo;
+  oo.transfer_budget_bytes = 64ll * 1024 * 1024;
+  if (!fusion) oo.bnb.max_group_layers = 1;
+  return core::optimize(net, model, oo);
+}
+
+}  // namespace
+
+int main() {
+  bench::header("ABL", "fusion x heterogeneity ablation (VGG-E head, ZC706)");
+
+  const fpga::Device dev = fpga::zc706();
+  const nn::Network head = nn::vgg_e_head();
+
+  struct Corner {
+    const char* name;
+    bool winograd;
+    bool fusion;
+  };
+  const Corner corners[] = {
+      {"conventional, unfused", false, false},
+      {"conventional, fused", false, true},
+      {"heterogeneous, unfused", true, false},
+      {"heterogeneous, fused (the paper's design)", true, true},
+  };
+
+  std::printf("%-44s %14s %10s %12s\n", "configuration", "latency (cyc)",
+              "GOPS", "transfer MB");
+  long long base = 0;
+  for (const auto& c : corners) {
+    const auto r = run(head, dev, c.winograd, c.fusion);
+    if (!r.feasible) {
+      std::printf("%-44s infeasible\n", c.name);
+      continue;
+    }
+    if (!base) base = r.strategy.latency_cycles();
+    std::printf("%-44s %14lld %10.1f %12.2f\n", c.name,
+                r.strategy.latency_cycles(),
+                r.strategy.effective_gops(head, dev.frequency_hz),
+                r.strategy.transfer_bytes() / bench::kMB);
+  }
+
+  // Historical reference point: a single uniform conventional engine that
+  // serves all layers (the paper's [27]-style pre-fusion design).
+  {
+    const fpga::EngineModel model(dev);
+    const auto u = baseline::design_uniform(head, model);
+    if (u) {
+      const double gops =
+          static_cast<double>(head.total_ops()) /
+          (static_cast<double>(u->latency_cycles) / dev.frequency_hz) / 1e9;
+      std::printf("%-44s %14lld %10.1f %12.2f   (tn=%d tm=%d)\n",
+                  "uniform single engine (Zhang'15-style)",
+                  u->latency_cycles, gops,
+                  static_cast<double>(u->transfer_bytes) / bench::kMB, u->tn,
+                  u->tm);
+    }
+  }
+
+  // Winograd tile-size ablation: re-run the fused heterogeneous optimizer
+  // with each uniform tile size (the paper fixes m = 4).
+  std::printf("\nWinograd tile-size ablation (uniform F(m x m, 3 x 3)):\n");
+  std::printf("%8s %14s %10s %16s\n", "m", "latency (cyc)", "GOPS",
+              "mult reduction");
+  for (int m : {2, 4, 6}) {
+    fpga::EngineModelParams p;
+    p.wino_tile_m = m;
+    const fpga::EngineModel model(dev, p);
+    core::OptimizerOptions oo;
+    oo.transfer_budget_bytes = 64ll * 1024 * 1024;
+    const auto r = core::optimize(head, model, oo);
+    const double n = m + 2;
+    const double reduction = (m * m * 9.0) / (n * n);
+    if (!r.feasible) {
+      std::printf("%8d infeasible\n", m);
+      continue;
+    }
+    std::printf("%8d %14lld %10.1f %15.2fx\n", m,
+                r.strategy.latency_cycles(),
+                r.strategy.effective_gops(head, dev.frequency_hz), reduction);
+  }
+  // Extension: per-layer tile-size choice inside Algorithm 2.
+  {
+    fpga::EngineModelParams p;
+    p.explore_wino_tiles = true;
+    const fpga::EngineModel model(dev, p);
+    core::OptimizerOptions oo;
+    oo.transfer_budget_bytes = 64ll * 1024 * 1024;
+    const auto r = core::optimize(head, model, oo);
+    if (r.feasible) {
+      std::printf("%8s %14lld %10.1f %16s\n", "mixed",
+                  r.strategy.latency_cycles(),
+                  r.strategy.effective_gops(head, dev.frequency_hz),
+                  "per-layer");
+    }
+  }
+  bench::note("F(4x4,3x3) balances multiplication reduction against "
+              "transform cost/numerics — the paper's uniform choice.");
+  return 0;
+}

@@ -1,0 +1,119 @@
+// KERN: supporting microbenchmarks for §2.1 — multiplication counts and CPU
+// throughput of the convolution algorithms (direct, im2col+GEMM, Winograd
+// F(2,3)/F(4,3), fixed-point variants). Google-benchmark binary.
+
+#include <benchmark/benchmark.h>
+
+#include "algo/conv_variants.h"
+#include "algo/winograd_conv.h"
+#include "nn/reference.h"
+
+using namespace hetacc;
+
+namespace {
+
+struct ConvSetup {
+  nn::Tensor in;
+  nn::FilterBank f;
+  std::vector<float> bias;
+
+  ConvSetup(int c, int n, int hw, int k)
+      : in(c, hw, hw), f(n, c, k), bias(static_cast<std::size_t>(n)) {
+    nn::fill_deterministic(in, 1);
+    nn::fill_deterministic(f, 2);
+    nn::fill_deterministic(bias, 3);
+  }
+};
+
+void BM_ConvDirect(benchmark::State& state) {
+  ConvSetup s(static_cast<int>(state.range(0)),
+              static_cast<int>(state.range(0)),
+              static_cast<int>(state.range(1)), 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        nn::conv_reference(s.in, s.f, s.bias, 1, 1, true));
+  }
+  state.SetItemsProcessed(state.iterations() * s.in.size());
+}
+BENCHMARK(BM_ConvDirect)->Args({8, 32})->Args({16, 32})->Args({16, 64});
+
+void BM_ConvIm2col(benchmark::State& state) {
+  ConvSetup s(static_cast<int>(state.range(0)),
+              static_cast<int>(state.range(0)),
+              static_cast<int>(state.range(1)), 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        algo::conv_im2col(s.in, s.f, s.bias, 1, 1, true));
+  }
+  state.SetItemsProcessed(state.iterations() * s.in.size());
+}
+BENCHMARK(BM_ConvIm2col)->Args({8, 32})->Args({16, 32})->Args({16, 64});
+
+void BM_ConvWinogradF43(benchmark::State& state) {
+  ConvSetup s(static_cast<int>(state.range(0)),
+              static_cast<int>(state.range(0)),
+              static_cast<int>(state.range(1)), 3);
+  const algo::WinogradTransform t = algo::winograd_f4x3();
+  const algo::TransformedFilters tf = algo::transform_filters(t, s.f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        algo::winograd_conv_pretransformed(tf, s.in, s.bias, 1, true));
+  }
+  state.SetItemsProcessed(state.iterations() * s.in.size());
+}
+BENCHMARK(BM_ConvWinogradF43)->Args({8, 32})->Args({16, 32})->Args({16, 64});
+
+void BM_ConvWinogradF23(benchmark::State& state) {
+  ConvSetup s(static_cast<int>(state.range(0)),
+              static_cast<int>(state.range(0)),
+              static_cast<int>(state.range(1)), 3);
+  const algo::WinogradTransform t = algo::winograd_f2x3();
+  const algo::TransformedFilters tf = algo::transform_filters(t, s.f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        algo::winograd_conv_pretransformed(tf, s.in, s.bias, 1, true));
+  }
+}
+BENCHMARK(BM_ConvWinogradF23)->Args({16, 32});
+
+void BM_ConvDirectFixed16(benchmark::State& state) {
+  ConvSetup s(8, 8, 32, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        algo::conv_direct_fixed(s.in, s.f, s.bias, 1, 1, true, 12, 13, 10));
+  }
+}
+BENCHMARK(BM_ConvDirectFixed16);
+
+void BM_FilterTransformF43(benchmark::State& state) {
+  ConvSetup s(static_cast<int>(state.range(0)),
+              static_cast<int>(state.range(0)), 8, 3);
+  const algo::WinogradTransform t = algo::winograd_f4x3();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(algo::transform_filters(t, s.f));
+  }
+}
+BENCHMARK(BM_FilterTransformF43)->Arg(16)->Arg(64);
+
+/// Not a timing benchmark: reports the §2.1 multiplication counts as
+/// counters so the harness output documents the 2.25x / 4x reductions.
+void BM_MultiplicationCounts(benchmark::State& state) {
+  const algo::WinogradTransform f23 = algo::winograd_f2x3();
+  const algo::WinogradTransform f43 = algo::winograd_f4x3();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f43.reduction_2d());
+  }
+  state.counters["F23_tile_mults"] = static_cast<double>(f23.tile_mults_2d());
+  state.counters["F23_direct_mults"] =
+      static_cast<double>(f23.direct_tile_mults_2d());
+  state.counters["F23_reduction"] = f23.reduction_2d();
+  state.counters["F43_tile_mults"] = static_cast<double>(f43.tile_mults_2d());
+  state.counters["F43_direct_mults"] =
+      static_cast<double>(f43.direct_tile_mults_2d());
+  state.counters["F43_reduction"] = f43.reduction_2d();
+}
+BENCHMARK(BM_MultiplicationCounts);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,78 @@
+// OPT: optimizer runtime (§7.1 "our algorithm returns the optimal solutions
+// within seconds") — wall time of the prefix DP and the paper's interval DP
+// over layer count and budget size, plus branch-and-bound node statistics.
+
+#include <benchmark/benchmark.h>
+
+#include "core/dp_optimizer.h"
+#include "nn/model_zoo.h"
+
+using namespace hetacc;
+
+namespace {
+
+void BM_FusionTable(benchmark::State& state) {
+  const nn::Network net = nn::conv_chain(static_cast<int>(state.range(0)),
+                                         32, 56);
+  const fpga::EngineModel model(fpga::zc706());
+  long long nodes = 0;
+  for (auto _ : state) {
+    const core::FusionTable ft(net, model, {});
+    nodes = ft.nodes_visited();
+    benchmark::DoNotOptimize(ft.count());
+  }
+  state.counters["bnb_nodes"] = static_cast<double>(nodes);
+}
+BENCHMARK(BM_FusionTable)->Arg(4)->Arg(8)->Arg(12)->Unit(benchmark::kMillisecond);
+
+void optimize_case(benchmark::State& state, bool interval) {
+  const nn::Network net = nn::vgg_e_head();
+  const fpga::EngineModel model(fpga::zc706());
+  core::OptimizerOptions oo;
+  oo.transfer_budget_bytes = state.range(0) * 1024 * 1024;
+  for (auto _ : state) {
+    const auto r = interval ? core::optimize_interval(net, model, oo)
+                            : core::optimize(net, model, oo);
+    benchmark::DoNotOptimize(r.strategy.latency_cycles());
+  }
+}
+
+void BM_PrefixDp(benchmark::State& state) { optimize_case(state, false); }
+BENCHMARK(BM_PrefixDp)->Arg(2)->Arg(8)->Arg(34)->Unit(benchmark::kMillisecond);
+
+void BM_IntervalDpPaperAlgorithm1(benchmark::State& state) {
+  optimize_case(state, true);
+}
+BENCHMARK(BM_IntervalDpPaperAlgorithm1)
+    ->Arg(2)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_AlexNetEndToEnd(benchmark::State& state) {
+  const nn::Network net = nn::alexnet_accel();
+  const fpga::EngineModel model(fpga::zc706());
+  core::OptimizerOptions oo;
+  oo.transfer_budget_bytes = 8 * 1024 * 1024;
+  for (auto _ : state) {
+    const auto r = core::optimize(net, model, oo);
+    benchmark::DoNotOptimize(r.feasible);
+  }
+}
+BENCHMARK(BM_AlexNetEndToEnd)->Unit(benchmark::kMillisecond);
+
+void BM_FullVggE(benchmark::State& state) {
+  // All 21 accelerated layers of VGG-E: the big case for "within seconds".
+  const nn::Network net = nn::vgg_e().accelerated_portion();
+  const fpga::EngineModel model(fpga::zc706());
+  core::OptimizerOptions oo;
+  oo.transfer_budget_bytes = 64ll * 1024 * 1024;
+  for (auto _ : state) {
+    const auto r = core::optimize(net, model, oo);
+    benchmark::DoNotOptimize(r.feasible);
+  }
+}
+BENCHMARK(BM_FullVggE)->Unit(benchmark::kMillisecond)->Iterations(3);
+
+}  // namespace
+
+BENCHMARK_MAIN();

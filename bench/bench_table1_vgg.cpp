@@ -1,0 +1,80 @@
+// TAB1: detailed comparison of our strategy vs the fused baseline [1] on
+// the VGG-E head under the 2 MB transfer constraint (paper Table 1):
+// BRAM18K / DSP48E / FF / LUT / power / energy efficiency.
+
+#include <cstdio>
+
+#include "baseline/alwani.h"
+#include "bench_util.h"
+#include "core/dp_optimizer.h"
+#include "core/report.h"
+#include "nn/model_zoo.h"
+
+using namespace hetacc;
+
+int main() {
+  bench::header("TAB1", "VGG-E head detailed comparison @ 2 MB (vs [1])");
+
+  const fpga::Device dev = fpga::zc706();
+  const fpga::EngineModel model(dev);
+  const nn::Network head = nn::vgg_e_head();
+
+  core::OptimizerOptions oo;
+  oo.transfer_budget_bytes = 2 * 1024 * 1024;
+  const auto ours = core::optimize(head, model, oo);
+  if (!ours.feasible) {
+    std::printf("ours infeasible\n");
+    return 1;
+  }
+  const auto ours_rep = core::make_report(ours.strategy, head, dev);
+
+  const auto base = baseline::design_baseline(head, 1, 7, model);
+  if (!base) {
+    std::printf("baseline infeasible\n");
+    return 1;
+  }
+  // Baseline report: wrap the baseline design into a strategy-like summary.
+  core::Strategy bs;
+  core::FusionGroup bg;
+  bg.first = 1;
+  bg.last = 7;
+  bg.impls = base->impls;
+  bg.timing.latency_cycles = base->latency_cycles;
+  bg.timing.transfer_bytes = base->transfer_bytes;
+  bg.timing.compute_cycles = base->latency_cycles;
+  bs.groups.push_back(bg);
+  auto base_rep = core::make_report(bs, head, dev);
+  base_rep.peak_resources = base->resources;  // include tile buffers
+  base_rep.power = fpga::estimate_power(dev, base->resources,
+                                        base_rep.dsp_utilization);
+  base_rep.energy_efficiency_gops_per_w = fpga::energy_efficiency_gops_per_w(
+      static_cast<double>(head.total_ops()),
+      base->latency_cycles / dev.frequency_hz, base_rep.power.total());
+
+  std::printf("%-28s %14s %14s\n", "", "Ours", "[1]");
+  std::printf("%-28s %14lld %14lld\n", "BRAM18K",
+              ours_rep.peak_resources.bram18k, base_rep.peak_resources.bram18k);
+  std::printf("%-28s %14lld %14lld\n", "DSP48E", ours_rep.peak_resources.dsp,
+              base_rep.peak_resources.dsp);
+  std::printf("%-28s %14lld %14lld\n", "FF", ours_rep.peak_resources.ff,
+              base_rep.peak_resources.ff);
+  std::printf("%-28s %14lld %14lld\n", "LUT", ours_rep.peak_resources.lut,
+              base_rep.peak_resources.lut);
+  std::printf("%-28s %14.2f %14.2f\n", "Power (W)", ours_rep.power.total(),
+              base_rep.power.total());
+  std::printf("%-28s %14.2f %14.2f\n", "Latency (ms)", ours_rep.latency_ms,
+              base->latency_cycles / dev.frequency_hz * 1e3);
+  std::printf("%-28s %14.1f %14.1f\n", "Effective GOPS",
+              ours_rep.effective_gops,
+              static_cast<double>(head.total_ops()) /
+                  (base->latency_cycles / dev.frequency_hz) / 1e9);
+  std::printf("%-28s %14.2f %14.2f\n", "Energy eff. (GOPS/W)",
+              ours_rep.energy_efficiency_gops_per_w,
+              base_rep.energy_efficiency_gops_per_w);
+
+  std::printf("\nour strategy detail:\n%s\n",
+              ours.strategy.describe(head).c_str());
+  bench::note("paper Table 1 reports similar resources/power for both with "
+              "much better performance for ours — same shape expected here.");
+  return 0;
+}

@@ -1,0 +1,90 @@
+// TAB2: AlexNet implementation details (paper Table 2): all accelerated
+// layers fused into a single group under the minimal (first input + last
+// output) transfer budget; per-layer algorithm, parallelism, BRAM, DSP, FF,
+// LUT, plus totals, utilization and the group latency.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/dp_optimizer.h"
+#include "core/report.h"
+#include "nn/model_zoo.h"
+
+using namespace hetacc;
+
+int main() {
+  bench::header("TAB2", "AlexNet per-layer implementation details");
+
+  const fpga::Device dev = fpga::zc706();
+  const nn::Network net = nn::alexnet_accel();
+
+  // The paper fuses all AlexNet layers into one group under a 340 KB-class
+  // budget (first input + last output); our group cap is 8 (paper §7.1), so
+  // the 10 accelerated layers form the minimal number of groups the cap
+  // admits, at the smallest feasible budget.
+  // The paper fuses all AlexNet layers into one group (its Table 2 counts
+  // pool/LRN inside the conv stages, staying under the 8-layer port cap;
+  // our layer granularity is finer, so lift the cap to the layer count).
+  core::BnbOptions bnb;
+  bnb.max_group_layers = net.size() - 1;
+  const long long min_budget =
+      core::min_transfer_bytes(net, 1, net.size() - 1, dev.data_bytes);
+  std::printf("minimal conceivable budget (in+out): %.0f KB "
+              "(paper quotes 340 KB)\n\n",
+              static_cast<double>(min_budget) / 1024.0);
+
+  const fpga::EngineModel model(dev);
+  core::OptimizerOptions oo;
+  oo.bnb = bnb;
+  // Smallest budget the 8-layer group cap admits: probe upward in 64 KB
+  // steps from the minimum.
+  core::OptimizeResult r;
+  long long budget = min_budget;
+  for (; budget < 64ll * 1024 * 1024; budget += 64 * 1024) {
+    oo.transfer_budget_bytes = budget;
+    r = core::optimize(net, model, oo);
+    if (r.feasible) break;
+  }
+  if (!r.feasible) {
+    std::printf("no feasible strategy found\n");
+    return 1;
+  }
+  std::printf("feasible at budget %.0f KB with %zu fusion group(s)\n\n",
+              static_cast<double>(budget) / 1024.0, r.strategy.groups.size());
+
+  std::printf("%-10s %-13s %12s %8s %8s %8s %8s\n", "Layer", "Algorithm",
+              "Parallelism", "BRAM", "DSP", "FF", "LUT");
+  fpga::ResourceVector total;
+  for (const auto& g : r.strategy.groups) {
+    for (std::size_t k = 0; k < g.impls.size(); ++k) {
+      const nn::Layer& l = net[g.first + k];
+      const auto& ipl = g.impls[k];
+      std::printf("%-10s %-13s %12d %8lld %8lld %8lld %8lld\n",
+                  l.name.c_str(),
+                  std::string(fpga::to_string(ipl.cfg.algo)).c_str(),
+                  ipl.cfg.parallelism(l.window()), ipl.res.bram18k,
+                  ipl.res.dsp, ipl.res.ff, ipl.res.lut);
+      total += ipl.res;
+    }
+  }
+  std::printf("%-10s %-13s %12s %8lld %8lld %8lld %8lld\n", "Total", "", "",
+              total.bram18k, total.dsp, total.ff, total.lut);
+  const auto& cap = dev.capacity;
+  std::printf("%-10s %-13s %12s %7.1f%% %7.1f%% %7.1f%% %7.1f%%\n",
+              "Util (%)", "", "", 100.0 * total.bram18k / cap.bram18k,
+              100.0 * total.dsp / cap.dsp, 100.0 * total.ff / cap.ff,
+              100.0 * total.lut / cap.lut);
+
+  const auto rep = core::make_report(r.strategy, net, dev);
+  std::printf("\nlatency: %lld cycles (%.2f ms), %.1f effective GOPS, "
+              "%.2f W, %.2f GOPS/W\n",
+              rep.latency_cycles, rep.latency_ms, rep.effective_gops,
+              rep.power.total(), rep.energy_efficiency_gops_per_w);
+
+  // The paper's qualitative finding: conv1 (11x11 s4) conventional; the
+  // small-kernel stride-1 layers lean Winograd; the DSPs Winograd saves are
+  // spent on the conventional layers.
+  bench::note("expect conv1 conventional and Winograd on several of "
+              "conv2..conv5 (paper: conv2, conv3, conv5 Winograd).");
+  return 0;
+}

@@ -1,0 +1,38 @@
+// THR: latency vs batch throughput. Single-image latency sums the groups;
+// with images pipelined through the group sequence the steady-state
+// interval is the slowest group, so splitting (loose T budgets) buys
+// throughput even faster than it buys latency.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/dp_optimizer.h"
+#include "core/report.h"
+#include "nn/model_zoo.h"
+
+using namespace hetacc;
+
+int main() {
+  bench::header("THR", "latency vs pipelined batch throughput (VGG-E head)");
+
+  const fpga::Device dev = fpga::zc706();
+  const fpga::EngineModel model(dev);
+  const nn::Network head = nn::vgg_e_head();
+
+  std::printf("%10s %8s %14s %12s %16s\n", "T (MB)", "groups", "latency (ms)",
+              "1/lat (fps)", "pipelined (fps)");
+  for (long long mb : {2, 4, 8, 16, 34}) {
+    core::OptimizerOptions oo;
+    oo.transfer_budget_bytes = mb * 1024 * 1024;
+    const auto r = core::optimize(head, model, oo);
+    if (!r.feasible) continue;
+    const auto rep = core::make_report(r.strategy, head, dev);
+    std::printf("%10lld %8zu %14.2f %12.1f %16.1f\n", mb,
+                r.strategy.groups.size(), rep.latency_ms,
+                1e3 / rep.latency_ms, rep.throughput_fps);
+  }
+  bench::note("more groups -> shorter slowest stage -> pipelined throughput "
+              "scales past 1/latency (single-image latency is what the "
+              "paper's Fig. 5 reports).");
+  return 0;
+}

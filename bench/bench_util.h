@@ -1,0 +1,20 @@
+#pragma once
+// Shared helpers for the experiment harnesses (one binary per paper
+// table/figure; see DESIGN.md experiment index).
+
+#include <cstdio>
+#include <string>
+
+namespace hetacc::bench {
+
+inline void header(const std::string& id, const std::string& what) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", id.c_str(), what.c_str());
+  std::printf("==============================================================\n");
+}
+
+inline void note(const std::string& s) { std::printf("note: %s\n", s.c_str()); }
+
+constexpr double kMB = 1024.0 * 1024.0;
+
+}  // namespace hetacc::bench

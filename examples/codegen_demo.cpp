@@ -1,0 +1,83 @@
+// Code-generation demo (paper §6 / Fig. 4): builds a heterogeneous two-group
+// strategy by hand, emits the HLS project, prints an excerpt, and — if a
+// host compiler is available — compiles and runs the generated C simulation,
+// checking it against the reference executor.
+//
+//   ./codegen_demo [output-dir]
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "codegen/generator.h"
+#include "nn/reference.h"
+
+using namespace hetacc;
+
+int main(int argc, char** argv) {
+  nn::Network net("demo");
+  net.input({3, 24, 24});
+  net.conv(8, 3, 1, 1, "conv_a");
+  net.conv(8, 3, 1, 1, "conv_b");
+  net.max_pool(2, 2, "pool");
+
+  const fpga::EngineModel model(fpga::zc706());
+  core::Strategy strategy = codegen::trivial_strategy(net, model);
+  // Make it heterogeneous: second conv via Winograd F(4x4,3x3).
+  strategy.groups[0].impls[1] =
+      model.implement(net[2], {fpga::ConvAlgo::kWinograd, 1, 2, 1, 4});
+
+  const nn::WeightStore ws = nn::WeightStore::deterministic(net, 3);
+  const auto design = codegen::generate_design(net, strategy, ws, {});
+
+  const std::string dir = argc > 1 ? argv[1] : "codegen_demo_out";
+  codegen::write_design(design, dir);
+  std::printf("wrote %s/{design.h, design.cpp, main.cpp, hls_compat.h}\n\n",
+              dir.c_str());
+
+  // Show the generated top function.
+  std::istringstream src(design.source);
+  std::string line;
+  bool in_top = false;
+  std::printf("generated DATAFLOW top function:\n");
+  while (std::getline(src, line)) {
+    if (line.find("void group0_top") != std::string::npos) in_top = true;
+    if (in_top) {
+      std::printf("  %s\n", line.c_str());
+      if (line == "}") break;
+    }
+  }
+
+  // C simulation, exactly what `vivado_hls csim_design` would run.
+  if (std::system("c++ --version > /dev/null 2>&1") != 0) {
+    std::printf("\nno host compiler found; skipping C simulation\n");
+    return 0;
+  }
+  const std::string build = "c++ -std=c++17 -O1 -w -o " + dir + "/tb " + dir +
+                            "/design.cpp " + dir + "/main.cpp -I " + dir;
+  if (std::system(build.c_str()) != 0) {
+    std::printf("generated code failed to compile\n");
+    return 1;
+  }
+  nn::Tensor image(net[0].out);
+  nn::fill_deterministic(image, 4);
+  {
+    std::ofstream f(dir + "/input.txt");
+    f << codegen::tensor_to_stream_text(image);
+  }
+  const std::string run = "cd " + dir + " && ./tb input.txt output.txt";
+  if (std::system(run.c_str()) != 0) {
+    std::printf("testbench failed\n");
+    return 1;
+  }
+  std::ifstream out(dir + "/output.txt");
+  std::stringstream ss;
+  ss << out.rdbuf();
+  const nn::Tensor got =
+      codegen::tensor_from_stream_text(ss.str(), net[3].out);
+  const nn::Tensor golden = nn::run_network(net, ws, image);
+  std::printf("\nC simulation vs reference executor: max error %.2e\n",
+              got.max_abs_diff(golden));
+  return 0;
+}

@@ -1,0 +1,64 @@
+// VGG-E design-space explorer: sweeps the feature-map transfer budget over
+// the network the paper evaluates in §7.2 (optionally the full accelerated
+// VGG-E, not just the 7-layer head) and prints the latency / transfer /
+// resource frontier, comparing against the tile-based baseline [1].
+//
+//   ./vgg_explorer [--full] [--device zc706|vc707]
+
+#include <cstdio>
+#include <cstring>
+
+#include "baseline/alwani.h"
+#include "core/dp_optimizer.h"
+#include "core/report.h"
+#include "nn/model_zoo.h"
+
+using namespace hetacc;
+
+int main(int argc, char** argv) {
+  bool full = false;
+  fpga::Device dev = fpga::zc706();
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--full")) full = true;
+    if (!std::strcmp(argv[i], "--device") && i + 1 < argc) {
+      dev = std::strcmp(argv[i + 1], "vc707") ? fpga::zc706() : fpga::vc707();
+    }
+  }
+  const nn::Network net =
+      full ? nn::vgg_e().accelerated_portion() : nn::vgg_e_head();
+  std::printf("%s on %s (%.1f GB/s, %lld DSP)\n\n", net.name().c_str(),
+              dev.name.c_str(), dev.bandwidth_bytes_per_s / 1e9,
+              dev.capacity.dsp);
+
+  const fpga::EngineModel model(dev);
+
+  std::printf("%8s %8s %14s %10s %10s %8s %8s\n", "T (MB)", "groups",
+              "latency(cyc)", "ms", "GOPS", "DSP", "BRAM");
+  for (long long mb : {2, 3, 4, 6, 8, 12, 16, 24, 34, 48, 64}) {
+    core::OptimizerOptions oo;
+    oo.transfer_budget_bytes = mb * 1024 * 1024;
+    const auto r = core::optimize(net, model, oo);
+    if (!r.feasible) {
+      std::printf("%8lld infeasible (below minimal fused transfer)\n", mb);
+      continue;
+    }
+    const auto rep = core::make_report(r.strategy, net, dev);
+    std::printf("%8lld %8zu %14lld %10.2f %10.1f %8lld %8lld\n", mb,
+                r.strategy.groups.size(), rep.latency_cycles, rep.latency_ms,
+                rep.effective_gops, rep.peak_resources.dsp,
+                rep.peak_resources.bram18k);
+  }
+
+  if (!full) {
+    const auto base = baseline::design_baseline(net, 1, net.size() - 1, model);
+    if (base) {
+      std::printf("\ntile-based baseline [1]: tile=%d, %.2f ms, %.2f MB "
+                  "transfer, resources %s\n",
+                  base->geom.tile,
+                  base->latency_cycles / dev.frequency_hz * 1e3,
+                  static_cast<double>(base->transfer_bytes) / (1024.0 * 1024.0),
+                  base->resources.str().c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,120 @@
+#include "algo/conv_variants.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "fixed/fixed16.h"
+
+namespace hetacc::algo {
+
+std::vector<float> im2col(const nn::Tensor& in, int kernel, int stride,
+                          int pad, int out_h, int out_w) {
+  const nn::Shape s = in.shape();
+  const std::size_t rows =
+      static_cast<std::size_t>(s.c) * kernel * kernel;
+  const std::size_t cols = static_cast<std::size_t>(out_h) * out_w;
+  std::vector<float> mat(rows * cols, 0.0f);
+  std::size_t row = 0;
+  for (int c = 0; c < s.c; ++c) {
+    for (int u = 0; u < kernel; ++u) {
+      for (int v = 0; v < kernel; ++v, ++row) {
+        float* dst = mat.data() + row * cols;
+        for (int i = 0; i < out_h; ++i) {
+          const int h = i * stride + u - pad;
+          if (h < 0 || h >= s.h) continue;
+          for (int j = 0; j < out_w; ++j) {
+            const int w = j * stride + v - pad;
+            if (w < 0 || w >= s.w) continue;
+            dst[static_cast<std::size_t>(i) * out_w + j] = in.at(c, h, w);
+          }
+        }
+      }
+    }
+  }
+  return mat;
+}
+
+nn::Tensor conv_im2col(const nn::Tensor& in, const nn::FilterBank& filters,
+                       const std::vector<float>& bias, int stride, int pad,
+                       bool fused_relu) {
+  const nn::Shape s = in.shape();
+  const int k = filters.kernel();
+  const int oh = (s.h + 2 * pad - k) / stride + 1;
+  const int ow = (s.w + 2 * pad - k) / stride + 1;
+  const std::size_t cols = static_cast<std::size_t>(oh) * ow;
+  const std::size_t rows = static_cast<std::size_t>(s.c) * k * k;
+  const std::vector<float> mat = im2col(in, k, stride, pad, oh, ow);
+
+  nn::Tensor out(filters.out_channels(), oh, ow);
+  for (int n = 0; n < filters.out_channels(); ++n) {
+    const float* w = filters.data() + static_cast<std::size_t>(n) * rows;
+    float* dst = out.data() + static_cast<std::size_t>(n) * cols;
+    const float b = bias.empty() ? 0.0f : bias[n];
+    for (std::size_t j = 0; j < cols; ++j) dst[j] = b;
+    for (std::size_t r = 0; r < rows; ++r) {
+      const float wv = w[r];
+      if (wv == 0.0f) continue;
+      const float* src = mat.data() + r * cols;
+      for (std::size_t j = 0; j < cols; ++j) dst[j] += wv * src[j];
+    }
+    if (fused_relu) {
+      for (std::size_t j = 0; j < cols; ++j) dst[j] = std::max(dst[j], 0.0f);
+    }
+  }
+  return out;
+}
+
+nn::Tensor conv_direct_fixed(const nn::Tensor& in,
+                             const nn::FilterBank& filters,
+                             const std::vector<float>& bias, int stride,
+                             int pad, bool fused_relu, int data_frac,
+                             int weight_frac, int out_frac) {
+  using fixed::Fixed16;
+  const nn::Shape s = in.shape();
+  const int k = filters.kernel();
+  const int oh = (s.h + 2 * pad - k) / stride + 1;
+  const int ow = (s.w + 2 * pad - k) / stride + 1;
+  nn::Tensor out(filters.out_channels(), oh, ow);
+
+  // Quantize operands up front (this is what the DDR/BRAM contents are).
+  std::vector<std::int16_t> inq(static_cast<std::size_t>(in.size()));
+  for (std::size_t i = 0; i < inq.size(); ++i) {
+    inq[i] = Fixed16::quantize(in.data()[i], data_frac);
+  }
+  std::vector<std::int16_t> wq(static_cast<std::size_t>(filters.size()));
+  for (std::size_t i = 0; i < wq.size(); ++i) {
+    wq[i] = Fixed16::quantize(filters.data()[i], weight_frac);
+  }
+
+  const auto in_at = [&](int c, int h, int w) -> std::int32_t {
+    if (h < 0 || h >= s.h || w < 0 || w >= s.w) return 0;
+    return inq[(static_cast<std::size_t>(c) * s.h + h) * s.w + w];
+  };
+
+  const double scale = std::ldexp(1.0, -(data_frac + weight_frac));
+  for (int n = 0; n < filters.out_channels(); ++n) {
+    const float b = bias.empty() ? 0.0f : bias[n];
+    for (int i = 0; i < oh; ++i) {
+      for (int j = 0; j < ow; ++j) {
+        std::int64_t acc = 0;
+        for (int c = 0; c < s.c; ++c) {
+          for (int u = 0; u < k; ++u) {
+            for (int v = 0; v < k; ++v) {
+              const std::int32_t x = in_at(c, i * stride + u - pad,
+                                           j * stride + v - pad);
+              const std::int32_t w =
+                  wq[((static_cast<std::size_t>(n) * s.c + c) * k + u) * k + v];
+              acc += x * w;
+            }
+          }
+        }
+        float val = static_cast<float>(static_cast<double>(acc) * scale) + b;
+        if (fused_relu) val = std::max(val, 0.0f);
+        out.at(n, i, j) = fixed::quantize_to_float(val, out_frac);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace hetacc::algo

@@ -1,0 +1,33 @@
+#pragma once
+// Alternative convolution implementations: im2col+GEMM (the "matrix
+// multiplication" structure transformation of paper §1) and the 16-bit
+// fixed-point direct convolution used by the conventional PE model.
+
+#include "nn/tensor.h"
+
+namespace hetacc::algo {
+
+/// im2col lowering: returns the patch matrix with one column per output
+/// pixel and one row per (channel, ku, kv) tap.
+[[nodiscard]] std::vector<float> im2col(const nn::Tensor& in, int kernel,
+                                        int stride, int pad, int out_h,
+                                        int out_w);
+
+/// Convolution as GEMM over the im2col matrix. Bit-identical math order to
+/// BLAS-style accumulation; compared against the direct reference in tests.
+[[nodiscard]] nn::Tensor conv_im2col(const nn::Tensor& in,
+                                     const nn::FilterBank& filters,
+                                     const std::vector<float>& bias,
+                                     int stride, int pad, bool fused_relu);
+
+/// Direct convolution on a 16-bit fixed datapath: inputs/weights quantized
+/// to Q(data_frac)/Q(weight_frac), 32-bit products, wide accumulation,
+/// output re-quantized to Q(out_frac). Models a DSP48E MAC tree.
+[[nodiscard]] nn::Tensor conv_direct_fixed(const nn::Tensor& in,
+                                           const nn::FilterBank& filters,
+                                           const std::vector<float>& bias,
+                                           int stride, int pad,
+                                           bool fused_relu, int data_frac,
+                                           int weight_frac, int out_frac);
+
+}  // namespace hetacc::algo

@@ -1,0 +1,180 @@
+#include "algo/fft.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace hetacc::algo {
+
+std::size_t next_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+void fft(std::vector<Complex>& a, bool inverse) {
+  const std::size_t n = a.size();
+  if (n == 0 || (n & (n - 1)) != 0) {
+    throw std::invalid_argument("fft: size must be a power of two");
+  }
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang =
+        2.0 * std::numbers::pi / static_cast<double>(len) * (inverse ? 1 : -1);
+    const Complex wlen(std::cos(ang), std::sin(ang));
+    for (std::size_t i = 0; i < n; i += len) {
+      Complex w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const Complex u = a[i + k];
+        const Complex v = a[i + k + len / 2] * w;
+        a[i + k] = u + v;
+        a[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse) {
+    for (auto& x : a) x /= static_cast<double>(n);
+  }
+}
+
+void fft2d(std::vector<Complex>& a, int rows, int cols, bool inverse) {
+  if (static_cast<std::size_t>(rows) * cols != a.size()) {
+    throw std::invalid_argument("fft2d: size mismatch");
+  }
+  std::vector<Complex> tmp;
+  // Rows.
+  for (int r = 0; r < rows; ++r) {
+    tmp.assign(a.begin() + static_cast<std::ptrdiff_t>(r) * cols,
+               a.begin() + static_cast<std::ptrdiff_t>(r + 1) * cols);
+    fft(tmp, inverse);
+    std::copy(tmp.begin(), tmp.end(),
+              a.begin() + static_cast<std::ptrdiff_t>(r) * cols);
+  }
+  // Columns.
+  tmp.resize(static_cast<std::size_t>(rows));
+  for (int c = 0; c < cols; ++c) {
+    for (int r = 0; r < rows; ++r) {
+      tmp[static_cast<std::size_t>(r)] =
+          a[static_cast<std::size_t>(r) * cols + c];
+    }
+    fft(tmp, inverse);
+    for (int r = 0; r < rows; ++r) {
+      a[static_cast<std::size_t>(r) * cols + c] =
+          tmp[static_cast<std::size_t>(r)];
+    }
+  }
+}
+
+std::vector<double> fft_convolve(const std::vector<double>& a,
+                                 const std::vector<double>& b) {
+  if (a.empty() || b.empty()) return {};
+  const std::size_t out_n = a.size() + b.size() - 1;
+  const std::size_t n = next_pow2(out_n);
+  std::vector<Complex> fa(n), fb(n);
+  for (std::size_t i = 0; i < a.size(); ++i) fa[i] = a[i];
+  for (std::size_t i = 0; i < b.size(); ++i) fb[i] = b[i];
+  fft(fa, false);
+  fft(fb, false);
+  for (std::size_t i = 0; i < n; ++i) fa[i] *= fb[i];
+  fft(fa, true);
+  std::vector<double> out(out_n);
+  for (std::size_t i = 0; i < out_n; ++i) out[i] = fa[i].real();
+  return out;
+}
+
+nn::Tensor conv_fft(const nn::Tensor& in, const nn::FilterBank& filters,
+                    const std::vector<float>& bias, int pad,
+                    bool fused_relu) {
+  const nn::Shape s = in.shape();
+  if (s.c != filters.in_channels()) {
+    throw std::invalid_argument("conv_fft: channel mismatch");
+  }
+  const int k = filters.kernel();
+  const int hp = s.h + 2 * pad;
+  const int wp = s.w + 2 * pad;
+  const int oh = hp - k + 1;
+  const int ow = wp - k + 1;
+  if (oh <= 0 || ow <= 0) {
+    throw std::invalid_argument("conv_fft: kernel larger than padded input");
+  }
+  const int rows = static_cast<int>(next_pow2(static_cast<std::size_t>(hp + k - 1)));
+  const int cols = static_cast<int>(next_pow2(static_cast<std::size_t>(wp + k - 1)));
+  const std::size_t grid = static_cast<std::size_t>(rows) * cols;
+
+  // Forward transforms of the (padded) input planes.
+  std::vector<std::vector<Complex>> fin(static_cast<std::size_t>(s.c));
+  for (int c = 0; c < s.c; ++c) {
+    std::vector<Complex> plane(grid);
+    for (int h = 0; h < s.h; ++h) {
+      for (int w = 0; w < s.w; ++w) {
+        plane[static_cast<std::size_t>(h + pad) * cols + (w + pad)] =
+            in.at(c, h, w);
+      }
+    }
+    fft2d(plane, rows, cols, false);
+    fin[static_cast<std::size_t>(c)] = std::move(plane);
+  }
+
+  nn::Tensor out(filters.out_channels(), oh, ow);
+  std::vector<Complex> acc(grid);
+  std::vector<Complex> fker(grid);
+  for (int n = 0; n < filters.out_channels(); ++n) {
+    std::fill(acc.begin(), acc.end(), Complex{});
+    for (int m = 0; m < s.c; ++m) {
+      // Kernel reversed in both axes: linear convolution with the reversed
+      // kernel is cross-correlation, which is what a conv layer computes.
+      std::fill(fker.begin(), fker.end(), Complex{});
+      for (int u = 0; u < k; ++u) {
+        for (int v = 0; v < k; ++v) {
+          fker[static_cast<std::size_t>(u) * cols + v] =
+              filters.at(n, m, k - 1 - u, k - 1 - v);
+        }
+      }
+      fft2d(fker, rows, cols, false);
+      const auto& fi = fin[static_cast<std::size_t>(m)];
+      for (std::size_t i = 0; i < grid; ++i) acc[i] += fi[i] * fker[i];
+    }
+    fft2d(acc, rows, cols, true);
+    const float b = bias.empty() ? 0.0f : bias[n];
+    for (int i = 0; i < oh; ++i) {
+      for (int j = 0; j < ow; ++j) {
+        float val = static_cast<float>(
+                        acc[static_cast<std::size_t>(i + k - 1) * cols +
+                            (j + k - 1)]
+                            .real()) +
+                    b;
+        if (fused_relu) val = std::max(val, 0.0f);
+        out.at(n, i, j) = val;
+      }
+    }
+  }
+  return out;
+}
+
+long long fft_layer_mults(int in_channels, int out_channels, int in_h,
+                          int in_w, int kernel, int pad) {
+  const long long rows =
+      static_cast<long long>(next_pow2(static_cast<std::size_t>(
+          in_h + 2 * pad + kernel - 1)));
+  const long long cols =
+      static_cast<long long>(next_pow2(static_cast<std::size_t>(
+          in_w + 2 * pad + kernel - 1)));
+  const long long grid = rows * cols;
+  const double log_grid = std::log2(static_cast<double>(grid));
+  // Complex multiplies: (grid/2)*log2(grid) per 2-D FFT.
+  const double fft_cmults = static_cast<double>(grid) / 2.0 * log_grid;
+  const double forward = static_cast<double>(in_channels) * fft_cmults;
+  const double inverse = static_cast<double>(out_channels) * fft_cmults;
+  const double products = static_cast<double>(in_channels) * out_channels *
+                          static_cast<double>(grid);
+  return static_cast<long long>(4.0 * (forward + inverse + products));
+}
+
+}  // namespace hetacc::algo

@@ -1,0 +1,49 @@
+#pragma once
+// Radix-2 FFT and FFT-based convolution — the third "computation structure
+// transformation" the paper's introduction lists next to matrix
+// multiplication and Winograd. Self-contained (no external FFT library), so
+// the algorithm-exploration framework can count its multiplications and
+// validate it against direct convolution.
+
+#include <complex>
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace hetacc::algo {
+
+using Complex = std::complex<double>;
+
+/// In-place iterative radix-2 Cooley-Tukey. `n` must be a power of two.
+void fft(std::vector<Complex>& a, bool inverse);
+
+/// Smallest power of two >= n.
+[[nodiscard]] std::size_t next_pow2(std::size_t n);
+
+/// 2-D FFT over a row-major `rows x cols` grid (both powers of two).
+void fft2d(std::vector<Complex>& a, int rows, int cols, bool inverse);
+
+/// Linear (full) 1-D convolution via FFT; result size = |a| + |b| - 1.
+[[nodiscard]] std::vector<double> fft_convolve(const std::vector<double>& a,
+                                               const std::vector<double>& b);
+
+/// FFT-based 2-D convolution layer: zero-pads each channel plane and kernel
+/// to a common power-of-two grid, multiplies spectra, accumulates across
+/// input channels in the frequency domain, and crops the valid region.
+/// Stride 1 only (like Winograd); `pad` is the conv zero padding.
+[[nodiscard]] nn::Tensor conv_fft(const nn::Tensor& in,
+                                  const nn::FilterBank& filters,
+                                  const std::vector<float>& bias, int pad,
+                                  bool fused_relu);
+
+/// Real multiplications an FFT-based implementation spends on the layer:
+/// forward transforms of the input planes, one spectrum product per
+/// (in, out) channel pair, inverse transforms per output plane. Kernel
+/// spectra are precomputed offline (mirroring the Winograd filter
+/// transform). A complex multiply counts as 4 real multiplications, an
+/// N-point FFT as (N/2)log2(N) complex multiplies.
+[[nodiscard]] long long fft_layer_mults(int in_channels, int out_channels,
+                                        int in_h, int in_w, int kernel,
+                                        int pad);
+
+}  // namespace hetacc::algo

@@ -1,0 +1,99 @@
+#include "algo/matrix.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace hetacc::algo {
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = static_cast<int>(rows.size());
+  cols_ = rows_ ? static_cast<int>(rows.begin()->size()) : 0;
+  data_.reserve(static_cast<std::size_t>(rows_) * cols_);
+  for (const auto& r : rows) {
+    if (static_cast<int>(r.size()) != cols_) {
+      throw std::invalid_argument("Matrix: ragged initializer");
+    }
+    data_.insert(data_.end(), r.begin(), r.end());
+  }
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (int r = 0; r < rows_; ++r) {
+    for (int c = 0; c < cols_; ++c) t.at(c, r) = at(r, c);
+  }
+  return t;
+}
+
+Matrix Matrix::operator*(const Matrix& rhs) const {
+  if (cols_ != rhs.rows_) throw std::invalid_argument("Matrix*: dim mismatch");
+  Matrix out(rows_, rhs.cols_);
+  for (int r = 0; r < rows_; ++r) {
+    for (int k = 0; k < cols_; ++k) {
+      const double a = at(r, k);
+      if (a == 0.0) continue;
+      for (int c = 0; c < rhs.cols_; ++c) out.at(r, c) += a * rhs.at(k, c);
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::operator+(const Matrix& rhs) const {
+  if (rows_ != rhs.rows_ || cols_ != rhs.cols_) {
+    throw std::invalid_argument("Matrix+: dim mismatch");
+  }
+  Matrix out = *this;
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] += rhs.data_[i];
+  return out;
+}
+
+Matrix Matrix::operator-(const Matrix& rhs) const {
+  return *this + rhs.scaled(-1.0);
+}
+
+Matrix Matrix::scaled(double s) const {
+  Matrix out = *this;
+  for (auto& x : out.data_) x *= s;
+  return out;
+}
+
+Matrix Matrix::identity(int n) {
+  Matrix out(n, n);
+  for (int i = 0; i < n; ++i) out.at(i, i) = 1.0;
+  return out;
+}
+
+std::vector<double> Matrix::apply(const std::vector<double>& v) const {
+  if (static_cast<int>(v.size()) != cols_) {
+    throw std::invalid_argument("Matrix::apply: size mismatch");
+  }
+  std::vector<double> out(rows_, 0.0);
+  for (int r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    for (int c = 0; c < cols_; ++c) acc += at(r, c) * v[c];
+    out[r] = acc;
+  }
+  return out;
+}
+
+double Matrix::max_abs_diff(const Matrix& other) const {
+  if (rows_ != other.rows_ || cols_ != other.cols_) {
+    throw std::invalid_argument("max_abs_diff: dim mismatch");
+  }
+  double worst = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    worst = std::max(worst, std::abs(data_[i] - other.data_[i]));
+  }
+  return worst;
+}
+
+std::string Matrix::str() const {
+  std::ostringstream os;
+  for (int r = 0; r < rows_; ++r) {
+    for (int c = 0; c < cols_; ++c) os << at(r, c) << (c + 1 < cols_ ? " " : "");
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace hetacc::algo

@@ -1,0 +1,58 @@
+#pragma once
+// Tiny dense matrix of doubles used for Winograd transform construction.
+// Not a general linear-algebra library: just what Cook-Toom needs.
+
+#include <cstddef>
+#include <initializer_list>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace hetacc::algo {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(int rows, int cols, double fill = 0.0)
+      : rows_(rows), cols_(cols),
+        data_(static_cast<std::size_t>(rows) * cols, fill) {
+    if (rows < 0 || cols < 0) throw std::invalid_argument("Matrix: negative dim");
+  }
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  [[nodiscard]] int rows() const { return rows_; }
+  [[nodiscard]] int cols() const { return cols_; }
+
+  [[nodiscard]] double& at(int r, int c) { return data_[index(r, c)]; }
+  [[nodiscard]] double at(int r, int c) const { return data_[index(r, c)]; }
+
+  [[nodiscard]] Matrix transposed() const;
+  [[nodiscard]] Matrix operator*(const Matrix& rhs) const;
+  [[nodiscard]] Matrix operator+(const Matrix& rhs) const;
+  [[nodiscard]] Matrix operator-(const Matrix& rhs) const;
+  [[nodiscard]] Matrix scaled(double s) const;
+
+  [[nodiscard]] static Matrix identity(int n);
+
+  /// Multiply a vector: returns (*this) * v.
+  [[nodiscard]] std::vector<double> apply(const std::vector<double>& v) const;
+
+  [[nodiscard]] double max_abs_diff(const Matrix& other) const;
+  [[nodiscard]] std::string str() const;
+
+ private:
+  [[nodiscard]] std::size_t index(int r, int c) const {
+    if (r < 0 || r >= rows_ || c < 0 || c >= cols_) {
+      throw std::out_of_range("Matrix index (" + std::to_string(r) + "," +
+                              std::to_string(c) + ") out of " +
+                              std::to_string(rows_) + "x" +
+                              std::to_string(cols_));
+    }
+    return static_cast<std::size_t>(r) * cols_ + c;
+  }
+
+  int rows_ = 0, cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace hetacc::algo

@@ -1,0 +1,231 @@
+#include "algo/winograd_conv.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "fixed/fixed16.h"
+
+namespace hetacc::algo {
+
+namespace {
+
+/// d_tile -> B^T d B for an n x n tile.
+Matrix input_transform(const WinogradTransform& t, const Matrix& d) {
+  return t.bt * d * t.bt.transposed();
+}
+
+/// Extracts an n x n input tile whose top-left output element is
+/// (tile_i * m, tile_j * m); reads zero for conv padding and beyond edges.
+Matrix extract_tile(const nn::Tensor& in, int channel, int tile_i, int tile_j,
+                    int n, int m, int pad) {
+  Matrix d(n, n);
+  const nn::Shape s = in.shape();
+  const int h0 = tile_i * m - pad;
+  const int w0 = tile_j * m - pad;
+  for (int u = 0; u < n; ++u) {
+    const int h = h0 + u;
+    if (h < 0 || h >= s.h) continue;
+    for (int v = 0; v < n; ++v) {
+      const int w = w0 + v;
+      if (w < 0 || w >= s.w) continue;
+      d.at(u, v) = in.at(channel, h, w);
+    }
+  }
+  return d;
+}
+
+}  // namespace
+
+TransformedFilters transform_filters(const WinogradTransform& t,
+                                     const nn::FilterBank& f) {
+  if (f.kernel() != t.r) {
+    throw std::invalid_argument("transform_filters: kernel != r");
+  }
+  TransformedFilters tf{t, f.out_channels(), f.in_channels(), {}};
+  tf.u.reserve(static_cast<std::size_t>(f.out_channels()) * f.in_channels());
+  for (int n = 0; n < f.out_channels(); ++n) {
+    for (int m = 0; m < f.in_channels(); ++m) {
+      Matrix g(t.r, t.r);
+      for (int u = 0; u < t.r; ++u) {
+        for (int v = 0; v < t.r; ++v) g.at(u, v) = f.at(n, m, u, v);
+      }
+      tf.u.push_back(t.g * g * t.g.transposed());
+    }
+  }
+  return tf;
+}
+
+nn::Tensor winograd_conv_pretransformed(const TransformedFilters& tf,
+                                        const nn::Tensor& in,
+                                        const std::vector<float>& bias,
+                                        int pad, bool fused_relu) {
+  const WinogradTransform& t = tf.t;
+  const nn::Shape is = in.shape();
+  if (is.c != tf.in_channels) {
+    throw std::invalid_argument("winograd_conv: channel mismatch");
+  }
+  const int n = t.n();
+  const int oh = is.h + 2 * pad - t.r + 1;  // stride 1
+  const int ow = is.w + 2 * pad - t.r + 1;
+  nn::Tensor out(tf.out_channels, oh, ow);
+
+  const int tiles_h = (oh + t.m - 1) / t.m;
+  const int tiles_w = (ow + t.m - 1) / t.m;
+  std::vector<Matrix> v(static_cast<std::size_t>(is.c));
+
+  for (int ti = 0; ti < tiles_h; ++ti) {
+    for (int tj = 0; tj < tiles_w; ++tj) {
+      for (int c = 0; c < is.c; ++c) {
+        v[static_cast<std::size_t>(c)] =
+            input_transform(t, extract_tile(in, c, ti, tj, n, t.m, pad));
+      }
+      for (int oc = 0; oc < tf.out_channels; ++oc) {
+        // Channel accumulation happens in the transform domain: one inverse
+        // transform per output tile, not per channel.
+        Matrix acc(n, n);
+        for (int c = 0; c < is.c; ++c) {
+          const Matrix& u = tf.at(oc, c);
+          const Matrix& vv = v[static_cast<std::size_t>(c)];
+          for (int a = 0; a < n; ++a) {
+            for (int b = 0; b < n; ++b) acc.at(a, b) += u.at(a, b) * vv.at(a, b);
+          }
+        }
+        const Matrix y = t.at * acc * t.at.transposed();
+        const float b = bias.empty() ? 0.0f : bias[oc];
+        for (int a = 0; a < t.m; ++a) {
+          const int h = ti * t.m + a;
+          if (h >= oh) break;
+          for (int bcol = 0; bcol < t.m; ++bcol) {
+            const int w = tj * t.m + bcol;
+            if (w >= ow) break;
+            float val = static_cast<float>(y.at(a, bcol)) + b;
+            if (fused_relu) val = std::max(val, 0.0f);
+            out.at(oc, h, w) = val;
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+nn::Tensor winograd_conv(const WinogradTransform& t, const nn::Tensor& in,
+                         const nn::FilterBank& filters,
+                         const std::vector<float>& bias, int pad,
+                         bool fused_relu) {
+  return winograd_conv_pretransformed(transform_filters(t, filters), in, bias,
+                                      pad, fused_relu);
+}
+
+nn::Tensor winograd_conv_fixed(const WinogradTransform& t,
+                               const nn::Tensor& in,
+                               const nn::FilterBank& filters,
+                               const std::vector<float>& bias, int pad,
+                               bool fused_relu, int data_frac, int out_frac) {
+  using fixed::Fixed16;
+  const TransformedFilters tf = transform_filters(t, filters);
+  const nn::Shape is = in.shape();
+  const int n = t.n();
+  const int oh = is.h + 2 * pad - t.r + 1;
+  const int ow = is.w + 2 * pad - t.r + 1;
+  nn::Tensor out(tf.out_channels, oh, ow);
+
+  // Pick the filter-domain fraction width from the largest transformed
+  // filter magnitude (done offline on a real flow).
+  double u_max = 0.0;
+  for (const Matrix& u : tf.u) {
+    for (int a = 0; a < n; ++a) {
+      for (int b = 0; b < n; ++b) u_max = std::max(u_max, std::abs(u.at(a, b)));
+    }
+  }
+  const int u_frac = fixed::choose_frac_bits(static_cast<float>(u_max));
+
+  // The data transform amplifies samples by up to the row gain of B^T
+  // applied twice (2-D nesting), so the transform-domain format must cover
+  // gain^2 * max|d| or the multipliers saturate.
+  double bt_gain = 0.0;
+  for (int a = 0; a < n; ++a) {
+    double row = 0.0;
+    for (int b = 0; b < n; ++b) row += std::abs(t.bt.at(a, b));
+    bt_gain = std::max(bt_gain, row);
+  }
+  float d_max = 0.0f;
+  for (float x : in.vec()) d_max = std::max(d_max, std::abs(x));
+  const int v_frac = fixed::choose_frac_bits(
+      static_cast<float>(bt_gain * bt_gain * std::max(d_max, 1e-6f)));
+
+  const int tiles_h = (oh + t.m - 1) / t.m;
+  const int tiles_w = (ow + t.m - 1) / t.m;
+  std::vector<Matrix> v(static_cast<std::size_t>(is.c));
+
+  for (int ti = 0; ti < tiles_h; ++ti) {
+    for (int tj = 0; tj < tiles_w; ++tj) {
+      for (int c = 0; c < is.c; ++c) {
+        Matrix d = extract_tile(in, c, ti, tj, n, t.m, pad);
+        // Input samples enter the datapath already quantized to 16 bits.
+        for (int a = 0; a < n; ++a) {
+          for (int b = 0; b < n; ++b) {
+            d.at(a, b) = fixed::quantize_to_float(
+                static_cast<float>(d.at(a, b)), data_frac);
+          }
+        }
+        v[static_cast<std::size_t>(c)] = input_transform(t, d);
+      }
+      for (int oc = 0; oc < tf.out_channels; ++oc) {
+        std::int64_t acc[64] = {};  // n <= 8 covers every supported tile size
+        if (n * n > 64) throw std::logic_error("winograd_conv_fixed: tile too big");
+        for (int c = 0; c < is.c; ++c) {
+          const Matrix& u = tf.at(oc, c);
+          const Matrix& vv = v[static_cast<std::size_t>(c)];
+          for (int a = 0; a < n; ++a) {
+            for (int b = 0; b < n; ++b) {
+              // 16-bit multiplier inputs, 32-bit product, wide accumulate.
+              const std::int16_t uq =
+                  Fixed16::quantize(static_cast<float>(u.at(a, b)), u_frac);
+              const std::int16_t vq = Fixed16::quantize(
+                  static_cast<float>(vv.at(a, b)), v_frac);
+              acc[a * n + b] += static_cast<std::int32_t>(uq) * vq;
+            }
+          }
+        }
+        Matrix macc(n, n);
+        const double scale = std::ldexp(1.0, -(u_frac + v_frac));
+        for (int a = 0; a < n; ++a) {
+          for (int b = 0; b < n; ++b) {
+            macc.at(a, b) = static_cast<double>(acc[a * n + b]) * scale;
+          }
+        }
+        const Matrix y = t.at * macc * t.at.transposed();
+        const float bia = bias.empty() ? 0.0f : bias[oc];
+        for (int a = 0; a < t.m; ++a) {
+          const int h = ti * t.m + a;
+          if (h >= oh) break;
+          for (int bcol = 0; bcol < t.m; ++bcol) {
+            const int w = tj * t.m + bcol;
+            if (w >= ow) break;
+            float val = static_cast<float>(y.at(a, bcol)) + bia;
+            if (fused_relu) val = std::max(val, 0.0f);
+            out.at(oc, h, w) = fixed::quantize_to_float(val, out_frac);
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+bool winograd_applicable(int kernel, int stride) {
+  // Paper §2.1: "implemented most efficiently for the cases where kernel
+  // size is small and stride is 1". We support taps up to 7 via Cook-Toom;
+  // AlexNet's 5x5 conv2 (Table 2 runs it as Winograd) is covered by F(m,5).
+  return stride == 1 && kernel >= 2 && kernel <= 7;
+}
+
+long long winograd_layer_mults(const WinogradTransform& t, int in_channels,
+                               int out_channels, int out_h, int out_w) {
+  const long long tiles = static_cast<long long>((out_h + t.m - 1) / t.m) *
+                          ((out_w + t.m - 1) / t.m);
+  return tiles * t.tile_mults_2d() * in_channels * out_channels;
+}
+
+}  // namespace hetacc::algo

@@ -1,0 +1,123 @@
+#include "algo/winograd_stride2.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "algo/winograd_conv.h"
+
+namespace hetacc::algo {
+
+nn::Tensor polyphase_component(const nn::Tensor& in, int phase_row,
+                               int phase_col) {
+  if (phase_row < 0 || phase_row > 1 || phase_col < 0 || phase_col > 1) {
+    throw std::invalid_argument("polyphase_component: phase must be 0 or 1");
+  }
+  const nn::Shape s = in.shape();
+  const int h = (s.h - phase_row + 1) / 2;
+  const int w = (s.w - phase_col + 1) / 2;
+  nn::Tensor out(s.c, h, w);
+  for (int c = 0; c < s.c; ++c) {
+    for (int y = 0; y < h; ++y) {
+      for (int x = 0; x < w; ++x) {
+        out.at(c, y, x) = in.at(c, 2 * y + phase_row, 2 * x + phase_col);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<nn::FilterBank> polyphase_filters(const nn::FilterBank& f) {
+  const int k = f.kernel();
+  if (k < 2) {
+    throw std::invalid_argument("polyphase_filters: kernel must be >= 2");
+  }
+  const int r = (k + 1) / 2;
+  std::vector<nn::FilterBank> phases;
+  phases.reserve(4);
+  for (int p = 0; p < 2; ++p) {
+    for (int q = 0; q < 2; ++q) {
+      nn::FilterBank pf(f.out_channels(), f.in_channels(), r);
+      for (int n = 0; n < f.out_channels(); ++n) {
+        for (int m = 0; m < f.in_channels(); ++m) {
+          for (int a = 0; 2 * a + p < k; ++a) {
+            for (int b = 0; 2 * b + q < k; ++b) {
+              pf.at(n, m, a, b) = f.at(n, m, 2 * a + p, 2 * b + q);
+            }
+          }
+        }
+      }
+      phases.push_back(std::move(pf));
+    }
+  }
+  return phases;
+}
+
+nn::Tensor winograd_conv_stride2(int wino_m, const nn::Tensor& in,
+                                 const nn::FilterBank& filters,
+                                 const std::vector<float>& bias, int pad,
+                                 bool fused_relu) {
+  const nn::Shape s = in.shape();
+  const int k = filters.kernel();
+  const int r = (k + 1) / 2;
+  const int hp = s.h + 2 * pad;
+  const int wp = s.w + 2 * pad;
+  const int oh = (hp - k) / 2 + 1;
+  const int ow = (wp - k) / 2 + 1;
+  if (oh <= 0 || ow <= 0) {
+    throw std::invalid_argument("winograd_conv_stride2: bad geometry");
+  }
+  const auto phase_filters = polyphase_filters(filters);
+  const WinogradTransform t = winograd(wino_m, r);
+
+  nn::Tensor out(filters.out_channels(), oh, ow);
+  for (int p = 0; p < 2; ++p) {
+    for (int q = 0; q < 2; ++q) {
+      // Phase component sized so the stride-1 valid convolution yields
+      // exactly oh x ow outputs; positions past the padded image are zero
+      // (they only meet the zero taps of the square-padded phase kernel).
+      nn::Tensor comp(s.c, oh + r - 1, ow + r - 1);
+      for (int c = 0; c < s.c; ++c) {
+        for (int y = 0; y < oh + r - 1; ++y) {
+          const int row = 2 * y + p - pad;  // back to unpadded coordinates
+          if (row < 0 || row >= s.h) continue;
+          for (int x = 0; x < ow + r - 1; ++x) {
+            const int col = 2 * x + q - pad;
+            if (col < 0 || col >= s.w) continue;
+            comp.at(c, y, x) = in.at(c, row, col);
+          }
+        }
+      }
+      const nn::Tensor part =
+          winograd_conv(t, comp, phase_filters[static_cast<std::size_t>(p) * 2 + q],
+                        {}, /*pad=*/0, /*fused_relu=*/false);
+      for (int n = 0; n < out.shape().c; ++n) {
+        for (int i = 0; i < oh; ++i) {
+          for (int j = 0; j < ow; ++j) {
+            out.at(n, i, j) += part.at(n, i, j);
+          }
+        }
+      }
+    }
+  }
+  for (int n = 0; n < out.shape().c; ++n) {
+    const float b = bias.empty() ? 0.0f : bias[n];
+    for (int i = 0; i < oh; ++i) {
+      for (int j = 0; j < ow; ++j) {
+        float v = out.at(n, i, j) + b;
+        if (fused_relu) v = std::max(v, 0.0f);
+        out.at(n, i, j) = v;
+      }
+    }
+  }
+  return out;
+}
+
+long long winograd_stride2_mults(int wino_m, int in_channels,
+                                 int out_channels, int out_h, int out_w,
+                                 int kernel) {
+  const int r = (kernel + 1) / 2;
+  const WinogradTransform t = winograd(wino_m, r);
+  return 4 * winograd_layer_mults(t, in_channels, out_channels, out_h, out_w);
+}
+
+}  // namespace hetacc::algo

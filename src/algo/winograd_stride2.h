@@ -1,0 +1,42 @@
+#pragma once
+// Stride-2 Winograd via polyphase decomposition — an extension beyond the
+// paper's "stride 1 only" applicability rule (§2.1). A stride-2 KxK
+// convolution splits into four stride-1 convolutions over the even/odd
+// row/column phases of the input, with the kernel split the same way:
+//
+//   out[i,j] = sum_{p,q in {0,1}} (in_pq * g_pq)[i,j],
+//   in_pq[x,y] = in[2x+p, 2y+q],   g_pq[a,b] = g[2a+p, 2b+q].
+//
+// Each phase kernel has ceil((K-p)/2) x ceil((K-q)/2) taps; zero-padding it
+// to r x r with r = ceil(K/2) lets all four run through the same F(m, r)
+// Winograd engine, and the four phase outputs simply add.
+
+#include "algo/winograd_transform.h"
+#include "nn/tensor.h"
+
+namespace hetacc::algo {
+
+/// One polyphase component of a (padded) feature map.
+[[nodiscard]] nn::Tensor polyphase_component(const nn::Tensor& in, int
+                                             phase_row, int phase_col);
+
+/// The four r x r phase kernels (r = ceil(K/2)) of a stride-2 filter bank,
+/// indexed [phase_row * 2 + phase_col], zero-padded to square.
+[[nodiscard]] std::vector<nn::FilterBank> polyphase_filters(
+    const nn::FilterBank& filters);
+
+/// Stride-2 convolution computed as four Winograd F(m, r) convolutions.
+/// `pad` is the original conv padding; kernel size must be >= 2.
+[[nodiscard]] nn::Tensor winograd_conv_stride2(int wino_m,
+                                               const nn::Tensor& in,
+                                               const nn::FilterBank& filters,
+                                               const std::vector<float>& bias,
+                                               int pad, bool fused_relu);
+
+/// Multiplications the decomposed implementation spends: four F(m, r) phase
+/// convolutions at r = ceil(K/2) over the (half-resolution) output grid.
+[[nodiscard]] long long winograd_stride2_mults(int wino_m, int in_channels,
+                                               int out_channels, int out_h,
+                                               int out_w, int kernel);
+
+}  // namespace hetacc::algo

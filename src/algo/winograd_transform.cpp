@@ -1,0 +1,194 @@
+#include "algo/winograd_transform.h"
+
+#include <cmath>
+#include <set>
+#include <stdexcept>
+
+namespace hetacc::algo {
+
+WinogradTransform winograd_f2x3() {
+  // Lavin & Gray, "Fast Algorithms for Convolutional Neural Networks".
+  WinogradTransform t;
+  t.m = 2;
+  t.r = 3;
+  t.bt = Matrix{{1, 0, -1, 0},
+                {0, 1, 1, 0},
+                {0, -1, 1, 0},
+                {0, 1, 0, -1}};
+  t.g = Matrix{{1, 0, 0},
+               {0.5, 0.5, 0.5},
+               {0.5, -0.5, 0.5},
+               {0, 0, 1}};
+  t.at = Matrix{{1, 1, 1, 0},
+                {0, 1, -1, -1}};
+  return t;
+}
+
+WinogradTransform winograd_f4x3() {
+  // The F(4x4, 3x3) constants every Winograd FPGA accelerator hard-wires
+  // (paper §2.1 uses this tile size uniformly).
+  WinogradTransform t;
+  t.m = 4;
+  t.r = 3;
+  t.bt = Matrix{{4, 0, -5, 0, 1, 0},
+                {0, -4, -4, 1, 1, 0},
+                {0, 4, -4, -1, 1, 0},
+                {0, -2, -1, 2, 1, 0},
+                {0, 2, -1, -2, 1, 0},
+                {0, 4, 0, -5, 0, 1}};
+  t.g = Matrix{{1.0 / 4, 0, 0},
+               {-1.0 / 6, -1.0 / 6, -1.0 / 6},
+               {-1.0 / 6, 1.0 / 6, -1.0 / 6},
+               {1.0 / 24, 1.0 / 12, 1.0 / 6},
+               {1.0 / 24, -1.0 / 12, 1.0 / 6},
+               {0, 0, 1}};
+  t.at = Matrix{{1, 1, 1, 1, 1, 0},
+                {0, 1, -1, 2, -2, 0},
+                {0, 1, 1, 4, 4, 0},
+                {0, 1, -1, 8, -8, 1}};
+  return t;
+}
+
+namespace {
+
+/// Coefficients of the monic polynomial with the given roots.
+std::vector<double> poly_from_roots(const std::vector<double>& roots) {
+  std::vector<double> coeffs{1.0};  // constant polynomial 1
+  for (double root : roots) {
+    // multiply by (x - root)
+    std::vector<double> next(coeffs.size() + 1, 0.0);
+    for (std::size_t i = 0; i < coeffs.size(); ++i) {
+      next[i + 1] += coeffs[i];
+      next[i] -= root * coeffs[i];
+    }
+    coeffs = std::move(next);
+  }
+  return coeffs;  // coeffs[k] multiplies x^k
+}
+
+}  // namespace
+
+WinogradTransform cook_toom(int m, int r, const std::vector<double>& points) {
+  if (m < 1 || r < 1) throw std::invalid_argument("cook_toom: m,r must be >=1");
+  const int n = m + r - 1;
+  const int finite = n - 1;  // the last interpolation point is infinity
+  if (static_cast<int>(points.size()) != finite) {
+    throw std::invalid_argument("cook_toom: need exactly " +
+                                std::to_string(finite) + " finite points");
+  }
+  if (std::set<double>(points.begin(), points.end()).size() != points.size()) {
+    throw std::invalid_argument("cook_toom: points must be distinct");
+  }
+
+  // Evaluation matrices for the polynomial-multiplication formulation:
+  // rows 0..n-2 evaluate at finite points, the final row picks the leading
+  // coefficient (evaluation "at infinity").
+  auto evaluation = [&](int cols) {
+    Matrix v(n, cols);
+    for (int i = 0; i < finite; ++i) {
+      double p = 1.0;
+      for (int j = 0; j < cols; ++j) {
+        v.at(i, j) = p;
+        p *= points[i];
+      }
+    }
+    v.at(n - 1, cols - 1) = 1.0;
+    return v;
+  };
+
+  // Coefficient-extraction matrix C of the multiplication algorithm:
+  // s(x) = v_inf * M(x) + sum_i v_i * L_i(x), where M is the monic
+  // polynomial vanishing at all finite points (so adding it does not disturb
+  // the interpolated values) and L_i are the Lagrange basis polynomials.
+  // The product polynomial has degree n-1; L_i have degree n-2, M degree n-1.
+  Matrix c(n, n);
+  for (int i = 0; i < finite; ++i) {
+    std::vector<double> other;
+    other.reserve(finite - 1);
+    double denom = 1.0;
+    for (int j = 0; j < finite; ++j) {
+      if (j == i) continue;
+      other.push_back(points[j]);
+      denom *= points[i] - points[j];
+    }
+    const std::vector<double> numer = poly_from_roots(other);
+    for (std::size_t k = 0; k < numer.size(); ++k) {
+      c.at(static_cast<int>(k), i) = numer[k] / denom;
+    }
+  }
+  const std::vector<double> mpoly = poly_from_roots(points);
+  for (std::size_t k = 0; k < mpoly.size(); ++k) {
+    c.at(static_cast<int>(k), n - 1) = mpoly[k];
+  }
+
+  // Transposition principle: the correlation F(m, r) uses the data-side
+  // evaluation matrix transposed as the output transform and the
+  // coefficient matrix transposed as the input transform.
+  WinogradTransform t;
+  t.m = m;
+  t.r = r;
+  t.g = evaluation(r);
+  t.at = evaluation(m).transposed();
+  t.bt = c.transposed();
+
+  // Balance the per-point scaling: multiplying row i of G by s_i and row i
+  // of B^T by 1/s_i leaves Y = A^T[(Gg) .* (B^T d)]A unchanged (each
+  // element-wise product keeps its value). Equalizing the row magnitudes
+  // dramatically improves the conditioning of the fixed-point datapath —
+  // the same normalization Lavin bakes into the canned r=3 matrices.
+  for (int i = 0; i < n; ++i) {
+    double g_mag = 0.0, bt_mag = 0.0;
+    for (int j = 0; j < r; ++j) g_mag = std::max(g_mag, std::abs(t.g.at(i, j)));
+    for (int j = 0; j < n; ++j) {
+      bt_mag = std::max(bt_mag, std::abs(t.bt.at(i, j)));
+    }
+    if (g_mag <= 0.0 || bt_mag <= 0.0) continue;
+    const double s = std::sqrt(bt_mag / g_mag);
+    for (int j = 0; j < r; ++j) t.g.at(i, j) *= s;
+    for (int j = 0; j < n; ++j) t.bt.at(i, j) /= s;
+  }
+  return t;
+}
+
+std::vector<double> default_points(int count) {
+  // The conventional sequence balancing numeric conditioning: 0, then
+  // +/-2^k and +/-2^-k pairs. Matches the point sets used for the canned
+  // r=3 transforms.
+  static const std::vector<double> seq = {0,   1,        -1,       2,
+                                          -2,  0.5,      -0.5,     4,
+                                          -4,  0.25,     -0.25,    8,
+                                          -8,  0.125,    -0.125,   16,
+                                          -16, 0.0625,   -0.0625,  32};
+  if (count > static_cast<int>(seq.size())) {
+    throw std::invalid_argument("default_points: sequence exhausted");
+  }
+  return {seq.begin(), seq.begin() + count};
+}
+
+WinogradTransform winograd(int m, int r) {
+  if (m == 2 && r == 3) return winograd_f2x3();
+  if (m == 4 && r == 3) return winograd_f4x3();
+  return cook_toom(m, r, default_points(m + r - 2));
+}
+
+double verify_1d(const WinogradTransform& t, const std::vector<double>& g,
+                 const std::vector<double>& d) {
+  if (static_cast<int>(g.size()) != t.r || static_cast<int>(d.size()) != t.n()) {
+    throw std::invalid_argument("verify_1d: size mismatch");
+  }
+  const std::vector<double> gg = t.g.apply(g);
+  const std::vector<double> dd = t.bt.apply(d);
+  std::vector<double> prod(gg.size());
+  for (std::size_t i = 0; i < prod.size(); ++i) prod[i] = gg[i] * dd[i];
+  const std::vector<double> y = t.at.apply(prod);
+
+  double worst = 0.0;
+  for (int i = 0; i < t.m; ++i) {
+    double direct = 0.0;
+    for (int u = 0; u < t.r; ++u) direct += g[u] * d[i + u];
+    worst = std::max(worst, std::abs(y[i] - direct));
+  }
+  return worst;
+}
+
+}  // namespace hetacc::algo

@@ -1,0 +1,63 @@
+#pragma once
+// Winograd minimal-filtering transforms F(m, r) (Winograd 1980; Lavin 2015;
+// paper §2.1). Provides the canned matrices used in the FPGA literature for
+// r = 3 and a general Cook-Toom generator so non-3x3 kernels (e.g. AlexNet's
+// 5x5 conv2, which the paper's Table 2 maps to Winograd) are covered too.
+
+#include "algo/matrix.h"
+
+namespace hetacc::algo {
+
+/// The three transform matrices of Y = A^T [(G g) elemwise (B^T d)] A.
+///   B^T : n x n   input (data) transform,     n = m + r - 1
+///   G   : n x r   filter transform
+///   A^T : m x n   output (inverse) transform
+struct WinogradTransform {
+  int m = 0;  ///< outputs per 1-D application
+  int r = 0;  ///< filter taps
+  Matrix bt;  ///< B^T
+  Matrix g;   ///< G
+  Matrix at;  ///< A^T
+
+  [[nodiscard]] int n() const { return m + r - 1; }
+
+  /// Multiplications a 2-D F(mxm, rxr) tile costs: n^2 (vs m^2 r^2 direct).
+  [[nodiscard]] long long tile_mults_2d() const {
+    return static_cast<long long>(n()) * n();
+  }
+  [[nodiscard]] long long direct_tile_mults_2d() const {
+    return static_cast<long long>(m) * m * r * r;
+  }
+  /// Multiplication-reduction factor of the 2-D algorithm (paper: 4x for
+  /// F(4x4, 3x3)).
+  [[nodiscard]] double reduction_2d() const {
+    return static_cast<double>(direct_tile_mults_2d()) /
+           static_cast<double>(tile_mults_2d());
+  }
+};
+
+/// The canned matrices of Lavin's paper for r = 3 (the exact constants FPGA
+/// implementations hard-wire as shift/add networks).
+[[nodiscard]] WinogradTransform winograd_f2x3();
+[[nodiscard]] WinogradTransform winograd_f4x3();
+
+/// General Cook-Toom construction for F(m, r) with the given finite
+/// interpolation points (m + r - 2 of them; the final point is infinity).
+/// Throws if points are not distinct or too few/many are supplied.
+[[nodiscard]] WinogradTransform cook_toom(int m, int r,
+                                          const std::vector<double>& points);
+
+/// F(m, r) with the conventional good default point set
+/// {0, 1, -1, 2, -2, 1/2, -1/2, 4, -4, ...}. Supports any m >= 1, r >= 1.
+[[nodiscard]] WinogradTransform winograd(int m, int r);
+
+/// The default point sequence used by winograd(m, r), first `count` entries.
+[[nodiscard]] std::vector<double> default_points(int count);
+
+/// Verifies the algebraic identity on a specific (g, d) pair: returns the
+/// max abs error between A^T[(Gg) .* (B^T d)] and the direct FIR result.
+[[nodiscard]] double verify_1d(const WinogradTransform& t,
+                               const std::vector<double>& g,
+                               const std::vector<double>& d);
+
+}  // namespace hetacc::algo

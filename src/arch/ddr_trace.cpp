@@ -1,0 +1,115 @@
+#include "arch/ddr_trace.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace hetacc::arch {
+
+std::string_view to_string(DdrOp op) {
+  switch (op) {
+    case DdrOp::kLoadFeature: return "load_feature";
+    case DdrOp::kStoreFeature: return "store_feature";
+    case DdrOp::kLoadWeights: return "load_weights";
+  }
+  return "?";
+}
+
+long long DdrTrace::feature_bytes() const {
+  long long n = 0;
+  for (const auto& t : transactions) {
+    if (t.op != DdrOp::kLoadWeights) n += t.bytes;
+  }
+  return n;
+}
+
+long long DdrTrace::weight_bytes() const {
+  long long n = 0;
+  for (const auto& t : transactions) {
+    if (t.op == DdrOp::kLoadWeights) n += t.bytes;
+  }
+  return n;
+}
+
+long long DdrTrace::total_bytes() const {
+  return feature_bytes() + weight_bytes();
+}
+
+double DdrTrace::bandwidth_utilization(const fpga::Device& dev) const {
+  if (total_cycles <= 0) return 0.0;
+  const double capacity = dev.bytes_per_cycle() *
+                          static_cast<double>(total_cycles);
+  return capacity > 0.0 ? static_cast<double>(total_bytes()) / capacity : 0.0;
+}
+
+std::string DdrTrace::to_csv() const {
+  std::ostringstream os;
+  os << "group,op,what,bytes,start_cycle,end_cycle\n";
+  for (const auto& t : transactions) {
+    os << t.group << ',' << to_string(t.op) << ',' << t.what << ','
+       << t.bytes << ',' << t.start_cycle << ',' << t.end_cycle << '\n';
+  }
+  return os.str();
+}
+
+DdrTrace trace_strategy(const core::Strategy& s, const nn::Network& net,
+                        const fpga::Device& dev) {
+  DdrTrace trace;
+  long long clock = 0;
+  const double bpc = dev.bytes_per_cycle();
+  auto cycles_for = [&](long long bytes) {
+    return static_cast<long long>(
+        std::ceil(static_cast<double>(bytes) / bpc));
+  };
+
+  for (std::size_t gi = 0; gi < s.groups.size(); ++gi) {
+    const auto& g = s.groups[gi];
+    const long long group_start = clock;
+
+    // Weights stream in up front (resident for the group's execution).
+    long long t = group_start;
+    for (std::size_t k = 0; k < g.impls.size(); ++k) {
+      const long long bytes = g.impls[k].weight_words * dev.data_bytes;
+      if (bytes == 0) continue;
+      DdrTransaction tx;
+      tx.op = DdrOp::kLoadWeights;
+      tx.group = gi;
+      tx.what = net[g.first + k].name;
+      tx.bytes = bytes;
+      tx.start_cycle = t;
+      tx.end_cycle = t + cycles_for(bytes);
+      t = tx.end_cycle;
+      trace.transactions.push_back(std::move(tx));
+    }
+
+    // Input load and output store stretch over the group's execution
+    // (streamed row by row, overlapped with compute — Fig. 2(d)).
+    const long long exec_start = t;
+    const long long exec_end = group_start + g.timing.latency_cycles;
+    {
+      DdrTransaction tx;
+      tx.op = DdrOp::kLoadFeature;
+      tx.group = gi;
+      tx.what = net[g.first].name + ".in";
+      tx.bytes = net[g.first].in.bytes(dev.data_bytes);
+      tx.start_cycle = exec_start;
+      tx.end_cycle = std::max(exec_start + cycles_for(tx.bytes), exec_start);
+      trace.transactions.push_back(std::move(tx));
+    }
+    {
+      DdrTransaction tx;
+      tx.op = DdrOp::kStoreFeature;
+      tx.group = gi;
+      tx.what = net[g.last].name + ".out";
+      tx.bytes = net[g.last].out.bytes(dev.data_bytes);
+      tx.end_cycle = std::max(exec_end, exec_start + 1);
+      tx.start_cycle = std::max(exec_start,
+                                tx.end_cycle - cycles_for(tx.bytes));
+      trace.transactions.push_back(std::move(tx));
+    }
+    clock = std::max(exec_end, exec_start + 1);
+  }
+  trace.total_cycles = clock;
+  return trace;
+}
+
+}  // namespace hetacc::arch

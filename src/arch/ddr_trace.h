@@ -1,0 +1,46 @@
+#pragma once
+// DDR traffic timeline for a strategy: per-group load/store/weight
+// transactions with byte counts and modeled time windows. Used to audit the
+// optimizer's transfer accounting, to drive the energy model with an
+// explicit transaction list, and to visualize where the bandwidth goes.
+
+#include <string>
+#include <vector>
+
+#include "core/strategy.h"
+
+namespace hetacc::arch {
+
+enum class DdrOp : std::uint8_t { kLoadFeature, kStoreFeature, kLoadWeights };
+
+[[nodiscard]] std::string_view to_string(DdrOp op);
+
+struct DdrTransaction {
+  DdrOp op = DdrOp::kLoadFeature;
+  std::size_t group = 0;
+  std::string what;        ///< layer / buffer description
+  long long bytes = 0;
+  long long start_cycle = 0;
+  long long end_cycle = 0;
+};
+
+struct DdrTrace {
+  std::vector<DdrTransaction> transactions;
+  long long total_cycles = 0;
+
+  [[nodiscard]] long long feature_bytes() const;
+  [[nodiscard]] long long weight_bytes() const;
+  [[nodiscard]] long long total_bytes() const;
+  /// Mean fraction of the peak bandwidth in use over the run.
+  [[nodiscard]] double bandwidth_utilization(const fpga::Device& dev) const;
+  [[nodiscard]] std::string to_csv() const;
+};
+
+/// Builds the timeline for sequentially executed groups: each group loads
+/// its weights, then streams its input while computing and storing its
+/// output (overlapped, per the intra-layer pipeline of paper Fig. 2(d)).
+[[nodiscard]] DdrTrace trace_strategy(const core::Strategy& s,
+                                      const nn::Network& net,
+                                      const fpga::Device& dev);
+
+}  // namespace hetacc::arch

@@ -1,0 +1,395 @@
+#include "arch/engines.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "fixed/fixed16.h"
+
+namespace hetacc::arch {
+
+namespace {
+
+float maybe_quantize(float v, int frac) {
+  return frac >= 0 ? fixed::quantize_to_float(v, frac) : v;
+}
+
+/// Common row-ingestion machinery: presents the input as a padded stream of
+/// rows held in a circular line buffer. Vertical padding rows are
+/// synthesized, horizontal padding is embedded in the buffered row.
+class RowWindowBase : public StreamEngine {
+ public:
+  RowWindowBase(const nn::Layer& layer, int lines, NumericMode mode)
+      : layer_(layer), mode_(mode), pad_(layer.padding()),
+        padded_w_(layer.in.w + 2 * layer.padding()),
+        padded_h_(layer.in.h + 2 * layer.padding()),
+        lb_(layer.in.c, layer.in.w + 2 * layer.padding(), lines) {}
+
+  [[nodiscard]] const nn::Layer& layer() const override { return layer_; }
+  [[nodiscard]] int line_buffer_lines() const override { return lb_.lines(); }
+  [[nodiscard]] bool done() const override {
+    return rows_emitted_ == layer_.out.h;
+  }
+
+  bool step(RowFifo& in, RowFifo& out) override {
+    if (done()) return false;
+    // Prefer emitting (drains the pipeline) over ingesting.
+    if (window_ready()) {
+      out.push(emit_row());
+      ++rows_emitted_;
+      return true;
+    }
+    return ingest(in);
+  }
+
+ protected:
+  /// Next padded row index still to be pushed into the line buffer.
+  [[nodiscard]] long long pushed() const { return lb_.next_row(); }
+
+  bool ingest(RowFifo& in) {
+    if (pushed() >= padded_h_) return false;
+    const long long padded_row = pushed();
+    const bool synthetic =
+        padded_row < pad_ || padded_row >= pad_ + layer_.in.h;
+    if (synthetic) {
+      lb_.push_row(std::vector<float>(
+          static_cast<std::size_t>(layer_.in.c) * padded_w_, 0.0f));
+      return true;
+    }
+    if (in.empty()) return false;
+    const Row r = in.pop();
+    if (static_cast<int>(r.data.size()) != layer_.in.c * layer_.in.w) {
+      throw std::runtime_error("engine '" + layer_.name +
+                               "': unexpected input row width");
+    }
+    std::vector<float> padded(
+        static_cast<std::size_t>(layer_.in.c) * padded_w_, 0.0f);
+    for (int c = 0; c < layer_.in.c; ++c) {
+      for (int w = 0; w < layer_.in.w; ++w) {
+        padded[static_cast<std::size_t>(c) * padded_w_ + pad_ + w] =
+            maybe_quantize(r.data[static_cast<std::size_t>(c) * layer_.in.w + w],
+                           mode_.in_frac);
+      }
+    }
+    lb_.push_row(padded);
+    return true;
+  }
+
+  /// True when the line buffer holds every padded row the next output row
+  /// (or row block) needs.
+  [[nodiscard]] virtual bool window_ready() const = 0;
+  [[nodiscard]] virtual Row emit_row() = 0;
+
+  const nn::Layer layer_;
+  const NumericMode mode_;
+  const int pad_;
+  const int padded_w_;
+  const long long padded_h_;
+  CircularLineBuffer lb_;
+  int rows_emitted_ = 0;
+};
+
+// --------------------------------------------------------------------------
+class ConvDirectEngine final : public RowWindowBase {
+ public:
+  ConvDirectEngine(const nn::Layer& layer, const nn::ConvWeights& w,
+                   NumericMode mode)
+      // Paper §4.2: the conventional line buffer has K + S lines.
+      : RowWindowBase(layer, layer.conv().kernel + layer.conv().stride, mode),
+        w_(w) {}
+
+ private:
+  [[nodiscard]] bool window_ready() const override {
+    const int k = layer_.conv().kernel;
+    const int s = layer_.conv().stride;
+    return pushed() >= static_cast<long long>(rows_emitted_) * s + k;
+  }
+
+  [[nodiscard]] Row emit_row() override {
+    const auto& cp = layer_.conv();
+    const int k = cp.kernel, s = cp.stride;
+    const long long top = static_cast<long long>(rows_emitted_) * s;
+    Row r;
+    r.data.resize(static_cast<std::size_t>(layer_.out.c) * layer_.out.w);
+    for (int n = 0; n < layer_.out.c; ++n) {
+      const float bias = w_.bias.empty() ? 0.0f : w_.bias[n];
+      for (int j = 0; j < layer_.out.w; ++j) {
+        double acc = bias;
+        for (int m = 0; m < layer_.in.c; ++m) {
+          for (int u = 0; u < k; ++u) {
+            for (int v = 0; v < k; ++v) {
+              acc += static_cast<double>(lb_.at(m, top + u, j * s + v)) *
+                     w_.filters.at(n, m, u, v);
+            }
+          }
+        }
+        float val = static_cast<float>(acc);
+        if (cp.fused_relu) val = std::max(val, 0.0f);
+        r.data[static_cast<std::size_t>(n) * layer_.out.w + j] =
+            maybe_quantize(val, mode_.out_frac);
+      }
+    }
+    return r;
+  }
+
+  nn::ConvWeights w_;
+};
+
+// --------------------------------------------------------------------------
+class WinogradEngine final : public RowWindowBase {
+ public:
+  WinogradEngine(const nn::Layer& layer, const nn::ConvWeights& w,
+                 const algo::WinogradTransform& t, NumericMode mode)
+      // n rows in flight through the transform plus m streaming in.
+      : RowWindowBase(layer, t.n() + t.m, mode),
+        t_(t),
+        tf_(algo::transform_filters(t, w.filters)),
+        bias_(w.bias) {
+    if (layer.conv().stride != 1) {
+      throw std::invalid_argument("WinogradEngine requires stride 1");
+    }
+    if (layer.conv().kernel != t.r) {
+      throw std::invalid_argument("WinogradEngine: kernel != r");
+    }
+  }
+
+ private:
+  [[nodiscard]] bool window_ready() const override {
+    if (!block_.empty()) return true;  // rows already computed, still emitting
+    const long long b = rows_emitted_ / t_.m;
+    // Bottom tiles may hang past the padded edge; the overhang is zero-fill,
+    // so only in-range rows are required.
+    const long long need =
+        std::min<long long>(b * t_.m + t_.n(), padded_h_);
+    return pushed() >= need;
+  }
+
+  [[nodiscard]] Row emit_row() override {
+    if (block_.empty()) compute_block();
+    Row r = std::move(block_.front());
+    block_.erase(block_.begin());
+    return r;
+  }
+
+  void compute_block() {
+    const int n = t_.n(), m = t_.m;
+    const long long b = rows_emitted_ / m;
+    const long long top = b * m;
+    const int rows_this_block =
+        static_cast<int>(std::min<long long>(m, layer_.out.h - top));
+    block_.assign(static_cast<std::size_t>(rows_this_block), Row{});
+    for (auto& row : block_) {
+      row.data.assign(static_cast<std::size_t>(layer_.out.c) * layer_.out.w,
+                      0.0f);
+    }
+
+    const int tiles_w = (layer_.out.w + m - 1) / m;
+    std::vector<algo::Matrix> v(static_cast<std::size_t>(layer_.in.c));
+    for (int tj = 0; tj < tiles_w; ++tj) {
+      for (int c = 0; c < layer_.in.c; ++c) {
+        algo::Matrix d(n, n);
+        for (int u = 0; u < n; ++u) {
+          for (int vv = 0; vv < n; ++vv) {
+            const int col = tj * m + vv;
+            d.at(u, vv) = (col < padded_w_ && top + u < padded_h_)
+                              ? lb_.at(c, top + u, col)
+                              : 0.0;
+          }
+        }
+        v[static_cast<std::size_t>(c)] = t_.bt * d * t_.bt.transposed();
+      }
+      for (int oc = 0; oc < layer_.out.c; ++oc) {
+        algo::Matrix acc(n, n);
+        for (int c = 0; c < layer_.in.c; ++c) {
+          const algo::Matrix& u = tf_.at(oc, c);
+          const algo::Matrix& vv = v[static_cast<std::size_t>(c)];
+          for (int a = 0; a < n; ++a) {
+            for (int bb = 0; bb < n; ++bb) {
+              acc.at(a, bb) += u.at(a, bb) * vv.at(a, bb);
+            }
+          }
+        }
+        const algo::Matrix y = t_.at * acc * t_.at.transposed();
+        const float bias = bias_.empty() ? 0.0f : bias_[oc];
+        for (int a = 0; a < rows_this_block; ++a) {
+          for (int bb = 0; bb < m; ++bb) {
+            const int col = tj * m + bb;
+            if (col >= layer_.out.w) break;
+            float val = static_cast<float>(y.at(a, bb)) + bias;
+            if (layer_.conv().fused_relu) val = std::max(val, 0.0f);
+            block_[static_cast<std::size_t>(a)]
+                .data[static_cast<std::size_t>(oc) * layer_.out.w + col] =
+                maybe_quantize(val, mode_.out_frac);
+          }
+        }
+      }
+    }
+  }
+
+  algo::WinogradTransform t_;
+  algo::TransformedFilters tf_;
+  std::vector<float> bias_;
+  std::vector<Row> block_;
+};
+
+// --------------------------------------------------------------------------
+class PoolEngine final : public RowWindowBase {
+ public:
+  PoolEngine(const nn::Layer& layer, NumericMode mode)
+      : RowWindowBase(layer, layer.pool().kernel + layer.pool().stride, mode) {}
+
+ private:
+  [[nodiscard]] bool window_ready() const override {
+    const auto& pp = layer_.pool();
+    // Caffe's ceil rounding can leave the last window hanging past the
+    // padded bottom edge; it is clipped, so only in-range rows are required.
+    const long long need = std::min<long long>(
+        static_cast<long long>(rows_emitted_) * pp.stride + pp.kernel,
+        padded_h_);
+    return pushed() >= need;
+  }
+
+  [[nodiscard]] Row emit_row() override {
+    const auto& pp = layer_.pool();
+    const long long top = static_cast<long long>(rows_emitted_) * pp.stride;
+    Row r;
+    r.data.resize(static_cast<std::size_t>(layer_.out.c) * layer_.out.w);
+    for (int c = 0; c < layer_.in.c; ++c) {
+      for (int j = 0; j < layer_.out.w; ++j) {
+        float best = -std::numeric_limits<float>::infinity();
+        float sum = 0.0f;
+        int count = 0;
+        for (int u = 0; u < pp.kernel; ++u) {
+          const long long hp = top + u;
+          const long long h = hp - pad_;  // real input row
+          if (h < 0 || h >= layer_.in.h) continue;
+          for (int v = 0; v < pp.kernel; ++v) {
+            const int wp = j * pp.stride + v;
+            const int w = wp - pad_;
+            if (w < 0 || w >= layer_.in.w) continue;
+            const float x = lb_.at(c, hp, wp);
+            best = std::max(best, x);
+            sum += x;
+            ++count;
+          }
+        }
+        const float val =
+            (pp.method == nn::PoolMethod::kMax)
+                ? best
+                : (count ? sum / static_cast<float>(count) : 0.0f);
+        r.data[static_cast<std::size_t>(c) * layer_.out.w + j] =
+            maybe_quantize(val, mode_.out_frac);
+      }
+    }
+    return r;
+  }
+};
+
+// --------------------------------------------------------------------------
+class LrnEngine final : public StreamEngine {
+ public:
+  LrnEngine(const nn::Layer& layer, NumericMode mode)
+      : layer_(layer), mode_(mode) {}
+
+  [[nodiscard]] const nn::Layer& layer() const override { return layer_; }
+  [[nodiscard]] int line_buffer_lines() const override { return 2; }
+  [[nodiscard]] bool done() const override {
+    return rows_emitted_ == layer_.out.h;
+  }
+
+  bool step(RowFifo& in, RowFifo& out) override {
+    if (done() || in.empty()) return false;
+    const Row r = in.pop();
+    const auto& p = layer_.lrn();
+    const int C = layer_.in.c, W = layer_.in.w;
+    const int half = p.local_size / 2;
+    Row o;
+    o.data.resize(r.data.size());
+    for (int c = 0; c < C; ++c) {
+      const int lo = std::max(0, c - half);
+      const int hi = std::min(C - 1, c + half);
+      for (int w = 0; w < W; ++w) {
+        float ss = 0.0f;
+        for (int cc = lo; cc <= hi; ++cc) {
+          const float x = maybe_quantize(
+              r.data[static_cast<std::size_t>(cc) * W + w], mode_.in_frac);
+          ss += x * x;
+        }
+        const float denom = std::pow(
+            p.k + p.alpha / static_cast<float>(p.local_size) * ss, p.beta);
+        const float x = maybe_quantize(
+            r.data[static_cast<std::size_t>(c) * W + w], mode_.in_frac);
+        o.data[static_cast<std::size_t>(c) * W + w] =
+            maybe_quantize(x / denom, mode_.out_frac);
+      }
+    }
+    out.push(std::move(o));
+    ++rows_emitted_;
+    return true;
+  }
+
+ private:
+  const nn::Layer layer_;
+  const NumericMode mode_;
+  int rows_emitted_ = 0;
+};
+
+// --------------------------------------------------------------------------
+class ReluEngine final : public StreamEngine {
+ public:
+  ReluEngine(const nn::Layer& layer, NumericMode mode)
+      : layer_(layer), mode_(mode) {}
+
+  [[nodiscard]] const nn::Layer& layer() const override { return layer_; }
+  [[nodiscard]] int line_buffer_lines() const override { return 1; }
+  [[nodiscard]] bool done() const override {
+    return rows_emitted_ == layer_.out.h;
+  }
+
+  bool step(RowFifo& in, RowFifo& out) override {
+    if (done() || in.empty()) return false;
+    Row r = in.pop();
+    for (auto& x : r.data) {
+      x = maybe_quantize(std::max(x, 0.0f), mode_.out_frac);
+    }
+    out.push(std::move(r));
+    ++rows_emitted_;
+    return true;
+  }
+
+ private:
+  const nn::Layer layer_;
+  const NumericMode mode_;
+  int rows_emitted_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<StreamEngine> make_engine(
+    const nn::Layer& layer, const nn::ConvWeights* weights,
+    std::optional<algo::WinogradTransform> wino, NumericMode mode) {
+  switch (layer.kind) {
+    case nn::LayerKind::kConv: {
+      if (!weights) {
+        throw std::invalid_argument("conv engine needs weights ('" +
+                                    layer.name + "')");
+      }
+      if (wino) {
+        return std::make_unique<WinogradEngine>(layer, *weights, *wino, mode);
+      }
+      return std::make_unique<ConvDirectEngine>(layer, *weights, mode);
+    }
+    case nn::LayerKind::kPool:
+      return std::make_unique<PoolEngine>(layer, mode);
+    case nn::LayerKind::kLrn:
+      return std::make_unique<LrnEngine>(layer, mode);
+    case nn::LayerKind::kRelu:
+      return std::make_unique<ReluEngine>(layer, mode);
+    default:
+      throw std::invalid_argument("no streaming engine for layer kind '" +
+                                  std::string(nn::to_string(layer.kind)) +
+                                  "'");
+  }
+}
+
+}  // namespace hetacc::arch

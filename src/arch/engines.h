@@ -1,0 +1,47 @@
+#pragma once
+// Streaming layer engines: row-in/row-out functional models of the hardware
+// units the code generator emits. Each engine owns a circular line buffer
+// (paper §4.2) and implements one layer kind; chained through RowFifos they
+// form the fusion pipeline of Fig. 2.
+
+#include <memory>
+#include <optional>
+
+#include "algo/winograd_conv.h"
+#include "arch/fifo.h"
+#include "arch/line_buffer.h"
+#include "nn/layer.h"
+#include "nn/weights.h"
+
+namespace hetacc::arch {
+
+/// Numeric mode of an engine's datapath. `out_frac < 0` keeps the engine in
+/// float mode; otherwise inputs and outputs are quantized to Q(frac) 16-bit
+/// grids, modeling the fixed datapath of the generated hardware.
+struct NumericMode {
+  int in_frac = -1;
+  int out_frac = -1;
+  [[nodiscard]] bool fixed() const { return out_frac >= 0; }
+};
+
+class StreamEngine {
+ public:
+  virtual ~StreamEngine() = default;
+
+  /// Performs at most one unit of work (emit one output row, or absorb one
+  /// input row). Returns true iff progress was made.
+  virtual bool step(RowFifo& in, RowFifo& out) = 0;
+  /// True once every output row has been emitted.
+  [[nodiscard]] virtual bool done() const = 0;
+  [[nodiscard]] virtual const nn::Layer& layer() const = 0;
+  /// Line-buffer rows this engine instantiates (for resource cross-checks).
+  [[nodiscard]] virtual int line_buffer_lines() const = 0;
+};
+
+/// Factory covering all fusable layer kinds. `wino` selects the Winograd
+/// algorithm for conv layers (nullopt = conventional).
+[[nodiscard]] std::unique_ptr<StreamEngine> make_engine(
+    const nn::Layer& layer, const nn::ConvWeights* weights,
+    std::optional<algo::WinogradTransform> wino, NumericMode mode);
+
+}  // namespace hetacc::arch

@@ -1,0 +1,39 @@
+#pragma once
+// Discrete-event simulation of a fusion group's DATAFLOW region with
+// finite inter-layer FIFOs and backpressure. The row-level schedule
+// recurrence (pipeline.h) assumes unbounded channels; this simulator
+// models the STREAM depth pragma the code generator emits (§6) and
+// answers how deep the FIFOs must be before backpressure stops costing
+// cycles — e.g. Winograd engines emit m rows per tile burst, so shallow
+// FIFOs stall them.
+
+#include <vector>
+
+#include "core/strategy.h"
+
+namespace hetacc::arch {
+
+struct EventSimResult {
+  bool completed = false;       ///< false = deadlock (cannot happen for cap>=1)
+  long long makespan_cycles = 0;
+  std::vector<std::size_t> fifo_max_occupancy;  ///< per channel (incl. DDR ends)
+  long long producer_stall_cycles = 0;  ///< time engines waited on full FIFOs
+};
+
+/// Simulates layers [first, last] of `net` with the given implementations.
+/// `fifo_capacity_rows` bounds every inter-layer channel (the DDR-facing
+/// source and sink are not bounded). Row granularity: one token = one
+/// feature-map row.
+[[nodiscard]] EventSimResult simulate_dataflow(
+    const nn::Network& net, std::size_t first, std::size_t last,
+    const std::vector<fpga::Implementation>& impls, const fpga::Device& dev,
+    std::size_t fifo_capacity_rows);
+
+/// Smallest uniform FIFO capacity whose makespan is within `tolerance`
+/// (fractional) of the unbounded-channel makespan.
+[[nodiscard]] std::size_t minimal_fifo_depth_rows(
+    const nn::Network& net, std::size_t first, std::size_t last,
+    const std::vector<fpga::Implementation>& impls, const fpga::Device& dev,
+    double tolerance = 0.02);
+
+}  // namespace hetacc::arch

@@ -1,0 +1,50 @@
+#pragma once
+// On-chip FIFO channel between fused layers (paper §6: "the FIFO channels
+// are used" because the line-buffer architecture makes all inter-layer
+// accesses sequential). Tracks occupancy statistics so tests can verify the
+// streaming design never needs ping-pong buffers.
+
+#include <deque>
+#include <stdexcept>
+#include <vector>
+
+namespace hetacc::arch {
+
+/// One raster row of an M-channel feature map: data[c * width + w].
+struct Row {
+  std::vector<float> data;
+};
+
+class RowFifo {
+ public:
+  explicit RowFifo(std::size_t capacity_rows = SIZE_MAX)
+      : capacity_(capacity_rows) {}
+
+  [[nodiscard]] bool empty() const { return q_.empty(); }
+  [[nodiscard]] bool full() const { return q_.size() >= capacity_; }
+  [[nodiscard]] std::size_t size() const { return q_.size(); }
+  [[nodiscard]] std::size_t max_occupancy() const { return max_occupancy_; }
+  [[nodiscard]] long long total_pushed() const { return pushed_; }
+
+  void push(Row r) {
+    if (full()) throw std::runtime_error("RowFifo overflow");
+    q_.push_back(std::move(r));
+    ++pushed_;
+    max_occupancy_ = std::max(max_occupancy_, q_.size());
+  }
+
+  [[nodiscard]] Row pop() {
+    if (empty()) throw std::runtime_error("RowFifo underflow");
+    Row r = std::move(q_.front());
+    q_.pop_front();
+    return r;
+  }
+
+ private:
+  std::size_t capacity_;
+  std::deque<Row> q_;
+  std::size_t max_occupancy_ = 0;
+  long long pushed_ = 0;
+};
+
+}  // namespace hetacc::arch

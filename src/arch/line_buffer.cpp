@@ -1,0 +1,29 @@
+#include "arch/line_buffer.h"
+
+namespace hetacc::arch {
+
+void CircularLineBuffer::push_row(const std::vector<float>& row) {
+  if (static_cast<int>(row.size()) != channels_ * width_) {
+    throw std::invalid_argument("push_row: wrong row size");
+  }
+  const auto line = static_cast<std::size_t>(next_row_ % lines_);
+  float* dst = data_.data() + line * channels_ * width_;
+  std::copy(row.begin(), row.end(), dst);
+  ++next_row_;
+}
+
+float CircularLineBuffer::at(int channel, long long row, int col) const {
+  if (channel < 0 || channel >= channels_ || col < 0 || col >= width_) {
+    throw std::out_of_range("CircularLineBuffer::at: bad channel/col");
+  }
+  if (!contains(row)) {
+    throw std::out_of_range(
+        "CircularLineBuffer::at: row " + std::to_string(row) +
+        " not resident (window [" + std::to_string(oldest_row()) + ", " +
+        std::to_string(next_row_) + "))");
+  }
+  const auto line = static_cast<std::size_t>(row % lines_);
+  return data_[(line * channels_ + channel) * width_ + col];
+}
+
+}  // namespace hetacc::arch

@@ -1,0 +1,52 @@
+#pragma once
+// Circular line buffer (paper §4.2, Fig. 2(b)): holds `lines` rows of an
+// M-channel feature map. Rows are pushed in raster order and addressed by
+// their absolute row index; the storage reuses lines modulo `lines`,
+// exactly like the BRAM structure the generated HLS code infers.
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace hetacc::arch {
+
+class CircularLineBuffer {
+ public:
+  CircularLineBuffer(int channels, int width, int lines)
+      : channels_(channels), width_(width), lines_(lines),
+        data_(static_cast<std::size_t>(channels) * width * lines, 0.0f) {
+    if (channels <= 0 || width <= 0 || lines <= 0) {
+      throw std::invalid_argument("CircularLineBuffer: bad geometry");
+    }
+  }
+
+  [[nodiscard]] int channels() const { return channels_; }
+  [[nodiscard]] int width() const { return width_; }
+  [[nodiscard]] int lines() const { return lines_; }
+  /// Absolute index of the next row to be pushed.
+  [[nodiscard]] long long next_row() const { return next_row_; }
+  /// Oldest absolute row still resident.
+  [[nodiscard]] long long oldest_row() const {
+    return next_row_ < lines_ ? 0 : next_row_ - lines_;
+  }
+  [[nodiscard]] bool contains(long long row) const {
+    return row >= oldest_row() && row < next_row_;
+  }
+
+  /// Pushes one row: `row[c * width + w]`. Overwrites the line that has
+  /// rotated out of the reuse window — the "load into line [1, S]" step of
+  /// the paper's walk-through.
+  void push_row(const std::vector<float>& row);
+
+  /// Element access by absolute row index; throws if the row has already
+  /// been overwritten (a correctness guard the hardware enforces by
+  /// schedule construction).
+  [[nodiscard]] float at(int channel, long long row, int col) const;
+
+ private:
+  int channels_, width_, lines_;
+  long long next_row_ = 0;
+  std::vector<float> data_;  ///< [line][channel][col]
+};
+
+}  // namespace hetacc::arch

@@ -1,0 +1,188 @@
+#include "arch/pipeline.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hetacc::arch {
+
+FusionPipeline::FusionPipeline(const nn::Network& net,
+                               const nn::WeightStore& ws,
+                               std::vector<LayerChoice> choices)
+    : net_(net), ws_(ws), choices_(std::move(choices)) {
+  if (net_.empty() || net_[0].kind != nn::LayerKind::kInput) {
+    throw std::invalid_argument("FusionPipeline: net must start with input");
+  }
+  const std::size_t layer_count = net_.size() - 1;
+  if (choices_.empty()) choices_.resize(layer_count);
+  if (choices_.size() != layer_count) {
+    throw std::invalid_argument("FusionPipeline: choices size mismatch");
+  }
+  build_engines();
+}
+
+void FusionPipeline::build_engines() {
+  engines_.clear();
+  for (std::size_t i = 0; i + 1 < net_.size(); ++i) {
+    const nn::Layer& l = net_[i + 1];
+    const nn::ConvWeights* w =
+        (l.kind == nn::LayerKind::kConv) ? &ws_.conv(i + 1) : nullptr;
+    std::optional<algo::WinogradTransform> t;
+    if (l.kind == nn::LayerKind::kConv &&
+        choices_[i].algo == fpga::ConvAlgo::kWinogradStride2) {
+      throw std::invalid_argument(
+          "FusionPipeline: no streaming engine for the stride-2 Winograd "
+          "decomposition yet (use algo::winograd_conv_stride2 directly)");
+    }
+    if (l.kind == nn::LayerKind::kConv &&
+        choices_[i].algo == fpga::ConvAlgo::kWinograd) {
+      t = algo::winograd(choices_[i].wino_m, l.conv().kernel);
+    }
+    engines_.push_back(make_engine(l, w, t, choices_[i].mode));
+  }
+}
+
+nn::Tensor FusionPipeline::run(const nn::Tensor& input) {
+  // Fresh engine state per image (the hardware resets its line-buffer
+  // counters between frames).
+  build_engines();
+  if (input.shape() != net_[0].out) {
+    throw std::invalid_argument("FusionPipeline::run: input shape " +
+                                input.shape().str() + " != " +
+                                net_[0].out.str());
+  }
+  const std::size_t n = engines_.size();
+  std::vector<RowFifo> fifos(n + 1);
+  stats_ = PipelineStats{};
+
+  const nn::Shape out_shape = net_[net_.size() - 1].out;
+  nn::Tensor out(out_shape);
+  int out_rows = 0;
+  int fed_rows = 0;
+
+  // Feed one input row, then let every engine advance as far as it can —
+  // this keeps FIFO occupancy near the hardware steady state instead of
+  // buffering whole feature maps.
+  while (out_rows < out_shape.h) {
+    if (fed_rows < input.shape().h) {
+      Row r;
+      r.data.resize(static_cast<std::size_t>(input.shape().c) *
+                    input.shape().w);
+      for (int c = 0; c < input.shape().c; ++c) {
+        for (int w = 0; w < input.shape().w; ++w) {
+          r.data[static_cast<std::size_t>(c) * input.shape().w + w] =
+              input.at(c, fed_rows, w);
+        }
+      }
+      fifos[0].push(std::move(r));
+      ++fed_rows;
+    }
+
+    bool progressed = true;
+    while (progressed) {
+      progressed = false;
+      for (std::size_t i = 0; i < n; ++i) {
+        while (engines_[i]->step(fifos[i], fifos[i + 1])) {
+          progressed = true;
+          ++stats_.total_steps;
+        }
+      }
+      // Drain finished output rows.
+      while (!fifos[n].empty()) {
+        const Row r = fifos[n].pop();
+        if (out_rows >= out_shape.h) {
+          throw std::runtime_error("pipeline produced too many rows");
+        }
+        for (int c = 0; c < out_shape.c; ++c) {
+          for (int w = 0; w < out_shape.w; ++w) {
+            out.at(c, out_rows, w) =
+                r.data[static_cast<std::size_t>(c) * out_shape.w + w];
+          }
+        }
+        ++out_rows;
+        progressed = true;
+      }
+    }
+    if (fed_rows >= input.shape().h && out_rows < out_shape.h &&
+        !progressed) {
+      // One more sweep is attempted by the loop; if nothing moves and no
+      // input remains, the pipeline is deadlocked — a design bug.
+      bool anything = false;
+      for (std::size_t i = 0; i < n && !anything; ++i) {
+        anything = engines_[i]->step(fifos[i], fifos[i + 1]);
+      }
+      if (!anything && fifos[n].empty()) {
+        throw std::runtime_error("pipeline stalled before completion");
+      }
+    }
+  }
+
+  stats_.fifo_max_occupancy.clear();
+  for (const auto& f : fifos) stats_.fifo_max_occupancy.push_back(f.max_occupancy());
+  return out;
+}
+
+ScheduleResult simulate_schedule(const nn::Network& net, std::size_t first,
+                                 std::size_t last,
+                                 const std::vector<fpga::Implementation>& impls,
+                                 const fpga::Device& dev) {
+  if (first > last || last >= net.size() ||
+      impls.size() != last - first + 1) {
+    throw std::invalid_argument("simulate_schedule: bad range");
+  }
+  const double bpc = dev.bytes_per_cycle();
+
+  // Ready times of the producer's rows; starts as the DDR load schedule of
+  // the group's input feature map.
+  const nn::Shape in_shape = net[first].in;
+  const double in_row_cycles =
+      static_cast<double>(in_shape.w) * in_shape.c * dev.data_bytes / bpc;
+  std::vector<double> prev(static_cast<std::size_t>(in_shape.h));
+  for (int r = 0; r < in_shape.h; ++r) {
+    prev[static_cast<std::size_t>(r)] = (r + 1) * in_row_cycles;
+  }
+
+  ScheduleResult res;
+  for (std::size_t li = first; li <= last; ++li) {
+    const nn::Layer& l = net[li];
+    const auto& ipl = impls[li - first];
+    const int out_rows = l.out.h;
+    const double row_cycles = static_cast<double>(ipl.compute_cycles) /
+                              std::max(1, out_rows);
+    const int window = l.window();
+    const int stride = l.stride();
+    const int pad = l.padding();
+    const bool wino = ipl.cfg.algo == fpga::ConvAlgo::kWinograd;
+    const int block = wino ? ipl.cfg.wino_m : 1;
+    const int reach = wino ? ipl.cfg.wino_m + window - 1 : window;
+
+    std::vector<double> cur(static_cast<std::size_t>(out_rows), 0.0);
+    double t = 0.0;
+    for (int i = 0; i < out_rows; ++i) {
+      // Deepest producer row this output row (or its tile block) touches.
+      const int base = wino ? (i / block) * block : i * stride;
+      long long need = static_cast<long long>(base) + reach - 1 - pad;
+      need = std::clamp<long long>(need, 0, l.in.h - 1);
+      const double dep = prev[static_cast<std::size_t>(need)];
+      t = std::max(t, dep) + row_cycles;
+      cur[static_cast<std::size_t>(i)] = t;
+    }
+    res.layer_finish.push_back(static_cast<long long>(std::ceil(t)));
+    if (li == last) {
+      res.first_output_cycle = static_cast<long long>(std::ceil(cur.front()));
+    }
+    prev = std::move(cur);
+  }
+
+  // Drain the group output to DDR.
+  const nn::Shape out_shape = net[last].out;
+  const double out_row_cycles =
+      static_cast<double>(out_shape.w) * out_shape.c * dev.data_bytes / bpc;
+  double t = 0.0;
+  for (int r = 0; r < out_shape.h; ++r) {
+    t = std::max(t, prev[static_cast<std::size_t>(r)]) + out_row_cycles;
+  }
+  res.makespan_cycles = static_cast<long long>(std::ceil(t));
+  return res;
+}
+
+}  // namespace hetacc::arch

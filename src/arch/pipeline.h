@@ -1,0 +1,79 @@
+#pragma once
+// Fusion-group pipeline simulator. Two views of the same architecture:
+//
+//  * run(): functional simulation — rows stream through chained engines and
+//    FIFOs exactly as in the generated DATAFLOW design; the result is
+//    compared against the reference executor in tests.
+//
+//  * simulate_schedule(): timing simulation — a row-level dependence
+//    recurrence that predicts the group's makespan (pipeline fill + steady
+//    state) from per-layer row costs and DDR bandwidth. Used to validate
+//    the optimizer's analytic latency model.
+
+#include <memory>
+
+#include "arch/engines.h"
+#include "fpga/engine_model.h"
+#include "nn/network.h"
+#include "nn/reference.h"
+
+namespace hetacc::arch {
+
+/// Per-layer algorithm selection for a pipeline.
+struct LayerChoice {
+  fpga::ConvAlgo algo = fpga::ConvAlgo::kConventional;
+  int wino_m = 4;
+  NumericMode mode;  ///< float by default
+};
+
+struct PipelineStats {
+  std::vector<std::size_t> fifo_max_occupancy;  ///< per inter-layer channel
+  long long total_steps = 0;
+};
+
+class FusionPipeline {
+ public:
+  /// `net` must start with an input layer; engines are built for layers
+  /// [1, net.size()). `choices` is index-aligned with those layers (empty =
+  /// all-conventional float).
+  FusionPipeline(const nn::Network& net, const nn::WeightStore& ws,
+                 std::vector<LayerChoice> choices = {});
+
+  /// Streams one image through the pipeline; returns the final output.
+  /// Engines are rebuilt per call, so a pipeline can process a batch of
+  /// images by calling run() repeatedly.
+  [[nodiscard]] nn::Tensor run(const nn::Tensor& input);
+
+  [[nodiscard]] const PipelineStats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t engine_count() const { return engines_.size(); }
+  [[nodiscard]] const StreamEngine& engine(std::size_t i) const {
+    return *engines_.at(i);
+  }
+
+ private:
+  void build_engines();
+
+  nn::Network net_;
+  nn::WeightStore ws_;
+  std::vector<LayerChoice> choices_;
+  std::vector<std::unique_ptr<StreamEngine>> engines_;
+  PipelineStats stats_;
+};
+
+/// Result of the row-level timing recurrence.
+struct ScheduleResult {
+  long long makespan_cycles = 0;        ///< load -> ... -> store completion
+  long long first_output_cycle = 0;     ///< pipeline fill observed
+  std::vector<long long> layer_finish;  ///< completion time per layer
+};
+
+/// Predicts the makespan of fusing `net`'s layers [first, last] with the
+/// given implementations, modeling row-granularity dataflow: each layer's
+/// row i starts once its producer has delivered the rows the window needs
+/// and the layer's own previous row is done. DDR feeds the first layer and
+/// drains the last at the device bandwidth.
+[[nodiscard]] ScheduleResult simulate_schedule(
+    const nn::Network& net, std::size_t first, std::size_t last,
+    const std::vector<fpga::Implementation>& impls, const fpga::Device& dev);
+
+}  // namespace hetacc::arch

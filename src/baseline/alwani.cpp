@@ -1,0 +1,342 @@
+#include "baseline/alwani.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/branch_and_bound.h"
+
+namespace hetacc::baseline {
+
+TileGeometry pyramid_geometry(const nn::Network& net, std::size_t first,
+                              std::size_t last, int tile, bool reuse) {
+  if (first > last || last >= net.size() || tile <= 0) {
+    throw std::invalid_argument("pyramid_geometry: bad arguments");
+  }
+  TileGeometry g;
+  g.tile = tile;
+  const nn::Shape out = net[last].out;
+  g.tiles = static_cast<long long>((out.h + tile - 1) / tile) *
+            ((out.w + tile - 1) / tile);
+
+  // Walk the pyramid backwards: each layer's input tile edge.
+  std::vector<int> tile_out(last - first + 1, 0);
+  int t = tile;
+  for (std::size_t l = last + 1; l-- > first;) {
+    tile_out[l - first] = t;
+    t = (t - 1) * net[l].stride() + net[l].window();
+    g.tile_in.insert(g.tile_in.begin(), t);
+  }
+
+  // Recompute overhead: every pyramid computes its full intermediate tiles,
+  // so a layer produces tiles * tile_out^2 elements instead of H*W.
+  double computed_ops = 0.0, minimal_ops = 0.0;
+  long long buffer_words = 0;
+  for (std::size_t l = first; l <= last; ++l) {
+    const nn::Layer& layer = net[l];
+    const double per_elem_ops =
+        static_cast<double>(layer.ops()) /
+        std::max<double>(1.0, static_cast<double>(layer.out.elems()));
+    const double full = static_cast<double>(layer.ops());
+    const double tiled = static_cast<double>(g.tiles) *
+                         tile_out[l - first] * tile_out[l - first] *
+                         layer.out.c * per_elem_ops;
+    minimal_ops += full;
+    computed_ops += reuse ? full : std::max(full, tiled);
+
+    // Tile buffers: one input tile per layer plus, in reuse mode, the cached
+    // overlap strips (horizontal seam across the full width, vertical seam
+    // along the tile edge). Single-buffered; the tile-management overhead
+    // below pays for the lost overlap.
+    const int tin = g.tile_in[l - first];
+    const int overlap = std::max(0, layer.window() - layer.stride());
+    buffer_words += static_cast<long long>(tin) * tin * layer.in.c;
+    if (reuse) {
+      buffer_words += static_cast<long long>(overlap) * layer.in.w *
+                      layer.in.c;
+      buffer_words += static_cast<long long>(overlap) * tin * layer.in.c;
+    }
+  }
+  g.recompute_factor = minimal_ops > 0 ? computed_ops / minimal_ops : 1.0;
+  g.tile_buffer_words = buffer_words;
+  return g;
+}
+
+namespace {
+
+/// Conventional-only engine search: reuse Algorithm 2 with Winograd
+/// candidates disabled and the BRAM consumed by tile buffers reserved.
+std::optional<core::FusionGroup> conventional_engines(
+    const nn::Network& net, std::size_t first, std::size_t last,
+    const fpga::EngineModel& model, long long reserved_bram) {
+  fpga::Device dev = model.device();
+  dev.capacity.bram18k = std::max<long long>(0, dev.capacity.bram18k -
+                                                    reserved_bram);
+  fpga::EngineModelParams params = model.params();
+  params.enable_winograd = false;
+  params.include_line_buffer = false;  // tile buffers are accounted outside
+  const fpga::EngineModel restricted(dev, params);
+  auto r = core::fuse_group(net, first, last, restricted);
+  if (!r) return std::nullopt;
+  return std::move(r->group);
+}
+
+}  // namespace
+
+std::optional<BaselineDesign> design_baseline(const nn::Network& net,
+                                              std::size_t first,
+                                              std::size_t last,
+                                              const fpga::EngineModel& model,
+                                              const TileFusionOptions& opt) {
+  std::vector<int> tiles = opt.tile > 0 ? std::vector<int>{opt.tile}
+                                        : opt.tile_sweep;
+  std::optional<BaselineDesign> best;
+  for (int tile : tiles) {
+    if (tile > net[last].out.h || tile > net[last].out.w) continue;
+    const TileGeometry geom = pyramid_geometry(net, first, last, tile,
+                                               opt.reuse);
+    const long long buffer_bram = fpga::bram18k_for(
+        geom.tile_buffer_words, 16,
+        static_cast<int>(2 * (last - first + 1)));
+    auto group = conventional_engines(net, first, last, model, buffer_bram);
+    if (!group) continue;
+
+    BaselineDesign d;
+    d.geom = geom;
+    d.impls = group->impls;
+    d.resources = group->resources();
+    d.resources.bram18k += buffer_bram;
+
+    // Tile-pipelined execution: stage latency set by the slowest layer
+    // (including recompute overhead), transfer overlapped, plus per-tile
+    // buffer-management overhead and pipeline fill.
+    long long max_stage = 0;
+    long long fill = 0;
+    for (const auto& ipl : d.impls) {
+      max_stage = std::max(
+          max_stage, static_cast<long long>(std::ceil(
+                         static_cast<double>(ipl.compute_cycles) *
+                         geom.recompute_factor)));
+      fill += ipl.fill_cycles;
+    }
+    d.transfer_bytes = core::min_transfer_bytes(net, first, last,
+                                                model.device().data_bytes);
+    const long long transfer_cycles = static_cast<long long>(
+        std::ceil(static_cast<double>(d.transfer_bytes) /
+                  model.device().bytes_per_cycle()));
+    const long long mgmt = static_cast<long long>(
+        std::ceil(geom.tiles * static_cast<double>(last - first + 1) *
+                  opt.mgmt_cycles_per_tile));
+    d.latency_cycles = std::max(max_stage, transfer_cycles) + fill + mgmt;
+    double ops = 0.0;
+    for (std::size_t l = first; l <= last; ++l) {
+      ops += static_cast<double>(net[l].ops());
+    }
+    d.compute_ops = static_cast<long long>(ops * geom.recompute_factor);
+
+    if (!best || d.latency_cycles < best->latency_cycles) best = std::move(d);
+  }
+  return best;
+}
+
+// ---------------------------------------------------------------------------
+// Functional tile executor (recompute mode).
+
+namespace {
+
+struct Region {
+  int r0 = 0, r1 = 0, c0 = 0, c1 = 0;  ///< absolute, half-open, may exceed map
+  [[nodiscard]] int h() const { return r1 - r0; }
+  [[nodiscard]] int w() const { return c1 - c0; }
+};
+
+/// Region of the layer's input needed to produce output region `out`.
+Region backward(const nn::Layer& l, const Region& out) {
+  const int s = l.stride(), k = l.window(), p = l.padding();
+  Region in;
+  in.r0 = out.r0 * s - p;
+  in.r1 = (out.r1 - 1) * s + k - p;
+  in.c0 = out.c0 * s - p;
+  in.c1 = (out.c1 - 1) * s + k - p;
+  return in;
+}
+
+/// Buffer holding a region of a feature map in absolute coordinates.
+/// Positions outside the real map are zero (= padding for the next layer).
+struct RegionTensor {
+  Region rg;
+  int channels = 0;
+  std::vector<float> data;  ///< [c][r - rg.r0][col - rg.c0]
+
+  [[nodiscard]] float at(int c, int r, int col) const {
+    if (r < rg.r0 || r >= rg.r1 || col < rg.c0 || col >= rg.c1) return 0.0f;
+    return data[(static_cast<std::size_t>(c) * rg.h() + (r - rg.r0)) *
+                    rg.w() +
+                (col - rg.c0)];
+  }
+  [[nodiscard]] float& mut(int c, int r, int col) {
+    return data[(static_cast<std::size_t>(c) * rg.h() + (r - rg.r0)) *
+                    rg.w() +
+                (col - rg.c0)];
+  }
+};
+
+RegionTensor eval_layer_region(const nn::Layer& l, std::size_t index,
+                               const nn::WeightStore& ws,
+                               const RegionTensor& in, const Region& out_rg,
+                               long long* ops) {
+  RegionTensor out;
+  out.rg = out_rg;
+  out.channels = l.out.c;
+  out.data.assign(
+      static_cast<std::size_t>(l.out.c) * out_rg.h() * out_rg.w(), 0.0f);
+  const int s = l.stride(), k = l.window(), p = l.padding();
+
+  for (int r = std::max(out_rg.r0, 0); r < std::min(out_rg.r1, l.out.h); ++r) {
+    for (int c0 = std::max(out_rg.c0, 0); c0 < std::min(out_rg.c1, l.out.w);
+         ++c0) {
+      switch (l.kind) {
+        case nn::LayerKind::kConv: {
+          const auto& w = ws.conv(index);
+          const auto& cp = l.conv();
+          for (int n = 0; n < l.out.c; ++n) {
+            double acc = w.bias.empty() ? 0.0 : w.bias[n];
+            for (int m = 0; m < l.in.c; ++m) {
+              for (int u = 0; u < k; ++u) {
+                const int h = r * s + u - p;
+                if (h < 0 || h >= l.in.h) continue;
+                for (int v = 0; v < k; ++v) {
+                  const int col = c0 * s + v - p;
+                  if (col < 0 || col >= l.in.w) continue;
+                  acc += static_cast<double>(in.at(m, h, col)) *
+                         w.filters.at(n, m, u, v);
+                }
+              }
+            }
+            float val = static_cast<float>(acc);
+            if (cp.fused_relu) val = std::max(val, 0.0f);
+            out.mut(n, r, c0) = val;
+            if (ops) *ops += 2ll * l.in.c * k * k;
+          }
+          break;
+        }
+        case nn::LayerKind::kPool: {
+          const auto& pp = l.pool();
+          for (int n = 0; n < l.out.c; ++n) {
+            float best = -std::numeric_limits<float>::infinity();
+            float sum = 0.0f;
+            int count = 0;
+            for (int u = 0; u < k; ++u) {
+              const int h = r * s + u - p;
+              if (h < 0 || h >= l.in.h) continue;
+              for (int v = 0; v < k; ++v) {
+                const int col = c0 * s + v - p;
+                if (col < 0 || col >= l.in.w) continue;
+                const float x = in.at(n, h, col);
+                best = std::max(best, x);
+                sum += x;
+                ++count;
+              }
+            }
+            out.mut(n, r, c0) = (pp.method == nn::PoolMethod::kMax)
+                                    ? best
+                                    : (count ? sum / count : 0.0f);
+            if (ops) *ops += k * k;
+          }
+          break;
+        }
+        case nn::LayerKind::kLrn: {
+          const auto& lp = l.lrn();
+          const int half = lp.local_size / 2;
+          for (int n = 0; n < l.out.c; ++n) {
+            float ss = 0.0f;
+            for (int cc = std::max(0, n - half);
+                 cc <= std::min(l.in.c - 1, n + half); ++cc) {
+              const float x = in.at(cc, r, c0);
+              ss += x * x;
+            }
+            const float denom = std::pow(
+                lp.k + lp.alpha / static_cast<float>(lp.local_size) * ss,
+                lp.beta);
+            out.mut(n, r, c0) = in.at(n, r, c0) / denom;
+            if (ops) *ops += 2ll * lp.local_size + 3;
+          }
+          break;
+        }
+        case nn::LayerKind::kRelu: {
+          for (int n = 0; n < l.out.c; ++n) {
+            out.mut(n, r, c0) = std::max(in.at(n, r, c0), 0.0f);
+            if (ops) *ops += 1;
+          }
+          break;
+        }
+        default:
+          throw std::invalid_argument("tile executor: unsupported layer");
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+nn::Tensor tile_fused_execute(const nn::Network& net,
+                              const nn::WeightStore& ws,
+                              const nn::Tensor& input, std::size_t first,
+                              std::size_t last, int tile,
+                              long long* ops_performed) {
+  if (first > last || last >= net.size() || tile <= 0) {
+    throw std::invalid_argument("tile_fused_execute: bad arguments");
+  }
+  if (input.shape() != net[first].in) {
+    throw std::invalid_argument("tile_fused_execute: input shape mismatch");
+  }
+  if (ops_performed) *ops_performed = 0;
+  const nn::Shape out_shape = net[last].out;
+  nn::Tensor out(out_shape);
+
+  for (int tr = 0; tr < out_shape.h; tr += tile) {
+    for (int tc = 0; tc < out_shape.w; tc += tile) {
+      // Pyramid regions, last layer backwards to the input (Fig. 2(a)).
+      std::vector<Region> out_rg(last - first + 1);
+      Region rg{tr, std::min(tr + tile, out_shape.h), tc,
+                std::min(tc + tile, out_shape.w)};
+      for (std::size_t l = last + 1; l-- > first;) {
+        out_rg[l - first] = rg;
+        rg = backward(net[l], rg);
+      }
+
+      // Crop the input region (absolute coords; outside-map stays zero).
+      RegionTensor cur;
+      cur.rg = rg;
+      cur.channels = net[first].in.c;
+      cur.data.assign(
+          static_cast<std::size_t>(cur.channels) * rg.h() * rg.w(), 0.0f);
+      for (int c = 0; c < cur.channels; ++c) {
+        for (int r = std::max(rg.r0, 0);
+             r < std::min(rg.r1, net[first].in.h); ++r) {
+          for (int col = std::max(rg.c0, 0);
+               col < std::min(rg.c1, net[first].in.w); ++col) {
+            cur.mut(c, r, col) = input.at(c, r, col);
+          }
+        }
+      }
+
+      // Forward through the pyramid.
+      for (std::size_t l = first; l <= last; ++l) {
+        cur = eval_layer_region(net[l], l, ws, cur, out_rg[l - first],
+                                ops_performed);
+      }
+
+      for (int c = 0; c < out_shape.c; ++c) {
+        for (int r = cur.rg.r0; r < cur.rg.r1; ++r) {
+          for (int col = cur.rg.c0; col < cur.rg.c1; ++col) {
+            out.at(c, r, col) = cur.at(c, r, col);
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace hetacc::baseline

@@ -1,0 +1,75 @@
+#pragma once
+// Re-implementation of the comparison baseline: Alwani, Chen, Ferdman,
+// Milder, "Fused-Layer CNN Accelerators" (MICRO 2016) — reference [1] of the
+// paper. Tile-based pyramid fusion: the output map is partitioned into
+// tiles; each tile's pyramid of intermediate tiles is evaluated on chip,
+// with the overlap between adjacent pyramids either recomputed or cached in
+// tile buffers. Conventional convolution only; no transfer/performance
+// trade-off knob (the property §7.2 contrasts against).
+
+#include <optional>
+
+#include "fpga/engine_model.h"
+#include "nn/network.h"
+#include "nn/reference.h"
+#include "nn/weights.h"
+
+namespace hetacc::baseline {
+
+struct TileFusionOptions {
+  /// Output tile edge (at the last fused layer). 0 = sweep and pick best.
+  int tile = 0;
+  /// true = cache pyramid overlaps in tile buffers (Alwani's final design);
+  /// false = recompute overlaps (their alternative).
+  bool reuse = true;
+  /// Cycles of tile-buffer management overhead per (layer, tile) —
+  /// "complex operations are performed to update the tile-based buffers
+  /// due to mutative boundary conditions" (paper §4.2).
+  double mgmt_cycles_per_tile = 220.0;
+  /// Candidate tile sizes for the sweep.
+  std::vector<int> tile_sweep = {7, 8, 14, 16, 28, 32, 56};
+};
+
+struct TileGeometry {
+  int tile = 0;                       ///< output tile edge
+  std::vector<int> tile_in;           ///< required input tile edge per layer
+  long long tiles = 0;                ///< number of tiles in the grid
+  double recompute_factor = 1.0;      ///< computed elems / minimal elems
+  long long tile_buffer_words = 0;    ///< intermediate tile storage (reuse)
+};
+
+/// Pyramid geometry for fusing layers [first, last] with output tile edge
+/// `tile`: walks the dependence backwards (paper §4.1, Fig. 2(a)).
+[[nodiscard]] TileGeometry pyramid_geometry(const nn::Network& net,
+                                            std::size_t first,
+                                            std::size_t last, int tile,
+                                            bool reuse);
+
+struct BaselineDesign {
+  TileGeometry geom;
+  std::vector<fpga::Implementation> impls;  ///< conventional engines
+  fpga::ResourceVector resources;           ///< engines + tile buffers
+  long long latency_cycles = 0;
+  long long transfer_bytes = 0;
+  long long compute_ops = 0;  ///< including recompute overhead
+};
+
+/// Builds the baseline accelerator for layers [first, last] on the device:
+/// conventional engines balanced across layers, tile buffers, tile-pipelined
+/// execution. Returns nullopt if nothing fits.
+[[nodiscard]] std::optional<BaselineDesign> design_baseline(
+    const nn::Network& net, std::size_t first, std::size_t last,
+    const fpga::EngineModel& model, const TileFusionOptions& opt = {});
+
+/// Functional tile executor (recompute mode): evaluates the fused stack
+/// pyramid-by-pyramid, exactly as the baseline hardware would, and counts
+/// the operations actually performed. Output must equal the reference
+/// executor's — the correctness property of fusion (§4.1).
+[[nodiscard]] nn::Tensor tile_fused_execute(const nn::Network& net,
+                                            const nn::WeightStore& ws,
+                                            const nn::Tensor& input,
+                                            std::size_t first,
+                                            std::size_t last, int tile,
+                                            long long* ops_performed = nullptr);
+
+}  // namespace hetacc::baseline

@@ -1,0 +1,106 @@
+#include "baseline/uniform.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hetacc::baseline {
+
+namespace {
+
+/// Cycles for one conv layer on the shared (tn, tm) engine: the uniform
+/// unrolls apply whether or not they divide the layer's channel counts
+/// (ceil semantics, exactly like the per-layer model).
+long long conv_cycles(const nn::Layer& l, int tn, int tm, double eff) {
+  const auto& p = l.conv();
+  const long long base = static_cast<long long>((l.in.c + tn - 1) / tn) *
+                         ((l.out.c + tm - 1) / tm) * p.kernel * p.kernel *
+                         l.out.h * l.out.w;
+  return static_cast<long long>(std::ceil(static_cast<double>(base) / eff));
+}
+
+}  // namespace
+
+std::optional<UniformDesign> design_uniform(const nn::Network& net,
+                                            const fpga::EngineModel& model) {
+  const fpga::Device& dev = model.device();
+  const auto& params = model.params();
+
+  // Layers the engine must serve.
+  std::vector<const nn::Layer*> convs;
+  std::vector<const nn::Layer*> others;
+  for (std::size_t i = 1; i < net.size(); ++i) {
+    if (net[i].kind == nn::LayerKind::kInput) continue;
+    if (net[i].kind == nn::LayerKind::kConv) {
+      convs.push_back(&net[i]);
+    } else {
+      others.push_back(&net[i]);
+    }
+  }
+  if (convs.empty()) return std::nullopt;
+
+  std::optional<UniformDesign> best;
+  for (int tn = 1; tn <= 64; ++tn) {
+    for (int tm = 1; tm <= 64; ++tm) {
+      const long long dsp = static_cast<long long>(tn) * tm;
+      if (dsp > dev.capacity.dsp) break;
+
+      UniformDesign d;
+      d.tn = tn;
+      d.tm = tm;
+      d.resources.dsp = dsp;
+      d.resources.lut = static_cast<long long>(
+          params.base_lut + params.lut_per_mult_conv * static_cast<double>(dsp));
+      d.resources.ff = static_cast<long long>(
+          params.base_ff + params.ff_per_mult_conv * static_cast<double>(dsp));
+
+      // Double-buffered input/output tiles sized for the largest layer row
+      // plus the largest layer's weight working set (tm output channels).
+      long long buf_words = 0;
+      long long wbuf_words = 0;
+      for (const auto* l : convs) {
+        buf_words = std::max<long long>(
+            buf_words, 2ll * l->in.c * (l->window() + l->stride()) *
+                           (l->in.w + 2 * l->padding()));
+        wbuf_words = std::max<long long>(
+            wbuf_words,
+            2ll * tm * l->in.c * l->window() * l->window());
+      }
+      d.resources.bram18k =
+          fpga::bram18k_for(buf_words, 16,
+                            std::min(tn * 8, params.max_line_buffer_banks)) +
+          fpga::bram18k_for(wbuf_words, 16,
+                            std::min<long long>(dsp, params.max_weight_banks));
+      if (!d.resources.fits_in(dev.capacity)) continue;
+
+      // Sequential execution, DDR traffic per layer overlapped with compute.
+      long long total = 0;
+      d.transfer_bytes = 0;
+      for (std::size_t i = 1; i < net.size(); ++i) {
+        const nn::Layer& l = net[i];
+        long long cycles = 0;
+        if (l.kind == nn::LayerKind::kConv) {
+          cycles = conv_cycles(l, tn, tm, params.compute_efficiency);
+        } else {
+          // Pool/LRN/ReLU pass over the map with modest lane counts.
+          cycles = static_cast<long long>(std::ceil(
+              static_cast<double>(l.out.elems()) * l.window() * l.window() /
+              (16.0 * params.compute_efficiency)));
+        }
+        const long long io_bytes =
+            l.in.bytes(dev.data_bytes) + l.out.bytes(dev.data_bytes) +
+            l.weight_count() * dev.data_bytes;
+        const long long io_cycles = static_cast<long long>(
+            std::ceil(static_cast<double>(io_bytes) / dev.bytes_per_cycle()));
+        total += std::max(cycles, io_cycles);
+        d.transfer_bytes +=
+            l.in.bytes(dev.data_bytes) + l.out.bytes(dev.data_bytes);
+        d.layer_cycles.push_back(std::max(cycles, io_cycles));
+      }
+      d.latency_cycles = total;
+      if (!best || d.latency_cycles < best->latency_cycles) best = std::move(d);
+    }
+  }
+  return best;
+}
+
+}  // namespace hetacc::baseline

@@ -1,0 +1,31 @@
+#pragma once
+// Second comparison point: a Zhang-et-al.-style (FPGA'15, the paper's [27])
+// single uniform convolution engine. One conventional PE array with one
+// (tn, tm) unroll pair "serves all convolutional layers", processing the
+// network layer by layer with every intermediate feature map spilled to
+// DDR. The classic pre-fusion design the roofline analysis of §2.2 starts
+// from.
+
+#include <optional>
+
+#include "fpga/engine_model.h"
+#include "nn/network.h"
+
+namespace hetacc::baseline {
+
+struct UniformDesign {
+  int tn = 1;
+  int tm = 1;
+  fpga::ResourceVector resources;
+  long long latency_cycles = 0;   ///< end-to-end, all layers sequential
+  long long transfer_bytes = 0;   ///< every boundary stored + loaded
+  std::vector<long long> layer_cycles;  ///< per accelerated layer
+};
+
+/// Picks the uniform (tn, tm) that minimizes total latency under the device
+/// resources (exhaustive over the unroll grid, like the paper's cited
+/// design-space exploration). Non-conv layers run on small fixed engines.
+[[nodiscard]] std::optional<UniformDesign> design_uniform(
+    const nn::Network& net, const fpga::EngineModel& model);
+
+}  // namespace hetacc::baseline

@@ -1,0 +1,216 @@
+#include "caffe/importer.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "nn/model_zoo.h"
+
+namespace hetacc::caffe {
+
+namespace {
+
+nn::Shape input_shape_of(const Message& root) {
+  // Classic header: input: "data" + 4x input_dim (N, C, H, W).
+  if (root.count("input_dim") == 4) {
+    const auto& dims = root.all("input_dim");
+    auto dim = [&](std::size_t i) {
+      return static_cast<int>(std::get<double>(dims[i]));
+    };
+    return nn::Shape{dim(1), dim(2), dim(3)};
+  }
+  // input_shape { dim: ... } header.
+  if (const Message* is = root.child("input_shape")) {
+    const auto& dims = is->all("dim");
+    if (dims.size() == 4) {
+      return nn::Shape{static_cast<int>(std::get<double>(dims[1])),
+                       static_cast<int>(std::get<double>(dims[2])),
+                       static_cast<int>(std::get<double>(dims[3]))};
+    }
+  }
+  // Modern style: layer { type: "Input" input_param { shape { dim ... } } }.
+  for (const char* key : {"layer", "layers"}) {
+    for (const Message* l : root.children(key)) {
+      if (l->str("type") != "Input") continue;
+      const Message* ip = l->child("input_param");
+      const Message* shape = ip ? ip->child("shape") : nullptr;
+      if (!shape) continue;
+      const auto& dims = shape->all("dim");
+      if (dims.size() != 4) {
+        throw std::runtime_error("caffe import: Input layer needs 4 dims");
+      }
+      return nn::Shape{static_cast<int>(std::get<double>(dims[1])),
+                       static_cast<int>(std::get<double>(dims[2])),
+                       static_cast<int>(std::get<double>(dims[3]))};
+    }
+  }
+  throw std::runtime_error("caffe import: no input shape found");
+}
+
+int kernel_of(const Message& p, const char* what) {
+  const long long k = p.integer("kernel_size", 0);
+  if (k <= 0) {
+    throw std::runtime_error(std::string("caffe import: ") + what +
+                             " without kernel_size");
+  }
+  return static_cast<int>(k);
+}
+
+}  // namespace
+
+nn::Network import_prototxt(std::string_view text) {
+  const Message root = parse_prototxt(text);
+  nn::Network net(root.str("name", "caffe-net"));
+  net.input(input_shape_of(root));
+
+  std::vector<const Message*> layers = root.children("layer");
+  if (layers.empty()) layers = root.children("layers");
+
+  for (const Message* l : layers) {
+    const std::string type = l->str("type");
+    const std::string name = l->str("name", type);
+    if (type == "Input" || type == "Data" || type == "Dropout") {
+      continue;  // shape header handled above; dropout is inference no-op
+    }
+    if (type == "Convolution") {
+      const Message* p = l->child("convolution_param");
+      if (!p) {
+        throw std::runtime_error("caffe import: conv '" + name +
+                                 "' without convolution_param");
+      }
+      net.conv(static_cast<int>(p->integer("num_output", 0)),
+               kernel_of(*p, "Convolution"),
+               static_cast<int>(p->integer("stride", 1)),
+               static_cast<int>(p->integer("pad", 0)), name,
+               /*fused_relu=*/false);
+    } else if (type == "ReLU") {
+      // In-place ReLU folds into the preceding conv (paper §7.2).
+      if (!net.empty() && net[net.size() - 1].kind == nn::LayerKind::kConv) {
+        std::get<nn::ConvParam>(net[net.size() - 1].param).fused_relu = true;
+      } else {
+        net.relu(name);
+      }
+    } else if (type == "Pooling") {
+      const Message* p = l->child("pooling_param");
+      if (!p) {
+        throw std::runtime_error("caffe import: pool '" + name +
+                                 "' without pooling_param");
+      }
+      const std::string method = p->str("pool", "MAX");
+      const int k = kernel_of(*p, "Pooling");
+      const int stride = static_cast<int>(p->integer("stride", 1));
+      const int pad = static_cast<int>(p->integer("pad", 0));
+      if (method == "MAX") {
+        net.max_pool(k, stride, name, pad);
+      } else if (method == "AVE") {
+        net.avg_pool(k, stride, name, pad);
+      } else {
+        throw std::runtime_error("caffe import: pool method '" + method +
+                                 "' unsupported");
+      }
+    } else if (type == "LRN") {
+      const Message* p = l->child("lrn_param");
+      net.lrn(p ? static_cast<int>(p->integer("local_size", 5)) : 5,
+              p ? static_cast<float>(p->number("alpha", 1e-4)) : 1e-4f,
+              p ? static_cast<float>(p->number("beta", 0.75)) : 0.75f, name);
+    } else if (type == "InnerProduct") {
+      const Message* p = l->child("inner_product_param");
+      if (!p) {
+        throw std::runtime_error("caffe import: fc '" + name +
+                                 "' without inner_product_param");
+      }
+      net.fc(static_cast<int>(p->integer("num_output", 0)), name,
+             /*fused_relu=*/false);
+    } else if (type == "Softmax" || type == "SoftmaxWithLoss") {
+      net.softmax(name);
+    } else {
+      throw std::runtime_error("caffe import: unsupported layer type '" +
+                               type + "' (layer '" + name + "')");
+    }
+  }
+  return net;
+}
+
+nn::Network import_prototxt_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open prototxt file: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return import_prototxt(ss.str());
+}
+
+std::string export_prototxt(const nn::Network& net) {
+  std::ostringstream os;
+  os << "name: \"" << net.name() << "\"\n";
+  std::string prev = "data";
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    const nn::Layer& l = net[i];
+    if (l.kind == nn::LayerKind::kInput) {
+      os << "input: \"data\"\n";
+      os << "input_dim: 1\ninput_dim: " << l.out.c << "\ninput_dim: "
+         << l.out.h << "\ninput_dim: " << l.out.w << "\n";
+      continue;
+    }
+    os << "layer {\n  name: \"" << l.name << "\"\n  bottom: \"" << prev
+       << "\"\n  top: \"" << l.name << "\"\n";
+    switch (l.kind) {
+      case nn::LayerKind::kConv: {
+        const auto& p = l.conv();
+        os << "  type: \"Convolution\"\n  convolution_param {\n"
+           << "    num_output: " << p.out_channels << "\n    kernel_size: "
+           << p.kernel << "\n    stride: " << p.stride << "\n    pad: "
+           << p.pad << "\n  }\n";
+        break;
+      }
+      case nn::LayerKind::kPool: {
+        const auto& p = l.pool();
+        os << "  type: \"Pooling\"\n  pooling_param {\n    pool: "
+           << (p.method == nn::PoolMethod::kMax ? "MAX" : "AVE")
+           << "\n    kernel_size: " << p.kernel << "\n    stride: "
+           << p.stride << "\n";
+        if (p.pad) os << "    pad: " << p.pad << "\n";
+        os << "  }\n";
+        break;
+      }
+      case nn::LayerKind::kLrn: {
+        const auto& p = l.lrn();
+        os << "  type: \"LRN\"\n  lrn_param {\n    local_size: "
+           << p.local_size << "\n    alpha: " << p.alpha << "\n    beta: "
+           << p.beta << "\n  }\n";
+        break;
+      }
+      case nn::LayerKind::kRelu:
+        os << "  type: \"ReLU\"\n";
+        break;
+      case nn::LayerKind::kFullyConnected:
+        os << "  type: \"InnerProduct\"\n  inner_product_param {\n"
+           << "    num_output: " << l.fc().out_features << "\n  }\n";
+        break;
+      case nn::LayerKind::kSoftmax:
+        os << "  type: \"Softmax\"\n";
+        break;
+      case nn::LayerKind::kInput:
+        break;
+    }
+    os << "}\n";
+    prev = l.name;
+    // Emit the folded ReLU as an explicit in-place layer so round-trips
+    // preserve activation semantics.
+    if (l.kind == nn::LayerKind::kConv && l.conv().fused_relu) {
+      os << "layer {\n  name: \"" << l.name << "_relu\"\n  type: \"ReLU\"\n"
+         << "  bottom: \"" << l.name << "\"\n  top: \"" << l.name
+         << "\"\n}\n";
+    }
+  }
+  return os.str();
+}
+
+std::string alexnet_prototxt() {
+  return export_prototxt(nn::alexnet());
+}
+
+std::string vgg_e_prototxt() {
+  return export_prototxt(nn::vgg_e());
+}
+
+}  // namespace hetacc::caffe

@@ -1,0 +1,29 @@
+#pragma once
+// Caffe deploy-prototxt -> Network importer (paper Fig. 3's "Caffe Model"
+// input). Supports the layer types the accelerator handles (Convolution,
+// Pooling, LRN, ReLU, InnerProduct, Softmax, Input/input_dim headers) on
+// linear topologies; in-place ReLU layers fold into their bottom.
+
+#include "caffe/prototxt.h"
+#include "nn/network.h"
+
+namespace hetacc::caffe {
+
+/// Builds a network from prototxt text. Throws std::runtime_error with a
+/// layer name on unsupported constructs (branching topologies, unknown
+/// types, missing shapes).
+[[nodiscard]] nn::Network import_prototxt(std::string_view text);
+
+/// Reads the file and imports it.
+[[nodiscard]] nn::Network import_prototxt_file(const std::string& path);
+
+/// Serializes a Network back to deploy prototxt — round-trip support used
+/// by tests and by the example that regenerates the bundled models.
+[[nodiscard]] std::string export_prototxt(const nn::Network& net);
+
+/// Bundled deploy descriptions of the evaluation networks (textually
+/// equivalent to the public Caffe zoo files for the supported fields).
+[[nodiscard]] std::string alexnet_prototxt();
+[[nodiscard]] std::string vgg_e_prototxt();
+
+}  // namespace hetacc::caffe

@@ -1,0 +1,217 @@
+#include "caffe/prototxt.h"
+
+#include <cctype>
+#include <stdexcept>
+
+namespace hetacc::caffe {
+
+const std::vector<Value>& Message::all(const std::string& key) const {
+  auto it = fields_.find(key);
+  if (it == fields_.end()) {
+    throw std::runtime_error("prototxt: missing field '" + key + "'");
+  }
+  return it->second;
+}
+
+double Message::number(const std::string& key, double fallback) const {
+  auto it = fields_.find(key);
+  if (it == fields_.end() || it->second.empty()) return fallback;
+  const Value& v = it->second.front();
+  if (const double* d = std::get_if<double>(&v)) return *d;
+  throw std::runtime_error("prototxt: field '" + key + "' is not numeric");
+}
+
+long long Message::integer(const std::string& key, long long fallback) const {
+  return static_cast<long long>(number(key, static_cast<double>(fallback)));
+}
+
+std::string Message::str(const std::string& key,
+                         const std::string& fallback) const {
+  auto it = fields_.find(key);
+  if (it == fields_.end() || it->second.empty()) return fallback;
+  const Value& v = it->second.front();
+  if (const std::string* s = std::get_if<std::string>(&v)) return *s;
+  throw std::runtime_error("prototxt: field '" + key + "' is not a string");
+}
+
+const Message* Message::child(const std::string& key) const {
+  auto it = fields_.find(key);
+  if (it == fields_.end() || it->second.empty()) return nullptr;
+  const Value& v = it->second.front();
+  if (const auto* m = std::get_if<std::shared_ptr<Message>>(&v)) {
+    return m->get();
+  }
+  throw std::runtime_error("prototxt: field '" + key + "' is not a message");
+}
+
+std::vector<const Message*> Message::children(const std::string& key) const {
+  std::vector<const Message*> out;
+  auto it = fields_.find(key);
+  if (it == fields_.end()) return out;
+  for (const Value& v : it->second) {
+    if (const auto* m = std::get_if<std::shared_ptr<Message>>(&v)) {
+      out.push_back(m->get());
+    } else {
+      throw std::runtime_error("prototxt: field '" + key +
+                               "' mixes scalars and messages");
+    }
+  }
+  return out;
+}
+
+namespace {
+
+struct Lexer {
+  std::string_view text;
+  std::size_t pos = 0;
+  int line = 1;
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("prototxt: line " + std::to_string(line) + ": " +
+                             what);
+  }
+
+  void skip_ws() {
+    while (pos < text.size()) {
+      const char c = text[pos];
+      if (c == '\n') {
+        ++line;
+        ++pos;
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos;
+      } else if (c == '#') {
+        while (pos < text.size() && text[pos] != '\n') ++pos;
+      } else {
+        break;
+      }
+    }
+  }
+
+  [[nodiscard]] bool eof() {
+    skip_ws();
+    return pos >= text.size();
+  }
+
+  [[nodiscard]] char peek() {
+    skip_ws();
+    return pos < text.size() ? text[pos] : '\0';
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos;
+  }
+
+  [[nodiscard]] std::string identifier() {
+    skip_ws();
+    std::size_t start = pos;
+    while (pos < text.size() &&
+           (std::isalnum(static_cast<unsigned char>(text[pos])) ||
+            text[pos] == '_')) {
+      ++pos;
+    }
+    if (start == pos) fail("expected identifier");
+    return std::string(text.substr(start, pos - start));
+  }
+
+  [[nodiscard]] std::string quoted_string() {
+    skip_ws();
+    const char quote = text[pos];
+    if (quote != '"' && quote != '\'') fail("expected string");
+    ++pos;
+    std::string out;
+    while (pos < text.size() && text[pos] != quote) {
+      if (text[pos] == '\n') fail("unterminated string");
+      out.push_back(text[pos++]);
+    }
+    if (pos >= text.size()) fail("unterminated string");
+    ++pos;
+    return out;
+  }
+
+  [[nodiscard]] double number_token() {
+    skip_ws();
+    std::size_t start = pos;
+    while (pos < text.size() &&
+           (std::isdigit(static_cast<unsigned char>(text[pos])) ||
+            text[pos] == '-' || text[pos] == '+' || text[pos] == '.' ||
+            text[pos] == 'e' || text[pos] == 'E')) {
+      ++pos;
+    }
+    if (start == pos) fail("expected number");
+    try {
+      return std::stod(std::string(text.substr(start, pos - start)));
+    } catch (const std::exception&) {
+      fail("malformed number '" +
+           std::string(text.substr(start, pos - start)) + "'");
+    }
+  }
+};
+
+void parse_message_body(Lexer& lx, Message& msg, bool top_level);
+
+void parse_field(Lexer& lx, Message& msg) {
+  const std::string key = lx.identifier();
+  const char c = lx.peek();
+  if (c == '{') {
+    lx.expect('{');
+    auto sub = std::make_shared<Message>();
+    parse_message_body(lx, *sub, /*top_level=*/false);
+    lx.expect('}');
+    msg.add(key, std::move(sub));
+    return;
+  }
+  if (c == ':') {
+    lx.expect(':');
+    const char v = lx.peek();
+    if (v == '"' || v == '\'') {
+      msg.add(key, lx.quoted_string());
+    } else if (v == '{') {
+      // "field: { ... }" form is also legal text format.
+      lx.expect('{');
+      auto sub = std::make_shared<Message>();
+      parse_message_body(lx, *sub, false);
+      lx.expect('}');
+      msg.add(key, std::move(sub));
+    } else if (std::isdigit(static_cast<unsigned char>(v)) || v == '-' ||
+               v == '+' || v == '.') {
+      msg.add(key, lx.number_token());
+    } else {
+      const std::string word = lx.identifier();
+      if (word == "true") {
+        msg.add(key, true);
+      } else if (word == "false") {
+        msg.add(key, false);
+      } else {
+        msg.add(key, word);  // enum constant like MAX / AVE
+      }
+    }
+    return;
+  }
+  lx.fail("expected ':' or '{' after '" + key + "'");
+}
+
+void parse_message_body(Lexer& lx, Message& msg, bool top_level) {
+  while (true) {
+    if (lx.eof()) {
+      if (!top_level) lx.fail("unexpected end of input (missing '}')");
+      return;
+    }
+    if (lx.peek() == '}') {
+      if (top_level) lx.fail("unmatched '}'");
+      return;
+    }
+    parse_field(lx, msg);
+  }
+}
+
+}  // namespace
+
+Message parse_prototxt(std::string_view text) {
+  Lexer lx{text};
+  Message root;
+  parse_message_body(lx, root, /*top_level=*/true);
+  return root;
+}
+
+}  // namespace hetacc::caffe

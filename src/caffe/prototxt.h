@@ -1,0 +1,57 @@
+#pragma once
+// Minimal prototxt (protobuf text format) parser — enough of the grammar to
+// read real Caffe deploy files: nested messages, repeated fields, strings,
+// numbers, booleans and bare enum identifiers. The tool-flow's front door
+// (paper Fig. 3 takes "Caffe configuration file" as input).
+
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace hetacc::caffe {
+
+class Message;
+
+/// A field value: scalar or nested message. Enums (MAX, AVE, ...) are kept
+/// as strings.
+using Value = std::variant<double, std::string, bool,
+                           std::shared_ptr<Message>>;
+
+class Message {
+ public:
+  void add(const std::string& key, Value v) { fields_[key].push_back(std::move(v)); }
+
+  [[nodiscard]] bool has(const std::string& key) const {
+    return fields_.contains(key);
+  }
+  [[nodiscard]] std::size_t count(const std::string& key) const {
+    auto it = fields_.find(key);
+    return it == fields_.end() ? 0 : it->second.size();
+  }
+  [[nodiscard]] const std::vector<Value>& all(const std::string& key) const;
+
+  // Typed accessors with defaults; throw std::runtime_error on a present
+  // field of the wrong type.
+  [[nodiscard]] double number(const std::string& key, double fallback) const;
+  [[nodiscard]] long long integer(const std::string& key, long long fallback) const;
+  [[nodiscard]] std::string str(const std::string& key,
+                                const std::string& fallback = "") const;
+  [[nodiscard]] const Message* child(const std::string& key) const;
+  [[nodiscard]] std::vector<const Message*> children(
+      const std::string& key) const;
+
+  [[nodiscard]] const std::map<std::string, std::vector<Value>>& fields() const {
+    return fields_;
+  }
+
+ private:
+  std::map<std::string, std::vector<Value>> fields_;
+};
+
+/// Parses prototxt text. Throws std::runtime_error with line information on
+/// malformed input.
+[[nodiscard]] Message parse_prototxt(std::string_view text);
+
+}  // namespace hetacc::caffe

@@ -1,0 +1,45 @@
+#pragma once
+// Tiny indenting source writer used by the HLS code generator.
+
+#include <sstream>
+#include <string>
+
+namespace hetacc::codegen {
+
+class CodeWriter {
+ public:
+  /// Writes one line at the current indent. Empty string -> blank line.
+  CodeWriter& line(const std::string& s = "") {
+    if (!s.empty()) {
+      for (int i = 0; i < indent_; ++i) os_ << "  ";
+      os_ << s;
+    }
+    os_ << '\n';
+    return *this;
+  }
+  /// Writes a line and increases the indent (e.g. "for (...) {").
+  CodeWriter& open(const std::string& s) {
+    line(s);
+    ++indent_;
+    return *this;
+  }
+  /// Decreases the indent and writes a line (default "}").
+  CodeWriter& close(const std::string& s = "}") {
+    --indent_;
+    line(s);
+    return *this;
+  }
+  /// Raw pragma — never indented (HLS convention).
+  CodeWriter& pragma(const std::string& s) {
+    os_ << "#pragma HLS " << s << '\n';
+    return *this;
+  }
+
+  [[nodiscard]] std::string str() const { return os_.str(); }
+
+ private:
+  std::ostringstream os_;
+  int indent_ = 0;
+};
+
+}  // namespace hetacc::codegen

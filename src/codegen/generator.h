@@ -1,0 +1,67 @@
+#pragma once
+// HLS code generator (paper §6, Fig. 4): emits Vivado-HLS-style C++ for a
+// strategy — one function per layer instantiated from the conventional /
+// Winograd / pooling / LRN templates, a DATAFLOW top function per fusion
+// group wiring FIFO channels, and a C-simulation testbench. The generated
+// code compiles against codegen/hls_compat.h on any host compiler, which is
+// how tests validate it against the reference executor.
+//
+// Stream element order is (row, channel, column): one raster row at a time,
+// channel-major within the row — the order the line-buffer architecture
+// consumes and produces naturally (§4.2).
+
+#include <string>
+
+#include "core/strategy.h"
+#include "nn/network.h"
+#include "nn/weights.h"
+
+namespace hetacc::codegen {
+
+struct CodegenOptions {
+  std::string data_type = "float";  ///< csim datapath type (float mode)
+  int fifo_depth = 512;             ///< STREAM depth pragma on channels
+  bool embed_weights = true;        ///< bake weights as initializers
+
+  /// Fixed-point mode: data_t becomes int16_t, weights are baked as raw
+  /// Q-format integers, MACs accumulate in 64-bit and shift back with
+  /// round-to-nearest + saturation — the paper's 16-bit datapath (§7.1).
+  bool fixed_point = false;
+  /// Per-layer (in_frac, out_frac), index-aligned with net layers
+  /// 1..N-1. Required in fixed mode; consecutive fused layers must agree
+  /// (producer out_frac == consumer in_frac) since they share a stream.
+  std::vector<std::pair<int, int>> layer_fracs;
+};
+
+struct GeneratedDesign {
+  std::string header;     ///< design.h — top-function declarations
+  std::string source;     ///< design.cpp — layer functions + DATAFLOW tops
+  std::string testbench;  ///< main.cpp — file-driven C simulation harness
+  std::vector<std::string> group_tops;  ///< one top function per group
+};
+
+/// Generates the full design for a strategy over `net` (which must begin
+/// with an input layer). Weight values come from `ws`.
+[[nodiscard]] GeneratedDesign generate_design(const nn::Network& net,
+                                              const core::Strategy& strategy,
+                                              const nn::WeightStore& ws,
+                                              const CodegenOptions& opt = {});
+
+/// Convenience: a single fusion group spanning all layers, conventional
+/// algorithm everywhere (no optimizer needed).
+[[nodiscard]] core::Strategy trivial_strategy(const nn::Network& net,
+                                              const fpga::EngineModel& model);
+
+/// Writes design.h / design.cpp / main.cpp and a copy of hls_compat.h into
+/// `dir` (created if needed).
+void write_design(const GeneratedDesign& d, const std::string& dir);
+
+/// Serializes a tensor in the generated design's stream order (row, c, col),
+/// one value per line — the testbench's input format.
+[[nodiscard]] std::string tensor_to_stream_text(const nn::Tensor& t);
+
+/// Parses testbench output text back into a tensor of the given shape.
+[[nodiscard]] nn::Tensor tensor_from_stream_text(const std::string& text,
+                                                 const nn::Shape& shape);
+
+}  // namespace hetacc::codegen

@@ -1,0 +1,44 @@
+#pragma once
+// Host-side stand-in for the Vivado HLS headers the generated code includes.
+// In HLS C simulation, DATAFLOW functions execute sequentially and
+// hls::stream is an unbounded FIFO — which is exactly what this header
+// provides, so generated designs can be compiled with any C++17 compiler
+// and validated against the reference executor.
+
+#include <cstddef>
+#include <deque>
+#include <stdexcept>
+
+namespace hls {
+
+template <typename T>
+class stream {
+ public:
+  stream() = default;
+  explicit stream(const char* /*name*/) {}
+
+  void write(const T& v) { q_.push_back(v); }
+
+  T read() {
+    if (q_.empty()) {
+      throw std::runtime_error("hls::stream read on empty stream");
+    }
+    T v = q_.front();
+    q_.pop_front();
+    return v;
+  }
+
+  bool read_nb(T& v) {
+    if (q_.empty()) return false;
+    v = read();
+    return true;
+  }
+
+  [[nodiscard]] bool empty() const { return q_.empty(); }
+  [[nodiscard]] std::size_t size() const { return q_.size(); }
+
+ private:
+  std::deque<T> q_;
+};
+
+}  // namespace hls

@@ -1,0 +1,171 @@
+#include "codegen/hls_report.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace hetacc::codegen {
+
+namespace {
+
+std::string sanitize(const std::string& name) {
+  std::string out;
+  for (char c : name) {
+    out.push_back(std::isalnum(static_cast<unsigned char>(c)) ? c : '_');
+  }
+  return out;
+}
+
+/// Minimal XML helpers for the report's flat element structure.
+std::string tag(const std::string& name, const std::string& body,
+                int indent) {
+  return std::string(static_cast<std::size_t>(indent), ' ') + "<" + name +
+         ">" + body + "</" + name + ">\n";
+}
+
+std::string find_tag(const std::string& xml, const std::string& name,
+                     std::size_t from, std::size_t to, bool required) {
+  const std::string open = "<" + name + ">";
+  const std::string close = "</" + name + ">";
+  const std::size_t a = xml.find(open, from);
+  if (a == std::string::npos || a >= to) {
+    if (required) {
+      throw std::runtime_error("hls report: missing <" + name + ">");
+    }
+    return "";
+  }
+  const std::size_t b = xml.find(close, a);
+  if (b == std::string::npos || b > to) {
+    throw std::runtime_error("hls report: unterminated <" + name + ">");
+  }
+  return xml.substr(a + open.size(), b - a - open.size());
+}
+
+long long to_ll(const std::string& s, const char* what) {
+  try {
+    return std::stoll(s);
+  } catch (const std::exception&) {
+    throw std::runtime_error(std::string("hls report: bad number in ") +
+                             what + ": '" + s + "'");
+  }
+}
+
+}  // namespace
+
+fpga::ResourceVector HlsReport::total_resources() const {
+  fpga::ResourceVector total;
+  for (const auto& m : modules) {
+    // Group tops aggregate their layer modules; count leaf modules only.
+    if (m.name.rfind("group", 0) == 0 &&
+        m.name.find("_top") != std::string::npos) {
+      continue;
+    }
+    total += m.resources;
+  }
+  return total;
+}
+
+HlsReport make_report(const nn::Network& net, const core::Strategy& strategy,
+                      const fpga::Device& dev) {
+  HlsReport r;
+  r.design = net.name();
+  r.part = dev.chip;
+  r.clock_ns = 1e9 / dev.frequency_hz;
+  for (std::size_t gi = 0; gi < strategy.groups.size(); ++gi) {
+    const auto& g = strategy.groups[gi];
+    ModuleReport top;
+    top.name = "group" + std::to_string(gi) + "_top";
+    for (std::size_t k = 0; k < g.impls.size(); ++k) {
+      const nn::Layer& l = net[g.first + k];
+      ModuleReport m;
+      m.name = "layer_" + sanitize(l.name);
+      m.resources = g.impls[k].res;
+      m.latency_cycles = g.impls[k].compute_cycles + g.impls[k].fill_cycles;
+      top.resources += m.resources;
+      top.latency_cycles = std::max(top.latency_cycles, m.latency_cycles);
+      r.modules.push_back(std::move(m));
+    }
+    r.modules.push_back(std::move(top));
+  }
+  return r;
+}
+
+std::string to_xml(const HlsReport& r) {
+  std::ostringstream os;
+  os << "<?xml version=\"1.0\"?>\n<profile>\n";
+  os << tag("design", r.design, 2);
+  os << tag("part", r.part, 2);
+  os << tag("clock_ns", std::to_string(r.clock_ns), 2);
+  for (const auto& m : r.modules) {
+    os << "  <module>\n";
+    os << tag("name", m.name, 4);
+    os << tag("bram_18k", std::to_string(m.resources.bram18k), 4);
+    os << tag("dsp48e", std::to_string(m.resources.dsp), 4);
+    os << tag("ff", std::to_string(m.resources.ff), 4);
+    os << tag("lut", std::to_string(m.resources.lut), 4);
+    os << tag("latency", std::to_string(m.latency_cycles), 4);
+    os << "  </module>\n";
+  }
+  os << "</profile>\n";
+  return os.str();
+}
+
+HlsReport parse_report_xml(const std::string& xml) {
+  if (xml.find("<profile>") == std::string::npos) {
+    throw std::runtime_error("hls report: no <profile> root");
+  }
+  HlsReport r;
+  r.design = find_tag(xml, "design", 0, xml.size(), true);
+  r.part = find_tag(xml, "part", 0, xml.size(), true);
+  const std::string clock = find_tag(xml, "clock_ns", 0, xml.size(), false);
+  if (!clock.empty()) r.clock_ns = std::stod(clock);
+
+  std::size_t pos = 0;
+  while (true) {
+    const std::size_t a = xml.find("<module>", pos);
+    if (a == std::string::npos) break;
+    const std::size_t b = xml.find("</module>", a);
+    if (b == std::string::npos) {
+      throw std::runtime_error("hls report: unterminated <module>");
+    }
+    ModuleReport m;
+    m.name = find_tag(xml, "name", a, b, true);
+    m.resources.bram18k = to_ll(find_tag(xml, "bram_18k", a, b, true),
+                                "bram_18k");
+    m.resources.dsp = to_ll(find_tag(xml, "dsp48e", a, b, true), "dsp48e");
+    m.resources.ff = to_ll(find_tag(xml, "ff", a, b, true), "ff");
+    m.resources.lut = to_ll(find_tag(xml, "lut", a, b, true), "lut");
+    m.latency_cycles = to_ll(find_tag(xml, "latency", a, b, true), "latency");
+    r.modules.push_back(std::move(m));
+    pos = b;
+  }
+  return r;
+}
+
+namespace {
+double rel(double measured, double modeled) {
+  if (modeled == 0.0) return measured == 0.0 ? 0.0 : 1.0;
+  return (measured - modeled) / modeled;
+}
+}  // namespace
+
+ReportDelta compare_reports(const HlsReport& modeled,
+                            const HlsReport& measured) {
+  const auto a = modeled.total_resources();
+  const auto b = measured.total_resources();
+  ReportDelta d;
+  d.bram = rel(static_cast<double>(b.bram18k), static_cast<double>(a.bram18k));
+  d.dsp = rel(static_cast<double>(b.dsp), static_cast<double>(a.dsp));
+  d.ff = rel(static_cast<double>(b.ff), static_cast<double>(a.ff));
+  d.lut = rel(static_cast<double>(b.lut), static_cast<double>(a.lut));
+  long long lat_a = 0, lat_b = 0;
+  for (const auto& m : modeled.modules) {
+    lat_a = std::max(lat_a, m.latency_cycles);
+  }
+  for (const auto& m : measured.modules) {
+    lat_b = std::max(lat_b, m.latency_cycles);
+  }
+  d.latency = rel(static_cast<double>(lat_b), static_cast<double>(lat_a));
+  return d;
+}
+
+}  // namespace hetacc::codegen

@@ -1,0 +1,52 @@
+#pragma once
+// Vivado-HLS-style synthesis report: the tool-flow's last modeled artifact.
+// `write_report` emits a csynth-like XML summary per generated design
+// (resource estimates + latency, from the same model the optimizer used);
+// `parse_report` reads such a file back — also usable on hand-edited
+// reports, so measured numbers from a real HLS run can be compared against
+// the model (the calibration loop a deployment of this framework would run).
+
+#include <string>
+#include <vector>
+
+#include "core/strategy.h"
+
+namespace hetacc::codegen {
+
+struct ModuleReport {
+  std::string name;
+  fpga::ResourceVector resources;
+  long long latency_cycles = 0;
+};
+
+struct HlsReport {
+  std::string design;
+  std::string part;
+  double clock_ns = 10.0;
+  std::vector<ModuleReport> modules;
+
+  [[nodiscard]] fpga::ResourceVector total_resources() const;
+};
+
+/// Builds the report for a strategy: one module per layer function plus one
+/// per group top.
+[[nodiscard]] HlsReport make_report(const nn::Network& net,
+                                    const core::Strategy& strategy,
+                                    const fpga::Device& dev);
+
+/// csynth.xml-style serialization.
+[[nodiscard]] std::string to_xml(const HlsReport& r);
+
+/// Parses the XML produced by to_xml (and tolerant of reordered fields).
+/// Throws std::runtime_error on malformed input.
+[[nodiscard]] HlsReport parse_report_xml(const std::string& xml);
+
+/// Relative deviation per resource class between a modeled and a measured
+/// report (measured - modeled) / modeled, for the calibration loop.
+struct ReportDelta {
+  double bram = 0.0, dsp = 0.0, ff = 0.0, lut = 0.0, latency = 0.0;
+};
+[[nodiscard]] ReportDelta compare_reports(const HlsReport& modeled,
+                                          const HlsReport& measured);
+
+}  // namespace hetacc::codegen

@@ -1,0 +1,301 @@
+#include "core/branch_and_bound.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace hetacc::core {
+
+std::vector<std::vector<fpga::Implementation>> layer_candidate_impls(
+    const nn::Layer& layer, const fpga::EngineModel& model) {
+  // Buckets are keyed by (algorithm, Winograd tile size) so that within a
+  // bucket fill cycles are constant and compute cycles ascend — the
+  // monotonicity the in-bucket pruning break relies on.
+  std::vector<std::vector<fpga::Implementation>> by_algo;
+  auto bucket_of = [&](const fpga::EngineConfig& cfg)
+      -> std::vector<fpga::Implementation>& {
+    for (auto& b : by_algo) {
+      if (!b.empty() && b.front().cfg.algo == cfg.algo &&
+          (cfg.algo != fpga::ConvAlgo::kWinograd ||
+           b.front().cfg.wino_m == cfg.wino_m)) {
+        return b;
+      }
+    }
+    by_algo.emplace_back();
+    return by_algo.back();
+  };
+  for (const auto& cfg : model.candidates(layer)) {
+    bucket_of(cfg).push_back(model.implement(layer, cfg));
+  }
+  // Within an algorithm: descending parallelism == ascending compute cycles,
+  // the iteration order of Alg. 2 line 11 (so the in-loop `break` is sound).
+  for (auto& b : by_algo) {
+    std::sort(b.begin(), b.end(), [](const auto& a, const auto& c) {
+      return a.compute_cycles < c.compute_cycles;
+    });
+  }
+  return by_algo;
+}
+
+namespace {
+
+struct SearchState {
+  const nn::Network* net = nullptr;
+  const fpga::Device* dev = nullptr;
+  std::size_t first = 0, last = 0;
+  // candidates[k][algo_bucket][idx]
+  std::vector<std::vector<std::vector<fpga::Implementation>>> candidates;
+  // Lower bounds for pruning.
+  std::vector<long long> suffix_min_fill;
+  std::vector<fpga::ResourceVector> suffix_min_res;
+  // max over remaining layers of their fastest possible compute cycles: no
+  // completion can beat this stage length.
+  std::vector<long long> suffix_fastest_stage;
+  long long transfer_cycles = 0;
+
+  // Current path.
+  std::vector<const fpga::Implementation*> chosen;
+  fpga::ResourceVector used;
+  long long nodes = 0;
+  long long node_budget = 0;
+  bool budget_hit = false;
+
+  // Best so far.
+  long long best_latency = std::numeric_limits<long long>::max();
+  std::vector<fpga::Implementation> best_impls;
+
+  [[nodiscard]] std::size_t depth_count() const { return last - first + 1; }
+};
+
+long long leaf_latency(const SearchState& s) {
+  long long max_compute = 0;
+  long long fill = 0;
+  for (const auto* ipl : s.chosen) {
+    max_compute = std::max(max_compute, ipl->compute_cycles);
+    fill += ipl->fill_cycles;
+  }
+  return std::max(max_compute, s.transfer_cycles) + fill;
+}
+
+void visit(SearchState& s, std::size_t k, long long path_max_compute,
+           long long path_fill) {
+  if (s.budget_hit) return;
+  if (++s.nodes > s.node_budget) {
+    s.budget_hit = true;
+    return;
+  }
+  if (k == s.depth_count()) {
+    const long long lat = leaf_latency(s);
+    if (lat < s.best_latency) {
+      s.best_latency = lat;
+      s.best_impls.clear();
+      s.best_impls.reserve(s.chosen.size());
+      for (const auto* ipl : s.chosen) s.best_impls.push_back(*ipl);
+    }
+    return;
+  }
+
+  const long long remaining_fill = s.suffix_min_fill[k + 1];
+  const long long remaining_stage = s.suffix_fastest_stage[k + 1];
+  for (const auto& bucket : s.candidates[k]) {
+    for (const auto& ipl : bucket) {
+      // Alg. 2 lines 16-17: candidates in this bucket only get slower from
+      // here, so once the bound trips we can break, not just continue.
+      const long long lb =
+          std::max({path_max_compute, ipl.compute_cycles, s.transfer_cycles,
+                    remaining_stage}) +
+          path_fill + ipl.fill_cycles + remaining_fill;
+      if (lb >= s.best_latency) break;
+
+      const fpga::ResourceVector next = s.used + ipl.res;
+      // Resource feasibility including a lower bound for the unchosen tail
+      // (Alg. 2 line 18's meet_constraints, strengthened).
+      fpga::ResourceVector with_tail = next;
+      if (k + 1 < s.depth_count()) with_tail += s.suffix_min_res[k + 1];
+      if (!with_tail.fits_in(s.dev->capacity)) continue;
+
+      s.chosen.push_back(&ipl);
+      s.used = next;
+      visit(s, k + 1, std::max(path_max_compute, ipl.compute_cycles),
+            path_fill + ipl.fill_cycles);
+      s.used = s.used - ipl.res;
+      s.chosen.pop_back();
+      if (s.budget_hit) return;
+    }
+  }
+}
+
+}  // namespace
+
+std::optional<BnbResult> fuse_group(const nn::Network& net, std::size_t first,
+                                    std::size_t last,
+                                    const fpga::EngineModel& model,
+                                    const BnbOptions& opt) {
+  if (first > last || last >= net.size()) {
+    throw std::invalid_argument("fuse_group: bad range");
+  }
+  if (last - first + 1 > opt.max_group_layers) return std::nullopt;
+  for (std::size_t i = first; i <= last; ++i) {
+    if (net[i].kind == nn::LayerKind::kInput) {
+      throw std::invalid_argument("fuse_group: range contains input layer");
+    }
+  }
+
+  SearchState s;
+  s.net = &net;
+  s.dev = &model.device();
+  s.first = first;
+  s.last = last;
+  s.node_budget = opt.max_nodes;
+
+  const std::size_t depth = last - first + 1;
+  std::vector<std::vector<std::vector<fpga::Implementation>>> cand_by_layer;
+  cand_by_layer.reserve(depth);
+  for (std::size_t i = first; i <= last; ++i) {
+    auto cands = layer_candidate_impls(net[i], model);
+    bool any = false;
+    for (const auto& b : cands) any = any || !b.empty();
+    if (!any) return std::nullopt;  // layer kind we cannot build an engine for
+    cand_by_layer.push_back(std::move(cands));
+  }
+
+  // Decision order: heaviest layers first. Their stage lengths dominate the
+  // group latency, so fixing them early makes the latency bound bite at
+  // shallow depth and collapses the search tree.
+  std::vector<std::size_t> order(depth);
+  for (std::size_t k = 0; k < depth; ++k) order[k] = k;
+  std::vector<double> weight(depth, 0.0);
+  for (std::size_t k = 0; k < depth; ++k) {
+    double w = 0.0;
+    for (const auto& bucket : cand_by_layer[k]) {
+      for (const auto& ipl : bucket) {
+        const double work = static_cast<double>(ipl.compute_cycles) *
+                            static_cast<double>(std::max<long long>(
+                                1, ipl.res.dsp));
+        w = (w == 0.0) ? work : std::min(w, work);
+      }
+    }
+    weight[k] = w;
+  }
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a,
+                                                   std::size_t b) {
+    return weight[a] > weight[b];
+  });
+  s.candidates.resize(depth);
+  for (std::size_t k = 0; k < depth; ++k) {
+    s.candidates[k] = std::move(cand_by_layer[order[k]]);
+  }
+
+  // Suffix lower bounds for pruning.
+  s.suffix_min_fill.assign(depth + 1, 0);
+  s.suffix_min_res.assign(depth + 1, {});
+  s.suffix_fastest_stage.assign(depth + 1, 0);
+  for (std::size_t k = depth; k-- > 0;) {
+    long long min_fill = std::numeric_limits<long long>::max();
+    long long min_cycles = std::numeric_limits<long long>::max();
+    fpga::ResourceVector min_res{std::numeric_limits<long long>::max(),
+                                 std::numeric_limits<long long>::max(),
+                                 std::numeric_limits<long long>::max(),
+                                 std::numeric_limits<long long>::max()};
+    for (const auto& bucket : s.candidates[k]) {
+      for (const auto& ipl : bucket) {
+        min_fill = std::min(min_fill, ipl.fill_cycles);
+        min_cycles = std::min(min_cycles, ipl.compute_cycles);
+        min_res.bram18k = std::min(min_res.bram18k, ipl.res.bram18k);
+        min_res.dsp = std::min(min_res.dsp, ipl.res.dsp);
+        min_res.ff = std::min(min_res.ff, ipl.res.ff);
+        min_res.lut = std::min(min_res.lut, ipl.res.lut);
+      }
+    }
+    s.suffix_min_fill[k] = min_fill + s.suffix_min_fill[k + 1];
+    s.suffix_min_res[k] = min_res + s.suffix_min_res[k + 1];
+    s.suffix_fastest_stage[k] =
+        std::max(min_cycles, s.suffix_fastest_stage[k + 1]);
+  }
+  if (!s.suffix_min_res[0].fits_in(s.dev->capacity)) return std::nullopt;
+
+  const long long transfer_bytes =
+      min_transfer_bytes(net, first, last, s.dev->data_bytes);
+  s.transfer_cycles = static_cast<long long>(std::ceil(
+      static_cast<double>(transfer_bytes) / s.dev->bytes_per_cycle()));
+
+  // Greedy seed: start every layer at its cheapest implementation, then
+  // repeatedly upgrade the critical (slowest) layer to its next-faster
+  // candidate while resources allow. Converges to a balanced allocation and
+  // hands the DFS a strong initial bound so deep groups prune immediately.
+  {
+    std::vector<const fpga::Implementation*> seed(depth, nullptr);
+    fpga::ResourceVector used;
+    auto res_cost = [](const fpga::ResourceVector& r) {
+      return static_cast<double>(r.dsp) * 1e6 +
+             static_cast<double>(r.bram18k) * 1e3 +
+             static_cast<double>(r.lut) * 1e-2;
+    };
+    bool ok = true;
+    for (std::size_t k = 0; k < depth; ++k) {
+      for (const auto& bucket : s.candidates[k]) {
+        for (const auto& ipl : bucket) {
+          if (!seed[k] || res_cost(ipl.res) < res_cost(seed[k]->res)) {
+            seed[k] = &ipl;
+          }
+        }
+      }
+      if (!seed[k]) { ok = false; break; }
+      used += seed[k]->res;
+    }
+    if (ok && used.fits_in(s.dev->capacity)) {
+      for (bool improved = true; improved;) {
+        improved = false;
+        // Critical layer = the pipeline stage that bounds the group.
+        std::size_t crit = 0;
+        for (std::size_t k = 1; k < depth; ++k) {
+          if (seed[k]->compute_cycles > seed[crit]->compute_cycles) crit = k;
+        }
+        // Smallest strict improvement that still fits: fine steps keep the
+        // allocation balanced instead of starving the other layers.
+        const fpga::Implementation* upgrade = nullptr;
+        for (const auto& bucket : s.candidates[crit]) {
+          for (const auto& ipl : bucket) {
+            if (ipl.compute_cycles >= seed[crit]->compute_cycles) continue;
+            const fpga::ResourceVector trial =
+                used - seed[crit]->res + ipl.res;
+            if (!trial.fits_in(s.dev->capacity)) continue;
+            if (!upgrade || ipl.compute_cycles > upgrade->compute_cycles) {
+              upgrade = &ipl;
+            }
+          }
+        }
+        if (upgrade) {
+          used = used - seed[crit]->res + upgrade->res;
+          seed[crit] = upgrade;
+          improved = true;
+        }
+      }
+      s.chosen = seed;
+      s.best_latency = leaf_latency(s);
+      s.best_impls.clear();
+      for (const auto* ipl : seed) s.best_impls.push_back(*ipl);
+      s.chosen.clear();
+    }
+  }
+
+  visit(s, 0, 0, 0);
+
+  if (s.best_impls.empty()) return std::nullopt;
+
+  BnbResult r;
+  r.nodes_visited = s.nodes;
+  r.node_budget_hit = s.budget_hit;
+  r.group.first = first;
+  r.group.last = last;
+  // Undo the work-ordering permutation.
+  r.group.impls.resize(depth);
+  for (std::size_t k = 0; k < depth; ++k) {
+    r.group.impls[order[k]] = std::move(s.best_impls[k]);
+  }
+  r.group.timing =
+      evaluate_group_timing(net, first, last, r.group.impls, *s.dev);
+  return r;
+}
+
+}  // namespace hetacc::core

@@ -1,0 +1,39 @@
+#pragma once
+// Paper Algorithm 2: depth-first branch-and-bound that implements layers
+// [first, last] as one fusion group under the device resource constraint,
+// choosing an (algorithm, parallelism) per layer to minimize the group's
+// pipeline latency.
+
+#include <optional>
+
+#include "core/strategy.h"
+
+namespace hetacc::core {
+
+struct BnbOptions {
+  /// Safety valve on the DFS size; the bound is rarely approached because
+  /// the latency pruning (Alg. 2 lines 16-17) cuts most of the tree.
+  long long max_nodes = 4'000'000;
+  /// Cap on group depth (paper §7.1: 8, from memory-port limits).
+  std::size_t max_group_layers = 8;
+};
+
+struct BnbResult {
+  FusionGroup group;          ///< best found implementation
+  long long nodes_visited = 0;
+  bool node_budget_hit = false;  ///< result may be suboptimal if true
+};
+
+/// Returns nullopt when no assignment fits the resources (or the range
+/// exceeds max_group_layers): the paper's fusion[i][j] = infinity case.
+[[nodiscard]] std::optional<BnbResult> fuse_group(
+    const nn::Network& net, std::size_t first, std::size_t last,
+    const fpga::EngineModel& model, const BnbOptions& opt = {});
+
+/// Per-layer candidate implementations, grouped by algorithm and sorted by
+/// descending parallelism (the iteration order of Alg. 2 lines 10-11).
+/// Exposed for tests and for the balancer.
+[[nodiscard]] std::vector<std::vector<fpga::Implementation>>
+layer_candidate_impls(const nn::Layer& layer, const fpga::EngineModel& model);
+
+}  // namespace hetacc::core

@@ -1,0 +1,90 @@
+#pragma once
+// Paper Algorithm 1: dynamic programming over layer ranges and a discretized
+// feature-map-transfer budget. Chooses the fusion structure; Algorithm 2
+// (branch_and_bound.h) supplies fusion[i][j]; a balancing post-pass trims
+// resources of non-critical layers (paper §4.3 / Alg. 1 line 23-24).
+//
+// Two equivalent solvers are provided:
+//  * optimize_interval — the paper's O(N^3 T^2) interval recursion, verbatim;
+//  * optimize          — an O(N^2 T) prefix-partition reformulation that
+//    exploits the fact that a group's latency does not depend on how much of
+//    the leftover budget it is handed. Tests assert both agree.
+
+#include <chrono>
+
+#include "core/branch_and_bound.h"
+#include "core/strategy.h"
+
+namespace hetacc::core {
+
+struct OptimizerOptions {
+  /// The paper's T: upper bound on total feature-map DDR traffic, bytes.
+  long long transfer_budget_bytes = 0;
+  /// Discretization unit (paper §7.1 uses 10 KB).
+  long long transfer_unit_bytes = 10 * 1024;
+  BnbOptions bnb;
+  /// Run the resource-balancing post-pass on the final structure.
+  bool balance = true;
+};
+
+struct OptimizeResult {
+  Strategy strategy;
+  bool feasible = false;
+  /// Number of (i, j) ranges for which Algorithm 2 ran.
+  long long fusion_ranges_evaluated = 0;
+  long long bnb_nodes_visited = 0;
+  double wall_seconds = 0.0;
+};
+
+/// Precomputed fusion[i][j] table shared by both DP formulations.
+class FusionTable {
+ public:
+  FusionTable(const nn::Network& net, const fpga::EngineModel& model,
+              const BnbOptions& opt);
+
+  /// Range is expressed in optimizable-layer indices [0, count).
+  [[nodiscard]] bool feasible(std::size_t i, std::size_t j) const;
+  [[nodiscard]] long long latency(std::size_t i, std::size_t j) const;
+  [[nodiscard]] const FusionGroup& group(std::size_t i, std::size_t j) const;
+  /// min_t[i][j] in bytes.
+  [[nodiscard]] long long min_transfer(std::size_t i, std::size_t j) const;
+
+  [[nodiscard]] std::size_t count() const { return count_; }
+  /// Network index of optimizable layer k (skips the input layer).
+  [[nodiscard]] std::size_t net_index(std::size_t k) const {
+    return offset_ + k;
+  }
+  [[nodiscard]] long long ranges_evaluated() const { return ranges_; }
+  [[nodiscard]] long long nodes_visited() const { return nodes_; }
+
+ private:
+  [[nodiscard]] std::size_t cell(std::size_t i, std::size_t j) const;
+
+  std::size_t count_ = 0;
+  std::size_t offset_ = 0;  ///< 1 if the network starts with an input layer
+  std::vector<std::optional<BnbResult>> table_;
+  std::vector<long long> min_t_;
+  long long ranges_ = 0;
+  long long nodes_ = 0;
+};
+
+/// Fast prefix-partition DP (recommended).
+[[nodiscard]] OptimizeResult optimize(const nn::Network& net,
+                                      const fpga::EngineModel& model,
+                                      const OptimizerOptions& opt);
+
+/// The paper's Algorithm 1, interval recursion with k_mark/t_mark
+/// reconstruction. Exponentially slower in T; intended for validation and
+/// for faithfulness to the published pseudocode.
+[[nodiscard]] OptimizeResult optimize_interval(const nn::Network& net,
+                                               const fpga::EngineModel& model,
+                                               const OptimizerOptions& opt);
+
+/// Resource-balancing post-pass: within each group, every layer off the
+/// critical path is re-implemented with the cheapest candidate that does not
+/// lengthen the group's pipeline stage (paper: "balances the inter-layer
+/// pipeline within a fusion group through resource allocation").
+void balance_strategy(Strategy& s, const nn::Network& net,
+                      const fpga::EngineModel& model);
+
+}  // namespace hetacc::core

@@ -1,0 +1,53 @@
+#include "core/report.h"
+
+#include <algorithm>
+
+namespace hetacc::core {
+
+StrategyReport make_report(const Strategy& s, const nn::Network& net,
+                           const fpga::Device& dev) {
+  StrategyReport r;
+  r.latency_cycles = s.latency_cycles();
+  r.latency_ms = s.latency_seconds(dev.frequency_hz) * 1e3;
+  r.effective_gops = s.effective_gops(net, dev.frequency_hz);
+  r.peak_resources = s.peak_resources();
+  r.feature_transfer_bytes = s.transfer_bytes();
+
+  // DSP utilization: each layer keeps its DSPs busy for its own compute
+  // cycles out of the group's latency.
+  double busy = 0.0, avail = 0.0;
+  long long weight_words = 0;
+  for (const auto& g : s.groups) {
+    const auto res = g.resources();
+    avail += static_cast<double>(res.dsp) *
+             static_cast<double>(g.timing.latency_cycles);
+    for (const auto& ipl : g.impls) {
+      busy += static_cast<double>(ipl.res.dsp) *
+              static_cast<double>(std::min(ipl.compute_cycles,
+                                           g.timing.latency_cycles));
+      weight_words += ipl.weight_words;
+    }
+  }
+  r.dsp_utilization = (avail > 0.0) ? busy / avail : 0.0;
+  r.weight_transfer_bytes = weight_words * dev.data_bytes;
+
+  r.power = fpga::estimate_power(dev, r.peak_resources,
+                                 std::clamp(r.dsp_utilization, 0.0, 1.0));
+  const double secs = s.latency_seconds(dev.frequency_hz);
+  r.energy = fpga::estimate_energy(
+      dev, r.power, secs,
+      static_cast<double>(r.feature_transfer_bytes + r.weight_transfer_bytes));
+  r.energy_efficiency_gops_per_w = fpga::energy_efficiency_gops_per_w(
+      static_cast<double>(net.total_ops()), secs, r.power.total());
+
+  long long slowest_group = 0;
+  for (const auto& g : s.groups) {
+    slowest_group = std::max(slowest_group, g.timing.latency_cycles);
+  }
+  r.throughput_fps =
+      slowest_group > 0 ? dev.frequency_hz / static_cast<double>(slowest_group)
+                        : 0.0;
+  return r;
+}
+
+}  // namespace hetacc::core

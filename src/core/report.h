@@ -1,0 +1,32 @@
+#pragma once
+// Aggregated report for a strategy: the quantities the paper's Tables 1-2
+// and §7.2 energy discussion present (latency, effective GOPS, resources,
+// power, energy split into compute and transfer, DSP utilization).
+
+#include "core/strategy.h"
+#include "fpga/power.h"
+
+namespace hetacc::core {
+
+struct StrategyReport {
+  long long latency_cycles = 0;
+  double latency_ms = 0.0;
+  double effective_gops = 0.0;
+  fpga::ResourceVector peak_resources;
+  double dsp_utilization = 0.0;  ///< busy-DSP-cycles / available-DSP-cycles
+  fpga::PowerBreakdown power;
+  fpga::EnergyReport energy;
+  long long feature_transfer_bytes = 0;
+  long long weight_transfer_bytes = 0;
+  double energy_efficiency_gops_per_w = 0.0;
+  /// Batch throughput when successive images pipeline through the group
+  /// sequence (stage interval = slowest group). Single-image latency stays
+  /// latency_ms; this is the steady-state rate.
+  double throughput_fps = 0.0;
+};
+
+[[nodiscard]] StrategyReport make_report(const Strategy& s,
+                                         const nn::Network& net,
+                                         const fpga::Device& dev);
+
+}  // namespace hetacc::core

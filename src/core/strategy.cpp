@@ -1,0 +1,123 @@
+#include "core/strategy.h"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace hetacc::core {
+
+fpga::ResourceVector FusionGroup::resources() const {
+  fpga::ResourceVector sum;
+  for (const auto& ipl : impls) sum += ipl.res;
+  return sum;
+}
+
+long long Strategy::latency_cycles() const {
+  long long total = 0;
+  for (const auto& g : groups) total += g.timing.latency_cycles;
+  return total;
+}
+
+long long Strategy::pipelined_latency_cycles() const {
+  long long compute = 0, transfer = 0;
+  for (const auto& g : groups) {
+    compute += g.timing.compute_cycles + g.timing.fill_cycles;
+    transfer += g.timing.transfer_cycles;
+  }
+  return std::max(compute, transfer);
+}
+
+long long Strategy::transfer_bytes() const {
+  long long total = 0;
+  for (const auto& g : groups) total += g.timing.transfer_bytes;
+  return total;
+}
+
+fpga::ResourceVector Strategy::peak_resources() const {
+  fpga::ResourceVector peak;
+  for (const auto& g : groups) {
+    const auto r = g.resources();
+    peak.bram18k = std::max(peak.bram18k, r.bram18k);
+    peak.dsp = std::max(peak.dsp, r.dsp);
+    peak.ff = std::max(peak.ff, r.ff);
+    peak.lut = std::max(peak.lut, r.lut);
+  }
+  return peak;
+}
+
+long long Strategy::total_mults() const {
+  long long total = 0;
+  for (const auto& g : groups) {
+    for (const auto& ipl : g.impls) total += ipl.mults_performed;
+  }
+  return total;
+}
+
+double Strategy::effective_gops(const nn::Network& net,
+                                double frequency_hz) const {
+  const double secs = latency_seconds(frequency_hz);
+  if (secs <= 0.0) return 0.0;
+  return static_cast<double>(net.total_ops()) / secs / 1e9;
+}
+
+std::string Strategy::describe(const nn::Network& net) const {
+  std::ostringstream os;
+  os << "strategy: " << groups.size() << " fusion group(s), latency "
+     << latency_cycles() << " cycles, feature-map transfer "
+     << static_cast<double>(transfer_bytes()) / 1024.0 / 1024.0 << " MB\n";
+  for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+    const auto& g = groups[gi];
+    os << "  group " << gi << " = layers [" << g.first << ", " << g.last
+       << "], latency " << g.timing.latency_cycles << " cycles, transfer "
+       << g.timing.transfer_bytes / 1024 << " KB\n";
+    for (std::size_t k = 0; k < g.impls.size(); ++k) {
+      const auto& ipl = g.impls[k];
+      const nn::Layer& l = net[g.first + k];
+      os << "    " << l.name << ": " << fpga::to_string(ipl.cfg.algo)
+         << " p=" << ipl.cfg.parallelism(l.window())
+         << " dsp=" << ipl.res.dsp << " bram=" << ipl.res.bram18k
+         << " cycles=" << ipl.compute_cycles << "\n";
+    }
+  }
+  return os.str();
+}
+
+GroupTiming evaluate_group_timing(
+    const nn::Network& net, std::size_t first, std::size_t last,
+    const std::vector<fpga::Implementation>& impls, const fpga::Device& dev) {
+  if (first > last || last >= net.size() || impls.size() != last - first + 1) {
+    throw std::invalid_argument("evaluate_group_timing: bad range");
+  }
+  GroupTiming t;
+  t.transfer_bytes = min_transfer_bytes(net, first, last, dev.data_bytes);
+  // Kernel weights stream from DDR once per image regardless of fusion
+  // (paper §5: "fusion design does not help to save the kernel weight
+  // transfer"); they cost DDR time but are excluded from the T budget.
+  long long weight_bytes = 0;
+  for (const auto& ipl : impls) {
+    weight_bytes += ipl.weight_words * dev.data_bytes;
+  }
+  t.transfer_cycles = static_cast<long long>(
+      std::ceil(static_cast<double>(t.transfer_bytes + weight_bytes) /
+                dev.bytes_per_cycle()));
+  for (const auto& ipl : impls) {
+    t.compute_cycles = std::max(t.compute_cycles, ipl.compute_cycles);
+    t.fill_cycles += ipl.fill_cycles;
+  }
+  // Intra-layer pipelining overlaps DDR traffic with computation
+  // (paper Fig. 2(d)); the steady state is bound by the slower of the two.
+  t.latency_cycles = std::max(t.compute_cycles, t.transfer_cycles) +
+                     t.fill_cycles;
+  return t;
+}
+
+long long min_transfer_bytes(const nn::Network& net, std::size_t first,
+                             std::size_t last, int bytes_per_elem) {
+  if (first > last || last >= net.size()) {
+    throw std::invalid_argument("min_transfer_bytes: bad range");
+  }
+  return net[first].in.bytes(bytes_per_elem) +
+         net[last].out.bytes(bytes_per_elem);
+}
+
+}  // namespace hetacc::core

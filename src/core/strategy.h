@@ -1,0 +1,80 @@
+#pragma once
+// Strategy types (paper Definition 1): per-layer implementation choice
+// C_i = <group, algorithm, parallelism>, fusion groups, and whole-network
+// strategies with their latency / transfer / resource accounting.
+
+#include <string>
+#include <vector>
+
+#include "fpga/engine_model.h"
+#include "nn/network.h"
+
+namespace hetacc::core {
+
+/// Timing of one fusion group executing on the device.
+struct GroupTiming {
+  long long compute_cycles = 0;   ///< slowest member layer (pipeline stage)
+  long long transfer_cycles = 0;  ///< group input load + output store at DDR
+  long long fill_cycles = 0;      ///< pipeline priming across the group
+  long long latency_cycles = 0;   ///< max(compute, transfer) + fill
+
+  /// Feature-map bytes this group moves through DDR (the paper's T metric).
+  long long transfer_bytes = 0;
+};
+
+/// One fusion group: layers [first, last] of the network (inclusive),
+/// streamed through on-chip line buffers, executing as one DATAFLOW region.
+struct FusionGroup {
+  std::size_t first = 0;
+  std::size_t last = 0;
+  std::vector<fpga::Implementation> impls;  ///< one per member layer
+  GroupTiming timing;
+
+  [[nodiscard]] std::size_t size() const { return last - first + 1; }
+  [[nodiscard]] fpga::ResourceVector resources() const;
+};
+
+/// A full strategy S = {C_i} (paper Definition 1): a partition of the
+/// network into fusion groups plus per-layer implementations.
+struct Strategy {
+  std::vector<FusionGroup> groups;
+
+  [[nodiscard]] long long latency_cycles() const;
+  /// Latency when consecutive groups double-buffer their DDR traffic
+  /// (prefetch next group's input / drain previous output under compute):
+  /// max(total compute+fill, total DDR time). The optimizer's objective is
+  /// the conservative latency_cycles(); this metric matches the fully
+  /// overlapped execution the paper's unfused 660-GOPS point implies.
+  [[nodiscard]] long long pipelined_latency_cycles() const;
+  [[nodiscard]] long long transfer_bytes() const;
+  /// Peak resource demand across groups (groups execute one at a time).
+  [[nodiscard]] fpga::ResourceVector peak_resources() const;
+  /// Sum over layers of multiplications actually performed.
+  [[nodiscard]] long long total_mults() const;
+
+  [[nodiscard]] double latency_seconds(double frequency_hz) const {
+    return static_cast<double>(latency_cycles()) / frequency_hz;
+  }
+  /// Effective performance = total network ops / end-to-end latency
+  /// (footnote of paper §7.2).
+  [[nodiscard]] double effective_gops(const nn::Network& net,
+                                      double frequency_hz) const;
+
+  [[nodiscard]] std::string describe(const nn::Network& net) const;
+};
+
+/// Group latency under the paper's execution model: member layers stream
+/// concurrently (inter-layer pipeline), DDR carries only the group's first
+/// input and last output, groups run back to back.
+[[nodiscard]] GroupTiming evaluate_group_timing(
+    const nn::Network& net, std::size_t first, std::size_t last,
+    const std::vector<fpga::Implementation>& impls, const fpga::Device& dev);
+
+/// Minimal feature-map transfer of fusing [first, last]: input of the first
+/// layer + output of the last (the paper's min_t[i][j]).
+[[nodiscard]] long long min_transfer_bytes(const nn::Network& net,
+                                           std::size_t first,
+                                           std::size_t last,
+                                           int bytes_per_elem);
+
+}  // namespace hetacc::core

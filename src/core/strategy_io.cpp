@@ -1,0 +1,60 @@
+#include "core/strategy_io.h"
+
+#include <sstream>
+
+namespace hetacc::core {
+
+std::string strategy_to_csv(const Strategy& s, const nn::Network& net) {
+  std::ostringstream os;
+  os << "group,layer,name,kind,algorithm,wino_m,tn,tm,tk,parallelism,"
+        "dsp,bram18k,ff,lut,compute_cycles,fill_cycles\n";
+  for (std::size_t gi = 0; gi < s.groups.size(); ++gi) {
+    const auto& g = s.groups[gi];
+    for (std::size_t k = 0; k < g.impls.size(); ++k) {
+      const nn::Layer& l = net[g.first + k];
+      const auto& ipl = g.impls[k];
+      os << gi << ',' << g.first + k << ',' << l.name << ','
+         << nn::to_string(l.kind) << ',' << fpga::to_string(ipl.cfg.algo)
+         << ','
+         << (ipl.cfg.algo == fpga::ConvAlgo::kWinograd ? ipl.cfg.wino_m : 0)
+         << ',' << ipl.cfg.tn << ',' << ipl.cfg.tm << ',' << ipl.cfg.tk << ','
+         << ipl.cfg.parallelism(l.window()) << ',' << ipl.res.dsp << ','
+         << ipl.res.bram18k << ',' << ipl.res.ff << ',' << ipl.res.lut << ','
+         << ipl.compute_cycles << ',' << ipl.fill_cycles << '\n';
+    }
+  }
+  return os.str();
+}
+
+std::string strategy_to_markdown(const Strategy& s, const nn::Network& net) {
+  std::ostringstream os;
+  os << "| Layer | Algorithm | Parallelism | BRAM | DSP | FF | LUT |\n";
+  os << "|---|---|---|---|---|---|---|\n";
+  fpga::ResourceVector total;
+  for (const auto& g : s.groups) {
+    for (std::size_t k = 0; k < g.impls.size(); ++k) {
+      const nn::Layer& l = net[g.first + k];
+      const auto& ipl = g.impls[k];
+      os << "| " << l.name << " | " << fpga::to_string(ipl.cfg.algo) << " | "
+         << ipl.cfg.parallelism(l.window()) << " | " << ipl.res.bram18k
+         << " | " << ipl.res.dsp << " | " << ipl.res.ff << " | "
+         << ipl.res.lut << " |\n";
+      total += ipl.res;
+    }
+  }
+  os << "| **Total** | | | " << total.bram18k << " | " << total.dsp << " | "
+     << total.ff << " | " << total.lut << " |\n";
+  return os.str();
+}
+
+std::string report_to_csv_row(const StrategyReport& r) {
+  std::ostringstream os;
+  os << r.latency_cycles << ',' << r.latency_ms << ',' << r.effective_gops
+     << ',' << r.peak_resources.dsp << ',' << r.peak_resources.bram18k << ','
+     << r.peak_resources.ff << ',' << r.peak_resources.lut << ','
+     << r.power.total() << ',' << r.energy_efficiency_gops_per_w << ','
+     << r.feature_transfer_bytes << ',' << r.throughput_fps << '\n';
+  return os.str();
+}
+
+}  // namespace hetacc::core

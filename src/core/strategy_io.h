@@ -1,0 +1,28 @@
+#pragma once
+// Machine-readable strategy export: CSV rows per layer (the format the
+// bench harnesses and downstream scripts consume) and a compact
+// markdown table for reports.
+
+#include <string>
+
+#include "core/report.h"
+#include "core/strategy.h"
+
+namespace hetacc::core {
+
+/// CSV with header:
+/// group,layer,name,kind,algorithm,wino_m,tn,tm,tk,parallelism,
+/// dsp,bram18k,ff,lut,compute_cycles,fill_cycles
+[[nodiscard]] std::string strategy_to_csv(const Strategy& s,
+                                          const nn::Network& net);
+
+/// Markdown table mirroring the paper's Table 2 layout.
+[[nodiscard]] std::string strategy_to_markdown(const Strategy& s,
+                                               const nn::Network& net);
+
+/// One-line CSV of the aggregate report (for sweep scripts):
+/// latency_cycles,latency_ms,gops,dsp,bram18k,ff,lut,power_w,
+/// gops_per_w,transfer_bytes,throughput_fps
+[[nodiscard]] std::string report_to_csv_row(const StrategyReport& r);
+
+}  // namespace hetacc::core

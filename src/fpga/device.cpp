@@ -1,0 +1,79 @@
+#include "fpga/device.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hetacc::fpga {
+
+std::string ResourceVector::str() const {
+  return "{BRAM18K=" + std::to_string(bram18k) + ", DSP=" + std::to_string(dsp) +
+         ", FF=" + std::to_string(ff) + ", LUT=" + std::to_string(lut) + "}";
+}
+
+Device zc706() {
+  Device d;
+  d.name = "ZC706";
+  d.chip = "XC7Z045";
+  d.capacity = ResourceVector{1090, 900, 437200, 218600};
+  d.bandwidth_bytes_per_s = 4.2e9;  // paper §7.1: 4.2 GB/s peak
+  d.frequency_hz = 100e6;
+  d.data_bytes = 2;
+  return d;
+}
+
+Device vc707() {
+  Device d;
+  d.name = "VC707";
+  d.chip = "XC7VX485T";
+  d.capacity = ResourceVector{2060, 2800, 607200, 303600};
+  d.bandwidth_bytes_per_s = 4.5e9;  // Fig. 1 bandwidth roof slope
+  d.frequency_hz = 100e6;
+  d.data_bytes = 2;
+  return d;
+}
+
+Device vx690t() {
+  Device d;
+  d.name = "VX690T";
+  d.chip = "XC7VX690T";
+  d.capacity = ResourceVector{2940, 3600, 866400, 433200};
+  d.bandwidth_bytes_per_s = 12.8e9;  // dual-channel DDR3 board
+  d.frequency_hz = 100e6;
+  d.data_bytes = 2;
+  return d;
+}
+
+Device toy_device() {
+  Device d;
+  d.name = "toy";
+  d.chip = "toy";
+  d.capacity = ResourceVector{64, 64, 32768, 16384};
+  d.bandwidth_bytes_per_s = 0.4e9;
+  d.frequency_hz = 100e6;
+  d.data_bytes = 2;
+  return d;
+}
+
+long long bram18k_for(long long words, int bits, int banks) {
+  if (words < 0 || bits <= 0 || banks <= 0) {
+    throw std::invalid_argument("bram18k_for: bad arguments");
+  }
+  if (words == 0) return 0;
+  // An 18Kb block provides 18432 bits but with quantized aspect ratios:
+  // width w in {1,2,4,9,18,36(two blocks)} and depth 18432/w. For 16-bit
+  // words the natural mapping is width 18, depth 1024.
+  const long long per_bank_words = (words + banks - 1) / banks;
+  long long depth_per_block;
+  if (bits <= 1) depth_per_block = 16384;
+  else if (bits <= 2) depth_per_block = 8192;
+  else if (bits <= 4) depth_per_block = 4096;
+  else if (bits <= 9) depth_per_block = 2048;
+  else if (bits <= 18) depth_per_block = 1024;
+  else depth_per_block = 512;  // width 36 costs a block pair; modeled below
+  long long blocks_per_bank =
+      (per_bank_words + depth_per_block - 1) / depth_per_block;
+  if (bits > 18) blocks_per_bank *= 2;
+  return std::max(1ll, blocks_per_bank) * banks;
+}
+
+}  // namespace hetacc::fpga

@@ -1,0 +1,109 @@
+#pragma once
+// FPGA device model: the multi-dimensional resource vector R of Problem 1
+// (BRAM18K, DSP48E, FF, LUT), off-chip bandwidth, and clocking. Catalog
+// entries for the boards in the paper: ZC706 (XC7Z045, §7.1) and the
+// Virtex-7 485T used for the Fig. 1 motivation.
+
+#include <cstdint>
+#include <string>
+
+namespace hetacc::fpga {
+
+/// Usage/capacity along the four resource dimensions the paper tracks.
+struct ResourceVector {
+  long long bram18k = 0;
+  long long dsp = 0;
+  long long ff = 0;
+  long long lut = 0;
+
+  ResourceVector& operator+=(const ResourceVector& o) {
+    bram18k += o.bram18k;
+    dsp += o.dsp;
+    ff += o.ff;
+    lut += o.lut;
+    return *this;
+  }
+  [[nodiscard]] ResourceVector operator+(const ResourceVector& o) const {
+    ResourceVector r = *this;
+    r += o;
+    return r;
+  }
+  [[nodiscard]] ResourceVector operator-(const ResourceVector& o) const {
+    return ResourceVector{bram18k - o.bram18k, dsp - o.dsp, ff - o.ff,
+                          lut - o.lut};
+  }
+  [[nodiscard]] ResourceVector scaled(double s) const {
+    return ResourceVector{static_cast<long long>(bram18k * s),
+                          static_cast<long long>(dsp * s),
+                          static_cast<long long>(ff * s),
+                          static_cast<long long>(lut * s)};
+  }
+  /// Componentwise "fits inside" (the meet_constraints test of Alg. 2).
+  [[nodiscard]] bool fits_in(const ResourceVector& cap) const {
+    return bram18k <= cap.bram18k && dsp <= cap.dsp && ff <= cap.ff &&
+           lut <= cap.lut;
+  }
+  [[nodiscard]] bool any_negative() const {
+    return bram18k < 0 || dsp < 0 || ff < 0 || lut < 0;
+  }
+  bool operator==(const ResourceVector&) const = default;
+  [[nodiscard]] std::string str() const;
+};
+
+/// Per-resource-class dynamic power coefficients (watts per busy unit at the
+/// design clock) plus DDR transfer energy. Calibrated against the ~9-10 W
+/// envelope reported for ZC706 CNN accelerators in the cited literature.
+struct PowerSpec {
+  double static_w = 0.25;          ///< device static power
+  double per_dsp_w = 2.0e-3;       ///< DSP48E busy at 100 MHz
+  double per_bram_w = 1.2e-3;      ///< BRAM18K active
+  double per_klut_w = 1.5e-3;      ///< per 1000 LUTs of active logic
+  double per_kff_w = 0.4e-3;       ///< per 1000 FFs
+  double ddr_pj_per_byte = 300.0;  ///< DDR3 access energy (pJ/byte, incl PHY)
+  double base_board_w = 1.0;       ///< regulators, clocking, ARM subsystem idle
+};
+
+struct Device {
+  std::string name;
+  std::string chip;
+  ResourceVector capacity;
+  double bandwidth_bytes_per_s = 0.0;  ///< peak off-chip memory bandwidth
+  double frequency_hz = 100e6;         ///< design clock (paper: 100 MHz)
+  int data_bytes = 2;                  ///< 16-bit fixed data type
+  PowerSpec power;
+
+  /// DSP-limited computational roof in ops/s for an algorithm that performs
+  /// `ops_per_dsp_cycle` effective operations per DSP per cycle.
+  /// Conventional: 2 (one MAC). Winograd F(4x4,3x3): 8 (4x fewer
+  /// multiplications for the same convolution work, paper §2.2).
+  [[nodiscard]] double computational_roof_ops(double ops_per_dsp_cycle) const {
+    return static_cast<double>(capacity.dsp) * ops_per_dsp_cycle *
+           frequency_hz;
+  }
+
+  /// Bytes transferable per design clock cycle at peak bandwidth.
+  [[nodiscard]] double bytes_per_cycle() const {
+    return bandwidth_bytes_per_s / frequency_hz;
+  }
+};
+
+/// Xilinx Zynq ZC706 board (XC7Z045), the paper's experiment platform:
+/// 900 DSP48E, 1090 BRAM18K, 437k FF, 218k LUT, 4.2 GB/s peak DDR3.
+[[nodiscard]] Device zc706();
+
+/// Virtex-7 VC707 (XC7VX485T), the chip behind the Fig. 1 roofline study.
+[[nodiscard]] Device vc707();
+
+/// Virtex-7 VX690T, the (much larger) part the baseline's authors evaluated
+/// on — useful for cross-device exploration.
+[[nodiscard]] Device vx690t();
+
+/// A deliberately tiny device for optimizer stress tests.
+[[nodiscard]] Device toy_device();
+
+/// BRAM18K blocks needed for a buffer of `words` elements of `bits` each,
+/// given Xilinx 18Kb block geometry (1024x18, 2048x9, ...). `banks`
+/// independent partitions each round up to at least one block.
+[[nodiscard]] long long bram18k_for(long long words, int bits, int banks = 1);
+
+}  // namespace hetacc::fpga

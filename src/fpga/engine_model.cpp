@@ -1,0 +1,395 @@
+#include "fpga/engine_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace hetacc::fpga {
+
+std::string_view to_string(ConvAlgo a) {
+  switch (a) {
+    case ConvAlgo::kConventional: return "conventional";
+    case ConvAlgo::kWinograd: return "winograd";
+    case ConvAlgo::kWinogradStride2: return "winograd-s2";
+    case ConvAlgo::kNone: return "-";
+  }
+  return "?";
+}
+
+std::vector<int> divisors_up_to(int x, int cap) {
+  std::vector<int> out;
+  for (int d = 1; d <= x && d <= cap; ++d) {
+    if (x % d == 0) out.push_back(d);
+  }
+  if (out.empty()) out.push_back(1);
+  return out;
+}
+
+bool EngineModel::winograd_ok(const nn::Layer& layer) {
+  if (layer.kind != nn::LayerKind::kConv) return false;
+  const auto& p = layer.conv();
+  return p.stride == 1 && p.kernel >= 2 && p.kernel <= 7;
+}
+
+long long EngineModel::algo_mults(const nn::Layer& layer,
+                                  const EngineConfig& cfg) {
+  switch (cfg.algo) {
+    case ConvAlgo::kConventional:
+      return layer.mults();
+    case ConvAlgo::kWinograd: {
+      const auto& p = layer.conv();
+      const int n = cfg.wino_m + p.kernel - 1;
+      const long long tiles =
+          static_cast<long long>((layer.out.h + cfg.wino_m - 1) / cfg.wino_m) *
+          ((layer.out.w + cfg.wino_m - 1) / cfg.wino_m);
+      return tiles * n * n * layer.in.c * layer.out.c;
+    }
+    case ConvAlgo::kWinogradStride2: {
+      const auto& p = layer.conv();
+      const int r = (p.kernel + 1) / 2;
+      const int n = cfg.wino_m + r - 1;
+      const long long tiles =
+          static_cast<long long>((layer.out.h + cfg.wino_m - 1) / cfg.wino_m) *
+          ((layer.out.w + cfg.wino_m - 1) / cfg.wino_m);
+      return 4 * tiles * n * n * layer.in.c * layer.out.c;  // four phases
+    }
+    case ConvAlgo::kNone: {
+      if (layer.kind == nn::LayerKind::kLrn) {
+        // square + scale per element of the cross-channel window
+        return layer.out.elems() * (layer.lrn().local_size + 2);
+      }
+      return 0;  // pooling / ReLU are multiplier-free
+    }
+  }
+  return 0;
+}
+
+Implementation EngineModel::implement(const nn::Layer& layer,
+                                      EngineConfig cfg) const {
+  if (layer.kind == nn::LayerKind::kConv) {
+    if (cfg.algo == ConvAlgo::kNone) {
+      throw std::invalid_argument("conv layer needs a conv algorithm");
+    }
+    return implement_conv(layer, cfg);
+  }
+  if (cfg.algo != ConvAlgo::kNone) {
+    throw std::invalid_argument("non-conv layer cannot use a conv algorithm");
+  }
+  return implement_simple(layer, cfg);
+}
+
+Implementation EngineModel::implement_conv(const nn::Layer& layer,
+                                           EngineConfig cfg) const {
+  const auto& cp = layer.conv();
+  const int K = cp.kernel;
+  const int M = layer.in.c;
+  const int N = layer.out.c;
+  cfg.tn = std::clamp(cfg.tn, 1, M);
+  cfg.tm = std::clamp(cfg.tm, 1, N);
+  cfg.tk = std::clamp(cfg.tk, 1, K * K);
+
+  Implementation ipl;
+  ipl.cfg = cfg;
+  ipl.mults_performed = algo_mults(layer, cfg);
+  ipl.weight_words = static_cast<long long>(N) * M * K * K;
+
+  long long line_rows = 0;
+  long long cycles = 0;
+  if (cfg.algo == ConvAlgo::kWinogradStride2) {
+    if (cp.stride != 2 || K < 2 || K > 7) {
+      throw std::invalid_argument(
+          "stride-2 winograd requires stride 2 and kernel in [2,7] (layer '" +
+          layer.name + "')");
+    }
+    const int m = cfg.wino_m;
+    const int r = (K + 1) / 2;
+    const int n = m + r - 1;
+    // One phase engine of n^2 multipliers, iterated over the four phases:
+    // 4 cycles per (tile, tn-, tm-) pass.
+    const long long tiles = static_cast<long long>((layer.out.h + m - 1) / m) *
+                            ((layer.out.w + m - 1) / m);
+    cycles = 4 * tiles * ((M + cfg.tn - 1) / cfg.tn) *
+             ((N + cfg.tm - 1) / cfg.tm);
+    // An output block of m rows touches 2(m-1)+K input rows; double for the
+    // rows streaming in behind it.
+    line_rows = 2ll * (2 * (m - 1) + K);
+    ipl.res.dsp = static_cast<long long>(n) * n * cfg.tn * cfg.tm;
+    ipl.res.lut = static_cast<long long>(
+        p_.base_lut + p_.lut_per_mult_wino * ipl.res.dsp);
+    ipl.res.ff = static_cast<long long>(
+        p_.base_ff + p_.ff_per_mult_wino * ipl.res.dsp);
+  } else if (cfg.algo == ConvAlgo::kWinograd) {
+    if (!winograd_ok(layer)) {
+      throw std::invalid_argument(
+          "winograd requires stride 1 and kernel in [2,7] (layer '" +
+          layer.name + "')");
+    }
+    const int m = cfg.wino_m;
+    const int n = m + K - 1;
+    // One (m+r-1)^2 multiplier array per (tn, tm) channel pair: each cycle
+    // retires one input-tile x output-channel partial product.
+    const long long tiles =
+        static_cast<long long>((layer.out.h + m - 1) / m) *
+        ((layer.out.w + m - 1) / m);
+    cycles = tiles * ((M + cfg.tn - 1) / cfg.tn) *
+             ((N + cfg.tm - 1) / cfg.tm);
+    // n rows active in transform + m rows streaming in (circular buffer).
+    line_rows = n + m;
+    ipl.res.dsp = static_cast<long long>(n) * n * cfg.tn * cfg.tm;
+    ipl.res.lut = static_cast<long long>(
+        p_.base_lut + p_.lut_per_mult_wino * ipl.res.dsp);
+    ipl.res.ff = static_cast<long long>(
+        p_.base_ff + p_.ff_per_mult_wino * ipl.res.dsp);
+  } else {
+    // Conventional: tn x tm x tk MACs per cycle over the six-deep loop nest.
+    cycles = static_cast<long long>((M + cfg.tn - 1) / cfg.tn) *
+             ((N + cfg.tm - 1) / cfg.tm) * ((K * K + cfg.tk - 1) / cfg.tk) *
+             layer.out.h * layer.out.w;
+    line_rows = K + cp.stride;
+    ipl.res.dsp = static_cast<long long>(cfg.tn) * cfg.tm * cfg.tk;
+    ipl.res.lut = static_cast<long long>(
+        p_.base_lut + p_.lut_per_mult_conv * ipl.res.dsp);
+    ipl.res.ff = static_cast<long long>(
+        p_.base_ff + p_.ff_per_mult_conv * ipl.res.dsp);
+  }
+  ipl.compute_cycles = static_cast<long long>(
+      std::ceil(static_cast<double>(cycles) / p_.compute_efficiency));
+
+  // Circular line buffer (paper §4.2): line_rows rows x W columns x M
+  // channels, partitioned into one bank per (row, tn-slice) for port
+  // bandwidth.
+  const long long lb_words =
+      static_cast<long long>(M) * line_rows * layer.in.w;
+  const int lb_banks = static_cast<int>(std::min<long long>(
+      line_rows * cfg.tn, p_.max_line_buffer_banks));
+  const int w_banks = static_cast<int>(std::min<long long>(
+      static_cast<long long>(cfg.tn) * cfg.tm, p_.max_weight_banks));
+
+  // Two buffering regimes, as in real accelerators:
+  //  (a) weight-stationary: the line buffer streams the feature map and the
+  //      full kernel set is resident (early layers: big maps, small kernels);
+  //  (b) input-stationary: the whole (small) input map is resident and
+  //      kernels stream from DDR through a double buffer of tm output
+  //      channels (late layers: small maps, massive kernel sets — e.g.
+  //      AlexNet conv4's 1.3M weight words exceed the ZC706's BRAM).
+  // Either way the kernels cross DDR once per image (paper §5 excludes that
+  // traffic from T). The engine takes whichever regime is cheaper.
+  const long long lb_bram =
+      p_.include_line_buffer ? bram18k_for(lb_words, 16, lb_banks) : 0;
+  const long long bram_weight_stationary =
+      lb_bram + bram18k_for(ipl.weight_words, 16, w_banks);
+  const long long fmap_words = layer.in.elems();
+  const long long wbuf_words =
+      2ll * cfg.tm * M * K * K;  // double-buffered output-channel block
+  const long long bram_input_stationary =
+      (p_.include_line_buffer ? bram18k_for(fmap_words, 16, lb_banks) : 0) +
+      bram18k_for(std::min(wbuf_words, ipl.weight_words), 16, w_banks);
+  ipl.res.bram18k = std::min(bram_weight_stationary, bram_input_stationary);
+
+  // Priming: the first K (or tile-reach) input rows must arrive before
+  // output row 0.
+  int prime_rows = K;
+  if (cfg.algo == ConvAlgo::kWinograd) {
+    prime_rows = cfg.wino_m + K - 1;
+  } else if (cfg.algo == ConvAlgo::kWinogradStride2) {
+    prime_rows = 2 * (cfg.wino_m - 1) + K;
+  }
+  ipl.fill_cycles = static_cast<long long>(prime_rows) * layer.in.w *
+                    ((M + p_.fifo_words_per_cycle - 1) / p_.fifo_words_per_cycle);
+  return ipl;
+}
+
+Implementation EngineModel::implement_simple(const nn::Layer& layer,
+                                             EngineConfig cfg) const {
+  cfg.tn = std::clamp(cfg.tn, 1, std::max(1, layer.in.c));
+  Implementation ipl;
+  ipl.cfg = cfg;
+  ipl.mults_performed = algo_mults(layer, cfg);
+
+  long long work = 0;       // inner operations to schedule
+  long long line_rows = 1;  // buffered input rows
+  long long dsp = 0;
+  switch (layer.kind) {
+    case nn::LayerKind::kPool: {
+      const auto& pp = layer.pool();
+      work = layer.out.elems() * pp.kernel * pp.kernel;
+      line_rows = pp.kernel + pp.stride;
+      dsp = 0;  // max/accumulate trees live in LUTs
+      break;
+    }
+    case nn::LayerKind::kLrn: {
+      work = layer.out.elems() * layer.lrn().local_size;
+      line_rows = 2;  // current + incoming row (window is cross-channel)
+      dsp = static_cast<long long>(p_.lrn_dsp_per_lane) * cfg.tn;
+      break;
+    }
+    case nn::LayerKind::kRelu: {
+      work = layer.out.elems();
+      line_rows = 1;
+      dsp = 0;
+      break;
+    }
+    default:
+      throw std::invalid_argument("implement_simple: unsupported layer kind '" +
+                                  std::string(nn::to_string(layer.kind)) +
+                                  "'");
+  }
+  ipl.compute_cycles = static_cast<long long>(std::ceil(
+      static_cast<double>(work) / (cfg.tn * p_.compute_efficiency)));
+  ipl.res.dsp = dsp;
+  ipl.res.lut = static_cast<long long>(p_.base_lut_simple + 40.0 * cfg.tn);
+  ipl.res.ff = static_cast<long long>(p_.base_ff_simple + 55.0 * cfg.tn);
+  const long long lb_words =
+      static_cast<long long>(layer.in.c) * line_rows * layer.in.w;
+  const int banks = static_cast<int>(
+      std::min<long long>(line_rows * cfg.tn, p_.max_line_buffer_banks));
+  ipl.res.bram18k =
+      p_.include_line_buffer ? bram18k_for(lb_words, 16, banks) : 0;
+  ipl.fill_cycles = static_cast<long long>(layer.window()) * layer.in.w *
+                    ((layer.in.c + p_.fifo_words_per_cycle - 1) /
+                     p_.fifo_words_per_cycle);
+  return ipl;
+}
+
+namespace {
+
+struct RatedConfig {
+  EngineConfig cfg;
+  long long cycles = 0;  ///< steady-state estimate (pre-efficiency)
+  long long dsp = 0;
+};
+
+/// Keeps the Pareto frontier over (cycles, dsp) — a config is useless if
+/// another is at least as fast with no more DSPs (ceil-division waste makes
+/// many nominal-parallelism tiers strictly dominated) — then thins the
+/// frontier to a geometric ladder in cycles. Ties prefer smaller tn (input
+/// unroll multiplies line-buffer banks) and smaller tk.
+std::vector<EngineConfig> pareto_ladder(std::vector<RatedConfig> all,
+                                        double ratio) {
+  std::sort(all.begin(), all.end(), [](const auto& a, const auto& b) {
+    if (a.dsp != b.dsp) return a.dsp < b.dsp;
+    if (a.cycles != b.cycles) return a.cycles < b.cycles;
+    if (a.cfg.tn != b.cfg.tn) return a.cfg.tn < b.cfg.tn;
+    return a.cfg.tk < b.cfg.tk;
+  });
+  std::vector<RatedConfig> front;
+  long long best_cycles = std::numeric_limits<long long>::max();
+  for (const auto& rc : all) {
+    if (rc.cycles < best_cycles) {
+      best_cycles = rc.cycles;
+      front.push_back(rc);
+    }
+  }
+  // front is ascending in dsp, descending in cycles-from-the-back; thin by
+  // cycle ratio starting from the fastest (Alg. 2 iterates max -> min
+  // parallelism).
+  std::vector<EngineConfig> out;
+  double last = 0.0;
+  for (auto it = front.rbegin(); it != front.rend(); ++it) {
+    if (out.empty() || static_cast<double>(it->cycles) >= last * ratio) {
+      out.push_back(it->cfg);
+      last = static_cast<double>(it->cycles);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<EngineConfig> EngineModel::candidates(
+    const nn::Layer& layer) const {
+  const long long dsp_cap = dev_.capacity.dsp;
+  std::vector<EngineConfig> out;
+
+  // Unroll factors need not divide the channel counts: the loop nest uses
+  // ceil-division (partially filled last iteration), which the cycle model
+  // reflects. A dense factor range gives the fine DSP granularity behind the
+  // paper's non-power-of-two parallelisms (Table 2).
+  auto unrolls = [](int dim) {
+    std::vector<int> v;
+    for (int i = 1; i <= std::min(dim, 64); ++i) v.push_back(i);
+    return v;
+  };
+
+  if (layer.kind == nn::LayerKind::kConv) {
+    const auto& cp = layer.conv();
+    const int K = cp.kernel;
+    const int M = layer.in.c;
+    const int N = layer.out.c;
+    const auto tns = unrolls(M);
+    const auto tms = unrolls(N);
+    const long long hw = static_cast<long long>(layer.out.h) * layer.out.w;
+
+    std::vector<RatedConfig> conv;
+    for (int tn : tns) {
+      for (int tm : tms) {
+        for (int tk : {1, K, K * K}) {
+          EngineConfig c{ConvAlgo::kConventional, tn, tm, tk, 4};
+          if (c.parallelism(K) > dsp_cap) continue;
+          const long long cycles = static_cast<long long>((M + tn - 1) / tn) *
+                                   ((N + tm - 1) / tm) *
+                                   ((K * K + tk - 1) / tk) * hw;
+          conv.push_back({c, cycles, c.parallelism(K)});
+        }
+      }
+    }
+    auto ladder = pareto_ladder(std::move(conv), p_.ladder_ratio);
+    out.insert(out.end(), ladder.begin(), ladder.end());
+
+    if (p_.enable_stride2_winograd && p_.enable_winograd && cp.stride == 2 &&
+        K >= 2 && K <= 7) {
+      const int m = p_.wino_tile_m;
+      const int r2 = (K + 1) / 2;
+      const int n2 = m + r2 - 1;
+      const long long tiles =
+          static_cast<long long>((layer.out.h + m - 1) / m) *
+          ((layer.out.w + m - 1) / m);
+      std::vector<RatedConfig> s2;
+      for (int tn : tns) {
+        for (int tm : tms) {
+          EngineConfig c{ConvAlgo::kWinogradStride2, tn, tm, 1, m};
+          if (static_cast<long long>(n2) * n2 * tn * tm > dsp_cap) continue;
+          const long long cycles = 4 * tiles * ((M + tn - 1) / tn) *
+                                   ((N + tm - 1) / tm);
+          s2.push_back({c, cycles, c.parallelism(K)});
+        }
+      }
+      auto sl = pareto_ladder(std::move(s2), p_.ladder_ratio);
+      out.insert(out.end(), sl.begin(), sl.end());
+    }
+
+    if (p_.enable_winograd && winograd_ok(layer)) {
+      std::vector<int> tile_sizes{p_.wino_tile_m};
+      if (p_.explore_wino_tiles) tile_sizes = {2, 4, 6};
+      for (int m : tile_sizes) {
+        const long long tiles =
+            static_cast<long long>((layer.out.h + m - 1) / m) *
+            ((layer.out.w + m - 1) / m);
+        std::vector<RatedConfig> wino;
+        for (int tn : tns) {
+          for (int tm : tms) {
+            EngineConfig c{ConvAlgo::kWinograd, tn, tm, 1, m};
+            if (c.parallelism(K) > dsp_cap) continue;
+            const long long cycles = tiles * ((M + tn - 1) / tn) *
+                                     ((N + tm - 1) / tm);
+            wino.push_back({c, cycles, c.parallelism(K)});
+          }
+        }
+        auto wl = pareto_ladder(std::move(wino), p_.ladder_ratio);
+        out.insert(out.end(), wl.begin(), wl.end());
+      }
+    }
+  } else if (layer.is_windowed() || layer.kind == nn::LayerKind::kRelu) {
+    std::vector<RatedConfig> simple;
+    for (int tn : unrolls(layer.in.c)) {
+      // Lane count is the throughput for these engines; rate by 1/tn.
+      simple.push_back({EngineConfig{ConvAlgo::kNone, tn, 1, 1, 4},
+                        (layer.in.elems() + tn - 1) / tn, tn});
+    }
+    auto ladder = pareto_ladder(std::move(simple), p_.ladder_ratio);
+    out.insert(out.end(), ladder.begin(), ladder.end());
+  }
+  return out;
+}
+
+}  // namespace hetacc::fpga

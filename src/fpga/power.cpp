@@ -1,0 +1,45 @@
+#include "fpga/power.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hetacc::fpga {
+
+PowerBreakdown estimate_power(const Device& dev, const ResourceVector& used,
+                              double compute_utilization) {
+  if (compute_utilization < 0.0 || compute_utilization > 1.0) {
+    throw std::invalid_argument("compute_utilization must be in [0,1]");
+  }
+  const PowerSpec& ps = dev.power;
+  PowerBreakdown pb;
+  pb.static_w = ps.static_w;
+  pb.board_w = ps.base_board_w;
+  const double freq_scale = dev.frequency_hz / 100e6;
+  pb.dsp_w = ps.per_dsp_w * static_cast<double>(used.dsp) *
+             compute_utilization * freq_scale;
+  pb.bram_w = ps.per_bram_w * static_cast<double>(used.bram18k) *
+              std::max(0.3, compute_utilization) * freq_scale;
+  pb.logic_w = (ps.per_klut_w * static_cast<double>(used.lut) / 1000.0 +
+                ps.per_kff_w * static_cast<double>(used.ff) / 1000.0) *
+               std::max(0.3, compute_utilization) * freq_scale;
+  return pb;
+}
+
+EnergyReport estimate_energy(const Device& dev, const PowerBreakdown& power,
+                             double seconds, double ddr_bytes) {
+  if (seconds < 0.0 || ddr_bytes < 0.0) {
+    throw std::invalid_argument("estimate_energy: negative inputs");
+  }
+  EnergyReport er;
+  er.compute_j = power.total() * seconds;
+  er.transfer_j = ddr_bytes * dev.power.ddr_pj_per_byte * 1e-12;
+  return er;
+}
+
+double energy_efficiency_gops_per_w(double total_ops, double seconds,
+                                    double watts) {
+  if (seconds <= 0.0 || watts <= 0.0) return 0.0;
+  return (total_ops / seconds) / 1e9 / watts;
+}
+
+}  // namespace hetacc::fpga

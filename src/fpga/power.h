@@ -1,0 +1,46 @@
+#pragma once
+// Power and energy model. The paper reports board power, energy efficiency
+// (GOPS/W), transfer-energy savings from fusion, and compute-energy savings
+// from heterogeneity (§7.2); this model produces all four.
+
+#include "fpga/device.h"
+
+namespace hetacc::fpga {
+
+struct PowerBreakdown {
+  double static_w = 0.0;
+  double dsp_w = 0.0;
+  double bram_w = 0.0;
+  double logic_w = 0.0;  ///< LUT + FF
+  double board_w = 0.0;  ///< regulators / ARM subsystem / clocking
+
+  [[nodiscard]] double total() const {
+    return static_w + dsp_w + bram_w + logic_w + board_w;
+  }
+};
+
+/// Chip+board power for a design occupying `used` resources.
+/// `compute_utilization` scales the dynamic part: a DSP that is idle half
+/// the cycles burns roughly half the dynamic power.
+[[nodiscard]] PowerBreakdown estimate_power(const Device& dev,
+                                            const ResourceVector& used,
+                                            double compute_utilization);
+
+struct EnergyReport {
+  double compute_j = 0.0;   ///< chip dynamic+static energy over the run
+  double transfer_j = 0.0;  ///< DDR feature-map + weight traffic energy
+  [[nodiscard]] double total() const { return compute_j + transfer_j; }
+};
+
+/// Energy of a run taking `seconds` with the given power and moving
+/// `ddr_bytes` through external memory.
+[[nodiscard]] EnergyReport estimate_energy(const Device& dev,
+                                           const PowerBreakdown& power,
+                                           double seconds, double ddr_bytes);
+
+/// GOPS per watt given total ops, runtime and power.
+[[nodiscard]] double energy_efficiency_gops_per_w(double total_ops,
+                                                  double seconds,
+                                                  double watts);
+
+}  // namespace hetacc::fpga

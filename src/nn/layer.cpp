@@ -1,0 +1,148 @@
+#include "nn/layer.h"
+
+#include <cmath>
+
+namespace hetacc::nn {
+
+std::string_view to_string(LayerKind k) {
+  switch (k) {
+    case LayerKind::kInput: return "input";
+    case LayerKind::kConv: return "conv";
+    case LayerKind::kPool: return "pool";
+    case LayerKind::kLrn: return "lrn";
+    case LayerKind::kRelu: return "relu";
+    case LayerKind::kFullyConnected: return "fc";
+    case LayerKind::kSoftmax: return "softmax";
+  }
+  return "?";
+}
+
+namespace {
+int conv_out_dim(int in, int k, int stride, int pad) {
+  // Caffe: floor((in + 2*pad - k) / stride) + 1
+  const int span = in + 2 * pad - k;
+  if (span < 0) {
+    throw std::invalid_argument("kernel larger than padded input");
+  }
+  return span / stride + 1;
+}
+
+int pool_out_dim(int in, int k, int stride, int pad) {
+  // Caffe pools round up so no input pixel is dropped.
+  const int span = in + 2 * pad - k;
+  if (span < 0) {
+    throw std::invalid_argument("pool kernel larger than padded input");
+  }
+  int out = (span + stride - 1) / stride + 1;
+  if (pad > 0 && (out - 1) * stride >= in + pad) --out;
+  return out;
+}
+}  // namespace
+
+Shape infer_output_shape(const Layer& layer, const Shape& in) {
+  switch (layer.kind) {
+    case LayerKind::kInput:
+      return std::get<InputParam>(layer.param).shape;
+    case LayerKind::kConv: {
+      const auto& p = std::get<ConvParam>(layer.param);
+      return Shape{p.out_channels, conv_out_dim(in.h, p.kernel, p.stride, p.pad),
+                   conv_out_dim(in.w, p.kernel, p.stride, p.pad)};
+    }
+    case LayerKind::kPool: {
+      const auto& p = std::get<PoolParam>(layer.param);
+      return Shape{in.c, pool_out_dim(in.h, p.kernel, p.stride, p.pad),
+                   pool_out_dim(in.w, p.kernel, p.stride, p.pad)};
+    }
+    case LayerKind::kLrn:
+    case LayerKind::kRelu:
+    case LayerKind::kSoftmax:
+      return in;
+    case LayerKind::kFullyConnected: {
+      const auto& p = std::get<FcParam>(layer.param);
+      return Shape{p.out_features, 1, 1};
+    }
+  }
+  throw std::logic_error("unreachable layer kind");
+}
+
+std::int64_t Layer::ops() const {
+  switch (kind) {
+    case LayerKind::kConv: {
+      const auto& p = std::get<ConvParam>(param);
+      // MAC = 2 ops, per output element per input channel per kernel tap.
+      return 2ll * in.c * p.kernel * p.kernel * out.elems();
+    }
+    case LayerKind::kFullyConnected:
+      return 2ll * in.elems() * out.elems();
+    case LayerKind::kPool: {
+      const auto& p = std::get<PoolParam>(param);
+      return static_cast<std::int64_t>(p.kernel) * p.kernel * out.elems();
+    }
+    case LayerKind::kLrn: {
+      const auto& p = std::get<LrnParam>(param);
+      // square+accumulate over the window, then scale/pow: ~3 ops/elem extra.
+      return (2ll * p.local_size + 3) * out.elems();
+    }
+    case LayerKind::kRelu:
+      return out.elems();
+    case LayerKind::kInput:
+    case LayerKind::kSoftmax:
+      return 0;
+  }
+  return 0;
+}
+
+std::int64_t Layer::mults() const {
+  switch (kind) {
+    case LayerKind::kConv: {
+      const auto& p = std::get<ConvParam>(param);
+      return static_cast<std::int64_t>(in.c) * p.kernel * p.kernel *
+             out.elems();
+    }
+    case LayerKind::kFullyConnected:
+      return in.elems() * out.elems();
+    default:
+      return 0;
+  }
+}
+
+std::int64_t Layer::weight_count() const {
+  switch (kind) {
+    case LayerKind::kConv: {
+      const auto& p = std::get<ConvParam>(param);
+      return static_cast<std::int64_t>(p.out_channels) * in.c * p.kernel *
+                 p.kernel +
+             p.out_channels;
+    }
+    case LayerKind::kFullyConnected:
+      return in.elems() * out.c + out.c;
+    default:
+      return 0;
+  }
+}
+
+int Layer::window() const {
+  switch (kind) {
+    case LayerKind::kConv: return std::get<ConvParam>(param).kernel;
+    case LayerKind::kPool: return std::get<PoolParam>(param).kernel;
+    default: return 1;
+  }
+}
+
+int Layer::stride() const {
+  switch (kind) {
+    case LayerKind::kConv: return std::get<ConvParam>(param).stride;
+    case LayerKind::kPool: return std::get<PoolParam>(param).stride;
+    default: return 1;
+  }
+}
+
+int Layer::padding() const {
+  switch (kind) {
+    case LayerKind::kConv: return std::get<ConvParam>(param).pad;
+    case LayerKind::kPool: return std::get<PoolParam>(param).pad;
+    default: return 0;
+  }
+}
+
+}  // namespace hetacc::nn

@@ -1,0 +1,125 @@
+#pragma once
+// Layer descriptors for the linear CNN graphs the paper's optimizer operates
+// on. Shapes follow Caffe semantics (floor division for conv, ceil for pool).
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <variant>
+
+#include "nn/tensor.h"
+
+namespace hetacc::nn {
+
+enum class LayerKind : std::uint8_t {
+  kInput,
+  kConv,
+  kPool,
+  kLrn,
+  kRelu,
+  kFullyConnected,
+  kSoftmax,
+};
+
+[[nodiscard]] std::string_view to_string(LayerKind k);
+
+enum class PoolMethod : std::uint8_t { kMax, kAverage };
+
+struct ConvParam {
+  int out_channels = 0;
+  int kernel = 0;
+  int stride = 1;
+  int pad = 0;
+  bool fused_relu = false;  ///< paper §7.2: "ReLU layers can be easily integrated"
+};
+
+struct PoolParam {
+  PoolMethod method = PoolMethod::kMax;
+  int kernel = 0;
+  int stride = 1;
+  int pad = 0;
+};
+
+/// Local response normalization across channels (AlexNet style).
+struct LrnParam {
+  int local_size = 5;
+  float alpha = 1e-4f;
+  float beta = 0.75f;
+  float k = 1.0f;
+};
+
+struct FcParam {
+  int out_features = 0;
+  bool fused_relu = false;
+};
+
+struct InputParam {
+  Shape shape;
+};
+
+struct ReluParam {};
+struct SoftmaxParam {};
+
+using LayerParam = std::variant<InputParam, ConvParam, PoolParam, LrnParam,
+                                ReluParam, FcParam, SoftmaxParam>;
+
+/// One layer of a (linear) network. Input/output shapes are filled in by
+/// Network::infer_shapes().
+struct Layer {
+  LayerKind kind = LayerKind::kInput;
+  std::string name;
+  LayerParam param;
+  Shape in;   ///< inferred
+  Shape out;  ///< inferred
+
+  [[nodiscard]] const ConvParam& conv() const {
+    return expect<ConvParam>(LayerKind::kConv);
+  }
+  [[nodiscard]] const PoolParam& pool() const {
+    return expect<PoolParam>(LayerKind::kPool);
+  }
+  [[nodiscard]] const LrnParam& lrn() const {
+    return expect<LrnParam>(LayerKind::kLrn);
+  }
+  [[nodiscard]] const FcParam& fc() const {
+    return expect<FcParam>(LayerKind::kFullyConnected);
+  }
+
+  /// Number of arithmetic operations (multiply and add each count as one,
+  /// the convention behind the paper's GOPS figures).
+  [[nodiscard]] std::int64_t ops() const;
+
+  /// Number of scalar multiplications the conventional algorithm performs.
+  [[nodiscard]] std::int64_t mults() const;
+
+  /// Weight (+bias) parameter count.
+  [[nodiscard]] std::int64_t weight_count() const;
+
+  /// True for layers whose output element depends on a KxK window of the
+  /// input — the layers the fusion pyramid (paper §4.1) is built from.
+  [[nodiscard]] bool is_windowed() const {
+    return kind == LayerKind::kConv || kind == LayerKind::kPool ||
+           kind == LayerKind::kLrn;
+  }
+
+  /// Spatial window size and stride as seen by the line-buffer design.
+  /// LRN is window 1 spatially (it reaches across channels only).
+  [[nodiscard]] int window() const;
+  [[nodiscard]] int stride() const;
+  [[nodiscard]] int padding() const;
+
+ private:
+  template <typename T>
+  const T& expect(LayerKind want) const {
+    if (kind != want || !std::holds_alternative<T>(param)) {
+      throw std::logic_error("layer '" + name + "' is not a " +
+                             std::string(to_string(want)));
+    }
+    return std::get<T>(param);
+  }
+};
+
+/// Output shape of `layer` applied to input shape `in` (Caffe rounding).
+[[nodiscard]] Shape infer_output_shape(const Layer& layer, const Shape& in);
+
+}  // namespace hetacc::nn

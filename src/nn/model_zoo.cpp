@@ -1,0 +1,139 @@
+#include "nn/model_zoo.h"
+
+namespace hetacc::nn {
+
+Network alexnet() {
+  Network net("alexnet");
+  net.input({3, 227, 227});
+  net.conv(96, 11, 4, 0, "conv1");
+  net.lrn(5, 1e-4f, 0.75f, "norm1");
+  net.max_pool(3, 2, "pool1");
+  net.conv(256, 5, 1, 2, "conv2");
+  net.lrn(5, 1e-4f, 0.75f, "norm2");
+  net.max_pool(3, 2, "pool2");
+  net.conv(384, 3, 1, 1, "conv3");
+  net.conv(384, 3, 1, 1, "conv4");
+  net.conv(256, 3, 1, 1, "conv5");
+  net.max_pool(3, 2, "pool5");
+  net.fc(4096, "fc6");
+  net.fc(4096, "fc7");
+  net.fc(1000, "fc8", /*fused_relu=*/false);
+  net.softmax();
+  return net;
+}
+
+namespace {
+void vgg_block(Network& net, int convs, int channels, int block) {
+  for (int i = 1; i <= convs; ++i) {
+    net.conv(channels, 3, 1, 1,
+             "conv" + std::to_string(block) + "_" + std::to_string(i));
+  }
+  net.max_pool(2, 2, "pool" + std::to_string(block));
+}
+
+Network vgg(const char* name, int c3, int c4plus) {
+  Network net(name);
+  net.input({3, 224, 224});
+  vgg_block(net, 2, 64, 1);
+  vgg_block(net, 2, 128, 2);
+  vgg_block(net, c3, 256, 3);
+  vgg_block(net, c4plus, 512, 4);
+  vgg_block(net, c4plus, 512, 5);
+  net.fc(4096, "fc6");
+  net.fc(4096, "fc7");
+  net.fc(1000, "fc8", /*fused_relu=*/false);
+  net.softmax();
+  return net;
+}
+}  // namespace
+
+Network vgg_e() { return vgg("vgg-e", 4, 4); }
+Network vgg16() { return vgg("vgg16", 3, 3); }
+
+Network vgg_e_head() {
+  const Network full = vgg_e();
+  // Paper fuses "the first five convolutional layers and two pooling
+  // layers": conv1_1, conv1_2, pool1, conv2_1, conv2_2, pool2, conv3_1 —
+  // indices 1..7 after the input layer.
+  return full.slice(0, 7, "vgg-e-head").accelerated_portion();
+}
+
+Network alexnet_accel() { return alexnet().accelerated_portion(); }
+
+Network tiny_net(int channels, int spatial) {
+  Network net("tiny");
+  net.input({channels, spatial, spatial});
+  net.conv(channels, 3, 1, 1, "c1");
+  net.conv(channels * 2, 3, 1, 1, "c2");
+  net.max_pool(2, 2, "p1");
+  net.conv(channels * 2, 3, 1, 1, "c3");
+  return net;
+}
+
+Network nin() {
+  Network net("nin");
+  net.input({3, 224, 224});
+  net.conv(96, 11, 4, 0, "conv1");
+  net.conv(96, 1, 1, 0, "cccp1");
+  net.conv(96, 1, 1, 0, "cccp2");
+  net.max_pool(3, 2, "pool1");
+  net.conv(256, 5, 1, 2, "conv2");
+  net.conv(256, 1, 1, 0, "cccp3");
+  net.conv(256, 1, 1, 0, "cccp4");
+  net.max_pool(3, 2, "pool2");
+  net.conv(384, 3, 1, 1, "conv3");
+  net.conv(384, 1, 1, 0, "cccp5");
+  net.conv(384, 1, 1, 0, "cccp6");
+  net.max_pool(3, 2, "pool3");
+  net.conv(1024, 3, 1, 1, "conv4");
+  net.conv(1024, 1, 1, 0, "cccp7");
+  net.conv(1000, 1, 1, 0, "cccp8");
+  net.avg_pool(6, 1, "pool4");
+  net.softmax();
+  return net;
+}
+
+Network modular_net(int modules) {
+  Network net("modular");
+  net.input({3, 112, 112});
+  net.conv(32, 3, 1, 1, "stem");
+  net.max_pool(2, 2, "stem_pool");
+  int ch = 64;
+  for (int m = 1; m <= modules; ++m) {
+    const std::string base = "mod" + std::to_string(m);
+    net.conv(ch, 3, 1, 1, base + "_a");
+    net.conv(ch, 3, 1, 1, base + "_b");
+    if (m % 2 == 0) {
+      net.max_pool(2, 2, base + "_pool");
+      ch = std::min(ch * 2, 256);
+    }
+  }
+  return net;
+}
+
+Network coarsen_modules(const Network& net) {
+  Network out = net;
+  // Collapse every mod*_a / mod*_b pair (walking backwards so indices stay
+  // valid across coarsening).
+  for (std::size_t i = out.size(); i-- > 1;) {
+    if (out[i].name.size() > 2 &&
+        out[i].name.substr(out[i].name.size() - 2) == "_b" &&
+        out[i].name.rfind("mod", 0) == 0) {
+      const std::string module =
+          out[i].name.substr(0, out[i].name.size() - 2);
+      out = out.coarsen(i - 1, i, module);
+    }
+  }
+  return out;
+}
+
+Network conv_chain(int depth, int channels, int spatial) {
+  Network net("chain" + std::to_string(depth));
+  net.input({channels, spatial, spatial});
+  for (int i = 0; i < depth; ++i) {
+    net.conv(channels, 3, 1, 1, "c" + std::to_string(i + 1));
+  }
+  return net;
+}
+
+}  // namespace hetacc::nn

@@ -1,0 +1,48 @@
+#pragma once
+// Built-in network definitions used throughout the evaluation: AlexNet and
+// VGG (paper §7), plus small synthetic networks for tests.
+
+#include "nn/network.h"
+
+namespace hetacc::nn {
+
+/// AlexNet (Krizhevsky et al., NIPS'12), Caffe single-tower variant:
+/// 5 conv (with ReLU), 3 max-pool, 2 LRN, 3 FC, softmax. 227x227x3 input.
+[[nodiscard]] Network alexnet();
+
+/// VGGNet-E (VGG-19, Simonyan & Zisserman): 16 conv, 5 max-pool, 3 FC,
+/// softmax. 224x224x3 input. This is the network of paper §7.2.
+[[nodiscard]] Network vgg_e();
+
+/// VGG-16 (configuration D), used for extension experiments.
+[[nodiscard]] Network vgg16();
+
+/// The slice the paper fuses in §7.2: conv1_1..conv2_2 + pool1 + pool2
+/// (first five convolutional layers and two pooling layers of VGG-E).
+[[nodiscard]] Network vgg_e_head();
+
+/// AlexNet minus the FC stack, ReLU folded — the §7.3 workload.
+[[nodiscard]] Network alexnet_accel();
+
+/// Small 3-conv chain on a tiny image; fast enough for exhaustive-search
+/// cross-checks of the optimizer.
+[[nodiscard]] Network tiny_net(int channels = 8, int spatial = 16);
+
+/// Chain of `depth` 3x3 stride-1 conv layers, all `channels` wide — handy
+/// for property tests over fusion-group depth.
+[[nodiscard]] Network conv_chain(int depth, int channels, int spatial);
+
+/// Network-in-Network (Lin et al.): conv stacks with 1x1 "mlpconv" layers
+/// and a global average pool head — exercises 1x1 convolutions, which are
+/// conventional-only in the framework (Winograd needs r >= 2).
+[[nodiscard]] Network nin();
+
+/// A GoogLeNet-like modular network: conv stem, then `modules` blocks of
+/// (3x3 conv, 3x3 conv) pairs with pooling between stages. §7.1 suggests
+/// treating every module as a single layer; `coarsen_modules` applies
+/// Network::coarsen to each block, producing the coarse chain the optimizer
+/// should run on for very deep structured networks.
+[[nodiscard]] Network modular_net(int modules = 4);
+[[nodiscard]] Network coarsen_modules(const Network& net);
+
+}  // namespace hetacc::nn

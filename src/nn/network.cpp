@@ -1,0 +1,195 @@
+#include "nn/network.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace hetacc::nn {
+
+Layer& Network::add(Layer layer) {
+  if (layers_.empty()) {
+    if (layer.kind != LayerKind::kInput) {
+      throw std::invalid_argument("first layer must be an input layer");
+    }
+    layer.in = std::get<InputParam>(layer.param).shape;
+  } else {
+    if (layer.kind == LayerKind::kInput) {
+      throw std::invalid_argument("input layer must be first");
+    }
+    layer.in = layers_.back().out;
+  }
+  layer.out = infer_output_shape(layer, layer.in);
+  layers_.push_back(std::move(layer));
+  return layers_.back();
+}
+
+Layer& Network::input(Shape s, std::string name) {
+  return add(Layer{LayerKind::kInput, std::move(name), InputParam{s}, {}, {}});
+}
+
+Layer& Network::conv(int out_channels, int kernel, int stride, int pad,
+                     std::string name, bool fused_relu) {
+  return add(Layer{LayerKind::kConv, std::move(name),
+                   ConvParam{out_channels, kernel, stride, pad, fused_relu},
+                   {},
+                   {}});
+}
+
+Layer& Network::max_pool(int kernel, int stride, std::string name, int pad) {
+  return add(Layer{LayerKind::kPool, std::move(name),
+                   PoolParam{PoolMethod::kMax, kernel, stride, pad},
+                   {},
+                   {}});
+}
+
+Layer& Network::avg_pool(int kernel, int stride, std::string name, int pad) {
+  return add(Layer{LayerKind::kPool, std::move(name),
+                   PoolParam{PoolMethod::kAverage, kernel, stride, pad},
+                   {},
+                   {}});
+}
+
+Layer& Network::lrn(int local_size, float alpha, float beta,
+                    std::string name) {
+  return add(Layer{LayerKind::kLrn, std::move(name),
+                   LrnParam{local_size, alpha, beta, 1.0f},
+                   {},
+                   {}});
+}
+
+Layer& Network::relu(std::string name) {
+  return add(Layer{LayerKind::kRelu, std::move(name), ReluParam{}, {}, {}});
+}
+
+Layer& Network::fc(int out_features, std::string name, bool fused_relu) {
+  return add(Layer{LayerKind::kFullyConnected, std::move(name),
+                   FcParam{out_features, fused_relu},
+                   {},
+                   {}});
+}
+
+Layer& Network::softmax(std::string name) {
+  return add(
+      Layer{LayerKind::kSoftmax, std::move(name), SoftmaxParam{}, {}, {}});
+}
+
+std::optional<std::size_t> Network::find(std::string_view name) const {
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    if (layers_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+Network Network::slice(std::size_t first, std::size_t last,
+                       std::string name) const {
+  if (first > last || last >= layers_.size()) {
+    throw std::out_of_range("Network::slice range invalid");
+  }
+  Network out(std::move(name));
+  if (layers_[first].kind == LayerKind::kInput) {
+    out.add(layers_[first]);
+    ++first;
+  } else {
+    out.input(layers_[first].in, "data");
+  }
+  for (std::size_t i = first; i <= last; ++i) out.add(layers_[i]);
+  return out;
+}
+
+Network Network::accelerated_portion() const {
+  Network out(name_ + "-accel");
+  for (const Layer& l : layers_) {
+    switch (l.kind) {
+      case LayerKind::kFullyConnected:
+      case LayerKind::kSoftmax:
+        return out;  // paper §7.3 omits the trailing FC stack
+      case LayerKind::kRelu: {
+        // Fold into the previous conv if possible (paper §7.2).
+        if (!out.empty() && out.layers_.back().kind == LayerKind::kConv) {
+          std::get<ConvParam>(out.layers_.back().param).fused_relu = true;
+        } else {
+          out.add(l);
+        }
+        break;
+      }
+      default:
+        out.add(l);
+    }
+  }
+  return out;
+}
+
+Network Network::coarsen(std::size_t first, std::size_t last,
+                         std::string module_name) const {
+  if (first == 0 || first > last || last >= layers_.size()) {
+    throw std::out_of_range("Network::coarsen range invalid");
+  }
+  Network out(name_);
+  for (std::size_t i = 0; i < first; ++i) out.add(layers_[i]);
+  // Synthesize a conv layer with matching shapes. Stride/kernel are chosen
+  // so the output shape is exact; op count is annotated via channel fan-in.
+  const Shape in = layers_[first].in;
+  const Shape target = layers_[last].out;
+  if (in.h % target.h != 0 || in.w % target.w != 0 || in.h / target.h != in.w / target.w) {
+    throw std::invalid_argument("coarsen: module shapes not stride-expressible");
+  }
+  const int stride = in.h / target.h;
+  Layer pseudo{LayerKind::kConv, std::move(module_name),
+               ConvParam{target.c, stride, stride, 0, true},
+               {},
+               {}};
+  out.add(pseudo);
+  for (std::size_t i = last + 1; i < layers_.size(); ++i) out.add(layers_[i]);
+  return out;
+}
+
+std::int64_t Network::total_ops() const {
+  std::int64_t total = 0;
+  for (const auto& l : layers_) total += l.ops();
+  return total;
+}
+
+std::int64_t Network::total_weight_count() const {
+  std::int64_t total = 0;
+  for (const auto& l : layers_) total += l.weight_count();
+  return total;
+}
+
+std::int64_t Network::unfused_feature_transfer_bytes(int bytes_per_elem) const {
+  std::int64_t total = 0;
+  for (const auto& l : layers_) {
+    if (l.kind == LayerKind::kInput) continue;
+    total += l.in.bytes(bytes_per_elem);
+  }
+  if (!layers_.empty()) total += layers_.back().out.bytes(bytes_per_elem);
+  return total;
+}
+
+void Network::infer_shapes() {
+  Shape cur{};
+  for (auto& l : layers_) {
+    l.in = (l.kind == LayerKind::kInput)
+               ? std::get<InputParam>(l.param).shape
+               : cur;
+    l.out = infer_output_shape(l, l.in);
+    cur = l.out;
+  }
+}
+
+std::string Network::summary() const {
+  std::ostringstream os;
+  os << "Network '" << name_ << "' (" << layers_.size() << " layers, "
+     << total_ops() / 1.0e9 << " GOP)\n";
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    const Layer& l = layers_[i];
+    os << "  [" << i << "] " << to_string(l.kind) << " '" << l.name << "' "
+       << l.in.str() << " -> " << l.out.str();
+    if (l.kind == LayerKind::kConv) {
+      const auto& p = l.conv();
+      os << "  k=" << p.kernel << " s=" << p.stride << " p=" << p.pad;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace hetacc::nn

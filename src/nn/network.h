@@ -1,0 +1,83 @@
+#pragma once
+// Linear network container + builder. The paper's optimizer works on layer
+// chains; GoogLeNet-style module graphs are handled by coarsening a module
+// into a single pseudo-layer (paper §7.1), which `coarsen` supports.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace hetacc::nn {
+
+class Network {
+ public:
+  Network() = default;
+  explicit Network(std::string name) : name_(std::move(name)) {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// Appends a layer. Shapes are inferred immediately so callers can chain
+  /// builder calls and read `back().out`.
+  Layer& add(Layer layer);
+
+  // Builder helpers -------------------------------------------------------
+  Layer& input(Shape s, std::string name = "data");
+  Layer& conv(int out_channels, int kernel, int stride, int pad,
+              std::string name, bool fused_relu = true);
+  Layer& max_pool(int kernel, int stride, std::string name, int pad = 0);
+  Layer& avg_pool(int kernel, int stride, std::string name, int pad = 0);
+  Layer& lrn(int local_size, float alpha, float beta, std::string name);
+  Layer& relu(std::string name);
+  Layer& fc(int out_features, std::string name, bool fused_relu = true);
+  Layer& softmax(std::string name = "prob");
+
+  [[nodiscard]] std::size_t size() const { return layers_.size(); }
+  [[nodiscard]] bool empty() const { return layers_.empty(); }
+  [[nodiscard]] const Layer& operator[](std::size_t i) const {
+    return layers_.at(i);
+  }
+  [[nodiscard]] Layer& operator[](std::size_t i) { return layers_.at(i); }
+  [[nodiscard]] auto begin() const { return layers_.begin(); }
+  [[nodiscard]] auto end() const { return layers_.end(); }
+  [[nodiscard]] const std::vector<Layer>& layers() const { return layers_; }
+
+  [[nodiscard]] std::optional<std::size_t> find(std::string_view name) const;
+
+  /// Sub-network consisting of layers [first, last] (inclusive), preceded by
+  /// a synthetic input layer matching layer `first`'s input shape. This is
+  /// how experiment harnesses carve out "the first five convolutional layers
+  /// and two pooling layers" of VGG (paper §7.2).
+  [[nodiscard]] Network slice(std::size_t first, std::size_t last,
+                              std::string name) const;
+
+  /// Network with only the layers the FPGA accelerator processes: the paper
+  /// omits trailing FC/softmax layers (§7.3) and folds standalone ReLU into
+  /// the preceding convolution (§7.2).
+  [[nodiscard]] Network accelerated_portion() const;
+
+  /// Replaces layers [first, last] by a single conv pseudo-layer with the
+  /// same input/output shapes and the summed op count — the "treat every
+  /// module as a single layer" coarsening of §7.1.
+  [[nodiscard]] Network coarsen(std::size_t first, std::size_t last,
+                                std::string module_name) const;
+
+  [[nodiscard]] std::int64_t total_ops() const;
+  [[nodiscard]] std::int64_t total_weight_count() const;
+  /// Total feature-map bytes moved if every layer spills to DDR
+  /// (input of every layer + output of the last) at `bytes_per_elem` width.
+  [[nodiscard]] std::int64_t unfused_feature_transfer_bytes(
+      int bytes_per_elem = 2) const;
+
+  /// Re-runs shape inference from the input layer; throws on inconsistency.
+  void infer_shapes();
+
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  std::string name_ = "net";
+  std::vector<Layer> layers_;
+};
+
+}  // namespace hetacc::nn

@@ -1,0 +1,185 @@
+#include "nn/reference.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace hetacc::nn {
+
+Tensor conv_reference(const Tensor& in, const FilterBank& f,
+                      const std::vector<float>& bias, int stride, int pad,
+                      bool fused_relu) {
+  const Shape is = in.shape();
+  if (is.c != f.in_channels()) {
+    throw std::invalid_argument("conv_reference: channel mismatch");
+  }
+  const int k = f.kernel();
+  const int oh = (is.h + 2 * pad - k) / stride + 1;
+  const int ow = (is.w + 2 * pad - k) / stride + 1;
+  Tensor out(f.out_channels(), oh, ow);
+  for (int n = 0; n < f.out_channels(); ++n) {
+    const float b = bias.empty() ? 0.0f : bias[n];
+    for (int i = 0; i < oh; ++i) {
+      for (int j = 0; j < ow; ++j) {
+        float acc = b;
+        for (int m = 0; m < is.c; ++m) {
+          for (int u = 0; u < k; ++u) {
+            const int h = i * stride + u - pad;
+            if (h < 0 || h >= is.h) continue;
+            for (int v = 0; v < k; ++v) {
+              const int w = j * stride + v - pad;
+              if (w < 0 || w >= is.w) continue;
+              acc += in.at(m, h, w) * f.at(n, m, u, v);
+            }
+          }
+        }
+        out.at(n, i, j) = fused_relu ? std::max(acc, 0.0f) : acc;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor pool_reference(const Tensor& in, PoolMethod method, int kernel,
+                      int stride, int pad) {
+  const Shape is = in.shape();
+  Layer tmp{LayerKind::kPool, "tmp", PoolParam{method, kernel, stride, pad},
+            is, {}};
+  const Shape os = infer_output_shape(tmp, is);
+  Tensor out(os.c, os.h, os.w);
+  for (int c = 0; c < is.c; ++c) {
+    for (int i = 0; i < os.h; ++i) {
+      for (int j = 0; j < os.w; ++j) {
+        float best = -std::numeric_limits<float>::infinity();
+        float sum = 0.0f;
+        int count = 0;
+        for (int u = 0; u < kernel; ++u) {
+          const int h = i * stride + u - pad;
+          if (h < 0 || h >= is.h) continue;
+          for (int v = 0; v < kernel; ++v) {
+            const int w = j * stride + v - pad;
+            if (w < 0 || w >= is.w) continue;
+            const float x = in.at(c, h, w);
+            best = std::max(best, x);
+            sum += x;
+            ++count;
+          }
+        }
+        out.at(c, i, j) = (method == PoolMethod::kMax)
+                              ? best
+                              : (count ? sum / static_cast<float>(count) : 0.0f);
+      }
+    }
+  }
+  return out;
+}
+
+Tensor lrn_reference(const Tensor& in, const LrnParam& p) {
+  const Shape s = in.shape();
+  Tensor out(s.c, s.h, s.w);
+  const int half = p.local_size / 2;
+  for (int c = 0; c < s.c; ++c) {
+    const int lo = std::max(0, c - half);
+    const int hi = std::min(s.c - 1, c + half);
+    for (int h = 0; h < s.h; ++h) {
+      for (int w = 0; w < s.w; ++w) {
+        float ss = 0.0f;
+        for (int cc = lo; cc <= hi; ++cc) {
+          const float x = in.at(cc, h, w);
+          ss += x * x;
+        }
+        const float denom =
+            std::pow(p.k + p.alpha / static_cast<float>(p.local_size) * ss,
+                     p.beta);
+        out.at(c, h, w) = in.at(c, h, w) / denom;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor relu_reference(const Tensor& in) {
+  Tensor out = in;
+  for (auto& x : out.vec()) x = std::max(x, 0.0f);
+  return out;
+}
+
+Tensor fc_reference(const Tensor& in, const FcWeights& w, bool fused_relu) {
+  const auto in_elems = static_cast<std::size_t>(in.size());
+  const auto out_features = w.bias.size();
+  if (w.matrix.size() != out_features * in_elems) {
+    throw std::invalid_argument("fc_reference: weight size mismatch");
+  }
+  Tensor out(static_cast<int>(out_features), 1, 1);
+  for (std::size_t o = 0; o < out_features; ++o) {
+    float acc = w.bias[o];
+    const float* row = w.matrix.data() + o * in_elems;
+    const float* x = in.data();
+    for (std::size_t i = 0; i < in_elems; ++i) acc += row[i] * x[i];
+    out.at(static_cast<int>(o), 0, 0) = fused_relu ? std::max(acc, 0.0f) : acc;
+  }
+  return out;
+}
+
+Tensor softmax_reference(const Tensor& in) {
+  Tensor out = in;
+  float mx = -std::numeric_limits<float>::infinity();
+  for (float x : in.vec()) mx = std::max(mx, x);
+  float sum = 0.0f;
+  for (auto& x : out.vec()) {
+    x = std::exp(x - mx);
+    sum += x;
+  }
+  for (auto& x : out.vec()) x /= sum;
+  return out;
+}
+
+Tensor run_layer(const Layer& layer, std::size_t layer_index,
+                 const WeightStore& ws, const Tensor& input) {
+  switch (layer.kind) {
+    case LayerKind::kInput:
+      return input;
+    case LayerKind::kConv: {
+      const auto& p = layer.conv();
+      const auto& w = ws.conv(layer_index);
+      return conv_reference(input, w.filters, w.bias, p.stride, p.pad,
+                            p.fused_relu);
+    }
+    case LayerKind::kPool: {
+      const auto& p = layer.pool();
+      return pool_reference(input, p.method, p.kernel, p.stride, p.pad);
+    }
+    case LayerKind::kLrn:
+      return lrn_reference(input, layer.lrn());
+    case LayerKind::kRelu:
+      return relu_reference(input);
+    case LayerKind::kFullyConnected:
+      return fc_reference(input, ws.fc(layer_index), layer.fc().fused_relu);
+    case LayerKind::kSoftmax:
+      return softmax_reference(input);
+  }
+  throw std::logic_error("run_layer: unknown kind");
+}
+
+Tensor run_network(const Network& net, const WeightStore& ws,
+                   const Tensor& input) {
+  Tensor cur = input;
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    cur = run_layer(net[i], i, ws, cur);
+  }
+  return cur;
+}
+
+std::vector<Tensor> run_network_all(const Network& net, const WeightStore& ws,
+                                    const Tensor& input) {
+  std::vector<Tensor> outs;
+  outs.reserve(net.size());
+  Tensor cur = input;
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    cur = run_layer(net[i], i, ws, cur);
+    outs.push_back(cur);
+  }
+  return outs;
+}
+
+}  // namespace hetacc::nn

@@ -1,0 +1,38 @@
+#pragma once
+// Reference (golden) executor: straightforward float implementations of all
+// layer types. Every accelerated path in the repository is validated against
+// this executor.
+
+#include "nn/network.h"
+#include "nn/tensor.h"
+#include "nn/weights.h"
+
+namespace hetacc::nn {
+
+/// Runs a single layer. `layer_index` selects the weights in `ws`.
+[[nodiscard]] Tensor run_layer(const Layer& layer, std::size_t layer_index,
+                               const WeightStore& ws, const Tensor& input);
+
+/// Runs the whole network and returns the final output.
+[[nodiscard]] Tensor run_network(const Network& net, const WeightStore& ws,
+                                 const Tensor& input);
+
+/// Runs the network and returns the output of every layer (index-aligned
+/// with the network; entry 0 is the input tensor itself).
+[[nodiscard]] std::vector<Tensor> run_network_all(const Network& net,
+                                                  const WeightStore& ws,
+                                                  const Tensor& input);
+
+// Individual kernels, exposed for targeted tests -------------------------
+[[nodiscard]] Tensor conv_reference(const Tensor& in, const FilterBank& f,
+                                    const std::vector<float>& bias, int stride,
+                                    int pad, bool fused_relu);
+[[nodiscard]] Tensor pool_reference(const Tensor& in, PoolMethod method,
+                                    int kernel, int stride, int pad);
+[[nodiscard]] Tensor lrn_reference(const Tensor& in, const LrnParam& p);
+[[nodiscard]] Tensor relu_reference(const Tensor& in);
+[[nodiscard]] Tensor fc_reference(const Tensor& in, const FcWeights& w,
+                                  bool fused_relu);
+[[nodiscard]] Tensor softmax_reference(const Tensor& in);
+
+}  // namespace hetacc::nn

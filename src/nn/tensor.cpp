@@ -1,0 +1,61 @@
+#include "nn/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hetacc::nn {
+
+std::string Shape::str() const {
+  return "[" + std::to_string(c) + "x" + std::to_string(h) + "x" +
+         std::to_string(w) + "]";
+}
+
+float Tensor::max_abs_diff(const Tensor& other) const {
+  if (shape_ != other.shape_) {
+    throw std::invalid_argument("max_abs_diff: shape mismatch " +
+                                shape_.str() + " vs " + other.shape_.str());
+  }
+  float worst = 0.0f;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    worst = std::max(worst, std::abs(data_[i] - other.data_[i]));
+  }
+  return worst;
+}
+
+namespace {
+// xorshift32: tiny, deterministic, platform-independent.
+std::uint32_t next(std::uint32_t& s) {
+  s ^= s << 13;
+  s ^= s >> 17;
+  s ^= s << 5;
+  return s;
+}
+float unit(std::uint32_t& s) {
+  // Map to [-1, 1) with ~2^-23 granularity; small values keep fixed-point
+  // paths inside their dynamic range.
+  return (static_cast<float>(next(s) >> 9) / static_cast<float>(1u << 23)) *
+             2.0f -
+         1.0f;
+}
+}  // namespace
+
+void fill_deterministic(std::vector<float>& v, std::uint32_t seed) {
+  std::uint32_t s = seed ? seed : 0xdeadbeefu;
+  for (auto& x : v) x = unit(s);
+}
+
+void fill_deterministic(Tensor& t, std::uint32_t seed) {
+  fill_deterministic(t.vec(), seed);
+}
+
+void fill_deterministic(FilterBank& f, std::uint32_t seed) {
+  std::uint32_t s = seed ? seed : 0xabcdef01u;
+  float* p = f.data();
+  for (std::int64_t i = 0; i < f.size(); ++i) {
+    // Filters are kept small so deep stacks of layers don't overflow the
+    // 16-bit fixed representation in fused-pipeline tests.
+    p[i] = unit(s) * 0.25f;
+  }
+}
+
+}  // namespace hetacc::nn

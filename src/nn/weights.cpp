@@ -1,0 +1,91 @@
+#include "nn/weights.h"
+
+#include <stdexcept>
+
+namespace hetacc::nn {
+
+namespace {
+WeightStore make(const Network& net, std::uint32_t seed, bool with_bias) {
+  WeightStore ws;
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    const Layer& l = net[i];
+    const std::uint32_t layer_seed =
+        seed * 2654435761u + static_cast<std::uint32_t>(i) * 40503u + 1u;
+    if (l.kind == LayerKind::kConv) {
+      const auto& p = l.conv();
+      ConvWeights w{FilterBank(p.out_channels, l.in.c, p.kernel),
+                    std::vector<float>(p.out_channels, 0.0f)};
+      fill_deterministic(w.filters, layer_seed);
+      if (with_bias) {
+        fill_deterministic(w.bias, layer_seed ^ 0x5a5a5a5au);
+        for (auto& b : w.bias) b *= 0.1f;
+      }
+      ws.set_conv(i, std::move(w));
+    } else if (l.kind == LayerKind::kFullyConnected) {
+      FcWeights w;
+      w.matrix.resize(static_cast<std::size_t>(l.out.c) * l.in.elems());
+      w.bias.assign(l.out.c, 0.0f);
+      fill_deterministic(w.matrix, layer_seed);
+      // Scale down so wide FC reductions stay in range.
+      const float scale = 1.0f / static_cast<float>(std::max<std::int64_t>(
+                                     1, l.in.elems() / 64));
+      for (auto& x : w.matrix) x *= scale;
+      if (with_bias) fill_deterministic(w.bias, layer_seed ^ 0x5a5a5a5au);
+      ws.set_fc(i, std::move(w));
+    }
+  }
+  return ws;
+}
+}  // namespace
+
+WeightStore WeightStore::deterministic(const Network& net,
+                                       std::uint32_t seed) {
+  return make(net, seed, /*with_bias=*/true);
+}
+
+WeightStore WeightStore::deterministic_no_bias(const Network& net,
+                                               std::uint32_t seed) {
+  return make(net, seed, /*with_bias=*/false);
+}
+
+const ConvWeights& WeightStore::conv(std::size_t layer) const {
+  auto it = conv_.find(layer);
+  if (it == conv_.end()) {
+    throw std::out_of_range("no conv weights for layer " +
+                            std::to_string(layer));
+  }
+  return it->second;
+}
+
+ConvWeights& WeightStore::conv(std::size_t layer) {
+  auto it = conv_.find(layer);
+  if (it == conv_.end()) {
+    throw std::out_of_range("no conv weights for layer " +
+                            std::to_string(layer));
+  }
+  return it->second;
+}
+
+const FcWeights& WeightStore::fc(std::size_t layer) const {
+  auto it = fc_.find(layer);
+  if (it == fc_.end()) {
+    throw std::out_of_range("no fc weights for layer " +
+                            std::to_string(layer));
+  }
+  return it->second;
+}
+
+std::int64_t WeightStore::bytes(int bytes_per_elem) const {
+  std::int64_t n = 0;
+  for (const auto& [idx, w] : conv_) {
+    n += (w.filters.size() + static_cast<std::int64_t>(w.bias.size())) *
+         bytes_per_elem;
+  }
+  for (const auto& [idx, w] : fc_) {
+    n += static_cast<std::int64_t>(w.matrix.size() + w.bias.size()) *
+         bytes_per_elem;
+  }
+  return n;
+}
+
+}  // namespace hetacc::nn

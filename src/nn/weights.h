@@ -1,0 +1,60 @@
+#pragma once
+// Weight storage for a network: one FilterBank + bias per conv layer, one
+// dense matrix + bias per FC layer. Deterministically initialisable so that
+// all implementations (reference, streaming simulator, generated HLS code)
+// compute on identical data.
+
+#include <map>
+#include <vector>
+
+#include "nn/network.h"
+#include "nn/tensor.h"
+
+namespace hetacc::nn {
+
+struct FcWeights {
+  // Row-major [out_features][in_elems].
+  std::vector<float> matrix;
+  std::vector<float> bias;
+};
+
+struct ConvWeights {
+  FilterBank filters;
+  std::vector<float> bias;
+};
+
+class WeightStore {
+ public:
+  WeightStore() = default;
+
+  /// Allocates weights for every conv/FC layer in `net`, filled with a
+  /// deterministic pseudo-random pattern derived from `seed` and the layer
+  /// index.
+  static WeightStore deterministic(const Network& net, std::uint32_t seed);
+
+  /// Same, but with all biases zero (useful when validating fixed-point
+  /// paths where bias dominates rounding noise).
+  static WeightStore deterministic_no_bias(const Network& net,
+                                           std::uint32_t seed);
+
+  [[nodiscard]] bool has_conv(std::size_t layer) const {
+    return conv_.contains(layer);
+  }
+  [[nodiscard]] const ConvWeights& conv(std::size_t layer) const;
+  [[nodiscard]] ConvWeights& conv(std::size_t layer);
+  [[nodiscard]] const FcWeights& fc(std::size_t layer) const;
+
+  void set_conv(std::size_t layer, ConvWeights w) {
+    conv_[layer] = std::move(w);
+  }
+  void set_fc(std::size_t layer, FcWeights w) { fc_[layer] = std::move(w); }
+
+  /// Total weight bytes at the given element width.
+  [[nodiscard]] std::int64_t bytes(int bytes_per_elem = 2) const;
+
+ private:
+  std::map<std::size_t, ConvWeights> conv_;
+  std::map<std::size_t, FcWeights> fc_;
+};
+
+}  // namespace hetacc::nn

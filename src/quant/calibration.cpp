@@ -1,0 +1,86 @@
+#include "quant/calibration.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "fixed/fixed16.h"
+
+namespace hetacc::quant {
+
+namespace {
+float max_abs(const nn::Tensor& t) {
+  float m = 0.0f;
+  for (float v : t.vec()) m = std::max(m, std::abs(v));
+  return m;
+}
+}  // namespace
+
+std::vector<arch::NumericMode> Calibration::modes() const {
+  std::vector<arch::NumericMode> out;
+  out.reserve(layers.size());
+  for (const auto& l : layers) {
+    out.push_back(arch::NumericMode{l.in_frac, l.out_frac});
+  }
+  return out;
+}
+
+Calibration calibrate(const nn::Network& net, const nn::WeightStore& ws,
+                      const std::vector<nn::Tensor>& samples,
+                      int guard_bits) {
+  if (samples.empty()) {
+    throw std::invalid_argument("calibrate: need at least one sample");
+  }
+  if (net.empty() || net[0].kind != nn::LayerKind::kInput) {
+    throw std::invalid_argument("calibrate: net must start with input");
+  }
+  Calibration cal;
+  cal.layers.resize(net.size() - 1);
+  for (std::size_t i = 1; i < net.size(); ++i) {
+    cal.layers[i - 1].name = net[i].name;
+  }
+  for (const nn::Tensor& sample : samples) {
+    if (sample.shape() != net[0].out) {
+      throw std::invalid_argument("calibrate: sample shape mismatch");
+    }
+    const auto outs = nn::run_network_all(net, ws, sample);
+    float prev = max_abs(sample);
+    for (std::size_t i = 1; i < net.size(); ++i) {
+      auto& lr = cal.layers[i - 1];
+      lr.max_abs_in = std::max(lr.max_abs_in, prev);
+      const float out_abs = max_abs(outs[i]);
+      lr.max_abs_out = std::max(lr.max_abs_out, out_abs);
+      prev = out_abs;
+    }
+  }
+  for (auto& lr : cal.layers) {
+    lr.in_frac = std::clamp(
+        fixed::choose_frac_bits(lr.max_abs_in) - guard_bits, 0, 15);
+    lr.out_frac = std::clamp(
+        fixed::choose_frac_bits(lr.max_abs_out) - guard_bits, 0, 15);
+  }
+  return cal;
+}
+
+nn::WeightStore quantize_weights(const nn::Network& net,
+                                 const nn::WeightStore& ws) {
+  nn::WeightStore out = ws;
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    if (net[i].kind != nn::LayerKind::kConv) continue;
+    auto& w = out.conv(i);
+    float m = 0.0f;
+    for (std::int64_t j = 0; j < w.filters.size(); ++j) {
+      m = std::max(m, std::abs(w.filters.data()[j]));
+    }
+    for (float b : w.bias) m = std::max(m, std::abs(b));
+    const int frac = fixed::choose_frac_bits(m);
+    for (std::int64_t j = 0; j < w.filters.size(); ++j) {
+      w.filters.data()[j] =
+          fixed::quantize_to_float(w.filters.data()[j], frac);
+    }
+    for (auto& b : w.bias) b = fixed::quantize_to_float(b, frac);
+  }
+  return out;
+}
+
+}  // namespace hetacc::quant

@@ -1,0 +1,43 @@
+#pragma once
+// Fixed-point calibration: picks per-layer Q formats for the 16-bit
+// datapath (paper §7.1 "16-bit fixed data type") from observed activation
+// ranges, the way deployment flows calibrate before synthesis. Runs the
+// float reference executor over sample inputs, records per-layer dynamic
+// ranges, and chooses the widest fraction that avoids saturation.
+
+#include "arch/engines.h"
+#include "nn/network.h"
+#include "nn/reference.h"
+#include "nn/weights.h"
+
+namespace hetacc::quant {
+
+struct LayerRange {
+  std::string name;
+  float max_abs_in = 0.0f;
+  float max_abs_out = 0.0f;
+  int in_frac = 15;
+  int out_frac = 15;
+};
+
+struct Calibration {
+  std::vector<LayerRange> layers;  ///< index-aligned with net layers 1..N-1
+
+  /// Per-layer numeric modes for arch::FusionPipeline.
+  [[nodiscard]] std::vector<arch::NumericMode> modes() const;
+};
+
+/// Observes ranges over the given sample inputs (at least one required) and
+/// adds `guard_bits` of headroom on every format (inputs outside the sample
+/// distribution then still avoid saturation).
+[[nodiscard]] Calibration calibrate(const nn::Network& net,
+                                    const nn::WeightStore& ws,
+                                    const std::vector<nn::Tensor>& samples,
+                                    int guard_bits = 1);
+
+/// A copy of `ws` with every weight rounded to a Q format chosen per layer
+/// from the weight ranges — what the DDR images actually contain.
+[[nodiscard]] nn::WeightStore quantize_weights(const nn::Network& net,
+                                               const nn::WeightStore& ws);
+
+}  // namespace hetacc::quant

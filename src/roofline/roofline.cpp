@@ -1,0 +1,53 @@
+#include "roofline/roofline.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hetacc::roofline {
+
+double attainable(double ctc_ops_per_byte, double compute_roof_ops,
+                  double bandwidth_bytes_per_s) {
+  if (ctc_ops_per_byte < 0.0 || compute_roof_ops < 0.0 ||
+      bandwidth_bytes_per_s < 0.0) {
+    throw std::invalid_argument("attainable: negative inputs");
+  }
+  return std::min(compute_roof_ops, ctc_ops_per_byte * bandwidth_bytes_per_s);
+}
+
+double layer_ctc_input_only(const nn::Layer& layer, int bytes_per_elem) {
+  const double bytes =
+      static_cast<double>(layer.in.bytes(bytes_per_elem));
+  if (bytes <= 0.0) return 0.0;
+  return static_cast<double>(layer.ops()) / bytes;
+}
+
+double group_ctc(double total_ops, double transfer_bytes) {
+  if (transfer_bytes <= 0.0) {
+    throw std::invalid_argument("group_ctc: non-positive transfer");
+  }
+  return total_ops / transfer_bytes;
+}
+
+double conventional_roof_ops(const fpga::Device& dev) {
+  return dev.computational_roof_ops(2.0);
+}
+
+double winograd_roof_ops(const fpga::Device& dev, int m, int r) {
+  const double n = m + r - 1;
+  const double reduction = (static_cast<double>(m) * m * r * r) / (n * n);
+  return dev.computational_roof_ops(2.0 * reduction);
+}
+
+Point make_point(std::string label, double ctc, double compute_roof_ops,
+                 const fpga::Device& dev) {
+  Point p;
+  p.label = std::move(label);
+  p.ctc_ops_per_byte = ctc;
+  p.compute_roof_ops = compute_roof_ops;
+  p.attainable_ops = attainable(ctc, compute_roof_ops,
+                                dev.bandwidth_bytes_per_s);
+  p.bandwidth_limited = p.attainable_ops < compute_roof_ops;
+  return p;
+}
+
+}  // namespace hetacc::roofline

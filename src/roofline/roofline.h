@@ -1,0 +1,47 @@
+#pragma once
+// Roofline model (Williams et al., CACM'09) as used in the paper's Fig. 1
+// motivation: attainable performance = min(computational roof,
+// CTC ratio x bandwidth).
+
+#include "fpga/device.h"
+#include "nn/layer.h"
+
+namespace hetacc::roofline {
+
+/// A design point in roofline space.
+struct Point {
+  std::string label;
+  double ctc_ops_per_byte = 0.0;   ///< computation-to-communication ratio
+  double attainable_ops = 0.0;     ///< after clipping to both roofs
+  double compute_roof_ops = 0.0;   ///< roof of the algorithm used
+  bool bandwidth_limited = false;  ///< true if the bandwidth roof clipped it
+};
+
+/// Attainable performance (ops/s) under both roofs.
+[[nodiscard]] double attainable(double ctc_ops_per_byte,
+                                double compute_roof_ops,
+                                double bandwidth_bytes_per_s);
+
+/// CTC ratio of a conv layer counting only input-feature-map traffic, the
+/// simplification the paper states for Fig. 1.
+[[nodiscard]] double layer_ctc_input_only(const nn::Layer& layer,
+                                          int bytes_per_elem);
+
+/// CTC ratio counting input + output feature maps (used for fused groups,
+/// where intermediate maps never leave the chip).
+[[nodiscard]] double group_ctc(double total_ops, double transfer_bytes);
+
+/// Computational roof of the conventional algorithm: 1 MAC (2 ops) per DSP
+/// per cycle.
+[[nodiscard]] double conventional_roof_ops(const fpga::Device& dev);
+
+/// Computational roof of Winograd F(m x m, r x r): the multiplication
+/// reduction factor scales effective ops per DSP per cycle (4x for F(4,3)).
+[[nodiscard]] double winograd_roof_ops(const fpga::Device& dev, int m, int r);
+
+/// Builds a labeled point clipped to the roofs.
+[[nodiscard]] Point make_point(std::string label, double ctc,
+                               double compute_roof_ops,
+                               const fpga::Device& dev);
+
+}  // namespace hetacc::roofline

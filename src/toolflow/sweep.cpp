@@ -1,0 +1,62 @@
+#include "toolflow/sweep.h"
+
+#include <sstream>
+
+namespace hetacc::toolflow {
+
+std::vector<SweepPoint> sweep_budgets(const nn::Network& net,
+                                      const fpga::EngineModel& model,
+                                      const SweepOptions& opt) {
+  std::vector<SweepPoint> out;
+  for (long long budget : opt.budgets_bytes) {
+    SweepPoint p;
+    p.device = model.device().name;
+    p.budget_bytes = budget;
+    core::OptimizerOptions oo = opt.optimizer;
+    oo.transfer_budget_bytes = budget;
+    const auto r = core::optimize(net, model, oo);
+    p.feasible = r.feasible;
+    if (r.feasible) {
+      p.groups = r.strategy.groups.size();
+      p.report = core::make_report(r.strategy, net, model.device());
+    }
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+std::vector<SweepPoint> sweep_devices(const nn::Network& net,
+                                      const std::vector<fpga::Device>& devices,
+                                      const SweepOptions& opt) {
+  std::vector<SweepPoint> out;
+  for (const auto& dev : devices) {
+    const fpga::EngineModel model(dev);
+    auto rows = sweep_budgets(net, model, opt);
+    out.insert(out.end(), rows.begin(), rows.end());
+  }
+  return out;
+}
+
+std::string sweep_to_csv(const std::vector<SweepPoint>& points) {
+  std::ostringstream os;
+  os << "device,budget_mb,feasible,groups,latency_ms,gops,dsp,bram,"
+        "power_w,gops_per_w,transfer_mb,fps\n";
+  for (const auto& p : points) {
+    os << p.device << ',' << static_cast<double>(p.budget_bytes) / 1048576.0
+       << ',' << (p.feasible ? 1 : 0) << ',' << p.groups << ',';
+    if (p.feasible) {
+      os << p.report.latency_ms << ',' << p.report.effective_gops << ','
+         << p.report.peak_resources.dsp << ','
+         << p.report.peak_resources.bram18k << ',' << p.report.power.total()
+         << ',' << p.report.energy_efficiency_gops_per_w << ','
+         << static_cast<double>(p.report.feature_transfer_bytes) / 1048576.0
+         << ',' << p.report.throughput_fps;
+    } else {
+      os << ",,,,,,,";
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace hetacc::toolflow

@@ -1,0 +1,42 @@
+#pragma once
+// Design-space sweep driver: runs the optimizer over a grid of transfer
+// budgets (and optionally devices / engine-model variants) and collects the
+// frontier rows the exploration examples and benches print. The paper's
+// Fig. 5 is one instance of this sweep.
+
+#include <string>
+#include <vector>
+
+#include "core/dp_optimizer.h"
+#include "core/report.h"
+
+namespace hetacc::toolflow {
+
+struct SweepPoint {
+  std::string device;
+  long long budget_bytes = 0;
+  bool feasible = false;
+  std::size_t groups = 0;
+  core::StrategyReport report;
+};
+
+struct SweepOptions {
+  std::vector<long long> budgets_bytes;  ///< grid of T values
+  core::OptimizerOptions optimizer;      ///< budget field is overwritten
+};
+
+/// Sweeps one device over the budget grid.
+[[nodiscard]] std::vector<SweepPoint> sweep_budgets(
+    const nn::Network& net, const fpga::EngineModel& model,
+    const SweepOptions& opt);
+
+/// Sweeps several devices over the same grid (same engine-model params).
+[[nodiscard]] std::vector<SweepPoint> sweep_devices(
+    const nn::Network& net, const std::vector<fpga::Device>& devices,
+    const SweepOptions& opt);
+
+/// CSV: device,budget_mb,feasible,groups,latency_ms,gops,dsp,bram,power_w,
+/// gops_per_w,transfer_mb,fps
+[[nodiscard]] std::string sweep_to_csv(const std::vector<SweepPoint>& points);
+
+}  // namespace hetacc::toolflow

@@ -1,0 +1,66 @@
+#include "toolflow/toolflow.h"
+
+#include <sstream>
+
+namespace hetacc::toolflow {
+
+ToolflowResult run_toolflow(std::string_view prototxt,
+                            const fpga::Device& device,
+                            const ToolflowOptions& opt) {
+  return run_toolflow(caffe::import_prototxt(prototxt), device, opt);
+}
+
+ToolflowResult run_toolflow(const nn::Network& net,
+                            const fpga::Device& device,
+                            const ToolflowOptions& opt) {
+  ToolflowResult r;
+  r.full_net = net;
+  r.accel_net = net.accelerated_portion();
+
+  const fpga::EngineModel model(device);
+  core::OptimizerOptions oo = opt.optimizer;
+  if (opt.transfer_budget_bytes > 0) {
+    oo.transfer_budget_bytes = opt.transfer_budget_bytes;
+  } else if (oo.transfer_budget_bytes <= 0) {
+    // Minimal budget that still admits a solution: every partition's
+    // transfer is at most the unfused total. One discretization unit of
+    // slack per layer covers the per-group round-up in the DP.
+    oo.transfer_budget_bytes =
+        r.accel_net.unfused_feature_transfer_bytes(device.data_bytes) +
+        static_cast<long long>(r.accel_net.size()) * oo.transfer_unit_bytes;
+  }
+  r.optimization = core::optimize(r.accel_net, model, oo);
+  if (!r.optimization.feasible) {
+    throw std::runtime_error(
+        "toolflow: no feasible strategy under the given transfer budget");
+  }
+  r.report = core::make_report(r.optimization.strategy, r.accel_net, device);
+
+  if (opt.generate_code) {
+    const auto ws =
+        nn::WeightStore::deterministic(r.accel_net, opt.weight_seed);
+    r.design = codegen::generate_design(r.accel_net, r.optimization.strategy,
+                                        ws, opt.codegen);
+  }
+  return r;
+}
+
+std::string ToolflowResult::summary() const {
+  std::ostringstream os;
+  os << "tool-flow summary for '" << full_net.name() << "'\n";
+  os << "  accelerated layers: " << accel_net.size() - 1 << " ("
+     << accel_net.total_ops() / 1e9 << " GOP)\n";
+  os << "  fusion groups: " << optimization.strategy.groups.size() << "\n";
+  os << "  latency: " << report.latency_ms << " ms  ("
+     << report.effective_gops << " effective GOPS)\n";
+  os << "  feature-map transfer: "
+     << static_cast<double>(report.feature_transfer_bytes) / (1024.0 * 1024.0)
+     << " MB\n";
+  os << "  peak resources: " << report.peak_resources.str() << "\n";
+  os << "  power: " << report.power.total() << " W, energy efficiency "
+     << report.energy_efficiency_gops_per_w << " GOPS/W\n";
+  os << "  optimizer wall time: " << optimization.wall_seconds << " s\n";
+  return os.str();
+}
+
+}  // namespace hetacc::toolflow

@@ -1,0 +1,47 @@
+#pragma once
+// The automatic tool-flow of paper Fig. 3: Caffe configuration file + FPGA
+// specification in, optimized strategy + generated HLS project + report out.
+// (The final Vivado bitstream compilation is the one step that requires the
+// vendor toolchain; everything up to and including validated HLS source is
+// produced here.)
+
+#include "caffe/importer.h"
+#include "codegen/generator.h"
+#include "core/dp_optimizer.h"
+#include "core/report.h"
+
+namespace hetacc::toolflow {
+
+struct ToolflowOptions {
+  /// Feature-map transfer budget T. 0 = use the network's minimal possible
+  /// transfer (fully fused if feasible).
+  long long transfer_budget_bytes = 0;
+  core::OptimizerOptions optimizer;
+  codegen::CodegenOptions codegen;
+  /// Generate HLS source (requires weights; deterministic weights are
+  /// synthesized when none are supplied).
+  bool generate_code = true;
+  std::uint32_t weight_seed = 42;
+};
+
+struct ToolflowResult {
+  nn::Network full_net;    ///< as imported
+  nn::Network accel_net;   ///< the FPGA-mapped portion (FC stack dropped)
+  core::OptimizeResult optimization;
+  core::StrategyReport report;
+  codegen::GeneratedDesign design;  ///< empty strings if generate_code=false
+
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Runs the flow on prototxt text.
+[[nodiscard]] ToolflowResult run_toolflow(std::string_view prototxt,
+                                          const fpga::Device& device,
+                                          const ToolflowOptions& opt = {});
+
+/// Runs the flow on an already-built network.
+[[nodiscard]] ToolflowResult run_toolflow(const nn::Network& net,
+                                          const fpga::Device& device,
+                                          const ToolflowOptions& opt = {});
+
+}  // namespace hetacc::toolflow

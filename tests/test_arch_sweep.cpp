@@ -1,0 +1,192 @@
+// Property-style sweep: every streaming engine geometry the architecture
+// claims to support must match the reference executor bit-for-bit (float)
+// through the full line-buffer machinery.
+
+#include <gtest/gtest.h>
+
+#include "arch/pipeline.h"
+#include "nn/reference.h"
+
+namespace hetacc::arch {
+namespace {
+
+using fpga::ConvAlgo;
+using nn::Network;
+using nn::Tensor;
+using nn::WeightStore;
+
+struct ConvEngineCase {
+  int in_c, out_c, h, w, k, stride, pad;
+  ConvAlgo algo;
+  int wino_m;
+};
+
+class ConvEngineSweep : public ::testing::TestWithParam<ConvEngineCase> {};
+
+TEST_P(ConvEngineSweep, StreamedConvMatchesReference) {
+  const auto p = GetParam();
+  Network net("sweep");
+  net.input({p.in_c, p.h, p.w});
+  net.conv(p.out_c, p.k, p.stride, p.pad, "c");
+  const WeightStore ws = WeightStore::deterministic(net, 101);
+  Tensor in(net[0].out);
+  nn::fill_deterministic(in, 102);
+  const Tensor ref = nn::run_network(net, ws, in);
+  FusionPipeline pipe(net, ws, {LayerChoice{p.algo, p.wino_m, {}}});
+  const Tensor got = pipe.run(in);
+  ASSERT_EQ(got.shape(), ref.shape());
+  EXPECT_LT(got.max_abs_diff(ref), 5e-4f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Conventional, ConvEngineSweep,
+    ::testing::Values(
+        ConvEngineCase{1, 1, 5, 5, 1, 1, 0, ConvAlgo::kConventional, 4},
+        ConvEngineCase{2, 3, 8, 8, 3, 1, 0, ConvAlgo::kConventional, 4},
+        ConvEngineCase{2, 3, 8, 8, 3, 1, 1, ConvAlgo::kConventional, 4},
+        ConvEngineCase{2, 3, 8, 8, 3, 1, 2, ConvAlgo::kConventional, 4},
+        ConvEngineCase{3, 2, 9, 7, 3, 2, 1, ConvAlgo::kConventional, 4},
+        ConvEngineCase{2, 2, 11, 11, 5, 1, 2, ConvAlgo::kConventional, 4},
+        ConvEngineCase{2, 2, 11, 11, 5, 2, 0, ConvAlgo::kConventional, 4},
+        ConvEngineCase{3, 4, 15, 15, 7, 3, 0, ConvAlgo::kConventional, 4},
+        ConvEngineCase{3, 2, 23, 23, 11, 4, 0, ConvAlgo::kConventional, 4},
+        ConvEngineCase{4, 4, 6, 18, 3, 1, 1, ConvAlgo::kConventional, 4}),
+    [](const auto& info) {
+      const auto& p = info.param;
+      return "k" + std::to_string(p.k) + "s" + std::to_string(p.stride) +
+             "p" + std::to_string(p.pad) + "_" + std::to_string(p.h) + "x" +
+             std::to_string(p.w) + "_c" + std::to_string(p.in_c) + "n" +
+             std::to_string(p.out_c);
+    });
+
+INSTANTIATE_TEST_SUITE_P(
+    Winograd, ConvEngineSweep,
+    ::testing::Values(
+        ConvEngineCase{2, 3, 8, 8, 3, 1, 1, ConvAlgo::kWinograd, 2},
+        ConvEngineCase{2, 3, 8, 8, 3, 1, 1, ConvAlgo::kWinograd, 4},
+        ConvEngineCase{2, 3, 8, 8, 3, 1, 1, ConvAlgo::kWinograd, 6},
+        ConvEngineCase{3, 2, 13, 9, 3, 1, 0, ConvAlgo::kWinograd, 4},
+        ConvEngineCase{2, 2, 10, 10, 3, 1, 2, ConvAlgo::kWinograd, 4},
+        ConvEngineCase{2, 2, 12, 12, 5, 1, 2, ConvAlgo::kWinograd, 2},
+        ConvEngineCase{2, 2, 12, 12, 5, 1, 2, ConvAlgo::kWinograd, 4},
+        ConvEngineCase{1, 1, 7, 7, 3, 1, 1, ConvAlgo::kWinograd, 4},
+        ConvEngineCase{2, 2, 17, 17, 7, 1, 3, ConvAlgo::kWinograd, 2},
+        ConvEngineCase{4, 4, 4, 4, 3, 1, 1, ConvAlgo::kWinograd, 6}),
+    [](const auto& info) {
+      const auto& p = info.param;
+      return "m" + std::to_string(p.wino_m) + "_k" + std::to_string(p.k) +
+             "p" + std::to_string(p.pad) + "_" + std::to_string(p.h) + "x" +
+             std::to_string(p.w) + "_c" + std::to_string(p.in_c) + "n" +
+             std::to_string(p.out_c);
+    });
+
+struct PoolEngineCase {
+  int c, h, w, k, stride;
+  nn::PoolMethod method;
+};
+
+class PoolEngineSweep : public ::testing::TestWithParam<PoolEngineCase> {};
+
+TEST_P(PoolEngineSweep, StreamedPoolMatchesReference) {
+  const auto p = GetParam();
+  Network net("pool-sweep");
+  net.input({p.c, p.h, p.w});
+  if (p.method == nn::PoolMethod::kMax) {
+    net.max_pool(p.k, p.stride, "p");
+  } else {
+    net.avg_pool(p.k, p.stride, "p");
+  }
+  const WeightStore ws = WeightStore::deterministic(net, 103);
+  Tensor in(net[0].out);
+  nn::fill_deterministic(in, 104);
+  const Tensor ref = nn::run_network(net, ws, in);
+  FusionPipeline pipe(net, ws);
+  const Tensor got = pipe.run(in);
+  EXPECT_LT(got.max_abs_diff(ref), 1e-6f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, PoolEngineSweep,
+    ::testing::Values(PoolEngineCase{2, 8, 8, 2, 2, nn::PoolMethod::kMax},
+                      PoolEngineCase{3, 9, 9, 3, 2, nn::PoolMethod::kMax},
+                      PoolEngineCase{3, 7, 7, 3, 2, nn::PoolMethod::kMax},
+                      PoolEngineCase{2, 10, 6, 2, 2, nn::PoolMethod::kAverage},
+                      PoolEngineCase{4, 9, 9, 3, 3, nn::PoolMethod::kAverage},
+                      PoolEngineCase{1, 13, 13, 3, 2, nn::PoolMethod::kMax},
+                      PoolEngineCase{2, 5, 5, 5, 5, nn::PoolMethod::kMax}),
+    [](const auto& info) {
+      const auto& p = info.param;
+      return std::string(p.method == nn::PoolMethod::kMax ? "max" : "avg") +
+             "_k" + std::to_string(p.k) + "s" + std::to_string(p.stride) +
+             "_" + std::to_string(p.h) + "x" + std::to_string(p.w) + "_c" +
+             std::to_string(p.c);
+    });
+
+class LrnEngineSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(LrnEngineSweep, StreamedLrnMatchesReference) {
+  const int local = GetParam();
+  Network net("lrn-sweep");
+  net.input({16, 6, 6});
+  net.lrn(local, 2e-4f, 0.75f, "l");
+  const WeightStore ws = WeightStore::deterministic(net, 105);
+  Tensor in(net[0].out);
+  nn::fill_deterministic(in, 106);
+  const Tensor ref = nn::run_network(net, ws, in);
+  FusionPipeline pipe(net, ws);
+  const Tensor got = pipe.run(in);
+  EXPECT_LT(got.max_abs_diff(ref), 1e-5f);
+}
+
+INSTANTIATE_TEST_SUITE_P(WindowSizes, LrnEngineSweep,
+                         ::testing::Values(1, 3, 5, 7, 9));
+
+TEST(DeepFusionSweep, EightLayerGroupMatchesReference) {
+  // The paper's maximum group depth (8) streamed end to end.
+  Network net("deep");
+  net.input({2, 40, 40});
+  net.conv(4, 3, 1, 1, "c1");
+  net.conv(4, 3, 1, 1, "c2");
+  net.max_pool(2, 2, "p1");
+  net.conv(8, 3, 1, 1, "c3");
+  net.lrn(5, 1e-4f, 0.75f, "n1");
+  net.conv(8, 3, 1, 1, "c4");
+  net.max_pool(2, 2, "p2");
+  net.conv(8, 3, 1, 1, "c5");
+  const WeightStore ws = WeightStore::deterministic(net, 107);
+  Tensor in(net[0].out);
+  nn::fill_deterministic(in, 108);
+  const Tensor ref = nn::run_network(net, ws, in);
+  std::vector<LayerChoice> ch(8);
+  ch[1].algo = ConvAlgo::kWinograd;
+  ch[3].algo = ConvAlgo::kWinograd;
+  ch[5].algo = ConvAlgo::kWinograd;
+  ch[5].wino_m = 2;
+  ch[7].algo = ConvAlgo::kWinograd;
+  ch[7].wino_m = 6;
+  FusionPipeline pipe(net, ws, ch);
+  const Tensor got = pipe.run(in);
+  EXPECT_LT(got.max_abs_diff(ref), 5e-3f);
+}
+
+TEST(DeepFusionSweep, MixedTileSizesInOnePipeline) {
+  Network net("tiles");
+  net.input({3, 24, 24});
+  net.conv(4, 3, 1, 1, "a");
+  net.conv(4, 3, 1, 1, "b");
+  net.conv(4, 3, 1, 1, "c");
+  const WeightStore ws = WeightStore::deterministic(net, 109);
+  Tensor in(net[0].out);
+  nn::fill_deterministic(in, 110);
+  const Tensor ref = nn::run_network(net, ws, in);
+  std::vector<LayerChoice> ch(3);
+  ch[0] = {ConvAlgo::kWinograd, 2, {}};
+  ch[1] = {ConvAlgo::kWinograd, 4, {}};
+  ch[2] = {ConvAlgo::kWinograd, 6, {}};
+  FusionPipeline pipe(net, ws, ch);
+  const Tensor got = pipe.run(in);
+  EXPECT_LT(got.max_abs_diff(ref), 2e-3f);
+}
+
+}  // namespace
+}  // namespace hetacc::arch

@@ -1,0 +1,211 @@
+#include "baseline/alwani.h"
+
+#include <gtest/gtest.h>
+
+#include "core/dp_optimizer.h"
+#include "nn/model_zoo.h"
+
+namespace hetacc::baseline {
+namespace {
+
+using nn::Network;
+using nn::Tensor;
+using nn::WeightStore;
+
+TEST(PyramidGeometry, BackwardWalkMatchesHandComputation) {
+  // Three 3x3 s1 convs: a TxT output tile needs (T+2)x(T+2), (T+4)x(T+4),
+  // (T+6)x(T+6) going backwards (paper Fig. 2(a) shows exactly this).
+  const Network net = nn::conv_chain(3, 4, 32);
+  const TileGeometry g = pyramid_geometry(net, 1, 3, 8, /*reuse=*/false);
+  ASSERT_EQ(g.tile_in.size(), 3u);
+  EXPECT_EQ(g.tile_in[2], 10);
+  EXPECT_EQ(g.tile_in[1], 12);
+  EXPECT_EQ(g.tile_in[0], 14);
+  EXPECT_EQ(g.tiles, 16);  // 32/8 squared
+}
+
+TEST(PyramidGeometry, StrideShrinksPyramidGrowth) {
+  Network net("n");
+  net.input({4, 32, 32});
+  net.conv(4, 3, 1, 1, "c1");
+  net.max_pool(2, 2, "p1");
+  net.conv(8, 3, 1, 1, "c2");
+  const TileGeometry g = pyramid_geometry(net, 1, 3, 4, false);
+  // c2 tile 4 -> needs 6 of p1 out -> pool in 12 -> c1 in 14.
+  EXPECT_EQ(g.tile_in[2], 6);
+  EXPECT_EQ(g.tile_in[1], 12);
+  EXPECT_EQ(g.tile_in[0], 14);
+}
+
+TEST(PyramidGeometry, RecomputeFactorAboveOneAndShrinksWithTile) {
+  const Network net = nn::conv_chain(3, 4, 32);
+  const TileGeometry small = pyramid_geometry(net, 1, 3, 4, false);
+  const TileGeometry big = pyramid_geometry(net, 1, 3, 16, false);
+  EXPECT_GT(small.recompute_factor, 1.0);
+  EXPECT_GT(small.recompute_factor, big.recompute_factor);
+  // Reuse mode recomputes nothing.
+  const TileGeometry reuse = pyramid_geometry(net, 1, 3, 4, true);
+  EXPECT_DOUBLE_EQ(reuse.recompute_factor, 1.0);
+}
+
+TEST(PyramidGeometry, ReuseModeBuysBuffersInsteadOfRecompute) {
+  const Network net = nn::conv_chain(3, 4, 32);
+  const TileGeometry reuse = pyramid_geometry(net, 1, 3, 8, true);
+  const TileGeometry recompute = pyramid_geometry(net, 1, 3, 8, false);
+  EXPECT_GT(reuse.tile_buffer_words, recompute.tile_buffer_words);
+}
+
+TEST(PyramidGeometry, BadArgsThrow) {
+  const Network net = nn::conv_chain(3, 4, 32);
+  EXPECT_THROW((void)pyramid_geometry(net, 1, 3, 0, true),
+               std::invalid_argument);
+  EXPECT_THROW((void)pyramid_geometry(net, 3, 1, 8, true),
+               std::invalid_argument);
+}
+
+// ------------------------------------------------- functional tile executor --
+class TileExecutorSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(TileExecutorSweep, MatchesReferenceOnTinyNet) {
+  const int tile = GetParam();
+  const Network net = nn::tiny_net(4, 16);
+  const WeightStore ws = WeightStore::deterministic(net, 21);
+  Tensor in(net[0].out);
+  nn::fill_deterministic(in, 22);
+  const Tensor ref = nn::run_network(net, ws, in);
+  long long ops = 0;
+  const Tensor got =
+      tile_fused_execute(net, ws, in, 1, net.size() - 1, tile, &ops);
+  ASSERT_EQ(got.shape(), ref.shape());
+  EXPECT_LT(got.max_abs_diff(ref), 1e-4f) << "tile=" << tile;
+  EXPECT_GT(ops, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(TileSizes, TileExecutorSweep,
+                         ::testing::Values(1, 2, 3, 4, 8));
+
+TEST(TileExecutor, RecomputeOpsShrinkWithLargerTiles) {
+  const Network net = nn::conv_chain(3, 4, 24);
+  const WeightStore ws = WeightStore::deterministic(net, 31);
+  Tensor in(net[0].out);
+  nn::fill_deterministic(in, 32);
+  long long ops_small = 0, ops_big = 0;
+  (void)tile_fused_execute(net, ws, in, 1, 3, 4, &ops_small);
+  (void)tile_fused_execute(net, ws, in, 1, 3, 12, &ops_big);
+  EXPECT_GT(ops_small, ops_big);
+  // And the big-tile count approaches the minimal op count.
+  long long minimal = 0;
+  for (std::size_t i = 1; i < net.size(); ++i) minimal += net[i].ops();
+  EXPECT_GE(ops_big, minimal);
+}
+
+TEST(TileExecutor, MeasuredOverheadTracksGeometryModel) {
+  const Network net = nn::conv_chain(3, 4, 24);
+  const WeightStore ws = WeightStore::deterministic(net, 41);
+  Tensor in(net[0].out);
+  nn::fill_deterministic(in, 42);
+  long long ops = 0;
+  (void)tile_fused_execute(net, ws, in, 1, 3, 6, &ops);
+  long long minimal = 0;
+  for (std::size_t i = 1; i < net.size(); ++i) minimal += net[i].ops();
+  const double measured = static_cast<double>(ops) / minimal;
+  const double modeled =
+      pyramid_geometry(net, 1, 3, 6, false).recompute_factor;
+  // The analytic factor ignores edge-tile clipping, so allow 20%.
+  EXPECT_NEAR(measured, modeled, 0.2 * modeled);
+}
+
+TEST(TileExecutor, AlexNetStyleHeadWithLrnAndPool) {
+  Network net("mini-alex");
+  net.input({3, 31, 31});
+  net.conv(8, 5, 2, 0, "c1");
+  net.lrn(5, 1e-4f, 0.75f, "n1");
+  net.max_pool(3, 2, "p1");
+  const WeightStore ws = WeightStore::deterministic(net, 51);
+  Tensor in(net[0].out);
+  nn::fill_deterministic(in, 52);
+  const Tensor ref = nn::run_network(net, ws, in);
+  const Tensor got = tile_fused_execute(net, ws, in, 1, 3, 3);
+  EXPECT_LT(got.max_abs_diff(ref), 1e-4f);
+}
+
+TEST(TileExecutor, InputShapeMismatchThrows) {
+  const Network net = nn::tiny_net(4, 16);
+  const WeightStore ws = WeightStore::deterministic(net, 1);
+  Tensor wrong(1, 16, 16);
+  EXPECT_THROW((void)tile_fused_execute(net, ws, wrong, 1, 3, 4),
+               std::invalid_argument);
+}
+
+// ----------------------------------------------------------- design model --
+class BaselineDesignTest : public ::testing::Test {
+ protected:
+  Network head_ = nn::vgg_e_head();
+  fpga::EngineModel model_{fpga::zc706()};
+};
+
+TEST_F(BaselineDesignTest, ProducesFeasibleConventionalOnlyDesign) {
+  const auto d = design_baseline(head_, 1, 7, model_);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_TRUE(d->resources.fits_in(model_.device().capacity));
+  for (const auto& ipl : d->impls) {
+    EXPECT_NE(ipl.cfg.algo, fpga::ConvAlgo::kWinograd);
+  }
+  EXPECT_GT(d->latency_cycles, 0);
+  EXPECT_EQ(d->transfer_bytes,
+            core::min_transfer_bytes(head_, 1, 7, 2));
+}
+
+TEST_F(BaselineDesignTest, OurOptimizerBeatsBaseline) {
+  // The paper's headline: 1.42x-3.85x, average 1.99x, over [1].
+  const auto baseline = design_baseline(head_, 1, 7, model_);
+  ASSERT_TRUE(baseline.has_value());
+  core::OptimizerOptions o;
+  o.transfer_budget_bytes = 2 * 1024 * 1024;
+  const auto ours = core::optimize(head_, model_, o);
+  ASSERT_TRUE(ours.feasible);
+  const double speedup = static_cast<double>(baseline->latency_cycles) /
+                         static_cast<double>(ours.strategy.latency_cycles());
+  EXPECT_GT(speedup, 1.2);
+  EXPECT_LT(speedup, 6.0);
+}
+
+TEST_F(BaselineDesignTest, TileSweepPicksReasonableTile) {
+  const auto d = design_baseline(head_, 1, 7, model_);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_GT(d->geom.tile, 0);
+  EXPECT_LE(d->geom.tile, head_[7].out.h);
+}
+
+TEST_F(BaselineDesignTest, FixedTileRespected) {
+  TileFusionOptions opt;
+  opt.tile = 8;
+  const auto d = design_baseline(head_, 1, 7, model_, opt);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->geom.tile, 8);
+}
+
+TEST_F(BaselineDesignTest, RecomputeModeCostsMoreCompute) {
+  TileFusionOptions reuse;
+  reuse.tile = 8;
+  reuse.reuse = true;
+  TileFusionOptions recompute;
+  recompute.tile = 8;
+  recompute.reuse = false;
+  const auto a = design_baseline(head_, 1, 7, model_, reuse);
+  const auto b = design_baseline(head_, 1, 7, model_, recompute);
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_GT(b->compute_ops, a->compute_ops);
+  EXPECT_GE(b->latency_cycles, a->latency_cycles);
+}
+
+TEST_F(BaselineDesignTest, InfeasibleOnTinyDevice) {
+  fpga::Device nano = fpga::toy_device();
+  nano.capacity = fpga::ResourceVector{4, 4, 4000, 2000};
+  const fpga::EngineModel tiny(nano);
+  EXPECT_FALSE(design_baseline(head_, 1, 7, tiny).has_value());
+}
+
+}  // namespace
+}  // namespace hetacc::baseline

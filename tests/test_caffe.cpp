@@ -1,0 +1,230 @@
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "caffe/importer.h"
+#include "caffe/prototxt.h"
+#include "nn/model_zoo.h"
+
+namespace hetacc::caffe {
+namespace {
+
+TEST(Prototxt, ScalarsStringsEnumsBools) {
+  const Message m = parse_prototxt(R"(
+    name: "net"
+    count: 42
+    ratio: -1.5e-2
+    flag: true
+    other: false
+    method: MAX
+  )");
+  EXPECT_EQ(m.str("name"), "net");
+  EXPECT_EQ(m.integer("count", 0), 42);
+  EXPECT_NEAR(m.number("ratio", 0), -0.015, 1e-12);
+  EXPECT_EQ(m.str("method"), "MAX");
+  EXPECT_TRUE(std::get<bool>(m.all("flag").front()));
+  EXPECT_FALSE(std::get<bool>(m.all("other").front()));
+}
+
+TEST(Prototxt, NestedAndRepeatedMessages) {
+  const Message m = parse_prototxt(R"(
+    layer { name: "a" }
+    layer { name: "b" inner { x: 1 } }
+  )");
+  const auto layers = m.children("layer");
+  ASSERT_EQ(layers.size(), 2u);
+  EXPECT_EQ(layers[0]->str("name"), "a");
+  ASSERT_NE(layers[1]->child("inner"), nullptr);
+  EXPECT_EQ(layers[1]->child("inner")->integer("x", 0), 1);
+}
+
+TEST(Prototxt, ColonBraceFormAndComments) {
+  const Message m = parse_prototxt(R"(
+    # leading comment
+    param: { value: 3 }  # trailing comment
+  )");
+  ASSERT_NE(m.child("param"), nullptr);
+  EXPECT_EQ(m.child("param")->integer("value", 0), 3);
+}
+
+TEST(Prototxt, RepeatedScalars) {
+  const Message m = parse_prototxt("dim: 1 dim: 3 dim: 227 dim: 227");
+  EXPECT_EQ(m.count("dim"), 4u);
+  EXPECT_EQ(std::get<double>(m.all("dim")[2]), 227);
+}
+
+TEST(Prototxt, ErrorsCarryLineNumbers) {
+  try {
+    (void)parse_prototxt("a: 1\nb {\n  c: }\n");
+    FAIL() << "expected parse error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Prototxt, UnterminatedBlockThrows) {
+  EXPECT_THROW((void)parse_prototxt("layer { name: \"x\""),
+               std::runtime_error);
+  EXPECT_THROW((void)parse_prototxt("}"), std::runtime_error);
+  EXPECT_THROW((void)parse_prototxt("s: \"abc"), std::runtime_error);
+}
+
+TEST(Prototxt, MissingFieldAccessors) {
+  const Message m = parse_prototxt("x: 1");
+  EXPECT_EQ(m.number("y", 7.0), 7.0);
+  EXPECT_EQ(m.str("y", "dflt"), "dflt");
+  EXPECT_EQ(m.child("y"), nullptr);
+  EXPECT_THROW((void)m.all("y"), std::runtime_error);
+  EXPECT_THROW((void)m.str("x"), std::runtime_error);  // wrong type
+}
+
+// ---------------------------------------------------------------- import --
+constexpr const char* kTinyDeploy = R"(
+name: "tiny"
+input: "data"
+input_dim: 1
+input_dim: 3
+input_dim: 32
+input_dim: 32
+layer {
+  name: "conv1"
+  type: "Convolution"
+  bottom: "data"
+  top: "conv1"
+  convolution_param { num_output: 8 kernel_size: 3 stride: 1 pad: 1 }
+}
+layer { name: "relu1" type: "ReLU" bottom: "conv1" top: "conv1" }
+layer {
+  name: "pool1"
+  type: "Pooling"
+  bottom: "conv1"
+  top: "pool1"
+  pooling_param { pool: MAX kernel_size: 2 stride: 2 }
+}
+layer {
+  name: "norm1"
+  type: "LRN"
+  lrn_param { local_size: 5 alpha: 0.0001 beta: 0.75 }
+}
+layer {
+  name: "fc"
+  type: "InnerProduct"
+  inner_product_param { num_output: 10 }
+}
+layer { name: "prob" type: "Softmax" }
+)";
+
+TEST(Import, TinyDeployEndToEnd) {
+  const nn::Network net = import_prototxt(kTinyDeploy);
+  EXPECT_EQ(net.name(), "tiny");
+  ASSERT_EQ(net.size(), 6u);  // input conv pool lrn fc softmax
+  EXPECT_EQ(net[0].out, (nn::Shape{3, 32, 32}));
+  EXPECT_EQ(net[1].kind, nn::LayerKind::kConv);
+  EXPECT_TRUE(net[1].conv().fused_relu);  // in-place ReLU folded
+  EXPECT_EQ(net[2].out, (nn::Shape{8, 16, 16}));
+  EXPECT_EQ(net[3].kind, nn::LayerKind::kLrn);
+  EXPECT_EQ(net[4].out, (nn::Shape{10, 1, 1}));
+}
+
+TEST(Import, ModernInputLayerForm) {
+  const nn::Network net = import_prototxt(R"(
+    layer {
+      name: "data" type: "Input"
+      input_param { shape { dim: 1 dim: 4 dim: 8 dim: 8 } }
+    }
+    layer {
+      name: "c" type: "Convolution"
+      convolution_param { num_output: 2 kernel_size: 3 pad: 1 }
+    }
+  )");
+  EXPECT_EQ(net[0].out, (nn::Shape{4, 8, 8}));
+  EXPECT_EQ(net[1].out, (nn::Shape{2, 8, 8}));
+}
+
+TEST(Import, AveragePoolAndPads) {
+  const nn::Network net = import_prototxt(R"(
+    input: "data" input_dim: 1 input_dim: 2 input_dim: 9 input_dim: 9
+    layer { name: "p" type: "Pooling"
+            pooling_param { pool: AVE kernel_size: 3 stride: 2 pad: 1 } }
+  )");
+  EXPECT_EQ(net[1].pool().method, nn::PoolMethod::kAverage);
+  EXPECT_EQ(net[1].pool().pad, 1);
+}
+
+TEST(Import, MissingInputShapeThrows) {
+  EXPECT_THROW((void)import_prototxt("name: \"x\""), std::runtime_error);
+}
+
+TEST(Import, UnsupportedTypeNamesLayer) {
+  try {
+    (void)import_prototxt(R"(
+      input: "d" input_dim: 1 input_dim: 1 input_dim: 4 input_dim: 4
+      layer { name: "odd" type: "Deconvolution" }
+    )");
+    FAIL();
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("Deconvolution"), std::string::npos);
+  }
+}
+
+TEST(Import, ConvWithoutParamThrows) {
+  EXPECT_THROW((void)import_prototxt(R"(
+    input: "d" input_dim: 1 input_dim: 1 input_dim: 4 input_dim: 4
+    layer { name: "c" type: "Convolution" }
+  )"), std::runtime_error);
+}
+
+TEST(Import, DropoutIsIgnored) {
+  const nn::Network net = import_prototxt(R"(
+    input: "d" input_dim: 1 input_dim: 1 input_dim: 4 input_dim: 4
+    layer { name: "drop" type: "Dropout" }
+    layer { name: "fc" type: "InnerProduct"
+            inner_product_param { num_output: 2 } }
+  )");
+  EXPECT_EQ(net.size(), 2u);
+}
+
+// ------------------------------------------------------------- round-trip --
+TEST(RoundTrip, AlexNetPrototxtMatchesZoo) {
+  const nn::Network built = nn::alexnet();
+  const nn::Network imported = import_prototxt(alexnet_prototxt());
+  ASSERT_EQ(imported.size(), built.size());
+  for (std::size_t i = 0; i < built.size(); ++i) {
+    EXPECT_EQ(imported[i].kind, built[i].kind) << i;
+    EXPECT_EQ(imported[i].out, built[i].out) << i;
+    EXPECT_EQ(imported[i].name, built[i].name) << i;
+  }
+}
+
+TEST(RoundTrip, VggEPrototxtMatchesZoo) {
+  const nn::Network built = nn::vgg_e();
+  const nn::Network imported = import_prototxt(vgg_e_prototxt());
+  ASSERT_EQ(imported.size(), built.size());
+  for (std::size_t i = 0; i < built.size(); ++i) {
+    EXPECT_EQ(imported[i].out, built[i].out) << i;
+  }
+}
+
+TEST(RoundTrip, ReluFoldingPreserved) {
+  nn::Network net("n");
+  net.input({3, 8, 8});
+  net.conv(4, 3, 1, 1, "c1", /*fused_relu=*/true);
+  const nn::Network again = import_prototxt(export_prototxt(net));
+  EXPECT_TRUE(again[1].conv().fused_relu);
+}
+
+TEST(RoundTrip, FileIo) {
+  const std::string path = ::testing::TempDir() + "/hetacc_net.prototxt";
+  {
+    std::ofstream f(path);
+    f << alexnet_prototxt();
+  }
+  const nn::Network net = import_prototxt_file(path);
+  EXPECT_EQ(net.size(), nn::alexnet().size());
+  EXPECT_THROW((void)import_prototxt_file(path + ".missing"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace hetacc::caffe

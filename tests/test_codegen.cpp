@@ -1,0 +1,237 @@
+#include "codegen/generator.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "nn/model_zoo.h"
+#include "nn/reference.h"
+
+namespace hetacc::codegen {
+namespace {
+
+using nn::Network;
+using nn::Tensor;
+using nn::WeightStore;
+
+class CodegenTest : public ::testing::Test {
+ protected:
+  fpga::EngineModel model_{fpga::zc706()};
+
+  GeneratedDesign gen(const Network& net, std::uint32_t seed = 7) {
+    const WeightStore ws = WeightStore::deterministic(net, seed);
+    return generate_design(net, trivial_strategy(net, model_), ws, {});
+  }
+};
+
+TEST_F(CodegenTest, EmitsOneFunctionPerLayerAndATop) {
+  const Network net = nn::tiny_net(4, 16);
+  const GeneratedDesign d = gen(net);
+  EXPECT_NE(d.source.find("layer_c1"), std::string::npos);
+  EXPECT_NE(d.source.find("layer_c2"), std::string::npos);
+  EXPECT_NE(d.source.find("layer_p1"), std::string::npos);
+  EXPECT_NE(d.source.find("layer_c3"), std::string::npos);
+  ASSERT_EQ(d.group_tops.size(), 1u);
+  EXPECT_NE(d.source.find("void group0_top"), std::string::npos);
+  EXPECT_NE(d.header.find("void group0_top"), std::string::npos);
+}
+
+TEST_F(CodegenTest, EmitsHlsPragmas) {
+  const Network net = nn::tiny_net(4, 16);
+  const GeneratedDesign d = gen(net);
+  // Paper §6: DATAFLOW on the top, PIPELINE in the loops, FIFO streams.
+  EXPECT_NE(d.source.find("#pragma HLS DATAFLOW"), std::string::npos);
+  EXPECT_NE(d.source.find("#pragma HLS PIPELINE II=1"), std::string::npos);
+  EXPECT_NE(d.source.find("#pragma HLS STREAM"), std::string::npos);
+  EXPECT_NE(d.source.find("#pragma HLS ARRAY_PARTITION"), std::string::npos);
+  EXPECT_NE(d.source.find("hls::stream<data_t>"), std::string::npos);
+}
+
+TEST_F(CodegenTest, WinogradTemplateEmitsTransformConstants) {
+  Network net("w");
+  net.input({2, 12, 12});
+  net.conv(3, 3, 1, 1, "wc");
+  const WeightStore ws = WeightStore::deterministic(net, 3);
+  core::Strategy s = trivial_strategy(net, model_);
+  s.groups[0].impls[0] =
+      model_.implement(net[1], {fpga::ConvAlgo::kWinograd, 1, 1, 1, 4});
+  const GeneratedDesign d = generate_design(net, s, ws, {});
+  EXPECT_NE(d.source.find("Winograd F(4x4, 3x3)"), std::string::npos);
+  EXPECT_NE(d.source.find("BT[TN][TN]"), std::string::npos);
+  EXPECT_NE(d.source.find("AT[TM][TN]"), std::string::npos);
+  EXPECT_NE(d.source.find("U[N][M][TN][TN]"), std::string::npos);
+}
+
+TEST_F(CodegenTest, MultipleGroupsChainInTestbench) {
+  Network net("two-group");
+  net.input({2, 12, 12});
+  net.conv(3, 3, 1, 1, "a");
+  net.conv(3, 3, 1, 1, "b");
+  const WeightStore ws = WeightStore::deterministic(net, 5);
+  core::Strategy s;
+  for (std::size_t i = 1; i <= 2; ++i) {
+    core::FusionGroup g;
+    g.first = g.last = i;
+    g.impls.push_back(
+        model_.implement(net[i], {fpga::ConvAlgo::kConventional, 1, 1, 1, 4}));
+    g.timing = core::evaluate_group_timing(net, i, i, g.impls,
+                                           model_.device());
+    s.groups.push_back(std::move(g));
+  }
+  const GeneratedDesign d = generate_design(net, s, ws, {});
+  ASSERT_EQ(d.group_tops.size(), 2u);
+  EXPECT_NE(d.testbench.find("group0_top(s0, s1)"), std::string::npos);
+  EXPECT_NE(d.testbench.find("group1_top(s1, s2)"), std::string::npos);
+}
+
+TEST_F(CodegenTest, StreamTextRoundTrip) {
+  Tensor t(3, 4, 5);
+  nn::fill_deterministic(t, 99);
+  const std::string text = tensor_to_stream_text(t);
+  const Tensor back = tensor_from_stream_text(text, t.shape());
+  EXPECT_LT(back.max_abs_diff(t), 1e-6f);
+  EXPECT_THROW((void)tensor_from_stream_text("1 2 3", t.shape()),
+               std::runtime_error);
+}
+
+TEST_F(CodegenTest, WriteDesignDropsAllFourFiles) {
+  const Network net = nn::tiny_net(2, 8);
+  const GeneratedDesign d = gen(net);
+  const std::string dir = ::testing::TempDir() + "/hetacc_design";
+  write_design(d, dir);
+  for (const char* f : {"design.h", "design.cpp", "main.cpp", "hls_compat.h"}) {
+    std::ifstream in(dir + "/" + f);
+    EXPECT_TRUE(in.good()) << f;
+  }
+  // The embedded compat header really is the hls::stream shim.
+  std::ifstream compat(dir + "/hls_compat.h");
+  std::stringstream ss;
+  ss << compat.rdbuf();
+  EXPECT_NE(ss.str().find("class stream"), std::string::npos);
+}
+
+TEST_F(CodegenTest, UnsupportedLayerThrows) {
+  Network net("fc");
+  net.input({2, 4, 4});
+  net.fc(10, "fc1");
+  const WeightStore ws = WeightStore::deterministic(net, 1);
+  core::Strategy s;
+  core::FusionGroup g;
+  g.first = g.last = 1;
+  g.impls.push_back(fpga::Implementation{});
+  s.groups.push_back(g);
+  EXPECT_THROW((void)generate_design(net, s, ws, {}), std::invalid_argument);
+}
+
+// --------------------------------------------------- compile & run (csim) --
+/// Full C-simulation loop: generate -> compile with the host compiler ->
+/// run on a deterministic input -> compare with the reference executor.
+/// This is the validation step of the paper's tool-flow (§7.1 "C simulation")
+/// minus the vendor tools.
+class CsimTest : public ::testing::Test {
+ protected:
+  static bool compiler_available() {
+    return std::system("c++ --version > /dev/null 2>&1") == 0;
+  }
+
+  void run_csim(const Network& net, const core::Strategy& strategy,
+                float tol, std::uint32_t seed = 7) {
+    if (!compiler_available()) GTEST_SKIP() << "no host compiler";
+    const WeightStore ws = WeightStore::deterministic(net, seed);
+    const GeneratedDesign d = generate_design(net, strategy, ws, {});
+    const std::string dir =
+        ::testing::TempDir() + "/csim_" +
+        ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    write_design(d, dir);
+
+    const std::string build_cmd = "c++ -std=c++17 -O1 -w -o " + dir +
+                                  "/tb " + dir + "/design.cpp " + dir +
+                                  "/main.cpp -I " + dir +
+                                  " > /dev/null 2>&1";
+    ASSERT_EQ(std::system(build_cmd.c_str()), 0) << "generated code failed "
+                                                    "to compile";
+
+    Tensor in(net[0].out);
+    nn::fill_deterministic(in, seed + 1);
+    {
+      std::ofstream f(dir + "/input.txt");
+      f << tensor_to_stream_text(in);
+    }
+    const std::string run_cmd =
+        "cd " + dir + " && ./tb input.txt output.txt > /dev/null 2>&1";
+    ASSERT_EQ(std::system(run_cmd.c_str()), 0) << "testbench crashed";
+
+    std::ifstream f(dir + "/output.txt");
+    std::stringstream ss;
+    ss << f.rdbuf();
+    const Tensor got =
+        tensor_from_stream_text(ss.str(), net[net.size() - 1].out);
+    const Tensor ref = nn::run_network(net, ws, in);
+    EXPECT_LT(got.max_abs_diff(ref), tol);
+  }
+};
+
+TEST_F(CsimTest, ConventionalConvPoolChain) {
+  const Network net = nn::tiny_net(3, 12);
+  run_csim(net, trivial_strategy(net, fpga::EngineModel(fpga::zc706())),
+           1e-3f);
+}
+
+TEST_F(CsimTest, WinogradAndConventionalMixedGroup) {
+  Network net("mix");
+  net.input({3, 16, 16});
+  net.conv(4, 3, 1, 1, "c1");
+  net.conv(6, 3, 1, 1, "c2");
+  net.max_pool(2, 2, "p1");
+  const fpga::EngineModel model(fpga::zc706());
+  core::Strategy s = trivial_strategy(net, model);
+  s.groups[0].impls[1] =
+      model.implement(net[2], {fpga::ConvAlgo::kWinograd, 1, 2, 1, 4});
+  run_csim(net, s, 2e-3f);
+}
+
+TEST_F(CsimTest, AlexNetStyleStrideAndLrn) {
+  Network net("alex-ish");
+  net.input({3, 19, 19});
+  net.conv(4, 5, 2, 0, "c1");
+  net.lrn(5, 1e-4f, 0.75f, "n1");
+  net.max_pool(3, 2, "p1");
+  run_csim(net, trivial_strategy(net, fpga::EngineModel(fpga::zc706())),
+           1e-3f);
+}
+
+TEST_F(CsimTest, TwoGroupsThroughDdrRoundTrip) {
+  Network net("2g");
+  net.input({2, 10, 10});
+  net.conv(4, 3, 1, 1, "a");
+  net.conv(2, 3, 1, 1, "b");
+  const fpga::EngineModel model(fpga::zc706());
+  core::Strategy s;
+  for (std::size_t i = 1; i <= 2; ++i) {
+    core::FusionGroup g;
+    g.first = g.last = i;
+    fpga::EngineConfig cfg{fpga::ConvAlgo::kConventional, 1, 1, 1, 4};
+    if (i == 2) cfg.algo = fpga::ConvAlgo::kWinograd;
+    g.impls.push_back(model.implement(net[i], cfg));
+    g.timing = core::evaluate_group_timing(net, i, i, g.impls,
+                                           model.device());
+    s.groups.push_back(std::move(g));
+  }
+  run_csim(net, s, 2e-3f);
+}
+
+TEST_F(CsimTest, WinogradF45LargeKernel) {
+  Network net("w45");
+  net.input({2, 14, 14});
+  net.conv(3, 5, 1, 2, "c1");
+  const fpga::EngineModel model(fpga::zc706());
+  core::Strategy s = trivial_strategy(net, model);
+  s.groups[0].impls[0] =
+      model.implement(net[1], {fpga::ConvAlgo::kWinograd, 1, 1, 1, 4});
+  run_csim(net, s, 5e-3f);
+}
+
+}  // namespace
+}  // namespace hetacc::codegen

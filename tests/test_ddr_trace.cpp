@@ -1,0 +1,99 @@
+#include "arch/ddr_trace.h"
+
+#include <gtest/gtest.h>
+
+#include "core/dp_optimizer.h"
+#include "nn/model_zoo.h"
+
+namespace hetacc::arch {
+namespace {
+
+class DdrTraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    net_ = nn::vgg_e_head();
+    const fpga::EngineModel model(dev_);
+    core::OptimizerOptions oo;
+    oo.transfer_budget_bytes = 8ll * 1024 * 1024;
+    result_ = core::optimize(net_, model, oo);
+    ASSERT_TRUE(result_.feasible);
+    trace_ = trace_strategy(result_.strategy, net_, dev_);
+  }
+
+  nn::Network net_;
+  fpga::Device dev_ = fpga::zc706();
+  core::OptimizeResult result_;
+  DdrTrace trace_;
+};
+
+TEST_F(DdrTraceTest, FeatureBytesMatchStrategyAccounting) {
+  EXPECT_EQ(trace_.feature_bytes(), result_.strategy.transfer_bytes());
+}
+
+TEST_F(DdrTraceTest, WeightBytesMatchLayerFootprints) {
+  long long expected = 0;
+  for (const auto& g : result_.strategy.groups) {
+    for (const auto& ipl : g.impls) {
+      expected += ipl.weight_words * dev_.data_bytes;
+    }
+  }
+  EXPECT_EQ(trace_.weight_bytes(), expected);
+}
+
+TEST_F(DdrTraceTest, TransactionsOrderedAndWithinRun) {
+  ASSERT_FALSE(trace_.transactions.empty());
+  for (const auto& t : trace_.transactions) {
+    EXPECT_LE(t.start_cycle, t.end_cycle);
+    EXPECT_GE(t.start_cycle, 0);
+    EXPECT_LE(t.end_cycle, trace_.total_cycles);
+    EXPECT_GT(t.bytes, 0);
+  }
+}
+
+TEST_F(DdrTraceTest, EveryGroupLoadsAndStoresOnce) {
+  for (std::size_t gi = 0; gi < result_.strategy.groups.size(); ++gi) {
+    int loads = 0, stores = 0;
+    for (const auto& t : trace_.transactions) {
+      if (t.group != gi) continue;
+      loads += t.op == DdrOp::kLoadFeature;
+      stores += t.op == DdrOp::kStoreFeature;
+    }
+    EXPECT_EQ(loads, 1) << gi;
+    EXPECT_EQ(stores, 1) << gi;
+  }
+}
+
+TEST_F(DdrTraceTest, UtilizationBelowPeakAndPositive) {
+  const double u = trace_.bandwidth_utilization(dev_);
+  EXPECT_GT(u, 0.0);
+  EXPECT_LE(u, 1.0);
+}
+
+TEST_F(DdrTraceTest, FusionReducesUtilizationVsUnfused) {
+  core::Strategy unfused;
+  const fpga::EngineModel model(dev_);
+  for (std::size_t i = 1; i < net_.size(); ++i) {
+    const auto g = core::fuse_group(net_, i, i, model);
+    ASSERT_TRUE(g.has_value());
+    unfused.groups.push_back(g->group);
+  }
+  const DdrTrace u = trace_strategy(unfused, net_, dev_);
+  EXPECT_GT(u.feature_bytes(), trace_.feature_bytes());
+}
+
+TEST_F(DdrTraceTest, CsvWellFormed) {
+  const std::string csv = trace_.to_csv();
+  EXPECT_EQ(csv.rfind("group,op,what,bytes", 0), 0u);
+  const auto lines = std::count(csv.begin(), csv.end(), '\n');
+  EXPECT_EQ(static_cast<std::size_t>(lines),
+            trace_.transactions.size() + 1);
+  EXPECT_NE(csv.find("load_weights"), std::string::npos);
+  EXPECT_NE(csv.find("store_feature"), std::string::npos);
+}
+
+TEST_F(DdrTraceTest, TotalCyclesAtLeastStrategyLatency) {
+  EXPECT_GE(trace_.total_cycles, result_.strategy.latency_cycles());
+}
+
+}  // namespace
+}  // namespace hetacc::arch

@@ -1,0 +1,168 @@
+#include "algo/fft.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "algo/winograd_conv.h"
+#include "nn/reference.h"
+
+namespace hetacc::algo {
+namespace {
+
+TEST(Fft, NextPow2) {
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(2), 2u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(17), 32u);
+  EXPECT_EQ(next_pow2(1024), 1024u);
+}
+
+TEST(Fft, ForwardInverseRoundTrip) {
+  std::vector<Complex> a(64);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = Complex(std::sin(0.37 * i), std::cos(1.1 * i));
+  }
+  const auto orig = a;
+  fft(a, false);
+  fft(a, true);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(a[i].real(), orig[i].real(), 1e-9);
+    EXPECT_NEAR(a[i].imag(), orig[i].imag(), 1e-9);
+  }
+}
+
+TEST(Fft, ImpulseHasFlatSpectrum) {
+  std::vector<Complex> a(16);
+  a[0] = 1.0;
+  fft(a, false);
+  for (const auto& x : a) {
+    EXPECT_NEAR(x.real(), 1.0, 1e-12);
+    EXPECT_NEAR(x.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft, DcSignal) {
+  std::vector<Complex> a(8, Complex(2.0, 0.0));
+  fft(a, false);
+  EXPECT_NEAR(a[0].real(), 16.0, 1e-12);
+  for (std::size_t i = 1; i < a.size(); ++i) {
+    EXPECT_NEAR(std::abs(a[i]), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft, ParsevalEnergyConservation) {
+  std::vector<Complex> a(128);
+  std::uint32_t s = 7;
+  auto rnd = [&] {
+    s ^= s << 13; s ^= s >> 17; s ^= s << 5;
+    return static_cast<double>(s % 1000) / 500.0 - 1.0;
+  };
+  double time_energy = 0;
+  for (auto& x : a) {
+    x = Complex(rnd(), rnd());
+    time_energy += std::norm(x);
+  }
+  fft(a, false);
+  double freq_energy = 0;
+  for (const auto& x : a) freq_energy += std::norm(x);
+  EXPECT_NEAR(freq_energy / a.size(), time_energy, 1e-6);
+}
+
+TEST(Fft, NonPowerOfTwoThrows) {
+  std::vector<Complex> a(6);
+  EXPECT_THROW(fft(a, false), std::invalid_argument);
+}
+
+TEST(Fft2d, RoundTrip) {
+  std::vector<Complex> a(8 * 16);
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] = Complex(std::sin(0.1 * i), 0);
+  const auto orig = a;
+  fft2d(a, 8, 16, false);
+  fft2d(a, 8, 16, true);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(a[i].real(), orig[i].real(), 1e-9);
+  }
+}
+
+TEST(Fft2d, SizeMismatchThrows) {
+  std::vector<Complex> a(8);
+  EXPECT_THROW(fft2d(a, 2, 8, false), std::invalid_argument);
+}
+
+TEST(FftConvolve, MatchesDirectLinearConvolution) {
+  const std::vector<double> a{1, 2, 3, -1, 0.5};
+  const std::vector<double> b{0.25, -0.5, 2};
+  const auto got = fft_convolve(a, b);
+  ASSERT_EQ(got.size(), a.size() + b.size() - 1);
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    double direct = 0;
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      if (i >= j && i - j < a.size()) direct += a[i - j] * b[j];
+    }
+    EXPECT_NEAR(got[i], direct, 1e-9) << i;
+  }
+}
+
+struct FftConvCase {
+  int c, n, h, w, k, pad;
+};
+
+class FftConvSweep : public ::testing::TestWithParam<FftConvCase> {};
+
+TEST_P(FftConvSweep, MatchesDirectConvolution) {
+  const auto p = GetParam();
+  nn::Tensor in(p.c, p.h, p.w);
+  nn::fill_deterministic(in, 61);
+  nn::FilterBank f(p.n, p.c, p.k);
+  nn::fill_deterministic(f, 62);
+  std::vector<float> bias(static_cast<std::size_t>(p.n));
+  nn::fill_deterministic(bias, 63);
+  const nn::Tensor direct = nn::conv_reference(in, f, bias, 1, p.pad, true);
+  const nn::Tensor viafft = conv_fft(in, f, bias, p.pad, true);
+  ASSERT_EQ(viafft.shape(), direct.shape());
+  EXPECT_LT(viafft.max_abs_diff(direct), 1e-4f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, FftConvSweep,
+    ::testing::Values(FftConvCase{1, 1, 8, 8, 3, 1},
+                      FftConvCase{3, 4, 16, 16, 3, 1},
+                      FftConvCase{2, 3, 12, 10, 5, 2},
+                      FftConvCase{4, 2, 9, 9, 3, 0},
+                      FftConvCase{2, 2, 14, 14, 7, 3},
+                      FftConvCase{1, 1, 31, 17, 11, 0}),
+    [](const auto& info) {
+      const auto& p = info.param;
+      return "c" + std::to_string(p.c) + "n" + std::to_string(p.n) + "_" +
+             std::to_string(p.h) + "x" + std::to_string(p.w) + "_k" +
+             std::to_string(p.k) + "p" + std::to_string(p.pad);
+    });
+
+TEST(FftConv, KernelTooLargeThrows) {
+  nn::Tensor in(1, 4, 4);
+  nn::FilterBank f(1, 1, 7);
+  EXPECT_THROW((void)conv_fft(in, f, {}, 0, false), std::invalid_argument);
+}
+
+TEST(FftMults, SmallKernelsFavorWinogradLargeFavorFft) {
+  // The framework's rationale for offering several algorithms: relative
+  // multiplication cost depends on geometry. For a 3x3 on a large map, FFT
+  // spends far more multiplications than Winograd F(4,3); its relative cost
+  // falls as the kernel grows (FFT cost is kernel-independent).
+  const WinogradTransform f43 = winograd_f4x3();
+  const long long wino3 = winograd_layer_mults(f43, 64, 64, 56, 56);
+  const long long fft3 = fft_layer_mults(64, 64, 56, 56, 3, 1);
+  EXPECT_GT(fft3, wino3);
+
+  const long long direct11 = 64ll * 64 * 11 * 11 * 46 * 46;
+  const long long fft11 = fft_layer_mults(64, 64, 56, 56, 11, 0);
+  const double fft_ratio_3 =
+      static_cast<double>(fft3) / static_cast<double>(64ll * 64 * 9 * 56 * 56);
+  const double fft_ratio_11 =
+      static_cast<double>(fft11) / static_cast<double>(direct11);
+  EXPECT_LT(fft_ratio_11, fft_ratio_3);
+}
+
+}  // namespace
+}  // namespace hetacc::algo

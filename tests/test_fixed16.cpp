@@ -1,0 +1,107 @@
+#include "fixed/fixed16.h"
+
+#include <gtest/gtest.h>
+
+namespace hetacc::fixed {
+namespace {
+
+TEST(Fixed16, RoundTripExactValues) {
+  // Values on the Q8 grid round-trip exactly.
+  for (float v : {0.0f, 1.0f, -1.0f, 0.5f, 3.25f, -7.875f}) {
+    EXPECT_EQ(Fixed16(v, 8).to_float(), v);
+  }
+}
+
+TEST(Fixed16, QuantizationErrorBounded) {
+  const int frac = 10;
+  const float ulp = 1.0f / (1 << frac);
+  for (float v = -3.0f; v < 3.0f; v += 0.00137f) {
+    const float q = quantize_to_float(v, frac);
+    EXPECT_LE(std::abs(q - v), ulp / 2 + 1e-7f) << v;
+  }
+}
+
+TEST(Fixed16, SaturatesAtRangeEnds) {
+  EXPECT_EQ(Fixed16(1e9f, 8).raw(), Fixed16::kMax);
+  EXPECT_EQ(Fixed16(-1e9f, 8).raw(), Fixed16::kMin);
+}
+
+TEST(Fixed16, AddSaturates) {
+  const Fixed16 big(127.0f, 8);
+  const Fixed16 sum = big.add_sat(big);
+  EXPECT_EQ(sum.raw(), Fixed16::kMax);
+  const Fixed16 small(1.5f, 8);
+  EXPECT_FLOAT_EQ(small.add_sat(small).to_float(), 3.0f);
+}
+
+TEST(Fixed16, MulMatchesFloatWithinUlp) {
+  const int frac = 8;
+  const Fixed16 a(1.25f, frac), b(-2.5f, frac);
+  EXPECT_NEAR(a.mul_sat(b).to_float(), -3.125f, a.ulp());
+}
+
+TEST(Fixed16, MulSaturates) {
+  const Fixed16 a(100.0f, 8), b(100.0f, 8);
+  EXPECT_EQ(a.mul_sat(b).raw(), Fixed16::kMax);
+}
+
+TEST(Fixed16, UlpMatchesFrac) {
+  EXPECT_FLOAT_EQ(Fixed16(0.0f, 12).ulp(), 1.0f / 4096.0f);
+}
+
+TEST(ChooseFracBits, CoversMagnitude) {
+  EXPECT_EQ(choose_frac_bits(0.5f), 15);
+  EXPECT_EQ(choose_frac_bits(1.5f), 14);
+  EXPECT_EQ(choose_frac_bits(3.9f), 13);
+  EXPECT_EQ(choose_frac_bits(100.0f), 8);
+  EXPECT_EQ(choose_frac_bits(0.0f), 15);
+}
+
+TEST(ChooseFracBits, NoSaturationAtChosenWidth) {
+  for (float mag : {0.3f, 1.0f, 2.7f, 9.0f, 200.0f}) {
+    const int frac = choose_frac_bits(mag);
+    const float q = quantize_to_float(mag, frac);
+    // Quantization may clamp by at most one ulp at the extreme.
+    EXPECT_NEAR(q, mag, 1.0f / (1 << frac) + 1e-6f);
+  }
+}
+
+TEST(Accumulator, ExactProductAccumulation) {
+  const int frac = 8;
+  Accumulator acc(frac);
+  // 0.5 * 0.25 accumulated 16 times = 2.0 exactly in Q8.
+  for (int i = 0; i < 16; ++i) acc.mac(Fixed16(0.5f, frac), Fixed16(0.25f, frac));
+  EXPECT_FLOAT_EQ(acc.result().to_float(), 2.0f);
+}
+
+TEST(Accumulator, BiasInjection) {
+  const int frac = 8;
+  Accumulator acc(frac);
+  acc.add_bias(Fixed16(1.5f, frac));
+  acc.mac(Fixed16(2.0f, frac), Fixed16(2.0f, frac));
+  EXPECT_FLOAT_EQ(acc.result().to_float(), 5.5f);
+}
+
+TEST(Accumulator, ReluClampsNegative) {
+  Accumulator acc(8);
+  acc.mac(Fixed16(-2.0f, 8), Fixed16(3.0f, 8));
+  EXPECT_FLOAT_EQ(acc.result_relu().to_float(), 0.0f);
+  EXPECT_FLOAT_EQ(acc.result().to_float(), -6.0f);
+}
+
+TEST(Accumulator, SaturatesOnWriteback) {
+  Accumulator acc(8);
+  for (int i = 0; i < 100; ++i) acc.mac(Fixed16(100.0f, 8), Fixed16(100.0f, 8));
+  EXPECT_EQ(acc.result().raw(), Fixed16::kMax);
+}
+
+TEST(QuantizeInPlace, WholeVector) {
+  std::vector<float> v{0.1f, 0.2f, -0.3f};
+  quantize_in_place(v, 4);
+  for (float x : v) {
+    EXPECT_FLOAT_EQ(x * 16.0f, std::nearbyint(x * 16.0f));
+  }
+}
+
+}  // namespace
+}  // namespace hetacc::fixed

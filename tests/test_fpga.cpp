@@ -1,0 +1,274 @@
+#include <gtest/gtest.h>
+
+#include "fpga/device.h"
+#include "fpga/engine_model.h"
+#include "fpga/power.h"
+#include "nn/model_zoo.h"
+
+namespace hetacc::fpga {
+namespace {
+
+TEST(ResourceVector, Arithmetic) {
+  ResourceVector a{1, 2, 3, 4}, b{10, 20, 30, 40};
+  EXPECT_EQ((a + b).dsp, 22);
+  EXPECT_EQ((b - a).lut, 36);
+  a += b;
+  EXPECT_EQ(a.bram18k, 11);
+}
+
+TEST(ResourceVector, FitsComponentwise) {
+  ResourceVector cap{100, 100, 100, 100};
+  EXPECT_TRUE((ResourceVector{100, 100, 100, 100}).fits_in(cap));
+  EXPECT_FALSE((ResourceVector{101, 1, 1, 1}).fits_in(cap));
+  EXPECT_FALSE((ResourceVector{1, 1, 1, 101}).fits_in(cap));
+}
+
+TEST(Device, Zc706Catalog) {
+  const Device d = zc706();
+  EXPECT_EQ(d.capacity.dsp, 900);
+  EXPECT_EQ(d.capacity.bram18k, 1090);
+  EXPECT_DOUBLE_EQ(d.bandwidth_bytes_per_s, 4.2e9);  // paper §7.1
+  EXPECT_DOUBLE_EQ(d.frequency_hz, 100e6);
+  EXPECT_EQ(d.data_bytes, 2);
+  EXPECT_DOUBLE_EQ(d.bytes_per_cycle(), 42.0);
+}
+
+TEST(Device, ComputationalRoofScaling) {
+  const Device d = vc707();
+  // Conventional: 2 ops per DSP-cycle; Winograd F(4,3): 4x that.
+  EXPECT_DOUBLE_EQ(d.computational_roof_ops(2.0), 2800.0 * 2 * 100e6);
+  EXPECT_DOUBLE_EQ(d.computational_roof_ops(8.0),
+                   4.0 * d.computational_roof_ops(2.0));
+}
+
+TEST(Bram, BlockQuantization) {
+  EXPECT_EQ(bram18k_for(0, 16), 0);
+  EXPECT_EQ(bram18k_for(1, 16), 1);       // min one block
+  EXPECT_EQ(bram18k_for(1024, 16), 1);    // exactly one 1024x18 block
+  EXPECT_EQ(bram18k_for(1025, 16), 2);
+  EXPECT_EQ(bram18k_for(2048, 9), 1);     // narrow data packs deeper
+  EXPECT_EQ(bram18k_for(512, 32), 2);     // wide data costs a block pair
+}
+
+TEST(Bram, BankingCostsBlocks) {
+  // 1024 words in 8 banks -> 8 blocks (each bank rounds up).
+  EXPECT_EQ(bram18k_for(1024, 16, 8), 8);
+  EXPECT_EQ(bram18k_for(8 * 1024, 16, 8), 8);
+  EXPECT_EQ(bram18k_for(8 * 1024 + 1, 16, 8), 16);
+}
+
+TEST(Bram, InvalidArgsThrow) {
+  EXPECT_THROW((void)bram18k_for(-1, 16), std::invalid_argument);
+  EXPECT_THROW((void)bram18k_for(10, 0), std::invalid_argument);
+  EXPECT_THROW((void)bram18k_for(10, 16, 0), std::invalid_argument);
+}
+
+// ------------------------------------------------------------ EngineModel --
+class EngineModelTest : public ::testing::Test {
+ protected:
+  nn::Network vgg_head_ = nn::vgg_e_head();
+  EngineModel model_{zc706()};
+};
+
+TEST_F(EngineModelTest, WinogradEligibility) {
+  const nn::Network alex = nn::alexnet_accel();
+  EXPECT_FALSE(EngineModel::winograd_ok(alex[1]));  // conv1: k=11 s=4
+  EXPECT_TRUE(EngineModel::winograd_ok(alex[*alex.find("conv2")]));  // 5x5 s1
+  EXPECT_TRUE(EngineModel::winograd_ok(alex[*alex.find("conv3")]));
+  EXPECT_FALSE(EngineModel::winograd_ok(alex[*alex.find("pool1")]));
+}
+
+TEST_F(EngineModelTest, WinogradUsesQuarterDspForSameThroughput) {
+  const nn::Layer& conv = vgg_head_[2];  // conv1_2: 64->64 3x3 s1
+  // Same channel unrolls; Winograd retires 16 outputs per (tn,tm) pass of
+  // 36 mults vs conventional 1 output per 9 mults.
+  const auto wino = model_.implement(
+      conv, {ConvAlgo::kWinograd, 1, 1, 1, 4});
+  const auto convl = model_.implement(
+      conv, {ConvAlgo::kConventional, 1, 1, 9, 4});
+  // Winograd: 36 DSP, conventional 9 DSP; cycle ratio:
+  // conventional = M*N*HO*WO, winograd = tiles*M*N = M*N*HO*WO/16.
+  EXPECT_EQ(wino.res.dsp, 36);
+  EXPECT_EQ(convl.res.dsp, 9);
+  const double cycle_ratio = static_cast<double>(convl.compute_cycles) /
+                             static_cast<double>(wino.compute_cycles);
+  EXPECT_NEAR(cycle_ratio, 16.0, 0.5);
+  // => per-DSP throughput advantage = 16 / (36/9) = 4x (paper §7.1).
+}
+
+TEST_F(EngineModelTest, WinogradPerformsQuarterOfMultiplications) {
+  const nn::Layer& conv = vgg_head_[2];
+  const EngineConfig w{ConvAlgo::kWinograd, 1, 1, 1, 4};
+  const EngineConfig c{ConvAlgo::kConventional, 1, 1, 1, 4};
+  EXPECT_DOUBLE_EQ(static_cast<double>(EngineModel::algo_mults(conv, c)) /
+                       static_cast<double>(EngineModel::algo_mults(conv, w)),
+                   4.0);
+}
+
+TEST_F(EngineModelTest, ComputeCyclesScaleInverselyWithParallelism) {
+  const nn::Layer& conv = vgg_head_[2];
+  const auto a = model_.implement(conv, {ConvAlgo::kConventional, 1, 1, 1, 4});
+  const auto b = model_.implement(conv, {ConvAlgo::kConventional, 4, 4, 1, 4});
+  EXPECT_NEAR(static_cast<double>(a.compute_cycles) / b.compute_cycles, 16.0,
+              0.1);
+}
+
+TEST_F(EngineModelTest, DspEqualsUnrollProduct) {
+  const nn::Layer& conv = vgg_head_[2];
+  const auto ipl = model_.implement(conv, {ConvAlgo::kConventional, 4, 8, 3, 4});
+  EXPECT_EQ(ipl.res.dsp, 4 * 8 * 3);
+  EXPECT_EQ(ipl.cfg.parallelism(3), 96);
+}
+
+TEST_F(EngineModelTest, UnrollsClampedToLayerDims) {
+  const nn::Layer& conv = vgg_head_[1];  // conv1_1: 3 input channels
+  const auto ipl =
+      model_.implement(conv, {ConvAlgo::kConventional, 64, 1, 1, 4});
+  EXPECT_EQ(ipl.cfg.tn, 3);
+  EXPECT_EQ(ipl.res.dsp, 3);
+}
+
+TEST_F(EngineModelTest, WinogradOnStride2Throws) {
+  const nn::Network alex = nn::alexnet_accel();
+  EXPECT_THROW(
+      (void)model_.implement(alex[1], {ConvAlgo::kWinograd, 1, 1, 1, 4}),
+      std::invalid_argument);
+}
+
+TEST_F(EngineModelTest, AlgoKindMismatchThrows) {
+  EXPECT_THROW(
+      (void)model_.implement(vgg_head_[1], {ConvAlgo::kNone, 1, 1, 1, 4}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      (void)model_.implement(vgg_head_[3],
+                             {ConvAlgo::kConventional, 1, 1, 1, 4}),
+      std::invalid_argument);
+}
+
+TEST_F(EngineModelTest, PoolEngineUsesNoDsp) {
+  const auto ipl = model_.implement(vgg_head_[3], {ConvAlgo::kNone, 8, 1, 1, 4});
+  EXPECT_EQ(ipl.res.dsp, 0);
+  EXPECT_GT(ipl.res.bram18k, 0);
+  EXPECT_GT(ipl.compute_cycles, 0);
+}
+
+TEST_F(EngineModelTest, LrnEngineUsesDsp) {
+  const nn::Network alex = nn::alexnet_accel();
+  const nn::Layer& lrn = alex[*alex.find("norm1")];
+  const auto ipl = model_.implement(lrn, {ConvAlgo::kNone, 4, 1, 1, 4});
+  EXPECT_EQ(ipl.res.dsp, 3 * 4);
+}
+
+TEST_F(EngineModelTest, LineBufferBramGrowsWithWidthAndChannels) {
+  const auto small = model_.implement(vgg_head_[1],
+                                      {ConvAlgo::kConventional, 1, 1, 1, 4});
+  const auto big = model_.implement(vgg_head_[4],  // conv2_1: 64ch 112x112
+                                    {ConvAlgo::kConventional, 1, 1, 1, 4});
+  EXPECT_GT(big.res.bram18k, 0);
+  EXPECT_GT(big.weight_words, small.weight_words);
+}
+
+TEST_F(EngineModelTest, CandidatesRespectDeviceCapAndOrdering) {
+  for (std::size_t i = 1; i < vgg_head_.size(); ++i) {
+    const auto cands = model_.candidates(vgg_head_[i]);
+    ASSERT_FALSE(cands.empty()) << "layer " << i;
+    for (const auto& c : cands) {
+      EXPECT_LE(c.parallelism(vgg_head_[i].window()),
+                model_.device().capacity.dsp);
+    }
+  }
+}
+
+TEST_F(EngineModelTest, CandidatesIncludeBothAlgosForEligibleConv) {
+  const auto cands = model_.candidates(vgg_head_[2]);
+  bool has_conv = false, has_wino = false;
+  for (const auto& c : cands) {
+    has_conv |= c.algo == ConvAlgo::kConventional;
+    has_wino |= c.algo == ConvAlgo::kWinograd;
+  }
+  EXPECT_TRUE(has_conv);
+  EXPECT_TRUE(has_wino);
+}
+
+TEST_F(EngineModelTest, DisableWinogradFlagRemovesCandidates) {
+  EngineModelParams p;
+  p.enable_winograd = false;
+  const EngineModel m(zc706(), p);
+  for (const auto& c : m.candidates(vgg_head_[2])) {
+    EXPECT_NE(c.algo, ConvAlgo::kWinograd);
+  }
+}
+
+TEST_F(EngineModelTest, LadderIsAParetoFrontThinnedGeometrically) {
+  // Candidates per algorithm must be Pareto-optimal in (cycles, DSPs):
+  // iterating fastest-first, cycles rise by at least the ladder ratio and
+  // DSP demand never rises.
+  for (const nn::Layer* l : {&vgg_head_[2], &vgg_head_[4]}) {
+    for (const auto algo : {ConvAlgo::kConventional, ConvAlgo::kWinograd}) {
+      std::vector<fpga::Implementation> impls;
+      for (const auto& c : model_.candidates(*l)) {
+        if (c.algo == algo) impls.push_back(model_.implement(*l, c));
+      }
+      ASSERT_FALSE(impls.empty());
+      for (std::size_t i = 1; i < impls.size(); ++i) {
+        EXPECT_GE(static_cast<double>(impls[i].compute_cycles),
+                  1.11 * static_cast<double>(impls[i - 1].compute_cycles));
+        EXPECT_LE(impls[i].res.dsp, impls[i - 1].res.dsp);
+      }
+    }
+  }
+}
+
+TEST(Divisors, Basics) {
+  EXPECT_EQ(divisors_up_to(12, 100), (std::vector<int>{1, 2, 3, 4, 6, 12}));
+  EXPECT_EQ(divisors_up_to(12, 4), (std::vector<int>{1, 2, 3, 4}));
+  EXPECT_EQ(divisors_up_to(7, 100), (std::vector<int>{1, 7}));
+}
+
+// ----------------------------------------------------------------- power --
+TEST(Power, MonotoneInResources) {
+  const Device d = zc706();
+  const auto lo = estimate_power(d, {100, 100, 10000, 10000}, 0.5);
+  const auto hi = estimate_power(d, {500, 800, 200000, 150000}, 0.5);
+  EXPECT_GT(hi.total(), lo.total());
+}
+
+TEST(Power, UtilizationScalesDynamicOnly) {
+  const Device d = zc706();
+  const ResourceVector r{200, 400, 100000, 80000};
+  const auto idle = estimate_power(d, r, 0.0);
+  const auto busy = estimate_power(d, r, 1.0);
+  EXPECT_GT(busy.dsp_w, idle.dsp_w);
+  EXPECT_DOUBLE_EQ(busy.static_w, idle.static_w);
+  EXPECT_DOUBLE_EQ(busy.board_w, idle.board_w);
+}
+
+TEST(Power, Zc706FullDesignLandsInLiteratureEnvelope) {
+  const Device d = zc706();
+  // A near-full design: ~800 DSP, ~700 BRAM, ~150k LUT, ~180k FF.
+  const auto p = estimate_power(d, {700, 800, 180000, 150000}, 0.8);
+  EXPECT_GT(p.total(), 3.0);
+  EXPECT_LT(p.total(), 15.0);
+}
+
+TEST(Power, InvalidUtilizationThrows) {
+  EXPECT_THROW((void)estimate_power(zc706(), {}, -0.1), std::invalid_argument);
+  EXPECT_THROW((void)estimate_power(zc706(), {}, 1.1), std::invalid_argument);
+}
+
+TEST(Energy, SplitsComputeAndTransfer) {
+  const Device d = zc706();
+  const auto p = estimate_power(d, {100, 100, 10000, 10000}, 1.0);
+  const auto e = estimate_energy(d, p, 0.01, 1e6);
+  EXPECT_NEAR(e.compute_j, p.total() * 0.01, 1e-9);
+  EXPECT_NEAR(e.transfer_j, 1e6 * d.power.ddr_pj_per_byte * 1e-12, 1e-12);
+  EXPECT_DOUBLE_EQ(e.total(), e.compute_j + e.transfer_j);
+}
+
+TEST(Energy, EfficiencyMetric) {
+  EXPECT_DOUBLE_EQ(energy_efficiency_gops_per_w(2e9, 1.0, 2.0), 1.0);
+  EXPECT_EQ(energy_efficiency_gops_per_w(1e9, 0.0, 2.0), 0.0);
+}
+
+}  // namespace
+}  // namespace hetacc::fpga

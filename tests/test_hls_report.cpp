@@ -1,0 +1,103 @@
+#include "codegen/hls_report.h"
+
+#include <gtest/gtest.h>
+
+#include "codegen/generator.h"
+#include "core/dp_optimizer.h"
+#include "nn/model_zoo.h"
+
+namespace hetacc::codegen {
+namespace {
+
+class HlsReportTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    net_ = nn::tiny_net(4, 16);
+    const fpga::EngineModel model(dev_);
+    strategy_ = trivial_strategy(net_, model);
+    report_ = make_report(net_, strategy_, dev_);
+  }
+
+  nn::Network net_;
+  fpga::Device dev_ = fpga::zc706();
+  core::Strategy strategy_;
+  HlsReport report_;
+};
+
+TEST_F(HlsReportTest, OneModulePerLayerPlusTop) {
+  // 4 layers + 1 group top.
+  EXPECT_EQ(report_.modules.size(), 5u);
+  EXPECT_EQ(report_.modules.back().name, "group0_top");
+  EXPECT_EQ(report_.part, "XC7Z045");
+  EXPECT_DOUBLE_EQ(report_.clock_ns, 10.0);
+}
+
+TEST_F(HlsReportTest, TopAggregatesLeaves) {
+  fpga::ResourceVector leaves;
+  long long max_lat = 0;
+  for (const auto& m : report_.modules) {
+    if (m.name == "group0_top") continue;
+    leaves += m.resources;
+    max_lat = std::max(max_lat, m.latency_cycles);
+  }
+  const auto& top = report_.modules.back();
+  EXPECT_EQ(top.resources, leaves);
+  EXPECT_EQ(top.latency_cycles, max_lat);
+  EXPECT_EQ(report_.total_resources(), leaves);
+}
+
+TEST_F(HlsReportTest, XmlRoundTrip) {
+  const std::string xml = to_xml(report_);
+  EXPECT_NE(xml.find("<profile>"), std::string::npos);
+  EXPECT_NE(xml.find("<dsp48e>"), std::string::npos);
+  const HlsReport back = parse_report_xml(xml);
+  EXPECT_EQ(back.design, report_.design);
+  EXPECT_EQ(back.part, report_.part);
+  ASSERT_EQ(back.modules.size(), report_.modules.size());
+  for (std::size_t i = 0; i < back.modules.size(); ++i) {
+    EXPECT_EQ(back.modules[i].name, report_.modules[i].name);
+    EXPECT_EQ(back.modules[i].resources, report_.modules[i].resources);
+    EXPECT_EQ(back.modules[i].latency_cycles,
+              report_.modules[i].latency_cycles);
+  }
+}
+
+TEST_F(HlsReportTest, MalformedXmlThrows) {
+  EXPECT_THROW((void)parse_report_xml("<xml/>"), std::runtime_error);
+  EXPECT_THROW((void)parse_report_xml("<profile><module><name>x</name>"),
+               std::runtime_error);
+  EXPECT_THROW(
+      (void)parse_report_xml("<profile><design>d</design><part>p</part>"
+                             "<module><name>x</name><bram_18k>z</bram_18k>"
+                             "<dsp48e>1</dsp48e><ff>1</ff><lut>1</lut>"
+                             "<latency>1</latency></module></profile>"),
+      std::runtime_error);
+}
+
+TEST_F(HlsReportTest, CompareReportsMeasuresDeviation) {
+  HlsReport measured = report_;
+  for (auto& m : measured.modules) {
+    m.resources.lut = m.resources.lut * 11 / 10;  // HLS came in 10% high
+  }
+  const ReportDelta d = compare_reports(report_, measured);
+  EXPECT_NEAR(d.lut, 0.10, 0.02);
+  EXPECT_NEAR(d.dsp, 0.0, 1e-9);
+  EXPECT_NEAR(d.latency, 0.0, 1e-9);
+}
+
+TEST_F(HlsReportTest, OptimizedStrategyReportConsistent) {
+  const nn::Network head = nn::vgg_e_head();
+  const fpga::EngineModel model(dev_);
+  core::OptimizerOptions oo;
+  oo.transfer_budget_bytes = 4 * 1024 * 1024;
+  const auto r = core::optimize(head, model, oo);
+  ASSERT_TRUE(r.feasible);
+  const HlsReport rep = make_report(head, r.strategy, dev_);
+  // Total leaf resources equal the strategy's per-group sums.
+  fpga::ResourceVector strat_total;
+  for (const auto& g : r.strategy.groups) strat_total += g.resources();
+  EXPECT_EQ(rep.total_resources(), strat_total);
+}
+
+}  // namespace
+}  // namespace hetacc::codegen

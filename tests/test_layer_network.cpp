@@ -1,0 +1,219 @@
+#include <gtest/gtest.h>
+
+#include "nn/model_zoo.h"
+#include "nn/network.h"
+
+namespace hetacc::nn {
+namespace {
+
+TEST(LayerShape, ConvFloorSemantics) {
+  Network net;
+  net.input({3, 227, 227});
+  const Layer& c1 = net.conv(96, 11, 4, 0, "conv1");
+  EXPECT_EQ(c1.out, (Shape{96, 55, 55}));
+}
+
+TEST(LayerShape, ConvSamePadding) {
+  Network net;
+  net.input({64, 224, 224});
+  const Layer& c = net.conv(64, 3, 1, 1, "c");
+  EXPECT_EQ(c.out, (Shape{64, 224, 224}));
+}
+
+TEST(LayerShape, PoolCeilSemantics) {
+  // AlexNet pool1: 55 -> 27 with k=3 s=2 (exact), and a ceil case.
+  Network net;
+  net.input({96, 55, 55});
+  const Layer& p = net.max_pool(3, 2, "pool1");
+  EXPECT_EQ(p.out, (Shape{96, 27, 27}));
+
+  Network net2;
+  net2.input({8, 7, 7});
+  const Layer& p2 = net2.max_pool(3, 2, "p");
+  // Caffe ceil: (7-3+1)/2 rounded up = 3.
+  EXPECT_EQ(p2.out.h, 3);
+}
+
+TEST(LayerShape, KernelTooLargeThrows) {
+  Network net;
+  net.input({1, 4, 4});
+  EXPECT_THROW(net.conv(1, 7, 1, 0, "bad"), std::invalid_argument);
+}
+
+TEST(LayerOps, ConvOpCount) {
+  Network net;
+  net.input({64, 224, 224});
+  const Layer& c = net.conv(64, 3, 1, 1, "c");
+  // 2 * M * K^2 * out elems
+  EXPECT_EQ(c.ops(), 2ll * 64 * 9 * 64 * 224 * 224);
+  EXPECT_EQ(c.mults(), 64ll * 9 * 64 * 224 * 224);
+}
+
+TEST(LayerOps, WeightCountIncludesBias) {
+  Network net;
+  net.input({3, 32, 32});
+  const Layer& c = net.conv(16, 3, 1, 1, "c");
+  EXPECT_EQ(c.weight_count(), 16ll * 3 * 9 + 16);
+}
+
+TEST(LayerAccessors, WrongKindThrows) {
+  Network net;
+  net.input({3, 8, 8});
+  const Layer& c = net.conv(4, 3, 1, 1, "c");
+  EXPECT_THROW((void)c.pool(), std::logic_error);
+  EXPECT_NO_THROW((void)c.conv());
+}
+
+TEST(LayerWindow, PerKind) {
+  Network net;
+  net.input({3, 32, 32});
+  const Layer& c = net.conv(4, 5, 2, 1, "c");
+  EXPECT_EQ(c.window(), 5);
+  EXPECT_EQ(c.stride(), 2);
+  EXPECT_EQ(c.padding(), 1);
+  const Layer& p = net.max_pool(3, 2, "p");
+  EXPECT_EQ(p.window(), 3);
+  const Layer& l = net.lrn(5, 1e-4f, 0.75f, "l");
+  EXPECT_EQ(l.window(), 1);
+  EXPECT_EQ(l.stride(), 1);
+}
+
+TEST(Network, FirstLayerMustBeInput) {
+  Network net;
+  EXPECT_THROW(net.conv(4, 3, 1, 1, "c"), std::invalid_argument);
+}
+
+TEST(Network, InputOnlyFirst) {
+  Network net;
+  net.input({1, 4, 4});
+  EXPECT_THROW(net.input({1, 4, 4}, "again"), std::invalid_argument);
+}
+
+TEST(Network, FindByName) {
+  Network net = tiny_net();
+  ASSERT_TRUE(net.find("c2").has_value());
+  EXPECT_EQ(net[*net.find("c2")].name, "c2");
+  EXPECT_FALSE(net.find("nope").has_value());
+}
+
+TEST(Network, SliceCarriesShapes) {
+  Network vgg = vgg_e();
+  Network head = vgg.slice(0, 7, "head");
+  EXPECT_EQ(head.size(), 8u);
+  EXPECT_EQ(head[0].kind, LayerKind::kInput);
+  EXPECT_EQ(head[7].name, "conv3_1");
+  EXPECT_EQ(head[7].out, (Shape{256, 56, 56}));
+}
+
+TEST(Network, SliceMidNetworkSynthesizesInput) {
+  Network vgg = vgg_e();
+  Network mid = vgg.slice(4, 6, "mid");  // conv2_1..pool2
+  EXPECT_EQ(mid[0].kind, LayerKind::kInput);
+  EXPECT_EQ(mid[0].out, vgg[4].in);
+  EXPECT_EQ(mid.size(), 4u);
+}
+
+TEST(Network, AcceleratedPortionDropsFcAndFoldsRelu) {
+  Network net("n");
+  net.input({3, 16, 16});
+  net.conv(8, 3, 1, 1, "c1", /*fused_relu=*/false);
+  net.relu("r1");
+  net.max_pool(2, 2, "p1");
+  net.fc(10, "fc");
+  net.softmax();
+  Network accel = net.accelerated_portion();
+  EXPECT_EQ(accel.size(), 3u);  // input, conv(+relu), pool
+  EXPECT_TRUE(accel[1].conv().fused_relu);
+  EXPECT_EQ(accel[2].kind, LayerKind::kPool);
+}
+
+TEST(Network, UnfusedTransferCountsEveryBoundary) {
+  Network net = conv_chain(3, 4, 8);  // input + 3 convs, all 4x8x8
+  // 3 layer inputs + final output = 4 maps of 4*8*8 elems at 2 B.
+  EXPECT_EQ(net.unfused_feature_transfer_bytes(2), 4ll * 4 * 8 * 8 * 2);
+}
+
+TEST(Network, CoarsenReplacesModule) {
+  Network net = conv_chain(4, 8, 32);
+  Network c = net.coarsen(2, 4, "module");
+  EXPECT_EQ(c.size(), net.size() - 2);
+  ASSERT_TRUE(c.find("module").has_value());
+  EXPECT_EQ(c[*c.find("module")].out, net[4].out);
+}
+
+TEST(Network, TotalOpsIsSumOfLayers) {
+  Network net = tiny_net();
+  std::int64_t sum = 0;
+  for (const auto& l : net) sum += l.ops();
+  EXPECT_EQ(net.total_ops(), sum);
+}
+
+TEST(Network, InferShapesIsIdempotent) {
+  Network net = alexnet();
+  const auto before = net[5].out;
+  net.infer_shapes();
+  EXPECT_EQ(net[5].out, before);
+}
+
+TEST(ModelZoo, AlexNetShapes) {
+  Network net = alexnet();
+  // Canonical AlexNet (Caffe single-tower) landmarks.
+  EXPECT_EQ(net[*net.find("conv1")].out, (Shape{96, 55, 55}));
+  EXPECT_EQ(net[*net.find("pool1")].out, (Shape{96, 27, 27}));
+  EXPECT_EQ(net[*net.find("conv2")].out, (Shape{256, 27, 27}));
+  EXPECT_EQ(net[*net.find("conv5")].out, (Shape{256, 13, 13}));
+  EXPECT_EQ(net[*net.find("pool5")].out, (Shape{256, 6, 6}));
+  EXPECT_EQ(net[*net.find("fc8")].out, (Shape{1000, 1, 1}));
+}
+
+TEST(ModelZoo, VggELayerCount) {
+  Network net = vgg_e();
+  int convs = 0, pools = 0, fcs = 0;
+  for (const auto& l : net) {
+    convs += l.kind == LayerKind::kConv;
+    pools += l.kind == LayerKind::kPool;
+    fcs += l.kind == LayerKind::kFullyConnected;
+  }
+  EXPECT_EQ(convs, 16);  // VGG-19
+  EXPECT_EQ(pools, 5);
+  EXPECT_EQ(fcs, 3);
+}
+
+TEST(ModelZoo, Vgg16LayerCount) {
+  Network net = vgg16();
+  int convs = 0;
+  for (const auto& l : net) convs += l.kind == LayerKind::kConv;
+  EXPECT_EQ(convs, 13);
+}
+
+TEST(ModelZoo, VggEHeadIsTheSevenFusedLayers) {
+  Network head = vgg_e_head();
+  // input + conv1_1 conv1_2 pool1 conv2_1 conv2_2 pool2 conv3_1
+  ASSERT_EQ(head.size(), 8u);
+  EXPECT_EQ(head[3].kind, LayerKind::kPool);
+  EXPECT_EQ(head[6].kind, LayerKind::kPool);
+  EXPECT_EQ(head[7].name, "conv3_1");
+  int convs = 0;
+  for (const auto& l : head) convs += l.kind == LayerKind::kConv;
+  EXPECT_EQ(convs, 5);
+}
+
+TEST(ModelZoo, AlexNetAccelHasNoFc) {
+  Network net = alexnet_accel();
+  for (const auto& l : net) {
+    EXPECT_NE(l.kind, LayerKind::kFullyConnected);
+    EXPECT_NE(l.kind, LayerKind::kSoftmax);
+  }
+  // 5 conv + 3 pool + 2 lrn + input = 11 layers
+  EXPECT_EQ(net.size(), 11u);
+}
+
+TEST(ModelZoo, VggETotalOpsMagnitude) {
+  // VGG-19 is ~39 GFLOP (19.5 GMAC) for conv+fc; sanity-check the order.
+  const double gop = static_cast<double>(vgg_e().total_ops()) / 1e9;
+  EXPECT_GT(gop, 35.0);
+  EXPECT_LT(gop, 45.0);
+}
+
+}  // namespace
+}  // namespace hetacc::nn

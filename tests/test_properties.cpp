@@ -1,0 +1,192 @@
+// Cross-cutting property tests: every model-zoo layer must be
+// implementable, candidate sets must be self-consistent, the DP must be
+// invariant to equivalent formulations, and the power model monotone.
+
+#include <gtest/gtest.h>
+
+#include "arch/pipeline.h"
+#include "core/dp_optimizer.h"
+#include "fpga/power.h"
+#include "nn/model_zoo.h"
+
+namespace hetacc {
+namespace {
+
+using fpga::ConvAlgo;
+using fpga::EngineModel;
+
+class ZooLayerSweep
+    : public ::testing::TestWithParam<const char*> {
+ protected:
+  static nn::Network net_for(const std::string& name) {
+    if (name == "alexnet") return nn::alexnet_accel();
+    if (name == "vgg-e") return nn::vgg_e().accelerated_portion();
+    if (name == "nin") return nn::nin().accelerated_portion();
+    return nn::modular_net(4);
+  }
+};
+
+TEST_P(ZooLayerSweep, EveryLayerHasImplementableCandidates) {
+  const nn::Network net = net_for(GetParam());
+  const EngineModel model(fpga::zc706());
+  for (std::size_t i = 1; i < net.size(); ++i) {
+    const auto cands = model.candidates(net[i]);
+    ASSERT_FALSE(cands.empty()) << net[i].name;
+    for (const auto& cfg : cands) {
+      const auto ipl = model.implement(net[i], cfg);
+      EXPECT_GT(ipl.compute_cycles, 0) << net[i].name;
+      EXPECT_GE(ipl.res.dsp, 0);
+      EXPECT_GE(ipl.res.bram18k, 0);
+      EXPECT_GT(ipl.res.lut, 0);
+      EXPECT_GE(ipl.fill_cycles, 0);
+    }
+  }
+}
+
+TEST_P(ZooLayerSweep, CandidateMultCountsMatchStaticFormula) {
+  const nn::Network net = net_for(GetParam());
+  const EngineModel model(fpga::zc706());
+  for (std::size_t i = 1; i < net.size(); ++i) {
+    for (const auto& cfg : model.candidates(net[i])) {
+      const auto ipl = model.implement(net[i], cfg);
+      EXPECT_EQ(ipl.mults_performed, EngineModel::algo_mults(net[i], cfg))
+          << net[i].name;
+    }
+  }
+}
+
+TEST_P(ZooLayerSweep, SingleLayerGroupsAlwaysFeasibleOnBigDevice) {
+  const nn::Network net = net_for(GetParam());
+  const EngineModel model(fpga::vx690t());
+  for (std::size_t i = 1; i < net.size(); ++i) {
+    EXPECT_TRUE(core::fuse_group(net, i, i, model).has_value())
+        << net[i].name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Networks, ZooLayerSweep,
+                         ::testing::Values("alexnet", "vgg-e", "nin",
+                                           "modular"),
+                         [](const auto& info) { return std::string(info.param) == "vgg-e" ? "vgg_e" : std::string(info.param); });
+
+TEST(DpInvariance, IntervalMatchesPrefixOnAlexNetWithForcedSplits) {
+  // 10 layers with group cap 8: the structure must split; both DP
+  // formulations must find the same optimum.
+  const nn::Network net = nn::alexnet_accel();
+  const EngineModel model(fpga::zc706());
+  core::OptimizerOptions o;
+  o.balance = false;
+  o.transfer_budget_bytes = 8ll * 1024 * 1024;
+  o.transfer_unit_bytes = 64 * 1024;  // coarse units keep Alg. 1 fast
+  const auto fast = core::optimize(net, model, o);
+  const auto paper = core::optimize_interval(net, model, o);
+  ASSERT_TRUE(fast.feasible);
+  ASSERT_TRUE(paper.feasible);
+  EXPECT_EQ(fast.strategy.latency_cycles(), paper.strategy.latency_cycles());
+  EXPECT_GE(fast.strategy.groups.size(), 2u);
+}
+
+TEST(DpInvariance, UnitGranularityChangesBudgetNotOptimum) {
+  // With a budget far above any partition's need, the unit size is moot.
+  const nn::Network net = nn::tiny_net(8, 32);
+  const EngineModel model(fpga::zc706());
+  long long prev = -1;
+  for (long long unit : {1024, 10 * 1024, 100 * 1024}) {
+    core::OptimizerOptions o;
+    o.balance = false;
+    o.transfer_budget_bytes = 64ll * 1024 * 1024;
+    o.transfer_unit_bytes = unit;
+    const auto r = core::optimize(net, model, o);
+    ASSERT_TRUE(r.feasible);
+    if (prev >= 0) {
+      EXPECT_EQ(r.strategy.latency_cycles(), prev);
+    }
+    prev = r.strategy.latency_cycles();
+  }
+}
+
+TEST(PowerModel, MonotoneInEveryResourceClass) {
+  const fpga::Device dev = fpga::zc706();
+  const fpga::ResourceVector base{100, 100, 50000, 40000};
+  const double p0 = estimate_power(dev, base, 0.7).total();
+  for (int cls = 0; cls < 4; ++cls) {
+    fpga::ResourceVector more = base;
+    switch (cls) {
+      case 0: more.bram18k += 200; break;
+      case 1: more.dsp += 200; break;
+      case 2: more.ff += 100000; break;
+      case 3: more.lut += 80000; break;
+    }
+    EXPECT_GT(fpga::estimate_power(dev, more, 0.7).total(), p0) << cls;
+  }
+}
+
+TEST(PowerModel, UtilizationMonotone) {
+  const fpga::Device dev = fpga::zc706();
+  const fpga::ResourceVector r{300, 500, 150000, 120000};
+  double prev = 0.0;
+  for (double u : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    const double p = fpga::estimate_power(dev, r, u).total();
+    EXPECT_GE(p, prev);
+    prev = p;
+  }
+}
+
+TEST(BalancerProperty, Idempotent) {
+  const nn::Network head = nn::vgg_e_head();
+  const EngineModel model(fpga::zc706());
+  core::OptimizerOptions o;
+  o.transfer_budget_bytes = 4ll * 1024 * 1024;
+  auto r = core::optimize(head, model, o);
+  ASSERT_TRUE(r.feasible);
+  const auto once = r.strategy;
+  core::balance_strategy(r.strategy, head, model);
+  EXPECT_EQ(r.strategy.latency_cycles(), once.latency_cycles());
+  EXPECT_EQ(r.strategy.peak_resources().dsp, once.peak_resources().dsp);
+}
+
+TEST(EngineModelProperty, MoreEfficiencyNeverSlower) {
+  const nn::Network head = nn::vgg_e_head();
+  fpga::EngineModelParams lo, hi;
+  lo.compute_efficiency = 0.7;
+  hi.compute_efficiency = 0.95;
+  const EngineModel m_lo(fpga::zc706(), lo);
+  const EngineModel m_hi(fpga::zc706(), hi);
+  const fpga::EngineConfig cfg{ConvAlgo::kWinograd, 1, 8, 1, 4};
+  EXPECT_GT(m_lo.implement(head[2], cfg).compute_cycles,
+            m_hi.implement(head[2], cfg).compute_cycles);
+}
+
+TEST(EngineModelProperty, FillIndependentOfParallelism) {
+  const nn::Network head = nn::vgg_e_head();
+  const EngineModel model(fpga::zc706());
+  const auto a =
+      model.implement(head[2], {ConvAlgo::kConventional, 1, 1, 1, 4});
+  const auto b =
+      model.implement(head[2], {ConvAlgo::kConventional, 8, 8, 9, 4});
+  EXPECT_EQ(a.fill_cycles, b.fill_cycles);
+}
+
+TEST(ScheduleProperty, MakespanMonotoneInBandwidth) {
+  const nn::Network net = nn::tiny_net(8, 64);
+  fpga::Device slow = fpga::zc706();
+  slow.bandwidth_bytes_per_s = 0.5e9;
+  fpga::Device fast = fpga::zc706();
+  const EngineModel model(fast);
+  std::vector<fpga::Implementation> impls;
+  for (std::size_t i = 1; i < net.size(); ++i) {
+    fpga::EngineConfig cfg;
+    cfg.algo = net[i].kind == nn::LayerKind::kConv
+                   ? ConvAlgo::kConventional
+                   : ConvAlgo::kNone;
+    cfg.tn = 2;
+    cfg.tm = 2;
+    impls.push_back(model.implement(net[i], cfg));
+  }
+  const auto s = arch::simulate_schedule(net, 1, net.size() - 1, impls, slow);
+  const auto f = arch::simulate_schedule(net, 1, net.size() - 1, impls, fast);
+  EXPECT_GE(s.makespan_cycles, f.makespan_cycles);
+}
+
+}  // namespace
+}  // namespace hetacc

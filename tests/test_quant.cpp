@@ -1,0 +1,142 @@
+#include "quant/calibration.h"
+
+#include <gtest/gtest.h>
+
+#include "arch/pipeline.h"
+#include "nn/model_zoo.h"
+
+namespace hetacc::quant {
+namespace {
+
+class CalibrationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    net_ = nn::tiny_net(4, 16);
+    ws_ = nn::WeightStore::deterministic(net_, 31);
+    for (std::uint32_t seed = 41; seed < 44; ++seed) {
+      nn::Tensor t(net_[0].out);
+      nn::fill_deterministic(t, seed);
+      samples_.push_back(std::move(t));
+    }
+  }
+
+  nn::Network net_;
+  nn::WeightStore ws_;
+  std::vector<nn::Tensor> samples_;
+};
+
+TEST_F(CalibrationTest, RangesCoverObservedActivations) {
+  const Calibration cal = calibrate(net_, ws_, samples_, 0);
+  ASSERT_EQ(cal.layers.size(), net_.size() - 1);
+  const auto outs = nn::run_network_all(net_, ws_, samples_[0]);
+  for (std::size_t i = 1; i < net_.size(); ++i) {
+    float m = 0.0f;
+    for (float v : outs[i].vec()) m = std::max(m, std::abs(v));
+    EXPECT_GE(cal.layers[i - 1].max_abs_out, m) << i;
+  }
+}
+
+TEST_F(CalibrationTest, FormatsAvoidSaturation) {
+  const Calibration cal = calibrate(net_, ws_, samples_, 0);
+  for (const auto& lr : cal.layers) {
+    // Representable max at the chosen format covers the observed range.
+    const float max_rep = 32767.0f / static_cast<float>(1 << lr.out_frac);
+    EXPECT_GE(max_rep * 1.0001f, lr.max_abs_out) << lr.name;
+  }
+}
+
+TEST_F(CalibrationTest, GuardBitsWidenHeadroom) {
+  const Calibration tight = calibrate(net_, ws_, samples_, 0);
+  const Calibration guarded = calibrate(net_, ws_, samples_, 2);
+  for (std::size_t i = 0; i < tight.layers.size(); ++i) {
+    EXPECT_LE(guarded.layers[i].out_frac, tight.layers[i].out_frac);
+  }
+}
+
+TEST_F(CalibrationTest, CalibratedPipelineBeatsNaiveFormat) {
+  const Calibration cal = calibrate(net_, ws_, samples_, 1);
+  nn::Tensor probe(net_[0].out);
+  nn::fill_deterministic(probe, 99);
+  const nn::Tensor golden = nn::run_network(net_, ws_, probe);
+
+  arch::FusionPipeline calibrated(net_, ws_, [&] {
+    std::vector<arch::LayerChoice> ch(net_.size() - 1);
+    const auto modes = cal.modes();
+    for (std::size_t i = 0; i < ch.size(); ++i) ch[i].mode = modes[i];
+    return ch;
+  }());
+  const float calibrated_err =
+      calibrated.run(probe).max_abs_diff(golden);
+
+  // Naive: far too few fraction bits everywhere -> coarse grid.
+  arch::FusionPipeline naive(net_, ws_, [&] {
+    std::vector<arch::LayerChoice> ch(net_.size() - 1);
+    for (auto& c : ch) c.mode = arch::NumericMode{4, 4};
+    return ch;
+  }());
+  const float naive_err = naive.run(probe).max_abs_diff(golden);
+
+  EXPECT_LT(calibrated_err, naive_err);
+  EXPECT_LT(calibrated_err, 0.02f);
+}
+
+TEST_F(CalibrationTest, ModesAlignWithLayers) {
+  const Calibration cal = calibrate(net_, ws_, samples_);
+  const auto modes = cal.modes();
+  ASSERT_EQ(modes.size(), cal.layers.size());
+  for (std::size_t i = 0; i < modes.size(); ++i) {
+    EXPECT_EQ(modes[i].in_frac, cal.layers[i].in_frac);
+    EXPECT_EQ(modes[i].out_frac, cal.layers[i].out_frac);
+    EXPECT_TRUE(modes[i].fixed());
+  }
+}
+
+TEST_F(CalibrationTest, InvalidInputsThrow) {
+  EXPECT_THROW((void)calibrate(net_, ws_, {}), std::invalid_argument);
+  std::vector<nn::Tensor> bad{nn::Tensor(1, 2, 2)};
+  EXPECT_THROW((void)calibrate(net_, ws_, bad), std::invalid_argument);
+}
+
+TEST_F(CalibrationTest, WeightQuantizationRoundsToGrid) {
+  const nn::WeightStore q = quantize_weights(net_, ws_);
+  const auto i = *net_.find("c1");
+  const auto& orig = ws_.conv(i).filters;
+  const auto& quant = q.conv(i).filters;
+  float worst = 0.0f;
+  for (std::int64_t j = 0; j < orig.size(); ++j) {
+    worst = std::max(worst, std::abs(orig.data()[j] - quant.data()[j]));
+  }
+  // Weights are <= 0.25 in magnitude -> frac 15 -> half-ulp error bound.
+  EXPECT_LE(worst, 0.5f / (1 << 15) + 1e-7f);
+  // And the quantized store still produces a close forward pass.
+  nn::Tensor probe(net_[0].out);
+  nn::fill_deterministic(probe, 7);
+  const auto a = nn::run_network(net_, ws_, probe);
+  const auto b = nn::run_network(net_, q, probe);
+  EXPECT_LT(a.max_abs_diff(b), 5e-3f);
+}
+
+TEST(CalibrationAlexNet, HeadEndToEnd) {
+  // Calibrate the AlexNet head (conv1 + norm1 + pool1) and check the fixed
+  // pipeline tracks the float reference within a small error.
+  const nn::Network full = nn::alexnet_accel();
+  const nn::Network head = full.slice(0, 3, "alex-head");
+  const nn::WeightStore ws = nn::WeightStore::deterministic(head, 51);
+  std::vector<nn::Tensor> samples;
+  nn::Tensor s(head[0].out);
+  nn::fill_deterministic(s, 52);
+  samples.push_back(std::move(s));
+  const Calibration cal = calibrate(head, ws, samples, 1);
+
+  std::vector<arch::LayerChoice> ch(head.size() - 1);
+  const auto modes = cal.modes();
+  for (std::size_t i = 0; i < ch.size(); ++i) ch[i].mode = modes[i];
+  arch::FusionPipeline pipe(head, ws, ch);
+  nn::Tensor probe(head[0].out);
+  nn::fill_deterministic(probe, 53);
+  const nn::Tensor golden = nn::run_network(head, ws, probe);
+  EXPECT_LT(pipe.run(probe).max_abs_diff(golden), 0.05f);
+}
+
+}  // namespace
+}  // namespace hetacc::quant

@@ -1,0 +1,197 @@
+#include "nn/reference.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "nn/model_zoo.h"
+
+namespace hetacc::nn {
+namespace {
+
+TEST(ConvReference, IdentityKernel) {
+  Tensor in(1, 4, 4);
+  fill_deterministic(in, 1);
+  FilterBank f(1, 1, 3);
+  f.at(0, 0, 1, 1) = 1.0f;  // center tap = identity with pad 1
+  const Tensor out = conv_reference(in, f, {}, 1, 1, false);
+  EXPECT_EQ(out.shape(), in.shape());
+  EXPECT_LT(out.max_abs_diff(in), 1e-6f);
+}
+
+TEST(ConvReference, KnownTinyValues) {
+  // 1x2x2 input, 1 kernel of all ones, no pad: single output = sum.
+  Tensor in(1, 2, 2);
+  in.at(0, 0, 0) = 1;
+  in.at(0, 0, 1) = 2;
+  in.at(0, 1, 0) = 3;
+  in.at(0, 1, 1) = 4;
+  FilterBank f(1, 1, 2, 1.0f);
+  const Tensor out = conv_reference(in, f, {}, 1, 0, false);
+  ASSERT_EQ(out.shape(), (Shape{1, 1, 1}));
+  EXPECT_FLOAT_EQ(out.at(0, 0, 0), 10.0f);
+}
+
+TEST(ConvReference, BiasAndRelu) {
+  Tensor in(Shape{1, 1, 1}, 1.0f);
+  FilterBank f(2, 1, 1);
+  f.at(0, 0, 0, 0) = -3.0f;
+  f.at(1, 0, 0, 0) = 2.0f;
+  const Tensor out = conv_reference(in, f, {1.0f, 1.0f}, 1, 0, true);
+  EXPECT_FLOAT_EQ(out.at(0, 0, 0), 0.0f);  // -3+1 clamped
+  EXPECT_FLOAT_EQ(out.at(1, 0, 0), 3.0f);
+}
+
+TEST(ConvReference, StrideTwo) {
+  Tensor in(1, 5, 5);
+  fill_deterministic(in, 3);
+  FilterBank f(1, 1, 3);
+  fill_deterministic(f, 4);
+  const Tensor out = conv_reference(in, f, {}, 2, 0, false);
+  EXPECT_EQ(out.shape(), (Shape{1, 2, 2}));
+  // spot check one element directly
+  float acc = 0;
+  for (int u = 0; u < 3; ++u) {
+    for (int v = 0; v < 3; ++v) acc += in.at(0, 2 + u, 2 + v) * f.at(0, 0, u, v);
+  }
+  EXPECT_NEAR(out.at(0, 1, 1), acc, 1e-5f);
+}
+
+TEST(ConvReference, ChannelMismatchThrows) {
+  Tensor in(2, 4, 4);
+  FilterBank f(1, 3, 3);
+  EXPECT_THROW((void)conv_reference(in, f, {}, 1, 0, false),
+               std::invalid_argument);
+}
+
+TEST(PoolReference, MaxAndAverage) {
+  Tensor in(1, 2, 2);
+  in.at(0, 0, 0) = 1;
+  in.at(0, 0, 1) = 2;
+  in.at(0, 1, 0) = 3;
+  in.at(0, 1, 1) = 4;
+  const Tensor mx = pool_reference(in, PoolMethod::kMax, 2, 2, 0);
+  const Tensor av = pool_reference(in, PoolMethod::kAverage, 2, 2, 0);
+  EXPECT_FLOAT_EQ(mx.at(0, 0, 0), 4.0f);
+  EXPECT_FLOAT_EQ(av.at(0, 0, 0), 2.5f);
+}
+
+TEST(PoolReference, CeilModeClipsWindow) {
+  Tensor in(Shape{1, 5, 5}, 1.0f);
+  in.at(0, 4, 4) = 9.0f;
+  const Tensor out = pool_reference(in, PoolMethod::kMax, 2, 2, 0);
+  // ceil((5-2)/2)+1 = 3 outputs; last window is the single corner pixel.
+  ASSERT_EQ(out.shape(), (Shape{1, 3, 3}));
+  EXPECT_FLOAT_EQ(out.at(0, 2, 2), 9.0f);
+}
+
+TEST(LrnReference, UnitInputKnownValue) {
+  LrnParam p{5, 1e-4f, 0.75f, 1.0f};
+  Tensor in(Shape{5, 1, 1}, 1.0f);
+  const Tensor out = lrn_reference(in, p);
+  // center channel: ss = 5, denom = (1 + 1e-4/5*5)^0.75
+  const float denom = std::pow(1.0f + 1e-4f, 0.75f);
+  EXPECT_NEAR(out.at(2, 0, 0), 1.0f / denom, 1e-6f);
+}
+
+TEST(LrnReference, EdgeChannelsUseClippedWindow) {
+  LrnParam p{5, 0.5f, 1.0f, 1.0f};  // big alpha so the window size matters
+  Tensor in(Shape{5, 1, 1}, 1.0f);
+  const Tensor out = lrn_reference(in, p);
+  // channel 0 window = {0,1,2}: ss=3 -> denom = 1 + 0.1*3
+  EXPECT_NEAR(out.at(0, 0, 0), 1.0f / (1.0f + 0.1f * 3), 1e-6f);
+  EXPECT_NEAR(out.at(2, 0, 0), 1.0f / (1.0f + 0.1f * 5), 1e-6f);
+}
+
+TEST(FcReference, MatVec) {
+  Tensor in(Shape{3, 1, 1});
+  in.at(0, 0, 0) = 1;
+  in.at(1, 0, 0) = 2;
+  in.at(2, 0, 0) = 3;
+  FcWeights w;
+  w.matrix = {1, 0, 0, 0, 1, 1};
+  w.bias = {0.5f, -10.0f};
+  Tensor out = fc_reference(in, w, true);
+  EXPECT_FLOAT_EQ(out.at(0, 0, 0), 1.5f);
+  EXPECT_FLOAT_EQ(out.at(1, 0, 0), 0.0f);  // 5 - 10 relu'd
+}
+
+TEST(SoftmaxReference, SumsToOne) {
+  Tensor in(Shape{4, 1, 1});
+  fill_deterministic(in, 11);
+  Tensor out = softmax_reference(in);
+  float sum = 0;
+  for (float v : out.vec()) {
+    EXPECT_GT(v, 0.0f);
+    sum += v;
+  }
+  EXPECT_NEAR(sum, 1.0f, 1e-6f);
+}
+
+TEST(RunNetwork, TinyNetEndToEnd) {
+  Network net = tiny_net(4, 8);
+  const WeightStore ws = WeightStore::deterministic(net, 5);
+  Tensor in(net[0].out);
+  fill_deterministic(in, 6);
+  const Tensor out = run_network(net, ws, in);
+  EXPECT_EQ(out.shape(), net[net.size() - 1].out);
+}
+
+TEST(RunNetwork, AllLayersShapesConsistent) {
+  Network net = tiny_net(4, 8);
+  const WeightStore ws = WeightStore::deterministic(net, 5);
+  Tensor in(net[0].out);
+  fill_deterministic(in, 6);
+  const auto outs = run_network_all(net, ws, in);
+  ASSERT_EQ(outs.size(), net.size());
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    EXPECT_EQ(outs[i].shape(), net[i].out) << "layer " << i;
+  }
+}
+
+TEST(RunNetwork, AlexNetFullForwardRuns) {
+  Network net = alexnet();
+  const WeightStore ws = WeightStore::deterministic(net, 1);
+  Tensor in(net[0].out);
+  fill_deterministic(in, 2);
+  const Tensor out = run_network(net, ws, in);
+  ASSERT_EQ(out.shape(), (Shape{1000, 1, 1}));
+  float sum = 0;
+  for (float v : out.vec()) sum += v;
+  EXPECT_NEAR(sum, 1.0f, 1e-4f);  // softmax output
+}
+
+TEST(WeightStore, DeterministicAndSeedSensitive) {
+  Network net = tiny_net();
+  const WeightStore a = WeightStore::deterministic(net, 5);
+  const WeightStore b = WeightStore::deterministic(net, 5);
+  const WeightStore c = WeightStore::deterministic(net, 6);
+  const auto i = *net.find("c1");
+  EXPECT_EQ(a.conv(i).filters.at(0, 0, 0, 0), b.conv(i).filters.at(0, 0, 0, 0));
+  EXPECT_NE(a.conv(i).filters.at(0, 0, 0, 0), c.conv(i).filters.at(0, 0, 0, 0));
+}
+
+TEST(WeightStore, MissingLayerThrows) {
+  Network net = tiny_net();
+  const WeightStore ws = WeightStore::deterministic(net, 5);
+  EXPECT_THROW((void)ws.conv(0), std::out_of_range);  // input layer
+  EXPECT_THROW((void)ws.fc(1), std::out_of_range);
+}
+
+TEST(WeightStore, NoBiasVariantZeroes) {
+  Network net = tiny_net();
+  const WeightStore ws = WeightStore::deterministic_no_bias(net, 5);
+  for (float b : ws.conv(*net.find("c1")).bias) EXPECT_EQ(b, 0.0f);
+}
+
+TEST(WeightStore, ByteAccounting) {
+  Network net("n");
+  net.input({2, 4, 4});
+  net.conv(3, 3, 1, 1, "c");
+  const WeightStore ws = WeightStore::deterministic(net, 1);
+  // filters 3*2*9 + bias 3 = 57 halfwords
+  EXPECT_EQ(ws.bytes(2), 57ll * 2);
+}
+
+}  // namespace
+}  // namespace hetacc::nn

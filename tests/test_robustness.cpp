@@ -1,0 +1,164 @@
+// Robustness and structural-golden tests across the front end, the code
+// generator, and the compat runtime.
+
+#include <gtest/gtest.h>
+
+#include "caffe/importer.h"
+#include "codegen/generator.h"
+#include "codegen/hls_compat.h"
+#include "nn/model_zoo.h"
+
+namespace hetacc {
+namespace {
+
+// ----------------------------------------------------------------- caffe --
+TEST(CaffeRobustness, CrlfAndTabsAndMixedWhitespace) {
+  const nn::Network net = caffe::import_prototxt(
+      "input:\t\"d\"\r\ninput_dim: 1\r\ninput_dim: 2\r\n"
+      "input_dim: 6\r\ninput_dim: 6\r\n"
+      "layer\t{\r\n\tname: \"c\"\r\n\ttype: \"Convolution\"\r\n"
+      "\tconvolution_param { num_output: 2 kernel_size: 3 pad: 1 }\r\n}\r\n");
+  EXPECT_EQ(net.size(), 2u);
+  EXPECT_EQ(net[1].out, (nn::Shape{2, 6, 6}));
+}
+
+TEST(CaffeRobustness, LegacyLayersKeyword) {
+  const nn::Network net = caffe::import_prototxt(R"(
+    input: "d" input_dim: 1 input_dim: 1 input_dim: 4 input_dim: 4
+    layers { name: "p" type: "Pooling"
+             pooling_param { pool: MAX kernel_size: 2 stride: 2 } }
+  )");
+  EXPECT_EQ(net.size(), 2u);
+  EXPECT_EQ(net[1].kind, nn::LayerKind::kPool);
+}
+
+TEST(CaffeRobustness, SingleQuotedStrings) {
+  const caffe::Message m = caffe::parse_prototxt("name: 'abc'");
+  EXPECT_EQ(m.str("name"), "abc");
+}
+
+TEST(CaffeRobustness, ScientificNotationAndNegatives) {
+  const caffe::Message m =
+      caffe::parse_prototxt("a: 1E-3 b: -2.5e+2 c: +7 d: .5");
+  EXPECT_NEAR(m.number("a", 0), 1e-3, 1e-12);
+  EXPECT_NEAR(m.number("b", 0), -250.0, 1e-9);
+  EXPECT_NEAR(m.number("c", 0), 7.0, 1e-12);
+  EXPECT_NEAR(m.number("d", 0), 0.5, 1e-12);
+}
+
+TEST(CaffeRobustness, DeeplyNestedUnknownMessagesParse) {
+  const caffe::Message m = caffe::parse_prototxt(R"(
+    a { b { c { d { e: 1 } } } }
+  )");
+  const auto* p = m.child("a")->child("b")->child("c")->child("d");
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->integer("e", 0), 1);
+}
+
+TEST(CaffeRobustness, EmptyInputIsEmptyMessage) {
+  const caffe::Message m = caffe::parse_prototxt("  \n # only a comment\n");
+  EXPECT_TRUE(m.fields().empty());
+}
+
+// --------------------------------------------------------------- codegen --
+class CodegenGolden : public ::testing::Test {
+ protected:
+  fpga::EngineModel model_{fpga::zc706()};
+};
+
+TEST_F(CodegenGolden, FixedPoolEmitsRequantWhenScalesDiffer) {
+  nn::Network net("g");
+  net.input({2, 8, 8});
+  net.max_pool(2, 2, "p");
+  const auto ws = nn::WeightStore::deterministic(net, 1);
+  codegen::CodegenOptions opt;
+  opt.fixed_point = true;
+  opt.layer_fracs = {{12, 10}};  // scale change across the pool
+  const auto d = codegen::generate_design(
+      net, codegen::trivial_strategy(net, model_), ws, opt);
+  EXPECT_NE(d.source.find("hetacc_requant_shift((acc_t)best, 2)"),
+            std::string::npos);
+}
+
+TEST_F(CodegenGolden, FixedPoolSkipsRequantWhenScalesMatch) {
+  nn::Network net("g2");
+  net.input({2, 8, 8});
+  net.max_pool(2, 2, "p");
+  const auto ws = nn::WeightStore::deterministic(net, 1);
+  codegen::CodegenOptions opt;
+  opt.fixed_point = true;
+  opt.layer_fracs = {{12, 12}};
+  const auto d = codegen::generate_design(
+      net, codegen::trivial_strategy(net, model_), ws, opt);
+  EXPECT_NE(d.source.find("out_s.write(best);"), std::string::npos);
+}
+
+TEST_F(CodegenGolden, EveryLayerGetsInlineOffAndOwnFunction) {
+  const nn::Network net = nn::tiny_net(2, 8);
+  const auto ws = nn::WeightStore::deterministic(net, 1);
+  const auto d = codegen::generate_design(
+      net, codegen::trivial_strategy(net, model_), ws, {});
+  std::size_t count = 0, pos = 0;
+  while ((pos = d.source.find("#pragma HLS INLINE off", pos)) !=
+         std::string::npos) {
+    ++count;
+    ++pos;
+  }
+  EXPECT_EQ(count, net.size() - 1);
+}
+
+TEST_F(CodegenGolden, FifoDepthOptionHonored) {
+  const nn::Network net = nn::tiny_net(2, 8);
+  const auto ws = nn::WeightStore::deterministic(net, 1);
+  codegen::CodegenOptions opt;
+  opt.fifo_depth = 77;
+  const auto d = codegen::generate_design(
+      net, codegen::trivial_strategy(net, model_), ws, opt);
+  EXPECT_NE(d.source.find("depth=77"), std::string::npos);
+}
+
+TEST_F(CodegenGolden, WeightsAreReproducibleAcrossCalls) {
+  const nn::Network net = nn::tiny_net(2, 8);
+  const auto ws = nn::WeightStore::deterministic(net, 1);
+  const auto a = codegen::generate_design(
+      net, codegen::trivial_strategy(net, model_), ws, {});
+  const auto b = codegen::generate_design(
+      net, codegen::trivial_strategy(net, model_), ws, {});
+  EXPECT_EQ(a.source, b.source);
+  EXPECT_EQ(a.header, b.header);
+  EXPECT_EQ(a.testbench, b.testbench);
+}
+
+// ------------------------------------------------------------ hls compat --
+TEST(HlsCompat, StreamFifoOrderAndNonBlockingRead) {
+  hls::stream<int> s("s");
+  EXPECT_TRUE(s.empty());
+  s.write(1);
+  s.write(2);
+  EXPECT_EQ(s.size(), 2u);
+  int v = 0;
+  EXPECT_TRUE(s.read_nb(v));
+  EXPECT_EQ(v, 1);
+  EXPECT_EQ(s.read(), 2);
+  EXPECT_FALSE(s.read_nb(v));
+  EXPECT_THROW((void)s.read(), std::runtime_error);
+}
+
+// --------------------------------------------------------------- network --
+TEST(NetworkRobustness, CoarsenRejectsNonStrideExpressibleModules) {
+  nn::Network net("bad");
+  net.input({4, 30, 30});
+  net.conv(4, 3, 1, 1, "a");
+  net.max_pool(3, 3, "p");  // 30 -> 10, fine
+  net.conv(4, 3, 1, 0, "b");  // 10 -> 8: not integer stride of 30
+  EXPECT_THROW((void)net.coarsen(1, 3, "m"), std::invalid_argument);
+}
+
+TEST(NetworkRobustness, SliceRangeChecks) {
+  const nn::Network net = nn::tiny_net();
+  EXPECT_THROW((void)net.slice(3, 1, "x"), std::out_of_range);
+  EXPECT_THROW((void)net.slice(0, 99, "x"), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace hetacc

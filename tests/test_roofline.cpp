@@ -1,0 +1,66 @@
+#include "roofline/roofline.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/model_zoo.h"
+
+namespace hetacc::roofline {
+namespace {
+
+TEST(Roofline, AttainableClipsToBothRoofs) {
+  // Low CTC: bandwidth-bound; high CTC: compute-bound.
+  EXPECT_DOUBLE_EQ(attainable(1.0, 1e12, 4.5e9), 4.5e9);
+  EXPECT_DOUBLE_EQ(attainable(1e6, 1e12, 4.5e9), 1e12);
+}
+
+TEST(Roofline, NegativeInputsThrow) {
+  EXPECT_THROW((void)attainable(-1.0, 1.0, 1.0), std::invalid_argument);
+}
+
+TEST(Roofline, RoofsMatchDeviceMath) {
+  const fpga::Device d = fpga::vc707();
+  EXPECT_DOUBLE_EQ(conventional_roof_ops(d), 560e9);  // 2800 DSP * 2 * 100MHz
+  EXPECT_DOUBLE_EQ(winograd_roof_ops(d, 4, 3), 4.0 * 560e9);
+  EXPECT_DOUBLE_EQ(winograd_roof_ops(d, 2, 3), 2.25 * 560e9);
+}
+
+TEST(Roofline, VggConv2CtcInputOnly) {
+  // Paper Fig. 1 example: VGG conv2 (conv1_2), 64->64 3x3 on 224x224.
+  const nn::Network head = nn::vgg_e_head();
+  const nn::Layer& conv = head[2];
+  const double ctc = layer_ctc_input_only(conv, 2);
+  // ops = 2*64*9*64*224*224, input bytes = 64*224*224*2 -> ctc = 576.
+  EXPECT_NEAR(ctc, 576.0, 1e-9);
+}
+
+TEST(Roofline, MakePointFlagsBandwidthLimit) {
+  const fpga::Device d = fpga::vc707();
+  // Winograd at CTC 576: bw roof = 576 * 4.5e9 = 2.592e12 > wino roof ->
+  // compute-bound at roof.
+  const Point b = make_point("B", 576.0, winograd_roof_ops(d, 4, 3), d);
+  EXPECT_FALSE(b.bandwidth_limited);
+  // At a low CTC the same roof is clipped by bandwidth.
+  const Point c = make_point("C", 100.0, winograd_roof_ops(d, 4, 3), d);
+  EXPECT_TRUE(c.bandwidth_limited);
+  EXPECT_DOUBLE_EQ(c.attainable_ops, 100.0 * 4.5e9);
+}
+
+TEST(Roofline, GroupCtcGrowsWithFusion) {
+  // Fusing layers raises ops per transferred byte (paper §2.2 point C).
+  const nn::Network head = nn::vgg_e_head();
+  double ops12 = static_cast<double>(head[1].ops() + head[2].ops());
+  const double unfused_transfer =
+      static_cast<double>(head[1].in.bytes(2) + head[1].out.bytes(2) +
+                          head[2].in.bytes(2) + head[2].out.bytes(2));
+  const double fused_transfer =
+      static_cast<double>(head[1].in.bytes(2) + head[2].out.bytes(2));
+  EXPECT_GT(group_ctc(ops12, fused_transfer),
+            group_ctc(ops12, unfused_transfer));
+}
+
+TEST(Roofline, GroupCtcInvalidTransferThrows) {
+  EXPECT_THROW((void)group_ctc(1.0, 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hetacc::roofline

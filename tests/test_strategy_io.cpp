@@ -1,0 +1,137 @@
+#include "core/strategy_io.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "arch/pipeline.h"
+#include "core/dp_optimizer.h"
+#include "nn/model_zoo.h"
+#include "nn/reference.h"
+
+namespace hetacc::core {
+namespace {
+
+class StrategyIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    net_ = nn::vgg_e_head();
+    const fpga::EngineModel model(dev_);
+    OptimizerOptions oo;
+    oo.transfer_budget_bytes = 4 * 1024 * 1024;
+    result_ = optimize(net_, model, oo);
+    ASSERT_TRUE(result_.feasible);
+  }
+
+  nn::Network net_;
+  fpga::Device dev_ = fpga::zc706();
+  OptimizeResult result_;
+};
+
+TEST_F(StrategyIoTest, CsvHasHeaderAndOneRowPerLayer) {
+  const std::string csv = strategy_to_csv(result_.strategy, net_);
+  std::istringstream is(csv);
+  std::string line;
+  std::getline(is, line);
+  EXPECT_EQ(line.rfind("group,layer,name,kind,algorithm", 0), 0u);
+  int rows = 0;
+  while (std::getline(is, line)) {
+    if (!line.empty()) ++rows;
+  }
+  EXPECT_EQ(rows, 7);  // the 7 fused VGG head layers
+}
+
+TEST_F(StrategyIoTest, CsvFieldCountConsistent) {
+  const std::string csv = strategy_to_csv(result_.strategy, net_);
+  std::istringstream is(csv);
+  std::string line;
+  std::getline(is, line);
+  const auto count_fields = [](const std::string& s) {
+    return std::count(s.begin(), s.end(), ',') + 1;
+  };
+  const auto header_fields = count_fields(line);
+  EXPECT_EQ(header_fields, 16);
+  while (std::getline(is, line)) {
+    if (!line.empty()) {
+      EXPECT_EQ(count_fields(line), header_fields) << line;
+    }
+  }
+}
+
+TEST_F(StrategyIoTest, CsvNamesMatchNetwork) {
+  const std::string csv = strategy_to_csv(result_.strategy, net_);
+  for (const char* name :
+       {"conv1_1", "conv1_2", "pool1", "conv2_1", "conv2_2", "pool2",
+        "conv3_1"}) {
+    EXPECT_NE(csv.find(name), std::string::npos) << name;
+  }
+}
+
+TEST_F(StrategyIoTest, MarkdownHasTotalsRow) {
+  const std::string md = strategy_to_markdown(result_.strategy, net_);
+  EXPECT_NE(md.find("| Layer | Algorithm |"), std::string::npos);
+  EXPECT_NE(md.find("**Total**"), std::string::npos);
+}
+
+TEST_F(StrategyIoTest, ReportRowRoundTrips) {
+  const StrategyReport rep = make_report(result_.strategy, net_, dev_);
+  const std::string row = report_to_csv_row(rep);
+  std::istringstream is(row);
+  std::string field;
+  std::vector<std::string> fields;
+  while (std::getline(is, field, ',')) fields.push_back(field);
+  ASSERT_EQ(fields.size(), 11u);
+  EXPECT_EQ(std::stoll(fields[0]), rep.latency_cycles);
+  // Default ostream precision is 6 significant digits.
+  EXPECT_NEAR(std::stod(fields[2]), rep.effective_gops,
+              1e-3 * rep.effective_gops);
+}
+
+TEST(ModelZooNin, ShapesAndOneByOneConvs) {
+  const nn::Network net = nn::nin();
+  EXPECT_EQ(net[*net.find("conv1")].out, (nn::Shape{96, 54, 54}));
+  EXPECT_EQ(net[*net.find("cccp8")].out.c, 1000);
+  // 1x1 convs are conventional-only (Winograd needs r >= 2).
+  const fpga::EngineModel model(fpga::zc706());
+  for (const auto& cfg : model.candidates(net[*net.find("cccp1")])) {
+    EXPECT_EQ(cfg.algo, fpga::ConvAlgo::kConventional);
+  }
+}
+
+TEST(ModelZooNin, OptimizesEndToEnd) {
+  const nn::Network net = nn::nin().accelerated_portion();
+  const fpga::EngineModel model(fpga::zc706());
+  OptimizerOptions oo;
+  oo.transfer_budget_bytes = 24ll * 1024 * 1024;
+  const auto r = optimize(net, model, oo);
+  ASSERT_TRUE(r.feasible);
+  // Heterogeneous outcome: 1x1/11x11 layers conventional, some 3x3/5x5
+  // layers may go Winograd.
+  bool conv1_conventional = false;
+  for (const auto& g : r.strategy.groups) {
+    for (std::size_t k = 0; k < g.impls.size(); ++k) {
+      if (net[g.first + k].name == "conv1") {
+        conv1_conventional =
+            g.impls[k].cfg.algo == fpga::ConvAlgo::kConventional;
+      }
+    }
+  }
+  EXPECT_TRUE(conv1_conventional);
+}
+
+TEST(ModelZooNin, OneByOneConvStreamsCorrectly) {
+  nn::Network net("1x1");
+  net.input({4, 10, 10});
+  net.conv(6, 1, 1, 0, "c");
+  const auto ws = nn::WeightStore::deterministic(net, 7);
+  nn::Tensor in(net[0].out);
+  nn::fill_deterministic(in, 8);
+  arch::FusionPipeline pipe(net, ws);
+  const nn::Tensor got = pipe.run(in);
+  const nn::Tensor ref = nn::run_network(net, ws, in);
+  EXPECT_LT(got.max_abs_diff(ref), 1e-5f);
+}
+
+}  // namespace
+}  // namespace hetacc::core

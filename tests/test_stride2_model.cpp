@@ -1,0 +1,110 @@
+// Optimizer integration of the stride-2 Winograd decomposition (opt-in).
+
+#include <gtest/gtest.h>
+
+#include "core/dp_optimizer.h"
+#include "nn/model_zoo.h"
+
+namespace hetacc::fpga {
+namespace {
+
+/// A ResNet-like stem: 7x7 s2 conv, pool, then 3x3 s2 downsampling convs.
+nn::Network resnet_stem() {
+  nn::Network net("resnet-stem");
+  net.input({3, 224, 224});
+  net.conv(64, 7, 2, 3, "conv1");
+  net.max_pool(3, 2, "pool1");
+  net.conv(64, 3, 1, 1, "conv2a");
+  net.conv(128, 3, 2, 1, "conv3a");  // stride-2 downsample
+  net.conv(128, 3, 1, 1, "conv3b");
+  return net;
+}
+
+TEST(Stride2Model, CandidatesAppearOnlyWhenEnabled) {
+  const nn::Network net = resnet_stem();
+  const nn::Layer& down = net[*net.find("conv3a")];
+  const EngineModel off(zc706());
+  for (const auto& c : off.candidates(down)) {
+    EXPECT_NE(c.algo, ConvAlgo::kWinogradStride2);
+  }
+  EngineModelParams p;
+  p.enable_stride2_winograd = true;
+  const EngineModel on(zc706(), p);
+  bool found = false;
+  for (const auto& c : on.candidates(down)) {
+    found |= c.algo == ConvAlgo::kWinogradStride2;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Stride2Model, NeverOfferedForStride1OrStride4) {
+  EngineModelParams p;
+  p.enable_stride2_winograd = true;
+  const EngineModel model(zc706(), p);
+  const nn::Network net = resnet_stem();
+  for (const char* name : {"conv2a", "conv3b"}) {  // stride 1
+    for (const auto& c : model.candidates(net[*net.find(name)])) {
+      EXPECT_NE(c.algo, ConvAlgo::kWinogradStride2) << name;
+    }
+  }
+  const nn::Network alex = nn::alexnet_accel();  // conv1 stride 4
+  for (const auto& c : model.candidates(alex[1])) {
+    EXPECT_NE(c.algo, ConvAlgo::kWinogradStride2);
+  }
+}
+
+TEST(Stride2Model, MultReductionVersusConventional) {
+  const nn::Network net = resnet_stem();
+  const nn::Layer& down = net[*net.find("conv3a")];
+  const EngineConfig conv{ConvAlgo::kConventional, 1, 1, 1, 4};
+  const EngineConfig s2{ConvAlgo::kWinogradStride2, 1, 1, 1, 4};
+  const double reduction =
+      static_cast<double>(EngineModel::algo_mults(down, conv)) /
+      static_cast<double>(EngineModel::algo_mults(down, s2));
+  // 3x3 s2 at m=4: 9 vs 4*25/16 = 6.25 mults/output -> 1.44x.
+  EXPECT_NEAR(reduction, 1.44, 0.15);
+}
+
+TEST(Stride2Model, ImplementValidatesGeometry) {
+  const nn::Network net = resnet_stem();
+  EngineModelParams p;
+  p.enable_stride2_winograd = true;
+  const EngineModel model(zc706(), p);
+  const nn::Layer& s1 = net[*net.find("conv2a")];
+  EXPECT_THROW(
+      (void)model.implement(s1, {ConvAlgo::kWinogradStride2, 1, 1, 1, 4}),
+      std::invalid_argument);
+  const nn::Layer& down = net[*net.find("conv3a")];
+  const auto ipl =
+      model.implement(down, {ConvAlgo::kWinogradStride2, 1, 2, 1, 4});
+  // Phase engine: r=2, n=5 -> 25 DSP per (tn, tm) pair.
+  EXPECT_EQ(ipl.res.dsp, 25 * 2);
+  EXPECT_GT(ipl.compute_cycles, 0);
+}
+
+TEST(Stride2Model, OptimizerUsesItWhenItHelps) {
+  const nn::Network net = resnet_stem();
+  EngineModelParams p;
+  p.enable_stride2_winograd = true;
+  const EngineModel with(zc706(), p);
+  const EngineModel without(zc706());
+  core::OptimizerOptions oo;
+  oo.transfer_budget_bytes = 16ll * 1024 * 1024;
+  const auto a = core::optimize(net, with, oo);
+  const auto b = core::optimize(net, without, oo);
+  ASSERT_TRUE(a.feasible);
+  ASSERT_TRUE(b.feasible);
+  EXPECT_LE(a.strategy.latency_cycles(), b.strategy.latency_cycles());
+  bool used = false;
+  for (const auto& g : a.strategy.groups) {
+    for (const auto& ipl : g.impls) {
+      used |= ipl.cfg.algo == ConvAlgo::kWinogradStride2;
+    }
+  }
+  // 7x7 s2 conv1 dominates the stem; the decomposition gives it a 3x-class
+  // multiplication cut, so the optimizer should adopt it somewhere.
+  EXPECT_TRUE(used);
+}
+
+}  // namespace
+}  // namespace hetacc::fpga

@@ -1,0 +1,55 @@
+#include "toolflow/sweep.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/model_zoo.h"
+
+namespace hetacc::toolflow {
+namespace {
+
+constexpr long long kMB = 1024 * 1024;
+
+TEST(Sweep, BudgetGridProducesMonotoneFrontier) {
+  const nn::Network head = nn::vgg_e_head();
+  const fpga::EngineModel model(fpga::zc706());
+  SweepOptions opt;
+  opt.budgets_bytes = {1 * kMB, 2 * kMB, 4 * kMB, 16 * kMB};
+  const auto points = sweep_budgets(head, model, opt);
+  ASSERT_EQ(points.size(), 4u);
+  EXPECT_FALSE(points[0].feasible);  // 1 MB < minimal fused transfer
+  double prev_latency = 1e300;
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    ASSERT_TRUE(points[i].feasible) << i;
+    EXPECT_LE(points[i].report.latency_ms, prev_latency + 1e-9);
+    prev_latency = points[i].report.latency_ms;
+  }
+}
+
+TEST(Sweep, MultiDeviceCoversAll) {
+  const nn::Network head = nn::vgg_e_head();
+  SweepOptions opt;
+  opt.budgets_bytes = {4 * kMB};
+  const auto points = sweep_devices(
+      head, {fpga::zc706(), fpga::vc707(), fpga::vx690t()}, opt);
+  ASSERT_EQ(points.size(), 3u);
+  EXPECT_EQ(points[0].device, "ZC706");
+  EXPECT_EQ(points[2].device, "VX690T");
+  for (const auto& p : points) EXPECT_TRUE(p.feasible);
+  // More DSPs -> more performance.
+  EXPECT_GT(points[2].report.effective_gops,
+            points[0].report.effective_gops);
+}
+
+TEST(Sweep, CsvShapeAndInfeasibleRows) {
+  const nn::Network head = nn::vgg_e_head();
+  const fpga::EngineModel model(fpga::zc706());
+  SweepOptions opt;
+  opt.budgets_bytes = {1 * kMB, 4 * kMB};
+  const std::string csv = sweep_to_csv(sweep_budgets(head, model, opt));
+  EXPECT_EQ(csv.rfind("device,budget_mb,feasible", 0), 0u);
+  EXPECT_NE(csv.find("ZC706,1,0,"), std::string::npos);
+  EXPECT_NE(csv.find("ZC706,4,1,"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hetacc::toolflow

@@ -1,0 +1,115 @@
+#include "nn/tensor.h"
+
+#include <gtest/gtest.h>
+
+namespace hetacc::nn {
+namespace {
+
+TEST(Shape, ElemsAndBytes) {
+  Shape s{3, 224, 224};
+  EXPECT_EQ(s.elems(), 3ll * 224 * 224);
+  EXPECT_EQ(s.bytes(2), 3ll * 224 * 224 * 2);
+  EXPECT_EQ(s.bytes(4), 3ll * 224 * 224 * 4);
+}
+
+TEST(Shape, Equality) {
+  EXPECT_EQ((Shape{1, 2, 3}), (Shape{1, 2, 3}));
+  EXPECT_NE((Shape{1, 2, 3}), (Shape{1, 3, 2}));
+}
+
+TEST(Shape, StrFormat) {
+  EXPECT_EQ((Shape{3, 4, 5}).str(), "[3x4x5]");
+}
+
+TEST(Tensor, ZeroInitialized) {
+  Tensor t(2, 3, 4);
+  for (int c = 0; c < 2; ++c) {
+    for (int h = 0; h < 3; ++h) {
+      for (int w = 0; w < 4; ++w) EXPECT_EQ(t.at(c, h, w), 0.0f);
+    }
+  }
+}
+
+TEST(Tensor, FillValue) {
+  Tensor t(Shape{1, 2, 2}, 7.5f);
+  EXPECT_EQ(t.at(0, 1, 1), 7.5f);
+}
+
+TEST(Tensor, RowMajorLayout) {
+  Tensor t(2, 2, 3);
+  t.at(1, 1, 2) = 42.0f;
+  EXPECT_EQ(t.data()[1 * 2 * 3 + 1 * 3 + 2], 42.0f);
+}
+
+TEST(Tensor, OutOfRangeThrows) {
+  Tensor t(1, 2, 2);
+  EXPECT_THROW(t.at(1, 0, 0), std::out_of_range);
+  EXPECT_THROW(t.at(0, 2, 0), std::out_of_range);
+  EXPECT_THROW(t.at(0, 0, -1), std::out_of_range);
+}
+
+TEST(Tensor, PaddedReadReturnsZeroOutside) {
+  Tensor t(Shape{1, 2, 2}, 3.0f);
+  EXPECT_EQ(t.at_padded(0, -1, 0), 0.0f);
+  EXPECT_EQ(t.at_padded(0, 0, 2), 0.0f);
+  EXPECT_EQ(t.at_padded(0, 1, 1), 3.0f);
+}
+
+TEST(Tensor, MaxAbsDiff) {
+  Tensor a(1, 1, 3), b(1, 1, 3);
+  a.at(0, 0, 0) = 1.0f;
+  b.at(0, 0, 0) = 1.5f;
+  b.at(0, 0, 2) = -2.0f;
+  EXPECT_FLOAT_EQ(a.max_abs_diff(b), 2.0f);
+}
+
+TEST(Tensor, MaxAbsDiffShapeMismatchThrows) {
+  Tensor a(1, 1, 3), b(1, 3, 1);
+  EXPECT_THROW((void)a.max_abs_diff(b), std::invalid_argument);
+}
+
+TEST(Tensor, DeterministicFillIsReproducible) {
+  Tensor a(2, 4, 4), b(2, 4, 4);
+  fill_deterministic(a, 7);
+  fill_deterministic(b, 7);
+  EXPECT_EQ(a, b);
+  Tensor c(2, 4, 4);
+  fill_deterministic(c, 8);
+  EXPECT_NE(a, c);
+}
+
+TEST(Tensor, DeterministicFillInUnitRange) {
+  Tensor a(3, 8, 8);
+  fill_deterministic(a, 123);
+  for (float v : a.vec()) {
+    EXPECT_GE(v, -1.0f);
+    EXPECT_LE(v, 1.0f);
+  }
+}
+
+TEST(FilterBank, LayoutAndAccess) {
+  FilterBank f(2, 3, 3);
+  f.at(1, 2, 0, 1) = 5.0f;
+  EXPECT_EQ(f.data()[((1 * 3 + 2) * 3 + 0) * 3 + 1], 5.0f);
+  EXPECT_EQ(f.out_channels(), 2);
+  EXPECT_EQ(f.in_channels(), 3);
+  EXPECT_EQ(f.kernel(), 3);
+  EXPECT_EQ(f.size(), 2ll * 3 * 3 * 3);
+}
+
+TEST(FilterBank, OutOfRangeThrows) {
+  FilterBank f(1, 1, 3);
+  EXPECT_THROW(f.at(1, 0, 0, 0), std::out_of_range);
+  EXPECT_THROW(f.at(0, 0, 3, 0), std::out_of_range);
+}
+
+TEST(FilterBank, DeterministicFillBounded) {
+  FilterBank f(4, 4, 3);
+  fill_deterministic(f, 99);
+  for (std::int64_t i = 0; i < f.size(); ++i) {
+    EXPECT_LE(std::abs(f.data()[i]), 0.25f);
+  }
+}
+
+}  // namespace
+}  // namespace hetacc::nn

@@ -1,0 +1,96 @@
+#include "toolflow/toolflow.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/model_zoo.h"
+
+namespace hetacc::toolflow {
+namespace {
+
+TEST(Toolflow, AlexNetPrototxtToStrategyAndCode) {
+  ToolflowOptions opt;
+  opt.transfer_budget_bytes = 8 * 1024 * 1024;
+  const ToolflowResult r =
+      run_toolflow(caffe::alexnet_prototxt(), fpga::zc706(), opt);
+  EXPECT_EQ(r.full_net.size(), nn::alexnet().size());
+  EXPECT_EQ(r.accel_net.size(), 11u);  // FC stack dropped
+  EXPECT_TRUE(r.optimization.feasible);
+  EXPECT_GT(r.report.effective_gops, 0.0);
+  EXPECT_FALSE(r.design.source.empty());
+  EXPECT_FALSE(r.design.group_tops.empty());
+  EXPECT_FALSE(r.summary().empty());
+}
+
+TEST(Toolflow, HeterogeneousChoicesAppearForAlexNet) {
+  // Paper Table 2: conv1/conv4-style layers conventional, some of
+  // conv2/conv3/conv5 Winograd. At minimum both algorithms must appear.
+  ToolflowOptions opt;
+  opt.generate_code = false;
+  const ToolflowResult r =
+      run_toolflow(nn::alexnet(), fpga::zc706(), opt);
+  bool any_conv = false, any_wino = false;
+  for (const auto& g : r.optimization.strategy.groups) {
+    for (std::size_t k = 0; k < g.impls.size(); ++k) {
+      const nn::Layer& l = r.accel_net[g.first + k];
+      if (l.kind != nn::LayerKind::kConv) continue;
+      any_conv |= g.impls[k].cfg.algo == fpga::ConvAlgo::kConventional;
+      any_wino |= g.impls[k].cfg.algo == fpga::ConvAlgo::kWinograd;
+    }
+  }
+  EXPECT_TRUE(any_conv);  // conv1 (11x11 s4) cannot be Winograd
+  EXPECT_TRUE(any_wino);
+}
+
+TEST(Toolflow, AlexNetConv1IsNeverWinograd) {
+  ToolflowOptions opt;
+  opt.generate_code = false;
+  const ToolflowResult r = run_toolflow(nn::alexnet(), fpga::zc706(), opt);
+  const auto& g0 = r.optimization.strategy.groups.front();
+  ASSERT_EQ(g0.first, 1u);
+  EXPECT_EQ(r.accel_net[1].name, "conv1");
+  EXPECT_EQ(g0.impls[0].cfg.algo, fpga::ConvAlgo::kConventional);
+}
+
+TEST(Toolflow, DefaultBudgetIsUnfusedTransfer) {
+  ToolflowOptions opt;
+  opt.generate_code = false;
+  const ToolflowResult r = run_toolflow(nn::alexnet(), fpga::zc706(), opt);
+  EXPECT_LE(r.report.feature_transfer_bytes,
+            r.accel_net.unfused_feature_transfer_bytes(2));
+}
+
+TEST(Toolflow, InfeasibleBudgetThrows) {
+  ToolflowOptions opt;
+  opt.transfer_budget_bytes = 1024;  // 1 KB: impossible
+  EXPECT_THROW((void)run_toolflow(nn::alexnet(), fpga::zc706(), opt),
+               std::runtime_error);
+}
+
+TEST(Toolflow, VggHeadOnVc707) {
+  ToolflowOptions opt;
+  opt.generate_code = false;
+  opt.transfer_budget_bytes = 4 * 1024 * 1024;
+  const ToolflowResult r =
+      run_toolflow(nn::vgg_e_head(), fpga::vc707(), opt);
+  EXPECT_TRUE(r.optimization.feasible);
+  EXPECT_TRUE(
+      r.report.peak_resources.fits_in(fpga::vc707().capacity));
+}
+
+TEST(Toolflow, GoogleNetStyleCoarsening) {
+  // §7.1: treat a module as a single layer, then optimize the coarse chain.
+  nn::Network net("modular");
+  net.input({64, 56, 56});
+  net.conv(64, 3, 1, 1, "pre");
+  net.conv(128, 3, 1, 1, "m1a");
+  net.conv(128, 3, 1, 1, "m1b");
+  net.max_pool(2, 2, "pool");
+  const nn::Network coarse = net.coarsen(2, 3, "module1");
+  ToolflowOptions opt;
+  opt.generate_code = false;
+  const ToolflowResult r = run_toolflow(coarse, fpga::zc706(), opt);
+  EXPECT_TRUE(r.optimization.feasible);
+}
+
+}  // namespace
+}  // namespace hetacc::toolflow

@@ -1,0 +1,78 @@
+#include "baseline/uniform.h"
+
+#include <gtest/gtest.h>
+
+#include "core/dp_optimizer.h"
+#include "nn/model_zoo.h"
+
+namespace hetacc::baseline {
+namespace {
+
+class UniformBaselineTest : public ::testing::Test {
+ protected:
+  nn::Network head_ = nn::vgg_e_head();
+  fpga::EngineModel model_{fpga::zc706()};
+};
+
+TEST_F(UniformBaselineTest, ProducesFeasibleDesign) {
+  const auto d = design_uniform(head_, model_);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_TRUE(d->resources.fits_in(model_.device().capacity));
+  EXPECT_GT(d->tn * d->tm, 1);
+  EXPECT_GT(d->latency_cycles, 0);
+  EXPECT_EQ(d->layer_cycles.size(), head_.size() - 1);
+}
+
+TEST_F(UniformBaselineTest, TransferIsTheFullUnfusedTraffic) {
+  const auto d = design_uniform(head_, model_);
+  ASSERT_TRUE(d.has_value());
+  long long expected = 0;
+  for (std::size_t i = 1; i < head_.size(); ++i) {
+    expected += core::min_transfer_bytes(head_, i, i, 2);
+  }
+  EXPECT_EQ(d->transfer_bytes, expected);
+}
+
+TEST_F(UniformBaselineTest, HeterogeneousFusedBeatsUniform) {
+  // The full §2.2 story: our design > tile-fused [1] > uniform [27]-style
+  // in latency on the VGG head... at least ours must beat uniform clearly.
+  const auto uniform = design_uniform(head_, model_);
+  ASSERT_TRUE(uniform.has_value());
+  core::OptimizerOptions oo;
+  oo.transfer_budget_bytes = 4ll * 1024 * 1024;
+  const auto ours = core::optimize(head_, model_, oo);
+  ASSERT_TRUE(ours.feasible);
+  EXPECT_LT(ours.strategy.latency_cycles(), uniform->latency_cycles);
+}
+
+TEST_F(UniformBaselineTest, UniformUnrollWastesOnMismatchedLayers) {
+  // The chosen (tn, tm) cannot divide every layer's channels on AlexNet
+  // (3, 96, 256, 384 in-channels): total cycles exceed the sum of per-layer
+  // ideal engines by a measurable factor.
+  const nn::Network alex = nn::alexnet_accel();
+  const auto d = design_uniform(alex, model_);
+  ASSERT_TRUE(d.has_value());
+  double per_layer_ideal = 0;
+  for (std::size_t i = 1; i < alex.size(); ++i) {
+    if (alex[i].kind != nn::LayerKind::kConv) continue;
+    per_layer_ideal += static_cast<double>(alex[i].mults()) /
+                       (static_cast<double>(d->tn) * d->tm * 0.9);
+  }
+  EXPECT_GT(static_cast<double>(d->latency_cycles), per_layer_ideal);
+}
+
+TEST_F(UniformBaselineTest, NoConvLayersReturnsNullopt) {
+  nn::Network net("poolonly");
+  net.input({4, 16, 16});
+  net.max_pool(2, 2, "p");
+  EXPECT_FALSE(design_uniform(net, model_).has_value());
+}
+
+TEST_F(UniformBaselineTest, TinyDeviceInfeasible) {
+  fpga::Device nano = fpga::toy_device();
+  nano.capacity = fpga::ResourceVector{0, 0, 100, 100};
+  EXPECT_FALSE(design_uniform(head_, fpga::EngineModel(nano)).has_value());
+}
+
+}  // namespace
+}  // namespace hetacc::baseline

@@ -1,0 +1,166 @@
+// hetacc — command-line front end of the automatic tool-flow (paper Fig. 3):
+// Caffe deploy prototxt + FPGA spec in, strategy report + generated HLS
+// project out.
+//
+//   hetacc [--net deploy.prototxt | --model alexnet|vgg-e|vgg16|vgg-e-head]
+//          [--device zc706|vc707] [--budget-mb N] [--out DIR]
+//          [--no-codegen] [--interval-dp] [--explore-tiles]
+//          [--conventional-only] [--wino-tile M]
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "caffe/importer.h"
+#include "nn/model_zoo.h"
+#include "toolflow/toolflow.h"
+
+using namespace hetacc;
+
+namespace {
+
+void usage() {
+  std::printf(
+      "usage: hetacc [options]\n"
+      "  --net FILE          Caffe deploy prototxt to map\n"
+      "  --model NAME        built-in model: alexnet | vgg-e | vgg16 | "
+      "vgg-e-head (default alexnet)\n"
+      "  --device NAME       zc706 (default) | vc707\n"
+      "  --budget-mb N       feature-map transfer constraint T in MB\n"
+      "  --out DIR           write the generated HLS project here\n"
+      "  --no-codegen        stop after the strategy report\n"
+      "  --interval-dp       use the paper's Algorithm 1 interval DP\n"
+      "  --explore-tiles     per-layer Winograd tile-size exploration\n"
+      "  --conventional-only disable Winograd (homogeneous baseline)\n"
+      "  --wino-tile M       uniform Winograd tile size (default 4)\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string net_path, model_name = "alexnet", out_dir;
+  fpga::Device dev = fpga::zc706();
+  toolflow::ToolflowOptions opt;
+  bool interval = false;
+  fpga::EngineModelParams params;
+
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::printf("%s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (!std::strcmp(argv[i], "--net")) {
+      net_path = next("--net");
+    } else if (!std::strcmp(argv[i], "--model")) {
+      model_name = next("--model");
+    } else if (!std::strcmp(argv[i], "--device")) {
+      const std::string d = next("--device");
+      if (d == "vc707") dev = fpga::vc707();
+      else if (d == "zc706") dev = fpga::zc706();
+      else { std::printf("unknown device '%s'\n", d.c_str()); return 2; }
+    } else if (!std::strcmp(argv[i], "--budget-mb")) {
+      opt.transfer_budget_bytes = std::atoll(next("--budget-mb")) * 1024 * 1024;
+    } else if (!std::strcmp(argv[i], "--out")) {
+      out_dir = next("--out");
+    } else if (!std::strcmp(argv[i], "--no-codegen")) {
+      opt.generate_code = false;
+    } else if (!std::strcmp(argv[i], "--interval-dp")) {
+      interval = true;
+    } else if (!std::strcmp(argv[i], "--explore-tiles")) {
+      params.explore_wino_tiles = true;
+    } else if (!std::strcmp(argv[i], "--conventional-only")) {
+      params.enable_winograd = false;
+    } else if (!std::strcmp(argv[i], "--wino-tile")) {
+      params.wino_tile_m = std::atoi(next("--wino-tile"));
+    } else if (!std::strcmp(argv[i], "--help") || !std::strcmp(argv[i], "-h")) {
+      usage();
+      return 0;
+    } else {
+      std::printf("unknown option '%s'\n\n", argv[i]);
+      usage();
+      return 2;
+    }
+  }
+
+  nn::Network net;
+  try {
+    if (!net_path.empty()) {
+      net = caffe::import_prototxt_file(net_path);
+    } else if (model_name == "alexnet") {
+      net = nn::alexnet();
+    } else if (model_name == "vgg-e") {
+      net = nn::vgg_e();
+    } else if (model_name == "vgg16") {
+      net = nn::vgg16();
+    } else if (model_name == "vgg-e-head") {
+      net = nn::vgg_e_head();
+    } else {
+      std::printf("unknown model '%s'\n", model_name.c_str());
+      return 2;
+    }
+  } catch (const std::exception& e) {
+    std::printf("failed to load network: %s\n", e.what());
+    return 1;
+  }
+  std::printf("%s", net.summary().c_str());
+  std::printf("target: %s (%s), %.1f GB/s DDR, %lld DSP48E, %lld BRAM18K\n\n",
+              dev.name.c_str(), dev.chip.c_str(),
+              dev.bandwidth_bytes_per_s / 1e9, dev.capacity.dsp,
+              dev.capacity.bram18k);
+
+  try {
+    // The tool-flow uses the fast prefix DP; --interval-dp swaps in the
+    // paper's Algorithm 1 (same result, validated by tests).
+    toolflow::ToolflowResult result;
+    if (interval || params.explore_wino_tiles || !params.enable_winograd ||
+        params.wino_tile_m != 4) {
+      // Custom engine model path.
+      const fpga::EngineModel model(dev, params);
+      result.full_net = net;
+      result.accel_net = net.accelerated_portion();
+      core::OptimizerOptions oo = opt.optimizer;
+      oo.transfer_budget_bytes =
+          opt.transfer_budget_bytes > 0
+              ? opt.transfer_budget_bytes
+              : result.accel_net.unfused_feature_transfer_bytes(
+                    dev.data_bytes) +
+                    static_cast<long long>(result.accel_net.size()) *
+                        oo.transfer_unit_bytes;
+      result.optimization = interval
+                                ? core::optimize_interval(result.accel_net,
+                                                          model, oo)
+                                : core::optimize(result.accel_net, model, oo);
+      if (!result.optimization.feasible) {
+        std::printf("no feasible strategy under the budget\n");
+        return 1;
+      }
+      result.report =
+          core::make_report(result.optimization.strategy, result.accel_net,
+                            dev);
+      if (opt.generate_code) {
+        const auto ws =
+            nn::WeightStore::deterministic(result.accel_net, opt.weight_seed);
+        result.design = codegen::generate_design(
+            result.accel_net, result.optimization.strategy, ws, opt.codegen);
+      }
+    } else {
+      result = toolflow::run_toolflow(net, dev, opt);
+    }
+
+    std::printf("%s\n", result.summary().c_str());
+    std::printf("%s",
+                result.optimization.strategy.describe(result.accel_net)
+                    .c_str());
+    if (opt.generate_code && !out_dir.empty()) {
+      codegen::write_design(result.design, out_dir);
+      std::printf("\nHLS project written to %s/\n", out_dir.c_str());
+    }
+  } catch (const std::exception& e) {
+    std::printf("tool-flow failed: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
