@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_kernels.cpp" "bench/CMakeFiles/bench_kernels.dir/bench_kernels.cpp.o" "gcc" "bench/CMakeFiles/bench_kernels.dir/bench_kernels.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/hetacc_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/fixed/CMakeFiles/hetacc_fixed.dir/DependInfo.cmake"
+  "/root/repo/build/src/algo/CMakeFiles/hetacc_algo.dir/DependInfo.cmake"
+  "/root/repo/build/src/caffe/CMakeFiles/hetacc_caffe.dir/DependInfo.cmake"
+  "/root/repo/build/src/fpga/CMakeFiles/hetacc_fpga.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/hetacc_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/roofline/CMakeFiles/hetacc_roofline.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/hetacc_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hetacc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/hetacc_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/toolflow/CMakeFiles/hetacc_toolflow.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_vgg.dir/bench_table1_vgg.cpp.o"
+  "CMakeFiles/bench_table1_vgg.dir/bench_table1_vgg.cpp.o.d"
+  "bench_table1_vgg"
+  "bench_table1_vgg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_vgg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_alexnet.dir/bench_table2_alexnet.cpp.o"
+  "CMakeFiles/bench_table2_alexnet.dir/bench_table2_alexnet.cpp.o.d"
+  "bench_table2_alexnet"
+  "bench_table2_alexnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_alexnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alexnet_fused.dir/alexnet_fused.cpp.o"
+  "CMakeFiles/alexnet_fused.dir/alexnet_fused.cpp.o.d"
+  "alexnet_fused"
+  "alexnet_fused.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alexnet_fused.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/caffe_import.dir/caffe_import.cpp.o"
+  "CMakeFiles/caffe_import.dir/caffe_import.cpp.o.d"
+  "caffe_import"
+  "caffe_import.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/caffe_import.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

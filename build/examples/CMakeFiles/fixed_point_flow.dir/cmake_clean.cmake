@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fixed_point_flow.dir/fixed_point_flow.cpp.o"
+  "CMakeFiles/fixed_point_flow.dir/fixed_point_flow.cpp.o.d"
+  "fixed_point_flow"
+  "fixed_point_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fixed_point_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vgg_explorer.dir/vgg_explorer.cpp.o"
+  "CMakeFiles/vgg_explorer.dir/vgg_explorer.cpp.o.d"
+  "vgg_explorer"
+  "vgg_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vgg_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

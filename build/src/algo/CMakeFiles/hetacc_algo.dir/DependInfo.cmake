@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algo/conv_variants.cpp" "src/algo/CMakeFiles/hetacc_algo.dir/conv_variants.cpp.o" "gcc" "src/algo/CMakeFiles/hetacc_algo.dir/conv_variants.cpp.o.d"
+  "/root/repo/src/algo/fft.cpp" "src/algo/CMakeFiles/hetacc_algo.dir/fft.cpp.o" "gcc" "src/algo/CMakeFiles/hetacc_algo.dir/fft.cpp.o.d"
+  "/root/repo/src/algo/matrix.cpp" "src/algo/CMakeFiles/hetacc_algo.dir/matrix.cpp.o" "gcc" "src/algo/CMakeFiles/hetacc_algo.dir/matrix.cpp.o.d"
+  "/root/repo/src/algo/winograd_conv.cpp" "src/algo/CMakeFiles/hetacc_algo.dir/winograd_conv.cpp.o" "gcc" "src/algo/CMakeFiles/hetacc_algo.dir/winograd_conv.cpp.o.d"
+  "/root/repo/src/algo/winograd_stride2.cpp" "src/algo/CMakeFiles/hetacc_algo.dir/winograd_stride2.cpp.o" "gcc" "src/algo/CMakeFiles/hetacc_algo.dir/winograd_stride2.cpp.o.d"
+  "/root/repo/src/algo/winograd_transform.cpp" "src/algo/CMakeFiles/hetacc_algo.dir/winograd_transform.cpp.o" "gcc" "src/algo/CMakeFiles/hetacc_algo.dir/winograd_transform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/hetacc_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/fixed/CMakeFiles/hetacc_fixed.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetacc_algo.dir/conv_variants.cpp.o"
+  "CMakeFiles/hetacc_algo.dir/conv_variants.cpp.o.d"
+  "CMakeFiles/hetacc_algo.dir/fft.cpp.o"
+  "CMakeFiles/hetacc_algo.dir/fft.cpp.o.d"
+  "CMakeFiles/hetacc_algo.dir/matrix.cpp.o"
+  "CMakeFiles/hetacc_algo.dir/matrix.cpp.o.d"
+  "CMakeFiles/hetacc_algo.dir/winograd_conv.cpp.o"
+  "CMakeFiles/hetacc_algo.dir/winograd_conv.cpp.o.d"
+  "CMakeFiles/hetacc_algo.dir/winograd_stride2.cpp.o"
+  "CMakeFiles/hetacc_algo.dir/winograd_stride2.cpp.o.d"
+  "CMakeFiles/hetacc_algo.dir/winograd_transform.cpp.o"
+  "CMakeFiles/hetacc_algo.dir/winograd_transform.cpp.o.d"
+  "libhetacc_algo.a"
+  "libhetacc_algo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetacc_algo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/ddr_trace.cpp" "src/arch/CMakeFiles/hetacc_arch.dir/ddr_trace.cpp.o" "gcc" "src/arch/CMakeFiles/hetacc_arch.dir/ddr_trace.cpp.o.d"
+  "/root/repo/src/arch/engines.cpp" "src/arch/CMakeFiles/hetacc_arch.dir/engines.cpp.o" "gcc" "src/arch/CMakeFiles/hetacc_arch.dir/engines.cpp.o.d"
+  "/root/repo/src/arch/event_sim.cpp" "src/arch/CMakeFiles/hetacc_arch.dir/event_sim.cpp.o" "gcc" "src/arch/CMakeFiles/hetacc_arch.dir/event_sim.cpp.o.d"
+  "/root/repo/src/arch/line_buffer.cpp" "src/arch/CMakeFiles/hetacc_arch.dir/line_buffer.cpp.o" "gcc" "src/arch/CMakeFiles/hetacc_arch.dir/line_buffer.cpp.o.d"
+  "/root/repo/src/arch/pipeline.cpp" "src/arch/CMakeFiles/hetacc_arch.dir/pipeline.cpp.o" "gcc" "src/arch/CMakeFiles/hetacc_arch.dir/pipeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/hetacc_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/algo/CMakeFiles/hetacc_algo.dir/DependInfo.cmake"
+  "/root/repo/build/src/fpga/CMakeFiles/hetacc_fpga.dir/DependInfo.cmake"
+  "/root/repo/build/src/fixed/CMakeFiles/hetacc_fixed.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hetacc_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

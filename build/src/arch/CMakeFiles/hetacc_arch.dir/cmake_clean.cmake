@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetacc_arch.dir/ddr_trace.cpp.o"
+  "CMakeFiles/hetacc_arch.dir/ddr_trace.cpp.o.d"
+  "CMakeFiles/hetacc_arch.dir/engines.cpp.o"
+  "CMakeFiles/hetacc_arch.dir/engines.cpp.o.d"
+  "CMakeFiles/hetacc_arch.dir/event_sim.cpp.o"
+  "CMakeFiles/hetacc_arch.dir/event_sim.cpp.o.d"
+  "CMakeFiles/hetacc_arch.dir/line_buffer.cpp.o"
+  "CMakeFiles/hetacc_arch.dir/line_buffer.cpp.o.d"
+  "CMakeFiles/hetacc_arch.dir/pipeline.cpp.o"
+  "CMakeFiles/hetacc_arch.dir/pipeline.cpp.o.d"
+  "libhetacc_arch.a"
+  "libhetacc_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetacc_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/alwani.cpp" "src/baseline/CMakeFiles/hetacc_baseline.dir/alwani.cpp.o" "gcc" "src/baseline/CMakeFiles/hetacc_baseline.dir/alwani.cpp.o.d"
+  "/root/repo/src/baseline/uniform.cpp" "src/baseline/CMakeFiles/hetacc_baseline.dir/uniform.cpp.o" "gcc" "src/baseline/CMakeFiles/hetacc_baseline.dir/uniform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hetacc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fpga/CMakeFiles/hetacc_fpga.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/hetacc_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

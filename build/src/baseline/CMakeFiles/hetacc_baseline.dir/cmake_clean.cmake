@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetacc_baseline.dir/alwani.cpp.o"
+  "CMakeFiles/hetacc_baseline.dir/alwani.cpp.o.d"
+  "CMakeFiles/hetacc_baseline.dir/uniform.cpp.o"
+  "CMakeFiles/hetacc_baseline.dir/uniform.cpp.o.d"
+  "libhetacc_baseline.a"
+  "libhetacc_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetacc_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

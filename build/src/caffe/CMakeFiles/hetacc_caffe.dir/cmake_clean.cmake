@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetacc_caffe.dir/importer.cpp.o"
+  "CMakeFiles/hetacc_caffe.dir/importer.cpp.o.d"
+  "CMakeFiles/hetacc_caffe.dir/prototxt.cpp.o"
+  "CMakeFiles/hetacc_caffe.dir/prototxt.cpp.o.d"
+  "libhetacc_caffe.a"
+  "libhetacc_caffe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetacc_caffe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetacc_codegen.dir/generator.cpp.o"
+  "CMakeFiles/hetacc_codegen.dir/generator.cpp.o.d"
+  "CMakeFiles/hetacc_codegen.dir/hls_report.cpp.o"
+  "CMakeFiles/hetacc_codegen.dir/hls_report.cpp.o.d"
+  "libhetacc_codegen.a"
+  "libhetacc_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetacc_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

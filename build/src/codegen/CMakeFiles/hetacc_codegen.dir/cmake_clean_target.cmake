@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhetacc_codegen.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/branch_and_bound.cpp" "src/core/CMakeFiles/hetacc_core.dir/branch_and_bound.cpp.o" "gcc" "src/core/CMakeFiles/hetacc_core.dir/branch_and_bound.cpp.o.d"
+  "/root/repo/src/core/dp_optimizer.cpp" "src/core/CMakeFiles/hetacc_core.dir/dp_optimizer.cpp.o" "gcc" "src/core/CMakeFiles/hetacc_core.dir/dp_optimizer.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/hetacc_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/hetacc_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/strategy.cpp" "src/core/CMakeFiles/hetacc_core.dir/strategy.cpp.o" "gcc" "src/core/CMakeFiles/hetacc_core.dir/strategy.cpp.o.d"
+  "/root/repo/src/core/strategy_io.cpp" "src/core/CMakeFiles/hetacc_core.dir/strategy_io.cpp.o" "gcc" "src/core/CMakeFiles/hetacc_core.dir/strategy_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fpga/CMakeFiles/hetacc_fpga.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/hetacc_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

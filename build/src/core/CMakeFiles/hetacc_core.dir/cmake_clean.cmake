@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetacc_core.dir/branch_and_bound.cpp.o"
+  "CMakeFiles/hetacc_core.dir/branch_and_bound.cpp.o.d"
+  "CMakeFiles/hetacc_core.dir/dp_optimizer.cpp.o"
+  "CMakeFiles/hetacc_core.dir/dp_optimizer.cpp.o.d"
+  "CMakeFiles/hetacc_core.dir/report.cpp.o"
+  "CMakeFiles/hetacc_core.dir/report.cpp.o.d"
+  "CMakeFiles/hetacc_core.dir/strategy.cpp.o"
+  "CMakeFiles/hetacc_core.dir/strategy.cpp.o.d"
+  "CMakeFiles/hetacc_core.dir/strategy_io.cpp.o"
+  "CMakeFiles/hetacc_core.dir/strategy_io.cpp.o.d"
+  "libhetacc_core.a"
+  "libhetacc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetacc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

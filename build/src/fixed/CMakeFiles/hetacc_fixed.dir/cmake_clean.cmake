@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetacc_fixed.dir/fixed16.cpp.o"
+  "CMakeFiles/hetacc_fixed.dir/fixed16.cpp.o.d"
+  "libhetacc_fixed.a"
+  "libhetacc_fixed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetacc_fixed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fpga/device.cpp" "src/fpga/CMakeFiles/hetacc_fpga.dir/device.cpp.o" "gcc" "src/fpga/CMakeFiles/hetacc_fpga.dir/device.cpp.o.d"
+  "/root/repo/src/fpga/engine_model.cpp" "src/fpga/CMakeFiles/hetacc_fpga.dir/engine_model.cpp.o" "gcc" "src/fpga/CMakeFiles/hetacc_fpga.dir/engine_model.cpp.o.d"
+  "/root/repo/src/fpga/power.cpp" "src/fpga/CMakeFiles/hetacc_fpga.dir/power.cpp.o" "gcc" "src/fpga/CMakeFiles/hetacc_fpga.dir/power.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/hetacc_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

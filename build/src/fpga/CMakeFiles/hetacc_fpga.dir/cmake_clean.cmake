@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetacc_fpga.dir/device.cpp.o"
+  "CMakeFiles/hetacc_fpga.dir/device.cpp.o.d"
+  "CMakeFiles/hetacc_fpga.dir/engine_model.cpp.o"
+  "CMakeFiles/hetacc_fpga.dir/engine_model.cpp.o.d"
+  "CMakeFiles/hetacc_fpga.dir/power.cpp.o"
+  "CMakeFiles/hetacc_fpga.dir/power.cpp.o.d"
+  "libhetacc_fpga.a"
+  "libhetacc_fpga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetacc_fpga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

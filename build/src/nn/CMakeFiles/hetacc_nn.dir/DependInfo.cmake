@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/layer.cpp" "src/nn/CMakeFiles/hetacc_nn.dir/layer.cpp.o" "gcc" "src/nn/CMakeFiles/hetacc_nn.dir/layer.cpp.o.d"
+  "/root/repo/src/nn/model_zoo.cpp" "src/nn/CMakeFiles/hetacc_nn.dir/model_zoo.cpp.o" "gcc" "src/nn/CMakeFiles/hetacc_nn.dir/model_zoo.cpp.o.d"
+  "/root/repo/src/nn/network.cpp" "src/nn/CMakeFiles/hetacc_nn.dir/network.cpp.o" "gcc" "src/nn/CMakeFiles/hetacc_nn.dir/network.cpp.o.d"
+  "/root/repo/src/nn/reference.cpp" "src/nn/CMakeFiles/hetacc_nn.dir/reference.cpp.o" "gcc" "src/nn/CMakeFiles/hetacc_nn.dir/reference.cpp.o.d"
+  "/root/repo/src/nn/tensor.cpp" "src/nn/CMakeFiles/hetacc_nn.dir/tensor.cpp.o" "gcc" "src/nn/CMakeFiles/hetacc_nn.dir/tensor.cpp.o.d"
+  "/root/repo/src/nn/weights.cpp" "src/nn/CMakeFiles/hetacc_nn.dir/weights.cpp.o" "gcc" "src/nn/CMakeFiles/hetacc_nn.dir/weights.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

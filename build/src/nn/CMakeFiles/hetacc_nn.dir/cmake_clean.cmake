@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetacc_nn.dir/layer.cpp.o"
+  "CMakeFiles/hetacc_nn.dir/layer.cpp.o.d"
+  "CMakeFiles/hetacc_nn.dir/model_zoo.cpp.o"
+  "CMakeFiles/hetacc_nn.dir/model_zoo.cpp.o.d"
+  "CMakeFiles/hetacc_nn.dir/network.cpp.o"
+  "CMakeFiles/hetacc_nn.dir/network.cpp.o.d"
+  "CMakeFiles/hetacc_nn.dir/reference.cpp.o"
+  "CMakeFiles/hetacc_nn.dir/reference.cpp.o.d"
+  "CMakeFiles/hetacc_nn.dir/tensor.cpp.o"
+  "CMakeFiles/hetacc_nn.dir/tensor.cpp.o.d"
+  "CMakeFiles/hetacc_nn.dir/weights.cpp.o"
+  "CMakeFiles/hetacc_nn.dir/weights.cpp.o.d"
+  "libhetacc_nn.a"
+  "libhetacc_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetacc_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetacc_quant.dir/calibration.cpp.o"
+  "CMakeFiles/hetacc_quant.dir/calibration.cpp.o.d"
+  "libhetacc_quant.a"
+  "libhetacc_quant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetacc_quant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

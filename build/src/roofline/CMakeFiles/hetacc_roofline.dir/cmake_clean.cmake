@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetacc_roofline.dir/roofline.cpp.o"
+  "CMakeFiles/hetacc_roofline.dir/roofline.cpp.o.d"
+  "libhetacc_roofline.a"
+  "libhetacc_roofline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetacc_roofline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetacc_toolflow.dir/sweep.cpp.o"
+  "CMakeFiles/hetacc_toolflow.dir/sweep.cpp.o.d"
+  "CMakeFiles/hetacc_toolflow.dir/toolflow.cpp.o"
+  "CMakeFiles/hetacc_toolflow.dir/toolflow.cpp.o.d"
+  "libhetacc_toolflow.a"
+  "libhetacc_toolflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetacc_toolflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

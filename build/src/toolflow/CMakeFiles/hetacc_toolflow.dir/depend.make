@@ -1,0 +1,2 @@
+# Empty dependencies file for hetacc_toolflow.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_algo.dir/test_fft.cpp.o"
+  "CMakeFiles/test_algo.dir/test_fft.cpp.o.d"
+  "CMakeFiles/test_algo.dir/test_winograd.cpp.o"
+  "CMakeFiles/test_algo.dir/test_winograd.cpp.o.d"
+  "CMakeFiles/test_algo.dir/test_winograd_stride2.cpp.o"
+  "CMakeFiles/test_algo.dir/test_winograd_stride2.cpp.o.d"
+  "test_algo"
+  "test_algo.pdb"
+  "test_algo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_algo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

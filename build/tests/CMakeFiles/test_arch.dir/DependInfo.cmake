@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_arch.cpp" "tests/CMakeFiles/test_arch.dir/test_arch.cpp.o" "gcc" "tests/CMakeFiles/test_arch.dir/test_arch.cpp.o.d"
+  "/root/repo/tests/test_arch_sweep.cpp" "tests/CMakeFiles/test_arch.dir/test_arch_sweep.cpp.o" "gcc" "tests/CMakeFiles/test_arch.dir/test_arch_sweep.cpp.o.d"
+  "/root/repo/tests/test_ddr_trace.cpp" "tests/CMakeFiles/test_arch.dir/test_ddr_trace.cpp.o" "gcc" "tests/CMakeFiles/test_arch.dir/test_ddr_trace.cpp.o.d"
+  "/root/repo/tests/test_event_sim.cpp" "tests/CMakeFiles/test_arch.dir/test_event_sim.cpp.o" "gcc" "tests/CMakeFiles/test_arch.dir/test_event_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/hetacc_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/fixed/CMakeFiles/hetacc_fixed.dir/DependInfo.cmake"
+  "/root/repo/build/src/algo/CMakeFiles/hetacc_algo.dir/DependInfo.cmake"
+  "/root/repo/build/src/caffe/CMakeFiles/hetacc_caffe.dir/DependInfo.cmake"
+  "/root/repo/build/src/fpga/CMakeFiles/hetacc_fpga.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/hetacc_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/roofline/CMakeFiles/hetacc_roofline.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/hetacc_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hetacc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/hetacc_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/toolflow/CMakeFiles/hetacc_toolflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/quant/CMakeFiles/hetacc_quant.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

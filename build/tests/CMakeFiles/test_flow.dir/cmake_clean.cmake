@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_flow.dir/test_baseline.cpp.o"
+  "CMakeFiles/test_flow.dir/test_baseline.cpp.o.d"
+  "CMakeFiles/test_flow.dir/test_codegen.cpp.o"
+  "CMakeFiles/test_flow.dir/test_codegen.cpp.o.d"
+  "CMakeFiles/test_flow.dir/test_codegen_fixed.cpp.o"
+  "CMakeFiles/test_flow.dir/test_codegen_fixed.cpp.o.d"
+  "CMakeFiles/test_flow.dir/test_end_to_end.cpp.o"
+  "CMakeFiles/test_flow.dir/test_end_to_end.cpp.o.d"
+  "CMakeFiles/test_flow.dir/test_hls_report.cpp.o"
+  "CMakeFiles/test_flow.dir/test_hls_report.cpp.o.d"
+  "CMakeFiles/test_flow.dir/test_robustness.cpp.o"
+  "CMakeFiles/test_flow.dir/test_robustness.cpp.o.d"
+  "CMakeFiles/test_flow.dir/test_sweep.cpp.o"
+  "CMakeFiles/test_flow.dir/test_sweep.cpp.o.d"
+  "CMakeFiles/test_flow.dir/test_toolflow.cpp.o"
+  "CMakeFiles/test_flow.dir/test_toolflow.cpp.o.d"
+  "CMakeFiles/test_flow.dir/test_uniform_baseline.cpp.o"
+  "CMakeFiles/test_flow.dir/test_uniform_baseline.cpp.o.d"
+  "test_flow"
+  "test_flow.pdb"
+  "test_flow[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_platform.dir/test_caffe.cpp.o"
+  "CMakeFiles/test_platform.dir/test_caffe.cpp.o.d"
+  "CMakeFiles/test_platform.dir/test_fpga.cpp.o"
+  "CMakeFiles/test_platform.dir/test_fpga.cpp.o.d"
+  "CMakeFiles/test_platform.dir/test_roofline.cpp.o"
+  "CMakeFiles/test_platform.dir/test_roofline.cpp.o.d"
+  "CMakeFiles/test_platform.dir/test_stride2_model.cpp.o"
+  "CMakeFiles/test_platform.dir/test_stride2_model.cpp.o.d"
+  "test_platform"
+  "test_platform.pdb"
+  "test_platform[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetacc.dir/hetacc.cpp.o"
+  "CMakeFiles/hetacc.dir/hetacc.cpp.o.d"
+  "hetacc"
+  "hetacc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetacc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
