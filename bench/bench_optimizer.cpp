@@ -60,6 +60,36 @@ void BM_AlexNetEndToEnd(benchmark::State& state) {
 }
 BENCHMARK(BM_AlexNetEndToEnd)->Unit(benchmark::kMillisecond);
 
+void BM_FusionTableVgg16Threads(benchmark::State& state) {
+  // Thread scaling of the fusion-table construction on VGG-16 (the dominant
+  // optimizer cost). A fresh EngineModel per iteration keeps the per-layer
+  // implementation memo cold, so every iteration prices every layer from
+  // scratch — the honest parallel workload. Run with
+  // --benchmark_format=json to record the scaling curve; the strategy is
+  // byte-identical at every thread count (test_dp_parallel).
+  const nn::Network net = nn::vgg16().accelerated_portion();
+  const fpga::Device dev = fpga::zc706();
+  const int threads = static_cast<int>(state.range(0));
+  long long nodes = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    const fpga::EngineModel model(dev);
+    state.ResumeTiming();
+    const core::FusionTable ft(net, model, {}, threads);
+    nodes = ft.nodes_visited();
+    benchmark::DoNotOptimize(ft.count());
+  }
+  state.counters["threads"] = static_cast<double>(threads);
+  state.counters["bnb_nodes"] = static_cast<double>(nodes);
+}
+BENCHMARK(BM_FusionTableVgg16Threads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
 void BM_FullVggE(benchmark::State& state) {
   // All 21 accelerated layers of VGG-E: the big case for "within seconds".
   const nn::Network net = nn::vgg_e().accelerated_portion();

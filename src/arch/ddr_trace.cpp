@@ -1,7 +1,8 @@
 #include "arch/ddr_trace.h"
 
-#include <cmath>
 #include <sstream>
+
+#include "cost/cost_model.h"
 
 namespace hetacc::arch {
 
@@ -57,8 +58,7 @@ DdrTrace trace_strategy(const core::Strategy& s, const nn::Network& net,
   long long clock = 0;
   const double bpc = dev.bytes_per_cycle();
   auto cycles_for = [&](long long bytes) {
-    return static_cast<long long>(
-        std::ceil(static_cast<double>(bytes) / bpc));
+    return cost::transfer_cycles(bytes, bpc);
   };
 
   for (std::size_t gi = 0; gi < s.groups.size(); ++gi) {

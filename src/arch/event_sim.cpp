@@ -6,6 +6,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "cost/cost_model.h"
+
 namespace hetacc::arch {
 
 namespace {
@@ -99,8 +101,8 @@ EventSimResult simulate_dataflow(const nn::Network& net, std::size_t first,
 
   // DDR source fills channel 0 at the memory bandwidth.
   const nn::Shape in_shape = net[first].in;
-  const double in_row_cycles = static_cast<double>(in_shape.w) * in_shape.c *
-                               dev.data_bytes / dev.bytes_per_cycle();
+  const double in_row_cycles = cost::row_transfer_cycles(
+      in_shape.w, in_shape.c, dev.data_bytes, dev.bytes_per_cycle());
   for (int r = 0; r < in_shape.h; ++r) {
     ch[0].push((r + 1) * in_row_cycles);
   }
@@ -108,9 +110,8 @@ EventSimResult simulate_dataflow(const nn::Network& net, std::size_t first,
 
   // DDR sink drains channel n at the memory bandwidth.
   const nn::Shape out_shape = net[last].out;
-  const double out_row_cycles = static_cast<double>(out_shape.w) *
-                                out_shape.c * dev.data_bytes /
-                                dev.bytes_per_cycle();
+  const double out_row_cycles = cost::row_transfer_cycles(
+      out_shape.w, out_shape.c, dev.data_bytes, dev.bytes_per_cycle());
   long long stored = 0;
   double sink_busy = 0.0;
   double makespan = 0.0;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "cost/cost_model.h"
+
 namespace hetacc::arch {
 
 FusionPipeline::FusionPipeline(const nn::Network& net,
@@ -135,7 +137,7 @@ ScheduleResult simulate_schedule(const nn::Network& net, std::size_t first,
   // the group's input feature map.
   const nn::Shape in_shape = net[first].in;
   const double in_row_cycles =
-      static_cast<double>(in_shape.w) * in_shape.c * dev.data_bytes / bpc;
+      cost::row_transfer_cycles(in_shape.w, in_shape.c, dev.data_bytes, bpc);
   std::vector<double> prev(static_cast<std::size_t>(in_shape.h));
   for (int r = 0; r < in_shape.h; ++r) {
     prev[static_cast<std::size_t>(r)] = (r + 1) * in_row_cycles;
@@ -176,7 +178,7 @@ ScheduleResult simulate_schedule(const nn::Network& net, std::size_t first,
   // Drain the group output to DDR.
   const nn::Shape out_shape = net[last].out;
   const double out_row_cycles =
-      static_cast<double>(out_shape.w) * out_shape.c * dev.data_bytes / bpc;
+      cost::row_transfer_cycles(out_shape.w, out_shape.c, dev.data_bytes, bpc);
   double t = 0.0;
   for (int r = 0; r < out_shape.h; ++r) {
     t = std::max(t, prev[static_cast<std::size_t>(r)]) + out_row_cycles;

@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "core/branch_and_bound.h"
+#include "cost/cost_model.h"
+#include "cost/group_timing.h"
 
 namespace hetacc::baseline {
 
@@ -112,21 +114,19 @@ std::optional<BaselineDesign> design_baseline(const nn::Network& net,
     long long max_stage = 0;
     long long fill = 0;
     for (const auto& ipl : d.impls) {
-      max_stage = std::max(
-          max_stage, static_cast<long long>(std::ceil(
-                         static_cast<double>(ipl.compute_cycles) *
-                         geom.recompute_factor)));
+      max_stage = std::max(max_stage, cost::scale_cycles(ipl.compute_cycles,
+                                                         geom.recompute_factor));
       fill += ipl.fill_cycles;
     }
-    d.transfer_bytes = core::min_transfer_bytes(net, first, last,
+    d.transfer_bytes = cost::min_transfer_bytes(net, first, last,
                                                 model.device().data_bytes);
-    const long long transfer_cycles = static_cast<long long>(
-        std::ceil(static_cast<double>(d.transfer_bytes) /
-                  model.device().bytes_per_cycle()));
-    const long long mgmt = static_cast<long long>(
-        std::ceil(geom.tiles * static_cast<double>(last - first + 1) *
-                  opt.mgmt_cycles_per_tile));
-    d.latency_cycles = std::max(max_stage, transfer_cycles) + fill + mgmt;
+    const long long transfer_cycles = cost::transfer_cycles(
+        d.transfer_bytes, model.device().bytes_per_cycle());
+    const long long mgmt = cost::scale_cycles(
+        geom.tiles * static_cast<long long>(last - first + 1),
+        opt.mgmt_cycles_per_tile);
+    d.latency_cycles =
+        cost::group_latency(max_stage, transfer_cycles, fill) + mgmt;
     double ops = 0.0;
     for (std::size_t l = first; l <= last; ++l) {
       ops += static_cast<double>(net[l].ops());

@@ -1,7 +1,8 @@
 #include "baseline/uniform.h"
 
 #include <algorithm>
-#include <cmath>
+
+#include "cost/cost_model.h"
 
 namespace hetacc::baseline {
 
@@ -9,13 +10,14 @@ namespace {
 
 /// Cycles for one conv layer on the shared (tn, tm) engine: the uniform
 /// unrolls apply whether or not they divide the layer's channel counts
-/// (ceil semantics, exactly like the per-layer model).
+/// (ceil semantics, exactly like the per-layer model). No kernel-tap unroll
+/// (tk = 1), so every K*K tap is a loop iteration.
 long long conv_cycles(const nn::Layer& l, int tn, int tm, double eff) {
   const auto& p = l.conv();
-  const long long base = static_cast<long long>((l.in.c + tn - 1) / tn) *
-                         ((l.out.c + tm - 1) / tm) * p.kernel * p.kernel *
-                         l.out.h * l.out.w;
-  return static_cast<long long>(std::ceil(static_cast<double>(base) / eff));
+  const long long base = cost::conv_cycles_conventional(
+      l.in.c, l.out.c, p.kernel, tn, tm, 1,
+      static_cast<long long>(l.out.h) * l.out.w);
+  return cost::apply_efficiency(base, eff);
 }
 
 }  // namespace
@@ -82,15 +84,15 @@ std::optional<UniformDesign> design_uniform(const nn::Network& net,
           cycles = conv_cycles(l, tn, tm, params.compute_efficiency);
         } else {
           // Pool/LRN/ReLU pass over the map with modest lane counts.
-          cycles = static_cast<long long>(std::ceil(
-              static_cast<double>(l.out.elems()) * l.window() * l.window() /
-              (16.0 * params.compute_efficiency)));
+          cycles = cost::lane_cycles(
+              l.out.elems() * l.window() * l.window(), 16,
+              params.compute_efficiency);
         }
         const long long io_bytes =
             l.in.bytes(dev.data_bytes) + l.out.bytes(dev.data_bytes) +
             l.weight_count() * dev.data_bytes;
-        const long long io_cycles = static_cast<long long>(
-            std::ceil(static_cast<double>(io_bytes) / dev.bytes_per_cycle()));
+        const long long io_cycles =
+            cost::transfer_cycles(io_bytes, dev.bytes_per_cycle());
         total += std::max(cycles, io_cycles);
         d.transfer_bytes +=
             l.in.bytes(dev.data_bytes) + l.out.bytes(dev.data_bytes);

@@ -3,6 +3,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "cost/group_timing.h"
+
 namespace hetacc::codegen {
 
 namespace {
@@ -74,13 +76,13 @@ HlsReport make_report(const nn::Network& net, const core::Strategy& strategy,
     const auto& g = strategy.groups[gi];
     ModuleReport top;
     top.name = "group" + std::to_string(gi) + "_top";
+    top.resources = cost::aggregate_resources(g.impls);
     for (std::size_t k = 0; k < g.impls.size(); ++k) {
       const nn::Layer& l = net[g.first + k];
       ModuleReport m;
       m.name = "layer_" + sanitize(l.name);
       m.resources = g.impls[k].res;
-      m.latency_cycles = g.impls[k].compute_cycles + g.impls[k].fill_cycles;
-      top.resources += m.resources;
+      m.latency_cycles = cost::engine_latency_cycles(g.impls[k]);
       top.latency_cycles = std::max(top.latency_cycles, m.latency_cycles);
       r.modules.push_back(std::move(m));
     }

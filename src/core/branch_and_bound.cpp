@@ -1,8 +1,10 @@
 #include "core/branch_and_bound.h"
 
 #include <algorithm>
-#include <cmath>
 #include <limits>
+
+#include "cost/cost_model.h"
+#include "cost/group_timing.h"
 
 namespace hetacc::core {
 
@@ -24,8 +26,12 @@ std::vector<std::vector<fpga::Implementation>> layer_candidate_impls(
     by_algo.emplace_back();
     return by_algo.back();
   };
-  for (const auto& cfg : model.candidates(layer)) {
-    bucket_of(cfg).push_back(model.implement(layer, cfg));
+  // implementations() is the memoized form of candidates() + implement();
+  // the DP optimizer prices each layer in O(layers * budget) ranges, so the
+  // memo turns the dominant cost of fuse_group into a lookup.
+  const auto impls = model.implementations(layer);
+  for (const auto& ipl : *impls) {
+    bucket_of(ipl.cfg).push_back(ipl);
   }
   // Within an algorithm: descending parallelism == ascending compute cycles,
   // the iteration order of Alg. 2 line 11 (so the in-loop `break` is sound).
@@ -74,7 +80,7 @@ long long leaf_latency(const SearchState& s) {
     max_compute = std::max(max_compute, ipl->compute_cycles);
     fill += ipl->fill_cycles;
   }
-  return std::max(max_compute, s.transfer_cycles) + fill;
+  return cost::group_latency(max_compute, s.transfer_cycles, fill);
 }
 
 void visit(SearchState& s, std::size_t k, long long path_max_compute,
@@ -101,10 +107,9 @@ void visit(SearchState& s, std::size_t k, long long path_max_compute,
     for (const auto& ipl : bucket) {
       // Alg. 2 lines 16-17: candidates in this bucket only get slower from
       // here, so once the bound trips we can break, not just continue.
-      const long long lb =
-          std::max({path_max_compute, ipl.compute_cycles, s.transfer_cycles,
-                    remaining_stage}) +
-          path_fill + ipl.fill_cycles + remaining_fill;
+      const long long lb = cost::group_latency(
+          std::max({path_max_compute, ipl.compute_cycles, remaining_stage}),
+          s.transfer_cycles, path_fill + ipl.fill_cycles + remaining_fill);
       if (lb >= s.best_latency) break;
 
       const fpga::ResourceVector next = s.used + ipl.res;
@@ -215,9 +220,9 @@ std::optional<BnbResult> fuse_group(const nn::Network& net, std::size_t first,
   if (!s.suffix_min_res[0].fits_in(s.dev->capacity)) return std::nullopt;
 
   const long long transfer_bytes =
-      min_transfer_bytes(net, first, last, s.dev->data_bytes);
-  s.transfer_cycles = static_cast<long long>(std::ceil(
-      static_cast<double>(transfer_bytes) / s.dev->bytes_per_cycle()));
+      cost::min_transfer_bytes(net, first, last, s.dev->data_bytes);
+  s.transfer_cycles =
+      cost::transfer_cycles(transfer_bytes, s.dev->bytes_per_cycle());
 
   // Greedy seed: start every layer at its cheapest implementation, then
   // repeatedly upgrade the critical (slowest) layer to its next-faster
@@ -294,7 +299,7 @@ std::optional<BnbResult> fuse_group(const nn::Network& net, std::size_t first,
     r.group.impls[order[k]] = std::move(s.best_impls[k]);
   }
   r.group.timing =
-      evaluate_group_timing(net, first, last, r.group.impls, *s.dev);
+      cost::evaluate_group_timing(net, first, last, r.group.impls, *s.dev);
   return r;
 }
 

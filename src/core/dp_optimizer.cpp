@@ -1,8 +1,12 @@
 #include "core/dp_optimizer.h"
 
 #include <algorithm>
-#include <cmath>
+#include <atomic>
+#include <barrier>
 #include <limits>
+#include <thread>
+
+#include "cost/group_timing.h"
 
 namespace hetacc::core {
 
@@ -16,23 +20,89 @@ long long to_units(long long bytes, long long unit) {
 
 FusionTable::FusionTable(const nn::Network& net,
                          const fpga::EngineModel& model,
-                         const BnbOptions& opt) {
+                         const BnbOptions& opt, int threads) {
   if (net.empty()) throw std::invalid_argument("FusionTable: empty network");
   offset_ = (net[0].kind == nn::LayerKind::kInput) ? 1 : 0;
   count_ = net.size() - offset_;
   if (count_ == 0) throw std::invalid_argument("FusionTable: no layers");
   table_.resize(count_ * count_);
   min_t_.resize(count_ * count_, 0);
+
+  // Enumerate the work list up front. Every (i, j) range is an independent
+  // Algorithm 2 search writing a distinct preallocated slot, so workers
+  // share nothing mutable but the claim cursor (and the engine model's
+  // internal memo, which is thread-safe).
+  std::vector<std::pair<std::size_t, std::size_t>> cells;
   for (std::size_t i = 0; i < count_; ++i) {
     for (std::size_t j = i; j < count_ && j - i < opt.max_group_layers; ++j) {
-      auto r = fuse_group(net, net_index(i), net_index(j), model, opt);
-      ++ranges_;
-      if (r) nodes_ += r->nodes_visited;
-      min_t_[cell(i, j)] = min_transfer_bytes(net, net_index(i), net_index(j),
-                                              model.device().data_bytes);
-      table_[cell(i, j)] = std::move(r);
+      cells.emplace_back(i, j);
     }
   }
+  ranges_ = static_cast<long long>(cells.size());
+
+  // Returns the BnB nodes visited; the caller owns the accumulation so the
+  // serial and parallel paths sum the same (commutative) per-cell counts.
+  auto evaluate = [&](std::size_t ci) -> long long {
+    const auto [i, j] = cells[ci];
+    auto r = fuse_group(net, net_index(i), net_index(j), model, opt);
+    const long long visited = r ? r->nodes_visited : 0;
+    min_t_[cell(i, j)] = cost::min_transfer_bytes(
+        net, net_index(i), net_index(j), model.device().data_bytes);
+    table_[cell(i, j)] = std::move(r);
+    return visited;
+  };
+
+  std::size_t nthreads = threads <= 0
+      ? std::max(1u, std::thread::hardware_concurrency())
+      : static_cast<std::size_t>(threads);
+  nthreads = std::min(nthreads, cells.size());
+
+  if (nthreads <= 1) {
+    for (std::size_t ci = 0; ci < cells.size(); ++ci) nodes_ += evaluate(ci);
+    return;
+  }
+
+  // Warm-up phase: price each distinct layer once, split across workers.
+  // Every cell needs the same few per-layer candidate ladders; without this
+  // phase the workers race to fill the model's memo and duplicate exactly
+  // that work, which is the dominant cost of small tables. The barrier keeps
+  // a fast worker from entering the cell loop while a ladder it needs is
+  // still being priced (it would recompute it — correct, but wasted).
+  // Pricing is pure per layer, so this phase cannot change any result.
+  std::atomic<std::size_t> layer_cursor{0};
+  std::atomic<std::size_t> cursor{0};
+  std::barrier warm(static_cast<std::ptrdiff_t>(nthreads));
+  std::vector<long long> node_counts(nthreads, 0);
+  std::vector<std::exception_ptr> errors(nthreads);
+  std::vector<std::thread> pool;
+  pool.reserve(nthreads);
+  for (std::size_t w = 0; w < nthreads; ++w) {
+    pool.emplace_back([&, w] {
+      long long local_nodes = 0;
+      bool past_barrier = false;
+      try {
+        for (std::size_t li = layer_cursor.fetch_add(1); li < count_;
+             li = layer_cursor.fetch_add(1)) {
+          (void)model.implementations(net[net_index(li)]);
+        }
+        warm.arrive_and_wait();
+        past_barrier = true;
+        for (std::size_t ci = cursor.fetch_add(1); ci < cells.size();
+             ci = cursor.fetch_add(1)) {
+          local_nodes += evaluate(ci);
+        }
+      } catch (...) {
+        errors[w] = std::current_exception();
+        if (!past_barrier) warm.arrive_and_drop();
+      }
+      node_counts[w] = local_nodes;
+    });
+  }
+  for (auto& t : pool) t.join();
+  for (const auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+  for (const long long c : node_counts) nodes_ += c;
 }
 
 std::size_t FusionTable::cell(std::size_t i, std::size_t j) const {
@@ -90,7 +160,7 @@ OptimizeResult assemble(const nn::Network& net,
 OptimizeResult optimize(const nn::Network& net, const fpga::EngineModel& model,
                         const OptimizerOptions& opt) {
   const auto t0 = std::chrono::steady_clock::now();
-  const FusionTable ft(net, model, opt.bnb);
+  const FusionTable ft(net, model, opt.bnb, opt.threads);
   const std::size_t n = ft.count();
   const long long unit = std::max<long long>(1, opt.transfer_unit_bytes);
   // Budget rounds down, per-group needs round up: the discretization can
@@ -142,7 +212,7 @@ OptimizeResult optimize_interval(const nn::Network& net,
                                  const fpga::EngineModel& model,
                                  const OptimizerOptions& opt) {
   const auto t0 = std::chrono::steady_clock::now();
-  const FusionTable ft(net, model, opt.bnb);
+  const FusionTable ft(net, model, opt.bnb, opt.threads);
   const std::size_t n = ft.count();
   const long long unit = std::max<long long>(1, opt.transfer_unit_bytes);
   const long long T = opt.transfer_budget_bytes / unit;  // floor, see optimize()

@@ -25,6 +25,11 @@ struct OptimizerOptions {
   BnbOptions bnb;
   /// Run the resource-balancing post-pass on the final structure.
   bool balance = true;
+  /// Worker threads for building the fusion table (the dominant cost of both
+  /// solvers). 1 = serial, 0 = hardware concurrency. Every fusion[i][j] cell
+  /// is an independent Algorithm 2 search, so the strategy produced is
+  /// byte-identical for every thread count.
+  int threads = 1;
 };
 
 struct OptimizeResult {
@@ -39,8 +44,14 @@ struct OptimizeResult {
 /// Precomputed fusion[i][j] table shared by both DP formulations.
 class FusionTable {
  public:
+  /// Builds fusion[i][j] for every range of up to opt.max_group_layers
+  /// layers. With threads != 1, cells are evaluated by a worker pool over an
+  /// atomic work queue; each cell writes only its own preallocated slot and
+  /// fuse_group is pure given (net, model, opt), so the table contents do
+  /// not depend on the thread count (only the node-counter summation order
+  /// differs, and addition commutes).
   FusionTable(const nn::Network& net, const fpga::EngineModel& model,
-              const BnbOptions& opt);
+              const BnbOptions& opt, int threads = 1);
 
   /// Range is expressed in optimizable-layer indices [0, count).
   [[nodiscard]] bool feasible(std::size_t i, std::size_t j) const;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "cost/group_timing.h"
+
 namespace hetacc::core {
 
 StrategyReport make_report(const Strategy& s, const nn::Network& net,
@@ -25,8 +27,8 @@ StrategyReport make_report(const Strategy& s, const nn::Network& net,
       busy += static_cast<double>(ipl.res.dsp) *
               static_cast<double>(std::min(ipl.compute_cycles,
                                            g.timing.latency_cycles));
-      weight_words += ipl.weight_words;
     }
+    weight_words += cost::weight_words(g.impls);
   }
   r.dsp_utilization = (avail > 0.0) ? busy / avail : 0.0;
   r.weight_transfer_bytes = weight_words * dev.data_bytes;
@@ -44,9 +46,7 @@ StrategyReport make_report(const Strategy& s, const nn::Network& net,
   for (const auto& g : s.groups) {
     slowest_group = std::max(slowest_group, g.timing.latency_cycles);
   }
-  r.throughput_fps =
-      slowest_group > 0 ? dev.frequency_hz / static_cast<double>(slowest_group)
-                        : 0.0;
+  r.throughput_fps = cost::throughput_fps(slowest_group, dev.frequency_hz);
   return r;
 }
 

@@ -1,37 +1,32 @@
 #include "core/strategy.h"
 
-#include <cmath>
+#include <algorithm>
 #include <sstream>
-#include <stdexcept>
+#include <type_traits>
 
 namespace hetacc::core {
 
+// core::GroupTiming must stay the cost layer's type, not a lookalike: every
+// optimizer prediction is produced and consumed through cost::.
+static_assert(std::is_same_v<GroupTiming, cost::GroupTiming>);
+
 fpga::ResourceVector FusionGroup::resources() const {
-  fpga::ResourceVector sum;
-  for (const auto& ipl : impls) sum += ipl.res;
-  return sum;
+  return cost::aggregate_resources(impls);
 }
 
-long long Strategy::latency_cycles() const {
-  long long total = 0;
-  for (const auto& g : groups) total += g.timing.latency_cycles;
-  return total;
+cost::StrategyTotals Strategy::totals() const {
+  cost::StrategyTotals t;
+  for (const auto& g : groups) t.add(g.timing);
+  return t;
 }
+
+long long Strategy::latency_cycles() const { return totals().latency_cycles; }
 
 long long Strategy::pipelined_latency_cycles() const {
-  long long compute = 0, transfer = 0;
-  for (const auto& g : groups) {
-    compute += g.timing.compute_cycles + g.timing.fill_cycles;
-    transfer += g.timing.transfer_cycles;
-  }
-  return std::max(compute, transfer);
+  return totals().pipelined_latency_cycles();
 }
 
-long long Strategy::transfer_bytes() const {
-  long long total = 0;
-  for (const auto& g : groups) total += g.timing.transfer_bytes;
-  return total;
-}
+long long Strategy::transfer_bytes() const { return totals().transfer_bytes; }
 
 fpga::ResourceVector Strategy::peak_resources() const {
   fpga::ResourceVector peak;
@@ -55,9 +50,7 @@ long long Strategy::total_mults() const {
 
 double Strategy::effective_gops(const nn::Network& net,
                                 double frequency_hz) const {
-  const double secs = latency_seconds(frequency_hz);
-  if (secs <= 0.0) return 0.0;
-  return static_cast<double>(net.total_ops()) / secs / 1e9;
+  return cost::effective_gops(net.total_ops(), latency_cycles(), frequency_hz);
 }
 
 std::string Strategy::describe(const nn::Network& net) const {
@@ -85,39 +78,12 @@ std::string Strategy::describe(const nn::Network& net) const {
 GroupTiming evaluate_group_timing(
     const nn::Network& net, std::size_t first, std::size_t last,
     const std::vector<fpga::Implementation>& impls, const fpga::Device& dev) {
-  if (first > last || last >= net.size() || impls.size() != last - first + 1) {
-    throw std::invalid_argument("evaluate_group_timing: bad range");
-  }
-  GroupTiming t;
-  t.transfer_bytes = min_transfer_bytes(net, first, last, dev.data_bytes);
-  // Kernel weights stream from DDR once per image regardless of fusion
-  // (paper §5: "fusion design does not help to save the kernel weight
-  // transfer"); they cost DDR time but are excluded from the T budget.
-  long long weight_bytes = 0;
-  for (const auto& ipl : impls) {
-    weight_bytes += ipl.weight_words * dev.data_bytes;
-  }
-  t.transfer_cycles = static_cast<long long>(
-      std::ceil(static_cast<double>(t.transfer_bytes + weight_bytes) /
-                dev.bytes_per_cycle()));
-  for (const auto& ipl : impls) {
-    t.compute_cycles = std::max(t.compute_cycles, ipl.compute_cycles);
-    t.fill_cycles += ipl.fill_cycles;
-  }
-  // Intra-layer pipelining overlaps DDR traffic with computation
-  // (paper Fig. 2(d)); the steady state is bound by the slower of the two.
-  t.latency_cycles = std::max(t.compute_cycles, t.transfer_cycles) +
-                     t.fill_cycles;
-  return t;
+  return cost::evaluate_group_timing(net, first, last, impls, dev);
 }
 
 long long min_transfer_bytes(const nn::Network& net, std::size_t first,
                              std::size_t last, int bytes_per_elem) {
-  if (first > last || last >= net.size()) {
-    throw std::invalid_argument("min_transfer_bytes: bad range");
-  }
-  return net[first].in.bytes(bytes_per_elem) +
-         net[last].out.bytes(bytes_per_elem);
+  return cost::min_transfer_bytes(net, first, last, bytes_per_elem);
 }
 
 }  // namespace hetacc::core

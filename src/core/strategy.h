@@ -1,26 +1,22 @@
 #pragma once
 // Strategy types (paper Definition 1): per-layer implementation choice
 // C_i = <group, algorithm, parallelism>, fusion groups, and whole-network
-// strategies with their latency / transfer / resource accounting.
+// strategies. All cycle / transfer / resource accounting delegates to the
+// unified accounting layer in src/cost/ — nothing in core/ re-derives a
+// cost formula.
 
 #include <string>
 #include <vector>
 
+#include "cost/group_timing.h"
 #include "fpga/engine_model.h"
 #include "nn/network.h"
 
 namespace hetacc::core {
 
-/// Timing of one fusion group executing on the device.
-struct GroupTiming {
-  long long compute_cycles = 0;   ///< slowest member layer (pipeline stage)
-  long long transfer_cycles = 0;  ///< group input load + output store at DDR
-  long long fill_cycles = 0;      ///< pipeline priming across the group
-  long long latency_cycles = 0;   ///< max(compute, transfer) + fill
-
-  /// Feature-map bytes this group moves through DDR (the paper's T metric).
-  long long transfer_bytes = 0;
-};
+/// Timing of one fusion group executing on the device (defined in the cost
+/// layer; re-exported here for the optimizer's vocabulary).
+using GroupTiming = cost::GroupTiming;
 
 /// One fusion group: layers [first, last] of the network (inclusive),
 /// streamed through on-chip line buffers, executing as one DATAFLOW region.
@@ -39,6 +35,11 @@ struct FusionGroup {
 struct Strategy {
   std::vector<FusionGroup> groups;
 
+  /// Per-group timings folded into whole-strategy accumulators — the single
+  /// reduction behind latency_cycles() / pipelined_latency_cycles() /
+  /// transfer_bytes(), so the three views cannot disagree.
+  [[nodiscard]] cost::StrategyTotals totals() const;
+
   [[nodiscard]] long long latency_cycles() const;
   /// Latency when consecutive groups double-buffer their DDR traffic
   /// (prefetch next group's input / drain previous output under compute):
@@ -53,7 +54,7 @@ struct Strategy {
   [[nodiscard]] long long total_mults() const;
 
   [[nodiscard]] double latency_seconds(double frequency_hz) const {
-    return static_cast<double>(latency_cycles()) / frequency_hz;
+    return cost::latency_seconds(latency_cycles(), frequency_hz);
   }
   /// Effective performance = total network ops / end-to-end latency
   /// (footnote of paper §7.2).
@@ -63,9 +64,8 @@ struct Strategy {
   [[nodiscard]] std::string describe(const nn::Network& net) const;
 };
 
-/// Group latency under the paper's execution model: member layers stream
-/// concurrently (inter-layer pipeline), DDR carries only the group's first
-/// input and last output, groups run back to back.
+/// Group latency under the paper's execution model (see
+/// cost::evaluate_group_timing, the single definition).
 [[nodiscard]] GroupTiming evaluate_group_timing(
     const nn::Network& net, std::size_t first, std::size_t last,
     const std::vector<fpga::Implementation>& impls, const fpga::Device& dev);

@@ -26,6 +26,23 @@ std::string strategy_to_csv(const Strategy& s, const nn::Network& net) {
   return os.str();
 }
 
+std::string group_timing_to_csv(const Strategy& s) {
+  std::ostringstream os;
+  os << "group,first,last,compute_cycles,transfer_cycles,fill_cycles,"
+        "latency_cycles,transfer_bytes\n";
+  for (std::size_t gi = 0; gi < s.groups.size(); ++gi) {
+    const auto& g = s.groups[gi];
+    os << gi << ',' << g.first << ',' << g.last << ','
+       << g.timing.compute_cycles << ',' << g.timing.transfer_cycles << ','
+       << g.timing.fill_cycles << ',' << g.timing.latency_cycles << ','
+       << g.timing.transfer_bytes << '\n';
+  }
+  const auto t = s.totals();
+  os << "total,,," << t.compute_fill_cycles << ',' << t.transfer_cycles
+     << ",," << t.latency_cycles << ',' << t.transfer_bytes << '\n';
+  return os.str();
+}
+
 std::string strategy_to_markdown(const Strategy& s, const nn::Network& net) {
   std::ostringstream os;
   os << "| Layer | Algorithm | Parallelism | BRAM | DSP | FF | LUT |\n";

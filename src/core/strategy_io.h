@@ -16,6 +16,12 @@ namespace hetacc::core {
 [[nodiscard]] std::string strategy_to_csv(const Strategy& s,
                                           const nn::Network& net);
 
+/// CSV of per-group timing as priced by the cost layer, one row per fusion
+/// group plus a `total` row from Strategy::totals():
+/// group,first,last,compute_cycles,transfer_cycles,fill_cycles,
+/// latency_cycles,transfer_bytes
+[[nodiscard]] std::string group_timing_to_csv(const Strategy& s);
+
 /// Markdown table mirroring the paper's Table 2 layout.
 [[nodiscard]] std::string strategy_to_markdown(const Strategy& s,
                                                const nn::Network& net);

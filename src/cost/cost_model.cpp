@@ -1,0 +1,21 @@
+#include "cost/cost_model.h"
+
+namespace hetacc::cost {
+
+double latency_seconds(long long cycles, double frequency_hz) {
+  return static_cast<double>(cycles) / frequency_hz;
+}
+
+double effective_gops(long long total_ops, long long latency_cycles,
+                      double frequency_hz) {
+  const double secs = latency_seconds(latency_cycles, frequency_hz);
+  if (secs <= 0.0) return 0.0;
+  return static_cast<double>(total_ops) / secs / 1e9;
+}
+
+double throughput_fps(long long slowest_group_cycles, double frequency_hz) {
+  if (slowest_group_cycles <= 0) return 0.0;
+  return frequency_hz / static_cast<double>(slowest_group_cycles);
+}
+
+}  // namespace hetacc::cost

@@ -1,0 +1,63 @@
+#include "cost/group_timing.h"
+
+#include <stdexcept>
+
+namespace hetacc::cost {
+
+long long min_transfer_bytes(const nn::Network& net, std::size_t first,
+                             std::size_t last, int bytes_per_elem) {
+  if (first > last || last >= net.size()) {
+    throw std::invalid_argument("min_transfer_bytes: bad range");
+  }
+  return net[first].in.bytes(bytes_per_elem) +
+         net[last].out.bytes(bytes_per_elem);
+}
+
+long long weight_words(const std::vector<fpga::Implementation>& impls) {
+  long long words = 0;
+  for (const auto& ipl : impls) words += ipl.weight_words;
+  return words;
+}
+
+fpga::ResourceVector aggregate_resources(
+    const std::vector<fpga::Implementation>& impls) {
+  fpga::ResourceVector sum;
+  for (const auto& ipl : impls) sum += ipl.res;
+  return sum;
+}
+
+long long engine_latency_cycles(const fpga::Implementation& ipl) {
+  return ipl.compute_cycles + ipl.fill_cycles;
+}
+
+GroupTiming evaluate_group_timing(
+    const nn::Network& net, std::size_t first, std::size_t last,
+    const std::vector<fpga::Implementation>& impls, const fpga::Device& dev) {
+  if (first > last || last >= net.size() || impls.size() != last - first + 1) {
+    throw std::invalid_argument("evaluate_group_timing: bad range");
+  }
+  GroupTiming t;
+  t.transfer_bytes = min_transfer_bytes(net, first, last, dev.data_bytes);
+  // Kernel weights stream from DDR once per image regardless of fusion
+  // (paper §5: "fusion design does not help to save the kernel weight
+  // transfer"); they cost DDR time but are excluded from the T budget.
+  const long long wt_bytes = weight_words(impls) * dev.data_bytes;
+  t.transfer_cycles =
+      transfer_cycles(t.transfer_bytes + wt_bytes, dev.bytes_per_cycle());
+  for (const auto& ipl : impls) {
+    t.compute_cycles = std::max(t.compute_cycles, ipl.compute_cycles);
+    t.fill_cycles += ipl.fill_cycles;
+  }
+  t.latency_cycles =
+      group_latency(t.compute_cycles, t.transfer_cycles, t.fill_cycles);
+  return t;
+}
+
+void StrategyTotals::add(const GroupTiming& t) {
+  latency_cycles += t.latency_cycles;
+  compute_fill_cycles += t.compute_cycles + t.fill_cycles;
+  transfer_cycles += t.transfer_cycles;
+  transfer_bytes += t.transfer_bytes;
+}
+
+}  // namespace hetacc::cost

@@ -1,0 +1,77 @@
+#pragma once
+// Group- and strategy-level accounting built on the pure arithmetic of
+// cost_model.h: fusion-group timing (compute / transfer / fill / latency
+// cycles), minimal feature-map transfer, resource aggregation, and the
+// whole-strategy accumulators. This is the only translation unit that
+// combines per-engine implementations into group and strategy costs; the
+// optimizer, the baselines, the simulators and the HLS report all consume
+// it.
+
+#include <cstddef>
+#include <vector>
+
+#include "cost/cost_model.h"
+#include "fpga/engine_model.h"
+#include "nn/network.h"
+
+namespace hetacc::cost {
+
+/// Timing of one fusion group executing on the device.
+struct GroupTiming {
+  long long compute_cycles = 0;   ///< slowest member layer (pipeline stage)
+  long long transfer_cycles = 0;  ///< group input load + output store at DDR
+  long long fill_cycles = 0;      ///< pipeline priming across the group
+  long long latency_cycles = 0;   ///< max(compute, transfer) + fill
+
+  /// Feature-map bytes this group moves through DDR (the paper's T metric).
+  long long transfer_bytes = 0;
+
+  bool operator==(const GroupTiming&) const = default;
+};
+
+/// Minimal feature-map transfer of fusing layers [first, last]: input of the
+/// first layer + output of the last (the paper's min_t[i][j]).
+[[nodiscard]] long long min_transfer_bytes(const nn::Network& net,
+                                           std::size_t first,
+                                           std::size_t last,
+                                           int bytes_per_elem);
+
+/// Total on-chip weight footprint (16-bit words) of a group's engines.
+[[nodiscard]] long long weight_words(
+    const std::vector<fpga::Implementation>& impls);
+
+/// Sum of the member engines' resource vectors.
+[[nodiscard]] fpga::ResourceVector aggregate_resources(
+    const std::vector<fpga::Implementation>& impls);
+
+/// Standalone latency of one engine (compute + line-buffer priming) — the
+/// per-module view an HLS csynth report would show.
+[[nodiscard]] long long engine_latency_cycles(const fpga::Implementation& ipl);
+
+/// Group latency under the paper's execution model: member layers stream
+/// concurrently (inter-layer pipeline), DDR carries the group's first input,
+/// last output and the kernel weights, groups run back to back.
+[[nodiscard]] GroupTiming evaluate_group_timing(
+    const nn::Network& net, std::size_t first, std::size_t last,
+    const std::vector<fpga::Implementation>& impls, const fpga::Device& dev);
+
+/// Accumulates per-group timings into whole-strategy latencies. Groups
+/// execute sequentially, so the conservative strategy latency is the sum of
+/// group latencies; when consecutive groups double-buffer their DDR traffic
+/// the strategy is instead bound by max(total compute+fill, total DDR time).
+/// Both views read the same per-group numbers, so they cannot diverge.
+struct StrategyTotals {
+  long long latency_cycles = 0;       ///< sum of group latencies
+  long long compute_fill_cycles = 0;  ///< sum of compute + fill
+  long long transfer_cycles = 0;      ///< sum of DDR time
+  long long transfer_bytes = 0;       ///< the paper's T metric
+
+  void add(const GroupTiming& t);
+
+  /// Latency when consecutive groups overlap their DDR traffic with compute.
+  [[nodiscard]] long long pipelined_latency_cycles() const {
+    return std::max(compute_fill_cycles, transfer_cycles);
+  }
+};
+
+}  // namespace hetacc::cost

@@ -1,10 +1,26 @@
 #include "fpga/engine_model.h"
 
 #include <algorithm>
-#include <cmath>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <sstream>
 #include <stdexcept>
 
+#include "cost/cost_model.h"
+
 namespace hetacc::fpga {
+
+/// Memoized candidate ladders, keyed by layer structure. Lives behind a
+/// shared_ptr so model copies (cheap, common in the baselines) share it.
+struct EngineModel::ImplCache {
+  std::mutex mu;
+  std::map<std::string, std::shared_ptr<const std::vector<Implementation>>>
+      entries;
+};
+
+EngineModel::EngineModel(Device dev, EngineModelParams p)
+    : dev_(std::move(dev)), p_(p), memo_(std::make_shared<ImplCache>()) {}
 
 std::string_view to_string(ConvAlgo a) {
   switch (a) {
@@ -40,18 +56,17 @@ long long EngineModel::algo_mults(const nn::Layer& layer,
       const auto& p = layer.conv();
       const int n = cfg.wino_m + p.kernel - 1;
       const long long tiles =
-          static_cast<long long>((layer.out.h + cfg.wino_m - 1) / cfg.wino_m) *
-          ((layer.out.w + cfg.wino_m - 1) / cfg.wino_m);
-      return tiles * n * n * layer.in.c * layer.out.c;
+          cost::winograd_tile_count(layer.out.h, layer.out.w, cfg.wino_m);
+      return cost::winograd_mults(tiles, n, layer.in.c, layer.out.c);
     }
     case ConvAlgo::kWinogradStride2: {
       const auto& p = layer.conv();
       const int r = (p.kernel + 1) / 2;
       const int n = cfg.wino_m + r - 1;
       const long long tiles =
-          static_cast<long long>((layer.out.h + cfg.wino_m - 1) / cfg.wino_m) *
-          ((layer.out.w + cfg.wino_m - 1) / cfg.wino_m);
-      return 4 * tiles * n * n * layer.in.c * layer.out.c;  // four phases
+          cost::winograd_tile_count(layer.out.h, layer.out.w, cfg.wino_m);
+      // four polyphase components
+      return 4 * cost::winograd_mults(tiles, n, layer.in.c, layer.out.c);
     }
     case ConvAlgo::kNone: {
       if (layer.kind == nn::LayerKind::kLrn) {
@@ -106,10 +121,8 @@ Implementation EngineModel::implement_conv(const nn::Layer& layer,
     const int n = m + r - 1;
     // One phase engine of n^2 multipliers, iterated over the four phases:
     // 4 cycles per (tile, tn-, tm-) pass.
-    const long long tiles = static_cast<long long>((layer.out.h + m - 1) / m) *
-                            ((layer.out.w + m - 1) / m);
-    cycles = 4 * tiles * ((M + cfg.tn - 1) / cfg.tn) *
-             ((N + cfg.tm - 1) / cfg.tm);
+    const long long tiles = cost::winograd_tile_count(layer.out.h, layer.out.w, m);
+    cycles = cost::conv_cycles_winograd_stride2(M, N, cfg.tn, cfg.tm, tiles);
     // An output block of m rows touches 2(m-1)+K input rows; double for the
     // rows streaming in behind it.
     line_rows = 2ll * (2 * (m - 1) + K);
@@ -128,11 +141,8 @@ Implementation EngineModel::implement_conv(const nn::Layer& layer,
     const int n = m + K - 1;
     // One (m+r-1)^2 multiplier array per (tn, tm) channel pair: each cycle
     // retires one input-tile x output-channel partial product.
-    const long long tiles =
-        static_cast<long long>((layer.out.h + m - 1) / m) *
-        ((layer.out.w + m - 1) / m);
-    cycles = tiles * ((M + cfg.tn - 1) / cfg.tn) *
-             ((N + cfg.tm - 1) / cfg.tm);
+    const long long tiles = cost::winograd_tile_count(layer.out.h, layer.out.w, m);
+    cycles = cost::conv_cycles_winograd(M, N, cfg.tn, cfg.tm, tiles);
     // n rows active in transform + m rows streaming in (circular buffer).
     line_rows = n + m;
     ipl.res.dsp = static_cast<long long>(n) * n * cfg.tn * cfg.tm;
@@ -142,9 +152,9 @@ Implementation EngineModel::implement_conv(const nn::Layer& layer,
         p_.base_ff + p_.ff_per_mult_wino * ipl.res.dsp);
   } else {
     // Conventional: tn x tm x tk MACs per cycle over the six-deep loop nest.
-    cycles = static_cast<long long>((M + cfg.tn - 1) / cfg.tn) *
-             ((N + cfg.tm - 1) / cfg.tm) * ((K * K + cfg.tk - 1) / cfg.tk) *
-             layer.out.h * layer.out.w;
+    cycles = cost::conv_cycles_conventional(
+        M, N, K, cfg.tn, cfg.tm, cfg.tk,
+        static_cast<long long>(layer.out.h) * layer.out.w);
     line_rows = K + cp.stride;
     ipl.res.dsp = static_cast<long long>(cfg.tn) * cfg.tm * cfg.tk;
     ipl.res.lut = static_cast<long long>(
@@ -152,8 +162,7 @@ Implementation EngineModel::implement_conv(const nn::Layer& layer,
     ipl.res.ff = static_cast<long long>(
         p_.base_ff + p_.ff_per_mult_conv * ipl.res.dsp);
   }
-  ipl.compute_cycles = static_cast<long long>(
-      std::ceil(static_cast<double>(cycles) / p_.compute_efficiency));
+  ipl.compute_cycles = cost::apply_efficiency(cycles, p_.compute_efficiency);
 
   // Circular line buffer (paper §4.2): line_rows rows x W columns x M
   // channels, partitioned into one bank per (row, tn-slice) for port
@@ -194,8 +203,8 @@ Implementation EngineModel::implement_conv(const nn::Layer& layer,
   } else if (cfg.algo == ConvAlgo::kWinogradStride2) {
     prime_rows = 2 * (cfg.wino_m - 1) + K;
   }
-  ipl.fill_cycles = static_cast<long long>(prime_rows) * layer.in.w *
-                    ((M + p_.fifo_words_per_cycle - 1) / p_.fifo_words_per_cycle);
+  ipl.fill_cycles = cost::line_fill_cycles(prime_rows, layer.in.w, M,
+                                           p_.fifo_words_per_cycle);
   return ipl;
 }
 
@@ -234,8 +243,7 @@ Implementation EngineModel::implement_simple(const nn::Layer& layer,
                                   std::string(nn::to_string(layer.kind)) +
                                   "'");
   }
-  ipl.compute_cycles = static_cast<long long>(std::ceil(
-      static_cast<double>(work) / (cfg.tn * p_.compute_efficiency)));
+  ipl.compute_cycles = cost::lane_cycles(work, cfg.tn, p_.compute_efficiency);
   ipl.res.dsp = dsp;
   ipl.res.lut = static_cast<long long>(p_.base_lut_simple + 40.0 * cfg.tn);
   ipl.res.ff = static_cast<long long>(p_.base_ff_simple + 55.0 * cfg.tn);
@@ -245,9 +253,9 @@ Implementation EngineModel::implement_simple(const nn::Layer& layer,
       std::min<long long>(line_rows * cfg.tn, p_.max_line_buffer_banks));
   ipl.res.bram18k =
       p_.include_line_buffer ? bram18k_for(lb_words, 16, banks) : 0;
-  ipl.fill_cycles = static_cast<long long>(layer.window()) * layer.in.w *
-                    ((layer.in.c + p_.fifo_words_per_cycle - 1) /
-                     p_.fifo_words_per_cycle);
+  ipl.fill_cycles = cost::line_fill_cycles(layer.window(), layer.in.w,
+                                           layer.in.c,
+                                           p_.fifo_words_per_cycle);
   return ipl;
 }
 
@@ -326,9 +334,8 @@ std::vector<EngineConfig> EngineModel::candidates(
         for (int tk : {1, K, K * K}) {
           EngineConfig c{ConvAlgo::kConventional, tn, tm, tk, 4};
           if (c.parallelism(K) > dsp_cap) continue;
-          const long long cycles = static_cast<long long>((M + tn - 1) / tn) *
-                                   ((N + tm - 1) / tm) *
-                                   ((K * K + tk - 1) / tk) * hw;
+          const long long cycles =
+              cost::conv_cycles_conventional(M, N, K, tn, tm, tk, hw);
           conv.push_back({c, cycles, c.parallelism(K)});
         }
       }
@@ -342,15 +349,14 @@ std::vector<EngineConfig> EngineModel::candidates(
       const int r2 = (K + 1) / 2;
       const int n2 = m + r2 - 1;
       const long long tiles =
-          static_cast<long long>((layer.out.h + m - 1) / m) *
-          ((layer.out.w + m - 1) / m);
+          cost::winograd_tile_count(layer.out.h, layer.out.w, m);
       std::vector<RatedConfig> s2;
       for (int tn : tns) {
         for (int tm : tms) {
           EngineConfig c{ConvAlgo::kWinogradStride2, tn, tm, 1, m};
           if (static_cast<long long>(n2) * n2 * tn * tm > dsp_cap) continue;
-          const long long cycles = 4 * tiles * ((M + tn - 1) / tn) *
-                                   ((N + tm - 1) / tm);
+          const long long cycles =
+              cost::conv_cycles_winograd_stride2(M, N, tn, tm, tiles);
           s2.push_back({c, cycles, c.parallelism(K)});
         }
       }
@@ -363,15 +369,14 @@ std::vector<EngineConfig> EngineModel::candidates(
       if (p_.explore_wino_tiles) tile_sizes = {2, 4, 6};
       for (int m : tile_sizes) {
         const long long tiles =
-            static_cast<long long>((layer.out.h + m - 1) / m) *
-            ((layer.out.w + m - 1) / m);
+            cost::winograd_tile_count(layer.out.h, layer.out.w, m);
         std::vector<RatedConfig> wino;
         for (int tn : tns) {
           for (int tm : tms) {
             EngineConfig c{ConvAlgo::kWinograd, tn, tm, 1, m};
             if (c.parallelism(K) > dsp_cap) continue;
-            const long long cycles = tiles * ((M + tn - 1) / tn) *
-                                     ((N + tm - 1) / tm);
+            const long long cycles =
+                cost::conv_cycles_winograd(M, N, tn, tm, tiles);
             wino.push_back({c, cycles, c.parallelism(K)});
           }
         }
@@ -384,12 +389,65 @@ std::vector<EngineConfig> EngineModel::candidates(
     for (int tn : unrolls(layer.in.c)) {
       // Lane count is the throughput for these engines; rate by 1/tn.
       simple.push_back({EngineConfig{ConvAlgo::kNone, tn, 1, 1, 4},
-                        (layer.in.elems() + tn - 1) / tn, tn});
+                        cost::ceil_div(layer.in.elems(), tn), tn});
     }
     auto ladder = pareto_ladder(std::move(simple), p_.ladder_ratio);
     out.insert(out.end(), ladder.begin(), ladder.end());
   }
   return out;
+}
+
+namespace {
+
+/// Structural identity of a layer for memoization: everything the candidate
+/// ladder and the cycle/resource model read. Names are deliberately
+/// excluded — identically shaped layers (e.g. VGG's repeated 3x3 convs)
+/// share one cache entry.
+std::string structural_key(const nn::Layer& l) {
+  std::ostringstream os;
+  os << static_cast<int>(l.kind) << ':' << l.in.c << 'x' << l.in.h << 'x'
+     << l.in.w << ':' << l.out.c << 'x' << l.out.h << 'x' << l.out.w;
+  switch (l.kind) {
+    case nn::LayerKind::kConv: {
+      const auto& p = l.conv();
+      os << ":c" << p.kernel << ',' << p.stride << ',' << p.pad;
+      break;
+    }
+    case nn::LayerKind::kPool: {
+      const auto& p = l.pool();
+      os << ":p" << static_cast<int>(p.method) << ',' << p.kernel << ','
+         << p.stride << ',' << p.pad;
+      break;
+    }
+    case nn::LayerKind::kLrn:
+      os << ":l" << l.lrn().local_size;
+      break;
+    default:
+      break;
+  }
+  return os.str();
+}
+
+}  // namespace
+
+std::shared_ptr<const std::vector<Implementation>> EngineModel::implementations(
+    const nn::Layer& layer) const {
+  const std::string key = structural_key(layer);
+  {
+    std::lock_guard<std::mutex> lock(memo_->mu);
+    auto it = memo_->entries.find(key);
+    if (it != memo_->entries.end()) return it->second;
+  }
+  // Evaluate outside the lock so concurrent workers on distinct layers don't
+  // serialize. Two workers racing on the same layer compute identical
+  // ladders (implement() is pure in (layer, cfg)); first insert wins.
+  auto impls = std::make_shared<std::vector<Implementation>>();
+  for (const auto& cfg : candidates(layer)) {
+    impls->push_back(implement(layer, cfg));
+  }
+  std::shared_ptr<const std::vector<Implementation>> result = std::move(impls);
+  std::lock_guard<std::mutex> lock(memo_->mu);
+  return memo_->entries.emplace(key, std::move(result)).first->second;
 }
 
 }  // namespace hetacc::fpga

@@ -8,6 +8,7 @@
 // one DSP48E per 16-bit multiplier, line-buffer BRAM with HLS-style
 // partitioning, LUT/FF linear in parallelism plus a per-engine base.
 
+#include <memory>
 #include <vector>
 
 #include "fpga/device.h"
@@ -111,8 +112,7 @@ struct EngineModelParams {
 
 class EngineModel {
  public:
-  explicit EngineModel(Device dev, EngineModelParams p = {})
-      : dev_(std::move(dev)), p_(p) {}
+  explicit EngineModel(Device dev, EngineModelParams p = {});
 
   [[nodiscard]] const Device& device() const { return dev_; }
   [[nodiscard]] const EngineModelParams& params() const { return p_; }
@@ -128,6 +128,15 @@ class EngineModel {
   [[nodiscard]] std::vector<EngineConfig> candidates(
       const nn::Layer& layer) const;
 
+  /// The fully evaluated candidate ladder — implement() applied to every
+  /// candidates() entry, in order — memoized per layer structure. The DP
+  /// optimizer prices the same layer in every [i, j] range containing it;
+  /// the memo makes that O(1) after the first evaluation. Thread-safe, and
+  /// copies of a model share one cache (the device and params are immutable
+  /// after construction, so entries never go stale).
+  [[nodiscard]] std::shared_ptr<const std::vector<Implementation>>
+  implementations(const nn::Layer& layer) const;
+
   /// True if the Winograd algorithm can implement this layer (paper §2.1:
   /// small kernel, stride 1).
   [[nodiscard]] static bool winograd_ok(const nn::Layer& layer);
@@ -137,6 +146,8 @@ class EngineModel {
                                             const EngineConfig& cfg);
 
  private:
+  struct ImplCache;
+
   [[nodiscard]] Implementation implement_conv(const nn::Layer& layer,
                                               EngineConfig cfg) const;
   [[nodiscard]] Implementation implement_simple(const nn::Layer& layer,
@@ -144,6 +155,7 @@ class EngineModel {
 
   Device dev_;
   EngineModelParams p_;
+  std::shared_ptr<ImplCache> memo_;  ///< shared across copies
 };
 
 /// All divisors of x that are <= cap, ascending. Exposed for tests.

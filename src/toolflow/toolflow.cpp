@@ -19,6 +19,7 @@ ToolflowResult run_toolflow(const nn::Network& net,
 
   const fpga::EngineModel model(device);
   core::OptimizerOptions oo = opt.optimizer;
+  if (opt.threads != 0) oo.threads = opt.threads;
   if (opt.transfer_budget_bytes > 0) {
     oo.transfer_budget_bytes = opt.transfer_budget_bytes;
   } else if (oo.transfer_budget_bytes <= 0) {

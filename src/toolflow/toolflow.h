@@ -22,6 +22,10 @@ struct ToolflowOptions {
   /// synthesized when none are supplied).
   bool generate_code = true;
   std::uint32_t weight_seed = 42;
+  /// Fusion-table worker threads. 0 = inherit optimizer.threads; any other
+  /// value overrides it (see OptimizerOptions::threads). The resulting
+  /// strategy never depends on this knob.
+  int threads = 0;
 };
 
 struct ToolflowResult {

@@ -5,7 +5,7 @@
 //   hetacc [--net deploy.prototxt | --model alexnet|vgg-e|vgg16|vgg-e-head]
 //          [--device zc706|vc707] [--budget-mb N] [--out DIR]
 //          [--no-codegen] [--interval-dp] [--explore-tiles]
-//          [--conventional-only] [--wino-tile M]
+//          [--conventional-only] [--wino-tile M] [--threads N]
 
 #include <cstdio>
 #include <cstring>
@@ -32,7 +32,9 @@ void usage() {
       "  --interval-dp       use the paper's Algorithm 1 interval DP\n"
       "  --explore-tiles     per-layer Winograd tile-size exploration\n"
       "  --conventional-only disable Winograd (homogeneous baseline)\n"
-      "  --wino-tile M       uniform Winograd tile size (default 4)\n");
+      "  --wino-tile M       uniform Winograd tile size (default 4)\n"
+      "  --threads N         fusion-table worker threads (0 = all cores, "
+      "default 1); the strategy is identical for any N\n");
 }
 
 }  // namespace
@@ -75,6 +77,9 @@ int main(int argc, char** argv) {
       params.enable_winograd = false;
     } else if (!std::strcmp(argv[i], "--wino-tile")) {
       params.wino_tile_m = std::atoi(next("--wino-tile"));
+    } else if (!std::strcmp(argv[i], "--threads")) {
+      opt.threads = std::atoi(next("--threads"));
+      opt.optimizer.threads = opt.threads;
     } else if (!std::strcmp(argv[i], "--help") || !std::strcmp(argv[i], "-h")) {
       usage();
       return 0;
