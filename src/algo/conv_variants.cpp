@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "fixed/fixed16.h"
+#include "kernels/gemm.h"
+#include "kernels/parallel.h"
 
 namespace hetacc::algo {
 
@@ -13,30 +15,35 @@ std::vector<float> im2col(const nn::Tensor& in, int kernel, int stride,
   const std::size_t rows =
       static_cast<std::size_t>(s.c) * kernel * kernel;
   const std::size_t cols = static_cast<std::size_t>(out_h) * out_w;
-  std::vector<float> mat(rows * cols, 0.0f);
-  std::size_t row = 0;
-  for (int c = 0; c < s.c; ++c) {
-    for (int u = 0; u < kernel; ++u) {
-      for (int v = 0; v < kernel; ++v, ++row) {
-        float* dst = mat.data() + row * cols;
-        for (int i = 0; i < out_h; ++i) {
-          const int h = i * stride + u - pad;
-          if (h < 0 || h >= s.h) continue;
-          for (int j = 0; j < out_w; ++j) {
-            const int w = j * stride + v - pad;
-            if (w < 0 || w >= s.w) continue;
-            dst[static_cast<std::size_t>(i) * out_w + j] = in.at(c, h, w);
-          }
-        }
-      }
-    }
-  }
+  std::vector<float> mat(rows * cols);
+  kernels::im2col_f32(in.data(), s.c, s.h, s.w, kernel, stride, pad, out_h,
+                      out_w, mat.data());
   return mat;
 }
 
 nn::Tensor conv_im2col(const nn::Tensor& in, const nn::FilterBank& filters,
                        const std::vector<float>& bias, int stride, int pad,
                        bool fused_relu) {
+  const nn::Shape s = in.shape();
+  const int k = filters.kernel();
+  const int oh = (s.h + 2 * pad - k) / stride + 1;
+  const int ow = (s.w + 2 * pad - k) / stride + 1;
+  const int cols = oh * ow;
+  const int rows = s.c * k * k;
+  const std::vector<float> mat = im2col(in, k, stride, pad, oh, ow);
+
+  nn::Tensor out(filters.out_channels(), oh, ow);
+  kernels::gemm_f32(filters.out_channels(), cols, rows, filters.data(), rows,
+                    mat.data(), cols, out.data(), cols,
+                    bias.empty() ? nullptr : bias.data(), fused_relu,
+                    /*threads=*/0);
+  return out;
+}
+
+nn::Tensor conv_im2col_scalar(const nn::Tensor& in,
+                              const nn::FilterBank& filters,
+                              const std::vector<float>& bias, int stride,
+                              int pad, bool fused_relu) {
   const nn::Shape s = in.shape();
   const int k = filters.kernel();
   const int oh = (s.h + 2 * pad - k) / stride + 1;
@@ -74,9 +81,56 @@ nn::Tensor conv_direct_fixed(const nn::Tensor& in,
   const int k = filters.kernel();
   const int oh = (s.h + 2 * pad - k) / stride + 1;
   const int ow = (s.w + 2 * pad - k) / stride + 1;
+  const int cols = oh * ow;
+  const int rows = s.c * k * k;
   nn::Tensor out(filters.out_channels(), oh, ow);
 
   // Quantize operands up front (this is what the DDR/BRAM contents are).
+  std::vector<std::int16_t> inq(static_cast<std::size_t>(in.size()));
+  for (std::size_t i = 0; i < inq.size(); ++i) {
+    inq[i] = Fixed16::quantize(in.data()[i], data_frac);
+  }
+  std::vector<std::int16_t> wq(static_cast<std::size_t>(filters.size()));
+  for (std::size_t i = 0; i < wq.size(); ++i) {
+    wq[i] = Fixed16::quantize(filters.data()[i], weight_frac);
+  }
+
+  std::vector<std::int16_t> mat(static_cast<std::size_t>(rows) * cols);
+  kernels::im2col_i16(inq.data(), s.c, s.h, s.w, k, stride, pad, oh, ow,
+                      mat.data());
+  std::vector<std::int64_t> acc(static_cast<std::size_t>(filters.out_channels()) *
+                                cols);
+  kernels::gemm_i16(filters.out_channels(), cols, rows, wq.data(), rows,
+                    mat.data(), cols, acc.data(), cols, /*threads=*/0);
+
+  const double scale = std::ldexp(1.0, -(data_frac + weight_frac));
+  kernels::parallel_for(
+      static_cast<std::size_t>(filters.out_channels()), [&](std::size_t n) {
+        const float b = bias.empty() ? 0.0f : bias[n];
+        const std::int64_t* arow = acc.data() + n * cols;
+        float* dst = out.data() + n * cols;
+        for (int j = 0; j < cols; ++j) {
+          float val =
+              static_cast<float>(static_cast<double>(arow[j]) * scale) + b;
+          if (fused_relu) val = std::max(val, 0.0f);
+          dst[j] = fixed::quantize_to_float(val, out_frac);
+        }
+      });
+  return out;
+}
+
+nn::Tensor conv_direct_fixed_scalar(const nn::Tensor& in,
+                                    const nn::FilterBank& filters,
+                                    const std::vector<float>& bias, int stride,
+                                    int pad, bool fused_relu, int data_frac,
+                                    int weight_frac, int out_frac) {
+  using fixed::Fixed16;
+  const nn::Shape s = in.shape();
+  const int k = filters.kernel();
+  const int oh = (s.h + 2 * pad - k) / stride + 1;
+  const int ow = (s.w + 2 * pad - k) / stride + 1;
+  nn::Tensor out(filters.out_channels(), oh, ow);
+
   std::vector<std::int16_t> inq(static_cast<std::size_t>(in.size()));
   for (std::size_t i = 0; i < inq.size(); ++i) {
     inq[i] = Fixed16::quantize(in.data()[i], data_frac);

@@ -2,6 +2,11 @@
 // Alternative convolution implementations: im2col+GEMM (the "matrix
 // multiplication" structure transformation of paper §1) and the 16-bit
 // fixed-point direct convolution used by the conventional PE model.
+//
+// The hot paths run on the blocked kernels in src/kernels/ and honor the
+// kernel-layer thread default (kernels::set_num_threads); the retained
+// `*_scalar` variants are the seed implementations, kept as golden
+// references for equivalence tests and as the bench baseline.
 
 #include "nn/tensor.h"
 
@@ -13,21 +18,38 @@ namespace hetacc::algo {
                                         int stride, int pad, int out_h,
                                         int out_w);
 
-/// Convolution as GEMM over the im2col matrix. Bit-identical math order to
-/// BLAS-style accumulation; compared against the direct reference in tests.
+/// Convolution as GEMM over the im2col matrix. Runs on the cache-blocked
+/// packed GEMM; compared against the direct reference in tests.
 [[nodiscard]] nn::Tensor conv_im2col(const nn::Tensor& in,
                                      const nn::FilterBank& filters,
                                      const std::vector<float>& bias,
                                      int stride, int pad, bool fused_relu);
 
+/// Seed scalar implementation of conv_im2col (golden reference / bench
+/// baseline).
+[[nodiscard]] nn::Tensor conv_im2col_scalar(const nn::Tensor& in,
+                                            const nn::FilterBank& filters,
+                                            const std::vector<float>& bias,
+                                            int stride, int pad,
+                                            bool fused_relu);
+
 /// Direct convolution on a 16-bit fixed datapath: inputs/weights quantized
 /// to Q(data_frac)/Q(weight_frac), 32-bit products, wide accumulation,
-/// output re-quantized to Q(out_frac). Models a DSP48E MAC tree.
+/// output re-quantized to Q(out_frac). Models a DSP48E MAC tree. Runs as
+/// int16 im2col + exact int64 GEMM — bit-exact with the scalar seed for any
+/// thread count (integer accumulation commutes).
 [[nodiscard]] nn::Tensor conv_direct_fixed(const nn::Tensor& in,
                                            const nn::FilterBank& filters,
                                            const std::vector<float>& bias,
                                            int stride, int pad,
                                            bool fused_relu, int data_frac,
                                            int weight_frac, int out_frac);
+
+/// Seed scalar implementation of conv_direct_fixed (golden bit-exactness
+/// reference / bench baseline).
+[[nodiscard]] nn::Tensor conv_direct_fixed_scalar(
+    const nn::Tensor& in, const nn::FilterBank& filters,
+    const std::vector<float>& bias, int stride, int pad, bool fused_relu,
+    int data_frac, int weight_frac, int out_frac);
 
 }  // namespace hetacc::algo

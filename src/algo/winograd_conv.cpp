@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "fixed/fixed16.h"
+#include "kernels/parallel.h"
 
 namespace hetacc::algo {
 
@@ -34,6 +35,20 @@ Matrix extract_tile(const nn::Tensor& in, int channel, int tile_i, int tile_j,
   return d;
 }
 
+/// Flattens the transform matrices shared by both plan flavors.
+void flatten_transforms(const WinogradTransform& t, std::vector<double>& bt,
+                        std::vector<double>& at) {
+  const int n = t.n();
+  bt.resize(static_cast<std::size_t>(n) * n);
+  for (int a = 0; a < n; ++a) {
+    for (int b = 0; b < n; ++b) bt[static_cast<std::size_t>(a) * n + b] = t.bt.at(a, b);
+  }
+  at.resize(static_cast<std::size_t>(t.m) * n);
+  for (int a = 0; a < t.m; ++a) {
+    for (int b = 0; b < n; ++b) at[static_cast<std::size_t>(a) * n + b] = t.at.at(a, b);
+  }
+}
+
 }  // namespace
 
 TransformedFilters transform_filters(const WinogradTransform& t,
@@ -55,10 +70,55 @@ TransformedFilters transform_filters(const WinogradTransform& t,
   return tf;
 }
 
+kernels::WinogradPlan pack_winograd_plan(const TransformedFilters& tf) {
+  const WinogradTransform& t = tf.t;
+  const int n = t.n();
+  kernels::WinogradPlan plan;
+  plan.m = t.m;
+  plan.r = t.r;
+  plan.n = n;
+  plan.out_c = tf.out_channels;
+  plan.in_c = tf.in_channels;
+  flatten_transforms(t, plan.bt, plan.at);
+  plan.u.resize(static_cast<std::size_t>(n) * n * tf.out_channels *
+                tf.in_channels);
+  const std::size_t plane = static_cast<std::size_t>(tf.out_channels) *
+                            tf.in_channels;
+  for (int oc = 0; oc < tf.out_channels; ++oc) {
+    for (int ic = 0; ic < tf.in_channels; ++ic) {
+      const Matrix& u = tf.at(oc, ic);
+      const std::size_t off = static_cast<std::size_t>(oc) * tf.in_channels + ic;
+      for (int ab = 0; ab < n * n; ++ab) {
+        plan.u[static_cast<std::size_t>(ab) * plane + off] =
+            u.at(ab / n, ab % n);
+      }
+    }
+  }
+  return plan;
+}
+
 nn::Tensor winograd_conv_pretransformed(const TransformedFilters& tf,
                                         const nn::Tensor& in,
                                         const std::vector<float>& bias,
                                         int pad, bool fused_relu) {
+  const nn::Shape is = in.shape();
+  if (is.c != tf.in_channels) {
+    throw std::invalid_argument("winograd_conv: channel mismatch");
+  }
+  const int oh = is.h + 2 * pad - tf.t.r + 1;  // stride 1
+  const int ow = is.w + 2 * pad - tf.t.r + 1;
+  nn::Tensor out(tf.out_channels, oh, ow);
+  const kernels::WinogradPlan plan = pack_winograd_plan(tf);
+  kernels::winograd_conv_f32(plan, in.data(), is.h, is.w, pad,
+                             bias.empty() ? nullptr : bias.data(), fused_relu,
+                             out.data(), oh, ow, /*threads=*/0);
+  return out;
+}
+
+nn::Tensor winograd_conv_pretransformed_scalar(const TransformedFilters& tf,
+                                               const nn::Tensor& in,
+                                               const std::vector<float>& bias,
+                                               int pad, bool fused_relu) {
   const WinogradTransform& t = tf.t;
   const nn::Shape is = in.shape();
   if (is.c != tf.in_channels) {
@@ -117,6 +177,37 @@ nn::Tensor winograd_conv(const WinogradTransform& t, const nn::Tensor& in,
                                       pad, fused_relu);
 }
 
+namespace {
+
+/// Numeric-format selection shared by the fixed path and its scalar twin.
+/// Mirrors the seed exactly: u_frac from the largest transformed-filter
+/// magnitude, v_frac from the B^T row gain applied twice times max|d|.
+void choose_winograd_fracs(const WinogradTransform& t,
+                           const TransformedFilters& tf, const nn::Tensor& in,
+                           int* u_frac, int* v_frac) {
+  const int n = t.n();
+  double u_max = 0.0;
+  for (const Matrix& u : tf.u) {
+    for (int a = 0; a < n; ++a) {
+      for (int b = 0; b < n; ++b) u_max = std::max(u_max, std::abs(u.at(a, b)));
+    }
+  }
+  *u_frac = fixed::choose_frac_bits(static_cast<float>(u_max));
+
+  double bt_gain = 0.0;
+  for (int a = 0; a < n; ++a) {
+    double row = 0.0;
+    for (int b = 0; b < n; ++b) row += std::abs(t.bt.at(a, b));
+    bt_gain = std::max(bt_gain, row);
+  }
+  float d_max = 0.0f;
+  for (float x : in.vec()) d_max = std::max(d_max, std::abs(x));
+  *v_frac = fixed::choose_frac_bits(
+      static_cast<float>(bt_gain * bt_gain * std::max(d_max, 1e-6f)));
+}
+
+}  // namespace
+
 nn::Tensor winograd_conv_fixed(const WinogradTransform& t,
                                const nn::Tensor& in,
                                const nn::FilterBank& filters,
@@ -130,29 +221,57 @@ nn::Tensor winograd_conv_fixed(const WinogradTransform& t,
   const int ow = is.w + 2 * pad - t.r + 1;
   nn::Tensor out(tf.out_channels, oh, ow);
 
-  // Pick the filter-domain fraction width from the largest transformed
-  // filter magnitude (done offline on a real flow).
-  double u_max = 0.0;
-  for (const Matrix& u : tf.u) {
-    for (int a = 0; a < n; ++a) {
-      for (int b = 0; b < n; ++b) u_max = std::max(u_max, std::abs(u.at(a, b)));
+  int u_frac = 0, v_frac = 0;
+  choose_winograd_fracs(t, tf, in, &u_frac, &v_frac);
+
+  kernels::WinogradPlanFixed plan;
+  plan.m = t.m;
+  plan.r = t.r;
+  plan.n = n;
+  plan.out_c = tf.out_channels;
+  plan.in_c = tf.in_channels;
+  plan.u_frac = u_frac;
+  flatten_transforms(t, plan.bt, plan.at);
+  // The seed quantized the same filter values once per tile; quantization is
+  // deterministic, so hoisting it to the plan is bit-identical.
+  plan.u.resize(static_cast<std::size_t>(n) * n * tf.out_channels *
+                tf.in_channels);
+  const std::size_t plane = static_cast<std::size_t>(tf.out_channels) *
+                            tf.in_channels;
+  for (int oc = 0; oc < tf.out_channels; ++oc) {
+    for (int ic = 0; ic < tf.in_channels; ++ic) {
+      const Matrix& u = tf.at(oc, ic);
+      const std::size_t off = static_cast<std::size_t>(oc) * tf.in_channels + ic;
+      for (int ab = 0; ab < n * n; ++ab) {
+        plan.u[static_cast<std::size_t>(ab) * plane + off] = Fixed16::quantize(
+            static_cast<float>(u.at(ab / n, ab % n)), u_frac);
+      }
     }
   }
-  const int u_frac = fixed::choose_frac_bits(static_cast<float>(u_max));
 
-  // The data transform amplifies samples by up to the row gain of B^T
-  // applied twice (2-D nesting), so the transform-domain format must cover
-  // gain^2 * max|d| or the multipliers saturate.
-  double bt_gain = 0.0;
-  for (int a = 0; a < n; ++a) {
-    double row = 0.0;
-    for (int b = 0; b < n; ++b) row += std::abs(t.bt.at(a, b));
-    bt_gain = std::max(bt_gain, row);
-  }
-  float d_max = 0.0f;
-  for (float x : in.vec()) d_max = std::max(d_max, std::abs(x));
-  const int v_frac = fixed::choose_frac_bits(
-      static_cast<float>(bt_gain * bt_gain * std::max(d_max, 1e-6f)));
+  kernels::winograd_conv_i16(plan, in.data(), is.h, is.w, pad,
+                             bias.empty() ? nullptr : bias.data(), fused_relu,
+                             data_frac, v_frac, out_frac, out.data(), oh, ow,
+                             /*threads=*/0);
+  return out;
+}
+
+nn::Tensor winograd_conv_fixed_scalar(const WinogradTransform& t,
+                                      const nn::Tensor& in,
+                                      const nn::FilterBank& filters,
+                                      const std::vector<float>& bias, int pad,
+                                      bool fused_relu, int data_frac,
+                                      int out_frac) {
+  using fixed::Fixed16;
+  const TransformedFilters tf = transform_filters(t, filters);
+  const nn::Shape is = in.shape();
+  const int n = t.n();
+  const int oh = is.h + 2 * pad - t.r + 1;
+  const int ow = is.w + 2 * pad - t.r + 1;
+  nn::Tensor out(tf.out_channels, oh, ow);
+
+  int u_frac = 0, v_frac = 0;
+  choose_winograd_fracs(t, tf, in, &u_frac, &v_frac);
 
   const int tiles_h = (oh + t.m - 1) / t.m;
   const int tiles_w = (ow + t.m - 1) / t.m;

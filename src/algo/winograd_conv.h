@@ -4,6 +4,7 @@
 // domain channel accumulation, one inverse transform per output tile.
 
 #include "algo/winograd_transform.h"
+#include "kernels/wino_gemm.h"
 #include "nn/tensor.h"
 
 namespace hetacc::algo {
@@ -25,6 +26,12 @@ struct TransformedFilters {
 [[nodiscard]] TransformedFilters transform_filters(const WinogradTransform& t,
                                                    const nn::FilterBank& f);
 
+/// Re-lays the pre-transformed filters out as the n^2 (out_c x in_c) planes
+/// the batched transform-domain GEMM consumes (kernels/wino_gemm.h). Done
+/// once per layer; the plan is shared across images and engine instances.
+[[nodiscard]] kernels::WinogradPlan pack_winograd_plan(
+    const TransformedFilters& tf);
+
 /// Float Winograd convolution, stride 1 (the algorithm's applicability
 /// condition, paper §2.1). `pad` is the conv zero padding.
 [[nodiscard]] nn::Tensor winograd_conv(const WinogradTransform& t,
@@ -38,6 +45,11 @@ struct TransformedFilters {
     const TransformedFilters& tf, const nn::Tensor& in,
     const std::vector<float>& bias, int pad, bool fused_relu);
 
+/// Seed per-tile scalar implementation (golden reference / bench baseline).
+[[nodiscard]] nn::Tensor winograd_conv_pretransformed_scalar(
+    const TransformedFilters& tf, const nn::Tensor& in,
+    const std::vector<float>& bias, int pad, bool fused_relu);
+
 /// 16-bit datapath model: the element-wise multiplier inputs (transformed
 /// data and transformed filters) are quantized to 16 bits before the DSP
 /// multiply, accumulation is wide, output re-quantized to Q(out_frac).
@@ -48,6 +60,13 @@ struct TransformedFilters {
                                              const std::vector<float>& bias,
                                              int pad, bool fused_relu,
                                              int data_frac, int out_frac);
+
+/// Seed per-tile scalar implementation; winograd_conv_fixed is bit-exact
+/// against it for any thread count (tested in test_kernels).
+[[nodiscard]] nn::Tensor winograd_conv_fixed_scalar(
+    const WinogradTransform& t, const nn::Tensor& in,
+    const nn::FilterBank& filters, const std::vector<float>& bias, int pad,
+    bool fused_relu, int data_frac, int out_frac);
 
 /// True if the layer geometry admits the Winograd algorithm in our flow:
 /// stride 1 and a supported tap count (paper: small kernels, stride 1).

@@ -31,6 +31,11 @@ class RowWindowBase : public StreamEngine {
     return rows_emitted_ == layer_.out.h;
   }
 
+  void reset() override {
+    lb_.reset();
+    rows_emitted_ = 0;
+  }
+
   bool step(RowFifo& in, RowFifo& out) override {
     if (done()) return false;
     // Prefer emitting (drains the pipeline) over ingesting.
@@ -93,10 +98,22 @@ class RowWindowBase : public StreamEngine {
 class ConvDirectEngine final : public RowWindowBase {
  public:
   ConvDirectEngine(const nn::Layer& layer, const nn::ConvWeights& w,
-                   NumericMode mode)
+                   NumericMode mode,
+                   std::shared_ptr<const kernels::PackedLhsF32> packed)
       // Paper §4.2: the conventional line buffer has K + S lines.
       : RowWindowBase(layer, layer.conv().kernel + layer.conv().stride, mode),
-        w_(w) {}
+        bias_(w.bias),
+        packed_(std::move(packed)) {
+    const int k = layer.conv().kernel;
+    const int kk = layer.in.c * k * k;
+    if (!packed_) {
+      // Weights packed into GEMM micro-panels once per engine, never per row.
+      packed_ = std::make_shared<const kernels::PackedLhsF32>(
+          w.filters.data(), layer.out.c, kk, kk);
+    }
+    patch_.resize(static_cast<std::size_t>(kk) * layer.out.w);
+    acc_.resize(static_cast<std::size_t>(layer.out.c) * layer.out.w);
+  }
 
  private:
   [[nodiscard]] bool window_ready() const override {
@@ -108,42 +125,60 @@ class ConvDirectEngine final : public RowWindowBase {
   [[nodiscard]] Row emit_row() override {
     const auto& cp = layer_.conv();
     const int k = cp.kernel, s = cp.stride;
+    const int ow = layer_.out.w;
     const long long top = static_cast<long long>(rows_emitted_) * s;
-    Row r;
-    r.data.resize(static_cast<std::size_t>(layer_.out.c) * layer_.out.w);
-    for (int n = 0; n < layer_.out.c; ++n) {
-      const float bias = w_.bias.empty() ? 0.0f : w_.bias[n];
-      for (int j = 0; j < layer_.out.w; ++j) {
-        double acc = bias;
-        for (int m = 0; m < layer_.in.c; ++m) {
-          for (int u = 0; u < k; ++u) {
-            for (int v = 0; v < k; ++v) {
-              acc += static_cast<double>(lb_.at(m, top + u, j * s + v)) *
-                     w_.filters.at(n, m, u, v);
-            }
+
+    // Lower this output row's window into an im2col panel: one row per
+    // (channel, ku, kv) tap, one column per output pixel.
+    std::size_t pr = 0;
+    for (int m = 0; m < layer_.in.c; ++m) {
+      for (int u = 0; u < k; ++u) {
+        const float* src = lb_.row_ptr(m, top + u);
+        for (int v = 0; v < k; ++v, ++pr) {
+          float* dst = patch_.data() + pr * ow;
+          if (s == 1) {
+            std::copy(src + v, src + v + ow, dst);
+          } else {
+            for (int j = 0; j < ow; ++j) dst[j] = src[j * s + v];
           }
         }
-        float val = static_cast<float>(acc);
+      }
+    }
+
+    // One GEMM per output row; the MAC tree accumulates in double, exactly
+    // like the seed's per-pixel loop nest.
+    kernels::gemm_f32d(*packed_, ow, patch_.data(), ow, acc_.data(), ow,
+                       bias_.empty() ? nullptr : bias_.data(),
+                       /*relu=*/false, /*threads=*/0);
+
+    Row r;
+    r.data.resize(static_cast<std::size_t>(layer_.out.c) * ow);
+    for (int n = 0; n < layer_.out.c; ++n) {
+      for (int j = 0; j < ow; ++j) {
+        float val = static_cast<float>(acc_[static_cast<std::size_t>(n) * ow + j]);
         if (cp.fused_relu) val = std::max(val, 0.0f);
-        r.data[static_cast<std::size_t>(n) * layer_.out.w + j] =
+        r.data[static_cast<std::size_t>(n) * ow + j] =
             maybe_quantize(val, mode_.out_frac);
       }
     }
     return r;
   }
 
-  nn::ConvWeights w_;
+  std::vector<float> bias_;
+  std::shared_ptr<const kernels::PackedLhsF32> packed_;
+  std::vector<float> patch_;
+  std::vector<double> acc_;
 };
 
 // --------------------------------------------------------------------------
 class WinogradEngine final : public RowWindowBase {
  public:
   WinogradEngine(const nn::Layer& layer, const nn::ConvWeights& w,
-                 const algo::WinogradTransform& t, NumericMode mode)
+                 const algo::WinogradTransform& t, NumericMode mode,
+                 std::shared_ptr<const kernels::WinogradPlan> plan)
       // n rows in flight through the transform plus m streaming in.
       : RowWindowBase(layer, t.n() + t.m, mode),
-        t_(t),
-        tf_(algo::transform_filters(t, w.filters)),
+        plan_(std::move(plan)),
         bias_(w.bias) {
     if (layer.conv().stride != 1) {
       throw std::invalid_argument("WinogradEngine requires stride 1");
@@ -151,16 +186,30 @@ class WinogradEngine final : public RowWindowBase {
     if (layer.conv().kernel != t.r) {
       throw std::invalid_argument("WinogradEngine: kernel != r");
     }
+    if (!plan_) {
+      // No shared plan supplied: transform the filters here, once per
+      // engine (the pipeline caches and shares plans across images).
+      plan_ = std::make_shared<const kernels::WinogradPlan>(
+          algo::pack_winograd_plan(algo::transform_filters(t, w.filters)));
+    }
+    tiles_w_ = (layer.out.w + t.m - 1) / t.m;
+    strip_w_ = (tiles_w_ - 1) * t.m + t.n();
+    strip_.resize(static_cast<std::size_t>(layer.in.c) * t.n() * strip_w_);
+  }
+
+  void reset() override {
+    RowWindowBase::reset();
+    block_.clear();
   }
 
  private:
   [[nodiscard]] bool window_ready() const override {
     if (!block_.empty()) return true;  // rows already computed, still emitting
-    const long long b = rows_emitted_ / t_.m;
+    const long long b = rows_emitted_ / plan_->m;
     // Bottom tiles may hang past the padded edge; the overhang is zero-fill,
     // so only in-range rows are required.
     const long long need =
-        std::min<long long>(b * t_.m + t_.n(), padded_h_);
+        std::min<long long>(b * plan_->m + plan_->n, padded_h_);
     return pushed() >= need;
   }
 
@@ -172,7 +221,7 @@ class WinogradEngine final : public RowWindowBase {
   }
 
   void compute_block() {
-    const int n = t_.n(), m = t_.m;
+    const int n = plan_->n, m = plan_->m;
     const long long b = rows_emitted_ / m;
     const long long top = b * m;
     const int rows_this_block =
@@ -183,53 +232,47 @@ class WinogradEngine final : public RowWindowBase {
                       0.0f);
     }
 
-    const int tiles_w = (layer_.out.w + m - 1) / m;
-    std::vector<algo::Matrix> v(static_cast<std::size_t>(layer_.in.c));
-    for (int tj = 0; tj < tiles_w; ++tj) {
-      for (int c = 0; c < layer_.in.c; ++c) {
-        algo::Matrix d(n, n);
-        for (int u = 0; u < n; ++u) {
-          for (int vv = 0; vv < n; ++vv) {
-            const int col = tj * m + vv;
-            d.at(u, vv) = (col < padded_w_ && top + u < padded_h_)
-                              ? lb_.at(c, top + u, col)
-                              : 0.0;
-          }
+    // Gather the line-buffer window into a contiguous strip (zero beyond the
+    // padded extent) and hand the whole tile row to the batched kernel.
+    const int copy_w = std::min(strip_w_, padded_w_);
+    for (int c = 0; c < layer_.in.c; ++c) {
+      for (int u = 0; u < n; ++u) {
+        float* dst =
+            strip_.data() +
+            (static_cast<std::size_t>(c) * n + u) * strip_w_;
+        if (top + u >= padded_h_) {
+          std::fill(dst, dst + strip_w_, 0.0f);
+          continue;
         }
-        v[static_cast<std::size_t>(c)] = t_.bt * d * t_.bt.transposed();
-      }
-      for (int oc = 0; oc < layer_.out.c; ++oc) {
-        algo::Matrix acc(n, n);
-        for (int c = 0; c < layer_.in.c; ++c) {
-          const algo::Matrix& u = tf_.at(oc, c);
-          const algo::Matrix& vv = v[static_cast<std::size_t>(c)];
-          for (int a = 0; a < n; ++a) {
-            for (int bb = 0; bb < n; ++bb) {
-              acc.at(a, bb) += u.at(a, bb) * vv.at(a, bb);
-            }
-          }
-        }
-        const algo::Matrix y = t_.at * acc * t_.at.transposed();
-        const float bias = bias_.empty() ? 0.0f : bias_[oc];
-        for (int a = 0; a < rows_this_block; ++a) {
-          for (int bb = 0; bb < m; ++bb) {
-            const int col = tj * m + bb;
-            if (col >= layer_.out.w) break;
-            float val = static_cast<float>(y.at(a, bb)) + bias;
-            if (layer_.conv().fused_relu) val = std::max(val, 0.0f);
-            block_[static_cast<std::size_t>(a)]
-                .data[static_cast<std::size_t>(oc) * layer_.out.w + col] =
-                maybe_quantize(val, mode_.out_frac);
-          }
-        }
+        const float* src = lb_.row_ptr(c, top + u);
+        std::copy(src, src + copy_w, dst);
+        if (copy_w < strip_w_) std::fill(dst + copy_w, dst + strip_w_, 0.0f);
       }
     }
+
+    std::vector<float*> out_rows(static_cast<std::size_t>(rows_this_block) *
+                                 layer_.out.c);
+    for (int a = 0; a < rows_this_block; ++a) {
+      for (int oc = 0; oc < layer_.out.c; ++oc) {
+        out_rows[static_cast<std::size_t>(a) * layer_.out.c + oc] =
+            block_[static_cast<std::size_t>(a)].data.data() +
+            static_cast<std::size_t>(oc) * layer_.out.w;
+      }
+    }
+    kernels::winograd_strip(*plan_, strip_.data(), strip_w_, tiles_w_,
+                            out_rows.data(), rows_this_block, layer_.out.w,
+                            bias_.empty() ? nullptr : bias_.data(),
+                            layer_.conv().fused_relu, mode_.out_frac, scratch_,
+                            /*threads=*/0);
   }
 
-  algo::WinogradTransform t_;
-  algo::TransformedFilters tf_;
+  std::shared_ptr<const kernels::WinogradPlan> plan_;
   std::vector<float> bias_;
   std::vector<Row> block_;
+  int tiles_w_ = 0;
+  int strip_w_ = 0;
+  std::vector<float> strip_;
+  kernels::WinogradScratch scratch_;
 };
 
 // --------------------------------------------------------------------------
@@ -296,6 +339,7 @@ class LrnEngine final : public StreamEngine {
   [[nodiscard]] bool done() const override {
     return rows_emitted_ == layer_.out.h;
   }
+  void reset() override { rows_emitted_ = 0; }
 
   bool step(RowFifo& in, RowFifo& out) override {
     if (done() || in.empty()) return false;
@@ -345,6 +389,7 @@ class ReluEngine final : public StreamEngine {
   [[nodiscard]] bool done() const override {
     return rows_emitted_ == layer_.out.h;
   }
+  void reset() override { rows_emitted_ = 0; }
 
   bool step(RowFifo& in, RowFifo& out) override {
     if (done() || in.empty()) return false;
@@ -367,7 +412,9 @@ class ReluEngine final : public StreamEngine {
 
 std::unique_ptr<StreamEngine> make_engine(
     const nn::Layer& layer, const nn::ConvWeights* weights,
-    std::optional<algo::WinogradTransform> wino, NumericMode mode) {
+    std::optional<algo::WinogradTransform> wino, NumericMode mode,
+    std::shared_ptr<const kernels::WinogradPlan> wino_plan,
+    std::shared_ptr<const kernels::PackedLhsF32> packed_weights) {
   switch (layer.kind) {
     case nn::LayerKind::kConv: {
       if (!weights) {
@@ -375,9 +422,11 @@ std::unique_ptr<StreamEngine> make_engine(
                                     layer.name + "')");
       }
       if (wino) {
-        return std::make_unique<WinogradEngine>(layer, *weights, *wino, mode);
+        return std::make_unique<WinogradEngine>(layer, *weights, *wino, mode,
+                                                std::move(wino_plan));
       }
-      return std::make_unique<ConvDirectEngine>(layer, *weights, mode);
+      return std::make_unique<ConvDirectEngine>(layer, *weights, mode,
+                                                std::move(packed_weights));
     }
     case nn::LayerKind::kPool:
       return std::make_unique<PoolEngine>(layer, mode);

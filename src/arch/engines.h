@@ -10,6 +10,8 @@
 #include "algo/winograd_conv.h"
 #include "arch/fifo.h"
 #include "arch/line_buffer.h"
+#include "kernels/gemm.h"
+#include "kernels/wino_gemm.h"
 #include "nn/layer.h"
 #include "nn/weights.h"
 
@@ -33,15 +35,25 @@ class StreamEngine {
   virtual bool step(RowFifo& in, RowFifo& out) = 0;
   /// True once every output row has been emitted.
   [[nodiscard]] virtual bool done() const = 0;
+  /// Frame boundary: clears streaming state (line buffers, row counters) so
+  /// the engine can process the next image. Per-layer constants — packed
+  /// weight panels, transformed filters — survive the reset; that is the
+  /// point (the seed re-derived them per image).
+  virtual void reset() = 0;
   [[nodiscard]] virtual const nn::Layer& layer() const = 0;
   /// Line-buffer rows this engine instantiates (for resource cross-checks).
   [[nodiscard]] virtual int line_buffer_lines() const = 0;
 };
 
 /// Factory covering all fusable layer kinds. `wino` selects the Winograd
-/// algorithm for conv layers (nullopt = conventional).
+/// algorithm for conv layers (nullopt = conventional). `wino_plan` /
+/// `packed_weights` optionally supply the per-layer constants (shared across
+/// engine instances, e.g. by FusionPipeline); when null they are derived
+/// from `weights` at construction.
 [[nodiscard]] std::unique_ptr<StreamEngine> make_engine(
     const nn::Layer& layer, const nn::ConvWeights* weights,
-    std::optional<algo::WinogradTransform> wino, NumericMode mode);
+    std::optional<algo::WinogradTransform> wino, NumericMode mode,
+    std::shared_ptr<const kernels::WinogradPlan> wino_plan = nullptr,
+    std::shared_ptr<const kernels::PackedLhsF32> packed_weights = nullptr);
 
 }  // namespace hetacc::arch

@@ -43,6 +43,14 @@ class CircularLineBuffer {
   /// schedule construction).
   [[nodiscard]] float at(int channel, long long row, int col) const;
 
+  /// Raw pointer to one channel's row (width() floats); residency and
+  /// channel range checked once per row, not per element.
+  [[nodiscard]] const float* row_ptr(int channel, long long row) const;
+
+  /// Returns to the post-construction state (frame boundary): counters
+  /// cleared and storage zeroed, matching the hardware's per-frame reset.
+  void reset();
+
  private:
   int channels_, width_, lines_;
   long long next_row_ = 0;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "cost/cost_model.h"
+#include "kernels/parallel.h"
 
 namespace hetacc::arch {
 
@@ -19,11 +20,31 @@ FusionPipeline::FusionPipeline(const nn::Network& net,
   if (choices_.size() != layer_count) {
     throw std::invalid_argument("FusionPipeline: choices size mismatch");
   }
-  build_engines();
+  // Derive per-layer constants once: transformed Winograd filters (the seed
+  // re-ran transform_filters for every image) and packed GEMM weight panels.
+  wino_plans_.resize(layer_count);
+  packed_weights_.resize(layer_count);
+  for (std::size_t i = 0; i + 1 < net_.size(); ++i) {
+    const nn::Layer& l = net_[i + 1];
+    if (l.kind != nn::LayerKind::kConv) continue;
+    const nn::ConvWeights& w = ws_.conv(i + 1);
+    if (choices_[i].algo == fpga::ConvAlgo::kWinograd) {
+      const algo::WinogradTransform t =
+          algo::winograd(choices_[i].wino_m, l.conv().kernel);
+      wino_plans_[i] = std::make_shared<const kernels::WinogradPlan>(
+          algo::pack_winograd_plan(algo::transform_filters(t, w.filters)));
+    } else if (choices_[i].algo == fpga::ConvAlgo::kConventional) {
+      const int kk = l.in.c * l.conv().kernel * l.conv().kernel;
+      packed_weights_[i] = std::make_shared<const kernels::PackedLhsF32>(
+          w.filters.data(), l.out.c, kk, kk);
+    }
+  }
+  engines_ = build_engine_set();
 }
 
-void FusionPipeline::build_engines() {
-  engines_.clear();
+std::vector<std::unique_ptr<StreamEngine>> FusionPipeline::build_engine_set()
+    const {
+  std::vector<std::unique_ptr<StreamEngine>> engines;
   for (std::size_t i = 0; i + 1 < net_.size(); ++i) {
     const nn::Layer& l = net_[i + 1];
     const nn::ConvWeights* w =
@@ -39,22 +60,54 @@ void FusionPipeline::build_engines() {
         choices_[i].algo == fpga::ConvAlgo::kWinograd) {
       t = algo::winograd(choices_[i].wino_m, l.conv().kernel);
     }
-    engines_.push_back(make_engine(l, w, t, choices_[i].mode));
+    engines.push_back(make_engine(l, w, t, choices_[i].mode, wino_plans_[i],
+                                  packed_weights_[i]));
   }
+  return engines;
 }
 
 nn::Tensor FusionPipeline::run(const nn::Tensor& input) {
+  return run_with(engines_, input, &stats_);
+}
+
+std::vector<nn::Tensor> FusionPipeline::run_batch(
+    const std::vector<nn::Tensor>& inputs, int threads) const {
+  std::vector<nn::Tensor> outs(inputs.size());
+  if (inputs.empty()) return outs;
+  const int want = std::min<int>(kernels::resolve_threads(
+                                     threads == 0 ? kernels::num_threads()
+                                                  : threads),
+                                 static_cast<int>(inputs.size()));
+  const std::size_t chunks = static_cast<std::size_t>(std::max(want, 1));
+  const std::size_t per =
+      (inputs.size() + chunks - 1) / chunks;
+  // One engine set per worker (engines are stateful); the per-layer
+  // constants in wino_plans_/packed_weights_ are shared by all of them.
+  kernels::parallel_for(chunks, threads, [&](std::size_t ci) {
+    auto engines = build_engine_set();
+    const std::size_t lo = ci * per;
+    const std::size_t hi = std::min(inputs.size(), lo + per);
+    for (std::size_t i = lo; i < hi; ++i) {
+      outs[i] = run_with(engines, inputs[i], nullptr);
+    }
+  });
+  return outs;
+}
+
+nn::Tensor FusionPipeline::run_with(
+    std::vector<std::unique_ptr<StreamEngine>>& engines,
+    const nn::Tensor& input, PipelineStats* stats) const {
   // Fresh engine state per image (the hardware resets its line-buffer
-  // counters between frames).
-  build_engines();
+  // counters between frames); layer constants survive the reset.
+  for (auto& e : engines) e->reset();
   if (input.shape() != net_[0].out) {
     throw std::invalid_argument("FusionPipeline::run: input shape " +
                                 input.shape().str() + " != " +
                                 net_[0].out.str());
   }
-  const std::size_t n = engines_.size();
+  const std::size_t n = engines.size();
   std::vector<RowFifo> fifos(n + 1);
-  stats_ = PipelineStats{};
+  if (stats) *stats = PipelineStats{};
 
   const nn::Shape out_shape = net_[net_.size() - 1].out;
   nn::Tensor out(out_shape);
@@ -83,9 +136,9 @@ nn::Tensor FusionPipeline::run(const nn::Tensor& input) {
     while (progressed) {
       progressed = false;
       for (std::size_t i = 0; i < n; ++i) {
-        while (engines_[i]->step(fifos[i], fifos[i + 1])) {
+        while (engines[i]->step(fifos[i], fifos[i + 1])) {
           progressed = true;
-          ++stats_.total_steps;
+          if (stats) ++stats->total_steps;
         }
       }
       // Drain finished output rows.
@@ -110,7 +163,7 @@ nn::Tensor FusionPipeline::run(const nn::Tensor& input) {
       // input remains, the pipeline is deadlocked — a design bug.
       bool anything = false;
       for (std::size_t i = 0; i < n && !anything; ++i) {
-        anything = engines_[i]->step(fifos[i], fifos[i + 1]);
+        anything = engines[i]->step(fifos[i], fifos[i + 1]);
       }
       if (!anything && fifos[n].empty()) {
         throw std::runtime_error("pipeline stalled before completion");
@@ -118,8 +171,12 @@ nn::Tensor FusionPipeline::run(const nn::Tensor& input) {
     }
   }
 
-  stats_.fifo_max_occupancy.clear();
-  for (const auto& f : fifos) stats_.fifo_max_occupancy.push_back(f.max_occupancy());
+  if (stats) {
+    stats->fifo_max_occupancy.clear();
+    for (const auto& f : fifos) {
+      stats->fifo_max_occupancy.push_back(f.max_occupancy());
+    }
+  }
   return out;
 }
 

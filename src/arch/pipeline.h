@@ -40,9 +40,19 @@ class FusionPipeline {
                  std::vector<LayerChoice> choices = {});
 
   /// Streams one image through the pipeline; returns the final output.
-  /// Engines are rebuilt per call, so a pipeline can process a batch of
-  /// images by calling run() repeatedly.
+  /// Engines are reset (not rebuilt) between calls, so per-layer constants
+  /// — transformed Winograd filters, packed GEMM weight panels — are
+  /// derived once in the constructor and reused for every image.
   [[nodiscard]] nn::Tensor run(const nn::Tensor& input);
+
+  /// Streams a batch of images, parallelized across images (`threads`
+  /// follows the OptimizerOptions convention: 1 = serial, 0 = all cores,
+  /// n = n). Each worker streams its share of the batch through its own
+  /// engine set; the cached per-layer constants are shared by all of them,
+  /// and results are identical to calling run() per image in order.
+  /// stats() is not updated by batch runs.
+  [[nodiscard]] std::vector<nn::Tensor> run_batch(
+      const std::vector<nn::Tensor>& inputs, int threads = 0) const;
 
   [[nodiscard]] const PipelineStats& stats() const { return stats_; }
   [[nodiscard]] std::size_t engine_count() const { return engines_.size(); }
@@ -51,11 +61,18 @@ class FusionPipeline {
   }
 
  private:
-  void build_engines();
+  [[nodiscard]] std::vector<std::unique_ptr<StreamEngine>> build_engine_set()
+      const;
+  nn::Tensor run_with(std::vector<std::unique_ptr<StreamEngine>>& engines,
+                      const nn::Tensor& input, PipelineStats* stats) const;
 
   nn::Network net_;
   nn::WeightStore ws_;
   std::vector<LayerChoice> choices_;
+  /// Per-layer constants shared across engine sets (index-aligned with
+  /// choices_; null where not applicable).
+  std::vector<std::shared_ptr<const kernels::WinogradPlan>> wino_plans_;
+  std::vector<std::shared_ptr<const kernels::PackedLhsF32>> packed_weights_;
   std::vector<std::unique_ptr<StreamEngine>> engines_;
   PipelineStats stats_;
 };

@@ -1,0 +1,281 @@
+#include "kernels/gemm.h"
+
+#include <algorithm>
+#include <cstring>
+#include <type_traits>
+
+#include "kernels/parallel.h"
+
+namespace hetacc::kernels {
+
+namespace {
+
+// Register micro-tile (MR x NR accumulators stay in registers across the K
+// panel) and cache blocks (KC panel of B in L1/L2, MC x KC block of A in L2).
+constexpr int MR = 4;
+constexpr int NR = 8;
+constexpr int KC = 256;
+constexpr int MC = 96;
+
+template <typename T>
+void pack_a_block(const T* A, int lda, int i0, int mb, int p0, int kb,
+                  std::vector<T>& out) {
+  const int panels = (mb + MR - 1) / MR;
+  out.assign(static_cast<std::size_t>(panels) * MR * kb, T{});
+  for (int pi = 0; pi < panels; ++pi) {
+    T* dst = out.data() + static_cast<std::size_t>(pi) * MR * kb;
+    const int rows = std::min(MR, mb - pi * MR);
+    for (int ir = 0; ir < rows; ++ir) {
+      const T* src =
+          A + static_cast<std::size_t>(i0 + pi * MR + ir) * lda + p0;
+      for (int k = 0; k < kb; ++k) dst[k * MR + ir] = src[k];
+    }
+  }
+}
+
+template <typename T>
+void pack_b_block(const T* B, int ldb, int p0, int kb, int j0, int nb,
+                  std::vector<T>& out) {
+  const int panels = (nb + NR - 1) / NR;
+  out.assign(static_cast<std::size_t>(panels) * NR * kb, T{});
+  for (int pj = 0; pj < panels; ++pj) {
+    T* dst = out.data() + static_cast<std::size_t>(pj) * NR * kb;
+    const int cols = std::min(NR, nb - pj * NR);
+    for (int k = 0; k < kb; ++k) {
+      const T* src = B + static_cast<std::size_t>(p0 + k) * ldb + j0 + pj * NR;
+      for (int jr = 0; jr < cols; ++jr) dst[k * NR + jr] = src[jr];
+    }
+  }
+}
+
+/// MR x NR register tile over a kb-deep pair of packed panels. The per-
+/// element accumulation order is strictly ascending in k.
+template <typename TA, typename TAcc>
+inline void micro_kernel(int kb, const TA* a, const TA* b, TAcc* acc) {
+  for (int k = 0; k < kb; ++k) {
+    const TA* ak = a + static_cast<std::size_t>(k) * MR;
+    const TA* bk = b + static_cast<std::size_t>(k) * NR;
+    for (int ir = 0; ir < MR; ++ir) {
+      if constexpr (std::is_integral_v<TA>) {
+        const std::int32_t av = ak[ir];
+        for (int jr = 0; jr < NR; ++jr) {
+          acc[ir * NR + jr] += static_cast<TAcc>(av * bk[jr]);
+        }
+      } else {
+        const TAcc av = static_cast<TAcc>(ak[ir]);
+        for (int jr = 0; jr < NR; ++jr) {
+          acc[ir * NR + jr] += av * static_cast<TAcc>(bk[jr]);
+        }
+      }
+    }
+  }
+}
+
+/// Serial GEMM over the column stripe [j0, j1). Exactly one of A / packedA
+/// is used. TBias: per-row offset added once (on the first K block).
+template <typename TA, typename TAcc, typename TC, typename TBias>
+void gemm_stripe(int M, int K, const TA* A, int lda, const PackedLhsT<TA>* pA,
+                 const TA* B, int ldb, TC* C, int ldc, const TBias* bias,
+                 bool relu, int j0, int j1) {
+  const int nb = j1 - j0;
+  std::vector<TA> apack, bpack;
+  for (int p0 = 0, pb = 0; p0 < K; p0 += KC, ++pb) {
+    const int kb = std::min(KC, K - p0);
+    pack_b_block(B, ldb, p0, kb, j0, nb, bpack);
+    const bool first = (p0 == 0);
+    const int jpanels = (nb + NR - 1) / NR;
+    for (int i0 = 0, ib = 0; i0 < M; i0 += MC, ++ib) {
+      const int mb = std::min(MC, M - i0);
+      const TA* ap;
+      if (pA) {
+        ap = pA->block(pb, ib).data();
+      } else {
+        pack_a_block(A, lda, i0, mb, p0, kb, apack);
+        ap = apack.data();
+      }
+      const int ipanels = (mb + MR - 1) / MR;
+      for (int pi = 0; pi < ipanels; ++pi) {
+        for (int pj = 0; pj < jpanels; ++pj) {
+          TAcc acc[MR * NR] = {};
+          micro_kernel<TA, TAcc>(kb, ap + static_cast<std::size_t>(pi) * MR * kb,
+                                 bpack.data() +
+                                     static_cast<std::size_t>(pj) * NR * kb,
+                                 acc);
+          const int rows = std::min(MR, mb - pi * MR);
+          const int cols = std::min(NR, nb - pj * NR);
+          for (int ir = 0; ir < rows; ++ir) {
+            const int i = i0 + pi * MR + ir;
+            TC* crow = C + static_cast<std::size_t>(i) * ldc + j0 + pj * NR;
+            for (int jr = 0; jr < cols; ++jr) {
+              if (first) {
+                TAcc v = acc[ir * NR + jr];
+                if (bias) v = static_cast<TAcc>(bias[i]) + v;
+                crow[jr] = static_cast<TC>(v);
+              } else {
+                crow[jr] = static_cast<TC>(static_cast<TAcc>(crow[jr]) +
+                                           acc[ir * NR + jr]);
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  if constexpr (std::is_floating_point_v<TC>) {
+    if (relu) {
+      for (int i = 0; i < M; ++i) {
+        TC* crow = C + static_cast<std::size_t>(i) * ldc;
+        for (int j = j0; j < j1; ++j) crow[j] = std::max(crow[j], TC(0));
+      }
+    }
+  } else {
+    (void)relu;
+  }
+}
+
+template <typename TA, typename TAcc, typename TC, typename TBias>
+void gemm_dispatch(int M, int N, int K, const TA* A, int lda,
+                   const PackedLhsT<TA>* pA, const TA* B, int ldb, TC* C,
+                   int ldc, const TBias* bias, bool relu, int threads) {
+  if (M <= 0 || N <= 0) return;
+  if (K <= 0) {
+    for (int i = 0; i < M; ++i) {
+      TC v = bias ? static_cast<TC>(bias[i]) : TC{};
+      if constexpr (std::is_floating_point_v<TC>) {
+        if (relu) v = std::max(v, TC(0));
+      }
+      TC* crow = C + static_cast<std::size_t>(i) * ldc;
+      for (int j = 0; j < N; ++j) crow[j] = v;
+    }
+    return;
+  }
+  if (threads == 0) threads = num_threads();
+  int want = std::min(resolve_threads(threads), (N + NR - 1) / NR);
+  want = std::max(want, 1);
+  // Column stripes are NR-aligned so panel padding never lands mid-panel.
+  const int stripe = ((N + want - 1) / want + NR - 1) / NR * NR;
+  const int stripes = (N + stripe - 1) / stripe;
+  parallel_for(static_cast<std::size_t>(stripes), threads, [&](std::size_t s) {
+    const int j0 = static_cast<int>(s) * stripe;
+    const int j1 = std::min(N, j0 + stripe);
+    gemm_stripe<TA, TAcc, TC, TBias>(M, K, A, lda, pA, B, ldb, C, ldc, bias,
+                                     relu, j0, j1);
+  });
+}
+
+}  // namespace
+
+template <typename T>
+PackedLhsT<T>::PackedLhsT(const T* A, int M, int K, int lda) : m_(M), k_(K) {
+  pblocks_ = K > 0 ? (K + KC - 1) / KC : 0;
+  iblocks_ = M > 0 ? (M + MC - 1) / MC : 0;
+  blocks_.resize(static_cast<std::size_t>(pblocks_) * iblocks_);
+  for (int p0 = 0, pb = 0; p0 < K; p0 += KC, ++pb) {
+    const int kb = std::min(KC, K - p0);
+    for (int i0 = 0, ib = 0; i0 < M; i0 += MC, ++ib) {
+      const int mb = std::min(MC, M - i0);
+      pack_a_block(A, lda, i0, mb, p0, kb,
+                   blocks_[static_cast<std::size_t>(pb) * iblocks_ + ib]);
+    }
+  }
+}
+
+template class PackedLhsT<float>;
+
+void gemm_f32(int M, int N, int K, const float* A, int lda, const float* B,
+              int ldb, float* C, int ldc, const float* bias, bool relu,
+              int threads) {
+  gemm_dispatch<float, float, float, float>(M, N, K, A, lda, nullptr, B, ldb,
+                                            C, ldc, bias, relu, threads);
+}
+
+void gemm_f32(const PackedLhsF32& A, int N, const float* B, int ldb, float* C,
+              int ldc, const float* bias, bool relu, int threads) {
+  gemm_dispatch<float, float, float, float>(A.rows(), N, A.depth(), nullptr, 0,
+                                            &A, B, ldb, C, ldc, bias, relu,
+                                            threads);
+}
+
+void gemm_f32d(int M, int N, int K, const float* A, int lda, const float* B,
+               int ldb, double* C, int ldc, const float* bias, bool relu,
+               int threads) {
+  gemm_dispatch<float, double, double, float>(M, N, K, A, lda, nullptr, B, ldb,
+                                              C, ldc, bias, relu, threads);
+}
+
+void gemm_f32d(const PackedLhsF32& A, int N, const float* B, int ldb,
+               double* C, int ldc, const float* bias, bool relu, int threads) {
+  gemm_dispatch<float, double, double, float>(A.rows(), N, A.depth(), nullptr,
+                                              0, &A, B, ldb, C, ldc, bias,
+                                              relu, threads);
+}
+
+void gemm_f64(int M, int N, int K, const double* A, int lda, const double* B,
+              int ldb, double* C, int ldc, int threads) {
+  gemm_dispatch<double, double, double, double>(M, N, K, A, lda, nullptr, B,
+                                                ldb, C, ldc, nullptr, false,
+                                                threads);
+}
+
+void gemm_i16(int M, int N, int K, const std::int16_t* A, int lda,
+              const std::int16_t* B, int ldb, std::int64_t* C, int ldc,
+              int threads) {
+  gemm_dispatch<std::int16_t, std::int64_t, std::int64_t, std::int64_t>(
+      M, N, K, A, lda, nullptr, B, ldb, C, ldc, nullptr, false, threads);
+}
+
+namespace {
+
+template <typename T>
+void im2col_impl(const T* in, int C, int H, int W, int kernel, int stride,
+                 int pad, int out_h, int out_w, T* mat) {
+  const std::size_t cols = static_cast<std::size_t>(out_h) * out_w;
+  std::size_t row = 0;
+  for (int c = 0; c < C; ++c) {
+    const T* plane = in + static_cast<std::size_t>(c) * H * W;
+    for (int u = 0; u < kernel; ++u) {
+      for (int v = 0; v < kernel; ++v, ++row) {
+        T* dst = mat + row * cols;
+        for (int i = 0; i < out_h; ++i) {
+          T* drow = dst + static_cast<std::size_t>(i) * out_w;
+          const int h = i * stride + u - pad;
+          if (h < 0 || h >= H) {
+            std::fill(drow, drow + out_w, T{});
+            continue;
+          }
+          const T* srow = plane + static_cast<std::size_t>(h) * W;
+          if (stride == 1) {
+            // Contiguous span: j in [max(0, pad-v), min(out_w, W+pad-v)).
+            const int j_lo = std::max(0, pad - v);
+            const int j_hi = std::min(out_w, W + pad - v);
+            if (j_lo > 0) std::fill(drow, drow + j_lo, T{});
+            if (j_hi > j_lo) {
+              std::memcpy(drow + j_lo, srow + j_lo + v - pad,
+                          static_cast<std::size_t>(j_hi - j_lo) * sizeof(T));
+            }
+            if (j_hi < out_w) std::fill(drow + std::max(j_hi, 0), drow + out_w, T{});
+          } else {
+            for (int j = 0; j < out_w; ++j) {
+              const int w = j * stride + v - pad;
+              drow[j] = (w < 0 || w >= W) ? T{} : srow[w];
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void im2col_f32(const float* in, int C, int H, int W, int kernel, int stride,
+                int pad, int out_h, int out_w, float* mat) {
+  im2col_impl(in, C, H, W, kernel, stride, pad, out_h, out_w, mat);
+}
+
+void im2col_i16(const std::int16_t* in, int C, int H, int W, int kernel,
+                int stride, int pad, int out_h, int out_w, std::int16_t* mat) {
+  im2col_impl(in, C, H, W, kernel, stride, pad, out_h, out_w, mat);
+}
+
+}  // namespace hetacc::kernels

@@ -1,0 +1,77 @@
+#pragma once
+// Cache-blocked, register-tiled packed GEMM — the shared compute core of the
+// functional simulation paths (im2col convolution, transform-domain Winograd,
+// fixed-point datapaths). Operands are packed into MR/NR-interleaved panels
+// (BLIS-style) so the micro-kernel streams contiguously; K is blocked into
+// fixed KC panels that accumulate into C.
+//
+// Determinism contract: every C element is produced by exactly one thread and
+// its accumulation order depends only on (K, KC) — never on the thread count
+// or the column-stripe split — so results are byte-identical for any
+// `threads` value. Parallelism is across column stripes of C (independent
+// outputs); a single accumulation chain is never split.
+
+#include <cstdint>
+#include <vector>
+
+namespace hetacc::kernels {
+
+/// Left operand pre-packed into micro-panels (weights reused across many
+/// GEMM calls: conv engines pack once per layer, not once per image/row).
+template <typename T>
+class PackedLhsT {
+ public:
+  PackedLhsT() = default;
+  /// Packs row-major A (M x K, leading dimension lda).
+  PackedLhsT(const T* A, int M, int K, int lda);
+
+  [[nodiscard]] int rows() const { return m_; }
+  [[nodiscard]] int depth() const { return k_; }
+  /// Panel block for K-block pb and M-block ib (kernel-layer internal).
+  [[nodiscard]] const std::vector<T>& block(int pb, int ib) const {
+    return blocks_[static_cast<std::size_t>(pb) * iblocks_ + ib];
+  }
+
+ private:
+  int m_ = 0, k_ = 0, pblocks_ = 0, iblocks_ = 0;
+  std::vector<std::vector<T>> blocks_;
+};
+
+using PackedLhsF32 = PackedLhsT<float>;
+
+/// C (M x N, ldc) = A (M x K, lda) * B (K x N, ldb), float accumulation.
+/// If `bias` is non-null, row i is offset by bias[i]; `relu` clamps at 0.
+/// `threads`: 0 = kernel-layer default (num_threads()), 1 = serial, n = n.
+void gemm_f32(int M, int N, int K, const float* A, int lda, const float* B,
+              int ldb, float* C, int ldc, const float* bias, bool relu,
+              int threads);
+void gemm_f32(const PackedLhsF32& A, int N, const float* B, int ldb, float* C,
+              int ldc, const float* bias, bool relu, int threads);
+
+/// Float operands, double accumulation, double C — the conv-engine datapath
+/// (the streaming engines accumulate MACs in double; see arch/engines.cpp).
+void gemm_f32d(int M, int N, int K, const float* A, int lda, const float* B,
+               int ldb, double* C, int ldc, const float* bias, bool relu,
+               int threads);
+void gemm_f32d(const PackedLhsF32& A, int N, const float* B, int ldb,
+               double* C, int ldc, const float* bias, bool relu, int threads);
+
+/// Double GEMM for transform-domain Winograd planes. C is overwritten.
+void gemm_f64(int M, int N, int K, const double* A, int lda, const double* B,
+              int ldb, double* C, int ldc, int threads);
+
+/// int16 x int16 -> exact int64 accumulation (DSP MAC-tree model; integer
+/// addition commutes, so any restructuring is bit-exact). C is overwritten.
+void gemm_i16(int M, int N, int K, const std::int16_t* A, int lda,
+              const std::int16_t* B, int ldb, std::int64_t* C, int ldc,
+              int threads);
+
+/// im2col lowering of a CHW image into the patch matrix: one row per
+/// (channel, ku, kv) tap, one column per output pixel, zero outside the
+/// padded extent. `mat` must hold (C*kernel*kernel) * (out_h*out_w) elements.
+void im2col_f32(const float* in, int C, int H, int W, int kernel, int stride,
+                int pad, int out_h, int out_w, float* mat);
+void im2col_i16(const std::int16_t* in, int C, int H, int W, int kernel,
+                int stride, int pad, int out_h, int out_w, std::int16_t* mat);
+
+}  // namespace hetacc::kernels

@@ -1,0 +1,158 @@
+#include "kernels/parallel.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hetacc::kernels {
+
+namespace {
+
+std::atomic<int> g_default_threads{1};
+
+unsigned hardware_threads() {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc ? hc : 1u;
+}
+
+/// One parallel_for invocation. Kept alive by shared_ptr so a worker that
+/// wakes late (after the job completed and a new one started) only touches
+/// the dead job's atomics, never the new job's cursor.
+struct Job {
+  const std::function<void(std::size_t)>* fn = nullptr;
+  std::size_t n = 0;
+  std::atomic<std::size_t> cursor{0};
+  std::atomic<std::size_t> completed{0};
+  std::mutex err_mutex;
+  std::exception_ptr error;
+
+  void run_share() {
+    for (std::size_t i = cursor.fetch_add(1); i < n; i = cursor.fetch_add(1)) {
+      try {
+        (*fn)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lk(err_mutex);
+        if (!error) error = std::current_exception();
+      }
+      completed.fetch_add(1);
+    }
+  }
+
+  [[nodiscard]] bool done() const { return completed.load() >= n; }
+};
+
+/// Lazily grown pool of parked workers. One job runs at a time (jobs from
+/// nested parallel_for calls fall back to inline execution via the job
+/// mutex try-lock, so nesting cannot deadlock).
+class Pool {
+ public:
+  static Pool& instance() {
+    static Pool p;
+    return p;
+  }
+
+  void run(std::size_t n, std::size_t want,
+           const std::function<void(std::size_t)>& fn) {
+    std::unique_lock<std::mutex> job_lock(job_mutex_, std::try_to_lock);
+    if (!job_lock.owns_lock()) {
+      // A parallel region is already active (nested call): run inline.
+      for (std::size_t i = 0; i < n; ++i) fn(i);
+      return;
+    }
+    auto job = std::make_shared<Job>();
+    job->fn = &fn;
+    job->n = n;
+    {
+      std::lock_guard<std::mutex> lk(mutex_);
+      ensure_workers(want - 1);
+      current_ = job;
+      ++generation_;
+    }
+    cv_work_.notify_all();
+    job->run_share();  // the caller is a full participant
+    {
+      std::unique_lock<std::mutex> lk(mutex_);
+      cv_done_.wait(lk, [&] { return job->done(); });
+      current_.reset();
+    }
+    if (job->error) std::rethrow_exception(job->error);
+  }
+
+ private:
+  Pool() = default;
+  ~Pool() {
+    {
+      std::lock_guard<std::mutex> lk(mutex_);
+      stop_ = true;
+    }
+    cv_work_.notify_all();
+    for (auto& t : workers_) t.join();
+  }
+
+  void ensure_workers(std::size_t want) {  // callers hold mutex_
+    const std::size_t cap = hardware_threads() > 1 ? hardware_threads() - 1
+                                                   : 1u;
+    want = std::min(want, cap);
+    while (workers_.size() < want) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  void worker_loop() {
+    std::uint64_t seen = 0;
+    std::unique_lock<std::mutex> lk(mutex_);
+    while (true) {
+      cv_work_.wait(lk, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      std::shared_ptr<Job> job = current_;
+      if (!job) continue;
+      lk.unlock();
+      job->run_share();
+      lk.lock();
+      if (job->done()) cv_done_.notify_all();
+    }
+  }
+
+  std::mutex job_mutex_;  ///< serializes whole jobs
+  std::mutex mutex_;      ///< guards pool state below
+  std::condition_variable cv_work_, cv_done_;
+  std::vector<std::thread> workers_;
+  std::shared_ptr<Job> current_;
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace
+
+int num_threads() { return g_default_threads.load(std::memory_order_relaxed); }
+
+void set_num_threads(int threads) {
+  g_default_threads.store(threads, std::memory_order_relaxed);
+}
+
+int resolve_threads(int threads) {
+  if (threads > 0) return threads;
+  return static_cast<int>(hardware_threads());
+}
+
+void parallel_for(std::size_t n, int threads,
+                  const std::function<void(std::size_t)>& fn) {
+  if (threads == 0) threads = num_threads();
+  std::size_t want = static_cast<std::size_t>(resolve_threads(threads));
+  want = std::min(want, n);
+  if (want <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  Pool::instance().run(n, want, fn);
+}
+
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
+  parallel_for(n, 0, fn);
+}
+
+}  // namespace hetacc::kernels

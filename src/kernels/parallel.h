@@ -1,0 +1,40 @@
+#pragma once
+// Shared worker pool for the high-performance kernel layer. Every functional
+// path (reference executor, algo kernels, fusion-pipeline engines) draws its
+// workers from one process-wide pool so thread creation is paid once, not per
+// convolution call.
+//
+// Determinism contract: parallel_for distributes *whole output items* (an
+// output channel block, a tile row, an image) across workers. Kernels built
+// on it never split a single accumulation chain across threads, so results
+// are byte-identical for every thread count — the same rule the DSE layer
+// follows (see DESIGN.md §6 and §8).
+
+#include <cstddef>
+#include <functional>
+
+namespace hetacc::kernels {
+
+/// Worker threads the kernel layer uses when a call site passes threads = 0.
+/// Semantics match OptimizerOptions::threads: 1 = serial (the default, so
+/// plain library use stays single-threaded), 0 = all hardware cores, n = n.
+[[nodiscard]] int num_threads();
+void set_num_threads(int threads);
+
+/// Resolves a threads knob (<= 0 means "all cores") to a concrete count.
+[[nodiscard]] int resolve_threads(int threads);
+
+/// Runs fn(i) for every i in [0, n), distributing indices over up to
+/// `threads` workers (0 = kernel-layer default via num_threads(); 1 or n <= 1
+/// runs inline). The calling thread participates, so `threads = k` uses the
+/// caller plus at most k - 1 pool workers. Indices are claimed from an atomic
+/// cursor; fn must therefore be safe to invoke concurrently for distinct i.
+/// Exceptions thrown by fn are captured and the first one is rethrown after
+/// every index has been processed.
+void parallel_for(std::size_t n, int threads,
+                  const std::function<void(std::size_t)>& fn);
+
+/// parallel_for with the kernel-layer default thread count.
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+}  // namespace hetacc::kernels

@@ -1,0 +1,307 @@
+#include "kernels/wino_gemm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "fixed/fixed16.h"
+#include "kernels/gemm.h"
+#include "kernels/parallel.h"
+
+namespace hetacc::kernels {
+
+namespace {
+
+// Both helpers mirror algo::Matrix::operator* — left-element zero skip,
+// k-ascending accumulation, identical expression shape — so the seed's
+// double transform results are reproduced bit-for-bit (the skip can only
+// flip signed zeros, which the downstream quantization erases).
+
+/// C (ra x cb) = A (ra x ca) * B (ca x cb), all row-major.
+void matmul_nn(const double* A, int ra, int ca, const double* B, int cb,
+               double* C) {
+  std::fill(C, C + static_cast<std::size_t>(ra) * cb, 0.0);
+  for (int r = 0; r < ra; ++r) {
+    for (int k = 0; k < ca; ++k) {
+      const double a = A[static_cast<std::size_t>(r) * ca + k];
+      if (a == 0.0) continue;
+      for (int c = 0; c < cb; ++c) {
+        C[static_cast<std::size_t>(r) * cb + c] +=
+            a * B[static_cast<std::size_t>(k) * cb + c];
+      }
+    }
+  }
+}
+
+/// C (ra x rb) = A (ra x ca) * B^T where B is stored (rb x ca) row-major.
+void matmul_nt(const double* A, int ra, int ca, const double* B, int rb,
+               double* C) {
+  std::fill(C, C + static_cast<std::size_t>(ra) * rb, 0.0);
+  for (int r = 0; r < ra; ++r) {
+    for (int k = 0; k < ca; ++k) {
+      const double a = A[static_cast<std::size_t>(r) * ca + k];
+      if (a == 0.0) continue;
+      for (int c = 0; c < rb; ++c) {
+        C[static_cast<std::size_t>(r) * rb + c] +=
+            a * B[static_cast<std::size_t>(c) * ca + k];
+      }
+    }
+  }
+}
+
+void check_tile_size(int n) {
+  if (n < 1 || n > kWinogradMaxN) {
+    throw std::logic_error("winograd kernel: unsupported tile size n=" +
+                           std::to_string(n));
+  }
+}
+
+/// Gather one tile's n x n window from the pre-padded strip.
+inline void gather_tile(const float* cplane, int strip_w, int tj, int m, int n,
+                        double* d) {
+  for (int u = 0; u < n; ++u) {
+    const float* src = cplane + static_cast<std::size_t>(u) * strip_w + tj * m;
+    for (int v = 0; v < n; ++v) d[u * n + v] = src[v];
+  }
+}
+
+inline float finish_output(float val, bool relu, int out_frac) {
+  if (relu) val = std::max(val, 0.0f);
+  return out_frac >= 0 ? fixed::quantize_to_float(val, out_frac) : val;
+}
+
+/// Inverse-transform one (oc, tile) result and scatter it to the output
+/// rows, clipping the bottom/right edge tiles.
+inline void scatter_tile(const double* macc, const double* at, int m, int n,
+                         float* const* out_rows, int out_c, int oc, int tj,
+                         int rows_out, int out_w, float bias, bool relu,
+                         int out_frac) {
+  double p[kWinogradMaxN * kWinogradMaxN];
+  double y[kWinogradMaxN * kWinogradMaxN];
+  matmul_nn(at, m, n, macc, n, p);
+  matmul_nt(p, m, n, at, m, y);
+  for (int a = 0; a < rows_out; ++a) {
+    float* orow = out_rows[static_cast<std::size_t>(a) * out_c + oc];
+    for (int b = 0; b < m; ++b) {
+      const int col = tj * m + b;
+      if (col >= out_w) break;
+      const float val = static_cast<float>(y[a * m + b]) + bias;
+      orow[col] = finish_output(val, relu, out_frac);
+    }
+  }
+}
+
+}  // namespace
+
+void winograd_strip(const WinogradPlan& plan, const float* strip, int strip_w,
+                    int tiles_w, float* const* out_rows, int rows_out,
+                    int out_w, const float* bias, bool relu, int out_frac,
+                    WinogradScratch& s, int threads) {
+  const int n = plan.n, m = plan.m, T = tiles_w;
+  check_tile_size(n);
+  const std::size_t vplane = static_cast<std::size_t>(plan.in_c) * T;
+  const std::size_t mplane = static_cast<std::size_t>(plan.out_c) * T;
+  s.v.resize(static_cast<std::size_t>(n) * n * vplane);
+  s.mm.resize(static_cast<std::size_t>(n) * n * mplane);
+
+  parallel_for(static_cast<std::size_t>(plan.in_c), threads, [&](std::size_t c) {
+    const float* cplane = strip + c * static_cast<std::size_t>(n) * strip_w;
+    double d[kWinogradMaxN * kWinogradMaxN];
+    double tmp[kWinogradMaxN * kWinogradMaxN];
+    double vt[kWinogradMaxN * kWinogradMaxN];
+    for (int tj = 0; tj < T; ++tj) {
+      gather_tile(cplane, strip_w, tj, m, n, d);
+      matmul_nn(plan.bt.data(), n, n, d, n, tmp);
+      matmul_nt(tmp, n, n, plan.bt.data(), n, vt);
+      for (int ab = 0; ab < n * n; ++ab) {
+        s.v[static_cast<std::size_t>(ab) * vplane + c * T + tj] = vt[ab];
+      }
+    }
+  });
+
+  parallel_for(static_cast<std::size_t>(n) * n, threads, [&](std::size_t ab) {
+    gemm_f64(plan.out_c, T, plan.in_c, plan.plane(static_cast<int>(ab)),
+             plan.in_c, s.v.data() + ab * vplane, T, s.mm.data() + ab * mplane,
+             T, /*threads=*/1);
+  });
+
+  parallel_for(static_cast<std::size_t>(plan.out_c), threads,
+               [&](std::size_t oc) {
+                 double macc[kWinogradMaxN * kWinogradMaxN];
+                 const float b = bias ? bias[oc] : 0.0f;
+                 for (int tj = 0; tj < T; ++tj) {
+                   for (int ab = 0; ab < n * n; ++ab) {
+                     macc[ab] =
+                         s.mm[static_cast<std::size_t>(ab) * mplane + oc * T + tj];
+                   }
+                   scatter_tile(macc, plan.at.data(), m, n, out_rows,
+                                plan.out_c, static_cast<int>(oc), tj, rows_out,
+                                out_w, b, relu, out_frac);
+                 }
+               });
+}
+
+void winograd_strip_fixed(const WinogradPlanFixed& plan, const float* strip,
+                          int strip_w, int tiles_w, float* const* out_rows,
+                          int rows_out, int out_w, const float* bias,
+                          bool relu, int v_frac, int out_frac,
+                          WinogradScratch& s, int threads) {
+  const int n = plan.n, m = plan.m, T = tiles_w;
+  check_tile_size(n);
+  const std::size_t vplane = static_cast<std::size_t>(plan.in_c) * T;
+  const std::size_t mplane = static_cast<std::size_t>(plan.out_c) * T;
+  s.vq.resize(static_cast<std::size_t>(n) * n * vplane);
+  s.mi.resize(static_cast<std::size_t>(n) * n * mplane);
+
+  parallel_for(static_cast<std::size_t>(plan.in_c), threads, [&](std::size_t c) {
+    const float* cplane = strip + c * static_cast<std::size_t>(n) * strip_w;
+    double d[kWinogradMaxN * kWinogradMaxN];
+    double tmp[kWinogradMaxN * kWinogradMaxN];
+    double vt[kWinogradMaxN * kWinogradMaxN];
+    for (int tj = 0; tj < T; ++tj) {
+      gather_tile(cplane, strip_w, tj, m, n, d);
+      matmul_nn(plan.bt.data(), n, n, d, n, tmp);
+      matmul_nt(tmp, n, n, plan.bt.data(), n, vt);
+      for (int ab = 0; ab < n * n; ++ab) {
+        // 16-bit multiplier inputs, exactly as the seed quantized per tile.
+        s.vq[static_cast<std::size_t>(ab) * vplane + c * T + tj] =
+            fixed::Fixed16::quantize(static_cast<float>(vt[ab]), v_frac);
+      }
+    }
+  });
+
+  parallel_for(static_cast<std::size_t>(n) * n, threads, [&](std::size_t ab) {
+    gemm_i16(plan.out_c, T, plan.in_c, plan.plane(static_cast<int>(ab)),
+             plan.in_c, s.vq.data() + ab * vplane, T,
+             s.mi.data() + ab * mplane, T, /*threads=*/1);
+  });
+
+  const double scale = std::ldexp(1.0, -(plan.u_frac + v_frac));
+  parallel_for(
+      static_cast<std::size_t>(plan.out_c), threads, [&](std::size_t oc) {
+        double macc[kWinogradMaxN * kWinogradMaxN];
+        double p[kWinogradMaxN * kWinogradMaxN];
+        double y[kWinogradMaxN * kWinogradMaxN];
+        const float bia = bias ? bias[oc] : 0.0f;
+        for (int tj = 0; tj < T; ++tj) {
+          for (int ab = 0; ab < n * n; ++ab) {
+            macc[ab] = static_cast<double>(
+                           s.mi[static_cast<std::size_t>(ab) * mplane +
+                                oc * T + tj]) *
+                       scale;
+          }
+          matmul_nn(plan.at.data(), m, n, macc, n, p);
+          matmul_nt(p, m, n, plan.at.data(), m, y);
+          for (int a = 0; a < rows_out; ++a) {
+            float* orow =
+                out_rows[static_cast<std::size_t>(a) * plan.out_c + oc];
+            for (int b = 0; b < m; ++b) {
+              const int col = tj * m + b;
+              if (col >= out_w) break;
+              float val = static_cast<float>(y[a * m + b]) + bia;
+              if (relu) val = std::max(val, 0.0f);
+              orow[col] = fixed::quantize_to_float(val, out_frac);
+            }
+          }
+        }
+      });
+}
+
+namespace {
+
+/// Copies the padded window of tile row `ti` into `strip`
+/// ([C][n][strip_w], zero outside the real image).
+void fill_strip(const float* in, int C, int H, int W, int pad, int ti, int m,
+                int n, int strip_w, float* strip, int threads) {
+  parallel_for(static_cast<std::size_t>(C), threads, [&](std::size_t c) {
+    float* cdst = strip + c * static_cast<std::size_t>(n) * strip_w;
+    const float* csrc = in + c * static_cast<std::size_t>(H) * W;
+    for (int u = 0; u < n; ++u) {
+      float* dst = cdst + static_cast<std::size_t>(u) * strip_w;
+      const int h = ti * m + u - pad;
+      if (h < 0 || h >= H) {
+        std::fill(dst, dst + strip_w, 0.0f);
+        continue;
+      }
+      const int x0 = pad;  // strip col x maps to input col x - pad
+      const int x1 = std::min(strip_w, W + pad);
+      if (x0 > 0) std::fill(dst, dst + std::min(x0, strip_w), 0.0f);
+      if (x1 > x0) {
+        std::memcpy(dst + x0, csrc + static_cast<std::size_t>(h) * W,
+                    static_cast<std::size_t>(x1 - x0) * sizeof(float));
+      }
+      if (x1 < strip_w) std::fill(dst + std::max(x1, 0), dst + strip_w, 0.0f);
+    }
+  });
+}
+
+}  // namespace
+
+void winograd_conv_f32(const WinogradPlan& plan, const float* in, int H, int W,
+                       int pad, const float* bias, bool relu, float* out,
+                       int out_h, int out_w, int threads) {
+  const int m = plan.m, n = plan.n;
+  const int tiles_h = (out_h + m - 1) / m;
+  const int tiles_w = (out_w + m - 1) / m;
+  const int strip_w = (tiles_w - 1) * m + n;
+  std::vector<float> strip(static_cast<std::size_t>(plan.in_c) * n * strip_w);
+  std::vector<float*> out_rows(static_cast<std::size_t>(m) * plan.out_c);
+  WinogradScratch scratch;
+  for (int ti = 0; ti < tiles_h; ++ti) {
+    fill_strip(in, plan.in_c, H, W, pad, ti, m, n, strip_w, strip.data(),
+               threads);
+    const int rows_out = std::min(m, out_h - ti * m);
+    for (int a = 0; a < rows_out; ++a) {
+      for (int oc = 0; oc < plan.out_c; ++oc) {
+        out_rows[static_cast<std::size_t>(a) * plan.out_c + oc] =
+            out + (static_cast<std::size_t>(oc) * out_h + ti * m + a) * out_w;
+      }
+    }
+    winograd_strip(plan, strip.data(), strip_w, tiles_w, out_rows.data(),
+                   rows_out, out_w, bias, relu, /*out_frac=*/-1, scratch,
+                   threads);
+  }
+}
+
+void winograd_conv_i16(const WinogradPlanFixed& plan, const float* in, int H,
+                       int W, int pad, const float* bias, bool relu,
+                       int data_frac, int v_frac, int out_frac, float* out,
+                       int out_h, int out_w, int threads) {
+  const int m = plan.m, n = plan.n;
+  const int tiles_h = (out_h + m - 1) / m;
+  const int tiles_w = (out_w + m - 1) / m;
+  const int strip_w = (tiles_w - 1) * m + n;
+
+  // Samples enter the datapath already quantized; hoisting the per-tile
+  // quantization of the seed is value-identical (zero padding quantizes to
+  // zero and real samples quantize the same wherever they are read).
+  std::vector<float> qin(static_cast<std::size_t>(plan.in_c) * H * W);
+  parallel_for(static_cast<std::size_t>(plan.in_c), threads, [&](std::size_t c) {
+    const std::size_t base = c * static_cast<std::size_t>(H) * W;
+    for (std::size_t i = 0; i < static_cast<std::size_t>(H) * W; ++i) {
+      qin[base + i] = fixed::quantize_to_float(in[base + i], data_frac);
+    }
+  });
+
+  std::vector<float> strip(static_cast<std::size_t>(plan.in_c) * n * strip_w);
+  std::vector<float*> out_rows(static_cast<std::size_t>(m) * plan.out_c);
+  WinogradScratch scratch;
+  for (int ti = 0; ti < tiles_h; ++ti) {
+    fill_strip(qin.data(), plan.in_c, H, W, pad, ti, m, n, strip_w,
+               strip.data(), threads);
+    const int rows_out = std::min(m, out_h - ti * m);
+    for (int a = 0; a < rows_out; ++a) {
+      for (int oc = 0; oc < plan.out_c; ++oc) {
+        out_rows[static_cast<std::size_t>(a) * plan.out_c + oc] =
+            out + (static_cast<std::size_t>(oc) * out_h + ti * m + a) * out_w;
+      }
+    }
+    winograd_strip_fixed(plan, strip.data(), strip_w, tiles_w, out_rows.data(),
+                         rows_out, out_w, bias, relu, v_frac, out_frac,
+                         scratch, threads);
+  }
+}
+
+}  // namespace hetacc::kernels

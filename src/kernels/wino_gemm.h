@@ -1,0 +1,108 @@
+#pragma once
+// Winograd F(m x m, r x r) restructured as batched transform-domain GEMMs.
+//
+// Instead of the seed's per-tile elementwise channel loop, all tiles of a
+// tile-row strip are gathered, input-transformed, and laid out as n^2 planes
+// V[ab] of shape (in_c x tiles). One GEMM per tile position ab then computes
+// M[ab] (out_c x tiles) = U[ab] (out_c x in_c) * V[ab], and the inverse
+// transform scatters each (oc, tile) back to output rows. The filters are
+// packed into the plane layout exactly once per layer (WinogradPlan).
+//
+// Determinism: parallelism is across input channels (gather), tile positions
+// (GEMM batch), and output channels (scatter) — independent outputs only.
+// Each output element's accumulation chain depends only on (in_c, KC), never
+// on the thread count.
+//
+// The fixed-point strip reproduces algo::winograd_conv_fixed bit-for-bit:
+// int16 x int16 -> int64 transform-domain accumulation commutes exactly, and
+// the float/double pre- and post-transforms mirror the accumulation order of
+// algo::Matrix::operator*.
+
+#include <cstdint>
+#include <vector>
+
+namespace hetacc::kernels {
+
+/// Largest supported transform size n = m + r - 1 (per-tile temporaries are
+/// stack-allocated in the strip kernels).
+inline constexpr int kWinogradMaxN = 16;
+
+/// A Winograd layer packed for batched transform-domain GEMM: the transform
+/// matrices as flat doubles plus the pre-transformed filters re-laid-out as
+/// n^2 planes of (out_c x in_c). Built once per layer (see
+/// algo::pack_winograd_plan) and shared across images/engine instances.
+struct WinogradPlan {
+  int m = 0, r = 0, n = 0;
+  int out_c = 0, in_c = 0;
+  std::vector<double> bt;  ///< n x n, row-major
+  std::vector<double> at;  ///< m x n, row-major
+  std::vector<double> u;   ///< [n*n][out_c][in_c]
+
+  [[nodiscard]] const double* plane(int ab) const {
+    return u.data() + static_cast<std::size_t>(ab) * out_c * in_c;
+  }
+};
+
+/// Fixed-point variant: filters quantized to Q(u_frac) int16 once (the seed
+/// re-quantized the same values per tile; quantization is deterministic, so
+/// hoisting it is value-identical).
+struct WinogradPlanFixed {
+  int m = 0, r = 0, n = 0;
+  int out_c = 0, in_c = 0;
+  std::vector<double> bt;      ///< n x n, row-major
+  std::vector<double> at;      ///< m x n, row-major
+  std::vector<std::int16_t> u; ///< [n*n][out_c][in_c], Q(u_frac)
+  int u_frac = 0;
+
+  [[nodiscard]] const std::int16_t* plane(int ab) const {
+    return u.data() + static_cast<std::size_t>(ab) * out_c * in_c;
+  }
+};
+
+/// Reusable per-strip buffers (V planes, transform-domain products). Callers
+/// keep one instance alive across strips/images to avoid reallocation.
+struct WinogradScratch {
+  std::vector<double> v;        ///< [n*n][in_c][tiles]
+  std::vector<double> mm;       ///< [n*n][out_c][tiles]
+  std::vector<std::int16_t> vq; ///< fixed path: quantized V planes
+  std::vector<std::int64_t> mi; ///< fixed path: int64 products
+};
+
+/// Computes one tile-row strip (all tile columns of one tile row).
+///
+/// `strip` is the pre-padded input window, [in_c][n][strip_w] row-major with
+/// strip_w >= (tiles_w - 1) * m + n; anything outside the real (padded) image
+/// must already be zero-filled. Output goes through `out_rows`: one pointer
+/// per (row, output channel) — out_rows[row * out_c + oc] — each addressing
+/// at least out_w floats; rows_out (<= m) bottom-clips the strip, out_w
+/// right-clips the tiles. `out_frac < 0` leaves outputs in float; otherwise
+/// each output is quantized to Q(out_frac) (streaming-engine fixed mode).
+void winograd_strip(const WinogradPlan& plan, const float* strip, int strip_w,
+                    int tiles_w, float* const* out_rows, int rows_out,
+                    int out_w, const float* bias, bool relu, int out_frac,
+                    WinogradScratch& scratch, int threads);
+
+/// Fixed-datapath strip: `strip` must hold Q(data_frac)-quantized samples,
+/// V is quantized to Q(v_frac) int16 before the transform-domain multiply,
+/// accumulation is exact int64, outputs re-quantized to Q(out_frac). Bit
+/// -exact with the seed per-tile implementation for any thread count.
+void winograd_strip_fixed(const WinogradPlanFixed& plan, const float* strip,
+                          int strip_w, int tiles_w, float* const* out_rows,
+                          int rows_out, int out_w, const float* bias,
+                          bool relu, int v_frac, int out_frac,
+                          WinogradScratch& scratch, int threads);
+
+/// Whole-tensor float Winograd conv over a CHW image (stride 1). `out` is
+/// (out_c, out_h, out_w) CHW with out_h = H + 2*pad - r + 1.
+void winograd_conv_f32(const WinogradPlan& plan, const float* in, int H, int W,
+                       int pad, const float* bias, bool relu, float* out,
+                       int out_h, int out_w, int threads);
+
+/// Whole-tensor fixed Winograd conv: input quantized to Q(data_frac) once up
+/// front (value-identical to the seed's per-tile quantization).
+void winograd_conv_i16(const WinogradPlanFixed& plan, const float* in, int H,
+                       int W, int pad, const float* bias, bool relu,
+                       int data_frac, int v_frac, int out_frac, float* out,
+                       int out_h, int out_w, int threads);
+
+}  // namespace hetacc::kernels

@@ -4,11 +4,37 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "kernels/gemm.h"
+#include "kernels/parallel.h"
+
 namespace hetacc::nn {
 
 Tensor conv_reference(const Tensor& in, const FilterBank& f,
                       const std::vector<float>& bias, int stride, int pad,
                       bool fused_relu) {
+  const Shape is = in.shape();
+  if (is.c != f.in_channels()) {
+    throw std::invalid_argument("conv_reference: channel mismatch");
+  }
+  const int k = f.kernel();
+  const int oh = (is.h + 2 * pad - k) / stride + 1;
+  const int ow = (is.w + 2 * pad - k) / stride + 1;
+  Tensor out(f.out_channels(), oh, ow);
+  const int cols = oh * ow;
+  const int rows = is.c * k * k;
+  std::vector<float> mat(static_cast<std::size_t>(rows) * cols);
+  kernels::im2col_f32(in.data(), is.c, is.h, is.w, k, stride, pad, oh, ow,
+                      mat.data());
+  kernels::gemm_f32(f.out_channels(), cols, rows, f.data(), rows, mat.data(),
+                    cols, out.data(), cols,
+                    bias.empty() ? nullptr : bias.data(), fused_relu,
+                    /*threads=*/0);
+  return out;
+}
+
+Tensor conv_reference_scalar(const Tensor& in, const FilterBank& f,
+                             const std::vector<float>& bias, int stride,
+                             int pad, bool fused_relu) {
   const Shape is = in.shape();
   if (is.c != f.in_channels()) {
     throw std::invalid_argument("conv_reference: channel mismatch");
@@ -111,13 +137,15 @@ Tensor fc_reference(const Tensor& in, const FcWeights& w, bool fused_relu) {
     throw std::invalid_argument("fc_reference: weight size mismatch");
   }
   Tensor out(static_cast<int>(out_features), 1, 1);
-  for (std::size_t o = 0; o < out_features; ++o) {
+  // Parallel across output features; each feature's accumulation chain is
+  // untouched, so results are bit-identical for any thread count.
+  kernels::parallel_for(out_features, [&](std::size_t o) {
     float acc = w.bias[o];
     const float* row = w.matrix.data() + o * in_elems;
     const float* x = in.data();
     for (std::size_t i = 0; i < in_elems; ++i) acc += row[i] * x[i];
-    out.at(static_cast<int>(o), 0, 0) = fused_relu ? std::max(acc, 0.0f) : acc;
-  }
+    out.data()[o] = fused_relu ? std::max(acc, 0.0f) : acc;
+  });
   return out;
 }
 

@@ -24,9 +24,17 @@ namespace hetacc::nn {
                                                   const Tensor& input);
 
 // Individual kernels, exposed for targeted tests -------------------------
+// conv_reference runs on the blocked im2col+GEMM kernel layer; the retained
+// seed loop nest (conv_reference_scalar) stays as the golden baseline for
+// equivalence tests and benches.
 [[nodiscard]] Tensor conv_reference(const Tensor& in, const FilterBank& f,
                                     const std::vector<float>& bias, int stride,
                                     int pad, bool fused_relu);
+[[nodiscard]] Tensor conv_reference_scalar(const Tensor& in,
+                                           const FilterBank& f,
+                                           const std::vector<float>& bias,
+                                           int stride, int pad,
+                                           bool fused_relu);
 [[nodiscard]] Tensor pool_reference(const Tensor& in, PoolMethod method,
                                     int kernel, int stride, int pad);
 [[nodiscard]] Tensor lrn_reference(const Tensor& in, const LrnParam& p);

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "kernels/parallel.h"
+
 namespace hetacc::toolflow {
 
 ToolflowResult run_toolflow(std::string_view prototxt,
@@ -20,6 +22,9 @@ ToolflowResult run_toolflow(const nn::Network& net,
   const fpga::EngineModel model(device);
   core::OptimizerOptions oo = opt.optimizer;
   if (opt.threads != 0) oo.threads = opt.threads;
+  // One knob governs every worker pool: the fusion-table DSE and the
+  // functional-simulation kernel layer share the same thread count.
+  kernels::set_num_threads(oo.threads);
   if (opt.transfer_budget_bytes > 0) {
     oo.transfer_budget_bytes = opt.transfer_budget_bytes;
   } else if (oo.transfer_budget_bytes <= 0) {

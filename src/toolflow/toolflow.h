@@ -22,9 +22,12 @@ struct ToolflowOptions {
   /// synthesized when none are supplied).
   bool generate_code = true;
   std::uint32_t weight_seed = 42;
-  /// Fusion-table worker threads. 0 = inherit optimizer.threads; any other
-  /// value overrides it (see OptimizerOptions::threads). The resulting
-  /// strategy never depends on this knob.
+  /// Worker threads for the fusion-table DSE *and* the kernel layer used by
+  /// functional simulation (kernels::set_num_threads is called with the
+  /// resolved value). 0 = inherit optimizer.threads; any other value
+  /// overrides it (see OptimizerOptions::threads). Neither the strategy nor
+  /// any simulated tensor depends on this knob — parallelism only splits
+  /// independent outputs.
   int threads = 0;
 };
 

@@ -1,0 +1,348 @@
+// Kernel-layer contract tests: the blocked/packed GEMM and batched Winograd
+// paths must (a) agree with naive math, (b) agree with the retained scalar
+// seed implementations across randomized conv geometries, (c) be bit-exact
+// on the fixed-point datapaths, and (d) produce byte-identical results for
+// every thread count (the determinism contract in DESIGN.md).
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <random>
+#include <vector>
+
+#include "algo/conv_variants.h"
+#include "algo/winograd_conv.h"
+#include "arch/pipeline.h"
+#include "kernels/gemm.h"
+#include "kernels/parallel.h"
+#include "nn/model_zoo.h"
+#include "nn/reference.h"
+
+namespace hetacc {
+namespace {
+
+using nn::FilterBank;
+using nn::Tensor;
+
+/// Restores the process-wide kernel thread count on scope exit so tests
+/// cannot leak thread settings into each other.
+struct ThreadGuard {
+  ~ThreadGuard() { kernels::set_num_threads(1); }
+};
+
+std::vector<float> random_floats(std::size_t n, std::mt19937& rng) {
+  std::uniform_real_distribution<float> d(-1.0f, 1.0f);
+  std::vector<float> v(n);
+  for (auto& x : v) x = d(rng);
+  return v;
+}
+
+// ------------------------------------------------------------------ GEMM --
+void naive_f32(int M, int N, int K, const float* A, const float* B, float* C,
+               const float* bias, bool relu) {
+  for (int i = 0; i < M; ++i) {
+    for (int j = 0; j < N; ++j) {
+      double acc = bias ? bias[i] : 0.0;
+      for (int k = 0; k < K; ++k) {
+        acc += double(A[i * K + k]) * double(B[k * N + j]);
+      }
+      float v = float(acc);
+      C[i * N + j] = (relu && v < 0.0f) ? 0.0f : v;
+    }
+  }
+}
+
+TEST(Gemm, F32MatchesNaiveAcrossBlockBoundaries) {
+  std::mt19937 rng(7);
+  // Geometries straddling the MR/NR/KC/MC blocking constants.
+  const int cases[][3] = {{1, 1, 1},   {4, 8, 16},   {5, 7, 3},
+                          {13, 29, 300}, {97, 33, 257}, {3, 130, 520}};
+  for (const auto& c : cases) {
+    const int M = c[0], N = c[1], K = c[2];
+    const auto A = random_floats(std::size_t(M) * K, rng);
+    const auto B = random_floats(std::size_t(K) * N, rng);
+    const auto bias = random_floats(std::size_t(M), rng);
+    std::vector<float> got(std::size_t(M) * N), want(std::size_t(M) * N);
+    kernels::gemm_f32(M, N, K, A.data(), K, B.data(), N, got.data(), N,
+                      bias.data(), /*relu=*/true, /*threads=*/1);
+    naive_f32(M, N, K, A.data(), B.data(), want.data(), bias.data(), true);
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_NEAR(got[i], want[i], 1e-3f) << "M=" << M << " N=" << N
+                                          << " K=" << K << " i=" << i;
+    }
+  }
+}
+
+TEST(Gemm, KZeroFillsBiasAndRelu) {
+  std::vector<float> C(6, 99.0f);
+  const float bias[2] = {1.5f, -2.0f};
+  kernels::gemm_f32(2, 3, 0, nullptr, 1, nullptr, 3, C.data(), 3, bias, true,
+                    1);
+  for (int j = 0; j < 3; ++j) {
+    EXPECT_FLOAT_EQ(C[j], 1.5f);
+    EXPECT_FLOAT_EQ(C[3 + j], 0.0f);  // relu clamps the negative bias
+  }
+}
+
+TEST(Gemm, PackedLhsMatchesRawBitwise) {
+  std::mt19937 rng(11);
+  const int M = 37, N = 41, K = 275;
+  const auto A = random_floats(std::size_t(M) * K, rng);
+  const auto B = random_floats(std::size_t(K) * N, rng);
+  std::vector<float> raw(std::size_t(M) * N), packed(std::size_t(M) * N);
+  kernels::gemm_f32(M, N, K, A.data(), K, B.data(), N, raw.data(), N, nullptr,
+                    false, 1);
+  const kernels::PackedLhsF32 pa(A.data(), M, K, K);
+  EXPECT_EQ(pa.rows(), M);
+  EXPECT_EQ(pa.depth(), K);
+  kernels::gemm_f32(pa, N, B.data(), N, packed.data(), N, nullptr, false, 1);
+  EXPECT_EQ(0, std::memcmp(raw.data(), packed.data(),
+                           raw.size() * sizeof(float)));
+}
+
+TEST(Gemm, I16ExactAgainstNaiveInt64) {
+  std::mt19937 rng(13);
+  std::uniform_int_distribution<int> d(-500, 500);
+  const int M = 19, N = 23, K = 301;
+  std::vector<std::int16_t> A(std::size_t(M) * K), B(std::size_t(K) * N);
+  for (auto& x : A) x = std::int16_t(d(rng));
+  for (auto& x : B) x = std::int16_t(d(rng));
+  std::vector<std::int64_t> got(std::size_t(M) * N), want(std::size_t(M) * N);
+  kernels::gemm_i16(M, N, K, A.data(), K, B.data(), N, got.data(), N, 1);
+  for (int i = 0; i < M; ++i) {
+    for (int j = 0; j < N; ++j) {
+      std::int64_t acc = 0;
+      for (int k = 0; k < K; ++k) {
+        acc += std::int64_t(A[i * K + k]) * B[k * N + j];
+      }
+      want[std::size_t(i) * N + j] = acc;
+    }
+  }
+  EXPECT_EQ(got, want);
+}
+
+TEST(Gemm, ThreadCountInvarianceBytewise) {
+  ThreadGuard guard;
+  std::mt19937 rng(17);
+  const int M = 61, N = 147, K = 333;
+  const auto A = random_floats(std::size_t(M) * K, rng);
+  const auto B = random_floats(std::size_t(K) * N, rng);
+  const auto bias = random_floats(std::size_t(M), rng);
+  std::vector<float> serial(std::size_t(M) * N);
+  kernels::gemm_f32(M, N, K, A.data(), K, B.data(), N, serial.data(), N,
+                    bias.data(), true, 1);
+  for (int t : {2, 3, 5, 8}) {
+    std::vector<float> par(std::size_t(M) * N);
+    kernels::gemm_f32(M, N, K, A.data(), K, B.data(), N, par.data(), N,
+                      bias.data(), true, t);
+    EXPECT_EQ(0, std::memcmp(serial.data(), par.data(),
+                             serial.size() * sizeof(float)))
+        << "threads=" << t;
+  }
+}
+
+// ------------------------------------------- randomized conv equivalence --
+struct ConvCase {
+  int in_c, out_c, hw, k, stride, pad;
+};
+
+TEST(ConvKernels, RandomGeometriesAgreeAcrossAlgorithms) {
+  std::mt19937 rng(2024);
+  std::uniform_int_distribution<int> chan(1, 17), spatial(5, 23);
+  std::uniform_int_distribution<int> kidx(0, 2), stride_d(1, 2), pad_d(0, 2);
+  const int kernels_by_idx[3] = {1, 3, 5};
+  int done = 0;
+  while (done < 20) {
+    ConvCase c{chan(rng), chan(rng),    spatial(rng),
+               kernels_by_idx[kidx(rng)], stride_d(rng), pad_d(rng)};
+    if (c.hw + 2 * c.pad < c.k) continue;  // degenerate output
+    ++done;
+    SCOPED_TRACE(::testing::Message()
+                 << "in_c=" << c.in_c << " out_c=" << c.out_c << " hw=" << c.hw
+                 << " k=" << c.k << " stride=" << c.stride
+                 << " pad=" << c.pad);
+    Tensor in(c.in_c, c.hw, c.hw);
+    FilterBank f(c.out_c, c.in_c, c.k);
+    std::vector<float> bias(std::size_t(c.out_c));
+    nn::fill_deterministic(in, 100 + std::uint32_t(done));
+    nn::fill_deterministic(f, 200 + std::uint32_t(done));
+    nn::fill_deterministic(bias, 300 + std::uint32_t(done));
+    const bool relu = (done % 2) == 0;
+
+    const Tensor direct =
+        nn::conv_reference_scalar(in, f, bias, c.stride, c.pad, relu);
+    const Tensor fast =
+        nn::conv_reference(in, f, bias, c.stride, c.pad, relu);
+    const Tensor im2col =
+        algo::conv_im2col(in, f, bias, c.stride, c.pad, relu);
+    EXPECT_LE(fast.max_abs_diff(direct), 1e-4f);
+    EXPECT_LE(im2col.max_abs_diff(direct), 1e-4f);
+
+    if (algo::winograd_applicable(c.k, c.stride)) {
+      for (int m : {2, 4}) {
+        const algo::WinogradTransform t = algo::winograd(m, c.k);
+        const Tensor wino = algo::winograd_conv(t, in, f, bias, c.pad, relu);
+        EXPECT_LE(wino.max_abs_diff(direct), 1e-3f) << "F(" << m << ",3)";
+      }
+    }
+  }
+}
+
+TEST(ConvKernels, FixedPathsBitExactAgainstScalarSeed) {
+  std::mt19937 rng(31);
+  std::uniform_int_distribution<int> chan(1, 12), spatial(5, 19);
+  std::uniform_int_distribution<int> stride_d(1, 2), pad_d(0, 2);
+  for (int i = 0; i < 10; ++i) {
+    const int in_c = chan(rng), out_c = chan(rng), hw = spatial(rng);
+    const int stride = stride_d(rng), pad = pad_d(rng), k = 3;
+    SCOPED_TRACE(::testing::Message() << "in_c=" << in_c << " out_c=" << out_c
+                                      << " hw=" << hw << " stride=" << stride
+                                      << " pad=" << pad);
+    Tensor in(in_c, hw, hw);
+    FilterBank f(out_c, in_c, k);
+    std::vector<float> bias(static_cast<std::size_t>(out_c));
+    nn::fill_deterministic(in, 400 + std::uint32_t(i));
+    nn::fill_deterministic(f, 500 + std::uint32_t(i));
+    nn::fill_deterministic(bias, 600 + std::uint32_t(i));
+    const bool relu = (i % 2) == 0;
+
+    const Tensor want = algo::conv_direct_fixed_scalar(
+        in, f, bias, stride, pad, relu, 12, 13, 10);
+    const Tensor got =
+        algo::conv_direct_fixed(in, f, bias, stride, pad, relu, 12, 13, 10);
+    EXPECT_EQ(0.0f, got.max_abs_diff(want));
+
+    if (stride == 1) {
+      const algo::WinogradTransform t = algo::winograd(4, k);
+      const Tensor wwant = algo::winograd_conv_fixed_scalar(
+          t, in, f, bias, pad, relu, 12, 10);
+      const Tensor wgot =
+          algo::winograd_conv_fixed(t, in, f, bias, pad, relu, 12, 10);
+      EXPECT_EQ(0.0f, wgot.max_abs_diff(wwant));
+    }
+  }
+}
+
+TEST(ConvKernels, PretransformedMatchesOnTheFlyExactly) {
+  // Both run the same packed-plan path, so the results are identical, not
+  // merely close (this pins the invariant the pipeline's filter cache
+  // relies on).
+  Tensor in(6, 14, 14);
+  FilterBank f(5, 6, 3);
+  std::vector<float> bias(5);
+  nn::fill_deterministic(in, 1);
+  nn::fill_deterministic(f, 2);
+  nn::fill_deterministic(bias, 3);
+  const algo::WinogradTransform t = algo::winograd_f4x3();
+  const algo::TransformedFilters tf = algo::transform_filters(t, f);
+  const Tensor a = algo::winograd_conv(t, in, f, bias, 1, true);
+  const Tensor b = algo::winograd_conv_pretransformed(tf, in, bias, 1, true);
+  EXPECT_EQ(0.0f, a.max_abs_diff(b));
+}
+
+TEST(ConvKernels, ThreadCountInvarianceBytewise) {
+  ThreadGuard guard;
+  Tensor in(24, 30, 30);
+  FilterBank f(20, 24, 3);
+  std::vector<float> bias(20);
+  nn::fill_deterministic(in, 5);
+  nn::fill_deterministic(f, 6);
+  nn::fill_deterministic(bias, 7);
+  const algo::WinogradTransform t = algo::winograd_f4x3();
+
+  kernels::set_num_threads(1);
+  const Tensor im2col1 = algo::conv_im2col(in, f, bias, 1, 1, true);
+  const Tensor wino1 = algo::winograd_conv(t, in, f, bias, 1, true);
+  const Tensor fixed1 =
+      algo::conv_direct_fixed(in, f, bias, 1, 1, true, 12, 13, 10);
+  const Tensor wfix1 =
+      algo::winograd_conv_fixed(t, in, f, bias, 1, true, 12, 10);
+  for (int threads : {2, 4, 7}) {
+    kernels::set_num_threads(threads);
+    const Tensor im2colN = algo::conv_im2col(in, f, bias, 1, 1, true);
+    const Tensor winoN = algo::winograd_conv(t, in, f, bias, 1, true);
+    const Tensor fixedN =
+        algo::conv_direct_fixed(in, f, bias, 1, 1, true, 12, 13, 10);
+    const Tensor wfixN =
+        algo::winograd_conv_fixed(t, in, f, bias, 1, true, 12, 10);
+    const auto bytes = [](const Tensor& x) {
+      return std::size_t(x.size()) * sizeof(float);
+    };
+    EXPECT_EQ(0, std::memcmp(im2col1.data(), im2colN.data(), bytes(im2col1)))
+        << "im2col threads=" << threads;
+    EXPECT_EQ(0, std::memcmp(wino1.data(), winoN.data(), bytes(wino1)))
+        << "winograd threads=" << threads;
+    EXPECT_EQ(0, std::memcmp(fixed1.data(), fixedN.data(), bytes(fixed1)))
+        << "fixed threads=" << threads;
+    EXPECT_EQ(0, std::memcmp(wfix1.data(), wfixN.data(), bytes(wfix1)))
+        << "wino fixed threads=" << threads;
+  }
+}
+
+// -------------------------------------------------------------- pipeline --
+TEST(PipelineKernels, RepeatedRunMatchesFreshPipeline) {
+  // reset() must restore pristine streaming state: a second image through
+  // the same engines equals a fresh pipeline bit-for-bit.
+  const nn::Network net = nn::tiny_net(4, 16);
+  const nn::WeightStore ws = nn::WeightStore::deterministic(net, 9);
+  Tensor a(net[0].out), b(net[0].out);
+  nn::fill_deterministic(a, 21);
+  nn::fill_deterministic(b, 22);
+
+  arch::FusionPipeline pipe(net, ws);
+  const Tensor a1 = pipe.run(a);
+  const Tensor b1 = pipe.run(b);
+  const Tensor a2 = pipe.run(a);
+  arch::FusionPipeline fresh(net, ws);
+  EXPECT_EQ(0.0f, a1.max_abs_diff(a2));
+  EXPECT_EQ(0.0f, b1.max_abs_diff(fresh.run(b)));
+}
+
+TEST(PipelineKernels, RunBatchMatchesSequentialRuns) {
+  ThreadGuard guard;
+  const nn::Network net = nn::tiny_net(4, 16);
+  const nn::WeightStore ws = nn::WeightStore::deterministic(net, 9);
+  std::vector<Tensor> inputs;
+  for (int i = 0; i < 5; ++i) {
+    inputs.emplace_back(net[0].out);
+    nn::fill_deterministic(inputs.back(), 30 + std::uint32_t(i));
+  }
+  arch::FusionPipeline pipe(net, ws);
+  std::vector<Tensor> want;
+  want.reserve(inputs.size());
+  for (const Tensor& in : inputs) want.push_back(pipe.run(in));
+  for (int threads : {1, 3}) {
+    const std::vector<Tensor> got = pipe.run_batch(inputs, threads);
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(0.0f, got[i].max_abs_diff(want[i]))
+          << "image " << i << " threads=" << threads;
+    }
+  }
+}
+
+TEST(PipelineKernels, RunBatchWinogradSharesCachedPlans) {
+  ThreadGuard guard;
+  nn::Network net("n");
+  net.input({3, 12, 12});
+  net.conv(5, 3, 1, 1, "c1");
+  const nn::WeightStore ws = nn::WeightStore::deterministic(net, 17);
+  std::vector<arch::LayerChoice> ch(1);
+  ch[0].algo = fpga::ConvAlgo::kWinograd;
+  ch[0].wino_m = 4;
+  arch::FusionPipeline pipe(net, ws, ch);
+  std::vector<Tensor> inputs;
+  for (int i = 0; i < 4; ++i) {
+    inputs.emplace_back(net[0].out);
+    nn::fill_deterministic(inputs.back(), 40 + std::uint32_t(i));
+  }
+  std::vector<Tensor> want;
+  for (const Tensor& in : inputs) want.push_back(pipe.run(in));
+  const std::vector<Tensor> got = pipe.run_batch(inputs, 2);
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(0.0f, got[i].max_abs_diff(want[i])) << "image " << i;
+  }
+}
+
+}  // namespace
+}  // namespace hetacc

@@ -33,8 +33,10 @@ void usage() {
       "  --explore-tiles     per-layer Winograd tile-size exploration\n"
       "  --conventional-only disable Winograd (homogeneous baseline)\n"
       "  --wino-tile M       uniform Winograd tile size (default 4)\n"
-      "  --threads N         fusion-table worker threads (0 = all cores, "
-      "default 1); the strategy is identical for any N\n");
+      "  --threads N         worker threads for the fusion-table DSE and the\n"
+      "                      functional-simulation kernels (0 = all cores,\n"
+      "                      default 1); strategies and simulated tensors are\n"
+      "                      identical for any N\n");
 }
 
 }  // namespace
