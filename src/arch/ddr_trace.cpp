@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "cost/cost_model.h"
+#include "fault/crc32.h"
 
 namespace hetacc::arch {
 
@@ -58,7 +59,13 @@ DdrTrace trace_strategy(const core::Strategy& s, const nn::Network& net,
   long long clock = 0;
   const double bpc = dev.bytes_per_cycle();
   auto cycles_for = [&](long long bytes) {
-    return cost::transfer_cycles(bytes, bpc);
+    // Same accounting rule as cost::evaluate_group_timing: a hardened DDR
+    // path charges the per-burst CRC tail on every transfer.
+    return dev.protection.enabled
+               ? cost::protected_transfer_cycles(
+                     bytes, bpc, dev.protection.burst_bytes,
+                     dev.protection.check_cycles_per_burst)
+               : cost::transfer_cycles(bytes, bpc);
   };
 
   for (std::size_t gi = 0; gi < s.groups.size(); ++gi) {
@@ -110,6 +117,76 @@ DdrTrace trace_strategy(const core::Strategy& s, const nn::Network& net,
   }
   trace.total_cycles = clock;
   return trace;
+}
+
+DdrFaultReport replay_trace_with_faults(const DdrTrace& trace,
+                                        const fpga::Device& dev,
+                                        const fault::FaultInjector& inj,
+                                        const fault::ProtectionConfig& protect) {
+  DdrFaultReport rep;
+  const long long burst_bytes =
+      protect.burst_bytes > 0 ? protect.burst_bytes : 4096;
+  const bool crc_on = protect.enabled && protect.crc_ddr;
+
+  // The burst payload is a deterministic pattern; its load-time CRC plays
+  // the role of the checksum the DMA engine stores alongside each burst.
+  std::vector<unsigned char> golden(static_cast<std::size_t>(burst_bytes));
+  for (std::size_t i = 0; i < golden.size(); ++i) {
+    golden[i] = static_cast<unsigned char>((i * 31 + 7) & 0xFF);
+  }
+  std::vector<unsigned char> buf;
+
+  for (std::size_t ti = 0; ti < trace.transactions.size(); ++ti) {
+    const auto& tx = trace.transactions[ti];
+    const long long bursts = cost::ceil_div(tx.bytes, burst_bytes);
+    for (long long b = 0; b < bursts; ++b) {
+      ++rep.bursts;
+      const long long len =
+          std::min<long long>(burst_bytes, tx.bytes - b * burst_bytes);
+      buf.assign(golden.begin(), golden.begin() + len);
+      const std::uint32_t want = fault::crc32(buf.data(), buf.size());
+      bool hit = inj.maybe_corrupt_bytes(
+          fault::FaultSite::kDdrBurst, static_cast<std::uint64_t>(ti),
+          static_cast<std::uint64_t>(b), buf.data(), buf.size());
+      if (!hit) continue;
+      ++rep.injected;
+      if (!crc_on) {
+        ++rep.silent;
+        continue;
+      }
+      if (fault::crc32(buf.data(), buf.size()) == want) {
+        // The real CRC failed to notice (cannot happen for single-bit
+        // flips); the burst is delivered corrupted.
+        ++rep.silent;
+        continue;
+      }
+      ++rep.detected;
+      inj.count_detected();
+      // Bounded retry-with-reload: each re-read costs a burst transfer and
+      // can itself be struck (a distinct event via the retry salt).
+      bool fixed = false;
+      for (int r = 1; r <= protect.retry_limit && !fixed; ++r) {
+        rep.retry_bytes += len;
+        rep.retry_cycles += cost::transfer_cycles(len, dev.bytes_per_cycle());
+        buf.assign(golden.begin(), golden.begin() + len);
+        const std::uint64_t retry_event =
+            (static_cast<std::uint64_t>(b) << 8) |
+            static_cast<std::uint64_t>(r);
+        inj.maybe_corrupt_bytes(fault::FaultSite::kDdrBurst,
+                                static_cast<std::uint64_t>(ti) | (1ull << 48),
+                                retry_event, buf.data(), buf.size());
+        fixed = fault::crc32(buf.data(), buf.size()) == want;
+      }
+      if (fixed) {
+        ++rep.recovered;
+        inj.count_recovered();
+      } else {
+        ++rep.unrecovered;
+        inj.count_unrecovered();
+      }
+    }
+  }
+  return rep;
 }
 
 }  // namespace hetacc::arch

@@ -8,6 +8,8 @@
 #include <vector>
 
 #include "core/strategy.h"
+#include "fault/fault.h"
+#include "fault/protect.h"
 
 namespace hetacc::arch {
 
@@ -42,5 +44,33 @@ struct DdrTrace {
 [[nodiscard]] DdrTrace trace_strategy(const core::Strategy& s,
                                       const nn::Network& net,
                                       const fpga::Device& dev);
+
+/// Outcome of replaying a DDR timeline under fault injection.
+struct DdrFaultReport {
+  long long bursts = 0;        ///< AXI bursts replayed
+  long long injected = 0;      ///< bursts that took a bit flip
+  long long detected = 0;      ///< flips caught by the per-burst CRC
+  long long recovered = 0;     ///< detected flips fixed within the retry budget
+  long long unrecovered = 0;   ///< detected flips that exhausted retries
+  long long silent = 0;        ///< flips delivered undetected (no protection)
+  long long retry_bytes = 0;   ///< extra traffic spent on re-reads
+  long long retry_cycles = 0;  ///< extra cycles spent on re-reads
+
+  /// Fraction of injected faults the detectors caught.
+  [[nodiscard]] double coverage() const {
+    return injected > 0 ? static_cast<double>(detected) /
+                              static_cast<double>(injected)
+                        : 1.0;
+  }
+};
+
+/// Replays a DDR timeline burst by burst under `inj`, corrupting real byte
+/// buffers and running the real CRC-32 over them — detection is computed,
+/// not assumed. With protection enabled, corrupted bursts are re-read up to
+/// `protect.retry_limit` times (re-reads can themselves be hit again);
+/// without it, corrupted bursts are delivered silently.
+[[nodiscard]] DdrFaultReport replay_trace_with_faults(
+    const DdrTrace& trace, const fpga::Device& dev,
+    const fault::FaultInjector& inj, const fault::ProtectionConfig& protect);
 
 }  // namespace hetacc::arch

@@ -36,14 +36,21 @@ class RowWindowBase : public StreamEngine {
     rows_emitted_ = 0;
   }
 
+  void set_fault_injector(const fault::FaultInjector* inj,
+                          std::uint64_t stream) override {
+    lb_.attach_fault(inj, stream);
+  }
+
   bool step(RowFifo& in, RowFifo& out) override {
     if (done()) return false;
-    // Prefer emitting (drains the pipeline) over ingesting.
-    if (window_ready()) {
+    // Prefer emitting (drains the pipeline) over ingesting; honor the
+    // output channel's back-pressure (a wedged channel reads full()).
+    if (window_ready() && !out.full()) {
       out.push(emit_row());
       ++rows_emitted_;
       return true;
     }
+    if (window_ready()) return false;  // blocked on the output stream
     return ingest(in);
   }
 
@@ -342,7 +349,7 @@ class LrnEngine final : public StreamEngine {
   void reset() override { rows_emitted_ = 0; }
 
   bool step(RowFifo& in, RowFifo& out) override {
-    if (done() || in.empty()) return false;
+    if (done() || in.empty() || out.full()) return false;
     const Row r = in.pop();
     const auto& p = layer_.lrn();
     const int C = layer_.in.c, W = layer_.in.w;
@@ -392,7 +399,7 @@ class ReluEngine final : public StreamEngine {
   void reset() override { rows_emitted_ = 0; }
 
   bool step(RowFifo& in, RowFifo& out) override {
-    if (done() || in.empty()) return false;
+    if (done() || in.empty() || out.full()) return false;
     Row r = in.pop();
     for (auto& x : r.data) {
       x = maybe_quantize(std::max(x, 0.0f), mode_.out_frac);

@@ -43,6 +43,14 @@ class StreamEngine {
   [[nodiscard]] virtual const nn::Layer& layer() const = 0;
   /// Line-buffer rows this engine instantiates (for resource cross-checks).
   [[nodiscard]] virtual int line_buffer_lines() const = 0;
+  /// Attaches a fault injector to the engine's internal storage (line
+  /// buffer). `stream` identifies the engine as an injection stream. Default
+  /// is a no-op: engines without buffered state have nothing to corrupt.
+  virtual void set_fault_injector(const fault::FaultInjector* inj,
+                                  std::uint64_t stream) {
+    (void)inj;
+    (void)stream;
+  }
 };
 
 /// Factory covering all fusable layer kinds. `wino` selects the Winograd

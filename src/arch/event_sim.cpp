@@ -67,7 +67,8 @@ EventSimResult simulate_dataflow(const nn::Network& net, std::size_t first,
                                  std::size_t last,
                                  const std::vector<fpga::Implementation>& impls,
                                  const fpga::Device& dev,
-                                 std::size_t fifo_capacity_rows) {
+                                 std::size_t fifo_capacity_rows,
+                                 const fault::FaultInjector* inj) {
   if (first > last || last >= net.size() ||
       impls.size() != last - first + 1) {
     throw std::invalid_argument("simulate_dataflow: bad range");
@@ -115,6 +116,7 @@ EventSimResult simulate_dataflow(const nn::Network& net, std::size_t first,
   long long stored = 0;
   double sink_busy = 0.0;
   double makespan = 0.0;
+  long long injected_delay = 0;
 
   // Event loop: repeatedly perform the enabled action with the earliest
   // feasible time. Actions: engine pull, engine emit-block, sink store.
@@ -186,10 +188,32 @@ EventSimResult simulate_dataflow(const nn::Network& net, std::size_t first,
     const long long burst = std::min<long long>(nd.block, rows_left);
     nd.stall += best_t - nd.busy_until;
     double t = best_t;
+    if (inj && inj->decide(fault::FaultSite::kEngineStall,
+                           static_cast<std::uint64_t>(best_engine),
+                           static_cast<std::uint64_t>(nd.emitted))) {
+      // A transient engine hang (e.g. a retried DSP column): the burst
+      // starts late by the planned stall.
+      const auto stall =
+          static_cast<double>(inj->plan().engine_stall_cycles);
+      t += stall;
+      injected_delay += stall;
+      inj->count_injected(fault::FaultSite::kEngineStall);
+    }
     for (long long i = 0; i < burst; ++i) {
       t += nd.produce_cycles;
       // The whole block computes together; rows stream out back to back.
-      ch[static_cast<std::size_t>(best_engine) + 1].push(t);
+      double avail = t;
+      Channel& out = ch[static_cast<std::size_t>(best_engine) + 1];
+      if (inj && inj->decide(fault::FaultSite::kFifoDelay,
+                             static_cast<std::uint64_t>(best_engine) + 1,
+                             static_cast<std::uint64_t>(out.pushed))) {
+        // Handshake glitch on the stream: the row lands late.
+        avail += inj->plan().fifo_delay_cycles;
+        injected_delay +=
+            static_cast<long long>(inj->plan().fifo_delay_cycles);
+        inj->count_injected(fault::FaultSite::kFifoDelay);
+      }
+      out.push(avail);
     }
     nd.emitted += burst;
     nd.busy_until = t;
@@ -197,6 +221,7 @@ EventSimResult simulate_dataflow(const nn::Network& net, std::size_t first,
 
   EventSimResult res;
   res.completed = true;
+  res.injected_delay_cycles = injected_delay;
   res.makespan_cycles = static_cast<long long>(std::ceil(makespan));
   for (const auto& c : ch) res.fifo_max_occupancy.push_back(c.max_occupancy);
   for (const auto& nd : nodes) {

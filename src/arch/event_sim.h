@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/strategy.h"
+#include "fault/fault.h"
 
 namespace hetacc::arch {
 
@@ -18,16 +19,23 @@ struct EventSimResult {
   long long makespan_cycles = 0;
   std::vector<std::size_t> fifo_max_occupancy;  ///< per channel (incl. DDR ends)
   long long producer_stall_cycles = 0;  ///< time engines waited on full FIFOs
+  long long injected_delay_cycles = 0;  ///< cycles added by timing faults
 };
 
 /// Simulates layers [first, last] of `net` with the given implementations.
 /// `fifo_capacity_rows` bounds every inter-layer channel (the DDR-facing
 /// source and sink are not bounded). Row granularity: one token = one
 /// feature-map row.
+///
+/// `inj` (optional) injects timing faults: kEngineStall freezes an engine
+/// for plan.engine_stall_cycles before an emit burst; kFifoDelay delays a
+/// pushed row's availability by plan.fifo_delay_cycles. Null = identical to
+/// the fault-free simulation.
 [[nodiscard]] EventSimResult simulate_dataflow(
     const nn::Network& net, std::size_t first, std::size_t last,
     const std::vector<fpga::Implementation>& impls, const fpga::Device& dev,
-    std::size_t fifo_capacity_rows);
+    std::size_t fifo_capacity_rows,
+    const fault::FaultInjector* inj = nullptr);
 
 /// Smallest uniform FIFO capacity whose makespan is within `tolerance`
 /// (fractional) of the unbounded-channel makespan.

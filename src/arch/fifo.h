@@ -3,10 +3,17 @@
 // are used" because the line-buffer architecture makes all inter-layer
 // accesses sequential). Tracks occupancy statistics so tests can verify the
 // streaming design never needs ping-pong buffers.
+//
+// Fault hooks: an optional FaultInjector can corrupt pushed rows (modeled
+// SEU on the FIFO BRAM) or wedge the channel entirely (a stalled AXI
+// stream); with no injector attached every hook is a null-pointer check and
+// behavior is byte-identical to the unhooked design.
 
 #include <deque>
 #include <stdexcept>
 #include <vector>
+
+#include "fault/fault.h"
 
 namespace hetacc::arch {
 
@@ -20,14 +27,37 @@ class RowFifo {
   explicit RowFifo(std::size_t capacity_rows = SIZE_MAX)
       : capacity_(capacity_rows) {}
 
-  [[nodiscard]] bool empty() const { return q_.empty(); }
-  [[nodiscard]] bool full() const { return q_.size() >= capacity_; }
+  [[nodiscard]] bool empty() const { return wedged_ || q_.empty(); }
+  [[nodiscard]] bool full() const { return wedged_ || q_.size() >= capacity_; }
   [[nodiscard]] std::size_t size() const { return q_.size(); }
   [[nodiscard]] std::size_t max_occupancy() const { return max_occupancy_; }
   [[nodiscard]] long long total_pushed() const { return pushed_; }
 
+  /// Attaches a fault injector; `channel` identifies this FIFO as an
+  /// injection stream (the pipeline numbers its channels front to back).
+  void attach_fault(const fault::FaultInjector* inj, std::uint64_t channel) {
+    fault_ = inj;
+    channel_ = channel;
+  }
+
+  /// A wedged channel refuses all traffic: empty() and full() both read
+  /// true, exactly how a stalled downstream AXI consumer presents.
+  void wedge() { wedged_ = true; }
+  [[nodiscard]] bool wedged() const { return wedged_; }
+
   void push(Row r) {
     if (full()) throw std::runtime_error("RowFifo overflow");
+    if (fault_) {
+      fault_->maybe_corrupt_row(fault::FaultSite::kFifoPush, channel_,
+                                static_cast<std::uint64_t>(pushed_),
+                                r.data.data(), r.data.size());
+      const auto& plan = fault_->plan();
+      if (plan.wedge_channel >= 0 &&
+          static_cast<std::uint64_t>(plan.wedge_channel) == channel_ &&
+          pushed_ + 1 >= plan.wedge_after_pushes) {
+        wedged_ = true;
+      }
+    }
     q_.push_back(std::move(r));
     ++pushed_;
     max_occupancy_ = std::max(max_occupancy_, q_.size());
@@ -45,6 +75,9 @@ class RowFifo {
   std::deque<Row> q_;
   std::size_t max_occupancy_ = 0;
   long long pushed_ = 0;
+  const fault::FaultInjector* fault_ = nullptr;
+  std::uint64_t channel_ = 0;
+  bool wedged_ = false;
 };
 
 }  // namespace hetacc::arch

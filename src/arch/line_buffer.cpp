@@ -11,6 +11,11 @@ void CircularLineBuffer::push_row(const std::vector<float>& row) {
   const auto line = static_cast<std::size_t>(next_row_ % lines_);
   float* dst = data_.data() + line * channels_ * width_;
   std::copy(row.begin(), row.end(), dst);
+  if (fault_) {
+    fault_->maybe_corrupt_row(fault::FaultSite::kLineBuffer, fault_stream_,
+                              static_cast<std::uint64_t>(next_row_), dst,
+                              static_cast<std::size_t>(channels_) * width_);
+  }
   ++next_row_;
 }
 

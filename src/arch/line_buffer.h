@@ -8,6 +8,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "fault/fault.h"
+
 namespace hetacc::arch {
 
 class CircularLineBuffer {
@@ -51,10 +53,20 @@ class CircularLineBuffer {
   /// cleared and storage zeroed, matching the hardware's per-frame reset.
   void reset();
 
+  /// Attaches a fault injector; `stream` identifies this buffer's engine as
+  /// an injection stream. Null detaches; no injector means push_row is
+  /// byte-identical to the unhooked design.
+  void attach_fault(const fault::FaultInjector* inj, std::uint64_t stream) {
+    fault_ = inj;
+    fault_stream_ = stream;
+  }
+
  private:
   int channels_, width_, lines_;
   long long next_row_ = 0;
   std::vector<float> data_;  ///< [line][channel][col]
+  const fault::FaultInjector* fault_ = nullptr;
+  std::uint64_t fault_stream_ = 0;
 };
 
 }  // namespace hetacc::arch

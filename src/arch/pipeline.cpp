@@ -4,7 +4,9 @@
 #include <cmath>
 
 #include "cost/cost_model.h"
+#include "fault/crc32.h"
 #include "kernels/parallel.h"
+#include "support/error.h"
 
 namespace hetacc::arch {
 
@@ -20,26 +22,97 @@ FusionPipeline::FusionPipeline(const nn::Network& net,
   if (choices_.size() != layer_count) {
     throw std::invalid_argument("FusionPipeline: choices size mismatch");
   }
+  derive_layer_constants();
+  engines_ = build_engine_set();
+}
+
+void FusionPipeline::derive_layer_constants() {
   // Derive per-layer constants once: transformed Winograd filters (the seed
   // re-ran transform_filters for every image) and packed GEMM weight panels.
-  wino_plans_.resize(layer_count);
-  packed_weights_.resize(layer_count);
+  //
+  // With a fault plan installed, the resident filter copy each constant is
+  // derived from may take bit flips (modeled SEUs on the on-chip weight
+  // store). The hardened design holds a CRC-32 of every panel computed at
+  // load time; on mismatch it reloads the golden copy from DDR — the
+  // "retry-with-reload" path — so protected runs derive from clean weights
+  // and count the event as detected + recovered.
+  const std::size_t layer_count = net_.size() - 1;
+  wino_plans_.assign(layer_count, nullptr);
+  packed_weights_.assign(layer_count, nullptr);
+  // Weight-store SEUs hit one word per panel of this many floats.
+  constexpr std::size_t kPanelFloats = 512;
   for (std::size_t i = 0; i + 1 < net_.size(); ++i) {
     const nn::Layer& l = net_[i + 1];
     if (l.kind != nn::LayerKind::kConv) continue;
     const nn::ConvWeights& w = ws_.conv(i + 1);
+    const std::size_t n_words = static_cast<std::size_t>(w.filters.size());
+    const nn::FilterBank* filters = &w.filters;
+    nn::FilterBank resident;
+    if (injector_ && injector_->plan().weight_panel_flip_rate > 0.0) {
+      resident = w.filters;
+      bool hit = false;
+      for (std::size_t p = 0; p * kPanelFloats < n_words; ++p) {
+        const std::size_t lo = p * kPanelFloats;
+        const std::size_t len = std::min(kPanelFloats, n_words - lo);
+        hit |= injector_->maybe_corrupt_row(
+            fault::FaultSite::kWeightPanel, static_cast<std::uint64_t>(i),
+            static_cast<std::uint64_t>(p), resident.data() + lo, len);
+      }
+      if (hit && protect_.enabled && protect_.crc_weights &&
+          fault::crc32_f32(resident.data(), n_words) !=
+              fault::crc32_f32(w.filters.data(), n_words)) {
+        // CRC mismatch against the load-time checksum: reload golden.
+        injector_->count_detected();
+        injector_->count_recovered();
+      } else if (hit) {
+        filters = &resident;  // silent corruption: derive from flipped copy
+      }
+    }
     if (choices_[i].algo == fpga::ConvAlgo::kWinograd) {
       const algo::WinogradTransform t =
           algo::winograd(choices_[i].wino_m, l.conv().kernel);
-      wino_plans_[i] = std::make_shared<const kernels::WinogradPlan>(
-          algo::pack_winograd_plan(algo::transform_filters(t, w.filters)));
+      auto plan = std::make_shared<kernels::WinogradPlan>(
+          algo::pack_winograd_plan(algo::transform_filters(t, *filters)));
+      if (filters != &w.filters && protect_.enabled &&
+          protect_.wino_checksum) {
+        // Checksum-verified filter transform: the transform unit checks its
+        // output against the column checksum stored with the golden plan.
+        const auto golden = algo::pack_winograd_plan(
+            algo::transform_filters(t, w.filters));
+        if (fault::crc32(plan->u.data(), plan->u.size() * sizeof(double)) !=
+            fault::crc32(golden.u.data(),
+                         golden.u.size() * sizeof(double))) {
+          injector_->count_detected();
+          injector_->count_recovered();
+          *plan = golden;  // re-transform from the clean filters
+        }
+      }
+      wino_plans_[i] = std::move(plan);
     } else if (choices_[i].algo == fpga::ConvAlgo::kConventional) {
       const int kk = l.in.c * l.conv().kernel * l.conv().kernel;
       packed_weights_[i] = std::make_shared<const kernels::PackedLhsF32>(
-          w.filters.data(), l.out.c, kk, kk);
+          filters->data(), l.out.c, kk, kk);
     }
   }
+}
+
+void FusionPipeline::install_fault_plan(const fault::FaultPlan& plan,
+                                        const fault::ProtectionConfig& protect) {
+  injector_ = std::make_unique<fault::FaultInjector>(plan);
+  protect_ = protect;
+  derive_layer_constants();
   engines_ = build_engine_set();
+}
+
+void FusionPipeline::clear_fault_plan() {
+  injector_.reset();
+  protect_ = fault::ProtectionConfig{};
+  derive_layer_constants();
+  engines_ = build_engine_set();
+}
+
+fault::FaultStats FusionPipeline::fault_stats() const {
+  return injector_ ? injector_->stats() : fault::FaultStats{};
 }
 
 std::vector<std::unique_ptr<StreamEngine>> FusionPipeline::build_engine_set()
@@ -107,6 +180,17 @@ nn::Tensor FusionPipeline::run_with(
   }
   const std::size_t n = engines.size();
   std::vector<RowFifo> fifos(n + 1);
+  if (injector_) {
+    // Channel i feeds engine i; channel n is the store stream. Engines use
+    // their layer index as the line-buffer injection stream.
+    for (std::size_t i = 0; i <= n; ++i) {
+      fifos[i].attach_fault(injector_.get(), static_cast<std::uint64_t>(i));
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      engines[i]->set_fault_injector(injector_.get(),
+                                     static_cast<std::uint64_t>(i));
+    }
+  }
   if (stats) *stats = PipelineStats{};
 
   const nn::Shape out_shape = net_[net_.size() - 1].out;
@@ -116,9 +200,12 @@ nn::Tensor FusionPipeline::run_with(
 
   // Feed one input row, then let every engine advance as far as it can —
   // this keeps FIFO occupancy near the hardware steady state instead of
-  // buffering whole feature maps.
+  // buffering whole feature maps. The feeder honors the channel's
+  // back-pressure (full() is also how a wedged channel presents), so a
+  // stalled input stream surfaces through the watchdog, not as overflow.
   while (out_rows < out_shape.h) {
-    if (fed_rows < input.shape().h) {
+    const bool can_feed = fed_rows < input.shape().h && !fifos[0].full();
+    if (can_feed) {
       Row r;
       r.data.resize(static_cast<std::size_t>(input.shape().c) *
                     input.shape().w);
@@ -157,16 +244,16 @@ nn::Tensor FusionPipeline::run_with(
         progressed = true;
       }
     }
-    if (fed_rows >= input.shape().h && out_rows < out_shape.h &&
-        !progressed) {
-      // One more sweep is attempted by the loop; if nothing moves and no
-      // input remains, the pipeline is deadlocked — a design bug.
+    if (!can_feed && out_rows < out_shape.h && !progressed) {
+      // One more sweep is attempted by the loop; if nothing moves and the
+      // feeder cannot either (input exhausted, or the input channel is
+      // refusing traffic), the pipeline is deadlocked.
       bool anything = false;
       for (std::size_t i = 0; i < n && !anything; ++i) {
         anything = engines[i]->step(fifos[i], fifos[i + 1]);
       }
       if (!anything && fifos[n].empty()) {
-        throw std::runtime_error("pipeline stalled before completion");
+        report_stall(engines, fifos);
       }
     }
   }
@@ -178,6 +265,36 @@ nn::Tensor FusionPipeline::run_with(
     }
   }
   return out;
+}
+
+void FusionPipeline::report_stall(
+    const std::vector<std::unique_ptr<StreamEngine>>& engines,
+    const std::vector<RowFifo>& fifos) const {
+  // The DATAFLOW watchdog: no engine made progress, no input remains, and
+  // the store stream is empty. Diagnose which stage wedged instead of
+  // hanging (the hardware's watchdog timer raises an interrupt with the
+  // stalled stream's id; here the "interrupt" is a structured FaultError).
+  const std::size_t n = engines.size();
+  for (std::size_t i = 0; i < fifos.size(); ++i) {
+    if (!fifos[i].wedged()) continue;
+    const std::string stage =
+        i < n ? engines[i]->layer().name : std::string("store");
+    throw FaultError("pipeline watchdog: FIFO channel " + std::to_string(i) +
+                         " feeding stage '" + stage +
+                         "' wedged after " +
+                         std::to_string(fifos[i].total_pushed()) + " pushes",
+                     stage);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!engines[i]->done()) {
+      throw FaultError(
+          "pipeline watchdog: stage '" + engines[i]->layer().name +
+              "' starved (in fifo " + (fifos[i].empty() ? "empty" : "ready") +
+              ", out fifo " + (fifos[i + 1].full() ? "full" : "ready") + ")",
+          engines[i]->layer().name);
+    }
+  }
+  throw FaultError("pipeline watchdog: stalled with all engines done", "");
 }
 
 ScheduleResult simulate_schedule(const nn::Network& net, std::size_t first,

@@ -13,6 +13,8 @@
 #include <memory>
 
 #include "arch/engines.h"
+#include "fault/fault.h"
+#include "fault/protect.h"
 #include "fpga/engine_model.h"
 #include "nn/network.h"
 #include "nn/reference.h"
@@ -60,11 +62,34 @@ class FusionPipeline {
     return *engines_.at(i);
   }
 
+  /// Installs a fault plan (and optionally the hardening config). Resident
+  /// weight-panel faults are injected immediately: per-layer constants are
+  /// re-derived from bit-flipped filter copies; with protection enabled the
+  /// CRC / Winograd-checksum detectors fire here and recover by reloading
+  /// the golden copy. FIFO / line-buffer faults are injected while streaming.
+  /// With no plan installed (the default) every hook is a null check and the
+  /// simulator output is byte-identical to the unhooked design.
+  void install_fault_plan(const fault::FaultPlan& plan,
+                          const fault::ProtectionConfig& protect = {});
+  /// Removes the plan and restores the golden per-layer constants.
+  void clear_fault_plan();
+  [[nodiscard]] bool fault_plan_installed() const {
+    return injector_ != nullptr;
+  }
+  /// Injection/detection counters accumulated since install (or the last
+  /// FaultInjector::reset_stats()).
+  [[nodiscard]] fault::FaultStats fault_stats() const;
+
  private:
   [[nodiscard]] std::vector<std::unique_ptr<StreamEngine>> build_engine_set()
       const;
   nn::Tensor run_with(std::vector<std::unique_ptr<StreamEngine>>& engines,
                       const nn::Tensor& input, PipelineStats* stats) const;
+
+  void derive_layer_constants();
+  [[noreturn]] void report_stall(
+      const std::vector<std::unique_ptr<StreamEngine>>& engines,
+      const std::vector<RowFifo>& fifos) const;
 
   nn::Network net_;
   nn::WeightStore ws_;
@@ -75,6 +100,8 @@ class FusionPipeline {
   std::vector<std::shared_ptr<const kernels::PackedLhsF32>> packed_weights_;
   std::vector<std::unique_ptr<StreamEngine>> engines_;
   PipelineStats stats_;
+  std::unique_ptr<fault::FaultInjector> injector_;
+  fault::ProtectionConfig protect_;
 };
 
 /// Result of the row-level timing recurrence.

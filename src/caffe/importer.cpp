@@ -1,31 +1,60 @@
 #include "caffe/importer.h"
 
+#include <cmath>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
 
 #include "nn/model_zoo.h"
+#include "support/error.h"
 
 namespace hetacc::caffe {
 
 namespace {
 
+/// Checked double -> int conversion for dimension/parameter fields. The
+/// blind static_cast this replaces was undefined behavior for the
+/// overflowing literals a fuzzer (or a corrupted deploy file) produces.
+int checked_dim(const Value& v, const char* what) {
+  const double* d = std::get_if<double>(&v);
+  if (!d) {
+    throw ParseError(std::string("caffe import: ") + what +
+                     " must be numeric");
+  }
+  if (!(std::floor(*d) == *d) || !(*d >= -2147483648.0) ||
+      !(*d <= 2147483647.0)) {
+    throw ParseError(std::string("caffe import: ") + what + " value " +
+                     std::to_string(*d) + " is not a valid integer");
+  }
+  return static_cast<int>(*d);
+}
+
+/// Message::integer (already range-checked) narrowed to int.
+int checked_int(const Message& p, const std::string& key, long long fallback,
+                const char* what) {
+  const long long v = p.integer(key, fallback);
+  if (v < -2147483648ll || v > 2147483647ll) {
+    throw ParseError(std::string("caffe import: ") + what + " field '" + key +
+                     "' value " + std::to_string(v) + " overflows");
+  }
+  return static_cast<int>(v);
+}
+
 nn::Shape input_shape_of(const Message& root) {
   // Classic header: input: "data" + 4x input_dim (N, C, H, W).
   if (root.count("input_dim") == 4) {
     const auto& dims = root.all("input_dim");
-    auto dim = [&](std::size_t i) {
-      return static_cast<int>(std::get<double>(dims[i]));
-    };
-    return nn::Shape{dim(1), dim(2), dim(3)};
+    return nn::Shape{checked_dim(dims[1], "input_dim"),
+                     checked_dim(dims[2], "input_dim"),
+                     checked_dim(dims[3], "input_dim")};
   }
   // input_shape { dim: ... } header.
   if (const Message* is = root.child("input_shape")) {
     const auto& dims = is->all("dim");
     if (dims.size() == 4) {
-      return nn::Shape{static_cast<int>(std::get<double>(dims[1])),
-                       static_cast<int>(std::get<double>(dims[2])),
-                       static_cast<int>(std::get<double>(dims[3]))};
+      return nn::Shape{checked_dim(dims[1], "input_shape.dim"),
+                       checked_dim(dims[2], "input_shape.dim"),
+                       checked_dim(dims[3], "input_shape.dim")};
     }
   }
   // Modern style: layer { type: "Input" input_param { shape { dim ... } } }.
@@ -37,23 +66,23 @@ nn::Shape input_shape_of(const Message& root) {
       if (!shape) continue;
       const auto& dims = shape->all("dim");
       if (dims.size() != 4) {
-        throw std::runtime_error("caffe import: Input layer needs 4 dims");
+        throw ParseError("caffe import: Input layer needs 4 dims");
       }
-      return nn::Shape{static_cast<int>(std::get<double>(dims[1])),
-                       static_cast<int>(std::get<double>(dims[2])),
-                       static_cast<int>(std::get<double>(dims[3]))};
+      return nn::Shape{checked_dim(dims[1], "input_param.shape.dim"),
+                       checked_dim(dims[2], "input_param.shape.dim"),
+                       checked_dim(dims[3], "input_param.shape.dim")};
     }
   }
-  throw std::runtime_error("caffe import: no input shape found");
+  throw ParseError("caffe import: no input shape found");
 }
 
 int kernel_of(const Message& p, const char* what) {
-  const long long k = p.integer("kernel_size", 0);
+  const int k = checked_int(p, "kernel_size", 0, what);
   if (k <= 0) {
-    throw std::runtime_error(std::string("caffe import: ") + what +
-                             " without kernel_size");
+    throw ParseError(std::string("caffe import: ") + what +
+                     " without kernel_size");
   }
-  return static_cast<int>(k);
+  return k;
 }
 
 }  // namespace
@@ -75,13 +104,13 @@ nn::Network import_prototxt(std::string_view text) {
     if (type == "Convolution") {
       const Message* p = l->child("convolution_param");
       if (!p) {
-        throw std::runtime_error("caffe import: conv '" + name +
-                                 "' without convolution_param");
+        throw ParseError("caffe import: conv '" + name +
+                         "' without convolution_param");
       }
-      net.conv(static_cast<int>(p->integer("num_output", 0)),
+      net.conv(checked_int(*p, "num_output", 0, "Convolution"),
                kernel_of(*p, "Convolution"),
-               static_cast<int>(p->integer("stride", 1)),
-               static_cast<int>(p->integer("pad", 0)), name,
+               checked_int(*p, "stride", 1, "Convolution"),
+               checked_int(*p, "pad", 0, "Convolution"), name,
                /*fused_relu=*/false);
     } else if (type == "ReLU") {
       // In-place ReLU folds into the preceding conv (paper §7.2).
@@ -93,39 +122,39 @@ nn::Network import_prototxt(std::string_view text) {
     } else if (type == "Pooling") {
       const Message* p = l->child("pooling_param");
       if (!p) {
-        throw std::runtime_error("caffe import: pool '" + name +
-                                 "' without pooling_param");
+        throw ParseError("caffe import: pool '" + name +
+                         "' without pooling_param");
       }
       const std::string method = p->str("pool", "MAX");
       const int k = kernel_of(*p, "Pooling");
-      const int stride = static_cast<int>(p->integer("stride", 1));
-      const int pad = static_cast<int>(p->integer("pad", 0));
+      const int stride = checked_int(*p, "stride", 1, "Pooling");
+      const int pad = checked_int(*p, "pad", 0, "Pooling");
       if (method == "MAX") {
         net.max_pool(k, stride, name, pad);
       } else if (method == "AVE") {
         net.avg_pool(k, stride, name, pad);
       } else {
-        throw std::runtime_error("caffe import: pool method '" + method +
-                                 "' unsupported");
+        throw ParseError("caffe import: pool method '" + method +
+                         "' unsupported");
       }
     } else if (type == "LRN") {
       const Message* p = l->child("lrn_param");
-      net.lrn(p ? static_cast<int>(p->integer("local_size", 5)) : 5,
+      net.lrn(p ? checked_int(*p, "local_size", 5, "LRN") : 5,
               p ? static_cast<float>(p->number("alpha", 1e-4)) : 1e-4f,
               p ? static_cast<float>(p->number("beta", 0.75)) : 0.75f, name);
     } else if (type == "InnerProduct") {
       const Message* p = l->child("inner_product_param");
       if (!p) {
-        throw std::runtime_error("caffe import: fc '" + name +
-                                 "' without inner_product_param");
+        throw ParseError("caffe import: fc '" + name +
+                         "' without inner_product_param");
       }
-      net.fc(static_cast<int>(p->integer("num_output", 0)), name,
+      net.fc(checked_int(*p, "num_output", 0, "InnerProduct"), name,
              /*fused_relu=*/false);
     } else if (type == "Softmax" || type == "SoftmaxWithLoss") {
       net.softmax(name);
     } else {
-      throw std::runtime_error("caffe import: unsupported layer type '" +
-                               type + "' (layer '" + name + "')");
+      throw ParseError("caffe import: unsupported layer type '" + type +
+                       "' (layer '" + name + "')");
     }
   }
   return net;
@@ -133,7 +162,7 @@ nn::Network import_prototxt(std::string_view text) {
 
 nn::Network import_prototxt_file(const std::string& path) {
   std::ifstream in(path);
-  if (!in) throw std::runtime_error("cannot open prototxt file: " + path);
+  if (!in) throw ParseError("cannot open prototxt file: " + path);
   std::ostringstream ss;
   ss << in.rdbuf();
   return import_prototxt(ss.str());

@@ -1,14 +1,17 @@
 #include "caffe/prototxt.h"
 
 #include <cctype>
+#include <cmath>
 #include <stdexcept>
+
+#include "support/error.h"
 
 namespace hetacc::caffe {
 
 const std::vector<Value>& Message::all(const std::string& key) const {
   auto it = fields_.find(key);
   if (it == fields_.end()) {
-    throw std::runtime_error("prototxt: missing field '" + key + "'");
+    throw ParseError("prototxt: missing field '" + key + "'");
   }
   return it->second;
 }
@@ -18,11 +21,19 @@ double Message::number(const std::string& key, double fallback) const {
   if (it == fields_.end() || it->second.empty()) return fallback;
   const Value& v = it->second.front();
   if (const double* d = std::get_if<double>(&v)) return *d;
-  throw std::runtime_error("prototxt: field '" + key + "' is not numeric");
+  throw ParseError("prototxt: field '" + key + "' is not numeric");
 }
 
 long long Message::integer(const std::string& key, long long fallback) const {
-  return static_cast<long long>(number(key, static_cast<double>(fallback)));
+  const double d = number(key, static_cast<double>(fallback));
+  // Guard the double -> integer cast: out-of-range (or NaN) values are
+  // undefined behavior in C++, and real deploy files do contain overflowing
+  // literals. 2^62 bounds keep every in-range cast exact.
+  if (!(d >= -4.611686018427387904e18 && d <= 4.611686018427387904e18)) {
+    throw ParseError("prototxt: field '" + key + "' value " +
+                     std::to_string(d) + " overflows an integer");
+  }
+  return static_cast<long long>(d);
 }
 
 std::string Message::str(const std::string& key,
@@ -31,7 +42,7 @@ std::string Message::str(const std::string& key,
   if (it == fields_.end() || it->second.empty()) return fallback;
   const Value& v = it->second.front();
   if (const std::string* s = std::get_if<std::string>(&v)) return *s;
-  throw std::runtime_error("prototxt: field '" + key + "' is not a string");
+  throw ParseError("prototxt: field '" + key + "' is not a string");
 }
 
 const Message* Message::child(const std::string& key) const {
@@ -41,7 +52,7 @@ const Message* Message::child(const std::string& key) const {
   if (const auto* m = std::get_if<std::shared_ptr<Message>>(&v)) {
     return m->get();
   }
-  throw std::runtime_error("prototxt: field '" + key + "' is not a message");
+  throw ParseError("prototxt: field '" + key + "' is not a message");
 }
 
 std::vector<const Message*> Message::children(const std::string& key) const {
@@ -52,8 +63,8 @@ std::vector<const Message*> Message::children(const std::string& key) const {
     if (const auto* m = std::get_if<std::shared_ptr<Message>>(&v)) {
       out.push_back(m->get());
     } else {
-      throw std::runtime_error("prototxt: field '" + key +
-                               "' mixes scalars and messages");
+      throw ParseError("prototxt: field '" + key +
+                       "' mixes scalars and messages");
     }
   }
   return out;
@@ -67,8 +78,7 @@ struct Lexer {
   int line = 1;
 
   [[noreturn]] void fail(const std::string& what) const {
-    throw std::runtime_error("prototxt: line " + std::to_string(line) + ": " +
-                             what);
+    throw ParseError("prototxt: " + what, line);
   }
 
   void skip_ws() {

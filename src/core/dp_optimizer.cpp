@@ -131,6 +131,35 @@ long long FusionTable::min_transfer(std::size_t i, std::size_t j) const {
 
 namespace {
 
+/// Names the binding constraint of an infeasible run. Every layer that fits
+/// on the device alone admits the all-singleton partition, so if no layer is
+/// individually infeasible the transfer budget must be what bound — report
+/// it against the minimal transfer any partition can achieve (a small DP
+/// over the already-built fusion table).
+std::string diagnose_infeasible(const nn::Network& net, const FusionTable& ft,
+                                const OptimizerOptions& opt) {
+  const std::size_t n = ft.count();
+  if (n == 0) return "network has no optimizable layers";
+  for (std::size_t k = 0; k < n; ++k) {
+    if (!ft.feasible(k, k)) {
+      return "layer '" + net[ft.net_index(k)].name +
+             "' has no feasible engine implementation under the device "
+             "resource budget";
+    }
+  }
+  std::vector<long long> best(n + 1, kInf);
+  best[0] = 0;
+  for (std::size_t j = 1; j <= n; ++j) {
+    for (std::size_t i = 0; i < j; ++i) {
+      if (best[i] >= kInf || !ft.feasible(i, j - 1)) continue;
+      best[j] = std::min(best[j], best[i] + ft.min_transfer(i, j - 1));
+    }
+  }
+  return "transfer budget " + std::to_string(opt.transfer_budget_bytes) +
+         " bytes is below the minimal achievable feature-map transfer (" +
+         std::to_string(best[n]) + " bytes)";
+}
+
 OptimizeResult assemble(const nn::Network& net,
                         const fpga::EngineModel& model,
                         const OptimizerOptions& opt, const FusionTable& ft,
@@ -140,6 +169,7 @@ OptimizeResult assemble(const nn::Network& net,
   out.fusion_ranges_evaluated = ft.ranges_evaluated();
   out.bnb_nodes_visited = ft.nodes_visited();
   if (cuts.empty()) {
+    out.infeasible_reason = diagnose_infeasible(net, ft, opt);
     out.wall_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();

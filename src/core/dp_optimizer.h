@@ -35,6 +35,11 @@ struct OptimizerOptions {
 struct OptimizeResult {
   Strategy strategy;
   bool feasible = false;
+  /// When !feasible: which constraint bound first — a layer with no
+  /// implementation under the device resources, or a transfer budget below
+  /// the minimal achievable feature-map traffic. Empty when feasible. The
+  /// toolflow forwards this verbatim inside its InfeasibleError.
+  std::string infeasible_reason;
   /// Number of (i, j) ranges for which Algorithm 2 ran.
   long long fusion_ranges_evaluated = 0;
   long long bnb_nodes_visited = 0;

@@ -1,6 +1,10 @@
 #include "core/strategy_io.h"
 
+#include <charconv>
 #include <sstream>
+
+#include "cost/group_timing.h"
+#include "support/error.h"
 
 namespace hetacc::core {
 
@@ -62,6 +66,165 @@ std::string strategy_to_markdown(const Strategy& s, const nn::Network& net) {
   os << "| **Total** | | | " << total.bram18k << " | " << total.dsp << " | "
      << total.ff << " | " << total.lut << " |\n";
   return os.str();
+}
+
+namespace {
+
+constexpr std::string_view kStrategyCsvHeader =
+    "group,layer,name,kind,algorithm,wino_m,tn,tm,tk,parallelism,"
+    "dsp,bram18k,ff,lut,compute_cycles,fill_cycles";
+
+std::vector<std::string_view> split_fields(std::string_view line) {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t comma = line.find(',', start);
+    if (comma == std::string_view::npos) {
+      out.push_back(line.substr(start));
+      return out;
+    }
+    out.push_back(line.substr(start, comma - start));
+    start = comma + 1;
+  }
+}
+
+long long parse_ll(std::string_view field, const char* what, int line_no) {
+  long long v = 0;
+  const auto [ptr, ec] =
+      std::from_chars(field.data(), field.data() + field.size(), v);
+  if (ec != std::errc{} || ptr != field.data() + field.size()) {
+    throw ParseError("strategy csv: field '" + std::string(what) +
+                         "' is not an integer: '" + std::string(field) + "'",
+                     line_no);
+  }
+  return v;
+}
+
+}  // namespace
+
+Strategy strategy_from_csv(const std::string& csv, const nn::Network& net,
+                           const fpga::Device& dev) {
+  std::istringstream in(csv);
+  std::string line;
+  int line_no = 0;
+
+  if (!std::getline(in, line)) {
+    throw ParseError("strategy csv: empty input", 1);
+  }
+  ++line_no;
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  if (line != kStrategyCsvHeader) {
+    throw ParseError("strategy csv: bad header '" + line + "'", line_no);
+  }
+
+  Strategy s;
+  std::size_t expect_layer = 1;  // layer 0 is the input layer
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    const auto f = split_fields(line);
+    if (f.size() != 16) {
+      throw ParseError("strategy csv: expected 16 fields, got " +
+                           std::to_string(f.size()),
+                       line_no);
+    }
+    const long long gi = parse_ll(f[0], "group", line_no);
+    const long long li = parse_ll(f[1], "layer", line_no);
+    const auto ngroups = static_cast<long long>(s.groups.size());
+    if (gi != ngroups && gi != ngroups - 1) {
+      throw ParseError("strategy csv: group index " + std::to_string(gi) +
+                           " out of order (expected " +
+                           std::to_string(ngroups - 1) + " or " +
+                           std::to_string(ngroups) + ")",
+                       line_no);
+    }
+    if (li != static_cast<long long>(expect_layer) ||
+        li >= static_cast<long long>(net.size())) {
+      throw ParseError("strategy csv: layer index " + std::to_string(li) +
+                           " does not tile the network (expected " +
+                           std::to_string(expect_layer) + ")",
+                       line_no);
+    }
+    const nn::Layer& l = net[static_cast<std::size_t>(li)];
+    if (f[2] != l.name) {
+      throw ParseError("strategy csv: layer name '" + std::string(f[2]) +
+                           "' != network layer '" + l.name + "'",
+                       line_no);
+    }
+    if (f[3] != nn::to_string(l.kind)) {
+      throw ParseError("strategy csv: kind '" + std::string(f[3]) +
+                           "' disagrees with network layer '" + l.name + "'",
+                       line_no);
+    }
+
+    fpga::Implementation ipl;
+    if (!fpga::algo_from_string(f[4], ipl.cfg.algo)) {
+      throw ParseError(
+          "strategy csv: unknown algorithm '" + std::string(f[4]) + "'",
+          line_no);
+    }
+    if ((ipl.cfg.algo == fpga::ConvAlgo::kNone) ==
+        (l.kind == nn::LayerKind::kConv)) {
+      throw ParseError("strategy csv: algorithm '" + std::string(f[4]) +
+                           "' invalid for layer kind '" + std::string(f[3]) +
+                           "'",
+                       line_no);
+    }
+    const long long wino_m = parse_ll(f[5], "wino_m", line_no);
+    ipl.cfg.wino_m = wino_m > 0 ? static_cast<int>(wino_m) : 4;
+    ipl.cfg.tn = static_cast<int>(parse_ll(f[6], "tn", line_no));
+    ipl.cfg.tm = static_cast<int>(parse_ll(f[7], "tm", line_no));
+    ipl.cfg.tk = static_cast<int>(parse_ll(f[8], "tk", line_no));
+    if (ipl.cfg.tn <= 0 || ipl.cfg.tm <= 0 || ipl.cfg.tk <= 0) {
+      throw ParseError("strategy csv: non-positive unroll factor", line_no);
+    }
+    (void)parse_ll(f[9], "parallelism", line_no);  // derived; validated only
+    ipl.res.dsp = parse_ll(f[10], "dsp", line_no);
+    ipl.res.bram18k = parse_ll(f[11], "bram18k", line_no);
+    ipl.res.ff = parse_ll(f[12], "ff", line_no);
+    ipl.res.lut = parse_ll(f[13], "lut", line_no);
+    if (ipl.res.any_negative()) {
+      throw ParseError("strategy csv: negative resource count", line_no);
+    }
+    ipl.compute_cycles = parse_ll(f[14], "compute_cycles", line_no);
+    ipl.fill_cycles = parse_ll(f[15], "fill_cycles", line_no);
+    if (ipl.compute_cycles < 0 || ipl.fill_cycles < 0) {
+      throw ParseError("strategy csv: negative cycle count", line_no);
+    }
+    // Weight words are a pure function of the layer (not exported).
+    if (l.kind == nn::LayerKind::kConv) {
+      ipl.weight_words = static_cast<long long>(l.out.c) * l.in.c *
+                         l.conv().kernel * l.conv().kernel;
+      ipl.mults_performed = fpga::EngineModel::algo_mults(l, ipl.cfg);
+    }
+
+    if (gi == static_cast<long long>(s.groups.size())) {
+      FusionGroup g;
+      g.first = static_cast<std::size_t>(li);
+      g.last = static_cast<std::size_t>(li);
+      s.groups.push_back(std::move(g));
+    }
+    FusionGroup& g = s.groups.back();
+    g.last = static_cast<std::size_t>(li);
+    g.impls.push_back(std::move(ipl));
+    ++expect_layer;
+  }
+
+  if (s.groups.empty()) {
+    throw ParseError("strategy csv: no layer rows", line_no);
+  }
+  if (expect_layer != net.size()) {
+    throw ParseError("strategy csv: truncated at layer " +
+                         std::to_string(expect_layer) + " of " +
+                         std::to_string(net.size() - 1),
+                     line_no);
+  }
+  // Re-derive the per-group timing through the single cost layer.
+  for (auto& g : s.groups) {
+    g.timing = cost::evaluate_group_timing(net, g.first, g.last, g.impls, dev);
+  }
+  return s;
 }
 
 std::string report_to_csv_row(const StrategyReport& r) {

@@ -31,4 +31,16 @@ namespace hetacc::core {
 /// gops_per_w,transfer_bytes,throughput_fps
 [[nodiscard]] std::string report_to_csv_row(const StrategyReport& r);
 
+/// Inverse of strategy_to_csv: reconstructs a Strategy from the CSV against
+/// the network it was exported for. Configs, resource vectors and cycle
+/// counts are read back verbatim; weight words and the per-group timing are
+/// re-derived through the cost layer (they are functions of the above).
+/// Throws hetacc::ParseError — with a 1-based line number — on truncated,
+/// garbled or inconsistent input (bad header, non-numeric fields, unknown
+/// algorithm, layer indices that do not tile the network contiguously,
+/// names/kinds that disagree with `net`).
+[[nodiscard]] Strategy strategy_from_csv(const std::string& csv,
+                                         const nn::Network& net,
+                                         const fpga::Device& dev);
+
 }  // namespace hetacc::core

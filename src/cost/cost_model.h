@@ -113,6 +113,28 @@ namespace hetacc::cost {
       std::ceil(static_cast<double>(cycles) * factor));
 }
 
+/// Number of CRC-protected AXI bursts covering `bytes` (hardened design).
+[[nodiscard]] constexpr long long crc_burst_count(long long bytes,
+                                                  long long burst_bytes) {
+  return bytes > 0 ? ceil_div(bytes, burst_bytes) : 0;
+}
+
+/// Extra DDR-path cycles added by per-burst CRC verification: the checker
+/// runs at wire speed, so the only cost is the fixed pipeline tail each
+/// burst pays before its data is released to the consumer.
+[[nodiscard]] constexpr long long crc_check_cycles(
+    long long bytes, long long burst_bytes, long long check_cycles_per_burst) {
+  return crc_burst_count(bytes, burst_bytes) * check_cycles_per_burst;
+}
+
+/// DDR cycles to move `bytes` through the CRC-checked path.
+[[nodiscard]] inline long long protected_transfer_cycles(
+    long long bytes, double bytes_per_cycle, long long burst_bytes,
+    long long check_cycles_per_burst) {
+  return transfer_cycles(bytes, bytes_per_cycle) +
+         crc_check_cycles(bytes, burst_bytes, check_cycles_per_burst);
+}
+
 /// The group latency combination rule (paper Fig. 2(d)): intra-layer
 /// pipelining overlaps DDR traffic with computation, so the steady state is
 /// bound by the slower of the two, plus the pipeline fill.

@@ -42,8 +42,16 @@ GroupTiming evaluate_group_timing(
   // (paper §5: "fusion design does not help to save the kernel weight
   // transfer"); they cost DDR time but are excluded from the T budget.
   const long long wt_bytes = weight_words(impls) * dev.data_bytes;
-  t.transfer_cycles =
-      transfer_cycles(t.transfer_bytes + wt_bytes, dev.bytes_per_cycle());
+  if (dev.protection.enabled) {
+    // Hardened DDR path: every burst pays the CRC check tail before its data
+    // is released (same accounting the DDR trace replay uses).
+    t.transfer_cycles = protected_transfer_cycles(
+        t.transfer_bytes + wt_bytes, dev.bytes_per_cycle(),
+        dev.protection.burst_bytes, dev.protection.check_cycles_per_burst);
+  } else {
+    t.transfer_cycles =
+        transfer_cycles(t.transfer_bytes + wt_bytes, dev.bytes_per_cycle());
+  }
   for (const auto& ipl : impls) {
     t.compute_cycles = std::max(t.compute_cycles, ipl.compute_cycles);
     t.fill_cycles += ipl.fill_cycles;

@@ -1,0 +1,44 @@
+#include "fault/crc32.h"
+
+#include <array>
+
+namespace hetacc::fault {
+
+namespace {
+
+/// Reflected CRC-32 table for polynomial 0xEDB88320, built at static init.
+std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> t{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
+    }
+    t[i] = c;
+  }
+  return t;
+}
+
+const std::array<std::uint32_t, 256>& table() {
+  static const std::array<std::uint32_t, 256> t = make_table();
+  return t;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t n, std::uint32_t seed) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  const auto& t = table();
+  for (std::size_t i = 0; i < n; ++i) {
+    c = t[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+std::uint32_t crc32_f32(const float* data, std::size_t count,
+                        std::uint32_t seed) {
+  return crc32(data, count * sizeof(float), seed);
+}
+
+}  // namespace hetacc::fault

@@ -1,0 +1,29 @@
+#pragma once
+// CRC-32 (IEEE 802.3 polynomial, reflected, table-driven) — the checksum the
+// protection layer attaches to DDR bursts and packed weight panels. CRC-32
+// detects every single-bit error and every burst error up to 32 bits, which
+// is exactly the SEU model the fault layer injects; test_fault exhaustively
+// verifies the single-bit property.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace hetacc::fault {
+
+/// CRC-32 of `n` bytes. `seed` allows incremental checksumming: feed the
+/// previous call's return value to continue a running CRC.
+[[nodiscard]] std::uint32_t crc32(const void* data, std::size_t n,
+                                  std::uint32_t seed = 0);
+
+/// CRC-32 over the byte image of a float span (the form the line-buffer and
+/// weight-panel checks use).
+[[nodiscard]] std::uint32_t crc32_f32(const float* data, std::size_t count,
+                                      std::uint32_t seed = 0);
+
+[[nodiscard]] inline std::uint32_t crc32_f32(const std::vector<float>& v,
+                                             std::uint32_t seed = 0) {
+  return crc32_f32(v.data(), v.size(), seed);
+}
+
+}  // namespace hetacc::fault

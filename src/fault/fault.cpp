@@ -1,0 +1,122 @@
+#include "fault/fault.h"
+
+#include <cstring>
+
+namespace hetacc::fault {
+
+std::string_view to_string(FaultSite s) {
+  switch (s) {
+    case FaultSite::kDdrBurst: return "ddr_burst";
+    case FaultSite::kLineBuffer: return "line_buffer";
+    case FaultSite::kWeightPanel: return "weight_panel";
+    case FaultSite::kFifoPush: return "fifo_push";
+    case FaultSite::kFifoDelay: return "fifo_delay";
+    case FaultSite::kEngineStall: return "engine_stall";
+  }
+  return "?";
+}
+
+namespace {
+
+/// splitmix64 finalizer — a full-avalanche mix of the event coordinates.
+constexpr std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+constexpr std::uint64_t event_hash(std::uint64_t seed, FaultSite site,
+                                   std::uint64_t stream, std::uint64_t event,
+                                   std::uint64_t salt) {
+  std::uint64_t h = mix64(seed ^ 0xA0761D6478BD642Full);
+  h = mix64(h ^ (static_cast<std::uint64_t>(site) + 1));
+  h = mix64(h ^ stream);
+  h = mix64(h ^ event);
+  if (salt != 0) h = mix64(h ^ salt);
+  return h;
+}
+
+double rate_of(const FaultPlan& p, FaultSite s) {
+  switch (s) {
+    case FaultSite::kDdrBurst: return p.ddr_burst_flip_rate;
+    case FaultSite::kLineBuffer: return p.line_buffer_flip_rate;
+    case FaultSite::kWeightPanel: return p.weight_panel_flip_rate;
+    case FaultSite::kFifoPush: return p.fifo_corrupt_rate;
+    case FaultSite::kFifoDelay: return p.fifo_delay_rate;
+    case FaultSite::kEngineStall: return p.engine_stall_rate;
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+bool FaultInjector::decide(FaultSite site, std::uint64_t stream,
+                           std::uint64_t event) const {
+  const double rate = rate_of(plan_, site);
+  if (rate <= 0.0) return false;
+  if (rate >= 1.0) return true;
+  const std::uint64_t h = event_hash(plan_.seed, site, stream, event, 0);
+  // Top 53 bits -> uniform double in [0, 1).
+  const double u =
+      static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+  return u < rate;
+}
+
+std::uint64_t FaultInjector::noise(FaultSite site, std::uint64_t stream,
+                                   std::uint64_t event,
+                                   std::uint64_t salt) const {
+  return event_hash(plan_.seed, site, stream, event, salt | 1);
+}
+
+float flip_float_bit(float v, std::uint32_t bit) {
+  std::uint32_t u;
+  std::memcpy(&u, &v, sizeof(u));
+  u ^= (1u << (bit & 31u));
+  std::memcpy(&v, &u, sizeof(v));
+  return v;
+}
+
+bool FaultInjector::maybe_corrupt_row(FaultSite site, std::uint64_t stream,
+                                      std::uint64_t event, float* data,
+                                      std::size_t count) const {
+  if (count == 0 || !decide(site, stream, event)) return false;
+  const std::uint64_t n = noise(site, stream, event, 2);
+  const std::size_t idx = static_cast<std::size_t>(n % count);
+  data[idx] = flip_float_bit(data[idx],
+                             static_cast<std::uint32_t>((n >> 32) & 31u));
+  count_injected(site);
+  return true;
+}
+
+bool FaultInjector::maybe_corrupt_bytes(FaultSite site, std::uint64_t stream,
+                                        std::uint64_t event,
+                                        unsigned char* data,
+                                        std::size_t count) const {
+  if (count == 0 || !decide(site, stream, event)) return false;
+  const std::uint64_t n = noise(site, stream, event, 3);
+  const std::size_t idx = static_cast<std::size_t>(n % count);
+  data[idx] ^= static_cast<unsigned char>(1u << ((n >> 32) & 7u));
+  count_injected(site);
+  return true;
+}
+
+FaultStats FaultInjector::stats() const {
+  FaultStats s;
+  for (std::size_t i = 0; i < kFaultSiteCount; ++i) {
+    s.injected[i] = injected_[i].load(std::memory_order_relaxed);
+  }
+  s.detected = detected_.load(std::memory_order_relaxed);
+  s.recovered = recovered_.load(std::memory_order_relaxed);
+  s.unrecovered = unrecovered_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void FaultInjector::reset_stats() {
+  for (auto& a : injected_) a.store(0, std::memory_order_relaxed);
+  detected_.store(0, std::memory_order_relaxed);
+  recovered_.store(0, std::memory_order_relaxed);
+  unrecovered_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace hetacc::fault

@@ -1,0 +1,37 @@
+#pragma once
+// Protection/hardening configuration: which detectors are instantiated and
+// how recovery behaves. Header-only so fpga/ and cost/ can read it without a
+// link dependency; the resource and cycle *prices* of these choices live in
+// fpga::EngineModelParams and cost:: (the single accounting layer), exactly
+// like every other modeled hardware feature.
+
+#include <cstdint>
+
+namespace hetacc::fault {
+
+/// What the hardened design instantiates. All on by default once protection
+/// is enabled; the campaign runner flips individual detectors off to measure
+/// their coverage contribution.
+struct ProtectionConfig {
+  bool enabled = false;
+
+  bool crc_ddr = true;        ///< CRC-32 per DDR burst, checked on arrival
+  bool crc_weights = true;    ///< CRC-32 over resident packed weight panels
+  bool wino_checksum = true;  ///< column checksum on transformed filters
+  bool watchdog = true;       ///< DATAFLOW stall detector naming the stage
+
+  /// Corrupted bursts are re-read up to this many times before the design
+  /// raises an unrecoverable-fault interrupt.
+  int retry_limit = 2;
+
+  /// DDR burst granularity the CRC is computed over (AXI burst payload).
+  long long burst_bytes = 4096;
+
+  [[nodiscard]] static ProtectionConfig all_on() {
+    ProtectionConfig c;
+    c.enabled = true;
+    return c;
+  }
+};
+
+}  // namespace hetacc::fault

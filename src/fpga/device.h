@@ -63,6 +63,16 @@ struct PowerSpec {
   double base_board_w = 1.0;       ///< regulators, clocking, ARM subsystem idle
 };
 
+/// DDR-path hardening the device is configured with. When enabled, every
+/// subsystem that prices transfers — group_timing, the DDR trace, the
+/// optimizer through both — charges the per-burst CRC check tail, so the
+/// hardened design is re-traded with its true latency.
+struct TransferProtection {
+  bool enabled = false;
+  long long burst_bytes = 4096;         ///< CRC granularity (AXI burst)
+  long long check_cycles_per_burst = 8; ///< pipeline tail before data release
+};
+
 struct Device {
   std::string name;
   std::string chip;
@@ -71,6 +81,7 @@ struct Device {
   double frequency_hz = 100e6;         ///< design clock (paper: 100 MHz)
   int data_bytes = 2;                  ///< 16-bit fixed data type
   PowerSpec power;
+  TransferProtection protection;       ///< off by default (unhardened)
 
   /// DSP-limited computational roof in ops/s for an algorithm that performs
   /// `ops_per_dsp_cycle` effective operations per DSP per cycle.

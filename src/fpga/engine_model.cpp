@@ -32,6 +32,21 @@ std::string_view to_string(ConvAlgo a) {
   return "?";
 }
 
+bool algo_from_string(std::string_view s, ConvAlgo& out) {
+  if (s == "conventional") {
+    out = ConvAlgo::kConventional;
+  } else if (s == "winograd") {
+    out = ConvAlgo::kWinograd;
+  } else if (s == "winograd-s2") {
+    out = ConvAlgo::kWinogradStride2;
+  } else if (s == "-") {
+    out = ConvAlgo::kNone;
+  } else {
+    return false;
+  }
+  return true;
+}
+
 std::vector<int> divisors_up_to(int x, int cap) {
   std::vector<int> out;
   for (int d = 1; d <= x && d <= cap; ++d) {
@@ -205,6 +220,25 @@ Implementation EngineModel::implement_conv(const nn::Layer& layer,
   }
   ipl.fill_cycles = cost::line_fill_cycles(prime_rows, layer.in.w, M,
                                            p_.fifo_words_per_cycle);
+
+  if (p_.protect) {
+    // Hardened engine: CRC-32 on the weight-load path, transform checksum
+    // (Winograd), watchdog counter. Logic is per engine; the weight panels
+    // additionally pay the per-burst check tail once, during priming.
+    ipl.res.lut += static_cast<long long>(p_.protect_lut_per_engine);
+    ipl.res.ff += static_cast<long long>(p_.protect_ff_per_engine);
+    ipl.res.bram18k += p_.protect_bram_per_engine;
+    if (cfg.algo == ConvAlgo::kWinograd ||
+        cfg.algo == ConvAlgo::kWinogradStride2) {
+      ipl.res.lut += static_cast<long long>(p_.protect_lut_per_wino_lane *
+                                            static_cast<double>(ipl.res.dsp));
+    }
+    const TransferProtection tp =
+        dev_.protection.enabled ? dev_.protection : TransferProtection{};
+    ipl.fill_cycles += cost::crc_check_cycles(
+        ipl.weight_words * dev_.data_bytes, tp.burst_bytes,
+        tp.check_cycles_per_burst);
+  }
   return ipl;
 }
 
@@ -256,6 +290,11 @@ Implementation EngineModel::implement_simple(const nn::Layer& layer,
   ipl.fill_cycles = cost::line_fill_cycles(layer.window(), layer.in.w,
                                            layer.in.c,
                                            p_.fifo_words_per_cycle);
+  if (p_.protect) {
+    // Weight-free engines still carry the stage watchdog + stream parity.
+    ipl.res.lut += static_cast<long long>(p_.protect_lut_per_engine * 0.25);
+    ipl.res.ff += static_cast<long long>(p_.protect_ff_per_engine * 0.25);
+  }
   return ipl;
 }
 

@@ -26,6 +26,11 @@ enum class ConvAlgo : std::uint8_t {
 
 [[nodiscard]] std::string_view to_string(ConvAlgo a);
 
+/// Inverse of to_string: recognizes "conventional", "winograd",
+/// "winograd-s2" and "-". Returns false for anything else (the strategy-CSV
+/// parser reports its own typed error with line context).
+[[nodiscard]] bool algo_from_string(std::string_view s, ConvAlgo& out);
+
 /// One point in the per-layer design space explored by Algorithm 2
 /// lines 10-11. Parallelism is structured as unroll factors, the product of
 /// which is the single "parallelism" number the paper reports (Table 2).
@@ -108,6 +113,20 @@ struct EngineModelParams {
   // Extension beyond the paper: offer the polyphase stride-2 Winograd
   // decomposition for stride-2 convolutions (ResNet-style layers).
   bool enable_stride2_winograd = false;
+
+  // --- Hardening overheads (the --protect toolflow mode) ---
+  // When true every engine carries its fault detectors: a CRC-32 checker on
+  // the weight-load path (conv engines), the Winograd filter-transform
+  // checksum, and a stage watchdog counter. The optimizer then re-trades
+  // choices with the protected resource vectors and latencies.
+  bool protect = false;
+  // CRC datapath + golden-checksum compare + watchdog FSM, per engine.
+  double protect_lut_per_engine = 900.0;
+  double protect_ff_per_engine = 600.0;
+  // Staging/golden-CRC storage per engine (retry buffer for one burst).
+  long long protect_bram_per_engine = 1;
+  // Extra transform-checksum add network per Winograd multiplier lane.
+  double protect_lut_per_wino_lane = 4.0;
 };
 
 class EngineModel {

@@ -3,9 +3,73 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "support/error.h"
+
 namespace hetacc::nn {
 
+namespace {
+
+/// Parameter validation at build time: degenerate values that parse fine but
+/// would later divide the cost model by zero (stride 0), produce empty
+/// windows (pad >= kernel means an all-padding window column) or zero-sized
+/// tensors. Thrown as ValidationError so the CLI maps them to exit code 2;
+/// the *geometry* checks (kernel vs padded input) stay in
+/// infer_output_shape as std::invalid_argument.
+void validate_params(const Layer& layer) {
+  const auto reject = [&](const std::string& what) {
+    throw ValidationError(what, "layer '" + layer.name + "'");
+  };
+  switch (layer.kind) {
+    case LayerKind::kInput: {
+      const Shape s = std::get<InputParam>(layer.param).shape;
+      if (s.c <= 0 || s.h <= 0 || s.w <= 0) {
+        reject("input shape " + s.str() + " has a non-positive dimension");
+      }
+      break;
+    }
+    case LayerKind::kConv: {
+      const auto& p = std::get<ConvParam>(layer.param);
+      if (p.out_channels <= 0) reject("conv needs num_output > 0");
+      if (p.kernel <= 0) reject("conv needs kernel > 0");
+      if (p.stride <= 0) reject("conv needs stride > 0");
+      if (p.pad < 0) reject("conv pad must be >= 0");
+      if (p.pad >= p.kernel) {
+        reject("conv pad " + std::to_string(p.pad) + " >= kernel " +
+               std::to_string(p.kernel) + " (all-padding window columns)");
+      }
+      break;
+    }
+    case LayerKind::kPool: {
+      const auto& p = std::get<PoolParam>(layer.param);
+      if (p.kernel <= 0) reject("pool needs kernel > 0");
+      if (p.stride <= 0) reject("pool needs stride > 0");
+      if (p.pad < 0) reject("pool pad must be >= 0");
+      if (p.pad >= p.kernel) {
+        reject("pool pad " + std::to_string(p.pad) + " >= kernel " +
+               std::to_string(p.kernel));
+      }
+      break;
+    }
+    case LayerKind::kLrn: {
+      const auto& p = std::get<LrnParam>(layer.param);
+      if (p.local_size <= 0) reject("lrn needs local_size > 0");
+      break;
+    }
+    case LayerKind::kFullyConnected: {
+      if (std::get<FcParam>(layer.param).out_features <= 0) {
+        reject("fc needs num_output > 0");
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+}  // namespace
+
 Layer& Network::add(Layer layer) {
+  validate_params(layer);
   if (layers_.empty()) {
     if (layer.kind != LayerKind::kInput) {
       throw std::invalid_argument("first layer must be an input layer");

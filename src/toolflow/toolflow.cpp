@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "kernels/parallel.h"
+#include "support/error.h"
 
 namespace hetacc::toolflow {
 
@@ -19,7 +20,17 @@ ToolflowResult run_toolflow(const nn::Network& net,
   r.full_net = net;
   r.accel_net = net.accelerated_portion();
 
-  const fpga::EngineModel model(device);
+  // --protect hardens both accounting layers at once: per-engine CRC /
+  // watchdog resources in the engine model and CRC-checked burst tails on
+  // every DDR transfer priced by the cost layer. The optimizer re-trades the
+  // whole strategy under these costs rather than patching one up post hoc.
+  fpga::Device dev = device;
+  fpga::EngineModelParams mp;
+  if (opt.protect) {
+    mp.protect = true;
+    dev.protection.enabled = true;
+  }
+  const fpga::EngineModel model(dev, mp);
   core::OptimizerOptions oo = opt.optimizer;
   if (opt.threads != 0) oo.threads = opt.threads;
   // One knob governs every worker pool: the fusion-table DSE and the
@@ -37,10 +48,9 @@ ToolflowResult run_toolflow(const nn::Network& net,
   }
   r.optimization = core::optimize(r.accel_net, model, oo);
   if (!r.optimization.feasible) {
-    throw std::runtime_error(
-        "toolflow: no feasible strategy under the given transfer budget");
+    throw InfeasibleError("toolflow: " + r.optimization.infeasible_reason);
   }
-  r.report = core::make_report(r.optimization.strategy, r.accel_net, device);
+  r.report = core::make_report(r.optimization.strategy, r.accel_net, dev);
 
   if (opt.generate_code) {
     const auto ws =

@@ -29,6 +29,11 @@ struct ToolflowOptions {
   /// any simulated tensor depends on this knob — parallelism only splits
   /// independent outputs.
   int threads = 0;
+  /// Harden the design against transient faults: per-engine CRC/watchdog
+  /// logic (EngineModelParams::protect) and CRC-checked DDR bursts
+  /// (Device::protection). The optimizer then re-trades the whole strategy
+  /// under the protected resource vectors and transfer latencies.
+  bool protect = false;
 };
 
 struct ToolflowResult {

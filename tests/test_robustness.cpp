@@ -3,10 +3,14 @@
 
 #include <gtest/gtest.h>
 
+#include <random>
+#include <string>
+
 #include "caffe/importer.h"
 #include "codegen/generator.h"
 #include "codegen/hls_compat.h"
 #include "nn/model_zoo.h"
+#include "support/error.h"
 
 namespace hetacc {
 namespace {
@@ -58,6 +62,115 @@ TEST(CaffeRobustness, DeeplyNestedUnknownMessagesParse) {
 TEST(CaffeRobustness, EmptyInputIsEmptyMessage) {
   const caffe::Message m = caffe::parse_prototxt("  \n # only a comment\n");
   EXPECT_TRUE(m.fields().empty());
+}
+
+// ------------------------------- malformed-prototxt corpus (seeded fuzz) --
+// Every mutant of a real deploy file must either import or be rejected
+// through the typed error hierarchy (hetacc::Error) / the documented
+// geometry contract of nn::Network (std::invalid_argument,
+// std::out_of_range). Nothing may crash, and no bare runtime_error may
+// escape the front end. Deterministic: fixed seed, fixed mutation count.
+TEST(CaffeRobustness, SeededMutationCorpusOnlyFailsThroughTypedErrors) {
+  const std::string base = caffe::export_prototxt(nn::alexnet());
+  ASSERT_FALSE(base.empty());
+  std::mt19937 rng(20260806u);
+  int imported = 0, typed = 0, geometry = 0;
+  for (int iter = 0; iter < 400; ++iter) {
+    std::string s = base;
+    const std::size_t pos = rng() % s.size();
+    switch (rng() % 5) {
+      case 0:  // truncate mid-file
+        s.resize(pos);
+        break;
+      case 1:  // substitute one structural byte
+        s[pos] = "{}\":0#x-"[rng() % 8];
+        break;
+      case 2:  // delete a span
+        s.erase(pos, 1 + rng() % 40);
+        break;
+      case 3:  // splice a copied span (duplicated keys, torn tokens)
+        s.insert(pos, s.substr(rng() % s.size(), 1 + rng() % 20));
+        break;
+      default: {  // blow a numeric literal past any integer range
+        const std::size_t d = s.find_first_of("0123456789", pos);
+        if (d != std::string::npos) s.insert(d, "9999999999999999999");
+        break;
+      }
+    }
+    try {
+      (void)caffe::import_prototxt(s);
+      ++imported;
+    } catch (const Error&) {
+      ++typed;
+    } catch (const std::invalid_argument&) {
+      ++geometry;
+    } catch (const std::out_of_range&) {
+      ++geometry;
+    } catch (const std::exception& e) {
+      ADD_FAILURE() << "mutation " << iter
+                    << " escaped the typed hierarchy: " << e.what();
+    }
+  }
+  EXPECT_GT(typed, 0);     // the corpus does exercise the rejection paths
+  EXPECT_GT(imported, 0);  // and some mutations are harmless
+}
+
+TEST(CaffeRobustness, NumericOverflowIsAParseError) {
+  try {
+    (void)caffe::import_prototxt(
+        "input: \"d\"\ninput_dim: 1\ninput_dim: 99999999999999999999\n"
+        "input_dim: 8\ninput_dim: 8\n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.category(), ErrorCategory::kParse);
+    EXPECT_NE(std::string(e.what()).find("integer"), std::string::npos);
+  }
+}
+
+TEST(CaffeRobustness, FractionalDimensionIsAParseError) {
+  EXPECT_THROW((void)caffe::import_prototxt(
+                   "input: \"d\" input_dim: 1 input_dim: 2.5 "
+                   "input_dim: 8 input_dim: 8"),
+               ParseError);
+}
+
+TEST(CaffeRobustness, NegativeInputDimIsAValidationError) {
+  EXPECT_THROW((void)caffe::import_prototxt(
+                   "input: \"d\" input_dim: 1 input_dim: -3 "
+                   "input_dim: 8 input_dim: 8"),
+               ValidationError);
+}
+
+TEST(CaffeRobustness, LexerErrorsCarryTheLineNumber) {
+  try {
+    (void)caffe::parse_prototxt("a: 1\nb: 2\nc: @\n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 3);
+  }
+}
+
+TEST(CaffeRobustness, DegenerateConvParamsAreValidationErrors) {
+  const char* header =
+      "input: \"d\" input_dim: 1 input_dim: 3 input_dim: 8 input_dim: 8\n";
+  EXPECT_THROW(
+      (void)caffe::import_prototxt(
+          std::string(header) +
+          "layer { name: \"c\" type: \"Convolution\" "
+          "convolution_param { num_output: 0 kernel_size: 3 } }"),
+      ValidationError);
+  EXPECT_THROW(
+      (void)caffe::import_prototxt(
+          std::string(header) +
+          "layer { name: \"c\" type: \"Convolution\" "
+          "convolution_param { num_output: 4 kernel_size: 3 stride: 0 } }"),
+      ValidationError);
+  EXPECT_THROW(
+      (void)caffe::import_prototxt(
+          std::string(header) +
+          "layer { name: \"c\" type: \"Convolution\" "
+          "convolution_param { num_output: 4 kernel_size: 3 pad: 5 } }"),
+      ValidationError);
 }
 
 // --------------------------------------------------------------- codegen --

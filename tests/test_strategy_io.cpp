@@ -1,6 +1,8 @@
 #include "core/strategy_io.h"
 
 #include <algorithm>
+#include <cstring>
+#include <iterator>
 #include <sstream>
 
 #include <gtest/gtest.h>
@@ -9,6 +11,7 @@
 #include "core/dp_optimizer.h"
 #include "nn/model_zoo.h"
 #include "nn/reference.h"
+#include "support/error.h"
 
 namespace hetacc::core {
 namespace {
@@ -86,6 +89,118 @@ TEST_F(StrategyIoTest, ReportRowRoundTrips) {
   // Default ostream precision is 6 significant digits.
   EXPECT_NEAR(std::stod(fields[2]), rep.effective_gops,
               1e-3 * rep.effective_gops);
+}
+
+// ---------------------------------------------------- csv inverse parsing --
+TEST_F(StrategyIoTest, CsvRoundTripsThroughTheInverseParser) {
+  const std::string csv = strategy_to_csv(result_.strategy, net_);
+  const Strategy back = strategy_from_csv(csv, net_, dev_);
+  ASSERT_EQ(back.groups.size(), result_.strategy.groups.size());
+  for (std::size_t gi = 0; gi < back.groups.size(); ++gi) {
+    const auto& a = result_.strategy.groups[gi];
+    const auto& b = back.groups[gi];
+    EXPECT_EQ(b.first, a.first);
+    EXPECT_EQ(b.last, a.last);
+    ASSERT_EQ(b.impls.size(), a.impls.size());
+    for (std::size_t k = 0; k < b.impls.size(); ++k) {
+      EXPECT_EQ(b.impls[k].cfg, a.impls[k].cfg);
+      EXPECT_EQ(b.impls[k].res.dsp, a.impls[k].res.dsp);
+      EXPECT_EQ(b.impls[k].compute_cycles, a.impls[k].compute_cycles);
+      EXPECT_EQ(b.impls[k].weight_words, a.impls[k].weight_words);
+      EXPECT_EQ(b.impls[k].mults_performed, a.impls[k].mults_performed);
+    }
+    // Timing is re-derived through the one cost layer; it must agree with
+    // what the optimizer priced.
+    EXPECT_EQ(b.timing.latency_cycles, a.timing.latency_cycles);
+    EXPECT_EQ(b.timing.transfer_bytes, a.timing.transfer_bytes);
+  }
+  EXPECT_EQ(back.latency_cycles(), result_.strategy.latency_cycles());
+}
+
+TEST_F(StrategyIoTest, CrlfCsvStillRoundTrips) {
+  std::string csv = strategy_to_csv(result_.strategy, net_);
+  std::string crlf;
+  for (const char c : csv) {
+    if (c == '\n') crlf += '\r';
+    crlf += c;
+  }
+  const Strategy back = strategy_from_csv(crlf, net_, dev_);
+  EXPECT_EQ(back.latency_cycles(), result_.strategy.latency_cycles());
+}
+
+TEST_F(StrategyIoTest, TruncatedCsvIsAParseErrorWithLineContext) {
+  const std::string csv = strategy_to_csv(result_.strategy, net_);
+  // Drop the last data line.
+  const std::size_t cut = csv.rfind(
+      '\n', csv.size() - 2);  // start of the final row
+  try {
+    (void)strategy_from_csv(csv.substr(0, cut + 1), net_, dev_);
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("truncated"), std::string::npos);
+  }
+}
+
+TEST_F(StrategyIoTest, GarbledCsvRejectsWithLineNumbers) {
+  const std::string csv = strategy_to_csv(result_.strategy, net_);
+  EXPECT_THROW((void)strategy_from_csv("", net_, dev_), ParseError);
+  EXPECT_THROW((void)strategy_from_csv("not,a,header\n", net_, dev_),
+               ParseError);
+
+  // Corrupt one numeric field of the first data row.
+  std::istringstream is(csv);
+  std::string header, row1;
+  std::getline(is, header);
+  std::getline(is, row1);
+  std::string rest((std::istreambuf_iterator<char>(is)),
+                   std::istreambuf_iterator<char>());
+
+  const std::size_t last_comma = row1.rfind(',');
+  std::string bad_row = row1.substr(0, last_comma + 1) + "banana";
+  try {
+    (void)strategy_from_csv(header + "\n" + bad_row + "\n" + rest, net_,
+                            dev_);
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 2);  // 1-based: header is line 1
+    EXPECT_NE(std::string(e.what()).find("fill_cycles"), std::string::npos);
+  }
+
+  // Wrong layer name on the first row.
+  std::string renamed = row1;
+  const std::size_t name_pos = renamed.find(net_[1].name);
+  ASSERT_NE(name_pos, std::string::npos);
+  renamed.replace(name_pos, net_[1].name.size(), "imposter");
+  EXPECT_THROW((void)strategy_from_csv(
+                   header + "\n" + renamed + "\n" + rest, net_, dev_),
+               ParseError);
+
+  // Unknown algorithm token.
+  std::string bad_algo = row1;
+  for (const char* a : {"winograd-s2", "winograd", "conventional"}) {
+    const std::size_t p = bad_algo.find(a);
+    if (p != std::string::npos) {
+      bad_algo.replace(p, std::strlen(a), "quantum");
+      break;
+    }
+  }
+  EXPECT_THROW((void)strategy_from_csv(
+                   header + "\n" + bad_algo + "\n" + rest, net_, dev_),
+               ParseError);
+}
+
+TEST_F(StrategyIoTest, ShuffledGroupIndicesRejected) {
+  const std::string csv = strategy_to_csv(result_.strategy, net_);
+  std::istringstream is(csv);
+  std::vector<std::string> lines;
+  std::string l;
+  while (std::getline(is, l)) lines.push_back(l);
+  ASSERT_GE(lines.size(), 3u);
+  // Claim the second row belongs to a far-future group.
+  lines[2] = "9" + lines[2].substr(lines[2].find(','));
+  std::string shuffled;
+  for (const auto& s : lines) shuffled += s + "\n";
+  EXPECT_THROW((void)strategy_from_csv(shuffled, net_, dev_), ParseError);
 }
 
 TEST(ModelZooNin, ShapesAndOneByOneConvs) {

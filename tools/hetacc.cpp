@@ -6,13 +6,22 @@
 //          [--device zc706|vc707] [--budget-mb N] [--out DIR]
 //          [--no-codegen] [--interval-dp] [--explore-tiles]
 //          [--conventional-only] [--wino-tile M] [--threads N]
+//          [--protect] [--fault-campaign] [--fault-seed N]
+//
+// Exit codes (see src/support/error.h): 0 success, 2 parse/validate,
+// 3 infeasible, 4 unrecovered fault, 1 internal.
 
 #include <cstdio>
 #include <cstring>
 #include <string>
 
+#include "arch/ddr_trace.h"
+#include "arch/pipeline.h"
 #include "caffe/importer.h"
+#include "fault/fault.h"
+#include "fault/protect.h"
 #include "nn/model_zoo.h"
+#include "support/error.h"
 #include "toolflow/toolflow.h"
 
 using namespace hetacc;
@@ -36,16 +45,178 @@ void usage() {
       "  --threads N         worker threads for the fusion-table DSE and the\n"
       "                      functional-simulation kernels (0 = all cores,\n"
       "                      default 1); strategies and simulated tensors are\n"
-      "                      identical for any N\n");
+      "                      identical for any N\n"
+      "  --protect           harden every engine (CRC weight loads, Winograd\n"
+      "                      transform checksums, stage watchdogs) and every\n"
+      "                      DDR burst (CRC-32 + bounded retry); the optimizer\n"
+      "                      re-trades the strategy under the protected costs\n"
+      "                      and the delta vs the unprotected design is shown\n"
+      "  --fault-campaign    seeded fault-injection sweep instead of codegen:\n"
+      "                      DDR burst flips replayed against the strategy's\n"
+      "                      timeline (CRC coverage, retry recovery), SEU\n"
+      "                      sweeps through the functional pipeline, and a\n"
+      "                      watchdog wedge demonstration\n"
+      "  --fault-seed N      campaign seed (default 1); same seed, same run\n");
 }
 
-}  // namespace
+void print_report_line(const char* tag, const core::StrategyReport& r) {
+  std::printf(
+      "  %-12s latency %8.3f ms  %7.1f GOPS  DSP %5lld  BRAM %5lld  "
+      "FF %7lld  LUT %7lld\n",
+      tag, r.latency_ms, r.effective_gops, r.peak_resources.dsp,
+      r.peak_resources.bram18k, r.peak_resources.ff, r.peak_resources.lut);
+}
 
-int main(int argc, char** argv) {
+/// --protect: run the flow both ways and show what the hardening costs. The
+/// protected run is the one whose design/codegen the caller keeps.
+toolflow::ToolflowResult run_protected_with_delta(
+    const nn::Network& net, const fpga::Device& dev,
+    toolflow::ToolflowOptions opt) {
+  toolflow::ToolflowOptions base = opt;
+  base.protect = false;
+  base.generate_code = false;
+  const auto unprot = toolflow::run_toolflow(net, dev, base);
+
+  opt.protect = true;
+  auto prot = toolflow::run_toolflow(net, dev, opt);
+
+  const auto& u = unprot.report;
+  const auto& p = prot.report;
+  std::printf("protection delta (unprotected -> protected):\n");
+  print_report_line("unprotected", u);
+  print_report_line("protected", p);
+  const double lat_pct =
+      u.latency_ms > 0 ? 100.0 * (p.latency_ms - u.latency_ms) / u.latency_ms
+                       : 0.0;
+  std::printf(
+      "  overhead     latency %+7.2f %%  DSP %+5lld  BRAM %+5lld  "
+      "FF %+7lld  LUT %+7lld\n\n",
+      lat_pct, p.peak_resources.dsp - u.peak_resources.dsp,
+      p.peak_resources.bram18k - u.peak_resources.bram18k,
+      p.peak_resources.ff - u.peak_resources.ff,
+      p.peak_resources.lut - u.peak_resources.lut);
+  return prot;
+}
+
+/// --fault-campaign: measure the detection/recovery layer instead of
+/// generating code. Three experiments, all deterministic in --fault-seed:
+///  1. DDR burst bit flips replayed against the optimized strategy's DDR
+///     timeline, unprotected vs CRC-32 + retry (coverage is computed by
+///     running the real CRC over really-corrupted buffers).
+///  2. SEU sweeps (line buffer / FIFO / resident weights) through the
+///     functional pipeline on a scaled-down testbed of the network's leading
+///     layers, reporting output deviation with and without protection.
+///  3. A wedged-FIFO deadlock that the DATAFLOW watchdog must catch and
+///     attribute to the right stage.
+int run_fault_campaign(const nn::Network& net, const fpga::Device& dev,
+                       toolflow::ToolflowOptions opt, std::uint64_t seed) {
+  opt.generate_code = false;
+  opt.protect = false;
+  const auto flow = toolflow::run_toolflow(net, dev, opt);
+  const auto trace =
+      arch::trace_strategy(flow.optimization.strategy, flow.accel_net, dev);
+
+  std::printf("fault campaign: '%s' on %s, seed %llu\n",
+              flow.full_net.name().c_str(), dev.name.c_str(),
+              static_cast<unsigned long long>(seed));
+  std::printf("DDR timeline: %zu transactions, %.2f MB, %lld cycles\n\n",
+              trace.transactions.size(),
+              static_cast<double>(trace.total_bytes()) / (1024.0 * 1024.0),
+              trace.total_cycles);
+
+  std::printf("[1] DDR burst flips vs CRC-32 + retry (limit %d)\n",
+              fault::ProtectionConfig::all_on().retry_limit);
+  std::printf(
+      "  %-10s %10s %9s %9s %10s %10s %12s %11s\n", "rate", "bursts",
+      "injected", "silent", "coverage", "recovered", "unrecovered",
+      "retry-cyc");
+  for (const double rate : {1e-6, 1e-5, 1e-4, 1e-3}) {
+    fault::FaultPlan p;
+    p.seed = seed;
+    p.ddr_burst_flip_rate = rate;
+    const fault::FaultInjector raw(p);
+    const auto u = arch::replay_trace_with_faults(trace, dev, raw, {});
+    const fault::FaultInjector hard(p);
+    const auto h = arch::replay_trace_with_faults(
+        trace, dev, hard, fault::ProtectionConfig::all_on());
+    std::printf(
+        "  %-10.0e %10lld %9lld %9lld %9.1f%% %10lld %12lld %11lld\n", rate,
+        h.bursts, h.injected, u.silent, 100.0 * h.coverage(), h.recovered,
+        h.unrecovered, h.retry_cycles);
+  }
+
+  // Functional testbed: the leading layers re-hosted on a capped input so a
+  // full VGG-scale image is not simulated per sweep point. Same layer
+  // parameters, same engines, same injection sites.
+  nn::Network fnet("fault-testbed");
+  const nn::Shape in0 = flow.accel_net[0].out;
+  fnet.input({in0.c, std::min(in0.h, 56), std::min(in0.w, 56)});
+  const std::size_t klast =
+      std::min<std::size_t>(3, flow.accel_net.size() - 1);
+  for (std::size_t i = 1; i <= klast; ++i) fnet.add(flow.accel_net[i]);
+
+  const auto ws = nn::WeightStore::deterministic(fnet, opt.weight_seed);
+  arch::FusionPipeline pipe(fnet, ws);
+  nn::Tensor in(fnet[0].out);
+  nn::fill_deterministic(in, static_cast<std::uint32_t>(seed));
+  const nn::Tensor golden = pipe.run(in);
+
+  std::printf(
+      "\n[2] SEU sweep through the functional pipeline "
+      "(%zu layers, input %s)\n",
+      klast, fnet[0].out.str().c_str());
+  std::printf("  %-10s %9s %14s %14s %9s %10s\n", "rate", "injected",
+              "L-inf (raw)", "L-inf (prot)", "detected", "recovered");
+  for (const double rate : {1e-5, 1e-4, 1e-3}) {
+    fault::FaultPlan p;
+    p.seed = seed;
+    p.line_buffer_flip_rate = rate;
+    p.fifo_corrupt_rate = rate;
+    p.weight_panel_flip_rate = rate;
+
+    pipe.install_fault_plan(p);  // detectors off: every flip lands
+    const nn::Tensor raw_out = pipe.run(in);
+    const auto raw_stats = pipe.fault_stats();
+
+    pipe.install_fault_plan(p, fault::ProtectionConfig::all_on());
+    const nn::Tensor hard_out = pipe.run(in);
+    const auto hard_stats = pipe.fault_stats();
+    pipe.clear_fault_plan();
+
+    std::printf("  %-10.0e %9lld %14.4g %14.4g %9lld %10lld\n", rate,
+                raw_stats.total_injected(), golden.max_abs_diff(raw_out),
+                golden.max_abs_diff(hard_out), hard_stats.detected,
+                hard_stats.recovered);
+  }
+
+  std::printf("\n[3] DATAFLOW watchdog on a wedged FIFO\n");
+  fault::FaultPlan wedge;
+  wedge.seed = seed;
+  wedge.wedge_channel = 0;
+  wedge.wedge_after_pushes = 4;
+  pipe.install_fault_plan(wedge, fault::ProtectionConfig::all_on());
+  try {
+    (void)pipe.run(in);
+    std::printf("  watchdog FAILED: pipeline completed through a wedge\n");
+    pipe.clear_fault_plan();
+    return 1;
+  } catch (const FaultError& e) {
+    std::printf("  caught at stage '%s': %s\n", e.stage().c_str(), e.what());
+  }
+  pipe.clear_fault_plan();
+  std::printf("\ncampaign complete (deterministic: rerun with "
+              "--fault-seed %llu to reproduce)\n",
+              static_cast<unsigned long long>(seed));
+  return 0;
+}
+
+int run_cli(int argc, char** argv) {
   std::string net_path, model_name = "alexnet", out_dir;
   fpga::Device dev = fpga::zc706();
   toolflow::ToolflowOptions opt;
   bool interval = false;
+  bool fault_campaign = false;
+  std::uint64_t fault_seed = 1;
   fpga::EngineModelParams params;
 
   for (int i = 1; i < argc; ++i) {
@@ -82,6 +253,13 @@ int main(int argc, char** argv) {
     } else if (!std::strcmp(argv[i], "--threads")) {
       opt.threads = std::atoi(next("--threads"));
       opt.optimizer.threads = opt.threads;
+    } else if (!std::strcmp(argv[i], "--protect")) {
+      opt.protect = true;
+    } else if (!std::strcmp(argv[i], "--fault-campaign")) {
+      fault_campaign = true;
+    } else if (!std::strcmp(argv[i], "--fault-seed")) {
+      fault_seed = static_cast<std::uint64_t>(
+          std::strtoull(next("--fault-seed"), nullptr, 10));
     } else if (!std::strcmp(argv[i], "--help") || !std::strcmp(argv[i], "-h")) {
       usage();
       return 0;
@@ -93,24 +271,19 @@ int main(int argc, char** argv) {
   }
 
   nn::Network net;
-  try {
-    if (!net_path.empty()) {
-      net = caffe::import_prototxt_file(net_path);
-    } else if (model_name == "alexnet") {
-      net = nn::alexnet();
-    } else if (model_name == "vgg-e") {
-      net = nn::vgg_e();
-    } else if (model_name == "vgg16") {
-      net = nn::vgg16();
-    } else if (model_name == "vgg-e-head") {
-      net = nn::vgg_e_head();
-    } else {
-      std::printf("unknown model '%s'\n", model_name.c_str());
-      return 2;
-    }
-  } catch (const std::exception& e) {
-    std::printf("failed to load network: %s\n", e.what());
-    return 1;
+  if (!net_path.empty()) {
+    net = caffe::import_prototxt_file(net_path);
+  } else if (model_name == "alexnet") {
+    net = nn::alexnet();
+  } else if (model_name == "vgg-e") {
+    net = nn::vgg_e();
+  } else if (model_name == "vgg16") {
+    net = nn::vgg16();
+  } else if (model_name == "vgg-e-head") {
+    net = nn::vgg_e_head();
+  } else {
+    std::printf("unknown model '%s'\n", model_name.c_str());
+    return 2;
   }
   std::printf("%s", net.summary().c_str());
   std::printf("target: %s (%s), %.1f GB/s DDR, %lld DSP48E, %lld BRAM18K\n\n",
@@ -118,56 +291,78 @@ int main(int argc, char** argv) {
               dev.bandwidth_bytes_per_s / 1e9, dev.capacity.dsp,
               dev.capacity.bram18k);
 
-  try {
-    // The tool-flow uses the fast prefix DP; --interval-dp swaps in the
-    // paper's Algorithm 1 (same result, validated by tests).
-    toolflow::ToolflowResult result;
-    if (interval || params.explore_wino_tiles || !params.enable_winograd ||
-        params.wino_tile_m != 4) {
-      // Custom engine model path.
-      const fpga::EngineModel model(dev, params);
-      result.full_net = net;
-      result.accel_net = net.accelerated_portion();
-      core::OptimizerOptions oo = opt.optimizer;
-      oo.transfer_budget_bytes =
-          opt.transfer_budget_bytes > 0
-              ? opt.transfer_budget_bytes
-              : result.accel_net.unfused_feature_transfer_bytes(
-                    dev.data_bytes) +
-                    static_cast<long long>(result.accel_net.size()) *
-                        oo.transfer_unit_bytes;
-      result.optimization = interval
-                                ? core::optimize_interval(result.accel_net,
-                                                          model, oo)
-                                : core::optimize(result.accel_net, model, oo);
-      if (!result.optimization.feasible) {
-        std::printf("no feasible strategy under the budget\n");
-        return 1;
-      }
-      result.report =
-          core::make_report(result.optimization.strategy, result.accel_net,
-                            dev);
-      if (opt.generate_code) {
-        const auto ws =
-            nn::WeightStore::deterministic(result.accel_net, opt.weight_seed);
-        result.design = codegen::generate_design(
-            result.accel_net, result.optimization.strategy, ws, opt.codegen);
-      }
-    } else {
-      result = toolflow::run_toolflow(net, dev, opt);
-    }
+  if (fault_campaign) return run_fault_campaign(net, dev, opt, fault_seed);
 
-    std::printf("%s\n", result.summary().c_str());
-    std::printf("%s",
-                result.optimization.strategy.describe(result.accel_net)
-                    .c_str());
-    if (opt.generate_code && !out_dir.empty()) {
-      codegen::write_design(result.design, out_dir);
-      std::printf("\nHLS project written to %s/\n", out_dir.c_str());
+  // The tool-flow uses the fast prefix DP; --interval-dp swaps in the
+  // paper's Algorithm 1 (same result, validated by tests).
+  toolflow::ToolflowResult result;
+  if (interval || params.explore_wino_tiles || !params.enable_winograd ||
+      params.wino_tile_m != 4) {
+    // Custom engine model path.
+    if (opt.protect) {
+      params.protect = true;
+      dev.protection.enabled = true;
     }
-  } catch (const std::exception& e) {
-    std::printf("tool-flow failed: %s\n", e.what());
-    return 1;
+    const fpga::EngineModel model(dev, params);
+    result.full_net = net;
+    result.accel_net = net.accelerated_portion();
+    core::OptimizerOptions oo = opt.optimizer;
+    oo.transfer_budget_bytes =
+        opt.transfer_budget_bytes > 0
+            ? opt.transfer_budget_bytes
+            : result.accel_net.unfused_feature_transfer_bytes(
+                  dev.data_bytes) +
+                  static_cast<long long>(result.accel_net.size()) *
+                      oo.transfer_unit_bytes;
+    result.optimization = interval
+                              ? core::optimize_interval(result.accel_net,
+                                                        model, oo)
+                              : core::optimize(result.accel_net, model, oo);
+    if (!result.optimization.feasible) {
+      throw InfeasibleError("toolflow: " +
+                            result.optimization.infeasible_reason);
+    }
+    result.report =
+        core::make_report(result.optimization.strategy, result.accel_net,
+                          dev);
+    if (opt.generate_code) {
+      const auto ws =
+          nn::WeightStore::deterministic(result.accel_net, opt.weight_seed);
+      result.design = codegen::generate_design(
+          result.accel_net, result.optimization.strategy, ws, opt.codegen);
+    }
+  } else if (opt.protect) {
+    result = run_protected_with_delta(net, dev, opt);
+  } else {
+    result = toolflow::run_toolflow(net, dev, opt);
+  }
+
+  std::printf("%s\n", result.summary().c_str());
+  std::printf("%s",
+              result.optimization.strategy.describe(result.accel_net)
+                  .c_str());
+  if (opt.generate_code && !out_dir.empty()) {
+    codegen::write_design(result.design, out_dir);
+    std::printf("\nHLS project written to %s/\n", out_dir.c_str());
   }
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Every failure funnels through the typed hierarchy: one categorized line
+  // on stderr and a category-specific exit code, so scripts can distinguish
+  // "your prototxt is malformed" (2) from "this network cannot fit" (3)
+  // from "the injected fault was not absorbed" (4).
+  try {
+    return run_cli(argc, argv);
+  } catch (const Error& e) {
+    std::fprintf(stderr, "hetacc: %s error: %s\n",
+                 std::string(to_string(e.category())).c_str(), e.what());
+    return e.exit_code();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "hetacc: internal error: %s\n", e.what());
+    return 1;
+  }
 }
