@@ -1,14 +1,30 @@
-// Release-mode performance smoke: asserts the blocked im2col+GEMM path
-// beats the retained scalar seed convolution on one VGG-sized layer. Run by
-// the CI Release job (a debug/-O0 build will not pass; that is the point —
-// the check guards against regressions that quietly serialize or deopt the
-// kernel layer). Exit 0 = pass, 1 = fail.
+// Release-mode performance tripwire, run by the CI release-perf job.
+//
+// Two guards, exit 0 = pass, 1 = fail:
+//  1. Relative: the blocked im2col+GEMM path must beat the retained scalar
+//     seed convolution by >= 2x single-threaded (a debug/-O0 build will not
+//     pass; that is the point — the check catches regressions that quietly
+//     serialize or deopt the kernel layer).
+//  2. Absolute: each guarded kernel must run within 2x of its committed
+//     per-kernel baseline (bench/perf_baseline.json, path baked in via
+//     HETACC_PERF_BASELINE). Baselines were measured on a deliberately slow
+//     single-core box, so the 2x threshold is generous headroom for CI
+//     runner variance while still catching order-of-magnitude regressions
+//     (e.g. losing SIMD dispatch or packing reuse).
+//
+// Regenerate the baseline after an intentional perf change:
+//   perf_smoke --write-baseline path/to/perf_baseline.json
 
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "algo/conv_variants.h"
+#include "algo/winograd_conv.h"
+#include "kernels/gemm.h"
 #include "kernels/parallel.h"
 #include "nn/reference.h"
 
@@ -19,6 +35,7 @@ namespace {
 template <typename Fn>
 double best_ms(const Fn& fn, int reps) {
   using clock = std::chrono::steady_clock;
+  fn();  // warmup: pages, scratch-arena high water, worker pool
   double best = 1e30;
   for (int i = 0; i < reps; ++i) {
     const auto t0 = clock::now();
@@ -32,9 +49,42 @@ double best_ms(const Fn& fn, int reps) {
 
 volatile float g_sink = 0.0f;
 
+struct Measurement {
+  const char* kernel;
+  double ms;
+};
+
+/// Minimal scan for `"<key>": <number>` in a small flat JSON object.
+double json_lookup(const std::string& text, const char* key) {
+  const std::string needle = std::string("\"") + key + "\":";
+  const std::size_t at = text.find(needle);
+  if (at == std::string::npos) return -1.0;
+  double v = -1.0;
+  if (std::sscanf(text.c_str() + at + needle.size(), " %lf", &v) != 1) {
+    return -1.0;
+  }
+  return v;
+}
+
+std::string read_file(const char* path) {
+  std::FILE* f = std::fopen(path, "rb");
+  if (!f) return {};
+  std::string text;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  return text;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const char* write_path = nullptr;
+  if (argc == 3 && std::strcmp(argv[1], "--write-baseline") == 0) {
+    write_path = argv[2];
+  }
+
   // VGG conv3-class layer: 64x56x56 input, 64 3x3 filters, stride 1, pad 1.
   nn::Tensor in(64, 56, 56);
   nn::FilterBank f(64, 64, 3);
@@ -42,29 +92,110 @@ int main() {
   nn::fill_deterministic(in, 1);
   nn::fill_deterministic(f, 2);
   nn::fill_deterministic(bias, 3);
+  const algo::WinogradTransform wt = algo::winograd_f4x3();
+  const algo::TransformedFilters tf = algo::transform_filters(wt, f);
+  constexpr int kDataFrac = 12, kWeightFrac = 14, kOutFrac = 10;
 
   kernels::set_num_threads(1);  // single-thread comparison: pure kernel win
   const double scalar = best_ms(
       [&] {
-        g_sink =
-            nn::conv_reference_scalar(in, f, bias, 1, 1, true).at(0, 0, 0);
+        g_sink = nn::conv_reference_scalar(in, f, bias, 1, 1, true).at(0, 0, 0);
       },
       3);
-  const double blocked = best_ms(
+
+  std::vector<Measurement> measured;
+  measured.push_back({"im2col_gemm", best_ms(
       [&] { g_sink = algo::conv_im2col(in, f, bias, 1, 1, true).at(0, 0, 0); },
-      5);
+      5)});
+  measured.push_back({"winograd_f43_gemm", best_ms(
+      [&] {
+        g_sink = algo::winograd_conv_pretransformed(tf, in, bias, 1, true)
+                     .at(0, 0, 0);
+      },
+      5)});
+  measured.push_back({"direct_fixed_gemm", best_ms(
+      [&] {
+        g_sink = algo::conv_direct_fixed(in, f, bias, 1, 1, true, kDataFrac,
+                                         kWeightFrac, kOutFrac)
+                     .at(0, 0, 0);
+      },
+      5)});
+  measured.push_back({"winograd_fixed_gemm", best_ms(
+      [&] {
+        g_sink = algo::winograd_conv_fixed(wt, in, f, bias, 1, true, kDataFrac,
+                                           kOutFrac)
+                     .at(0, 0, 0);
+      },
+      5)});
+
+  const double blocked = measured[0].ms;
+  std::printf("perf_smoke: scalar %.2f ms (1 thread, 64x56x56 * 64 3x3 "
+              "filters), SIMD %s\n",
+              scalar, kernels::simd_enabled() ? "on" : "off");
+  for (const Measurement& m : measured) {
+    std::printf("perf_smoke:   %-22s %8.2f ms\n", m.kernel, m.ms);
+  }
+
+  if (write_path) {
+    std::FILE* out = std::fopen(write_path, "w");
+    if (!out) {
+      std::printf("perf_smoke: cannot write %s\n", write_path);
+      return 1;
+    }
+    std::fprintf(out, "{\n");
+    for (std::size_t i = 0; i < measured.size(); ++i) {
+      std::fprintf(out, "  \"%s\": %.4f%s\n", measured[i].kernel,
+                   measured[i].ms, i + 1 < measured.size() ? "," : "");
+    }
+    std::fprintf(out, "}\n");
+    std::fclose(out);
+    std::printf("perf_smoke: wrote baseline %s\n", write_path);
+    return 0;
+  }
+
+  bool ok = true;
 
   const double speedup = scalar / blocked;
-  std::printf("perf_smoke: scalar %.2f ms, blocked GEMM %.2f ms — %.2fx "
-              "(1 thread, 64x56x56 * 64 3x3 filters)\n",
-              scalar, blocked, speedup);
-  // The sweep shows well over 5x in Release; 2x is the regression tripwire
+  std::printf("perf_smoke: blocked GEMM vs scalar seed — %.2fx\n", speedup);
+  // The sweep shows well over 10x in Release; 2x is the regression tripwire
   // with headroom for noisy shared CI runners.
   if (speedup < 2.0) {
     std::printf("perf_smoke: FAIL — blocked GEMM must beat the scalar seed "
                 "by at least 2x in Release builds\n");
-    return 1;
+    ok = false;
   }
-  std::printf("perf_smoke: PASS\n");
-  return 0;
+
+#ifdef HETACC_PERF_BASELINE
+  const std::string baseline = read_file(HETACC_PERF_BASELINE);
+  if (baseline.empty()) {
+    std::printf("perf_smoke: FAIL — baseline %s missing or empty\n",
+                HETACC_PERF_BASELINE);
+    ok = false;
+  } else {
+    for (const Measurement& m : measured) {
+      const double base = json_lookup(baseline, m.kernel);
+      if (base <= 0.0) {
+        std::printf("perf_smoke: FAIL — no baseline entry for %s\n", m.kernel);
+        ok = false;
+        continue;
+      }
+      const double ratio = m.ms / base;
+      std::printf("perf_smoke:   %-22s %.2fx of committed baseline "
+                  "(%.2f ms, limit 2x)\n",
+                  m.kernel, ratio, base);
+      if (ratio > 2.0) {
+        std::printf("perf_smoke: FAIL — %s regressed past 2x of its "
+                    "committed baseline\n",
+                    m.kernel);
+        ok = false;
+      }
+    }
+  }
+#else
+  std::printf("perf_smoke: note — built without HETACC_PERF_BASELINE, "
+              "absolute guard skipped\n");
+#endif
+
+  std::printf("perf_smoke: %s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
 }

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "fixed/fixed16.h"
+#include "kernels/arena.h"
 #include "kernels/gemm.h"
 #include "kernels/parallel.h"
 
@@ -30,11 +31,18 @@ nn::Tensor conv_im2col(const nn::Tensor& in, const nn::FilterBank& filters,
   const int ow = (s.w + 2 * pad - k) / stride + 1;
   const int cols = oh * ow;
   const int rows = s.c * k * k;
-  const std::vector<float> mat = im2col(in, k, stride, pad, oh, ow);
+
+  // The patch matrix is transient: it lives in the scratch arena so repeated
+  // convolutions reuse one warm allocation instead of churning the heap.
+  kernels::ScratchArena& arena = kernels::ScratchArena::tls();
+  kernels::ScratchArena::Scope scope(arena);
+  float* mat = arena.alloc<float>(static_cast<std::size_t>(rows) * cols);
+  kernels::im2col_f32(in.data(), s.c, s.h, s.w, k, stride, pad, oh, ow, mat,
+                      /*threads=*/0);
 
   nn::Tensor out(filters.out_channels(), oh, ow);
   kernels::gemm_f32(filters.out_channels(), cols, rows, filters.data(), rows,
-                    mat.data(), cols, out.data(), cols,
+                    mat, cols, out.data(), cols,
                     bias.empty() ? nullptr : bias.data(), fused_relu,
                     /*threads=*/0);
   return out;
@@ -86,28 +94,36 @@ nn::Tensor conv_direct_fixed(const nn::Tensor& in,
   nn::Tensor out(filters.out_channels(), oh, ow);
 
   // Quantize operands up front (this is what the DDR/BRAM contents are).
-  std::vector<std::int16_t> inq(static_cast<std::size_t>(in.size()));
-  for (std::size_t i = 0; i < inq.size(); ++i) {
-    inq[i] = Fixed16::quantize(in.data()[i], data_frac);
-  }
-  std::vector<std::int16_t> wq(static_cast<std::size_t>(filters.size()));
-  for (std::size_t i = 0; i < wq.size(); ++i) {
-    wq[i] = Fixed16::quantize(filters.data()[i], weight_frac);
-  }
+  // Quantization is elementwise, so the index space chunks freely.
+  kernels::ScratchArena& arena = kernels::ScratchArena::tls();
+  kernels::ScratchArena::Scope scope(arena);
+  std::int16_t* inq =
+      arena.alloc<std::int16_t>(static_cast<std::size_t>(in.size()));
+  kernels::parallel_for(static_cast<std::size_t>(in.size()), 4096, 0,
+                        [&](std::size_t i) {
+                          inq[i] = Fixed16::quantize(in.data()[i], data_frac);
+                        });
+  std::int16_t* wq =
+      arena.alloc<std::int16_t>(static_cast<std::size_t>(filters.size()));
+  kernels::parallel_for(
+      static_cast<std::size_t>(filters.size()), 4096, 0, [&](std::size_t i) {
+        wq[i] = Fixed16::quantize(filters.data()[i], weight_frac);
+      });
 
-  std::vector<std::int16_t> mat(static_cast<std::size_t>(rows) * cols);
-  kernels::im2col_i16(inq.data(), s.c, s.h, s.w, k, stride, pad, oh, ow,
-                      mat.data());
-  std::vector<std::int64_t> acc(static_cast<std::size_t>(filters.out_channels()) *
-                                cols);
-  kernels::gemm_i16(filters.out_channels(), cols, rows, wq.data(), rows,
-                    mat.data(), cols, acc.data(), cols, /*threads=*/0);
+  std::int16_t* mat =
+      arena.alloc<std::int16_t>(static_cast<std::size_t>(rows) * cols);
+  kernels::im2col_i16(inq, s.c, s.h, s.w, k, stride, pad, oh, ow, mat,
+                      /*threads=*/0);
+  std::int64_t* acc = arena.alloc<std::int64_t>(
+      static_cast<std::size_t>(filters.out_channels()) * cols);
+  kernels::gemm_i16(filters.out_channels(), cols, rows, wq, rows, mat, cols,
+                    acc, cols, /*threads=*/0);
 
   const double scale = std::ldexp(1.0, -(data_frac + weight_frac));
   kernels::parallel_for(
       static_cast<std::size_t>(filters.out_channels()), [&](std::size_t n) {
         const float b = bias.empty() ? 0.0f : bias[n];
-        const std::int64_t* arow = acc.data() + n * cols;
+        const std::int64_t* arow = acc + n * cols;
         float* dst = out.data() + n * cols;
         for (int j = 0; j < cols; ++j) {
           float val =

@@ -257,19 +257,19 @@ class WinogradEngine final : public RowWindowBase {
       }
     }
 
-    std::vector<float*> out_rows(static_cast<std::size_t>(rows_this_block) *
-                                 layer_.out.c);
+    out_rows_.assign(
+        static_cast<std::size_t>(rows_this_block) * layer_.out.c, nullptr);
     for (int a = 0; a < rows_this_block; ++a) {
       for (int oc = 0; oc < layer_.out.c; ++oc) {
-        out_rows[static_cast<std::size_t>(a) * layer_.out.c + oc] =
+        out_rows_[static_cast<std::size_t>(a) * layer_.out.c + oc] =
             block_[static_cast<std::size_t>(a)].data.data() +
             static_cast<std::size_t>(oc) * layer_.out.w;
       }
     }
     kernels::winograd_strip(*plan_, strip_.data(), strip_w_, tiles_w_,
-                            out_rows.data(), rows_this_block, layer_.out.w,
+                            out_rows_.data(), rows_this_block, layer_.out.w,
                             bias_.empty() ? nullptr : bias_.data(),
-                            layer_.conv().fused_relu, mode_.out_frac, scratch_,
+                            layer_.conv().fused_relu, mode_.out_frac,
                             /*threads=*/0);
   }
 
@@ -279,7 +279,7 @@ class WinogradEngine final : public RowWindowBase {
   int tiles_w_ = 0;
   int strip_w_ = 0;
   std::vector<float> strip_;
-  kernels::WinogradScratch scratch_;
+  std::vector<float*> out_rows_;  ///< reused across compute_block calls
 };
 
 // --------------------------------------------------------------------------

@@ -151,19 +151,18 @@ std::vector<nn::Tensor> FusionPipeline::run_batch(
                                      threads == 0 ? kernels::num_threads()
                                                   : threads),
                                  static_cast<int>(inputs.size()));
-  const std::size_t chunks = static_cast<std::size_t>(std::max(want, 1));
   const std::size_t per =
-      (inputs.size() + chunks - 1) / chunks;
-  // One engine set per worker (engines are stateful); the per-layer
+      (inputs.size() + static_cast<std::size_t>(std::max(want, 1)) - 1) /
+      static_cast<std::size_t>(std::max(want, 1));
+  // One engine set per claimed range (engines are stateful); the per-layer
   // constants in wino_plans_/packed_weights_ are shared by all of them.
-  kernels::parallel_for(chunks, threads, [&](std::size_t ci) {
-    auto engines = build_engine_set();
-    const std::size_t lo = ci * per;
-    const std::size_t hi = std::min(inputs.size(), lo + per);
-    for (std::size_t i = lo; i < hi; ++i) {
-      outs[i] = run_with(engines, inputs[i], nullptr);
-    }
-  });
+  kernels::parallel_for_ranges(
+      inputs.size(), per, threads, [&](std::size_t lo, std::size_t hi) {
+        auto engines = build_engine_set();
+        for (std::size_t i = lo; i < hi; ++i) {
+          outs[i] = run_with(engines, inputs[i], nullptr);
+        }
+      });
   return outs;
 }
 

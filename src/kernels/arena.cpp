@@ -1,0 +1,100 @@
+#include "kernels/arena.h"
+
+#include <algorithm>
+#include <new>
+#include <stdexcept>
+
+namespace hetacc::kernels {
+
+namespace {
+
+std::size_t round_up(std::size_t v, std::size_t a) {
+  return (v + a - 1) / a * a;
+}
+
+}  // namespace
+
+ScratchArena& ScratchArena::tls() {
+  thread_local ScratchArena arena;
+  return arena;
+}
+
+ScratchArena::~ScratchArena() {
+  release(block_);
+  for (std::size_t i = 0; i < parked_count_; ++i) release(parked_[i]);
+}
+
+std::size_t ScratchArena::capacity() const {
+  std::size_t total = block_.size;
+  for (std::size_t i = 0; i < parked_count_; ++i) total += parked_[i].size;
+  return total;
+}
+
+void ScratchArena::release(Block& b) {
+  if (b.data) ::operator delete[](b.data, std::align_val_t(kAlign));
+  b = Block{};
+}
+
+void ScratchArena::open_block(std::size_t at_least) {
+  if (block_.data) {
+    if (parked_count_ >= kMaxParked) {
+      // Pathological nesting depth: fall back to a hard error rather than
+      // silently leaking — no kernel stacks anywhere near this many
+      // simultaneously-live overflow blocks.
+      throw std::bad_alloc();
+    }
+    parked_[parked_count_++] = block_;
+    block_ = Block{};
+  }
+  // Grow geometrically over the arena's whole footprint so repeated slight
+  // overflows converge instead of opening a block per call.
+  const std::size_t want =
+      std::max({at_least, capacity() * 2, std::size_t(1) << 16});
+  block_.data = static_cast<unsigned char*>(
+      ::operator new[](want, std::align_val_t(kAlign)));
+  block_.size = want;
+  block_used_ = 0;
+  ++sys_allocs_;
+}
+
+void* ScratchArena::alloc_bytes(std::size_t bytes) {
+  bytes = round_up(std::max<std::size_t>(bytes, 1), kAlign);
+  if (block_used_ + bytes > block_.size) open_block(bytes);
+  void* p = block_.data + block_used_;
+  block_used_ += bytes;
+  used_ += bytes;
+  high_water_ = std::max(high_water_, used_);
+  return p;
+}
+
+void ScratchArena::close_scope(std::size_t used, std::size_t block_used,
+                               std::size_t parked) {
+  --depth_;
+  used_ = used;
+  if (parked_count_ == parked) {
+    // No overflow inside this scope: plain watermark restore.
+    block_used_ = block_used;
+  } else if (depth_ == 0) {
+    // Overflow happened and no pointers remain live: coalesce to a single
+    // block sized for everything seen so far, so the next pass fits without
+    // allocating again.
+    const std::size_t target =
+        std::max(round_up(std::max<std::size_t>(high_water_, 1), kAlign),
+                 block_.size);
+    for (std::size_t i = 0; i < parked_count_; ++i) release(parked_[i]);
+    parked_count_ = 0;
+    if (block_.size < target) {
+      release(block_);
+      block_.data = static_cast<unsigned char*>(
+          ::operator new[](target, std::align_val_t(kAlign)));
+      block_.size = target;
+      ++sys_allocs_;
+    }
+    block_used_ = 0;
+  }
+  // else: nested scope closing across an overflow boundary — leave the
+  // current block as-is (outer-scope pointers may live in parked blocks);
+  // the outermost close coalesces.
+}
+
+}  // namespace hetacc::kernels

@@ -1,0 +1,101 @@
+#pragma once
+// Thread-local scratch arena for the kernel layer: bump allocation with
+// reset-don't-free semantics, so steady-state inference performs zero heap
+// allocations in the hot loop (packing buffers, im2col matrices, Winograd
+// transform planes all live here).
+//
+// Ownership rules (see DESIGN.md §10):
+//  * Every kernel that needs temporaries opens a `ScratchArena::Scope` on the
+//    CALLING thread's arena and allocates through it. The scope restores the
+//    watermark on exit, so nested kernels (conv -> gemm -> pack) stack their
+//    temporaries without interfering.
+//  * Buffers handed to `parallel_for` workers are allocated by the caller
+//    BEFORE the parallel region and outlive it (the region is a barrier);
+//    workers never allocate from another thread's arena.
+//  * Arena memory is uninitialized on allocation — kernels must write before
+//    reading (packing routines zero-fill their padding explicitly).
+//  * Pointers become invalid when the owning scope closes; nothing that
+//    escapes a kernel call may live in the arena.
+//
+// Growth policy: an allocation that does not fit opens a fresh, larger block
+// (old blocks stay parked until the outermost scope closes, keeping
+// outstanding pointers alive); when the outermost scope closes the arena
+// coalesces back to one block sized to the observed high-water mark. After
+// the first pass over a workload the footprint is stable and
+// `system_allocations()` stops moving — the property the arena-reuse tests
+// pin.
+
+#include <cstddef>
+
+namespace hetacc::kernels {
+
+class ScratchArena {
+ public:
+  ScratchArena() = default;
+  ~ScratchArena();
+  ScratchArena(const ScratchArena&) = delete;
+  ScratchArena& operator=(const ScratchArena&) = delete;
+
+  /// The calling thread's arena (workers of the shared pool each get their
+  /// own; they live as long as the thread, so capacity is paid once).
+  static ScratchArena& tls();
+
+  /// Uninitialized storage for n elements of T, 64-byte aligned.
+  template <typename T>
+  T* alloc(std::size_t n) {
+    return static_cast<T*>(alloc_bytes(n * sizeof(T)));
+  }
+
+  /// RAII watermark: restores the arena to its entry state on destruction.
+  class Scope {
+   public:
+    explicit Scope(ScratchArena& a)
+        : arena_(a),
+          used_(a.used_),
+          block_used_(a.block_used_),
+          parked_(a.parked_count_) {
+      ++arena_.depth_;
+    }
+    ~Scope() { arena_.close_scope(used_, block_used_, parked_); }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    ScratchArena& arena_;
+    std::size_t used_, block_used_, parked_;
+  };
+
+  /// Bytes currently reserved across all live blocks.
+  [[nodiscard]] std::size_t capacity() const;
+  /// Bytes handed out by open scopes.
+  [[nodiscard]] std::size_t used() const { return used_; }
+  /// Largest `used()` ever observed (sizing target for coalescing).
+  [[nodiscard]] std::size_t high_water() const { return high_water_; }
+  /// Count of underlying heap allocations ever made — stable once warm.
+  [[nodiscard]] std::size_t system_allocations() const { return sys_allocs_; }
+
+ private:
+  struct Block {
+    unsigned char* data = nullptr;
+    std::size_t size = 0;
+  };
+  static constexpr std::size_t kAlign = 64;
+  static constexpr std::size_t kMaxParked = 16;
+
+  void* alloc_bytes(std::size_t bytes);
+  void close_scope(std::size_t used, std::size_t block_used,
+                   std::size_t parked);
+  void open_block(std::size_t at_least);
+  static void release(Block& b);
+
+  Block block_;                     ///< current bump block
+  Block parked_[kMaxParked];        ///< blocks displaced by overflow growth
+  std::size_t parked_count_ = 0;
+  std::size_t block_used_ = 0;      ///< bump offset inside block_
+  std::size_t used_ = 0;            ///< logical bytes out (all blocks)
+  std::size_t high_water_ = 0;
+  std::size_t sys_allocs_ = 0;
+  int depth_ = 0;                   ///< open scope count
+};
+
+}  // namespace hetacc::kernels

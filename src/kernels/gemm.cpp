@@ -4,54 +4,35 @@
 #include <cstring>
 #include <type_traits>
 
+#include "kernels/arena.h"
 #include "kernels/parallel.h"
 
 namespace hetacc::kernels {
 
 namespace {
 
-// Register micro-tile (MR x NR accumulators stay in registers across the K
-// panel) and cache blocks (KC panel of B in L1/L2, MC x KC block of A in L2).
+// A-side register/cache blocking, shared by every datapath (PackedLhsT bakes
+// this layout, so it is compile-time and identical for gemm_f32/gemm_f32d
+// consumers of the same packed weights). The B-side register width NR is per
+// (TA, TAcc) pair — see MK below — chosen so the micro-kernel's accumulator
+// file fills the 256-bit register budget of the widest dispatch stamp.
 constexpr int MR = 4;
-constexpr int NR = 8;
 constexpr int KC = 256;
 constexpr int MC = 96;
 
-template <typename T>
-void pack_a_block(const T* A, int lda, int i0, int mb, int p0, int kb,
-                  std::vector<T>& out) {
-  const int panels = (mb + MR - 1) / MR;
-  out.assign(static_cast<std::size_t>(panels) * MR * kb, T{});
-  for (int pi = 0; pi < panels; ++pi) {
-    T* dst = out.data() + static_cast<std::size_t>(pi) * MR * kb;
-    const int rows = std::min(MR, mb - pi * MR);
-    for (int ir = 0; ir < rows; ++ir) {
-      const T* src =
-          A + static_cast<std::size_t>(i0 + pi * MR + ir) * lda + p0;
-      for (int k = 0; k < kb; ++k) dst[k * MR + ir] = src[k];
-    }
-  }
-}
+#if (defined(__GNUC__) || defined(__clang__)) && !defined(HETACC_NO_SIMD)
+#define HETACC_VEC 1
+#if defined(__x86_64__)
+#define HETACC_X86_DISPATCH 1
+#endif
+#endif
 
-template <typename T>
-void pack_b_block(const T* B, int ldb, int p0, int kb, int j0, int nb,
-                  std::vector<T>& out) {
-  const int panels = (nb + NR - 1) / NR;
-  out.assign(static_cast<std::size_t>(panels) * NR * kb, T{});
-  for (int pj = 0; pj < panels; ++pj) {
-    T* dst = out.data() + static_cast<std::size_t>(pj) * NR * kb;
-    const int cols = std::min(NR, nb - pj * NR);
-    for (int k = 0; k < kb; ++k) {
-      const T* src = B + static_cast<std::size_t>(p0 + k) * ldb + j0 + pj * NR;
-      for (int jr = 0; jr < cols; ++jr) dst[k * NR + jr] = src[jr];
-    }
-  }
-}
-
-/// MR x NR register tile over a kb-deep pair of packed panels. The per-
-/// element accumulation order is strictly ascending in k.
-template <typename TA, typename TAcc>
-inline void micro_kernel(int kb, const TA* a, const TA* b, TAcc* acc) {
+/// Scalar micro-kernel: the reference the SIMD stamps must match. Overwrites
+/// acc (MR x NR row-major) with the kb-deep panel product; per-element
+/// accumulation strictly ascending in k.
+template <typename TA, typename TAcc, int NR>
+void micro_scalar(int kb, const TA* a, const TA* b, TAcc* acc) {
+  for (int x = 0; x < MR * NR; ++x) acc[x] = TAcc{};
   for (int k = 0; k < kb; ++k) {
     const TA* ak = a + static_cast<std::size_t>(k) * MR;
     const TA* bk = b + static_cast<std::size_t>(k) * NR;
@@ -71,72 +52,187 @@ inline void micro_kernel(int kb, const TA* a, const TA* b, TAcc* acc) {
   }
 }
 
-/// Serial GEMM over the column stripe [j0, j1). Exactly one of A / packedA
-/// is used. TBias: per-row offset added once (on the first K block).
-template <typename TA, typename TAcc, typename TC, typename TBias>
-void gemm_stripe(int M, int K, const TA* A, int lda, const PackedLhsT<TA>* pA,
-                 const TA* B, int ldb, TC* C, int ldc, const TBias* bias,
-                 bool relu, int j0, int j1) {
-  const int nb = j1 - j0;
-  std::vector<TA> apack, bpack;
-  for (int p0 = 0, pb = 0; p0 < K; p0 += KC, ++pb) {
-    const int kb = std::min(KC, K - p0);
-    pack_b_block(B, ldb, p0, kb, j0, nb, bpack);
-    const bool first = (p0 == 0);
-    const int jpanels = (nb + NR - 1) / NR;
-    for (int i0 = 0, ib = 0; i0 < M; i0 += MC, ++ib) {
-      const int mb = std::min(MC, M - i0);
-      const TA* ap;
-      if (pA) {
-        ap = pA->block(pb, ib).data();
-      } else {
-        pack_a_block(A, lda, i0, mb, p0, kb, apack);
-        ap = apack.data();
-      }
-      const int ipanels = (mb + MR - 1) / MR;
-      for (int pi = 0; pi < ipanels; ++pi) {
-        for (int pj = 0; pj < jpanels; ++pj) {
-          TAcc acc[MR * NR] = {};
-          micro_kernel<TA, TAcc>(kb, ap + static_cast<std::size_t>(pi) * MR * kb,
-                                 bpack.data() +
-                                     static_cast<std::size_t>(pj) * NR * kb,
-                                 acc);
-          const int rows = std::min(MR, mb - pi * MR);
-          const int cols = std::min(NR, nb - pj * NR);
-          for (int ir = 0; ir < rows; ++ir) {
-            const int i = i0 + pi * MR + ir;
-            TC* crow = C + static_cast<std::size_t>(i) * ldc + j0 + pj * NR;
-            for (int jr = 0; jr < cols; ++jr) {
-              if (first) {
-                TAcc v = acc[ir * NR + jr];
-                if (bias) v = static_cast<TAcc>(bias[i]) + v;
-                crow[jr] = static_cast<TC>(v);
-              } else {
-                crow[jr] = static_cast<TC>(static_cast<TAcc>(crow[jr]) +
-                                           acc[ir * NR + jr]);
-              }
-            }
-          }
-        }
-      }
+#ifdef HETACC_VEC
+
+// The wide-vector helpers pass 256/512-bit values through TU-internal inline
+// functions; GCC's -Wpsabi ABI note does not apply (nothing crosses a TU
+// boundary), so it is silenced for this block.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wpsabi"
+#endif
+
+typedef float vf4 __attribute__((vector_size(16)));
+typedef float vf8 __attribute__((vector_size(32)));
+typedef double vd4 __attribute__((vector_size(32)));
+typedef std::int16_t vs8 __attribute__((vector_size(16)));
+typedef std::int32_t vi8 __attribute__((vector_size(32)));
+typedef std::int64_t vl8 __attribute__((vector_size(64)));
+
+template <typename V, typename T>
+inline V vload(const T* p) {
+  V v;
+  std::memcpy(&v, p, sizeof(V));
+  return v;
+}
+
+template <typename T, typename V>
+inline void vstore(T* p, V v) {
+  std::memcpy(p, &v, sizeof(V));
+}
+
+// Baseline stamp: generic vectors legalized to whatever the build targets
+// (plain SSE2 on a default x86-64 build).
+#define HETACC_MICRO_TARGET
+#define HETACC_MICRO_NAME(n) n##_base
+#include "kernels/gemm_micro.inc"
+#undef HETACC_MICRO_TARGET
+#undef HETACC_MICRO_NAME
+
+#ifdef HETACC_X86_DISPATCH
+// AVX2+FMA stamp: same source, 256-bit codegen, selected at runtime via
+// __builtin_cpu_supports so the binary stays runnable on baseline machines.
+#define HETACC_MICRO_TARGET __attribute__((target("avx2,fma")))
+#define HETACC_MICRO_NAME(n) n##_avx2
+#include "kernels/gemm_micro.inc"
+#undef HETACC_MICRO_TARGET
+#undef HETACC_MICRO_NAME
+
+bool cpu_has_avx2_fma() {
+  static const bool ok =
+      __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+  return ok;
+}
+#endif  // HETACC_X86_DISPATCH
+
+#endif  // HETACC_VEC
+
+/// Per-(TA, TAcc) micro-kernel traits: the register width NR and the runtime
+/// selection between the AVX2 stamp, the baseline stamp, and the scalar
+/// reference. Selection happens once per gemm call, not per tile.
+template <typename TA, typename TAcc>
+struct MK;
+
+template <>
+struct MK<float, float> {
+  static constexpr int NR = 16;
+  using Fn = void (*)(int, const float*, const float*, float*);
+  static Fn pick(bool simd) {
+#ifdef HETACC_VEC
+    if (simd) {
+#ifdef HETACC_X86_DISPATCH
+      if (cpu_has_avx2_fma()) return &micro_f32_avx2;
+#endif
+      return &micro_f32_base;
     }
+#else
+    (void)simd;
+#endif
+    return &micro_scalar<float, float, NR>;
   }
-  if constexpr (std::is_floating_point_v<TC>) {
-    if (relu) {
-      for (int i = 0; i < M; ++i) {
-        TC* crow = C + static_cast<std::size_t>(i) * ldc;
-        for (int j = j0; j < j1; ++j) crow[j] = std::max(crow[j], TC(0));
-      }
+};
+
+template <>
+struct MK<float, double> {
+  static constexpr int NR = 8;
+  using Fn = void (*)(int, const float*, const float*, double*);
+  static Fn pick(bool simd) {
+#ifdef HETACC_VEC
+    if (simd) {
+#ifdef HETACC_X86_DISPATCH
+      if (cpu_has_avx2_fma()) return &micro_f32d_avx2;
+#endif
+      return &micro_f32d_base;
     }
-  } else {
-    (void)relu;
+#else
+    (void)simd;
+#endif
+    return &micro_scalar<float, double, NR>;
+  }
+};
+
+template <>
+struct MK<double, double> {
+  static constexpr int NR = 8;
+  using Fn = void (*)(int, const double*, const double*, double*);
+  static Fn pick(bool simd) {
+#ifdef HETACC_VEC
+    if (simd) {
+#ifdef HETACC_X86_DISPATCH
+      if (cpu_has_avx2_fma()) return &micro_f64_avx2;
+#endif
+      return &micro_f64_base;
+    }
+#else
+    (void)simd;
+#endif
+    return &micro_scalar<double, double, NR>;
+  }
+};
+
+template <>
+struct MK<std::int16_t, std::int64_t> {
+  static constexpr int NR = 8;
+  using Fn = void (*)(int, const std::int16_t*, const std::int16_t*,
+                      std::int64_t*);
+  static Fn pick(bool simd) {
+#ifdef HETACC_VEC
+    if (simd) {
+#ifdef HETACC_X86_DISPATCH
+      if (cpu_has_avx2_fma()) return &micro_i16_avx2;
+#endif
+      return &micro_i16_base;
+    }
+#else
+    (void)simd;
+#endif
+    return &micro_scalar<std::int16_t, std::int64_t, NR>;
+  }
+};
+
+/// Packs the MC-block [i0, i0+mb) x [p0, p0+kb) of row-major A into MR-
+/// interleaved k-major panels at dst (ceil(mb/MR) panels of MR*kb). Tail
+/// lanes of a partial last panel are zeroed so the micro-kernel can run full
+/// MR rows unconditionally.
+template <typename T>
+void pack_a_panels(const T* A, int lda, int i0, int mb, int p0, int kb,
+                   T* dst) {
+  const int panels = (mb + MR - 1) / MR;
+  for (int pi = 0; pi < panels; ++pi) {
+    T* d = dst + static_cast<std::size_t>(pi) * MR * kb;
+    const int rows = std::min(MR, mb - pi * MR);
+    for (int ir = 0; ir < rows; ++ir) {
+      const T* src = A + static_cast<std::size_t>(i0 + pi * MR + ir) * lda + p0;
+      for (int k = 0; k < kb; ++k) d[k * MR + ir] = src[k];
+    }
+    for (int ir = rows; ir < MR; ++ir) {
+      for (int k = 0; k < kb; ++k) d[k * MR + ir] = T{};
+    }
   }
 }
 
+/// Packs one NR-wide column panel of B ([p0, p0+kb) x [j0, j0+cols)) into
+/// NR-interleaved k-major layout at dst, zero-padding cols < NR.
+template <typename T, int NR>
+void pack_b_panel(const T* B, int ldb, int p0, int kb, int j0, int cols,
+                  T* dst) {
+  for (int k = 0; k < kb; ++k) {
+    const T* src = B + static_cast<std::size_t>(p0 + k) * ldb + j0;
+    T* d = dst + static_cast<std::size_t>(k) * NR;
+    for (int jr = 0; jr < cols; ++jr) d[jr] = src[jr];
+    for (int jr = cols; jr < NR; ++jr) d[jr] = T{};
+  }
+}
+
+/// Blocked GEMM driver. Exactly one of A / pA is used. Per KC step: pack B
+/// once (parallel over panels, then shared read-only), pack A blocks unless
+/// pre-packed, then run the 2D (MC-block x NR-panel) tile grid cooperatively
+/// — every tile owns a disjoint patch of C, each KC step is a barrier, and
+/// per-element accumulation is k-ascending, so output bytes are independent
+/// of the thread count and chunk grain.
 template <typename TA, typename TAcc, typename TC, typename TBias>
-void gemm_dispatch(int M, int N, int K, const TA* A, int lda,
-                   const PackedLhsT<TA>* pA, const TA* B, int ldb, TC* C,
-                   int ldc, const TBias* bias, bool relu, int threads) {
+void gemm_run(int M, int N, int K, const TA* A, int lda,
+              const PackedLhsT<TA>* pA, const TA* B, int ldb, TC* C, int ldc,
+              const TBias* bias, bool relu, int threads, bool use_simd) {
   if (M <= 0 || N <= 0) return;
   if (K <= 0) {
     for (int i = 0; i < M; ++i) {
@@ -149,18 +245,105 @@ void gemm_dispatch(int M, int N, int K, const TA* A, int lda,
     }
     return;
   }
+  constexpr int NR = MK<TA, TAcc>::NR;
+  const typename MK<TA, TAcc>::Fn micro = MK<TA, TAcc>::pick(use_simd);
   if (threads == 0) threads = num_threads();
-  int want = std::min(resolve_threads(threads), (N + NR - 1) / NR);
-  want = std::max(want, 1);
-  // Column stripes are NR-aligned so panel padding never lands mid-panel.
-  const int stripe = ((N + want - 1) / want + NR - 1) / NR * NR;
-  const int stripes = (N + stripe - 1) / stripe;
-  parallel_for(static_cast<std::size_t>(stripes), threads, [&](std::size_t s) {
-    const int j0 = static_cast<int>(s) * stripe;
-    const int j1 = std::min(N, j0 + stripe);
-    gemm_stripe<TA, TAcc, TC, TBias>(M, K, A, lda, pA, B, ldb, C, ldc, bias,
-                                     relu, j0, j1);
-  });
+
+  const int jpanels = (N + NR - 1) / NR;
+  const int iblocks = (M + MC - 1) / MC;
+  const int mpanels_cap = (MC + MR - 1) / MR;
+
+  ScratchArena& arena = ScratchArena::tls();
+  ScratchArena::Scope scope(arena);
+  TA* bpack = arena.alloc<TA>(static_cast<std::size_t>(jpanels) * NR * KC);
+  TA* apack = nullptr;
+  if (!pA) {
+    apack = arena.alloc<TA>(static_cast<std::size_t>(iblocks) * mpanels_cap *
+                            MR * KC);
+  }
+
+  const int tw = std::max(1, resolve_threads(threads));
+  const std::size_t tasks =
+      static_cast<std::size_t>(iblocks) * static_cast<std::size_t>(jpanels);
+  const std::size_t grain = std::clamp<std::size_t>(
+      tasks / (static_cast<std::size_t>(tw) * 4), 1, 16);
+
+  for (int p0 = 0, pb = 0; p0 < K; p0 += KC, ++pb) {
+    const int kb = std::min(KC, K - p0);
+    const bool first = (p0 == 0);
+    const bool last = (p0 + kb == K);
+
+    // Pack the whole B panel row for this KC step once; every compute task
+    // below reads it, no task re-packs.
+    parallel_for(static_cast<std::size_t>(jpanels), 8, threads,
+                 [&](std::size_t pj) {
+                   const int j0 = static_cast<int>(pj) * NR;
+                   pack_b_panel<TA, NR>(B, ldb, p0, kb, j0,
+                                        std::min(NR, N - j0),
+                                        bpack + pj * static_cast<std::size_t>(NR) * kb);
+                 });
+    if (!pA) {
+      parallel_for(static_cast<std::size_t>(iblocks), 1, threads,
+                   [&](std::size_t ib) {
+                     const int i0 = static_cast<int>(ib) * MC;
+                     pack_a_panels(A, lda, i0, std::min(MC, M - i0), p0, kb,
+                                   apack + ib * static_cast<std::size_t>(
+                                                    mpanels_cap) *
+                                               MR * kb);
+                   });
+    }
+
+    // 2D cooperative tile grid. Task index g walks NR-panels fastest so
+    // consecutive chunks reuse the same packed A block while B panels stream.
+    parallel_for(tasks, grain, threads, [&](std::size_t g) {
+      const int ib = static_cast<int>(g / jpanels);
+      const int pj = static_cast<int>(g % jpanels);
+      const int i0 = ib * MC;
+      const int mb = std::min(MC, M - i0);
+      const TA* ablk =
+          pA ? pA->block(pb, ib).data()
+             : apack + ib * static_cast<std::size_t>(mpanels_cap) * MR * kb;
+      const TA* bp = bpack + pj * static_cast<std::size_t>(NR) * kb;
+      const int j0 = pj * NR;
+      const int cols = std::min(NR, N - j0);
+      const int ipanels = (mb + MR - 1) / MR;
+      for (int pi = 0; pi < ipanels; ++pi) {
+        TAcc acc[MR * NR];
+        micro(kb, ablk + static_cast<std::size_t>(pi) * MR * kb, bp, acc);
+        const int rows = std::min(MR, mb - pi * MR);
+        for (int ir = 0; ir < rows; ++ir) {
+          const int i = i0 + pi * MR + ir;
+          TC* crow = C + static_cast<std::size_t>(i) * ldc + j0;
+          const TAcc* arow = acc + ir * NR;
+          if (first) {
+            if (bias) {
+              const TAcc bv = static_cast<TAcc>(bias[i]);
+              for (int jr = 0; jr < cols; ++jr) {
+                crow[jr] = static_cast<TC>(bv + arow[jr]);
+              }
+            } else {
+              for (int jr = 0; jr < cols; ++jr) {
+                crow[jr] = static_cast<TC>(arow[jr]);
+              }
+            }
+          } else {
+            for (int jr = 0; jr < cols; ++jr) {
+              crow[jr] = static_cast<TC>(static_cast<TAcc>(crow[jr]) +
+                                         arow[jr]);
+            }
+          }
+          if constexpr (std::is_floating_point_v<TC>) {
+            if (last && relu) {
+              for (int jr = 0; jr < cols; ++jr) {
+                crow[jr] = std::max(crow[jr], TC(0));
+              }
+            }
+          }
+        }
+      }
+    });
+  }
+  if constexpr (!std::is_floating_point_v<TC>) (void)relu;
 }
 
 }  // namespace
@@ -174,8 +357,10 @@ PackedLhsT<T>::PackedLhsT(const T* A, int M, int K, int lda) : m_(M), k_(K) {
     const int kb = std::min(KC, K - p0);
     for (int i0 = 0, ib = 0; i0 < M; i0 += MC, ++ib) {
       const int mb = std::min(MC, M - i0);
-      pack_a_block(A, lda, i0, mb, p0, kb,
-                   blocks_[static_cast<std::size_t>(pb) * iblocks_ + ib]);
+      const int panels = (mb + MR - 1) / MR;
+      auto& blk = blocks_[static_cast<std::size_t>(pb) * iblocks_ + ib];
+      blk.resize(static_cast<std::size_t>(panels) * MR * kb);
+      pack_a_panels(A, lda, i0, mb, p0, kb, blk.data());
     }
   }
 }
@@ -185,97 +370,142 @@ template class PackedLhsT<float>;
 void gemm_f32(int M, int N, int K, const float* A, int lda, const float* B,
               int ldb, float* C, int ldc, const float* bias, bool relu,
               int threads) {
-  gemm_dispatch<float, float, float, float>(M, N, K, A, lda, nullptr, B, ldb,
-                                            C, ldc, bias, relu, threads);
+  gemm_run<float, float, float, float>(M, N, K, A, lda, nullptr, B, ldb, C,
+                                       ldc, bias, relu, threads, true);
 }
 
 void gemm_f32(const PackedLhsF32& A, int N, const float* B, int ldb, float* C,
               int ldc, const float* bias, bool relu, int threads) {
-  gemm_dispatch<float, float, float, float>(A.rows(), N, A.depth(), nullptr, 0,
-                                            &A, B, ldb, C, ldc, bias, relu,
-                                            threads);
+  gemm_run<float, float, float, float>(A.rows(), N, A.depth(), nullptr, 0, &A,
+                                       B, ldb, C, ldc, bias, relu, threads,
+                                       true);
 }
 
 void gemm_f32d(int M, int N, int K, const float* A, int lda, const float* B,
                int ldb, double* C, int ldc, const float* bias, bool relu,
                int threads) {
-  gemm_dispatch<float, double, double, float>(M, N, K, A, lda, nullptr, B, ldb,
-                                              C, ldc, bias, relu, threads);
+  gemm_run<float, double, double, float>(M, N, K, A, lda, nullptr, B, ldb, C,
+                                         ldc, bias, relu, threads, true);
 }
 
 void gemm_f32d(const PackedLhsF32& A, int N, const float* B, int ldb,
                double* C, int ldc, const float* bias, bool relu, int threads) {
-  gemm_dispatch<float, double, double, float>(A.rows(), N, A.depth(), nullptr,
-                                              0, &A, B, ldb, C, ldc, bias,
-                                              relu, threads);
+  gemm_run<float, double, double, float>(A.rows(), N, A.depth(), nullptr, 0,
+                                         &A, B, ldb, C, ldc, bias, relu,
+                                         threads, true);
 }
 
 void gemm_f64(int M, int N, int K, const double* A, int lda, const double* B,
               int ldb, double* C, int ldc, int threads) {
-  gemm_dispatch<double, double, double, double>(M, N, K, A, lda, nullptr, B,
-                                                ldb, C, ldc, nullptr, false,
-                                                threads);
+  gemm_run<double, double, double, double>(M, N, K, A, lda, nullptr, B, ldb, C,
+                                           ldc, nullptr, false, threads, true);
 }
 
 void gemm_i16(int M, int N, int K, const std::int16_t* A, int lda,
               const std::int16_t* B, int ldb, std::int64_t* C, int ldc,
               int threads) {
-  gemm_dispatch<std::int16_t, std::int64_t, std::int64_t, std::int64_t>(
-      M, N, K, A, lda, nullptr, B, ldb, C, ldc, nullptr, false, threads);
+  gemm_run<std::int16_t, std::int64_t, std::int64_t, std::int64_t>(
+      M, N, K, A, lda, nullptr, B, ldb, C, ldc, nullptr, false, threads, true);
+}
+
+namespace fallback {
+
+void gemm_f32(int M, int N, int K, const float* A, int lda, const float* B,
+              int ldb, float* C, int ldc, const float* bias, bool relu,
+              int threads) {
+  gemm_run<float, float, float, float>(M, N, K, A, lda, nullptr, B, ldb, C,
+                                       ldc, bias, relu, threads, false);
+}
+
+void gemm_f32d(int M, int N, int K, const float* A, int lda, const float* B,
+               int ldb, double* C, int ldc, const float* bias, bool relu,
+               int threads) {
+  gemm_run<float, double, double, float>(M, N, K, A, lda, nullptr, B, ldb, C,
+                                         ldc, bias, relu, threads, false);
+}
+
+void gemm_f64(int M, int N, int K, const double* A, int lda, const double* B,
+              int ldb, double* C, int ldc, int threads) {
+  gemm_run<double, double, double, double>(M, N, K, A, lda, nullptr, B, ldb,
+                                           C, ldc, nullptr, false, threads,
+                                           false);
+}
+
+void gemm_i16(int M, int N, int K, const std::int16_t* A, int lda,
+              const std::int16_t* B, int ldb, std::int64_t* C, int ldc,
+              int threads) {
+  gemm_run<std::int16_t, std::int64_t, std::int64_t, std::int64_t>(
+      M, N, K, A, lda, nullptr, B, ldb, C, ldc, nullptr, false, threads,
+      false);
+}
+
+}  // namespace fallback
+
+bool simd_enabled() {
+#ifdef HETACC_VEC
+  return true;
+#else
+  return false;
+#endif
 }
 
 namespace {
 
 template <typename T>
 void im2col_impl(const T* in, int C, int H, int W, int kernel, int stride,
-                 int pad, int out_h, int out_w, T* mat) {
+                 int pad, int out_h, int out_w, T* mat, int threads) {
   const std::size_t cols = static_cast<std::size_t>(out_h) * out_w;
-  std::size_t row = 0;
-  for (int c = 0; c < C; ++c) {
+  const std::size_t kk = static_cast<std::size_t>(kernel) * kernel;
+  const std::size_t rows = static_cast<std::size_t>(C) * kk;
+  // One task per patch row; rows write disjoint slices of mat, so the row
+  // space parallelizes with channel-granular chunks.
+  parallel_for(rows, kk, threads, [&](std::size_t row) {
+    const int c = static_cast<int>(row / kk);
+    const int u = static_cast<int>((row % kk) / kernel);
+    const int v = static_cast<int>(row % kernel);
     const T* plane = in + static_cast<std::size_t>(c) * H * W;
-    for (int u = 0; u < kernel; ++u) {
-      for (int v = 0; v < kernel; ++v, ++row) {
-        T* dst = mat + row * cols;
-        for (int i = 0; i < out_h; ++i) {
-          T* drow = dst + static_cast<std::size_t>(i) * out_w;
-          const int h = i * stride + u - pad;
-          if (h < 0 || h >= H) {
-            std::fill(drow, drow + out_w, T{});
-            continue;
-          }
-          const T* srow = plane + static_cast<std::size_t>(h) * W;
-          if (stride == 1) {
-            // Contiguous span: j in [max(0, pad-v), min(out_w, W+pad-v)).
-            const int j_lo = std::max(0, pad - v);
-            const int j_hi = std::min(out_w, W + pad - v);
-            if (j_lo > 0) std::fill(drow, drow + j_lo, T{});
-            if (j_hi > j_lo) {
-              std::memcpy(drow + j_lo, srow + j_lo + v - pad,
-                          static_cast<std::size_t>(j_hi - j_lo) * sizeof(T));
-            }
-            if (j_hi < out_w) std::fill(drow + std::max(j_hi, 0), drow + out_w, T{});
-          } else {
-            for (int j = 0; j < out_w; ++j) {
-              const int w = j * stride + v - pad;
-              drow[j] = (w < 0 || w >= W) ? T{} : srow[w];
-            }
-          }
+    T* dst = mat + row * cols;
+    for (int i = 0; i < out_h; ++i) {
+      T* drow = dst + static_cast<std::size_t>(i) * out_w;
+      const int h = i * stride + u - pad;
+      if (h < 0 || h >= H) {
+        std::fill(drow, drow + out_w, T{});
+        continue;
+      }
+      const T* srow = plane + static_cast<std::size_t>(h) * W;
+      if (stride == 1) {
+        // Contiguous span: j in [max(0, pad-v), min(out_w, W+pad-v)).
+        const int j_lo = std::max(0, pad - v);
+        const int j_hi = std::min(out_w, W + pad - v);
+        if (j_lo > 0) std::fill(drow, drow + j_lo, T{});
+        if (j_hi > j_lo) {
+          std::memcpy(drow + j_lo, srow + j_lo + v - pad,
+                      static_cast<std::size_t>(j_hi - j_lo) * sizeof(T));
+        }
+        if (j_hi < out_w) {
+          std::fill(drow + std::max(j_hi, 0), drow + out_w, T{});
+        }
+      } else {
+        for (int j = 0; j < out_w; ++j) {
+          const int w = j * stride + v - pad;
+          drow[j] = (w < 0 || w >= W) ? T{} : srow[w];
         }
       }
     }
-  }
+  });
 }
 
 }  // namespace
 
 void im2col_f32(const float* in, int C, int H, int W, int kernel, int stride,
-                int pad, int out_h, int out_w, float* mat) {
-  im2col_impl(in, C, H, W, kernel, stride, pad, out_h, out_w, mat);
+                int pad, int out_h, int out_w, float* mat, int threads) {
+  im2col_impl(in, C, H, W, kernel, stride, pad, out_h, out_w, mat, threads);
 }
 
 void im2col_i16(const std::int16_t* in, int C, int H, int W, int kernel,
-                int stride, int pad, int out_h, int out_w, std::int16_t* mat) {
-  im2col_impl(in, C, H, W, kernel, stride, pad, out_h, out_w, mat);
+                int stride, int pad, int out_h, int out_w, std::int16_t* mat,
+                int threads) {
+  im2col_impl(in, C, H, W, kernel, stride, pad, out_h, out_w, mat, threads);
 }
 
 }  // namespace hetacc::kernels

@@ -5,11 +5,21 @@
 // (BLIS-style) so the micro-kernel streams contiguously; K is blocked into
 // fixed KC panels that accumulate into C.
 //
+// The micro-kernel is register-blocked SIMD built on the portable GCC/Clang
+// vector extensions, with runtime dispatch to an AVX2+FMA stamp on x86-64 and
+// a scalar fallback on other compilers (see gemm_micro.inc and DESIGN.md
+// §10). Parallelism is 2D cooperative: the (MC-block, NR-panel) tile grid of
+// each KC step is distributed over the shared worker pool, with the packed B
+// panel built once per KC step and shared read-only by every worker.
+//
 // Determinism contract: every C element is produced by exactly one thread and
-// its accumulation order depends only on (K, KC) — never on the thread count
-// or the column-stripe split — so results are byte-identical for any
-// `threads` value. Parallelism is across column stripes of C (independent
-// outputs); a single accumulation chain is never split.
+// its accumulation order depends only on (K, KC) and the selected micro-
+// kernel — never on the thread count or the tile-grid split — so results are
+// byte-identical for any `threads` value. A single accumulation chain is
+// never split; per output element it is strictly ascending in k.
+//
+// Scratch (packed panels, im2col matrices) comes from the calling thread's
+// ScratchArena, so steady-state calls perform zero heap allocations.
 
 #include <cstdint>
 #include <vector>
@@ -69,9 +79,38 @@ void gemm_i16(int M, int N, int K, const std::int16_t* A, int lda,
 /// im2col lowering of a CHW image into the patch matrix: one row per
 /// (channel, ku, kv) tap, one column per output pixel, zero outside the
 /// padded extent. `mat` must hold (C*kernel*kernel) * (out_h*out_w) elements.
+/// Rows are independent, so the row space is distributed over `threads`
+/// workers (same knob semantics as the GEMMs; default 1 = serial).
 void im2col_f32(const float* in, int C, int H, int W, int kernel, int stride,
-                int pad, int out_h, int out_w, float* mat);
+                int pad, int out_h, int out_w, float* mat, int threads = 1);
 void im2col_i16(const std::int16_t* in, int C, int H, int W, int kernel,
-                int stride, int pad, int out_h, int out_w, std::int16_t* mat);
+                int stride, int pad, int out_h, int out_w, std::int16_t* mat,
+                int threads = 1);
+
+/// Scalar-micro-kernel reference builds of the GEMM entry points. Same
+/// blocking, packing, and accumulation order as the SIMD paths, but the
+/// micro-kernel is the plain scalar loop regardless of what the CPU
+/// supports. Used by the differential tests (SIMD vs fallback equivalence:
+/// bit-exact for integer datapaths, ULP-bounded for float) and available as
+/// an escape hatch when debugging vectorized codegen.
+namespace fallback {
+void gemm_f32(int M, int N, int K, const float* A, int lda, const float* B,
+              int ldb, float* C, int ldc, const float* bias, bool relu,
+              int threads);
+void gemm_f32d(int M, int N, int K, const float* A, int lda, const float* B,
+               int ldb, double* C, int ldc, const float* bias, bool relu,
+               int threads);
+void gemm_f64(int M, int N, int K, const double* A, int lda, const double* B,
+              int ldb, double* C, int ldc, int threads);
+void gemm_i16(int M, int N, int K, const std::int16_t* A, int lda,
+              const std::int16_t* B, int ldb, std::int64_t* C, int ldc,
+              int threads);
+}  // namespace fallback
+
+/// True when the runtime dispatcher selected a SIMD micro-kernel (either the
+/// baseline 128-bit stamp or the AVX2+FMA stamp); false when the scalar
+/// fallback is in use (non-GCC/Clang builds). Informational — benches report
+/// it so recorded numbers are attributable.
+[[nodiscard]] bool simd_enabled();
 
 }  // namespace hetacc::kernels

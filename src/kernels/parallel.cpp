@@ -1,5 +1,6 @@
 #include "kernels/parallel.h"
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
 #include <memory>
@@ -21,23 +22,46 @@ unsigned hardware_threads() {
 /// One parallel_for invocation. Kept alive by shared_ptr so a worker that
 /// wakes late (after the job completed and a new one started) only touches
 /// the dead job's atomics, never the new job's cursor.
+///
+/// Exactly one of `fn` (per-index) / `range_fn` (per-range) is set. Workers
+/// claim `grain` consecutive indices per cursor fetch; with the per-index
+/// fn, each index runs under its own try/catch so every index is invoked
+/// exactly once even when some throw.
 struct Job {
   const std::function<void(std::size_t)>* fn = nullptr;
+  const std::function<void(std::size_t, std::size_t)>* range_fn = nullptr;
   std::size_t n = 0;
+  std::size_t grain = 1;
   std::atomic<std::size_t> cursor{0};
   std::atomic<std::size_t> completed{0};
   std::mutex err_mutex;
   std::exception_ptr error;
 
+  void record(std::exception_ptr e) {
+    std::lock_guard<std::mutex> lk(err_mutex);
+    if (!error) error = std::move(e);
+  }
+
   void run_share() {
-    for (std::size_t i = cursor.fetch_add(1); i < n; i = cursor.fetch_add(1)) {
-      try {
-        (*fn)(i);
-      } catch (...) {
-        std::lock_guard<std::mutex> lk(err_mutex);
-        if (!error) error = std::current_exception();
+    for (std::size_t lo = cursor.fetch_add(grain); lo < n;
+         lo = cursor.fetch_add(grain)) {
+      const std::size_t hi = std::min(n, lo + grain);
+      if (fn) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          try {
+            (*fn)(i);
+          } catch (...) {
+            record(std::current_exception());
+          }
+        }
+      } else {
+        try {
+          (*range_fn)(lo, hi);
+        } catch (...) {
+          record(std::current_exception());
+        }
       }
-      completed.fetch_add(1);
+      completed.fetch_add(hi - lo);
     }
   }
 
@@ -54,20 +78,17 @@ class Pool {
     return p;
   }
 
-  void run(std::size_t n, std::size_t want,
-           const std::function<void(std::size_t)>& fn) {
+  /// `participants` counts the caller: k participants = the calling thread
+  /// plus k - 1 pool workers. resolve_threads() caps requests at the
+  /// hardware thread count before they reach here, so ensure_workers never
+  /// silently under-provisions a capped request — the historical bug where
+  /// the worker clamp was applied before accounting for the caller.
+  bool run(std::size_t participants, const std::shared_ptr<Job>& job) {
     std::unique_lock<std::mutex> job_lock(job_mutex_, std::try_to_lock);
-    if (!job_lock.owns_lock()) {
-      // A parallel region is already active (nested call): run inline.
-      for (std::size_t i = 0; i < n; ++i) fn(i);
-      return;
-    }
-    auto job = std::make_shared<Job>();
-    job->fn = &fn;
-    job->n = n;
+    if (!job_lock.owns_lock()) return false;  // nested: caller runs inline
     {
       std::lock_guard<std::mutex> lk(mutex_);
-      ensure_workers(want - 1);
+      ensure_workers(participants - 1);
       current_ = job;
       ++generation_;
     }
@@ -78,7 +99,7 @@ class Pool {
       cv_done_.wait(lk, [&] { return job->done(); });
       current_.reset();
     }
-    if (job->error) std::rethrow_exception(job->error);
+    return true;
   }
 
  private:
@@ -93,8 +114,11 @@ class Pool {
   }
 
   void ensure_workers(std::size_t want) {  // callers hold mutex_
-    const std::size_t cap = hardware_threads() > 1 ? hardware_threads() - 1
-                                                   : 1u;
+    // The pool itself holds at most H - 1 threads (the caller is the H-th
+    // participant); on a single-core machine it holds none and every region
+    // runs inline.
+    const unsigned hc = hardware_threads();
+    const std::size_t cap = hc > 1 ? hc - 1 : 0;
     want = std::min(want, cap);
     while (workers_.size() < want) {
       workers_.emplace_back([this] { worker_loop(); });
@@ -126,6 +150,55 @@ class Pool {
   bool stop_ = false;
 };
 
+void dispatch(std::size_t n, std::size_t grain,
+              const std::function<void(std::size_t)>* fn,
+              const std::function<void(std::size_t, std::size_t)>* range_fn,
+              int threads) {
+  if (n == 0) return;
+  grain = std::max<std::size_t>(grain, 1);
+  if (threads == 0) threads = num_threads();
+  const std::size_t chunks = (n + grain - 1) / grain;
+  std::size_t want = static_cast<std::size_t>(resolve_threads(threads));
+  want = std::min(want, chunks);
+  if (want > 1) {
+    // Heap-allocated so a worker that wakes after this call returned only
+    // ever touches the (kept-alive) dead job, never the caller's frame.
+    auto job = std::make_shared<Job>();
+    job->fn = fn;
+    job->range_fn = range_fn;
+    job->n = n;
+    job->grain = grain;
+    if (Pool::instance().run(want, job)) {
+      if (job->error) std::rethrow_exception(job->error);
+      return;
+    }
+    // A parallel region was already active (nested call): fall through to
+    // the inline path.
+  }
+  // Serial execution with the same exception semantics as the pool path:
+  // per-index capture, first error rethrown after full coverage.
+  std::exception_ptr error;
+  if (fn) {
+    for (std::size_t i = 0; i < n; ++i) {
+      try {
+        (*fn)(i);
+      } catch (...) {
+        if (!error) error = std::current_exception();
+      }
+    }
+  } else {
+    for (std::size_t lo = 0; lo < n; lo += grain) {
+      const std::size_t hi = std::min(n, lo + grain);
+      try {
+        (*range_fn)(lo, hi);
+      } catch (...) {
+        if (!error) error = std::current_exception();
+      }
+    }
+  }
+  if (error) std::rethrow_exception(error);
+}
+
 }  // namespace
 
 int num_threads() { return g_default_threads.load(std::memory_order_relaxed); }
@@ -135,24 +208,29 @@ void set_num_threads(int threads) {
 }
 
 int resolve_threads(int threads) {
-  if (threads > 0) return threads;
-  return static_cast<int>(hardware_threads());
+  const int hc = static_cast<int>(hardware_threads());
+  if (threads <= 0) return hc;
+  return std::min(threads, hc);
 }
 
 void parallel_for(std::size_t n, int threads,
                   const std::function<void(std::size_t)>& fn) {
-  if (threads == 0) threads = num_threads();
-  std::size_t want = static_cast<std::size_t>(resolve_threads(threads));
-  want = std::min(want, n);
-  if (want <= 1) {
-    for (std::size_t i = 0; i < n; ++i) fn(i);
-    return;
-  }
-  Pool::instance().run(n, want, fn);
+  dispatch(n, 1, &fn, nullptr, threads);
 }
 
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
   parallel_for(n, 0, fn);
+}
+
+void parallel_for(std::size_t n, std::size_t grain, int threads,
+                  const std::function<void(std::size_t)>& fn) {
+  dispatch(n, grain, &fn, nullptr, threads);
+}
+
+void parallel_for_ranges(
+    std::size_t n, std::size_t grain, int threads,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  dispatch(n, grain, nullptr, &fn, threads);
 }
 
 }  // namespace hetacc::kernels

@@ -22,6 +22,9 @@ namespace hetacc::kernels {
 void set_num_threads(int threads);
 
 /// Resolves a threads knob (<= 0 means "all cores") to a concrete count.
+/// The result is capped at the hardware thread count — the pool never
+/// oversubscribes, and an explicit request larger than the machine silently
+/// runs with every core instead of a fraction of them (see Pool).
 [[nodiscard]] int resolve_threads(int threads);
 
 /// Runs fn(i) for every i in [0, n), distributing indices over up to
@@ -29,12 +32,32 @@ void set_num_threads(int threads);
 /// runs inline). The calling thread participates, so `threads = k` uses the
 /// caller plus at most k - 1 pool workers. Indices are claimed from an atomic
 /// cursor; fn must therefore be safe to invoke concurrently for distinct i.
-/// Exceptions thrown by fn are captured and the first one is rethrown after
-/// every index has been processed.
+/// Every index is invoked exactly once even when some invocations throw:
+/// exceptions are captured per index and the first one is rethrown after the
+/// whole index space has been processed.
 void parallel_for(std::size_t n, int threads,
                   const std::function<void(std::size_t)>& fn);
 
 /// parallel_for with the kernel-layer default thread count.
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+/// Chunked parallel_for: workers claim `grain` consecutive indices per
+/// atomic fetch instead of one, amortizing the cursor traffic and the
+/// std::function indirection for fine-grained loops (micro-tile grids, panel
+/// packing). Semantics otherwise identical to the per-index overload,
+/// including the exactly-once-under-exceptions guarantee. grain = 0 behaves
+/// as grain = 1.
+void parallel_for(std::size_t n, std::size_t grain, int threads,
+                  const std::function<void(std::size_t)>& fn);
+
+/// Range flavor: fn(lo, hi) is invoked on disjoint half-open ranges that
+/// exactly cover [0, n), each at most `grain` long. Use when per-range setup
+/// (a per-worker engine set, a local accumulator) matters; if fn throws, the
+/// remainder of that one range is skipped (the exception is rethrown after
+/// the barrier), so prefer the per-index overload when the exactly-once
+/// guarantee matters.
+void parallel_for_ranges(
+    std::size_t n, std::size_t grain, int threads,
+    const std::function<void(std::size_t, std::size_t)>& fn);
 
 }  // namespace hetacc::kernels

@@ -7,8 +7,16 @@
 #include <string>
 
 #include "fixed/fixed16.h"
+#include "kernels/arena.h"
 #include "kernels/gemm.h"
 #include "kernels/parallel.h"
+
+// gather_tile writes every d[u*n + v] for u, v < n — exactly the prefix the
+// transforms read — but GCC cannot prove coverage with a runtime n and warns
+// -Wmaybe-uninitialized on the kWinogradMaxN-sized stack arrays.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
 
 namespace hetacc::kernels {
 
@@ -93,117 +101,140 @@ inline void scatter_tile(const double* macc, const double* at, int m, int n,
   }
 }
 
+/// Chunk size for the (channel x tile) transform grids: a few tiles per
+/// cursor claim keeps per-channel locality without starving wide machines on
+/// narrow strips.
+inline std::size_t tile_grain(int tiles_w) {
+  return std::clamp<std::size_t>(static_cast<std::size_t>(tiles_w), 1, 8);
+}
+
 }  // namespace
 
 void winograd_strip(const WinogradPlan& plan, const float* strip, int strip_w,
                     int tiles_w, float* const* out_rows, int rows_out,
                     int out_w, const float* bias, bool relu, int out_frac,
-                    WinogradScratch& s, int threads) {
+                    int threads) {
   const int n = plan.n, m = plan.m, T = tiles_w;
   check_tile_size(n);
   const std::size_t vplane = static_cast<std::size_t>(plan.in_c) * T;
   const std::size_t mplane = static_cast<std::size_t>(plan.out_c) * T;
-  s.v.resize(static_cast<std::size_t>(n) * n * vplane);
-  s.mm.resize(static_cast<std::size_t>(n) * n * mplane);
+  ScratchArena& arena = ScratchArena::tls();
+  ScratchArena::Scope scope(arena);
+  double* v = arena.alloc<double>(static_cast<std::size_t>(n) * n * vplane);
+  double* mm = arena.alloc<double>(static_cast<std::size_t>(n) * n * mplane);
 
-  parallel_for(static_cast<std::size_t>(plan.in_c), threads, [&](std::size_t c) {
-    const float* cplane = strip + c * static_cast<std::size_t>(n) * strip_w;
-    double d[kWinogradMaxN * kWinogradMaxN];
-    double tmp[kWinogradMaxN * kWinogradMaxN];
-    double vt[kWinogradMaxN * kWinogradMaxN];
-    for (int tj = 0; tj < T; ++tj) {
-      gather_tile(cplane, strip_w, tj, m, n, d);
-      matmul_nn(plan.bt.data(), n, n, d, n, tmp);
-      matmul_nt(tmp, n, n, plan.bt.data(), n, vt);
-      for (int ab = 0; ab < n * n; ++ab) {
-        s.v[static_cast<std::size_t>(ab) * vplane + c * T + tj] = vt[ab];
-      }
-    }
-  });
+  // Forward transform over the (in_c x tile) grid: each task owns one tile
+  // column of one channel and writes a disjoint V slot per plane.
+  parallel_for(static_cast<std::size_t>(plan.in_c) * T, tile_grain(T), threads,
+               [&](std::size_t g) {
+                 const std::size_t c = g / T;
+                 const int tj = static_cast<int>(g % T);
+                 const float* cplane =
+                     strip + c * static_cast<std::size_t>(n) * strip_w;
+                 double d[kWinogradMaxN * kWinogradMaxN];
+                 double tmp[kWinogradMaxN * kWinogradMaxN];
+                 double vt[kWinogradMaxN * kWinogradMaxN];
+                 gather_tile(cplane, strip_w, tj, m, n, d);
+                 matmul_nn(plan.bt.data(), n, n, d, n, tmp);
+                 matmul_nt(tmp, n, n, plan.bt.data(), n, vt);
+                 for (int ab = 0; ab < n * n; ++ab) {
+                   v[static_cast<std::size_t>(ab) * vplane + c * T + tj] =
+                       vt[ab];
+                 }
+               });
 
   parallel_for(static_cast<std::size_t>(n) * n, threads, [&](std::size_t ab) {
     gemm_f64(plan.out_c, T, plan.in_c, plan.plane(static_cast<int>(ab)),
-             plan.in_c, s.v.data() + ab * vplane, T, s.mm.data() + ab * mplane,
-             T, /*threads=*/1);
+             plan.in_c, v + ab * vplane, T, mm + ab * mplane, T,
+             /*threads=*/1);
   });
 
-  parallel_for(static_cast<std::size_t>(plan.out_c), threads,
-               [&](std::size_t oc) {
+  // Inverse transform + scatter over the (out_c x tile) grid: tile tj of
+  // channel oc touches only columns [tj*m, tj*m + m) of oc's output rows.
+  parallel_for(static_cast<std::size_t>(plan.out_c) * T, tile_grain(T),
+               threads, [&](std::size_t g) {
+                 const std::size_t oc = g / T;
+                 const int tj = static_cast<int>(g % T);
                  double macc[kWinogradMaxN * kWinogradMaxN];
                  const float b = bias ? bias[oc] : 0.0f;
-                 for (int tj = 0; tj < T; ++tj) {
-                   for (int ab = 0; ab < n * n; ++ab) {
-                     macc[ab] =
-                         s.mm[static_cast<std::size_t>(ab) * mplane + oc * T + tj];
-                   }
-                   scatter_tile(macc, plan.at.data(), m, n, out_rows,
-                                plan.out_c, static_cast<int>(oc), tj, rows_out,
-                                out_w, b, relu, out_frac);
+                 for (int ab = 0; ab < n * n; ++ab) {
+                   macc[ab] =
+                       mm[static_cast<std::size_t>(ab) * mplane + oc * T + tj];
                  }
+                 scatter_tile(macc, plan.at.data(), m, n, out_rows, plan.out_c,
+                              static_cast<int>(oc), tj, rows_out, out_w, b,
+                              relu, out_frac);
                });
 }
 
 void winograd_strip_fixed(const WinogradPlanFixed& plan, const float* strip,
                           int strip_w, int tiles_w, float* const* out_rows,
                           int rows_out, int out_w, const float* bias,
-                          bool relu, int v_frac, int out_frac,
-                          WinogradScratch& s, int threads) {
+                          bool relu, int v_frac, int out_frac, int threads) {
   const int n = plan.n, m = plan.m, T = tiles_w;
   check_tile_size(n);
   const std::size_t vplane = static_cast<std::size_t>(plan.in_c) * T;
   const std::size_t mplane = static_cast<std::size_t>(plan.out_c) * T;
-  s.vq.resize(static_cast<std::size_t>(n) * n * vplane);
-  s.mi.resize(static_cast<std::size_t>(n) * n * mplane);
+  ScratchArena& arena = ScratchArena::tls();
+  ScratchArena::Scope scope(arena);
+  std::int16_t* vq =
+      arena.alloc<std::int16_t>(static_cast<std::size_t>(n) * n * vplane);
+  std::int64_t* mi =
+      arena.alloc<std::int64_t>(static_cast<std::size_t>(n) * n * mplane);
 
-  parallel_for(static_cast<std::size_t>(plan.in_c), threads, [&](std::size_t c) {
-    const float* cplane = strip + c * static_cast<std::size_t>(n) * strip_w;
-    double d[kWinogradMaxN * kWinogradMaxN];
-    double tmp[kWinogradMaxN * kWinogradMaxN];
-    double vt[kWinogradMaxN * kWinogradMaxN];
-    for (int tj = 0; tj < T; ++tj) {
-      gather_tile(cplane, strip_w, tj, m, n, d);
-      matmul_nn(plan.bt.data(), n, n, d, n, tmp);
-      matmul_nt(tmp, n, n, plan.bt.data(), n, vt);
-      for (int ab = 0; ab < n * n; ++ab) {
-        // 16-bit multiplier inputs, exactly as the seed quantized per tile.
-        s.vq[static_cast<std::size_t>(ab) * vplane + c * T + tj] =
-            fixed::Fixed16::quantize(static_cast<float>(vt[ab]), v_frac);
-      }
-    }
-  });
+  parallel_for(static_cast<std::size_t>(plan.in_c) * T, tile_grain(T), threads,
+               [&](std::size_t g) {
+                 const std::size_t c = g / T;
+                 const int tj = static_cast<int>(g % T);
+                 const float* cplane =
+                     strip + c * static_cast<std::size_t>(n) * strip_w;
+                 double d[kWinogradMaxN * kWinogradMaxN];
+                 double tmp[kWinogradMaxN * kWinogradMaxN];
+                 double vt[kWinogradMaxN * kWinogradMaxN];
+                 gather_tile(cplane, strip_w, tj, m, n, d);
+                 matmul_nn(plan.bt.data(), n, n, d, n, tmp);
+                 matmul_nt(tmp, n, n, plan.bt.data(), n, vt);
+                 for (int ab = 0; ab < n * n; ++ab) {
+                   // 16-bit multiplier inputs, exactly as the seed quantized
+                   // per tile.
+                   vq[static_cast<std::size_t>(ab) * vplane + c * T + tj] =
+                       fixed::Fixed16::quantize(static_cast<float>(vt[ab]),
+                                                v_frac);
+                 }
+               });
 
   parallel_for(static_cast<std::size_t>(n) * n, threads, [&](std::size_t ab) {
     gemm_i16(plan.out_c, T, plan.in_c, plan.plane(static_cast<int>(ab)),
-             plan.in_c, s.vq.data() + ab * vplane, T,
-             s.mi.data() + ab * mplane, T, /*threads=*/1);
+             plan.in_c, vq + ab * vplane, T, mi + ab * mplane, T,
+             /*threads=*/1);
   });
 
   const double scale = std::ldexp(1.0, -(plan.u_frac + v_frac));
   parallel_for(
-      static_cast<std::size_t>(plan.out_c), threads, [&](std::size_t oc) {
+      static_cast<std::size_t>(plan.out_c) * T, tile_grain(T), threads,
+      [&](std::size_t g) {
+        const std::size_t oc = g / T;
+        const int tj = static_cast<int>(g % T);
         double macc[kWinogradMaxN * kWinogradMaxN];
         double p[kWinogradMaxN * kWinogradMaxN];
         double y[kWinogradMaxN * kWinogradMaxN];
         const float bia = bias ? bias[oc] : 0.0f;
-        for (int tj = 0; tj < T; ++tj) {
-          for (int ab = 0; ab < n * n; ++ab) {
-            macc[ab] = static_cast<double>(
-                           s.mi[static_cast<std::size_t>(ab) * mplane +
-                                oc * T + tj]) *
-                       scale;
-          }
-          matmul_nn(plan.at.data(), m, n, macc, n, p);
-          matmul_nt(p, m, n, plan.at.data(), m, y);
-          for (int a = 0; a < rows_out; ++a) {
-            float* orow =
-                out_rows[static_cast<std::size_t>(a) * plan.out_c + oc];
-            for (int b = 0; b < m; ++b) {
-              const int col = tj * m + b;
-              if (col >= out_w) break;
-              float val = static_cast<float>(y[a * m + b]) + bia;
-              if (relu) val = std::max(val, 0.0f);
-              orow[col] = fixed::quantize_to_float(val, out_frac);
-            }
+        for (int ab = 0; ab < n * n; ++ab) {
+          macc[ab] = static_cast<double>(
+                         mi[static_cast<std::size_t>(ab) * mplane + oc * T +
+                            tj]) *
+                     scale;
+        }
+        matmul_nn(plan.at.data(), m, n, macc, n, p);
+        matmul_nt(p, m, n, plan.at.data(), m, y);
+        for (int a = 0; a < rows_out; ++a) {
+          float* orow = out_rows[static_cast<std::size_t>(a) * plan.out_c + oc];
+          for (int b = 0; b < m; ++b) {
+            const int col = tj * m + b;
+            if (col >= out_w) break;
+            float val = static_cast<float>(y[a * m + b]) + bia;
+            if (relu) val = std::max(val, 0.0f);
+            orow[col] = fixed::quantize_to_float(val, out_frac);
           }
         }
       });
@@ -246,12 +277,14 @@ void winograd_conv_f32(const WinogradPlan& plan, const float* in, int H, int W,
   const int tiles_h = (out_h + m - 1) / m;
   const int tiles_w = (out_w + m - 1) / m;
   const int strip_w = (tiles_w - 1) * m + n;
-  std::vector<float> strip(static_cast<std::size_t>(plan.in_c) * n * strip_w);
-  std::vector<float*> out_rows(static_cast<std::size_t>(m) * plan.out_c);
-  WinogradScratch scratch;
+  ScratchArena& arena = ScratchArena::tls();
+  ScratchArena::Scope scope(arena);
+  float* strip =
+      arena.alloc<float>(static_cast<std::size_t>(plan.in_c) * n * strip_w);
+  float** out_rows =
+      arena.alloc<float*>(static_cast<std::size_t>(m) * plan.out_c);
   for (int ti = 0; ti < tiles_h; ++ti) {
-    fill_strip(in, plan.in_c, H, W, pad, ti, m, n, strip_w, strip.data(),
-               threads);
+    fill_strip(in, plan.in_c, H, W, pad, ti, m, n, strip_w, strip, threads);
     const int rows_out = std::min(m, out_h - ti * m);
     for (int a = 0; a < rows_out; ++a) {
       for (int oc = 0; oc < plan.out_c; ++oc) {
@@ -259,9 +292,8 @@ void winograd_conv_f32(const WinogradPlan& plan, const float* in, int H, int W,
             out + (static_cast<std::size_t>(oc) * out_h + ti * m + a) * out_w;
       }
     }
-    winograd_strip(plan, strip.data(), strip_w, tiles_w, out_rows.data(),
-                   rows_out, out_w, bias, relu, /*out_frac=*/-1, scratch,
-                   threads);
+    winograd_strip(plan, strip, strip_w, tiles_w, out_rows, rows_out, out_w,
+                   bias, relu, /*out_frac=*/-1, threads);
   }
 }
 
@@ -273,24 +305,29 @@ void winograd_conv_i16(const WinogradPlanFixed& plan, const float* in, int H,
   const int tiles_h = (out_h + m - 1) / m;
   const int tiles_w = (out_w + m - 1) / m;
   const int strip_w = (tiles_w - 1) * m + n;
+  ScratchArena& arena = ScratchArena::tls();
+  ScratchArena::Scope scope(arena);
 
   // Samples enter the datapath already quantized; hoisting the per-tile
   // quantization of the seed is value-identical (zero padding quantizes to
   // zero and real samples quantize the same wherever they are read).
-  std::vector<float> qin(static_cast<std::size_t>(plan.in_c) * H * W);
-  parallel_for(static_cast<std::size_t>(plan.in_c), threads, [&](std::size_t c) {
-    const std::size_t base = c * static_cast<std::size_t>(H) * W;
-    for (std::size_t i = 0; i < static_cast<std::size_t>(H) * W; ++i) {
-      qin[base + i] = fixed::quantize_to_float(in[base + i], data_frac);
-    }
-  });
+  float* qin = arena.alloc<float>(static_cast<std::size_t>(plan.in_c) * H * W);
+  parallel_for(static_cast<std::size_t>(plan.in_c), threads,
+               [&](std::size_t c) {
+                 const std::size_t base = c * static_cast<std::size_t>(H) * W;
+                 for (std::size_t i = 0;
+                      i < static_cast<std::size_t>(H) * W; ++i) {
+                   qin[base + i] =
+                       fixed::quantize_to_float(in[base + i], data_frac);
+                 }
+               });
 
-  std::vector<float> strip(static_cast<std::size_t>(plan.in_c) * n * strip_w);
-  std::vector<float*> out_rows(static_cast<std::size_t>(m) * plan.out_c);
-  WinogradScratch scratch;
+  float* strip =
+      arena.alloc<float>(static_cast<std::size_t>(plan.in_c) * n * strip_w);
+  float** out_rows =
+      arena.alloc<float*>(static_cast<std::size_t>(m) * plan.out_c);
   for (int ti = 0; ti < tiles_h; ++ti) {
-    fill_strip(qin.data(), plan.in_c, H, W, pad, ti, m, n, strip_w,
-               strip.data(), threads);
+    fill_strip(qin, plan.in_c, H, W, pad, ti, m, n, strip_w, strip, threads);
     const int rows_out = std::min(m, out_h - ti * m);
     for (int a = 0; a < rows_out; ++a) {
       for (int oc = 0; oc < plan.out_c; ++oc) {
@@ -298,9 +335,8 @@ void winograd_conv_i16(const WinogradPlanFixed& plan, const float* in, int H,
             out + (static_cast<std::size_t>(oc) * out_h + ti * m + a) * out_w;
       }
     }
-    winograd_strip_fixed(plan, strip.data(), strip_w, tiles_w, out_rows.data(),
-                         rows_out, out_w, bias, relu, v_frac, out_frac,
-                         scratch, threads);
+    winograd_strip_fixed(plan, strip, strip_w, tiles_w, out_rows, rows_out,
+                         out_w, bias, relu, v_frac, out_frac, threads);
   }
 }
 

@@ -8,10 +8,15 @@
 // transform scatters each (oc, tile) back to output rows. The filters are
 // packed into the plane layout exactly once per layer (WinogradPlan).
 //
-// Determinism: parallelism is across input channels (gather), tile positions
-// (GEMM batch), and output channels (scatter) — independent outputs only.
-// Each output element's accumulation chain depends only on (in_c, KC), never
-// on the thread count.
+// Determinism: parallelism is across the (input channel x tile) grid
+// (gather + forward transform), tile positions (GEMM batch), and the
+// (output channel x tile) grid (inverse transform + scatter) — independent
+// outputs only. Each output element's accumulation chain depends only on
+// (in_c, KC), never on the thread count or the grid chunking.
+//
+// Scratch (transform planes, strip windows, quantized copies) comes from the
+// calling thread's ScratchArena, so repeated strips/images run with zero
+// steady-state heap allocations.
 //
 // The fixed-point strip reproduces algo::winograd_conv_fixed bit-for-bit:
 // int16 x int16 -> int64 transform-domain accumulation commutes exactly, and
@@ -59,15 +64,6 @@ struct WinogradPlanFixed {
   }
 };
 
-/// Reusable per-strip buffers (V planes, transform-domain products). Callers
-/// keep one instance alive across strips/images to avoid reallocation.
-struct WinogradScratch {
-  std::vector<double> v;        ///< [n*n][in_c][tiles]
-  std::vector<double> mm;       ///< [n*n][out_c][tiles]
-  std::vector<std::int16_t> vq; ///< fixed path: quantized V planes
-  std::vector<std::int64_t> mi; ///< fixed path: int64 products
-};
-
 /// Computes one tile-row strip (all tile columns of one tile row).
 ///
 /// `strip` is the pre-padded input window, [in_c][n][strip_w] row-major with
@@ -77,10 +73,12 @@ struct WinogradScratch {
 /// at least out_w floats; rows_out (<= m) bottom-clips the strip, out_w
 /// right-clips the tiles. `out_frac < 0` leaves outputs in float; otherwise
 /// each output is quantized to Q(out_frac) (streaming-engine fixed mode).
+/// Transform planes live in the calling thread's ScratchArena for the
+/// duration of the call.
 void winograd_strip(const WinogradPlan& plan, const float* strip, int strip_w,
                     int tiles_w, float* const* out_rows, int rows_out,
                     int out_w, const float* bias, bool relu, int out_frac,
-                    WinogradScratch& scratch, int threads);
+                    int threads);
 
 /// Fixed-datapath strip: `strip` must hold Q(data_frac)-quantized samples,
 /// V is quantized to Q(v_frac) int16 before the transform-domain multiply,
@@ -89,8 +87,7 @@ void winograd_strip(const WinogradPlan& plan, const float* strip, int strip_w,
 void winograd_strip_fixed(const WinogradPlanFixed& plan, const float* strip,
                           int strip_w, int tiles_w, float* const* out_rows,
                           int rows_out, int out_w, const float* bias,
-                          bool relu, int v_frac, int out_frac,
-                          WinogradScratch& scratch, int threads);
+                          bool relu, int v_frac, int out_frac, int threads);
 
 /// Whole-tensor float Winograd conv over a CHW image (stride 1). `out` is
 /// (out_c, out_h, out_w) CHW with out_h = H + 2*pad - r + 1.

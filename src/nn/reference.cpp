@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "kernels/arena.h"
 #include "kernels/gemm.h"
 #include "kernels/parallel.h"
 
@@ -22,13 +23,14 @@ Tensor conv_reference(const Tensor& in, const FilterBank& f,
   Tensor out(f.out_channels(), oh, ow);
   const int cols = oh * ow;
   const int rows = is.c * k * k;
-  std::vector<float> mat(static_cast<std::size_t>(rows) * cols);
-  kernels::im2col_f32(in.data(), is.c, is.h, is.w, k, stride, pad, oh, ow,
-                      mat.data());
-  kernels::gemm_f32(f.out_channels(), cols, rows, f.data(), rows, mat.data(),
-                    cols, out.data(), cols,
-                    bias.empty() ? nullptr : bias.data(), fused_relu,
-                    /*threads=*/0);
+  kernels::ScratchArena& arena = kernels::ScratchArena::tls();
+  kernels::ScratchArena::Scope scope(arena);
+  float* mat = arena.alloc<float>(static_cast<std::size_t>(rows) * cols);
+  kernels::im2col_f32(in.data(), is.c, is.h, is.w, k, stride, pad, oh, ow, mat,
+                      /*threads=*/0);
+  kernels::gemm_f32(f.out_channels(), cols, rows, f.data(), rows, mat, cols,
+                    out.data(), cols, bias.empty() ? nullptr : bias.data(),
+                    fused_relu, /*threads=*/0);
   return out;
 }
 
@@ -137,9 +139,11 @@ Tensor fc_reference(const Tensor& in, const FcWeights& w, bool fused_relu) {
     throw std::invalid_argument("fc_reference: weight size mismatch");
   }
   Tensor out(static_cast<int>(out_features), 1, 1);
-  // Parallel across output features; each feature's accumulation chain is
-  // untouched, so results are bit-identical for any thread count.
-  kernels::parallel_for(out_features, [&](std::size_t o) {
+  // Parallel across output features in chunked claims (one feature is a
+  // short dot product, so per-index cursor traffic would dominate); each
+  // feature's accumulation chain is untouched, so results are bit-identical
+  // for any thread count and any grain.
+  kernels::parallel_for(out_features, 8, 0, [&](std::size_t o) {
     float acc = w.bias[o];
     const float* row = w.matrix.data() + o * in_elems;
     const float* x = in.data();

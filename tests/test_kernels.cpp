@@ -6,13 +6,18 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdint>
 #include <cstring>
 #include <random>
+#include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "algo/conv_variants.h"
 #include "algo/winograd_conv.h"
 #include "arch/pipeline.h"
+#include "kernels/arena.h"
 #include "kernels/gemm.h"
 #include "kernels/parallel.h"
 #include "nn/model_zoo.h"
@@ -342,6 +347,230 @@ TEST(PipelineKernels, RunBatchWinogradSharesCachedPlans) {
   for (std::size_t i = 0; i < got.size(); ++i) {
     EXPECT_EQ(0.0f, got[i].max_abs_diff(want[i])) << "image " << i;
   }
+}
+
+// --------------------------------------------- SIMD vs scalar fallback --
+// The fallback:: entry points run the identical blocking/packing/accumulation
+// structure with the scalar micro-kernel. Integer datapaths must match
+// bit-exactly (integer addition commutes); float datapaths may differ only by
+// FMA contraction inside the AVX2 stamp, so they are tolerance-bounded.
+
+TEST(Gemm, SimdMatchesScalarFallbackF32) {
+  std::mt19937 rng(101);
+  const int cases[][3] = {{5, 7, 3}, {97, 33, 257}, {130, 144, 520}};
+  for (const auto& c : cases) {
+    const int M = c[0], N = c[1], K = c[2];
+    const auto A = random_floats(std::size_t(M) * K, rng);
+    const auto B = random_floats(std::size_t(K) * N, rng);
+    const auto bias = random_floats(std::size_t(M), rng);
+    std::vector<float> simd(std::size_t(M) * N), scalar(std::size_t(M) * N);
+    kernels::gemm_f32(M, N, K, A.data(), K, B.data(), N, simd.data(), N,
+                      bias.data(), /*relu=*/false, 1);
+    kernels::fallback::gemm_f32(M, N, K, A.data(), K, B.data(), N,
+                                scalar.data(), N, bias.data(), false, 1);
+    for (std::size_t i = 0; i < simd.size(); ++i) {
+      EXPECT_NEAR(simd[i], scalar[i], 1e-3f)
+          << "M=" << M << " N=" << N << " K=" << K << " i=" << i;
+    }
+  }
+}
+
+TEST(Gemm, SimdMatchesScalarFallbackDoubleAccum) {
+  std::mt19937 rng(103);
+  const int M = 70, N = 90, K = 300;
+  const auto A = random_floats(std::size_t(M) * K, rng);
+  const auto B = random_floats(std::size_t(K) * N, rng);
+  const auto bias = random_floats(std::size_t(M), rng);
+  std::vector<double> simd(std::size_t(M) * N), scalar(std::size_t(M) * N);
+  kernels::gemm_f32d(M, N, K, A.data(), K, B.data(), N, simd.data(), N,
+                     bias.data(), true, 1);
+  kernels::fallback::gemm_f32d(M, N, K, A.data(), K, B.data(), N,
+                               scalar.data(), N, bias.data(), true, 1);
+  for (std::size_t i = 0; i < simd.size(); ++i) {
+    EXPECT_NEAR(simd[i], scalar[i], 1e-9) << "f32d i=" << i;
+  }
+  std::vector<double> Ad(A.begin(), A.end()), Bd(B.begin(), B.end());
+  std::vector<double> simd64(std::size_t(M) * N), scalar64(std::size_t(M) * N);
+  kernels::gemm_f64(M, N, K, Ad.data(), K, Bd.data(), N, simd64.data(), N, 1);
+  kernels::fallback::gemm_f64(M, N, K, Ad.data(), K, Bd.data(), N,
+                              scalar64.data(), N, 1);
+  for (std::size_t i = 0; i < simd64.size(); ++i) {
+    EXPECT_NEAR(simd64[i], scalar64[i], 1e-9) << "f64 i=" << i;
+  }
+}
+
+TEST(Gemm, SimdBitExactAgainstScalarFallbackI16) {
+  std::mt19937 rng(107);
+  std::uniform_int_distribution<int> d(-2000, 2000);
+  const int cases[][3] = {{4, 8, 16}, {19, 23, 301}, {120, 70, 512}};
+  for (const auto& c : cases) {
+    const int M = c[0], N = c[1], K = c[2];
+    std::vector<std::int16_t> A(std::size_t(M) * K), B(std::size_t(K) * N);
+    for (auto& x : A) x = std::int16_t(d(rng));
+    for (auto& x : B) x = std::int16_t(d(rng));
+    std::vector<std::int64_t> simd(std::size_t(M) * N),
+        scalar(std::size_t(M) * N);
+    kernels::gemm_i16(M, N, K, A.data(), K, B.data(), N, simd.data(), N, 1);
+    kernels::fallback::gemm_i16(M, N, K, A.data(), K, B.data(), N,
+                                scalar.data(), N, 1);
+    EXPECT_EQ(simd, scalar) << "M=" << M << " N=" << N << " K=" << K;
+  }
+}
+
+// A geometry spanning several MC blocks and NR panels so the 2D cooperative
+// tile grid genuinely has both dimensions; results must stay byte-identical
+// for every thread count (disjoint output tiles, serial KC outer loop).
+TEST(Gemm, ThreadInvarianceAcrossMcBlocks2D) {
+  ThreadGuard guard;
+  std::mt19937 rng(109);
+  const int M = 250, N = 200, K = 300;  // 3 MC blocks x many NR panels
+  const auto A = random_floats(std::size_t(M) * K, rng);
+  const auto B = random_floats(std::size_t(K) * N, rng);
+  const auto bias = random_floats(std::size_t(M), rng);
+  std::vector<float> serial(std::size_t(M) * N);
+  kernels::gemm_f32(M, N, K, A.data(), K, B.data(), N, serial.data(), N,
+                    bias.data(), true, 1);
+  std::vector<std::int16_t> Ai(std::size_t(M) * K), Bi(std::size_t(K) * N);
+  std::uniform_int_distribution<int> d(-500, 500);
+  for (auto& x : Ai) x = std::int16_t(d(rng));
+  for (auto& x : Bi) x = std::int16_t(d(rng));
+  std::vector<std::int64_t> serial_i(std::size_t(M) * N);
+  kernels::gemm_i16(M, N, K, Ai.data(), K, Bi.data(), N, serial_i.data(), N,
+                    1);
+  for (int t : {2, 3, 5, 8}) {
+    std::vector<float> par(std::size_t(M) * N);
+    kernels::gemm_f32(M, N, K, A.data(), K, B.data(), N, par.data(), N,
+                      bias.data(), true, t);
+    EXPECT_EQ(0, std::memcmp(serial.data(), par.data(),
+                             serial.size() * sizeof(float)))
+        << "f32 threads=" << t;
+    std::vector<std::int64_t> par_i(std::size_t(M) * N);
+    kernels::gemm_i16(M, N, K, Ai.data(), K, Bi.data(), N, par_i.data(), N, t);
+    EXPECT_EQ(serial_i, par_i) << "i16 threads=" << t;
+  }
+}
+
+// ----------------------------------------------------------- scratch arena --
+TEST(Arena, ScopeRestoresWatermarkAndAlignsAllocations) {
+  kernels::ScratchArena& a = kernels::ScratchArena::tls();
+  const std::size_t used_before = a.used();
+  {
+    kernels::ScratchArena::Scope outer(a);
+    float* p = a.alloc<float>(1001);
+    ASSERT_NE(nullptr, p);
+    EXPECT_EQ(0u, reinterpret_cast<std::uintptr_t>(p) % 64);
+    p[0] = 1.0f;
+    p[1000] = 2.0f;  // touch both ends
+    {
+      kernels::ScratchArena::Scope inner(a);
+      double* q = a.alloc<double>(333);
+      EXPECT_EQ(0u, reinterpret_cast<std::uintptr_t>(q) % 64);
+      q[332] = 3.0;
+      EXPECT_GT(a.used(), used_before);
+    }
+    // Inner scope closed: its bytes are returned, outer's still live.
+    EXPECT_EQ(1.0f, p[0]);
+    EXPECT_EQ(2.0f, p[1000]);
+  }
+  EXPECT_EQ(used_before, a.used());
+}
+
+TEST(Arena, OverflowCoalescesAndStopsAllocating) {
+  kernels::ScratchArena arena;  // fresh, cold arena
+  const auto pattern = [&arena] {
+    kernels::ScratchArena::Scope s(arena);
+    char* small = arena.alloc<char>(100);
+    small[0] = 'a';
+    // Large enough to force overflow growth past the initial block.
+    char* big = arena.alloc<char>(std::size_t(1) << 20);
+    big[(std::size_t(1) << 20) - 1] = 'z';
+  };
+  pattern();  // cold pass: opens/grows blocks
+  const std::size_t warm_allocs = arena.system_allocations();
+  const std::size_t warm_cap = arena.capacity();
+  EXPECT_GE(warm_cap, arena.high_water());  // coalesced to the high water
+  for (int i = 0; i < 4; ++i) pattern();
+  EXPECT_EQ(warm_allocs, arena.system_allocations())
+      << "warm arena must not touch the system allocator";
+  EXPECT_EQ(warm_cap, arena.capacity());
+  EXPECT_EQ(0u, arena.used());
+}
+
+// After the first image has sized the thread's arena, repeated batches must
+// run with zero additional system allocations (reset-don't-free).
+TEST(Arena, SteadyStateRunBatchDoesNotGrowArena) {
+  ThreadGuard guard;
+  const nn::Network net = nn::tiny_net(4, 16);
+  const nn::WeightStore ws = nn::WeightStore::deterministic(net, 21);
+  arch::FusionPipeline pipe(net, ws);
+  std::vector<Tensor> inputs;
+  for (int i = 0; i < 3; ++i) {
+    inputs.emplace_back(net[0].out);
+    nn::fill_deterministic(inputs.back(), 60 + std::uint32_t(i));
+  }
+  (void)pipe.run(inputs[0]);  // first image sizes the arena
+  kernels::ScratchArena& a = kernels::ScratchArena::tls();
+  const std::size_t warm_allocs = a.system_allocations();
+  std::vector<Tensor> last;
+  for (int rep = 0; rep < 3; ++rep) {
+    last = pipe.run_batch(inputs, /*threads=*/1);  // inline on this thread
+  }
+  EXPECT_EQ(warm_allocs, a.system_allocations())
+      << "steady-state batches must reuse the warm arena";
+  EXPECT_EQ(0u, a.used());
+  ASSERT_EQ(inputs.size(), last.size());
+  EXPECT_EQ(0.0f, last[0].max_abs_diff(pipe.run(inputs[0])));
+}
+
+// ------------------------------------------------------- chunked parallel --
+TEST(Parallel, ChunkedCoversEveryIndexExactlyOnceUnderExceptions) {
+  ThreadGuard guard;
+  const std::size_t n = 1000;
+  std::vector<std::atomic<int>> hits(n);
+  bool caught = false;
+  try {
+    kernels::parallel_for(n, /*grain=*/7, /*threads=*/8,
+                          [&](std::size_t i) {
+                            hits[i].fetch_add(1, std::memory_order_relaxed);
+                            if (i % 97 == 0) {
+                              throw std::runtime_error("injected");
+                            }
+                          });
+  } catch (const std::runtime_error&) {
+    caught = true;
+  }
+  EXPECT_TRUE(caught) << "first worker exception must be rethrown";
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(1, hits[i].load()) << "index " << i;
+  }
+}
+
+TEST(Parallel, RangesPartitionIndexSpaceExactly) {
+  ThreadGuard guard;
+  const std::size_t n = 537, grain = 10;
+  std::vector<std::atomic<int>> hits(n);
+  kernels::parallel_for_ranges(n, grain, 4,
+                               [&](std::size_t lo, std::size_t hi) {
+                                 ASSERT_LT(lo, hi);
+                                 ASSERT_LE(hi - lo, grain);
+                                 for (std::size_t i = lo; i < hi; ++i) {
+                                   hits[i].fetch_add(1,
+                                                     std::memory_order_relaxed);
+                                 }
+                               });
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(1, hits[i].load()) << "index " << i;
+  }
+}
+
+TEST(Parallel, ResolveThreadsRespectsHardwareCap) {
+  const int hw = int(std::thread::hardware_concurrency());
+  const int cap = hw > 0 ? hw : 1;
+  EXPECT_EQ(cap, kernels::resolve_threads(0));       // 0 = all cores
+  EXPECT_EQ(cap, kernels::resolve_threads(-4));      // negative = all cores
+  EXPECT_EQ(1, kernels::resolve_threads(1));
+  EXPECT_EQ(cap, kernels::resolve_threads(1 << 20));  // clamped, never over
+  EXPECT_LE(kernels::resolve_threads(2), 2);
 }
 
 }  // namespace
