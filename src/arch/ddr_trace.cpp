@@ -7,6 +7,15 @@
 
 namespace hetacc::arch {
 
+FaultError DdrFaultReport::Failure::to_error() const {
+  return FaultError(
+      "DDR burst " + std::to_string(burst) + " of " +
+          std::string(to_string(op)) + " '" + what + "' (group " +
+          std::to_string(group) + ") unrecovered after " +
+          std::to_string(attempts) + " re-reads",
+      what, burst, attempts);
+}
+
 std::string_view to_string(DdrOp op) {
   switch (op) {
     case DdrOp::kLoadFeature: return "load_feature";
@@ -182,7 +191,18 @@ DdrFaultReport replay_trace_with_faults(const DdrTrace& trace,
         inj.count_recovered();
       } else {
         ++rep.unrecovered;
-        inj.count_unrecovered();
+        inj.count_unrecovered(fault::FaultSite::kDdrBurst,
+                              static_cast<std::uint64_t>(ti),
+                              static_cast<std::uint64_t>(b),
+                              protect.retry_limit);
+        DdrFaultReport::Failure f;
+        f.transaction = ti;
+        f.op = tx.op;
+        f.group = tx.group;
+        f.what = tx.what;
+        f.burst = b;
+        f.attempts = protect.retry_limit;
+        rep.failures.push_back(std::move(f));
       }
     }
   }

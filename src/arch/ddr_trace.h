@@ -10,6 +10,7 @@
 #include "core/strategy.h"
 #include "fault/fault.h"
 #include "fault/protect.h"
+#include "support/error.h"
 
 namespace hetacc::arch {
 
@@ -47,6 +48,21 @@ struct DdrTrace {
 
 /// Outcome of replaying a DDR timeline under fault injection.
 struct DdrFaultReport {
+  /// One retry_limit-exhausted burst: enough identity for the serving layer
+  /// and the campaign report to say which transfer of which group died, not
+  /// just that one did.
+  struct Failure {
+    std::size_t transaction = 0;  ///< index into DdrTrace::transactions
+    DdrOp op = DdrOp::kLoadFeature;
+    std::size_t group = 0;
+    std::string what;             ///< the transaction's layer/buffer label
+    long long burst = 0;          ///< burst index within the transaction
+    int attempts = 0;             ///< re-reads spent before giving up
+
+    /// A FaultError carrying the full identity, ready to escalate.
+    [[nodiscard]] FaultError to_error() const;
+  };
+
   long long bursts = 0;        ///< AXI bursts replayed
   long long injected = 0;      ///< bursts that took a bit flip
   long long detected = 0;      ///< flips caught by the per-burst CRC
@@ -55,6 +71,7 @@ struct DdrFaultReport {
   long long silent = 0;        ///< flips delivered undetected (no protection)
   long long retry_bytes = 0;   ///< extra traffic spent on re-reads
   long long retry_cycles = 0;  ///< extra cycles spent on re-reads
+  std::vector<Failure> failures;  ///< one entry per unrecovered burst
 
   /// Fraction of injected faults the detectors caught.
   [[nodiscard]] double coverage() const {

@@ -111,6 +111,11 @@ void FusionPipeline::clear_fault_plan() {
   engines_ = build_engine_set();
 }
 
+void FusionPipeline::reset() {
+  derive_layer_constants();
+  engines_ = build_engine_set();
+}
+
 fault::FaultStats FusionPipeline::fault_stats() const {
   return injector_ ? injector_->stats() : fault::FaultStats{};
 }
@@ -203,6 +208,12 @@ nn::Tensor FusionPipeline::run_with(
   // back-pressure (full() is also how a wedged channel presents), so a
   // stalled input stream surfaces through the watchdog, not as overflow.
   while (out_rows < out_shape.h) {
+    if (cancel_ && cancel_->load(std::memory_order_relaxed)) {
+      throw ServeError(ServeError::Reason::kCancelled,
+                       "pipeline run cancelled after emitting " +
+                           std::to_string(out_rows) + "/" +
+                           std::to_string(out_shape.h) + " output rows");
+    }
     const bool can_feed = fed_rows < input.shape().h && !fifos[0].full();
     if (can_feed) {
       Row r;
@@ -278,11 +289,18 @@ void FusionPipeline::report_stall(
     if (!fifos[i].wedged()) continue;
     const std::string stage =
         i < n ? engines[i]->layer().name : std::string("store");
+    if (injector_) {
+      injector_->count_unrecovered(fault::FaultSite::kFifoPush,
+                                   static_cast<std::uint64_t>(i),
+                                   static_cast<std::uint64_t>(
+                                       fifos[i].total_pushed()),
+                                   0);
+    }
     throw FaultError("pipeline watchdog: FIFO channel " + std::to_string(i) +
                          " feeding stage '" + stage +
                          "' wedged after " +
                          std::to_string(fifos[i].total_pushed()) + " pushes",
-                     stage);
+                     stage, static_cast<long long>(i));
   }
   for (std::size_t i = 0; i < n; ++i) {
     if (!engines[i]->done()) {
@@ -290,7 +308,7 @@ void FusionPipeline::report_stall(
           "pipeline watchdog: stage '" + engines[i]->layer().name +
               "' starved (in fifo " + (fifos[i].empty() ? "empty" : "ready") +
               ", out fifo " + (fifos[i + 1].full() ? "full" : "ready") + ")",
-          engines[i]->layer().name);
+          engines[i]->layer().name, static_cast<long long>(i));
     }
   }
   throw FaultError("pipeline watchdog: stalled with all engines done", "");

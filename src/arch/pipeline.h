@@ -10,6 +10,7 @@
 //    state) from per-layer row costs and DDR bandwidth. Used to validate
 //    the optimizer's analytic latency model.
 
+#include <atomic>
 #include <memory>
 
 #include "arch/engines.h"
@@ -62,6 +63,22 @@ class FusionPipeline {
     return *engines_.at(i);
   }
 
+  /// Full recovery hook for the serving layer's retry-with-reload path:
+  /// re-derives every per-layer constant from the golden weight store and
+  /// rebuilds the engine set, exactly as construction did. Idempotent —
+  /// calling it twice leaves the same state as calling it once. With a fault
+  /// plan installed the same deterministic SEUs re-strike the fresh resident
+  /// copies (and protection recovers them if enabled), so reset() models
+  /// "reload the accelerator", not "disable the faults".
+  void reset();
+
+  /// Cooperative cancellation hook: while `token` is non-null, run() /
+  /// run_batch() poll it once per fed input row and abandon the stream with
+  /// a ServeError(kCancelled) when it reads true. The token is owned by the
+  /// caller (the serving runtime flips it when a request's deadline passes
+  /// mid-flight); pass nullptr to detach.
+  void set_cancel_token(const std::atomic<bool>* token) { cancel_ = token; }
+
   /// Installs a fault plan (and optionally the hardening config). Resident
   /// weight-panel faults are injected immediately: per-layer constants are
   /// re-derived from bit-flipped filter copies; with protection enabled the
@@ -102,6 +119,7 @@ class FusionPipeline {
   PipelineStats stats_;
   std::unique_ptr<fault::FaultInjector> injector_;
   fault::ProtectionConfig protect_;
+  const std::atomic<bool>* cancel_ = nullptr;
 };
 
 /// Result of the row-level timing recurrence.

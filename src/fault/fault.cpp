@@ -101,6 +101,30 @@ bool FaultInjector::maybe_corrupt_bytes(FaultSite site, std::uint64_t stream,
   return true;
 }
 
+std::string FaultIdentity::describe() const {
+  if (!valid) return "none";
+  std::string s(to_string(site));
+  s += " stream " + std::to_string(stream) + " event " +
+       std::to_string(event);
+  if (attempts > 0) {
+    s += " after " + std::to_string(attempts) + " recovery attempts";
+  }
+  return s;
+}
+
+void FaultInjector::count_unrecovered(FaultSite site, std::uint64_t stream,
+                                      std::uint64_t event,
+                                      int attempts) const {
+  count_unrecovered();
+  const std::lock_guard<std::mutex> lock(first_unrecovered_mu_);
+  if (first_unrecovered_.valid) return;
+  first_unrecovered_.site = site;
+  first_unrecovered_.stream = stream;
+  first_unrecovered_.event = event;
+  first_unrecovered_.attempts = attempts;
+  first_unrecovered_.valid = true;
+}
+
 FaultStats FaultInjector::stats() const {
   FaultStats s;
   for (std::size_t i = 0; i < kFaultSiteCount; ++i) {
@@ -109,6 +133,10 @@ FaultStats FaultInjector::stats() const {
   s.detected = detected_.load(std::memory_order_relaxed);
   s.recovered = recovered_.load(std::memory_order_relaxed);
   s.unrecovered = unrecovered_.load(std::memory_order_relaxed);
+  {
+    const std::lock_guard<std::mutex> lock(first_unrecovered_mu_);
+    s.first_unrecovered = first_unrecovered_;
+  }
   return s;
 }
 
@@ -117,6 +145,8 @@ void FaultInjector::reset_stats() {
   detected_.store(0, std::memory_order_relaxed);
   recovered_.store(0, std::memory_order_relaxed);
   unrecovered_.store(0, std::memory_order_relaxed);
+  const std::lock_guard<std::mutex> lock(first_unrecovered_mu_);
+  first_unrecovered_ = FaultIdentity{};
 }
 
 }  // namespace hetacc::fault

@@ -16,6 +16,8 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <mutex>
+#include <string>
 #include <string_view>
 
 namespace hetacc::fault {
@@ -63,12 +65,29 @@ struct FaultPlan {
   }
 };
 
+/// Identity of an escalated (unrecovered) fault: which site struck which
+/// stream/event, and how many recovery attempts were spent first. This is
+/// the payload the serving layer and the campaign report need to say *what*
+/// failed instead of just that something did.
+struct FaultIdentity {
+  FaultSite site = FaultSite::kDdrBurst;
+  std::uint64_t stream = 0;  ///< channel / layer / transaction index
+  std::uint64_t event = 0;   ///< push / panel / burst index within the stream
+  int attempts = 0;          ///< recovery attempts consumed before escalating
+  bool valid = false;
+
+  [[nodiscard]] std::string describe() const;
+};
+
 /// Copyable snapshot of an injector's counters.
 struct FaultStats {
   std::array<long long, kFaultSiteCount> injected{};
   long long detected = 0;
   long long recovered = 0;
   long long unrecovered = 0;
+  /// Identity of the first unrecovered fault since install/reset_stats
+  /// (valid=false while unrecovered == 0).
+  FaultIdentity first_unrecovered;
 
   [[nodiscard]] long long total_injected() const {
     long long n = 0;
@@ -120,6 +139,10 @@ class FaultInjector {
   void count_unrecovered() const {
     unrecovered_.fetch_add(1, std::memory_order_relaxed);
   }
+  /// Escalation flavor: counts the unrecovered fault *and* records its
+  /// identity (first writer wins) so stats().first_unrecovered can name it.
+  void count_unrecovered(FaultSite site, std::uint64_t stream,
+                         std::uint64_t event, int attempts) const;
 
   [[nodiscard]] FaultStats stats() const;
   void reset_stats();
@@ -130,6 +153,8 @@ class FaultInjector {
   mutable std::atomic<long long> detected_{0};
   mutable std::atomic<long long> recovered_{0};
   mutable std::atomic<long long> unrecovered_{0};
+  mutable std::mutex first_unrecovered_mu_;
+  mutable FaultIdentity first_unrecovered_;
 };
 
 /// Flips bit `bit % 32` of the IEEE-754 image of `v` (a single-event upset;

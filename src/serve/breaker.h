@@ -1,0 +1,86 @@
+#pragma once
+// Circuit breaker guarding the primary strategy. Classic three-state
+// machine, driven entirely by the dispatcher in virtual time (single
+// threaded, so no locking):
+//
+//   closed ──(K consecutive failures, or M consecutive deadline misses)──▶
+//   open   ──(cooldown_cycles elapse)──▶ half-open
+//   half-open ──(probe_successes probes succeed)──▶ closed
+//             ──(any probe fails)──▶ open (fresh cooldown)
+//
+// While open or half-open (probe slot taken), requests are served from the
+// fallback strategy — the pre-optimized, tighter-budget design the
+// optimizer computed offline — instead of failing. Every transition is
+// logged with its virtual cycle so tests can assert the exact recovery
+// sequence.
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace hetacc::serve {
+
+enum class BreakerState : std::uint8_t { kClosed, kOpen, kHalfOpen };
+
+[[nodiscard]] std::string_view to_string(BreakerState s);
+
+struct BreakerConfig {
+  /// Consecutive primary failures that open the breaker.
+  int failure_threshold = 3;
+  /// Consecutive deadline misses that open it (sustained-lateness signal).
+  int deadline_miss_threshold = 8;
+  /// Cycles the breaker stays open before probing half-open recovery.
+  long long cooldown_cycles = 50'000;
+  /// Successful half-open probes required to close again.
+  int probe_successes = 2;
+};
+
+struct BreakerTransition {
+  long long cycle = 0;
+  BreakerState from = BreakerState::kClosed;
+  BreakerState to = BreakerState::kClosed;
+};
+
+class CircuitBreaker {
+ public:
+  explicit CircuitBreaker(BreakerConfig cfg = {}) : cfg_(cfg) {}
+
+  /// Current state at virtual cycle `now`. Reading the state performs the
+  /// open -> half-open transition once the cooldown has elapsed.
+  [[nodiscard]] BreakerState state(long long now);
+
+  /// Half-open probe admission: true grants the (single) probe slot, and
+  /// the caller must report the probe's outcome via record_success /
+  /// record_failure. While a probe is in flight further requests are served
+  /// from the fallback.
+  [[nodiscard]] bool try_acquire_probe(long long now);
+
+  /// Outcome of a request served on the *primary* strategy.
+  void record_success(long long now);
+  void record_failure(long long now);
+  /// A primary request completed but blew its deadline. Sustained misses
+  /// open the breaker just like hard failures do.
+  void record_deadline_miss(long long now);
+
+  [[nodiscard]] const std::vector<BreakerTransition>& transitions() const {
+    return log_;
+  }
+  [[nodiscard]] long long opens() const { return opens_; }
+  [[nodiscard]] long long closes() const { return closes_; }
+
+ private:
+  void transition(long long now, BreakerState to);
+
+  BreakerConfig cfg_;
+  BreakerState state_ = BreakerState::kClosed;
+  long long open_until_ = 0;
+  int consecutive_failures_ = 0;
+  int consecutive_misses_ = 0;
+  int probe_wins_ = 0;
+  bool probe_in_flight_ = false;
+  long long opens_ = 0;
+  long long closes_ = 0;
+  std::vector<BreakerTransition> log_;
+};
+
+}  // namespace hetacc::serve

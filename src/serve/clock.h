@@ -1,0 +1,61 @@
+#pragma once
+// Virtual-clock abstraction for the serving runtime. All request-lifecycle
+// accounting (arrivals, deadlines, backoff, breaker cooldowns, latency
+// histograms) is expressed in accelerator cycles read off a Clock, never in
+// wall time, so the same trace + seed produces byte-identical ServerStats
+// for any worker-thread count:
+//
+//  * SimClock — a plain cycle counter the dispatcher advances from trace
+//    events. The default everywhere determinism matters (tests, the CI soak,
+//    `hetacc --serve`).
+//  * SteadyClock — maps std::chrono::steady_clock onto cycles at a
+//    configured frequency, for driving the runtime against real traffic.
+//    Stats taken from it are real measurements, not reproducible ones.
+
+#include <chrono>
+#include <cstdint>
+
+namespace hetacc::serve {
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  /// Current time in cycles (monotonic, starts near 0).
+  [[nodiscard]] virtual long long now() const = 0;
+  /// Moves the clock forward to `cycle` if that is in the future. Virtual
+  /// clocks jump; real clocks ignore this (time advances by itself).
+  virtual void advance_to(long long cycle) = 0;
+};
+
+/// Deterministic simulated clock: a counter advanced by the dispatcher.
+class SimClock final : public Clock {
+ public:
+  [[nodiscard]] long long now() const override { return cycle_; }
+  void advance_to(long long cycle) override {
+    if (cycle > cycle_) cycle_ = cycle;
+  }
+
+ private:
+  long long cycle_ = 0;
+};
+
+/// Wall-clock adapter: cycles = elapsed seconds * frequency_hz.
+class SteadyClock final : public Clock {
+ public:
+  explicit SteadyClock(double frequency_hz = 100e6)
+      : frequency_hz_(frequency_hz),
+        start_(std::chrono::steady_clock::now()) {}
+
+  [[nodiscard]] long long now() const override {
+    const std::chrono::duration<double> dt =
+        std::chrono::steady_clock::now() - start_;
+    return static_cast<long long>(dt.count() * frequency_hz_);
+  }
+  void advance_to(long long) override {}  // real time advances on its own
+
+ private:
+  double frequency_hz_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace hetacc::serve

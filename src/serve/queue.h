@@ -1,0 +1,105 @@
+#pragma once
+// Bounded MPMC queue — the serving runtime's only hand-off point between
+// the dispatcher and the execution workers. Two disciplines on a full
+// queue, matching the two roles it plays:
+//
+//  * try_push() — admission control: refuses immediately (the caller turns
+//    that into a typed ServeError(kQueueFull) / a rejected-request stat).
+//    The queue can therefore never grow beyond its capacity, no matter how
+//    hard the arrival process overshoots the service rate.
+//  * push() — back-pressure: blocks the producer until a consumer drains a
+//    slot (used for the dispatcher -> worker job stream, where the
+//    dispatcher *wants* to be throttled to the execution rate).
+//
+// Plain mutex + two condition variables; nothing lock-free. The stress test
+// in tests/test_serve.cpp runs producers and consumers against it under
+// TSan, and the determinism argument of DESIGN.md §11 never depends on
+// pop ordering across consumers.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+namespace hetacc::serve {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  [[nodiscard]] std::size_t size() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return q_.size();
+  }
+
+  /// Non-blocking admission: false when the queue is full or closed.
+  [[nodiscard]] bool try_push(T item) {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || q_.size() >= capacity_) return false;
+      q_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocking producer: waits for a free slot (back-pressure). Returns
+  /// false only if the queue was closed while waiting.
+  bool push(T item) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      not_full_.wait(lock,
+                     [&] { return closed_ || q_.size() < capacity_; });
+      if (closed_) return false;
+      q_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocking consumer: waits for an item. Returns false once the queue is
+  /// closed *and* drained — the worker-loop termination condition.
+  bool pop(T& out) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      not_empty_.wait(lock, [&] { return closed_ || !q_.empty(); });
+      if (q_.empty()) return false;  // closed and drained
+      out = std::move(q_.front());
+      q_.pop_front();
+    }
+    not_full_.notify_one();
+    return true;
+  }
+
+  /// Marks the queue closed: producers fail, consumers drain then exit.
+  void close() {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> q_;
+  bool closed_ = false;
+};
+
+}  // namespace hetacc::serve

@@ -1,0 +1,397 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <deque>
+#include <future>
+#include <limits>
+#include <thread>
+
+#include "fault/crc32.h"
+#include "kernels/parallel.h"
+#include "serve/queue.h"
+#include "support/error.h"
+
+namespace hetacc::serve {
+
+namespace {
+
+constexpr long long kInf = std::numeric_limits<long long>::max();
+
+/// splitmix64 finalizer — folds (request id, response CRC) into the
+/// order-independent response digest.
+constexpr std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+enum class Mode : std::uint8_t { kPrimary, kDegraded };
+
+/// What a worker reports back to the dispatcher. Fault identity comes from
+/// the structured FaultError payload, so the stats and the CLI can say what
+/// failed, not just that something did.
+struct JobResult {
+  bool ok = false;
+  std::string fault_stage;
+  long long fault_unit = -1;
+  std::uint32_t crc = 0;
+};
+
+/// One execution unit: (request, attempt) pinned to a serving mode. The
+/// dispatcher owns the Job; workers only borrow the pointer long enough to
+/// fulfill the promise.
+struct Job {
+  std::uint64_t request_id = 0;
+  int attempt = 1;
+  Mode mode = Mode::kPrimary;
+  bool faulted = false;      ///< run against the fault-burst pipeline
+  bool reset_first = false;  ///< retry path: reset() the pipeline first
+  std::uint32_t input_seed = 0;
+  std::promise<JobResult> done;
+};
+
+}  // namespace
+
+Server::Server(nn::Network net, nn::WeightStore ws, ServingMode primary,
+               ServingMode fallback, ServerConfig cfg)
+    : net_(std::move(net)),
+      ws_(std::move(ws)),
+      primary_(std::move(primary)),
+      fallback_(std::move(fallback)),
+      cfg_(cfg) {
+  if (cfg_.replicas < 1) {
+    throw ServeError(ServeError::Reason::kConfig,
+                     "replicas must be >= 1, got " +
+                         std::to_string(cfg_.replicas));
+  }
+  if (cfg_.queue_capacity < 1) {
+    throw ServeError(ServeError::Reason::kConfig,
+                     "queue capacity must be >= 1");
+  }
+  if (primary_.service_cycles <= 0 || fallback_.service_cycles <= 0) {
+    throw ServeError(ServeError::Reason::kConfig,
+                     "service_cycles must be positive for both modes");
+  }
+  if (cfg_.max_retries < 0 || cfg_.backoff_base_cycles < 0 ||
+      cfg_.backoff_cap_cycles < cfg_.backoff_base_cycles) {
+    throw ServeError(ServeError::Reason::kConfig,
+                     "invalid retry/backoff configuration");
+  }
+  const std::size_t layer_count = net_.empty() ? 0 : net_.size() - 1;
+  if (net_.empty() || net_[0].kind != nn::LayerKind::kInput ||
+      (!primary_.choices.empty() && primary_.choices.size() != layer_count) ||
+      (!fallback_.choices.empty() &&
+       fallback_.choices.size() != layer_count)) {
+    throw ServeError(ServeError::Reason::kConfig,
+                     "network/choices mismatch (net must start with an input "
+                     "layer; choices must cover every following layer)");
+  }
+}
+
+Server::~Server() = default;
+
+ServerStats Server::run(const ArrivalTrace& trace) {
+  breaker_log_.clear();
+  for (std::size_t i = 0; i < trace.requests.size(); ++i) {
+    if (trace.requests[i].id != i) {
+      throw ServeError(ServeError::Reason::kConfig,
+                       "trace ids must be dense from 0");
+    }
+  }
+
+  ServerStats stats;
+  SimClock internal_clock;
+  Clock* const clock = cfg_.clock ? cfg_.clock : &internal_clock;
+  CircuitBreaker breaker(cfg_.breaker);
+
+  const std::size_t n = trace.requests.size();
+  const int replicas = cfg_.replicas;
+  std::vector<long long> busy_until(static_cast<std::size_t>(replicas), -1);
+
+  // ---- Real execution machinery: bounded job queue + worker threads. ----
+  // The dispatcher never has more than `replicas` jobs outstanding, so the
+  // extra slack keeps push() from blocking in normal operation while still
+  // bounding the queue (back-pressure if anything ever misbehaves).
+  BoundedQueue<Job*> exec_q(static_cast<std::size_t>(replicas) + 2);
+  const int worker_count = std::max(
+      1, std::min(kernels::resolve_threads(cfg_.threads), replicas));
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(worker_count));
+  for (int w = 0; w < worker_count; ++w) {
+    workers.emplace_back([this, &exec_q, &trace] {
+      // Worker-owned pipeline instances, built on first use: the healthy
+      // primary, the primary with the trace's fault burst installed, and
+      // the degraded fallback. Owning them per worker keeps every run()
+      // data-race-free without locking the pipelines.
+      std::unique_ptr<arch::FusionPipeline> healthy, faulted, degraded;
+      Job* job = nullptr;
+      while (exec_q.pop(job)) {
+        JobResult r;
+        try {
+          arch::FusionPipeline* p = nullptr;
+          if (job->mode == Mode::kDegraded) {
+            if (!degraded) {
+              degraded = std::make_unique<arch::FusionPipeline>(
+                  net_, ws_, fallback_.choices);
+            }
+            p = degraded.get();
+          } else if (job->faulted) {
+            if (!faulted) {
+              faulted = std::make_unique<arch::FusionPipeline>(
+                  net_, ws_, primary_.choices);
+              faulted->install_fault_plan(trace.burst.plan,
+                                          primary_.protect);
+            }
+            p = faulted.get();
+          } else {
+            if (!healthy) {
+              healthy = std::make_unique<arch::FusionPipeline>(
+                  net_, ws_, primary_.choices);
+            }
+            p = healthy.get();
+          }
+          if (job->reset_first) p->reset();
+          nn::Tensor in(net_[0].out);
+          nn::fill_deterministic(in, job->input_seed);
+          const nn::Tensor out = p->run(in);
+          r.ok = true;
+          r.crc = fault::crc32_f32(out.data(), out.vec().size());
+        } catch (const FaultError& e) {
+          r.ok = false;
+          r.fault_stage = e.stage();
+          r.fault_unit = e.unit();
+        } catch (const std::exception& e) {
+          r.ok = false;
+          r.fault_stage = std::string("internal: ") + e.what();
+        }
+        job->done.set_value(std::move(r));
+      }
+    });
+  }
+
+  // ---- Deterministic dispatcher: a discrete-event loop in virtual time.
+  struct InFlight {
+    long long completion = 0;
+    std::uint64_t id = 0;
+    int attempt = 1;
+    Mode mode = Mode::kPrimary;
+    bool probe = false;
+    int replica = 0;
+    std::unique_ptr<Job> job;
+    std::future<JobResult> fut;
+  };
+  struct Retry {
+    long long eligible = 0;
+    std::uint64_t id = 0;
+    int attempt = 1;
+    bool force_fallback = false;
+  };
+  std::vector<InFlight> inflight;
+  std::vector<Retry> retries;
+  std::deque<std::uint64_t> waitq;
+  std::size_t next_arrival = 0;
+
+  const auto backoff = [&](int attempt) {
+    long long b = std::max<long long>(cfg_.backoff_base_cycles, 1);
+    for (int i = 1; i < attempt && b < cfg_.backoff_cap_cycles; ++i) b <<= 1;
+    return std::min(b, std::max(cfg_.backoff_cap_cycles, b));
+  };
+  const auto free_replica = [&]() -> int {
+    for (int k = 0; k < replicas; ++k) {
+      if (busy_until[static_cast<std::size_t>(k)] < 0) return k;
+    }
+    return -1;
+  };
+  const auto pick_retry = [&](long long now) -> int {
+    int best = -1;
+    for (std::size_t i = 0; i < retries.size(); ++i) {
+      if (retries[i].eligible > now) continue;
+      if (best < 0 || retries[i].eligible < retries[static_cast<std::size_t>(
+                                                        best)].eligible ||
+          (retries[i].eligible ==
+               retries[static_cast<std::size_t>(best)].eligible &&
+           retries[i].id < retries[static_cast<std::size_t>(best)].id)) {
+        best = static_cast<int>(i);
+      }
+    }
+    return best;
+  };
+
+  const auto try_dispatch = [&](long long now) {
+    while (true) {
+      const int k = free_replica();
+      if (k < 0) return;
+      std::uint64_t id = 0;
+      int attempt = 1;
+      bool force_fb = false;
+      const int ri = pick_retry(now);
+      if (ri >= 0) {
+        id = retries[static_cast<std::size_t>(ri)].id;
+        attempt = retries[static_cast<std::size_t>(ri)].attempt;
+        force_fb = retries[static_cast<std::size_t>(ri)].force_fallback;
+        retries.erase(retries.begin() + ri);
+      } else if (!waitq.empty()) {
+        id = waitq.front();
+        waitq.pop_front();
+      } else {
+        return;
+      }
+      // Load-shedding: a request that is already past its deadline is
+      // dropped here instead of wasting a replica on an answer nobody
+      // will take. The Clock is what enforces the deadline — virtual in
+      // deterministic runs, wall-clock with a SteadyClock.
+      const long long observed = std::max(now, clock->now());
+      if (cfg_.deadline_cycles > 0 &&
+          observed > trace.requests[id].arrival_cycle +
+                         cfg_.deadline_cycles) {
+        ++stats.shed_deadline;
+        continue;
+      }
+      Mode mode = Mode::kPrimary;
+      bool probe = false;
+      if (force_fb) {
+        mode = Mode::kDegraded;
+      } else {
+        const BreakerState st = breaker.state(now);
+        if (st == BreakerState::kClosed) {
+          mode = Mode::kPrimary;
+        } else if (st == BreakerState::kHalfOpen &&
+                   breaker.try_acquire_probe(now)) {
+          mode = Mode::kPrimary;
+          probe = true;
+        } else {
+          mode = Mode::kDegraded;
+        }
+      }
+      const ServingMode& m = mode == Mode::kPrimary ? primary_ : fallback_;
+      InFlight f;
+      f.completion = now + m.service_cycles;
+      f.id = id;
+      f.attempt = attempt;
+      f.mode = mode;
+      f.probe = probe;
+      f.replica = k;
+      f.job = std::make_unique<Job>();
+      f.job->request_id = id;
+      f.job->attempt = attempt;
+      f.job->mode = mode;
+      f.job->faulted = mode == Mode::kPrimary && trace.burst.covers(now);
+      f.job->reset_first = attempt > 1;
+      f.job->input_seed = trace.requests[id].input_seed;
+      f.fut = f.job->done.get_future();
+      busy_until[static_cast<std::size_t>(k)] = f.completion;
+      exec_q.push(f.job.get());
+      inflight.push_back(std::move(f));
+    }
+  };
+
+  const auto handle_completion = [&](InFlight f) {
+    const long long now = f.completion;
+    clock->advance_to(now);
+    JobResult r = f.fut.get();  // real execution may still be running
+    busy_until[static_cast<std::size_t>(f.replica)] = -1;
+    if (r.ok) {
+      const long long lat = now - trace.requests[f.id].arrival_cycle;
+      ++stats.completed;
+      if (f.mode == Mode::kDegraded) ++stats.completed_degraded;
+      if (f.attempt > 1) ++stats.faults_absorbed;
+      stats.latency.record(lat);
+      stats.response_hash +=
+          mix64((f.id + 1) * 0x9E3779B97F4A7C15ull ^ r.crc);
+      const bool late =
+          cfg_.deadline_cycles > 0 && lat > cfg_.deadline_cycles;
+      if (late) ++stats.deadline_misses;
+      if (f.mode == Mode::kPrimary) {
+        if (late) {
+          breaker.record_deadline_miss(now);
+        } else {
+          breaker.record_success(now);
+        }
+      }
+    } else {
+      if (f.mode == Mode::kPrimary) breaker.record_failure(now);
+      if (f.mode == Mode::kDegraded) {
+        // The fallback strategy faulted too: nothing left to downgrade to.
+        ++stats.failed;
+      } else {
+        // Transient primary fault: re-dispatch after deterministic capped
+        // exponential backoff — to a reset() primary while the retry
+        // budget lasts, then once to the fallback strategy.
+        ++stats.retries;
+        retries.push_back({now + backoff(f.attempt), f.id, f.attempt + 1,
+                           f.attempt > cfg_.max_retries});
+      }
+    }
+  };
+
+  // Event loop. Ties resolve completions < retries < arrivals so resources
+  // free up before new work claims them; every rule is fixed, so the
+  // trajectory is a pure function of (trace, config).
+  try {
+    while (next_arrival < n || !waitq.empty() || !retries.empty() ||
+           !inflight.empty()) {
+      const long long t_arr =
+          next_arrival < n ? trace.requests[next_arrival].arrival_cycle
+                           : kInf;
+      long long t_comp = kInf;
+      for (const auto& f : inflight) t_comp = std::min(t_comp, f.completion);
+      long long t_ret = kInf;
+      if (free_replica() >= 0) {
+        for (const auto& r : retries) t_ret = std::min(t_ret, r.eligible);
+      }
+      if (t_comp <= t_arr && t_comp <= t_ret) {
+        std::size_t best = 0;
+        for (std::size_t i = 1; i < inflight.size(); ++i) {
+          const auto& a = inflight[i];
+          const auto& b = inflight[best];
+          if (a.completion < b.completion ||
+              (a.completion == b.completion &&
+               (a.id < b.id || (a.id == b.id && a.attempt < b.attempt)))) {
+            best = i;
+          }
+        }
+        InFlight f = std::move(inflight[best]);
+        inflight.erase(inflight.begin() + static_cast<long>(best));
+        const long long now = f.completion;
+        handle_completion(std::move(f));
+        try_dispatch(now);
+      } else if (t_ret <= t_arr && t_ret < kInf) {
+        clock->advance_to(t_ret);
+        try_dispatch(t_ret);
+      } else if (t_arr < kInf) {
+        clock->advance_to(t_arr);
+        const std::uint64_t id = trace.requests[next_arrival].id;
+        ++next_arrival;
+        ++stats.submitted;
+        if (waitq.size() >= cfg_.queue_capacity) {
+          // Admission control: the bounded queue is full. A client API
+          // surfaces this as ServeError(kQueueFull); the trace runner
+          // records it and moves on.
+          ++stats.rejected_queue_full;
+        } else {
+          waitq.push_back(id);
+          stats.queue_peak = std::max(
+              stats.queue_peak, static_cast<long long>(waitq.size()));
+        }
+        try_dispatch(t_arr);
+      } else {
+        break;  // defensive: cannot happen (waitq implies busy replicas)
+      }
+    }
+  } catch (...) {
+    exec_q.close();
+    for (auto& w : workers) w.join();
+    throw;
+  }
+
+  exec_q.close();
+  for (auto& w : workers) w.join();
+
+  stats.breaker_opens = breaker.opens();
+  stats.breaker_closes = breaker.closes();
+  breaker_log_ = breaker.transitions();
+  return stats;
+}
+
+}  // namespace hetacc::serve

@@ -1,0 +1,105 @@
+#pragma once
+// The resilient serving runtime over arch::FusionPipeline. One Server owns
+// a network, its weights, and two ways of serving it:
+//
+//   primary  — the optimizer's latency-optimal strategy
+//   fallback — a pre-optimized degraded strategy (tighter resource /
+//              protection budget; typically `--protect`-priced and slower)
+//
+// run(trace) drives an arrival trace through the full request lifecycle:
+// bounded-queue admission (reject when full — the queue can never grow
+// without bound), deadline enforcement with load-shedding of already-late
+// requests, capped-exponential-backoff retries that re-dispatch faulted
+// requests to a freshly reset() pipeline, and a circuit breaker that
+// downgrades to the fallback strategy after sustained failures and probes
+// half-open recovery back to the primary.
+//
+// Determinism contract (DESIGN.md §11): every stats-bearing decision is
+// made by the single dispatcher thread in *virtual* time — arrival cycles
+// come from the trace, service cycles from the cost layer's strategy
+// latencies, fault outcomes from the counter-hash FaultInjector — so the
+// same trace + seed + config produces a byte-identical ServerStats for any
+// `threads` value. Real worker threads only decide how fast the functional
+// pipeline work is ground through, never what the answer is.
+
+#include <memory>
+#include <vector>
+
+#include "arch/pipeline.h"
+#include "serve/breaker.h"
+#include "serve/clock.h"
+#include "serve/stats.h"
+#include "serve/trace.h"
+
+namespace hetacc::serve {
+
+/// One strategy the server can serve from: per-layer algorithm choices for
+/// the functional pipeline plus the modeled per-request service time (the
+/// strategy's end-to-end latency as priced by the cost layer).
+struct ServingMode {
+  std::vector<arch::LayerChoice> choices;
+  long long service_cycles = 0;
+  /// Hardening installed when this mode's pipeline runs inside a fault
+  /// burst (primary) — the detectors that absorb recoverable SEUs.
+  fault::ProtectionConfig protect = fault::ProtectionConfig::all_on();
+};
+
+struct ServerConfig {
+  /// Admission queue bound: arrivals beyond this wait-room depth are
+  /// rejected with ServeError::Reason::kQueueFull semantics.
+  std::size_t queue_capacity = 64;
+  /// Modeled accelerator replicas requests are dispatched onto. Part of the
+  /// modeled hardware, so it *does* change stats — unlike `threads`.
+  int replicas = 2;
+  /// Per-request deadline in cycles from arrival; 0 disables deadlines.
+  long long deadline_cycles = 0;
+  /// Fault-retry budget on the primary before downgrading the request to
+  /// the fallback strategy.
+  int max_retries = 2;
+  /// Capped exponential backoff (jitter-free, deterministic):
+  /// backoff(attempt) = min(base << (attempt-1), cap).
+  long long backoff_base_cycles = 1024;
+  long long backoff_cap_cycles = 16384;
+  BreakerConfig breaker;
+  /// Real execution worker threads (OptimizerOptions convention: 1 = serial,
+  /// 0 = all cores, n = n). Never affects ServerStats.
+  int threads = 0;
+  /// Virtual clock driving deadline checks; null = an internal SimClock.
+  /// Pass a SteadyClock to observe wall-clock behavior (not reproducible).
+  Clock* clock = nullptr;
+};
+
+class Server {
+ public:
+  /// `net` must start with an input layer (FusionPipeline contract); both
+  /// modes' choices must match its layer count. Throws
+  /// ServeError(kConfig) on an unusable configuration.
+  Server(nn::Network net, nn::WeightStore ws, ServingMode primary,
+         ServingMode fallback, ServerConfig cfg);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Serves the whole trace; returns the stats snapshot. Deterministic for
+  /// a given (trace, config) regardless of cfg.threads.
+  [[nodiscard]] ServerStats run(const ArrivalTrace& trace);
+
+  /// Breaker transitions of the last run() (cycle-stamped), for tests and
+  /// the CLI report.
+  [[nodiscard]] const std::vector<BreakerTransition>& breaker_log() const {
+    return breaker_log_;
+  }
+
+  [[nodiscard]] const ServerConfig& config() const { return cfg_; }
+
+ private:
+  nn::Network net_;
+  nn::WeightStore ws_;
+  ServingMode primary_;
+  ServingMode fallback_;
+  ServerConfig cfg_;
+  std::vector<BreakerTransition> breaker_log_;
+};
+
+}  // namespace hetacc::serve

@@ -1,0 +1,84 @@
+#pragma once
+// Serving-runtime statistics snapshot. Every number here is derived from
+// virtual-clock events, so for a given trace + seed + server config the
+// whole struct — histogram included — is byte-identical for any worker
+// thread count (the determinism contract test_serve pins). The invariant
+// `accounted()` is the zero-lost-requests guarantee the CI soak asserts:
+// every submitted request ends in exactly one of completed / rejected /
+// shed / failed.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hetacc::serve {
+
+/// Latency distribution in cycles. Samples are kept exactly (a serving
+/// trace is bounded), so percentiles are exact order statistics and
+/// equality is multiset equality — the strongest determinism check.
+/// summary() renders the conventional log2-bucketed histogram view.
+class LatencyHistogram {
+ public:
+  void record(long long cycles);
+
+  [[nodiscard]] long long count() const {
+    return static_cast<long long>(samples_.size());
+  }
+  /// Exact p-th percentile (nearest-rank), 0 when empty. p in [0, 100].
+  [[nodiscard]] long long percentile(double p) const;
+  [[nodiscard]] long long p50() const { return percentile(50.0); }
+  [[nodiscard]] long long p99() const { return percentile(99.0); }
+  [[nodiscard]] long long max() const;
+  [[nodiscard]] double mean() const;
+
+  /// "bucket_lo..bucket_hi: count" lines, log2 buckets, for reports.
+  [[nodiscard]] std::string summary() const;
+
+  bool operator==(const LatencyHistogram& o) const;
+
+ private:
+  /// Sorted on demand by the accessors; recorded order is irrelevant by
+  /// construction (completion events are applied in virtual-time order).
+  mutable std::vector<long long> samples_;
+  mutable bool sorted_ = true;
+  void sort() const;
+};
+
+struct ServerStats {
+  // Request accounting (each submitted request lands in exactly one bin).
+  long long submitted = 0;
+  long long rejected_queue_full = 0;  ///< admission control said no
+  long long shed_deadline = 0;        ///< dropped: already late at dispatch
+  long long completed = 0;            ///< response delivered
+  long long failed = 0;               ///< every attempt + fallback faulted
+
+  // Lifecycle detail.
+  long long completed_degraded = 0;   ///< served from the fallback strategy
+  long long deadline_misses = 0;      ///< completed, but after the deadline
+  long long retries = 0;              ///< re-dispatches after a fault
+  long long faults_absorbed = 0;      ///< faulted attempts that a retry or
+                                      ///< the fallback strategy hid
+  long long breaker_opens = 0;
+  long long breaker_closes = 0;
+  long long queue_peak = 0;           ///< max virtual queue occupancy
+
+  LatencyHistogram latency;           ///< completed requests, cycles
+
+  /// Order-independent digest of every delivered response payload (CRC-32
+  /// of the output tensor folded with the request id). Two runs that agree
+  /// here delivered bitwise-identical answers to every request.
+  std::uint64_t response_hash = 0;
+
+  /// Zero-lost-requests invariant.
+  [[nodiscard]] bool accounted() const {
+    return submitted ==
+           rejected_queue_full + shed_deadline + completed + failed;
+  }
+
+  bool operator==(const ServerStats& o) const;
+
+  [[nodiscard]] std::string summary() const;
+  [[nodiscard]] std::string to_json() const;
+};
+
+}  // namespace hetacc::serve

@@ -1,0 +1,116 @@
+#include "serve/trace.h"
+
+#include <sstream>
+
+#include "support/error.h"
+
+namespace hetacc::serve {
+
+namespace {
+
+/// splitmix64 finalizer (same mixing discipline as the fault layer: pure
+/// function of the coordinates, so traces never depend on call order).
+constexpr std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+ArrivalTrace ArrivalTrace::synthetic(std::size_t n,
+                                     long long mean_interarrival_cycles,
+                                     std::uint64_t seed,
+                                     double surge_factor) {
+  ArrivalTrace t;
+  t.requests.reserve(n);
+  long long clock = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t h = mix64(seed ^ mix64(static_cast<std::uint64_t>(i)));
+    // Uniform gap in [mean/2, 3*mean/2).
+    const long long mean = std::max<long long>(mean_interarrival_cycles, 1);
+    long long gap = mean / 2 + static_cast<long long>(
+                                   h % static_cast<std::uint64_t>(mean));
+    const bool in_surge = i >= n / 3 && i < 2 * n / 3;
+    if (in_surge && surge_factor > 1.0) {
+      gap = std::max<long long>(
+          1, static_cast<long long>(static_cast<double>(gap) / surge_factor));
+    }
+    clock += gap;
+    TraceRequest r;
+    r.id = static_cast<std::uint64_t>(i);
+    r.arrival_cycle = clock;
+    r.input_seed = static_cast<std::uint32_t>(h >> 32);
+    t.requests.push_back(r);
+  }
+  return t;
+}
+
+std::string ArrivalTrace::to_csv() const {
+  std::ostringstream os;
+  os << "id,arrival_cycle,input_seed\n";
+  for (const auto& r : requests) {
+    os << r.id << ',' << r.arrival_cycle << ',' << r.input_seed << '\n';
+  }
+  return os.str();
+}
+
+ArrivalTrace ArrivalTrace::from_csv(const std::string& csv) {
+  std::istringstream is(csv);
+  std::string line;
+  int lineno = 0;
+  if (!std::getline(is, line)) {
+    throw ParseError("arrival trace: empty input", 1);
+  }
+  ++lineno;
+  if (line != "id,arrival_cycle,input_seed") {
+    throw ParseError("arrival trace: bad header '" + line + "'", lineno);
+  }
+  ArrivalTrace t;
+  long long prev_arrival = -1;
+  std::uint64_t expect_id = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    std::istringstream row(line);
+    std::string f0, f1, f2;
+    if (!std::getline(row, f0, ',') || !std::getline(row, f1, ',') ||
+        !std::getline(row, f2)) {
+      throw ParseError("arrival trace: expected 3 fields, got '" + line + "'",
+                       lineno);
+    }
+    TraceRequest r;
+    try {
+      std::size_t pos = 0;
+      r.id = std::stoull(f0, &pos);
+      if (pos != f0.size()) throw std::invalid_argument(f0);
+      r.arrival_cycle = std::stoll(f1, &pos);
+      if (pos != f1.size()) throw std::invalid_argument(f1);
+      const unsigned long seed = std::stoul(f2, &pos);
+      if (pos != f2.size()) throw std::invalid_argument(f2);
+      r.input_seed = static_cast<std::uint32_t>(seed);
+    } catch (const std::exception&) {
+      throw ParseError("arrival trace: non-numeric field in '" + line + "'",
+                       lineno);
+    }
+    if (r.id != expect_id) {
+      throw ParseError("arrival trace: ids must be dense from 0 (got " +
+                           f0 + ", expected " + std::to_string(expect_id) +
+                           ")",
+                       lineno);
+    }
+    if (r.arrival_cycle < 0 || r.arrival_cycle < prev_arrival) {
+      throw ParseError(
+          "arrival trace: arrival cycles must be non-negative and "
+          "non-decreasing",
+          lineno);
+    }
+    prev_arrival = r.arrival_cycle;
+    ++expect_id;
+    t.requests.push_back(r);
+  }
+  return t;
+}
+
+}  // namespace hetacc::serve

@@ -12,6 +12,9 @@
 //   kInfeasible (3)  the optimizer proved no strategy fits the constraints
 //   kFault      (4)  a fault-injection campaign detected an unrecovered
 //                    hardware fault (wedged FIFO, uncorrectable burst, ...)
+//   kServe      (5)  the serving runtime refused or abandoned a request
+//                    (queue full, deadline blown, run cancelled, breaker
+//                    stuck open) — the request-lifecycle analogue of kFault
 //   kInternal   (1)  invariant violation inside the toolflow itself
 
 #include <stdexcept>
@@ -24,6 +27,7 @@ enum class ErrorCategory : std::uint8_t {
   kValidate,
   kInfeasible,
   kFault,
+  kServe,
   kInternal,
 };
 
@@ -33,6 +37,7 @@ enum class ErrorCategory : std::uint8_t {
     case ErrorCategory::kValidate: return "validate";
     case ErrorCategory::kInfeasible: return "infeasible";
     case ErrorCategory::kFault: return "fault";
+    case ErrorCategory::kServe: return "serve";
     case ErrorCategory::kInternal: return "internal";
   }
   return "?";
@@ -45,6 +50,7 @@ enum class ErrorCategory : std::uint8_t {
     case ErrorCategory::kValidate: return 2;
     case ErrorCategory::kInfeasible: return 3;
     case ErrorCategory::kFault: return 4;
+    case ErrorCategory::kServe: return 5;
     case ErrorCategory::kInternal: return 1;
   }
   return 1;
@@ -100,13 +106,64 @@ class InfeasibleError : public Error {
 };
 
 /// A modeled hardware fault that the protection layer could not absorb.
-/// `stage` names the engine/FIFO/transaction where it surfaced.
+/// `stage` names the engine/FIFO/transaction where it surfaced; `unit` is
+/// the numeric identity within that stage (FIFO channel, burst index,
+/// weight panel) and `attempts` how many recovery attempts were spent
+/// before escalating. The serving layer keys its retry/downgrade decisions
+/// on this payload, so throw sites should always fill it in.
 class FaultError : public Error {
  public:
-  explicit FaultError(const std::string& message, std::string stage = "")
-      : Error(ErrorCategory::kFault, message, std::move(stage)) {}
+  explicit FaultError(const std::string& message, std::string stage = "",
+                      long long unit = -1, int attempts = 0)
+      : Error(ErrorCategory::kFault, message, std::move(stage)),
+        unit_(unit),
+        attempts_(attempts) {}
 
   [[nodiscard]] const std::string& stage() const { return context(); }
+  /// Channel / burst / panel index inside the stage; -1 when not applicable.
+  [[nodiscard]] long long unit() const { return unit_; }
+  /// Recovery attempts consumed before the fault escalated (0 = none made).
+  [[nodiscard]] int attempts() const { return attempts_; }
+
+ private:
+  long long unit_;
+  int attempts_;
 };
+
+/// The serving runtime refused, shed, or abandoned a request. `reason`
+/// distinguishes admission rejection (bounded queue full) from deadline
+/// load-shedding from mid-run cancellation, so clients can decide whether
+/// to back off, re-submit, or give up.
+class ServeError : public Error {
+ public:
+  enum class Reason : std::uint8_t {
+    kQueueFull,   ///< admission control: bounded queue at capacity
+    kDeadline,    ///< request was already past its deadline (shed)
+    kCancelled,   ///< in-flight run cancelled via the pipeline cancel hook
+    kShutdown,    ///< server is draining; no new work accepted
+    kConfig,      ///< invalid serving configuration / trace
+  };
+
+  ServeError(Reason reason, const std::string& message,
+             std::string context = "")
+      : Error(ErrorCategory::kServe, message, std::move(context)),
+        reason_(reason) {}
+
+  [[nodiscard]] Reason reason() const { return reason_; }
+
+ private:
+  Reason reason_;
+};
+
+[[nodiscard]] constexpr std::string_view to_string(ServeError::Reason r) {
+  switch (r) {
+    case ServeError::Reason::kQueueFull: return "queue_full";
+    case ServeError::Reason::kDeadline: return "deadline";
+    case ServeError::Reason::kCancelled: return "cancelled";
+    case ServeError::Reason::kShutdown: return "shutdown";
+    case ServeError::Reason::kConfig: return "config";
+  }
+  return "?";
+}
 
 }  // namespace hetacc

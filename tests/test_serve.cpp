@@ -1,0 +1,603 @@
+// Resilient serving runtime: bounded-queue admission and back-pressure,
+// virtual-clock deadlines with load-shedding, deterministic retry/backoff,
+// circuit-breaker strategy downgrade with half-open recovery, and the
+// determinism contract — same trace + seed + config produces byte-identical
+// ServerStats for any worker-thread count. Also the pipeline-side hooks the
+// runtime depends on: reset() idempotence, cooperative cancellation, and
+// structured fault-identity payloads on escalation.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "arch/ddr_trace.h"
+#include "arch/pipeline.h"
+#include "fault/fault.h"
+#include "nn/model_zoo.h"
+#include "serve/breaker.h"
+#include "serve/clock.h"
+#include "serve/queue.h"
+#include "serve/server.h"
+#include "serve/stats.h"
+#include "serve/trace.h"
+#include "support/error.h"
+
+namespace hetacc {
+namespace {
+
+using arch::FusionPipeline;
+using fault::FaultPlan;
+using fault::ProtectionConfig;
+using serve::ArrivalTrace;
+using serve::BoundedQueue;
+using serve::BreakerConfig;
+using serve::BreakerState;
+using serve::CircuitBreaker;
+using serve::LatencyHistogram;
+using serve::ServerConfig;
+using serve::ServerStats;
+using serve::ServingMode;
+
+// ------------------------------------------------------------ typed error --
+TEST(ServeErrorType, CarriesReasonAndMapsToExitCode5) {
+  const ServeError e(ServeError::Reason::kQueueFull, "queue at capacity");
+  EXPECT_EQ(e.category(), ErrorCategory::kServe);
+  EXPECT_EQ(e.exit_code(), 5);
+  EXPECT_EQ(e.reason(), ServeError::Reason::kQueueFull);
+  EXPECT_EQ(to_string(ServeError::Reason::kDeadline), "deadline");
+  EXPECT_EQ(to_string(ErrorCategory::kServe), "serve");
+}
+
+// ----------------------------------------------------------- bounded queue --
+TEST(BoundedQueueTest, TryPushRefusesWhenFullPopMakesRoom) {
+  BoundedQueue<int> q(2);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_FALSE(q.try_push(3));  // admission control: full
+  int out = 0;
+  EXPECT_TRUE(q.pop(out));
+  EXPECT_EQ(out, 1);
+  EXPECT_TRUE(q.try_push(3));
+  EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(BoundedQueueTest, CloseDrainsConsumersAndRefusesProducers) {
+  BoundedQueue<int> q(4);
+  EXPECT_TRUE(q.push(7));
+  q.close();
+  EXPECT_FALSE(q.try_push(8));
+  EXPECT_FALSE(q.push(9));
+  int out = 0;
+  EXPECT_TRUE(q.pop(out));  // drains what was queued before close
+  EXPECT_EQ(out, 7);
+  EXPECT_FALSE(q.pop(out));  // closed and drained
+}
+
+TEST(BoundedQueueTest, PushBlocksUntilConsumerFreesASlot) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.try_push(1));
+  std::atomic<bool> second_in{false};
+  std::thread producer([&] {
+    EXPECT_TRUE(q.push(2));  // must block until the pop below
+    second_in = true;
+  });
+  int out = 0;
+  EXPECT_TRUE(q.pop(out));
+  EXPECT_EQ(out, 1);
+  EXPECT_TRUE(q.pop(out));
+  EXPECT_EQ(out, 2);
+  producer.join();
+  EXPECT_TRUE(second_in);
+}
+
+// MPMC contention under TSan: every item is delivered exactly once, bound
+// never exceeded, producers mix blocking and non-blocking pushes.
+TEST(BoundedQueueTest, MpmcStressDeliversEveryItemExactlyOnce) {
+  constexpr int kProducers = 4, kConsumers = 4, kPerProducer = 500;
+  BoundedQueue<int> q(8);
+  std::vector<std::atomic<int>> seen(kProducers * kPerProducer);
+  for (auto& s : seen) s = 0;
+
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        const int item = p * kPerProducer + i;
+        if (i % 2 == 0) {
+          while (!q.try_push(item)) std::this_thread::yield();
+        } else {
+          ASSERT_TRUE(q.push(item));
+        }
+      }
+    });
+  }
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&] {
+      int item = 0;
+      while (q.pop(item)) {
+        seen[static_cast<std::size_t>(item)].fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  q.close();
+  for (auto& t : consumers) t.join();
+  for (std::size_t i = 0; i < seen.size(); ++i) {
+    EXPECT_EQ(seen[i].load(), 1) << "item " << i;
+  }
+}
+
+// --------------------------------------------------------- circuit breaker --
+BreakerConfig fast_breaker() {
+  BreakerConfig c;
+  c.failure_threshold = 2;
+  c.deadline_miss_threshold = 3;
+  c.cooldown_cycles = 100;
+  c.probe_successes = 2;
+  return c;
+}
+
+TEST(CircuitBreakerTest, ConsecutiveFailuresOpenSuccessResetsTheStreak) {
+  CircuitBreaker b(fast_breaker());
+  b.record_failure(10);
+  b.record_success(20);  // streak broken
+  b.record_failure(30);
+  EXPECT_EQ(b.state(40), BreakerState::kClosed);
+  b.record_failure(50);  // second consecutive
+  EXPECT_EQ(b.state(50), BreakerState::kOpen);
+  EXPECT_EQ(b.opens(), 1);
+}
+
+TEST(CircuitBreakerTest, SustainedDeadlineMissesOpenLikeFailures) {
+  CircuitBreaker b(fast_breaker());
+  b.record_deadline_miss(1);
+  b.record_deadline_miss(2);
+  EXPECT_EQ(b.state(3), BreakerState::kClosed);
+  b.record_deadline_miss(3);
+  EXPECT_EQ(b.state(3), BreakerState::kOpen);
+}
+
+TEST(CircuitBreakerTest, HalfOpenRecoveryNeedsConfiguredProbeWins) {
+  CircuitBreaker b(fast_breaker());
+  b.record_failure(0);
+  b.record_failure(1);  // open until 101
+  EXPECT_EQ(b.state(100), BreakerState::kOpen);
+  EXPECT_EQ(b.state(101), BreakerState::kHalfOpen);
+  EXPECT_TRUE(b.try_acquire_probe(101));
+  EXPECT_FALSE(b.try_acquire_probe(102));  // single probe slot
+  b.record_success(110);
+  EXPECT_EQ(b.state(110), BreakerState::kHalfOpen);  // one win is not enough
+  EXPECT_TRUE(b.try_acquire_probe(111));
+  b.record_success(120);
+  EXPECT_EQ(b.state(120), BreakerState::kClosed);
+  EXPECT_EQ(b.closes(), 1);
+  // Transition log records the exact sequence.
+  ASSERT_EQ(b.transitions().size(), 3u);
+  EXPECT_EQ(b.transitions()[1].to, BreakerState::kHalfOpen);
+  EXPECT_EQ(b.transitions()[2].to, BreakerState::kClosed);
+}
+
+TEST(CircuitBreakerTest, FailedOrLateProbeReopensWithFreshCooldown) {
+  CircuitBreaker b(fast_breaker());
+  b.record_failure(0);
+  b.record_failure(0);
+  ASSERT_EQ(b.state(100), BreakerState::kHalfOpen);
+  ASSERT_TRUE(b.try_acquire_probe(100));
+  b.record_failure(105);  // probe found the primary still sick
+  EXPECT_EQ(b.state(106), BreakerState::kOpen);
+  EXPECT_EQ(b.state(205), BreakerState::kHalfOpen);
+  // A probe that completes past its deadline must also release the slot
+  // and re-open — otherwise half-open wedges with the slot taken forever.
+  ASSERT_TRUE(b.try_acquire_probe(205));
+  b.record_deadline_miss(210);
+  EXPECT_EQ(b.state(210), BreakerState::kOpen);
+  EXPECT_EQ(b.state(310), BreakerState::kHalfOpen);
+  EXPECT_TRUE(b.try_acquire_probe(310));  // slot is free again
+}
+
+// ------------------------------------------------------- latency histogram --
+TEST(LatencyHistogramTest, NearestRankPercentiles) {
+  LatencyHistogram h;
+  for (long long v : {50, 10, 20, 30, 40}) h.record(v);
+  EXPECT_EQ(h.count(), 5);
+  EXPECT_EQ(h.p50(), 30);
+  EXPECT_EQ(h.p99(), 50);
+  EXPECT_EQ(h.max(), 50);
+  EXPECT_DOUBLE_EQ(h.mean(), 30.0);
+  EXPECT_EQ(h.percentile(0.0), 10);
+}
+
+TEST(LatencyHistogramTest, EmptyHistogramReportsZeros) {
+  const LatencyHistogram h;
+  EXPECT_EQ(h.p50(), 0);
+  EXPECT_EQ(h.p99(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+// ---------------------------------------------------------- arrival traces --
+TEST(ArrivalTraceTest, SyntheticIsDeterministicAndMonotonic) {
+  const ArrivalTrace a = ArrivalTrace::synthetic(200, 1000, 42, 3.0);
+  const ArrivalTrace b = ArrivalTrace::synthetic(200, 1000, 42, 3.0);
+  ASSERT_EQ(a.requests.size(), 200u);
+  long long prev = -1;
+  for (std::size_t i = 0; i < a.requests.size(); ++i) {
+    EXPECT_EQ(a.requests[i].id, i);
+    EXPECT_GE(a.requests[i].arrival_cycle, prev);
+    prev = a.requests[i].arrival_cycle;
+    EXPECT_EQ(a.requests[i].arrival_cycle, b.requests[i].arrival_cycle);
+    EXPECT_EQ(a.requests[i].input_seed, b.requests[i].input_seed);
+  }
+  // Different seed, different trace.
+  const ArrivalTrace c = ArrivalTrace::synthetic(200, 1000, 43, 3.0);
+  EXPECT_NE(a.requests.back().arrival_cycle, c.requests.back().arrival_cycle);
+}
+
+TEST(ArrivalTraceTest, SurgeCompressesTheMiddleThird) {
+  const ArrivalTrace flat = ArrivalTrace::synthetic(300, 1000, 7, 1.0);
+  const ArrivalTrace surged = ArrivalTrace::synthetic(300, 1000, 7, 4.0);
+  const auto span = [](const ArrivalTrace& t, std::size_t lo, std::size_t hi) {
+    return t.requests[hi].arrival_cycle - t.requests[lo].arrival_cycle;
+  };
+  EXPECT_EQ(span(flat, 0, 99), span(surged, 0, 99));  // head untouched
+  EXPECT_GT(span(flat, 100, 199), 2 * span(surged, 100, 199));
+}
+
+TEST(ArrivalTraceTest, CsvRoundTripIsExact) {
+  const ArrivalTrace a = ArrivalTrace::synthetic(64, 500, 9, 2.0);
+  const ArrivalTrace b = ArrivalTrace::from_csv(a.to_csv());
+  ASSERT_EQ(b.requests.size(), a.requests.size());
+  for (std::size_t i = 0; i < a.requests.size(); ++i) {
+    EXPECT_EQ(b.requests[i].id, a.requests[i].id);
+    EXPECT_EQ(b.requests[i].arrival_cycle, a.requests[i].arrival_cycle);
+    EXPECT_EQ(b.requests[i].input_seed, a.requests[i].input_seed);
+  }
+}
+
+TEST(ArrivalTraceTest, FromCsvRejectsGarbageWithLineNumbers) {
+  EXPECT_THROW((void)ArrivalTrace::from_csv(""), ParseError);
+  EXPECT_THROW((void)ArrivalTrace::from_csv("wrong,header\n"), ParseError);
+  const std::string head = "id,arrival_cycle,input_seed\n";
+  EXPECT_THROW((void)ArrivalTrace::from_csv(head + "0,10\n"), ParseError);
+  EXPECT_THROW((void)ArrivalTrace::from_csv(head + "0,ten,1\n"), ParseError);
+  EXPECT_THROW((void)ArrivalTrace::from_csv(head + "1,10,1\n"), ParseError);
+  EXPECT_THROW(
+      (void)ArrivalTrace::from_csv(head + "0,10,1\n1,5,2\n"),  // time warp
+      ParseError);
+  try {
+    (void)ArrivalTrace::from_csv(head + "0,10,1\n1,bad,2\n");
+    FAIL() << "garbled row accepted";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 3);
+  }
+}
+
+// ------------------------------------------------------------ server stats --
+TEST(ServerStatsTest, AccountedRequiresEveryRequestToLandSomewhere) {
+  ServerStats s;
+  s.submitted = 10;
+  s.completed = 7;
+  s.rejected_queue_full = 1;
+  s.shed_deadline = 1;
+  EXPECT_FALSE(s.accounted());
+  s.failed = 1;
+  EXPECT_TRUE(s.accounted());
+  EXPECT_NE(s.to_json().find("\"submitted\": 10"), std::string::npos);
+}
+
+// ----------------------------------------------------------------- server --
+class ServerTest : public ::testing::Test {
+ protected:
+  nn::Network net_ = nn::tiny_net(4, 16);
+  nn::WeightStore ws_ = nn::WeightStore::deterministic(net_, 21);
+
+  static ServingMode mode(long long cycles) {
+    ServingMode m;
+    m.service_cycles = cycles;  // empty choices = all-conventional float
+    return m;
+  }
+
+  static ServerConfig base_config() {
+    ServerConfig cfg;
+    cfg.queue_capacity = 64;
+    cfg.replicas = 2;
+    cfg.max_retries = 1;
+    cfg.backoff_base_cycles = 500;
+    cfg.backoff_cap_cycles = 2000;
+    cfg.breaker.failure_threshold = 2;
+    cfg.breaker.deadline_miss_threshold = 4;
+    cfg.breaker.cooldown_cycles = 2000;
+    cfg.breaker.probe_successes = 2;
+    return cfg;
+  }
+
+  /// A trace whose middle third wedges the primary pipeline: the hard,
+  /// deterministic failure the watchdog + retry + breaker chain must absorb.
+  static ArrivalTrace burst_trace(std::size_t n = 60,
+                                  std::uint64_t seed = 7) {
+    ArrivalTrace t = ArrivalTrace::synthetic(n, 800, seed);
+    const long long span = t.last_arrival();
+    t.burst.from_cycle = span / 3;
+    t.burst.until_cycle = 2 * span / 3;
+    t.burst.plan.seed = seed;
+    t.burst.plan.wedge_channel = 0;
+    t.burst.plan.wedge_after_pushes = 2;
+    return t;
+  }
+
+  ServerStats run_once(const ArrivalTrace& trace, const ServerConfig& cfg,
+                       std::vector<serve::BreakerTransition>* log = nullptr) {
+    serve::Server s(net_, ws_, mode(1000), mode(1600), cfg);
+    const ServerStats st = s.run(trace);
+    if (log) *log = s.breaker_log();
+    return st;
+  }
+};
+
+TEST_F(ServerTest, RejectsUnusableConfigurations) {
+  ServerConfig cfg = base_config();
+  cfg.replicas = 0;
+  EXPECT_THROW(serve::Server(net_, ws_, mode(10), mode(10), cfg), ServeError);
+  cfg = base_config();
+  cfg.queue_capacity = 0;
+  EXPECT_THROW(serve::Server(net_, ws_, mode(10), mode(10), cfg), ServeError);
+  cfg = base_config();
+  EXPECT_THROW(serve::Server(net_, ws_, mode(0), mode(10), cfg), ServeError);
+  ServingMode bad = mode(10);
+  bad.choices.resize(2);  // tiny_net has 4 accelerated layers
+  EXPECT_THROW(serve::Server(net_, ws_, bad, mode(10), base_config()),
+               ServeError);
+  try {
+    serve::Server s(net_, ws_, mode(10), mode(10), cfg);
+    (void)s;
+  } catch (const ServeError& e) {
+    FAIL() << "valid config rejected: " << e.what();
+  }
+}
+
+TEST_F(ServerTest, HealthyTraceCompletesEveryRequestOnThePrimary) {
+  const ArrivalTrace t = ArrivalTrace::synthetic(40, 1500, 3);
+  const ServerStats s = run_once(t, base_config());
+  EXPECT_TRUE(s.accounted());
+  EXPECT_EQ(s.submitted, 40);
+  EXPECT_EQ(s.completed, 40);
+  EXPECT_EQ(s.completed_degraded, 0);
+  EXPECT_EQ(s.rejected_queue_full, 0);
+  EXPECT_EQ(s.shed_deadline, 0);
+  EXPECT_EQ(s.failed, 0);
+  EXPECT_EQ(s.retries, 0);
+  EXPECT_EQ(s.breaker_opens, 0);
+  EXPECT_GE(s.latency.p50(), 1000);  // at least one service time
+  EXPECT_NE(s.response_hash, 0u);
+}
+
+TEST_F(ServerTest, OverloadIsRejectedAtTheQueueBoundNeverLost) {
+  // One slow replica, a tiny queue, and a tight arrival burst: admission
+  // control must refuse the overflow instead of queueing without bound.
+  ServerConfig cfg = base_config();
+  cfg.replicas = 1;
+  cfg.queue_capacity = 3;
+  const ArrivalTrace t = ArrivalTrace::synthetic(50, 100, 11);
+  const ServerStats s = run_once(t, cfg);
+  EXPECT_TRUE(s.accounted());
+  EXPECT_GT(s.rejected_queue_full, 0);
+  EXPECT_LE(s.queue_peak, 3);
+  EXPECT_EQ(s.completed + s.rejected_queue_full, s.submitted);
+}
+
+TEST_F(ServerTest, LateRequestsAreShedAndMissesCounted) {
+  ServerConfig cfg = base_config();
+  cfg.replicas = 1;
+  cfg.deadline_cycles = 2500;
+  const ArrivalTrace t = ArrivalTrace::synthetic(50, 300, 13);
+  const ServerStats s = run_once(t, cfg);
+  EXPECT_TRUE(s.accounted());
+  EXPECT_GT(s.shed_deadline, 0);           // shed before wasting a replica
+  EXPECT_EQ(s.failed, 0);
+  // Whatever completed either met the deadline or was counted as a miss.
+  EXPECT_GT(s.completed, 0);
+}
+
+TEST_F(ServerTest, FaultBurstIsAbsorbedByRetriesAndTheBreaker) {
+  std::vector<serve::BreakerTransition> log;
+  const ServerStats s = run_once(burst_trace(), base_config(), &log);
+  EXPECT_TRUE(s.accounted());
+  EXPECT_EQ(s.failed, 0);  // nothing escapes: retry or downgrade covers all
+  EXPECT_EQ(s.completed, s.submitted);
+  EXPECT_GT(s.retries, 0);
+  EXPECT_GT(s.faults_absorbed, 0);
+  EXPECT_GT(s.completed_degraded, 0);  // breaker routed around the wedge
+  EXPECT_GE(s.breaker_opens, 1);
+  // Recovery: the breaker must end closed after the burst passes, having
+  // gone open -> half-open -> closed.
+  ASSERT_FALSE(log.empty());
+  EXPECT_EQ(log.back().to, BreakerState::kClosed);
+  EXPECT_EQ(log.back().from, BreakerState::kHalfOpen);
+  bool saw_open = false;
+  for (const auto& tr : log) saw_open |= tr.to == BreakerState::kOpen;
+  EXPECT_TRUE(saw_open);
+  EXPECT_EQ(s.breaker_closes, 1);
+}
+
+// The determinism contract (DESIGN.md §11): worker threads only change how
+// fast the functional work grinds through, never any stat. Exercises every
+// path at once — overload, deadlines, fault burst, retries, breaker.
+TEST_F(ServerTest, StatsAreByteIdenticalForAnyWorkerCount) {
+  ArrivalTrace t = burst_trace(80, 17);
+  ServerConfig cfg = base_config();
+  cfg.queue_capacity = 8;
+  cfg.deadline_cycles = 20000;
+  ServerStats first;
+  std::vector<serve::BreakerTransition> first_log;
+  for (const int threads : {1, 2, 8}) {
+    cfg.threads = threads;
+    std::vector<serve::BreakerTransition> log;
+    const ServerStats s = run_once(t, cfg, &log);
+    EXPECT_TRUE(s.accounted());
+    if (threads == 1) {
+      first = s;
+      first_log = log;
+      continue;
+    }
+    EXPECT_EQ(s, first) << "stats diverged at threads=" << threads;
+    ASSERT_EQ(log.size(), first_log.size());
+    for (std::size_t i = 0; i < log.size(); ++i) {
+      EXPECT_EQ(log[i].cycle, first_log[i].cycle);
+      EXPECT_EQ(log[i].to, first_log[i].to);
+    }
+  }
+}
+
+TEST_F(ServerTest, ResponseDigestDependsOnRequestPayloads) {
+  ArrivalTrace a = ArrivalTrace::synthetic(10, 2000, 5);
+  ArrivalTrace b = a;
+  for (auto& r : b.requests) r.input_seed += 1;  // same arrivals, new inputs
+  const ServerStats sa = run_once(a, base_config());
+  const ServerStats sb = run_once(b, base_config());
+  EXPECT_EQ(sa.completed, sb.completed);
+  EXPECT_NE(sa.response_hash, sb.response_hash);
+}
+
+TEST_F(ServerTest, RejectsTracesWithNonDenseIds) {
+  ArrivalTrace t = ArrivalTrace::synthetic(4, 100, 1);
+  t.requests[2].id = 9;
+  serve::Server s(net_, ws_, mode(1000), mode(1600), base_config());
+  EXPECT_THROW((void)s.run(t), ServeError);
+}
+
+// ---------------------------------------------- pipeline hooks (satellites) --
+class PipelineHookTest : public ::testing::Test {
+ protected:
+  nn::Network net_ = nn::tiny_net(4, 16);
+  nn::WeightStore ws_ = nn::WeightStore::deterministic(net_, 21);
+  nn::Tensor input_{net_[0].out};
+
+  void SetUp() override { nn::fill_deterministic(input_, 22); }
+};
+
+TEST_F(PipelineHookTest, ResetIsIdempotentAndRestoresCorruptedConstants) {
+  FusionPipeline pipe(net_, ws_);
+  const nn::Tensor golden = pipe.run(input_);
+
+  FaultPlan p;
+  p.seed = 3;
+  p.weight_panel_flip_rate = 1.0;
+  pipe.install_fault_plan(p);  // detectors off: resident panels corrupt
+  EXPECT_NE(pipe.run(input_), golden);
+  pipe.clear_fault_plan();
+
+  pipe.reset();
+  const nn::Tensor once = pipe.run(input_);
+  EXPECT_EQ(once, golden);
+  pipe.reset();
+  pipe.reset();  // idempotent: twice leaves the same state as once
+  EXPECT_EQ(pipe.run(input_), golden);
+}
+
+TEST_F(PipelineHookTest, ResetWithPlanInstalledRestrikesDeterministically) {
+  FusionPipeline pipe(net_, ws_);
+  const nn::Tensor golden = pipe.run(input_);
+  FaultPlan p;
+  p.seed = 3;
+  p.weight_panel_flip_rate = 1.0;
+  pipe.install_fault_plan(p);
+  const nn::Tensor struck = pipe.run(input_);
+  pipe.reset();  // models "reload the accelerator", faults re-strike
+  EXPECT_EQ(pipe.run(input_), struck);
+  EXPECT_NE(struck, golden);
+  pipe.clear_fault_plan();
+}
+
+TEST_F(PipelineHookTest, ResetRearmsAMidBatchWedgeForReuse) {
+  FusionPipeline pipe(net_, ws_);
+  const nn::Tensor golden = pipe.run(input_);
+
+  FaultPlan wedge;
+  wedge.seed = 1;
+  wedge.wedge_channel = 0;
+  wedge.wedge_after_pushes = 2;
+  pipe.install_fault_plan(wedge, ProtectionConfig::all_on());
+  EXPECT_THROW((void)pipe.run(input_), FaultError);
+  pipe.clear_fault_plan();
+  pipe.reset();
+
+  // The same pipeline object is reusable mid-batch after the wedge: a
+  // multi-image batch comes back bit-exact against the healthy run.
+  const std::vector<nn::Tensor> batch(3, input_);
+  const auto outs = pipe.run_batch(batch, 2);
+  ASSERT_EQ(outs.size(), 3u);
+  for (const auto& o : outs) EXPECT_EQ(o, golden);
+  EXPECT_EQ(pipe.run(input_), golden);
+}
+
+TEST_F(PipelineHookTest, CancelTokenAbandonsTheRunWithATypedError) {
+  FusionPipeline pipe(net_, ws_);
+  const std::atomic<bool> cancelled{true};
+  pipe.set_cancel_token(&cancelled);
+  try {
+    (void)pipe.run(input_);
+    FAIL() << "cancelled run completed";
+  } catch (const ServeError& e) {
+    EXPECT_EQ(e.reason(), ServeError::Reason::kCancelled);
+    EXPECT_EQ(e.exit_code(), 5);
+  }
+  pipe.set_cancel_token(nullptr);
+  EXPECT_NO_THROW((void)pipe.run(input_));
+}
+
+TEST_F(PipelineHookTest, WedgeEscalationCarriesStageAndChannelIdentity) {
+  FusionPipeline pipe(net_, ws_);
+  FaultPlan p;
+  p.seed = 1;
+  p.wedge_channel = 0;
+  p.wedge_after_pushes = 3;
+  pipe.install_fault_plan(p, ProtectionConfig::all_on());
+  try {
+    (void)pipe.run(input_);
+    FAIL() << "wedged pipeline completed";
+  } catch (const FaultError& e) {
+    EXPECT_EQ(e.stage(), net_[1].name);
+    EXPECT_EQ(e.unit(), 0);  // the wedged channel
+  }
+  // The injector kept the first unrecovered fault's identity for reports.
+  const auto fs = pipe.fault_stats();
+  EXPECT_TRUE(fs.first_unrecovered.valid);
+  EXPECT_EQ(fs.first_unrecovered.site, fault::FaultSite::kFifoPush);
+  EXPECT_EQ(fs.first_unrecovered.stream, 0u);
+  EXPECT_FALSE(fs.first_unrecovered.describe().empty());
+  pipe.clear_fault_plan();
+}
+
+TEST(DdrFailurePayload, UnrecoveredBurstsCarryFullIdentity) {
+  arch::DdrTrace trace;
+  trace.transactions.push_back(
+      {arch::DdrOp::kLoadWeights, 2, "conv1-w", 64 * 1024, 0, 100});
+  trace.total_cycles = 100;
+  FaultPlan p;
+  p.seed = 4;
+  p.ddr_burst_flip_rate = 1.0;  // every burst and every re-read is hit
+  const fault::FaultInjector inj(p);
+  const auto dev = fpga::zc706();
+  const auto rep = arch::replay_trace_with_faults(trace, dev, inj,
+                                                  ProtectionConfig::all_on());
+  ASSERT_GT(rep.unrecovered, 0);
+  ASSERT_EQ(rep.failures.size(), static_cast<std::size_t>(rep.unrecovered));
+  const auto& f = rep.failures.front();
+  EXPECT_EQ(f.transaction, 0u);
+  EXPECT_EQ(f.group, 2u);
+  EXPECT_EQ(f.what, "conv1-w");
+  EXPECT_EQ(f.attempts, ProtectionConfig::all_on().retry_limit);
+  const FaultError err = f.to_error();
+  EXPECT_EQ(err.category(), ErrorCategory::kFault);
+  EXPECT_EQ(err.stage(), "conv1-w");
+  EXPECT_EQ(err.unit(), f.burst);
+  EXPECT_EQ(err.attempts(), f.attempts);
+  EXPECT_NE(std::string(err.what()).find("unrecovered"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hetacc

@@ -7,20 +7,27 @@
 //          [--no-codegen] [--interval-dp] [--explore-tiles]
 //          [--conventional-only] [--wino-tile M] [--threads N]
 //          [--protect] [--fault-campaign] [--fault-seed N]
+//          [--serve SPEC] [--serve-deadline N] [--serve-queue N]
+//          [--serve-replicas N] [--serve-retries N] [--serve-fault LO:HI|auto]
 //
 // Exit codes (see src/support/error.h): 0 success, 2 parse/validate,
-// 3 infeasible, 4 unrecovered fault, 1 internal.
+// 3 infeasible, 4 unrecovered fault, 5 serving-runtime failure, 1 internal.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
 
 #include "arch/ddr_trace.h"
 #include "arch/pipeline.h"
 #include "caffe/importer.h"
+#include "core/strategy_io.h"
 #include "fault/fault.h"
 #include "fault/protect.h"
 #include "nn/model_zoo.h"
+#include "serve/server.h"
 #include "support/error.h"
 #include "toolflow/toolflow.h"
 
@@ -56,7 +63,24 @@ void usage() {
       "                      timeline (CRC coverage, retry recovery), SEU\n"
       "                      sweeps through the functional pipeline, and a\n"
       "                      watchdog wedge demonstration\n"
-      "  --fault-seed N      campaign seed (default 1); same seed, same run\n");
+      "  --fault-seed N      campaign seed (default 1); same seed, same run\n"
+      "  --serve SPEC        resilient serving run instead of codegen: drive\n"
+      "                      an arrival trace through the bounded-queue /\n"
+      "                      deadline / retry / circuit-breaker runtime over\n"
+      "                      the optimized strategy, with the --protect\n"
+      "                      re-optimized strategy as the degraded fallback.\n"
+      "                      SPEC is a trace CSV path (id,arrival_cycle,\n"
+      "                      input_seed) or synth:N[:MEAN[:SEED]] for N\n"
+      "                      synthetic requests with mean inter-arrival MEAN\n"
+      "                      cycles (default: primary latency / replicas)\n"
+      "  --serve-deadline N  per-request deadline in cycles (0 = off;\n"
+      "                      default 4x the primary service latency)\n"
+      "  --serve-queue N     admission queue bound (default 64)\n"
+      "  --serve-replicas N  modeled accelerator replicas (default 2)\n"
+      "  --serve-retries N   primary retry budget per request (default 2)\n"
+      "  --serve-fault SPEC  fault burst striking the primary: LO:HI cycle\n"
+      "                      window, or 'auto' for the middle third of the\n"
+      "                      trace (plan seeded by --fault-seed)\n");
 }
 
 void print_report_line(const char* tag, const core::StrategyReport& r) {
@@ -210,6 +234,176 @@ int run_fault_campaign(const nn::Network& net, const fpga::Device& dev,
   return 0;
 }
 
+/// --serve: everything the serving runtime needs from the command line.
+struct ServeCliOptions {
+  std::string spec;          ///< trace CSV path or synth:N[:MEAN[:SEED]]
+  long long deadline = -1;   ///< -1 = derive from the primary latency
+  std::size_t queue = 64;
+  int replicas = 2;
+  int retries = 2;
+  std::string fault;         ///< "", "auto", or "LO:HI"
+};
+
+/// --serve: run the resilient serving runtime over the optimized strategy.
+/// The primary mode is the unprotected latency-optimal strategy; the
+/// degraded fallback is the --protect re-optimization, round-tripped through
+/// its CSV form the way an operator would pre-compute and ship it. The
+/// functional work behind every request is the network's leading layers on a
+/// capped input (same testbed discipline as --fault-campaign) so a 10k
+/// request soak stays fast; service *times* come from the cost layer's
+/// full-strategy latencies.
+int run_serve(const nn::Network& net, const fpga::Device& dev,
+              toolflow::ToolflowOptions opt, const ServeCliOptions& so,
+              std::uint64_t fault_seed) {
+  opt.generate_code = false;
+  opt.protect = false;
+  const auto primary_flow = toolflow::run_toolflow(net, dev, opt);
+
+  toolflow::ToolflowOptions fopt = opt;
+  fopt.protect = true;
+  const auto fb_flow = toolflow::run_toolflow(net, dev, fopt);
+  fpga::Device pdev = dev;
+  pdev.protection.enabled = true;
+  const core::Strategy fb_strategy = core::strategy_from_csv(
+      core::strategy_to_csv(fb_flow.optimization.strategy, fb_flow.accel_net),
+      fb_flow.accel_net, pdev);
+
+  // Functional testbed: leading layers on a capped input (the request
+  // payloads), aligned with the strategies' per-layer choices.
+  nn::Network snet("serve-testbed");
+  const nn::Shape in0 = primary_flow.accel_net[0].out;
+  snet.input({in0.c, std::min(in0.h, 32), std::min(in0.w, 32)});
+  const std::size_t klast =
+      std::min<std::size_t>(3, primary_flow.accel_net.size() - 1);
+  for (std::size_t i = 1; i <= klast; ++i) snet.add(primary_flow.accel_net[i]);
+  const auto choices_of = [klast](const core::Strategy& s) {
+    std::vector<arch::LayerChoice> ch;
+    for (const auto& g : s.groups) {
+      for (const auto& ipl : g.impls) {
+        ch.push_back({ipl.cfg.algo, ipl.cfg.wino_m, {}});
+      }
+    }
+    ch.resize(klast);
+    return ch;
+  };
+
+  serve::ServingMode primary;
+  primary.choices = choices_of(primary_flow.optimization.strategy);
+  primary.service_cycles =
+      primary_flow.optimization.strategy.latency_cycles();
+  serve::ServingMode fallback;
+  fallback.choices = choices_of(fb_strategy);
+  fallback.service_cycles = fb_strategy.latency_cycles();
+
+  serve::ServerConfig cfg;
+  cfg.queue_capacity = so.queue;
+  cfg.replicas = so.replicas;
+  cfg.max_retries = so.retries;
+  cfg.deadline_cycles =
+      so.deadline >= 0 ? so.deadline : 4 * primary.service_cycles;
+  cfg.backoff_base_cycles = std::max<long long>(primary.service_cycles / 8, 1);
+  cfg.backoff_cap_cycles = 4 * cfg.backoff_base_cycles;
+  cfg.breaker.cooldown_cycles = 2 * primary.service_cycles;
+  cfg.threads = opt.threads;
+
+  // The trace: synthetic (synth:N[:MEAN[:SEED]]) or a CSV file.
+  serve::ArrivalTrace trace;
+  if (so.spec.rfind("synth:", 0) == 0) {
+    std::istringstream is(so.spec.substr(6));
+    std::string f;
+    std::size_t n = 0;
+    long long mean =
+        std::max<long long>(3 * primary.service_cycles / so.replicas, 1);
+    std::uint64_t seed = 1;
+    if (std::getline(is, f, ':')) n = std::stoull(f);
+    if (std::getline(is, f, ':')) mean = std::stoll(f);
+    if (std::getline(is, f, ':')) seed = std::stoull(f);
+    if (n == 0) {
+      throw ServeError(ServeError::Reason::kConfig,
+                       "synth trace needs a request count: " + so.spec);
+    }
+    trace = serve::ArrivalTrace::synthetic(n, mean, seed, /*surge=*/2.0);
+  } else {
+    std::ifstream f(so.spec);
+    if (!f) {
+      throw ServeError(ServeError::Reason::kConfig,
+                       "cannot open trace file '" + so.spec + "'");
+    }
+    std::ostringstream buf;
+    buf << f.rdbuf();
+    trace = serve::ArrivalTrace::from_csv(buf.str());
+  }
+
+  if (!so.fault.empty()) {
+    if (so.fault == "auto") {
+      const long long span = trace.last_arrival();
+      trace.burst.from_cycle = span / 3;
+      trace.burst.until_cycle = 2 * span / 3;
+    } else {
+      const auto colon = so.fault.find(':');
+      if (colon == std::string::npos) {
+        throw ServeError(ServeError::Reason::kConfig,
+                         "--serve-fault wants LO:HI or auto, got '" +
+                             so.fault + "'");
+      }
+      trace.burst.from_cycle = std::stoll(so.fault.substr(0, colon));
+      trace.burst.until_cycle = std::stoll(so.fault.substr(colon + 1));
+    }
+    // A wedged FIFO: deterministic hard failure on every struck run, the
+    // worst case the watchdog + retry + breaker chain must absorb.
+    trace.burst.plan.seed = fault_seed;
+    trace.burst.plan.wedge_channel = 0;
+    trace.burst.plan.wedge_after_pushes = 4;
+  }
+
+  std::printf("serving '%s' on %s: %zu requests, %d replica(s), queue %zu, "
+              "deadline %lld cycles\n",
+              primary_flow.full_net.name().c_str(), dev.name.c_str(),
+              trace.requests.size(), cfg.replicas, cfg.queue_capacity,
+              cfg.deadline_cycles);
+  std::printf("  primary   %lld cycles/request (%zu-layer testbed)\n",
+              primary.service_cycles, klast);
+  std::printf("  fallback  %lld cycles/request (protected re-optimization, "
+              "CSV round-trip)\n",
+              fallback.service_cycles);
+  if (trace.burst.active()) {
+    std::printf("  fault burst [%lld, %lld) cycles, seed %llu\n",
+                trace.burst.from_cycle, trace.burst.until_cycle,
+                static_cast<unsigned long long>(fault_seed));
+  }
+
+  const auto ws = nn::WeightStore::deterministic(snet, opt.weight_seed);
+  serve::Server server(snet, ws, primary, fallback, cfg);
+  const serve::ServerStats stats = server.run(trace);
+
+  std::printf("\nserver stats:\n%s", stats.summary().c_str());
+  if (!server.breaker_log().empty()) {
+    std::printf("breaker transitions:\n");
+    for (const auto& t : server.breaker_log()) {
+      std::printf("  cycle %10lld  %s -> %s\n", t.cycle,
+                  std::string(serve::to_string(t.from)).c_str(),
+                  std::string(serve::to_string(t.to)).c_str());
+    }
+  }
+  std::printf("json: %s\n", stats.to_json().c_str());
+
+  if (!stats.accounted()) {
+    throw Error(ErrorCategory::kServe,
+                "request accounting mismatch: " +
+                    std::to_string(stats.submitted) + " submitted but only " +
+                    std::to_string(stats.rejected_queue_full +
+                                   stats.shed_deadline + stats.completed +
+                                   stats.failed) +
+                    " accounted for");
+  }
+  if (stats.failed > 0) {
+    throw Error(ErrorCategory::kServe,
+                std::to_string(stats.failed) +
+                    " request(s) failed on the degraded fallback");
+  }
+  return 0;
+}
+
 int run_cli(int argc, char** argv) {
   std::string net_path, model_name = "alexnet", out_dir;
   fpga::Device dev = fpga::zc706();
@@ -217,6 +411,7 @@ int run_cli(int argc, char** argv) {
   bool interval = false;
   bool fault_campaign = false;
   std::uint64_t fault_seed = 1;
+  ServeCliOptions serve_opts;
   fpga::EngineModelParams params;
 
   for (int i = 1; i < argc; ++i) {
@@ -260,6 +455,19 @@ int run_cli(int argc, char** argv) {
     } else if (!std::strcmp(argv[i], "--fault-seed")) {
       fault_seed = static_cast<std::uint64_t>(
           std::strtoull(next("--fault-seed"), nullptr, 10));
+    } else if (!std::strcmp(argv[i], "--serve")) {
+      serve_opts.spec = next("--serve");
+    } else if (!std::strcmp(argv[i], "--serve-deadline")) {
+      serve_opts.deadline = std::atoll(next("--serve-deadline"));
+    } else if (!std::strcmp(argv[i], "--serve-queue")) {
+      serve_opts.queue =
+          static_cast<std::size_t>(std::atoll(next("--serve-queue")));
+    } else if (!std::strcmp(argv[i], "--serve-replicas")) {
+      serve_opts.replicas = std::atoi(next("--serve-replicas"));
+    } else if (!std::strcmp(argv[i], "--serve-retries")) {
+      serve_opts.retries = std::atoi(next("--serve-retries"));
+    } else if (!std::strcmp(argv[i], "--serve-fault")) {
+      serve_opts.fault = next("--serve-fault");
     } else if (!std::strcmp(argv[i], "--help") || !std::strcmp(argv[i], "-h")) {
       usage();
       return 0;
@@ -292,6 +500,9 @@ int run_cli(int argc, char** argv) {
               dev.capacity.bram18k);
 
   if (fault_campaign) return run_fault_campaign(net, dev, opt, fault_seed);
+  if (!serve_opts.spec.empty()) {
+    return run_serve(net, dev, opt, serve_opts, fault_seed);
+  }
 
   // The tool-flow uses the fast prefix DP; --interval-dp swaps in the
   // paper's Algorithm 1 (same result, validated by tests).
