@@ -125,6 +125,12 @@ std::vector<std::unique_ptr<StreamEngine>> FusionPipeline::build_engine_set()
   std::vector<std::unique_ptr<StreamEngine>> engines;
   for (std::size_t i = 0; i + 1 < net_.size(); ++i) {
     const nn::Layer& l = net_[i + 1];
+    if (l.is_merge()) {
+      // Merge layers run on whole tensors between streams (run_dag); the
+      // engine slot stays null to keep choices_/engines_ index-aligned.
+      engines.push_back(nullptr);
+      continue;
+    }
     const nn::ConvWeights* w =
         (l.kind == nn::LayerKind::kConv) ? &ws_.conv(i + 1) : nullptr;
     std::optional<algo::WinogradTransform> t;
@@ -145,7 +151,14 @@ std::vector<std::unique_ptr<StreamEngine>> FusionPipeline::build_engine_set()
 }
 
 nn::Tensor FusionPipeline::run(const nn::Tensor& input) {
-  return run_with(engines_, input, &stats_);
+  return run_any(engines_, input, &stats_);
+}
+
+nn::Tensor FusionPipeline::run_any(
+    std::vector<std::unique_ptr<StreamEngine>>& engines,
+    const nn::Tensor& input, PipelineStats* stats) const {
+  return net_.is_chain() ? run_with(engines, input, stats)
+                         : run_dag(engines, input, stats);
 }
 
 std::vector<nn::Tensor> FusionPipeline::run_batch(
@@ -165,7 +178,7 @@ std::vector<nn::Tensor> FusionPipeline::run_batch(
       inputs.size(), per, threads, [&](std::size_t lo, std::size_t hi) {
         auto engines = build_engine_set();
         for (std::size_t i = lo; i < hi; ++i) {
-          outs[i] = run_with(engines, inputs[i], nullptr);
+          outs[i] = run_any(engines, inputs[i], nullptr);
         }
       });
   return outs;
@@ -273,6 +286,142 @@ nn::Tensor FusionPipeline::run_with(
     for (const auto& f : fifos) {
       stats->fifo_max_occupancy.push_back(f.max_occupancy());
     }
+  }
+  return out;
+}
+
+nn::Tensor FusionPipeline::run_dag(
+    std::vector<std::unique_ptr<StreamEngine>>& engines,
+    const nn::Tensor& input, PipelineStats* stats) const {
+  // Graph walk: each single-input layer streams row-by-row through its
+  // engine with a private FIFO pair (same feed/sweep/drain discipline as the
+  // chained path); merge layers gather their producers' whole feature maps
+  // and combine them between streams, which is how the generated design
+  // stages branch arms through DDR today.
+  for (auto& e : engines) {
+    if (e) e->reset();
+  }
+  if (input.shape() != net_[0].out) {
+    throw std::invalid_argument("FusionPipeline::run: input shape " +
+                                input.shape().str() + " != " +
+                                net_[0].out.str());
+  }
+  if (stats) {
+    *stats = PipelineStats{};
+    stats->fifo_max_occupancy.assign(net_.size(), 0);
+  }
+  std::vector<nn::Tensor> outs;
+  outs.reserve(net_.size());
+  outs.push_back(input);
+  for (std::size_t i = 1; i < net_.size(); ++i) {
+    const nn::Layer& l = net_[i];
+    if (l.is_merge()) {
+      std::vector<const nn::Tensor*> ins;
+      ins.reserve(l.inputs.size());
+      for (std::size_t u : l.inputs) ins.push_back(&outs[u]);
+      outs.push_back(l.kind == nn::LayerKind::kConcat
+                         ? nn::concat_reference(ins)
+                         : nn::eltwise_add_reference(ins));
+      continue;
+    }
+    outs.push_back(stream_layer(*engines[i - 1], outs[l.inputs.front()],
+                                l.out, stats, i - 1));
+  }
+  return std::move(outs.back());
+}
+
+nn::Tensor FusionPipeline::stream_layer(StreamEngine& eng,
+                                        const nn::Tensor& input,
+                                        const nn::Shape& out_shape,
+                                        PipelineStats* stats,
+                                        std::size_t engine_idx) const {
+  RowFifo in_fifo;
+  RowFifo out_fifo;
+  if (injector_) {
+    // Same stream ids as the chained path: channel i feeds engine i, and the
+    // engine uses its layer index as the line-buffer injection stream.
+    in_fifo.attach_fault(injector_.get(),
+                         static_cast<std::uint64_t>(engine_idx));
+    out_fifo.attach_fault(injector_.get(),
+                          static_cast<std::uint64_t>(engine_idx + 1));
+    eng.set_fault_injector(injector_.get(),
+                           static_cast<std::uint64_t>(engine_idx));
+  }
+  nn::Tensor out(out_shape);
+  int out_rows = 0;
+  int fed_rows = 0;
+  while (out_rows < out_shape.h) {
+    if (cancel_ && cancel_->load(std::memory_order_relaxed)) {
+      throw ServeError(ServeError::Reason::kCancelled,
+                       "pipeline run cancelled in stage '" +
+                           eng.layer().name + "' after emitting " +
+                           std::to_string(out_rows) + "/" +
+                           std::to_string(out_shape.h) + " output rows");
+    }
+    const bool can_feed = fed_rows < input.shape().h && !in_fifo.full();
+    if (can_feed) {
+      Row r;
+      r.data.resize(static_cast<std::size_t>(input.shape().c) *
+                    input.shape().w);
+      for (int c = 0; c < input.shape().c; ++c) {
+        for (int w = 0; w < input.shape().w; ++w) {
+          r.data[static_cast<std::size_t>(c) * input.shape().w + w] =
+              input.at(c, fed_rows, w);
+        }
+      }
+      in_fifo.push(std::move(r));
+      ++fed_rows;
+    }
+
+    bool progressed = true;
+    while (progressed) {
+      progressed = false;
+      while (eng.step(in_fifo, out_fifo)) {
+        progressed = true;
+        if (stats) ++stats->total_steps;
+      }
+      while (!out_fifo.empty()) {
+        const Row r = out_fifo.pop();
+        if (out_rows >= out_shape.h) {
+          throw std::runtime_error("pipeline produced too many rows");
+        }
+        for (int c = 0; c < out_shape.c; ++c) {
+          for (int w = 0; w < out_shape.w; ++w) {
+            out.at(c, out_rows, w) =
+                r.data[static_cast<std::size_t>(c) * out_shape.w + w];
+          }
+        }
+        ++out_rows;
+        progressed = true;
+      }
+    }
+    if (!can_feed && out_rows < out_shape.h && !progressed) {
+      if (!eng.step(in_fifo, out_fifo) && out_fifo.empty()) {
+        if (in_fifo.wedged() || out_fifo.wedged()) {
+          const std::size_t ch = in_fifo.wedged() ? engine_idx : engine_idx + 1;
+          if (injector_) {
+            const RowFifo& f = in_fifo.wedged() ? in_fifo : out_fifo;
+            injector_->count_unrecovered(
+                fault::FaultSite::kFifoPush, static_cast<std::uint64_t>(ch),
+                static_cast<std::uint64_t>(f.total_pushed()), 0);
+          }
+          throw FaultError(
+              "pipeline watchdog: FIFO channel " + std::to_string(ch) +
+                  " feeding stage '" + eng.layer().name + "' wedged",
+              eng.layer().name, static_cast<long long>(ch));
+        }
+        throw FaultError("pipeline watchdog: stage '" + eng.layer().name +
+                             "' starved (input exhausted)",
+                         eng.layer().name,
+                         static_cast<long long>(engine_idx));
+      }
+    }
+  }
+  if (stats) {
+    auto& occ = stats->fifo_max_occupancy;
+    occ[engine_idx] = std::max(occ[engine_idx], in_fifo.max_occupancy());
+    occ[engine_idx + 1] =
+        std::max(occ[engine_idx + 1], out_fifo.max_occupancy());
   }
   return out;
 }

@@ -59,8 +59,17 @@ class FusionPipeline {
 
   [[nodiscard]] const PipelineStats& stats() const { return stats_; }
   [[nodiscard]] std::size_t engine_count() const { return engines_.size(); }
+  /// Engine for layer i+1. Merge layers (concat / eltwise-add) have no
+  /// stream engine — they are computed on whole tensors between streams —
+  /// so this throws for them; check has_engine() first on DAG nets.
   [[nodiscard]] const StreamEngine& engine(std::size_t i) const {
+    if (!engines_.at(i)) {
+      throw std::logic_error("FusionPipeline: merge layers have no engine");
+    }
     return *engines_.at(i);
+  }
+  [[nodiscard]] bool has_engine(std::size_t i) const {
+    return engines_.at(i) != nullptr;
   }
 
   /// Full recovery hook for the serving layer's retry-with-reload path:
@@ -100,8 +109,17 @@ class FusionPipeline {
  private:
   [[nodiscard]] std::vector<std::unique_ptr<StreamEngine>> build_engine_set()
       const;
+  /// Dispatches to the chained-FIFO path on chain nets and the graph walk
+  /// (per-layer streams + tensor merges) otherwise.
+  nn::Tensor run_any(std::vector<std::unique_ptr<StreamEngine>>& engines,
+                     const nn::Tensor& input, PipelineStats* stats) const;
   nn::Tensor run_with(std::vector<std::unique_ptr<StreamEngine>>& engines,
                       const nn::Tensor& input, PipelineStats* stats) const;
+  nn::Tensor run_dag(std::vector<std::unique_ptr<StreamEngine>>& engines,
+                     const nn::Tensor& input, PipelineStats* stats) const;
+  nn::Tensor stream_layer(StreamEngine& eng, const nn::Tensor& input,
+                          const nn::Shape& out_shape, PipelineStats* stats,
+                          std::size_t engine_idx) const;
 
   void derive_layer_constants();
   [[noreturn]] void report_stall(

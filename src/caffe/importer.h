@@ -1,17 +1,22 @@
 #pragma once
 // Caffe deploy-prototxt -> Network importer (paper Fig. 3's "Caffe Model"
 // input). Supports the layer types the accelerator handles (Convolution,
-// Pooling, LRN, ReLU, InnerProduct, Softmax, Input/input_dim headers) on
-// linear topologies; in-place ReLU layers fold into their bottom.
+// Pooling, LRN, ReLU, InnerProduct, Softmax, Concat, Eltwise SUM,
+// Input/input_dim headers) on series-parallel graph topologies: bottom/top
+// blob names become explicit producer edges, so Inception-style branches and
+// ResNet-style skips import directly. Layers without bottom/top fall back to
+// chain order (classic deploy files); in-place ReLU layers fold into their
+// producing conv.
 
 #include "caffe/prototxt.h"
 #include "nn/network.h"
 
 namespace hetacc::caffe {
 
-/// Builds a network from prototxt text. Throws std::runtime_error with a
-/// layer name on unsupported constructs (branching topologies, unknown
-/// types, missing shapes).
+/// Builds a network from prototxt text. Throws ParseError carrying the
+/// offending layer's source line on graph errors (dangling bottoms,
+/// duplicate tops, forward references / cycles) and unsupported constructs
+/// (unknown types, non-SUM eltwise, non-channel concat, missing shapes).
 [[nodiscard]] nn::Network import_prototxt(std::string_view text);
 
 /// Reads the file and imports it.

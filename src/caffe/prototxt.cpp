@@ -162,10 +162,12 @@ void parse_message_body(Lexer& lx, Message& msg, bool top_level);
 
 void parse_field(Lexer& lx, Message& msg) {
   const std::string key = lx.identifier();
+  const int key_line = lx.line;
   const char c = lx.peek();
   if (c == '{') {
     lx.expect('{');
     auto sub = std::make_shared<Message>();
+    sub->set_line(key_line);
     parse_message_body(lx, *sub, /*top_level=*/false);
     lx.expect('}');
     msg.add(key, std::move(sub));
@@ -180,6 +182,7 @@ void parse_field(Lexer& lx, Message& msg) {
       // "field: { ... }" form is also legal text format.
       lx.expect('{');
       auto sub = std::make_shared<Message>();
+      sub->set_line(key_line);
       parse_message_body(lx, *sub, false);
       lx.expect('}');
       msg.add(key, std::move(sub));

@@ -46,8 +46,15 @@ class Message {
     return fields_;
   }
 
+  /// Source line of the field that opened this message (1-based; 0 for the
+  /// root). Importers use it to report graph errors — dangling bottoms,
+  /// duplicate tops — against the offending layer block.
+  [[nodiscard]] int line() const { return line_; }
+  void set_line(int line) { line_ = line; }
+
  private:
   std::map<std::string, std::vector<Value>> fields_;
+  int line_ = 0;
 };
 
 /// Parses prototxt text. Throws std::runtime_error with line information on

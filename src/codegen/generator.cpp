@@ -641,6 +641,11 @@ GeneratedDesign generate_design(const nn::Network& net,
     throw std::invalid_argument(
         "generate_design: only embedded weights are supported");
   }
+  if (!net.is_chain()) {
+    throw std::invalid_argument(
+        "generate_design: the HLS template emits chained DATAFLOW stages "
+        "only; branchy (SP-DAG) nets are not supported yet");
+  }
   const bool fixed = opt.fixed_point;
   if (fixed && opt.layer_fracs.size() != net.size() - 1) {
     throw std::invalid_argument(

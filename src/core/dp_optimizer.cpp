@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "cost/group_timing.h"
+#include "nn/graph.h"
 
 namespace hetacc::core {
 
@@ -44,6 +45,16 @@ FusionTable::FusionTable(const nn::Network& net,
   // serial and parallel paths sum the same (commutative) per-cell counts.
   auto evaluate = [&](std::size_t ci) -> long long {
     const auto [i, j] = cells[ci];
+    // Only single-entry/single-exit ranges can fuse: every branch arm of a
+    // parallel composition must be co-scheduled inside one group (the arms
+    // share the group's single external input), so ranges that cut through
+    // a module are marked infeasible without running the BnB. On chains
+    // every range passes, keeping the table identical to the chain DP's.
+    if (!nn::is_sese_range(net, net_index(i), net_index(j))) {
+      table_[cell(i, j)] = std::nullopt;
+      min_t_[cell(i, j)] = 0;
+      return 0;
+    }
     auto r = fuse_group(net, net_index(i), net_index(j), model, opt);
     const long long visited = r ? r->nodes_visited : 0;
     min_t_[cell(i, j)] = cost::min_transfer_bytes(
@@ -142,7 +153,14 @@ std::string diagnose_infeasible(const nn::Network& net, const FusionTable& ft,
   if (n == 0) return "network has no optimizable layers";
   for (std::size_t k = 0; k < n; ++k) {
     if (!ft.feasible(k, k)) {
-      return "layer '" + net[ft.net_index(k)].name +
+      const nn::Layer& l = net[ft.net_index(k)];
+      if (l.inputs.size() > 1) {
+        return "merge layer '" + l.name +
+               "' must be fused with its branch arms, but no feasible "
+               "single-entry/single-exit group covers the module (raise "
+               "max_group_layers or the resource/transfer budgets)";
+      }
+      return "layer '" + l.name +
              "' has no feasible engine implementation under the device "
              "resource budget";
     }

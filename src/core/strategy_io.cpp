@@ -9,9 +9,15 @@
 namespace hetacc::core {
 
 std::string strategy_to_csv(const Strategy& s, const nn::Network& net) {
+  // Chain nets keep the legacy 16-column format byte-for-byte; DAG nets add
+  // a trailing `inputs` column (producer indices joined by '|') so the
+  // topology round-trips with the strategy.
+  const bool dag = !net.is_chain();
   std::ostringstream os;
   os << "group,layer,name,kind,algorithm,wino_m,tn,tm,tk,parallelism,"
-        "dsp,bram18k,ff,lut,compute_cycles,fill_cycles\n";
+        "dsp,bram18k,ff,lut,compute_cycles,fill_cycles";
+  if (dag) os << ",inputs";
+  os << '\n';
   for (std::size_t gi = 0; gi < s.groups.size(); ++gi) {
     const auto& g = s.groups[gi];
     for (std::size_t k = 0; k < g.impls.size(); ++k) {
@@ -24,7 +30,15 @@ std::string strategy_to_csv(const Strategy& s, const nn::Network& net) {
          << ',' << ipl.cfg.tn << ',' << ipl.cfg.tm << ',' << ipl.cfg.tk << ','
          << ipl.cfg.parallelism(l.window()) << ',' << ipl.res.dsp << ','
          << ipl.res.bram18k << ',' << ipl.res.ff << ',' << ipl.res.lut << ','
-         << ipl.compute_cycles << ',' << ipl.fill_cycles << '\n';
+         << ipl.compute_cycles << ',' << ipl.fill_cycles;
+      if (dag) {
+        os << ',';
+        for (std::size_t e = 0; e < l.inputs.size(); ++e) {
+          if (e) os << '|';
+          os << l.inputs[e];
+        }
+      }
+      os << '\n';
     }
   }
   return os.str();
@@ -73,6 +87,9 @@ namespace {
 constexpr std::string_view kStrategyCsvHeader =
     "group,layer,name,kind,algorithm,wino_m,tn,tm,tk,parallelism,"
     "dsp,bram18k,ff,lut,compute_cycles,fill_cycles";
+constexpr std::string_view kStrategyCsvHeaderDag =
+    "group,layer,name,kind,algorithm,wino_m,tn,tm,tk,parallelism,"
+    "dsp,bram18k,ff,lut,compute_cycles,fill_cycles,inputs";
 
 std::vector<std::string_view> split_fields(std::string_view line) {
   std::vector<std::string_view> out;
@@ -113,9 +130,13 @@ Strategy strategy_from_csv(const std::string& csv, const nn::Network& net,
   }
   ++line_no;
   if (!line.empty() && line.back() == '\r') line.pop_back();
-  if (line != kStrategyCsvHeader) {
+  bool dag = false;
+  if (line == kStrategyCsvHeaderDag) {
+    dag = true;
+  } else if (line != kStrategyCsvHeader) {
     throw ParseError("strategy csv: bad header '" + line + "'", line_no);
   }
+  const std::size_t nfields = dag ? 17 : 16;
 
   Strategy s;
   std::size_t expect_layer = 1;  // layer 0 is the input layer
@@ -124,9 +145,9 @@ Strategy strategy_from_csv(const std::string& csv, const nn::Network& net,
     if (!line.empty() && line.back() == '\r') line.pop_back();
     if (line.empty()) continue;
     const auto f = split_fields(line);
-    if (f.size() != 16) {
-      throw ParseError("strategy csv: expected 16 fields, got " +
-                           std::to_string(f.size()),
+    if (f.size() != nfields) {
+      throw ParseError("strategy csv: expected " + std::to_string(nfields) +
+                           " fields, got " + std::to_string(f.size()),
                        line_no);
     }
     const long long gi = parse_ll(f[0], "group", line_no);
@@ -192,9 +213,23 @@ Strategy strategy_from_csv(const std::string& csv, const nn::Network& net,
     if (ipl.compute_cycles < 0 || ipl.fill_cycles < 0) {
       throw ParseError("strategy csv: negative cycle count", line_no);
     }
+    if (dag) {
+      // Topology column: the producer list must match the network's edges.
+      std::string expect_inputs;
+      for (std::size_t e = 0; e < l.inputs.size(); ++e) {
+        if (e) expect_inputs += '|';
+        expect_inputs += std::to_string(l.inputs[e]);
+      }
+      if (f[16] != expect_inputs) {
+        throw ParseError("strategy csv: inputs '" + std::string(f[16]) +
+                             "' disagree with network edges '" +
+                             expect_inputs + "' for layer '" + l.name + "'",
+                         line_no);
+      }
+    }
     // Weight words are a pure function of the layer (not exported).
     if (l.kind == nn::LayerKind::kConv) {
-      ipl.weight_words = static_cast<long long>(l.out.c) * l.in.c *
+      ipl.weight_words = static_cast<long long>(l.out.c) * l.conv_fan_in() *
                          l.conv().kernel * l.conv().kernel;
       ipl.mults_performed = fpga::EngineModel::algo_mults(l, ipl.cfg);
     }

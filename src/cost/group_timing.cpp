@@ -9,6 +9,11 @@ long long min_transfer_bytes(const nn::Network& net, std::size_t first,
   if (first > last || last >= net.size()) {
     throw std::invalid_argument("min_transfer_bytes: bad range");
   }
+  // The optimizer only fuses single-entry/single-exit ranges (see
+  // nn::is_sese_range), so the group loads exactly one external feature map
+  // — the sole producer's output, which equals the first layer's input and
+  // is broadcast to every branch arm — and stores the exit layer's output.
+  // That makes the paper's chain formula DAG-correct as-is.
   return net[first].in.bytes(bytes_per_elem) +
          net[last].out.bytes(bytes_per_elem);
 }
@@ -52,9 +57,20 @@ GroupTiming evaluate_group_timing(
     t.transfer_cycles =
         transfer_cycles(t.transfer_bytes + wt_bytes, dev.bytes_per_cycle());
   }
-  for (const auto& ipl : impls) {
-    t.compute_cycles = std::max(t.compute_cycles, ipl.compute_cycles);
-    t.fill_cycles += ipl.fill_cycles;
+  // Compute: member engines stream concurrently, so the slowest stage
+  // bounds the group (branch arms of a parallel composition co-execute).
+  // Fill: pipeline priming accumulates along the deepest producer chain
+  // inside the group; on a chain that is the plain sum.
+  std::vector<long long> depth(impls.size(), 0);
+  for (std::size_t k = 0; k < impls.size(); ++k) {
+    const std::size_t v = first + k;
+    long long base = 0;
+    for (std::size_t u : net[v].inputs) {
+      if (u >= first) base = std::max(base, depth[u - first]);
+    }
+    depth[k] = base + impls[k].fill_cycles;
+    t.compute_cycles = std::max(t.compute_cycles, impls[k].compute_cycles);
+    t.fill_cycles = std::max(t.fill_cycles, depth[k]);
   }
   t.latency_cycles =
       group_latency(t.compute_cycles, t.transfer_cycles, t.fill_cycles);

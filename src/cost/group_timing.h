@@ -20,7 +20,8 @@ namespace hetacc::cost {
 struct GroupTiming {
   long long compute_cycles = 0;   ///< slowest member layer (pipeline stage)
   long long transfer_cycles = 0;  ///< group input load + output store at DDR
-  long long fill_cycles = 0;      ///< pipeline priming across the group
+  long long fill_cycles = 0;      ///< priming along the group's critical path
+                                  ///< (= the plain sum on a chain group)
   long long latency_cycles = 0;   ///< max(compute, transfer) + fill
 
   /// Feature-map bytes this group moves through DDR (the paper's T metric).
@@ -30,7 +31,9 @@ struct GroupTiming {
 };
 
 /// Minimal feature-map transfer of fusing layers [first, last]: input of the
-/// first layer + output of the last (the paper's min_t[i][j]).
+/// first layer + output of the last (the paper's min_t[i][j]). Valid for any
+/// single-entry/single-exit range — branch arms share (broadcast) the one
+/// external input, which is the co-scheduling win of fusing a module.
 [[nodiscard]] long long min_transfer_bytes(const nn::Network& net,
                                            std::size_t first,
                                            std::size_t last,

@@ -72,7 +72,7 @@ long long EngineModel::algo_mults(const nn::Layer& layer,
       const int n = cfg.wino_m + p.kernel - 1;
       const long long tiles =
           cost::winograd_tile_count(layer.out.h, layer.out.w, cfg.wino_m);
-      return cost::winograd_mults(tiles, n, layer.in.c, layer.out.c);
+      return cost::winograd_mults(tiles, n, layer.conv_fan_in(), layer.out.c);
     }
     case ConvAlgo::kWinogradStride2: {
       const auto& p = layer.conv();
@@ -81,7 +81,8 @@ long long EngineModel::algo_mults(const nn::Layer& layer,
       const long long tiles =
           cost::winograd_tile_count(layer.out.h, layer.out.w, cfg.wino_m);
       // four polyphase components
-      return 4 * cost::winograd_mults(tiles, n, layer.in.c, layer.out.c);
+      return 4 * cost::winograd_mults(tiles, n, layer.conv_fan_in(),
+                                      layer.out.c);
     }
     case ConvAlgo::kNone: {
       if (layer.kind == nn::LayerKind::kLrn) {
@@ -112,7 +113,10 @@ Implementation EngineModel::implement_conv(const nn::Layer& layer,
                                            EngineConfig cfg) const {
   const auto& cp = layer.conv();
   const int K = cp.kernel;
-  const int M = layer.in.c;
+  // Compute/weight fan-in may be annotated (coarsened modules); the physical
+  // feature map streamed through the line buffer is always layer.in.
+  const int M = layer.conv_fan_in();
+  const int Mc = layer.in.c;
   const int N = layer.out.c;
   cfg.tn = std::clamp(cfg.tn, 1, M);
   cfg.tm = std::clamp(cfg.tm, 1, N);
@@ -183,7 +187,7 @@ Implementation EngineModel::implement_conv(const nn::Layer& layer,
   // channels, partitioned into one bank per (row, tn-slice) for port
   // bandwidth.
   const long long lb_words =
-      static_cast<long long>(M) * line_rows * layer.in.w;
+      static_cast<long long>(Mc) * line_rows * layer.in.w;
   const int lb_banks = static_cast<int>(std::min<long long>(
       line_rows * cfg.tn, p_.max_line_buffer_banks));
   const int w_banks = static_cast<int>(std::min<long long>(
@@ -218,7 +222,7 @@ Implementation EngineModel::implement_conv(const nn::Layer& layer,
   } else if (cfg.algo == ConvAlgo::kWinogradStride2) {
     prime_rows = 2 * (cfg.wino_m - 1) + K;
   }
-  ipl.fill_cycles = cost::line_fill_cycles(prime_rows, layer.in.w, M,
+  ipl.fill_cycles = cost::line_fill_cycles(prime_rows, layer.in.w, Mc,
                                            p_.fifo_words_per_cycle);
 
   if (p_.protect) {
@@ -267,6 +271,22 @@ Implementation EngineModel::implement_simple(const nn::Layer& layer,
       break;
     }
     case nn::LayerKind::kRelu: {
+      work = layer.out.elems();
+      line_rows = 1;
+      dsp = 0;
+      break;
+    }
+    case nn::LayerKind::kEltwiseAdd: {
+      // (arms - 1) adds per output element; adder lanes live in LUTs.
+      const long long arms =
+          std::max<long long>(2, static_cast<long long>(layer.inputs.size()));
+      work = layer.out.elems() * (arms - 1);
+      line_rows = 1;
+      dsp = 0;
+      break;
+    }
+    case nn::LayerKind::kConcat: {
+      // Pure stream interleave: one output element forwarded per lane-cycle.
       work = layer.out.elems();
       line_rows = 1;
       dsp = 0;
@@ -361,7 +381,7 @@ std::vector<EngineConfig> EngineModel::candidates(
   if (layer.kind == nn::LayerKind::kConv) {
     const auto& cp = layer.conv();
     const int K = cp.kernel;
-    const int M = layer.in.c;
+    const int M = layer.conv_fan_in();
     const int N = layer.out.c;
     const auto tns = unrolls(M);
     const auto tms = unrolls(N);
@@ -423,7 +443,8 @@ std::vector<EngineConfig> EngineModel::candidates(
         out.insert(out.end(), wl.begin(), wl.end());
       }
     }
-  } else if (layer.is_windowed() || layer.kind == nn::LayerKind::kRelu) {
+  } else if (layer.is_windowed() || layer.kind == nn::LayerKind::kRelu ||
+             layer.is_merge()) {
     std::vector<RatedConfig> simple;
     for (int tn : unrolls(layer.in.c)) {
       // Lane count is the throughput for these engines; rate by 1/tn.
@@ -450,8 +471,13 @@ std::string structural_key(const nn::Layer& l) {
     case nn::LayerKind::kConv: {
       const auto& p = l.conv();
       os << ":c" << p.kernel << ',' << p.stride << ',' << p.pad;
+      if (p.fan_in > 0) os << ",f" << p.fan_in;
       break;
     }
+    case nn::LayerKind::kEltwiseAdd:
+    case nn::LayerKind::kConcat:
+      os << ":m" << l.inputs.size();
+      break;
     case nn::LayerKind::kPool: {
       const auto& p = l.pool();
       os << ":p" << static_cast<int>(p.method) << ',' << p.kernel << ','

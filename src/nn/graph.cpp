@@ -1,0 +1,212 @@
+#include "nn/graph.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/error.h"
+
+namespace hetacc::nn {
+
+bool is_sese_range(const Network& net, std::size_t first, std::size_t last) {
+  if (first > last || last >= net.size()) return false;
+  // Single entry: at most one distinct external producer.
+  std::size_t ext = static_cast<std::size_t>(-1);
+  for (std::size_t i = first; i <= last; ++i) {
+    for (std::size_t u : net[i].inputs) {
+      if (u >= first) continue;
+      if (ext != static_cast<std::size_t>(-1) && ext != u) return false;
+      ext = u;
+    }
+  }
+  // Single exit: no layer before `last` is read from beyond the range.
+  for (std::size_t j = last + 1; j < net.size(); ++j) {
+    for (std::size_t u : net[j].inputs) {
+      if (u >= first && u < last) return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+/// Recursive SP decomposition of the layer-index subset S (ascending, a
+/// sub-sequence of the net's topo order) whose sole external producer is
+/// `entry`. Series cuts are positions no edge jumps over; an uncut segment
+/// of >= 2 layers must be a parallel composition whose exit is its last
+/// layer and whose arms are the connected components of the interior.
+SpNode decompose_set(const Network& net, std::size_t entry,
+                     const std::vector<std::size_t>& set) {
+  const auto not_sp = [&](std::size_t at) -> ValidationError {
+    return ValidationError(
+        "network is not series-parallel",
+        "near layer '" + net[at].name + "' of net '" + net.name() + "'");
+  };
+  // Membership + position lookup for this subset.
+  std::vector<std::size_t> pos_of(net.size(), static_cast<std::size_t>(-1));
+  for (std::size_t k = 0; k < set.size(); ++k) pos_of[set[k]] = k;
+  for (std::size_t v : set) {
+    for (std::size_t u : net[v].inputs) {
+      if (u != entry && pos_of[u] == static_cast<std::size_t>(-1)) {
+        throw not_sp(v);  // edge crossing into the region from elsewhere
+      }
+    }
+  }
+  // Series cuts: position k is a cut iff every edge into set[k+1..] comes
+  // from set[k..] (nothing — including the entry — jumps the cut).
+  std::vector<std::size_t> cuts;
+  for (std::size_t k = 0; k + 1 < set.size(); ++k) {
+    bool cut = true;
+    for (std::size_t j = k + 1; j < set.size() && cut; ++j) {
+      for (std::size_t u : net[set[j]].inputs) {
+        const std::size_t up =
+            (u == entry) ? static_cast<std::size_t>(-1) : pos_of[u];
+        if (up == static_cast<std::size_t>(-1) || up < k) {
+          cut = false;
+          break;
+        }
+      }
+    }
+    if (cut) cuts.push_back(k);
+  }
+  if (!cuts.empty()) {
+    SpNode series;
+    series.kind = SpNode::Kind::kSeries;
+    std::size_t seg_entry = entry;
+    std::size_t begin = 0;
+    cuts.push_back(set.size() - 1);
+    for (std::size_t c : cuts) {
+      std::vector<std::size_t> seg(set.begin() + begin, set.begin() + c + 1);
+      series.children.push_back(decompose_set(net, seg_entry, seg));
+      seg_entry = set[c];
+      begin = c + 1;
+    }
+    return series;
+  }
+  if (set.size() == 1) {
+    SpNode leaf;
+    leaf.kind = SpNode::Kind::kLeaf;
+    leaf.layer = set.front();
+    return leaf;
+  }
+  // Parallel composition: exit is the last layer; arms are the connected
+  // components (undirected) of the interior.
+  const std::size_t exit = set.back();
+  const std::size_t n = set.size() - 1;  // interior size
+  std::vector<std::size_t> comp(n);
+  for (std::size_t k = 0; k < n; ++k) comp[k] = k;
+  const auto root = [&](std::size_t k) {
+    while (comp[k] != k) k = comp[k] = comp[comp[k]];
+    return k;
+  };
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t u : net[set[k]].inputs) {
+      if (u == entry) continue;
+      const std::size_t up = pos_of[u];
+      if (up < n) comp[root(k)] = root(up);
+    }
+  }
+  std::vector<std::vector<std::size_t>> arms;
+  std::vector<std::size_t> arm_of(n, static_cast<std::size_t>(-1));
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t r = root(k);
+    if (arm_of[r] == static_cast<std::size_t>(-1)) {
+      arm_of[r] = arms.size();
+      arms.emplace_back();
+    }
+    arms[arm_of[r]].push_back(set[k]);
+  }
+  int passthrough = 0;
+  for (std::size_t u : net[exit].inputs) {
+    if (u == entry) ++passthrough;
+  }
+  if (arms.size() + static_cast<std::size_t>(passthrough) < 2) {
+    throw not_sp(exit);  // no real branching yet no series cut: not SP
+  }
+  SpNode par;
+  par.kind = SpNode::Kind::kParallel;
+  par.layer = exit;
+  par.passthrough_arms = passthrough;
+  for (const auto& arm : arms) {
+    par.children.push_back(decompose_set(net, entry, arm));
+  }
+  return par;
+}
+
+void shape_walk(const SpNode& node, GraphShape& shape, int depth) {
+  shape.sp_depth = std::max(shape.sp_depth, depth);
+  for (const SpNode& c : node.children) {
+    shape_walk(c, shape,
+               depth + (node.kind == SpNode::Kind::kParallel ? 1 : 0));
+  }
+}
+
+}  // namespace
+
+SpNode sp_decompose(const Network& net) {
+  if (net.empty() || net[0].kind != LayerKind::kInput) {
+    throw ValidationError("sp_decompose needs a net with an input layer",
+                          "net '" + net.name() + "'");
+  }
+  if (net.size() == 1) {
+    SpNode leaf;
+    leaf.kind = SpNode::Kind::kLeaf;
+    leaf.layer = 0;
+    return leaf;
+  }
+  std::vector<std::size_t> all;
+  all.reserve(net.size() - 1);
+  for (std::size_t i = 1; i < net.size(); ++i) all.push_back(i);
+  return decompose_set(net, 0, all);
+}
+
+int sp_depth(const SpNode& node) {
+  switch (node.kind) {
+    case SpNode::Kind::kLeaf:
+      return 1;
+    case SpNode::Kind::kSeries: {
+      int d = 1;
+      for (const SpNode& c : node.children) d = std::max(d, sp_depth(c));
+      return d;
+    }
+    case SpNode::Kind::kParallel: {
+      int d = 1;
+      for (const SpNode& c : node.children) d = std::max(d, sp_depth(c));
+      return d + 1;
+    }
+  }
+  return 1;
+}
+
+std::size_t sp_parallel_count(const SpNode& node) {
+  std::size_t n = node.kind == SpNode::Kind::kParallel ? 1 : 0;
+  for (const SpNode& c : node.children) n += sp_parallel_count(c);
+  return n;
+}
+
+GraphShape graph_shape(const Network& net) {
+  GraphShape shape;
+  shape.layer_count = net.size();
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    shape.edge_count += net[i].inputs.size();
+    if (net[i].is_merge()) ++shape.merge_layers;
+    if (net.consumers(i).size() >= 2) ++shape.branch_points;
+  }
+  try {
+    shape.sp_depth = sp_depth(sp_decompose(net));
+  } catch (const Error&) {
+    shape.sp_depth = 0;  // not series-parallel
+  }
+  return shape;
+}
+
+std::string graph_shape_line(const Network& net) {
+  const GraphShape s = graph_shape(net);
+  std::ostringstream os;
+  os << "graph: layers=" << s.layer_count << " edges=" << s.edge_count
+     << " branches=" << s.branch_points << " merges=" << s.merge_layers
+     << " sp_depth=" << s.sp_depth
+     << " chain=" << (net.is_chain() ? "yes" : "no");
+  return os.str();
+}
+
+}  // namespace hetacc::nn

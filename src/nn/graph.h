@@ -1,0 +1,69 @@
+#pragma once
+// Series-parallel structure analysis over nn::Network graphs.
+//
+// The fusion optimizer reasons about contiguous topo-order ranges. On a
+// chain every range is fusable; on a DAG a range is fusable only when it is
+// single-entry/single-exit (SESE): exactly one external producer feeds it
+// (loaded once and broadcast to every arm) and only the last layer is read
+// from outside (stored once). `is_sese_range` is that gate.
+//
+// `sp_decompose` recovers the series-parallel tree of the whole graph:
+// series compositions are the sync points the chain DP can cut at, parallel
+// compositions are branch arms that must be co-scheduled inside one fusion
+// group (they share the group's transfer budget). Chains decompose into a
+// series of leaves; a net that is not series-parallel is rejected.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "nn/network.h"
+
+namespace hetacc::nn {
+
+struct SpNode {
+  enum class Kind { kLeaf, kSeries, kParallel };
+  Kind kind = Kind::kLeaf;
+  /// kLeaf: the single layer index. kParallel: the merge layer index.
+  std::size_t layer = 0;
+  /// kSeries: sequential segments. kParallel: branch arms (each an SpNode).
+  std::vector<SpNode> children;
+  /// kParallel: number of passthrough arms (direct entry -> merge edges),
+  /// e.g. the identity skip of a ResNet block.
+  int passthrough_arms = 0;
+};
+
+/// Aggregate shape statistics for `hetacc --summary` and reports.
+struct GraphShape {
+  std::size_t layer_count = 0;
+  std::size_t edge_count = 0;
+  std::size_t branch_points = 0;  ///< layers with >= 2 consumers
+  std::size_t merge_layers = 0;   ///< concat / eltwise-add layers
+  int sp_depth = 0;               ///< 1 for a chain, +1 per parallel nesting
+};
+
+/// True iff layers [first, last] form a single-entry/single-exit region:
+/// at most one distinct producer outside the range feeds it, and no layer in
+/// [first, last-1] is consumed by a layer beyond `last`.
+[[nodiscard]] bool is_sese_range(const Network& net, std::size_t first,
+                                 std::size_t last);
+
+/// Series-parallel decomposition of layers [1, size-1] (the input layer is
+/// the source). Throws ValidationError if the graph is not series-parallel.
+[[nodiscard]] SpNode sp_decompose(const Network& net);
+
+/// Depth of the SP tree: 1 for chains, 2 for one level of branching, ...
+[[nodiscard]] int sp_depth(const SpNode& node);
+
+/// Number of parallel compositions in the tree.
+[[nodiscard]] std::size_t sp_parallel_count(const SpNode& node);
+
+/// Shape statistics of the whole net (works on any DAG; sp_depth is 0 when
+/// the net is not series-parallel).
+[[nodiscard]] GraphShape graph_shape(const Network& net);
+
+/// One-line rendering, e.g.
+/// "graph: layers=18 edges=19 branches=1 merges=1 sp_depth=2 chain=no".
+[[nodiscard]] std::string graph_shape_line(const Network& net);
+
+}  // namespace hetacc::nn

@@ -13,6 +13,8 @@ std::string_view to_string(LayerKind k) {
     case LayerKind::kRelu: return "relu";
     case LayerKind::kFullyConnected: return "fc";
     case LayerKind::kSoftmax: return "softmax";
+    case LayerKind::kEltwiseAdd: return "eltwise";
+    case LayerKind::kConcat: return "concat";
   }
   return "?";
 }
@@ -61,8 +63,54 @@ Shape infer_output_shape(const Layer& layer, const Shape& in) {
       const auto& p = std::get<FcParam>(layer.param);
       return Shape{p.out_features, 1, 1};
     }
+    case LayerKind::kEltwiseAdd:
+    case LayerKind::kConcat:
+      throw std::invalid_argument("merge layer '" + layer.name +
+                                  "' needs the multi-input shape inference");
   }
   throw std::logic_error("unreachable layer kind");
+}
+
+Shape infer_output_shape(const Layer& layer, const std::vector<Shape>& ins) {
+  if (ins.empty()) {
+    throw std::invalid_argument("layer '" + layer.name + "' has no inputs");
+  }
+  switch (layer.kind) {
+    case LayerKind::kEltwiseAdd: {
+      if (ins.size() < 2) {
+        throw std::invalid_argument("eltwise layer '" + layer.name +
+                                    "' needs at least two inputs");
+      }
+      for (const Shape& s : ins) {
+        if (s != ins.front()) {
+          throw std::invalid_argument("eltwise layer '" + layer.name +
+                                      "' has mismatched input shapes");
+        }
+      }
+      return ins.front();
+    }
+    case LayerKind::kConcat: {
+      if (ins.size() < 2) {
+        throw std::invalid_argument("concat layer '" + layer.name +
+                                    "' needs at least two inputs");
+      }
+      Shape out = ins.front();
+      for (std::size_t i = 1; i < ins.size(); ++i) {
+        if (ins[i].h != out.h || ins[i].w != out.w) {
+          throw std::invalid_argument("concat layer '" + layer.name +
+                                      "' has mismatched spatial dims");
+        }
+        out.c += ins[i].c;
+      }
+      return out;
+    }
+    default:
+      if (ins.size() != 1) {
+        throw std::invalid_argument("layer '" + layer.name +
+                                    "' takes exactly one input");
+      }
+      return infer_output_shape(layer, ins.front());
+  }
 }
 
 std::int64_t Layer::ops() const {
@@ -70,7 +118,7 @@ std::int64_t Layer::ops() const {
     case LayerKind::kConv: {
       const auto& p = std::get<ConvParam>(param);
       // MAC = 2 ops, per output element per input channel per kernel tap.
-      return 2ll * in.c * p.kernel * p.kernel * out.elems();
+      return 2ll * conv_fan_in() * p.kernel * p.kernel * out.elems();
     }
     case LayerKind::kFullyConnected:
       return 2ll * in.elems() * out.elems();
@@ -85,6 +133,13 @@ std::int64_t Layer::ops() const {
     }
     case LayerKind::kRelu:
       return out.elems();
+    case LayerKind::kEltwiseAdd:
+      // (arms - 1) adds per output element.
+      return out.elems() *
+             static_cast<std::int64_t>(inputs.empty() ? 1 : inputs.size() - 1);
+    case LayerKind::kConcat:
+      // Pure data movement: one copy per output element.
+      return out.elems();
     case LayerKind::kInput:
     case LayerKind::kSoftmax:
       return 0;
@@ -96,7 +151,7 @@ std::int64_t Layer::mults() const {
   switch (kind) {
     case LayerKind::kConv: {
       const auto& p = std::get<ConvParam>(param);
-      return static_cast<std::int64_t>(in.c) * p.kernel * p.kernel *
+      return static_cast<std::int64_t>(conv_fan_in()) * p.kernel * p.kernel *
              out.elems();
     }
     case LayerKind::kFullyConnected:
@@ -110,8 +165,8 @@ std::int64_t Layer::weight_count() const {
   switch (kind) {
     case LayerKind::kConv: {
       const auto& p = std::get<ConvParam>(param);
-      return static_cast<std::int64_t>(p.out_channels) * in.c * p.kernel *
-                 p.kernel +
+      return static_cast<std::int64_t>(p.out_channels) * conv_fan_in() *
+                 p.kernel * p.kernel +
              p.out_channels;
     }
     case LayerKind::kFullyConnected:

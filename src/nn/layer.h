@@ -1,11 +1,14 @@
 #pragma once
-// Layer descriptors for the linear CNN graphs the paper's optimizer operates
-// on. Shapes follow Caffe semantics (floor division for conv, ceil for pool).
+// Layer descriptors for the CNN graphs the paper's optimizer operates on:
+// linear chains plus the series-parallel branch/merge nodes of Inception
+// (channel concat) and ResNet (elementwise add). Shapes follow Caffe
+// semantics (floor division for conv, ceil for pool).
 
 #include <cstdint>
 #include <stdexcept>
 #include <string>
 #include <variant>
+#include <vector>
 
 #include "nn/tensor.h"
 
@@ -19,6 +22,8 @@ enum class LayerKind : std::uint8_t {
   kRelu,
   kFullyConnected,
   kSoftmax,
+  kEltwiseAdd,  ///< merge: elementwise sum of equal-shaped inputs (ResNet)
+  kConcat,      ///< merge: channel concatenation (Inception)
 };
 
 [[nodiscard]] std::string_view to_string(LayerKind k);
@@ -31,6 +36,11 @@ struct ConvParam {
   int stride = 1;
   int pad = 0;
   bool fused_relu = false;  ///< paper §7.2: "ReLU layers can be easily integrated"
+  /// Channel fan-in override for op counting (0 = use the input shape's
+  /// channel count). Network::coarsen() sets this on the pseudo layer that
+  /// replaces a module so its compute cost matches the module it stands for
+  /// (§7.1 coarsening would otherwise undercount a module's work).
+  int fan_in = 0;
 };
 
 struct PoolParam {
@@ -60,17 +70,28 @@ struct InputParam {
 struct ReluParam {};
 struct SoftmaxParam {};
 
-using LayerParam = std::variant<InputParam, ConvParam, PoolParam, LrnParam,
-                                ReluParam, FcParam, SoftmaxParam>;
+/// Elementwise sum of >= 2 equal-shaped inputs (ResNet skip connections).
+struct EltwiseParam {};
 
-/// One layer of a (linear) network. Input/output shapes are filled in by
+/// Channel concatenation of >= 2 inputs with equal spatial dims (Inception).
+struct ConcatParam {};
+
+using LayerParam = std::variant<InputParam, ConvParam, PoolParam, LrnParam,
+                                ReluParam, FcParam, SoftmaxParam, EltwiseParam,
+                                ConcatParam>;
+
+/// One layer of a network graph. `inputs` holds the indices of the producer
+/// layers inside the owning Network; because every edge points backwards the
+/// layer vector is always a valid topological order. For a plain chain every
+/// layer i has inputs == {i-1}. Input/output shapes are filled in by
 /// Network::infer_shapes().
 struct Layer {
   LayerKind kind = LayerKind::kInput;
   std::string name;
   LayerParam param;
-  Shape in;   ///< inferred
+  Shape in;   ///< inferred (for merges: equal to `out`)
   Shape out;  ///< inferred
+  std::vector<std::size_t> inputs;  ///< producer layer indices (empty for input)
 
   [[nodiscard]] const ConvParam& conv() const {
     return expect<ConvParam>(LayerKind::kConv);
@@ -102,6 +123,18 @@ struct Layer {
            kind == LayerKind::kLrn;
   }
 
+  /// True for the branch-merging layer kinds (concat / eltwise-add).
+  [[nodiscard]] bool is_merge() const {
+    return kind == LayerKind::kEltwiseAdd || kind == LayerKind::kConcat;
+  }
+
+  /// Channel fan-in used for conv op/weight accounting: the annotated
+  /// override when set (coarsened modules), otherwise the input channels.
+  [[nodiscard]] int conv_fan_in() const {
+    const ConvParam& p = conv();
+    return p.fan_in > 0 ? p.fan_in : in.c;
+  }
+
   /// Spatial window size and stride as seen by the line-buffer design.
   /// LRN is window 1 spatially (it reaches across channels only).
   [[nodiscard]] int window() const;
@@ -120,6 +153,14 @@ struct Layer {
 };
 
 /// Output shape of `layer` applied to input shape `in` (Caffe rounding).
+/// Only valid for single-input layer kinds.
 [[nodiscard]] Shape infer_output_shape(const Layer& layer, const Shape& in);
+
+/// Output shape of `layer` applied to the producer shapes in graph order.
+/// Handles the merge kinds: concat sums channels (equal spatial dims
+/// required), eltwise-add requires all shapes equal. Throws
+/// std::invalid_argument on arity or shape mismatches.
+[[nodiscard]] Shape infer_output_shape(const Layer& layer,
+                                       const std::vector<Shape>& ins);
 
 }  // namespace hetacc::nn

@@ -93,6 +93,52 @@ Network nin() {
   return net;
 }
 
+Network inception_mini() {
+  Network net("inception-mini");
+  net.input({3, 64, 64});
+  net.conv(32, 3, 1, 1, "stem1");
+  net.conv(32, 3, 1, 1, "stem2");
+  net.max_pool(2, 2, "stem_pool");  // 32 x 32 x 32
+  const std::size_t stem = net.size() - 1;
+  // One inception module: four arms off the stem joined by a channel
+  // concat. 8 layers total, sized to fit one fusion group.
+  const std::size_t b1 = net.conv_from(stem, 16, 1, 1, 0, "inc1_1x1");
+  const std::size_t b3r = net.conv_from(stem, 32, 1, 1, 0, "inc1_3x3_reduce");
+  const std::size_t b3 = net.conv_from(b3r, 64, 3, 1, 1, "inc1_3x3");
+  const std::size_t b5r = net.conv_from(stem, 8, 1, 1, 0, "inc1_5x5_reduce");
+  const std::size_t b5 = net.conv_from(b5r, 16, 5, 1, 2, "inc1_5x5");
+  const std::size_t pp = net.max_pool_from(stem, 3, 1, "inc1_pool", 1);
+  const std::size_t pj = net.conv_from(pp, 16, 1, 1, 0, "inc1_pool_proj");
+  const std::size_t cc = net.concat({b1, b3, b5, pj}, "inc1_concat");
+  net.max_pool_from(cc, 2, 2, "pool2");  // 112 x 16 x 16
+  net.conv(64, 3, 1, 1, "conv_tail");
+  net.fc(10, "fc", /*fused_relu=*/false);
+  net.softmax();
+  return net;
+}
+
+Network resnet_mini() {
+  Network net("resnet-mini");
+  net.input({3, 56, 56});
+  net.conv(16, 3, 1, 1, "stem1");
+  net.conv(16, 3, 1, 1, "stem2");
+  net.max_pool(2, 2, "stem_pool");  // 16 x 28 x 28
+  std::size_t x = net.size() - 1;
+  for (int b = 1; b <= 2; ++b) {
+    const std::string base = "res" + std::to_string(b);
+    const std::size_t c1 =
+        net.conv_from(x, 16, 3, 1, 1, base + "_conv1", /*fused_relu=*/true);
+    const std::size_t c2 =
+        net.conv_from(c1, 16, 3, 1, 1, base + "_conv2", /*fused_relu=*/false);
+    const std::size_t add = net.eltwise_add({x, c2}, base + "_add");
+    x = net.relu_from(add, base + "_relu");
+  }
+  net.avg_pool_from(x, 28, 1, "global_pool");
+  net.fc(10, "fc", /*fused_relu=*/false);
+  net.softmax();
+  return net;
+}
+
 Network modular_net(int modules) {
   Network net("modular");
   net.input({3, 112, 112});

@@ -37,6 +37,20 @@ namespace hetacc::nn {
 /// conventional-only in the framework (Winograd needs r >= 2).
 [[nodiscard]] Network nin();
 
+/// Inception-style branchy network: conv stem, one GoogLeNet-like module
+/// (1x1 / 3x3-reduce+3x3 / 5x5-reduce+5x5 / pool+proj arms joined by a
+/// channel concat), pooling and a conv tail before the FC head. The module
+/// is exactly 8 layers so the default max_group_layers covers it — the
+/// smallest real exercise of the SP-DAG fusion DP's co-scheduled branch
+/// groups. 64x64x3 input.
+[[nodiscard]] Network inception_mini();
+
+/// ResNet-style skip network: conv stem, two residual blocks
+/// (conv+ReLU, conv, eltwise-add with the block input, ReLU), average-pool
+/// and FC head. Exercises eltwise-add merges and skip edges that make
+/// series cuts illegal across a block. 56x56x3 input.
+[[nodiscard]] Network resnet_mini();
+
 /// A GoogLeNet-like modular network: conv stem, then `modules` blocks of
 /// (3x3 conv, 3x3 conv) pairs with pooling between stages. §7.1 suggests
 /// treating every module as a single layer; `coarsen_modules` applies

@@ -166,6 +166,46 @@ Tensor softmax_reference(const Tensor& in) {
   return out;
 }
 
+Tensor concat_reference(const std::vector<const Tensor*>& ins) {
+  if (ins.size() < 2) {
+    throw std::invalid_argument("concat_reference: needs >= 2 inputs");
+  }
+  const Shape first = ins.front()->shape();
+  int channels = 0;
+  for (const Tensor* t : ins) {
+    const Shape s = t->shape();
+    if (s.h != first.h || s.w != first.w) {
+      throw std::invalid_argument("concat_reference: spatial dim mismatch");
+    }
+    channels += s.c;
+  }
+  Tensor out(channels, first.h, first.w);
+  float* dst = out.data();
+  for (const Tensor* t : ins) {
+    std::copy(t->data(), t->data() + t->size(), dst);
+    dst += t->size();
+  }
+  return out;
+}
+
+Tensor eltwise_add_reference(const std::vector<const Tensor*>& ins) {
+  if (ins.size() < 2) {
+    throw std::invalid_argument("eltwise_add_reference: needs >= 2 inputs");
+  }
+  Tensor out = *ins.front();
+  for (std::size_t k = 1; k < ins.size(); ++k) {
+    if (ins[k]->shape() != out.shape()) {
+      throw std::invalid_argument("eltwise_add_reference: shape mismatch");
+    }
+    const float* src = ins[k]->data();
+    float* dst = out.data();
+    for (std::size_t i = 0; i < static_cast<std::size_t>(out.size()); ++i) {
+      dst[i] += src[i];
+    }
+  }
+  return out;
+}
+
 Tensor run_layer(const Layer& layer, std::size_t layer_index,
                  const WeightStore& ws, const Tensor& input) {
   switch (layer.kind) {
@@ -189,27 +229,58 @@ Tensor run_layer(const Layer& layer, std::size_t layer_index,
       return fc_reference(input, ws.fc(layer_index), layer.fc().fused_relu);
     case LayerKind::kSoftmax:
       return softmax_reference(input);
+    case LayerKind::kEltwiseAdd:
+    case LayerKind::kConcat:
+      throw std::invalid_argument("run_layer: merge layer '" + layer.name +
+                                  "' needs the multi-input overload");
   }
   throw std::logic_error("run_layer: unknown kind");
 }
 
+Tensor run_layer(const Layer& layer, std::size_t layer_index,
+                 const WeightStore& ws,
+                 const std::vector<const Tensor*>& inputs) {
+  switch (layer.kind) {
+    case LayerKind::kConcat:
+      return concat_reference(inputs);
+    case LayerKind::kEltwiseAdd:
+      return eltwise_add_reference(inputs);
+    default:
+      if (inputs.size() != 1) {
+        throw std::invalid_argument("run_layer: layer '" + layer.name +
+                                    "' takes exactly one input");
+      }
+      return run_layer(layer, layer_index, ws, *inputs.front());
+  }
+}
+
 Tensor run_network(const Network& net, const WeightStore& ws,
                    const Tensor& input) {
-  Tensor cur = input;
-  for (std::size_t i = 0; i < net.size(); ++i) {
-    cur = run_layer(net[i], i, ws, cur);
+  if (net.is_chain()) {
+    Tensor cur = input;
+    for (std::size_t i = 0; i < net.size(); ++i) {
+      cur = run_layer(net[i], i, ws, cur);
+    }
+    return cur;
   }
-  return cur;
+  std::vector<Tensor> outs = run_network_all(net, ws, input);
+  return outs.empty() ? input : std::move(outs.back());
 }
 
 std::vector<Tensor> run_network_all(const Network& net, const WeightStore& ws,
                                     const Tensor& input) {
   std::vector<Tensor> outs;
   outs.reserve(net.size());
-  Tensor cur = input;
   for (std::size_t i = 0; i < net.size(); ++i) {
-    cur = run_layer(net[i], i, ws, cur);
-    outs.push_back(cur);
+    const Layer& l = net[i];
+    if (i == 0) {
+      outs.push_back(run_layer(l, i, ws, input));
+      continue;
+    }
+    std::vector<const Tensor*> ins;
+    ins.reserve(l.inputs.size());
+    for (std::size_t u : l.inputs) ins.push_back(&outs[u]);
+    outs.push_back(run_layer(l, i, ws, ins));
   }
   return outs;
 }

@@ -13,6 +13,13 @@ namespace hetacc::nn {
 [[nodiscard]] Tensor run_layer(const Layer& layer, std::size_t layer_index,
                                const WeightStore& ws, const Tensor& input);
 
+/// Multi-input form: runs a layer on its producer outputs in edge order.
+/// Required for the merge kinds (concat / eltwise-add); single-input layers
+/// delegate to the overload above.
+[[nodiscard]] Tensor run_layer(const Layer& layer, std::size_t layer_index,
+                               const WeightStore& ws,
+                               const std::vector<const Tensor*>& inputs);
+
 /// Runs the whole network and returns the final output.
 [[nodiscard]] Tensor run_network(const Network& net, const WeightStore& ws,
                                  const Tensor& input);
@@ -42,5 +49,8 @@ namespace hetacc::nn {
 [[nodiscard]] Tensor fc_reference(const Tensor& in, const FcWeights& w,
                                   bool fused_relu);
 [[nodiscard]] Tensor softmax_reference(const Tensor& in);
+[[nodiscard]] Tensor concat_reference(const std::vector<const Tensor*>& ins);
+[[nodiscard]] Tensor eltwise_add_reference(
+    const std::vector<const Tensor*>& ins);
 
 }  // namespace hetacc::nn

@@ -52,7 +52,9 @@ ToolflowResult run_toolflow(const nn::Network& net,
   }
   r.report = core::make_report(r.optimization.strategy, r.accel_net, dev);
 
-  if (opt.generate_code) {
+  // HLS code generation still emits the chained-DATAFLOW template only;
+  // branchy nets are optimized and simulated but not yet emitted.
+  if (opt.generate_code && r.accel_net.is_chain()) {
     const auto ws =
         nn::WeightStore::deterministic(r.accel_net, opt.weight_seed);
     r.design = codegen::generate_design(r.accel_net, r.optimization.strategy,

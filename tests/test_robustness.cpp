@@ -115,6 +115,55 @@ TEST(CaffeRobustness, SeededMutationCorpusOnlyFailsThroughTypedErrors) {
   EXPECT_GT(imported, 0);  // and some mutations are harmless
 }
 
+// Same contract over a branchy base: the graph-building paths (bottom/top
+// resolution, merge arity, duplicate-top detection) must also fail only
+// through the typed hierarchy when the file is torn apart.
+TEST(CaffeRobustness, BranchyMutationCorpusOnlyFailsThroughTypedErrors) {
+  const std::string base = caffe::export_prototxt(nn::inception_mini());
+  ASSERT_FALSE(base.empty());
+  ASSERT_NE(base.find("Concat"), std::string::npos);
+  std::mt19937 rng(20260808u);
+  int imported = 0, typed = 0, geometry = 0;
+  for (int iter = 0; iter < 400; ++iter) {
+    std::string s = base;
+    const std::size_t pos = rng() % s.size();
+    switch (rng() % 5) {
+      case 0:
+        s.resize(pos);
+        break;
+      case 1:
+        s[pos] = "{}\":0#x-"[rng() % 8];
+        break;
+      case 2:
+        s.erase(pos, 1 + rng() % 40);
+        break;
+      case 3:
+        s.insert(pos, s.substr(rng() % s.size(), 1 + rng() % 20));
+        break;
+      default: {
+        const std::size_t d = s.find_first_of("0123456789", pos);
+        if (d != std::string::npos) s.insert(d, "9999999999999999999");
+        break;
+      }
+    }
+    try {
+      (void)caffe::import_prototxt(s);
+      ++imported;
+    } catch (const Error&) {
+      ++typed;
+    } catch (const std::invalid_argument&) {
+      ++geometry;
+    } catch (const std::out_of_range&) {
+      ++geometry;
+    } catch (const std::exception& e) {
+      ADD_FAILURE() << "mutation " << iter
+                    << " escaped the typed hierarchy: " << e.what();
+    }
+  }
+  EXPECT_GT(typed, 0);
+  EXPECT_GT(imported, 0);
+}
+
 TEST(CaffeRobustness, NumericOverflowIsAParseError) {
   try {
     (void)caffe::import_prototxt(

@@ -2,8 +2,9 @@
 // Caffe deploy prototxt + FPGA spec in, strategy report + generated HLS
 // project out.
 //
-//   hetacc [--net deploy.prototxt | --model alexnet|vgg-e|vgg16|vgg-e-head]
-//          [--device zc706|vc707] [--budget-mb N] [--out DIR]
+//   hetacc [--net deploy.prototxt | --model alexnet|vgg-e|vgg16|vgg-e-head
+//                                           |inception-mini|resnet-mini]
+//          [--device zc706|vc707] [--budget-mb N] [--out DIR] [--summary]
 //          [--no-codegen] [--interval-dp] [--explore-tiles]
 //          [--conventional-only] [--wino-tile M] [--threads N]
 //          [--protect] [--fault-campaign] [--fault-seed N]
@@ -26,6 +27,7 @@
 #include "core/strategy_io.h"
 #include "fault/fault.h"
 #include "fault/protect.h"
+#include "nn/graph.h"
 #include "nn/model_zoo.h"
 #include "serve/server.h"
 #include "support/error.h"
@@ -40,10 +42,14 @@ void usage() {
       "usage: hetacc [options]\n"
       "  --net FILE          Caffe deploy prototxt to map\n"
       "  --model NAME        built-in model: alexnet | vgg-e | vgg16 | "
-      "vgg-e-head (default alexnet)\n"
+      "vgg-e-head |\n"
+      "                      inception-mini | resnet-mini (default alexnet)\n"
       "  --device NAME       zc706 (default) | vc707\n"
       "  --budget-mb N       feature-map transfer constraint T in MB\n"
       "  --out DIR           write the generated HLS project here\n"
+      "  --summary           print the network summary and graph shape\n"
+      "                      (layers, edges, branches, merges, SP depth)\n"
+      "                      and exit\n"
       "  --no-codegen        stop after the strategy report\n"
       "  --interval-dp       use the paper's Algorithm 1 interval DP\n"
       "  --explore-tiles     per-layer Winograd tile-size exploration\n"
@@ -409,6 +415,7 @@ int run_cli(int argc, char** argv) {
   fpga::Device dev = fpga::zc706();
   toolflow::ToolflowOptions opt;
   bool interval = false;
+  bool summary_only = false;
   bool fault_campaign = false;
   std::uint64_t fault_seed = 1;
   ServeCliOptions serve_opts;
@@ -437,6 +444,8 @@ int run_cli(int argc, char** argv) {
       out_dir = next("--out");
     } else if (!std::strcmp(argv[i], "--no-codegen")) {
       opt.generate_code = false;
+    } else if (!std::strcmp(argv[i], "--summary")) {
+      summary_only = true;
     } else if (!std::strcmp(argv[i], "--interval-dp")) {
       interval = true;
     } else if (!std::strcmp(argv[i], "--explore-tiles")) {
@@ -489,11 +498,17 @@ int run_cli(int argc, char** argv) {
     net = nn::vgg16();
   } else if (model_name == "vgg-e-head") {
     net = nn::vgg_e_head();
+  } else if (model_name == "inception-mini") {
+    net = nn::inception_mini();
+  } else if (model_name == "resnet-mini") {
+    net = nn::resnet_mini();
   } else {
     std::printf("unknown model '%s'\n", model_name.c_str());
     return 2;
   }
   std::printf("%s", net.summary().c_str());
+  std::printf("%s\n", nn::graph_shape_line(net).c_str());
+  if (summary_only) return 0;
   std::printf("target: %s (%s), %.1f GB/s DDR, %lld DSP48E, %lld BRAM18K\n\n",
               dev.name.c_str(), dev.chip.c_str(),
               dev.bandwidth_bytes_per_s / 1e9, dev.capacity.dsp,
@@ -536,7 +551,7 @@ int run_cli(int argc, char** argv) {
     result.report =
         core::make_report(result.optimization.strategy, result.accel_net,
                           dev);
-    if (opt.generate_code) {
+    if (opt.generate_code && result.accel_net.is_chain()) {
       const auto ws =
           nn::WeightStore::deterministic(result.accel_net, opt.weight_seed);
       result.design = codegen::generate_design(
@@ -552,9 +567,11 @@ int run_cli(int argc, char** argv) {
   std::printf("%s",
               result.optimization.strategy.describe(result.accel_net)
                   .c_str());
-  if (opt.generate_code && !out_dir.empty()) {
+  if (opt.generate_code && !out_dir.empty() && result.accel_net.is_chain()) {
     codegen::write_design(result.design, out_dir);
     std::printf("\nHLS project written to %s/\n", out_dir.c_str());
+  } else if (opt.generate_code && !out_dir.empty()) {
+    std::printf("\ncodegen skipped: HLS emission supports chain nets only\n");
   }
   return 0;
 }
