@@ -1,0 +1,121 @@
+// TUNE: persistent blocking autotuner front end. Searches MC/KC/NC/grain
+// per GEMM datapath on this machine (bounded budget), installs the winners
+// into the dispatch registry, and optionally persists them as a versioned
+// tuning-cache JSON keyed by datapath + cache topology. A later process —
+// perf_smoke, or this binary with --load — applies the cache and dispatches
+// with the tuned blocking; entries from other machines or versions are
+// ignored and dispatch falls back to the shipped defaults.
+//
+// The cache can only change speed, never results: KC is tunable only on the
+// integer datapaths (exact accumulation commutes) and MC/NC/grain never
+// alter an element's accumulation chain (see kernels/blocking.h).
+//
+//   autotune_blocking [--budget-ms N] [--threads N] [--reps N]
+//                     [--datapath NAME] [--out FILE] [--print-dispatch]
+//   autotune_blocking --load FILE [--print-dispatch]
+//
+// With --load no tuning runs: the file is applied and (with
+// --print-dispatch) the resolved per-datapath blocking is printed in a
+// stable format, so CI can diff the tune-then-save run against the
+// load-from-cache run (the round-trip check).
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "kernels/autotune.h"
+#include "kernels/blocking.h"
+
+using namespace hetacc;
+
+namespace {
+
+void print_dispatch() {
+  for (int i = 0; i < kernels::kNumDatapaths; ++i) {
+    const auto dp = static_cast<kernels::Datapath>(i);
+    const kernels::BlockingParams bp = kernels::blocking_for(dp);
+    std::printf("dispatch %s mc=%d kc=%d nc=%d grain=%d\n",
+                kernels::datapath_name(dp), bp.mc, bp.kc, bp.nc, bp.grain);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  kernels::AutotuneOptions opts;
+  std::string out_path, load_path, dp_name;
+  bool want_dispatch = false;
+
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::printf("%s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (!std::strcmp(argv[i], "--budget-ms")) {
+      opts.budget_ms = std::atof(next("--budget-ms"));
+    } else if (!std::strcmp(argv[i], "--threads")) {
+      opts.threads = std::atoi(next("--threads"));
+    } else if (!std::strcmp(argv[i], "--reps")) {
+      opts.reps = std::atoi(next("--reps"));
+    } else if (!std::strcmp(argv[i], "--datapath")) {
+      dp_name = next("--datapath");
+    } else if (!std::strcmp(argv[i], "--out")) {
+      out_path = next("--out");
+    } else if (!std::strcmp(argv[i], "--load")) {
+      load_path = next("--load");
+    } else if (!std::strcmp(argv[i], "--print-dispatch")) {
+      want_dispatch = true;
+    } else {
+      std::printf(
+          "usage: autotune_blocking [--budget-ms N] [--threads N] [--reps N]"
+          " [--datapath NAME] [--out FILE] [--load FILE]"
+          " [--print-dispatch]\n");
+      return std::strcmp(argv[i], "--help") && std::strcmp(argv[i], "-h") ? 2
+                                                                          : 0;
+    }
+  }
+
+  std::printf("machine topology: %s\n",
+              kernels::machine_topology_key().c_str());
+
+  if (!load_path.empty()) {
+    const int applied = kernels::load_tuning_cache_file(load_path);
+    if (applied < 0) {
+      std::printf("cannot read tuning cache '%s'\n", load_path.c_str());
+      return 2;
+    }
+    std::printf("loaded %s: %d entr%s applied%s\n", load_path.c_str(),
+                applied, applied == 1 ? "y" : "ies",
+                applied == 0 ? " (foreign machine or version; defaults stay)"
+                             : "");
+  } else {
+    std::printf("tuning (budget %.0f ms per datapath, %d rep%s)\n",
+                opts.budget_ms, opts.reps, opts.reps == 1 ? "" : "s");
+    if (!dp_name.empty()) {
+      kernels::Datapath dp;
+      if (!kernels::datapath_from_name(dp_name, dp)) {
+        std::printf("unknown datapath '%s'\n", dp_name.c_str());
+        return 2;
+      }
+      const auto r = kernels::autotune_datapath(dp, opts);
+      std::printf("  %s\n", kernels::autotune_summary(r).c_str());
+    } else {
+      for (const auto& r : kernels::autotune_all(opts)) {
+        std::printf("  %s\n", kernels::autotune_summary(r).c_str());
+      }
+    }
+    if (!out_path.empty()) {
+      if (!kernels::save_tuning_cache_file(out_path)) {
+        std::printf("cannot write tuning cache '%s'\n", out_path.c_str());
+        return 2;
+      }
+      std::printf("wrote %s\n", out_path.c_str());
+    }
+  }
+
+  if (want_dispatch) print_dispatch();
+  return 0;
+}

@@ -96,6 +96,7 @@ struct Record {
   double speedup;      // vs the matching scalar baseline (1.0 for baselines)
   double speedup_pr2;  // vs the committed pre-SIMD row (0 = no pr2 row)
   const char* rev;
+  double speedup_i16 = 0.0;  // int8 rows: vs the i16 path, same threads
 };
 
 struct Setup {
@@ -141,7 +142,8 @@ double time_ms(const Fn& fn) {
 volatile float g_sink = 0.0f;  // defeats whole-call dead-code elimination
 
 void emit(std::vector<Record>& out, const char* kernel, const Geometry& g,
-          int threads, double ms, double baseline_ms) {
+          int threads, double ms, double baseline_ms, double i16_ms = 0.0,
+          const char* rev = "pr4") {
   const double p2 = pr2_ms(kernel, g.model, threads);
   Record r{kernel,
            g,
@@ -149,10 +151,12 @@ void emit(std::vector<Record>& out, const char* kernel, const Geometry& g,
            ms,
            baseline_ms > 0.0 ? baseline_ms / ms : 1.0,
            p2 > 0.0 ? p2 / ms : 0.0,
-           "pr4"};
+           rev,
+           i16_ms > 0.0 ? i16_ms / ms : 0.0};
   std::printf("  %-24s %-16s threads=%d  %9.3f ms  %6.2fx", kernel, g.model,
               threads, ms, r.speedup);
   if (r.speedup_pr2 > 0.0) std::printf("  (%.2fx vs pr2)", r.speedup_pr2);
+  if (r.speedup_i16 > 0.0) std::printf("  (%.2fx vs i16)", r.speedup_i16);
   std::printf("\n");
   out.push_back(std::move(r));
 }
@@ -170,10 +174,11 @@ void write_json(const std::vector<Record>& recs, const char* path) {
                  "  {\"kernel\": \"%s\", \"geometry\": \"%s\", \"in_c\": %d, "
                  "\"out_c\": %d, \"hw\": %d, \"k\": %d, \"threads\": %d, "
                  "\"ms\": %.4f, \"speedup_vs_scalar\": %.3f, "
-                 "\"speedup_vs_pr2\": %.3f, \"rev\": \"%s\"}%s\n",
+                 "\"speedup_vs_pr2\": %.3f, \"speedup_vs_i16\": %.3f, "
+                 "\"rev\": \"%s\"}%s\n",
                  r.kernel.c_str(), r.g.model, r.g.in_c, r.g.out_c, r.g.hw,
-                 r.g.k, r.threads, r.ms, r.speedup, r.speedup_pr2, r.rev,
-                 i + 1 < recs.size() ? "," : "");
+                 r.g.k, r.threads, r.ms, r.speedup, r.speedup_pr2,
+                 r.speedup_i16, r.rev, i + 1 < recs.size() ? "," : "");
   }
   std::fprintf(f, "]\n");
   std::fclose(f);
@@ -222,10 +227,26 @@ int main() {
                 g.hw, g.out_c, g.k, g.k,
                 g.wino_only ? " (winograd tile-batch stress)" : "");
 
+    // int8 recipe from the observed float ranges (bench-local calibration —
+    // one reference run, untimed).
+    const auto min_max = [](const nn::Tensor& t, float& mn, float& mx) {
+      mn = mx = 0.0f;
+      for (float v : t.vec()) {
+        mn = std::min(mn, v);
+        mx = std::max(mx, v);
+      }
+    };
+    const nn::Tensor q_ref = algo::conv_im2col(s.in, s.f, s.bias, 1, 1, true);
+    float in_mn, in_mx, out_mn, out_mx;
+    min_max(s.in, in_mn, in_mx);
+    min_max(q_ref, out_mn, out_mx);
+    const algo::Int8ConvQuant i8q =
+        algo::make_int8_conv_quant(s.f, in_mn, in_mx, out_mn, out_mx);
+
     // Scalar seed baselines (single-threaded by construction).
     kernels::set_num_threads(1);
     double direct_ms = 0.0, im2col_sc_ms = 0.0, fixed_sc_ms = 0.0,
-           wfix_sc_ms = 0.0;
+           wfix_sc_ms = 0.0, i8_sc_ms = 0.0;
     if (!g.wino_only) {
       direct_ms = time_ms([&] {
         g_sink = nn::conv_reference_scalar(s.in, s.f, s.bias, 1, 1, true)
@@ -258,6 +279,12 @@ int main() {
                      .at(0, 0, 0);
       });
       emit(recs, "winograd_fixed_scalar", g, 1, wfix_sc_ms, 0.0);
+      i8_sc_ms = time_ms([&] {
+        g_sink = algo::conv_quant_i8_scalar(s.in, s.f, s.bias, 1, 1, true,
+                                            i8q)
+                     .at(0, 0, 0);
+      });
+      emit(recs, "im2col_i8_scalar", g, 1, i8_sc_ms, 0.0, 0.0, "pr7");
     }
 
     // Kernel-layer paths across thread counts. Speedups are quoted against
@@ -278,14 +305,15 @@ int main() {
                      .at(0, 0, 0);
            }),
            wino_sc_ms);
+      // i16 and int8 im2col GEMM run on every geometry (including the
+      // tile-batch stress one): the i8-vs-i16 pair is the datapath headline.
+      const double i16_ms = time_ms([&] {
+        g_sink = algo::conv_direct_fixed(s.in, s.f, s.bias, 1, 1, true,
+                                         kDataFrac, kWeightFrac, kOutFrac)
+                     .at(0, 0, 0);
+      });
+      emit(recs, "direct_fixed_gemm", g, t, i16_ms, fixed_sc_ms);
       if (!g.wino_only) {
-        emit(recs, "direct_fixed_gemm", g, t, time_ms([&] {
-               g_sink = algo::conv_direct_fixed(s.in, s.f, s.bias, 1, 1, true,
-                                                kDataFrac, kWeightFrac,
-                                                kOutFrac)
-                            .at(0, 0, 0);
-             }),
-             fixed_sc_ms);
         emit(recs, "winograd_fixed_gemm", g, t, time_ms([&] {
                g_sink = algo::winograd_conv_fixed(wt, s.in, s.f, s.bias, 1,
                                                   true, kDataFrac, kOutFrac)
@@ -293,6 +321,12 @@ int main() {
              }),
              wfix_sc_ms);
       }
+      emit(recs, "im2col_gemm_i8", g, t, time_ms([&] {
+             g_sink =
+                 algo::conv_quant_i8(s.in, s.f, s.bias, 1, 1, true, i8q)
+                     .at(0, 0, 0);
+           }),
+           i8_sc_ms, i16_ms, "pr7");
     }
     kernels::set_num_threads(1);
     std::printf("\n");
@@ -304,6 +338,8 @@ int main() {
       "speedup is vs the same-algorithm scalar seed; im2col_gemm is also the "
       "headline blocked-GEMM-vs-scalar-conv comparison (baseline "
       "direct_scalar). rev=pr2 rows are the committed pre-SIMD kernel layer; "
-      "speedup_vs_pr2 on rev=pr4 rows is the tentpole before/after.");
+      "speedup_vs_pr2 on rev=pr4 rows is that tentpole before/after. rev=pr7 "
+      "rows are the int8 datapath; speedup_vs_i16 compares im2col_gemm_i8 "
+      "against direct_fixed_gemm at the same geometry and thread count.");
   return 0;
 }

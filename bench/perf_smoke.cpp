@@ -24,6 +24,7 @@
 
 #include "algo/conv_variants.h"
 #include "algo/winograd_conv.h"
+#include "kernels/blocking.h"
 #include "kernels/gemm.h"
 #include "kernels/parallel.h"
 #include "nn/reference.h"
@@ -96,6 +97,19 @@ int main(int argc, char** argv) {
   const algo::TransformedFilters tf = algo::transform_filters(wt, f);
   constexpr int kDataFrac = 12, kWeightFrac = 14, kOutFrac = 10;
 
+  // Committed per-machine tuning cache (written by autotune_blocking). On a
+  // machine with a different cache topology 0 entries apply and dispatch
+  // stays on the shipped defaults — either way results are identical, the
+  // cache can only change speed.
+#ifdef HETACC_TUNING_CACHE
+  {
+    const int applied = kernels::load_tuning_cache_file(HETACC_TUNING_CACHE);
+    std::printf("perf_smoke: tuning cache %s — %d entr%s applied\n",
+                HETACC_TUNING_CACHE, applied < 0 ? 0 : applied,
+                applied == 1 ? "y" : "ies");
+  }
+#endif
+
   kernels::set_num_threads(1);  // single-thread comparison: pure kernel win
   const double scalar = best_ms(
       [&] {
@@ -125,6 +139,26 @@ int main(int argc, char** argv) {
         g_sink = algo::winograd_conv_fixed(wt, in, f, bias, 1, true, kDataFrac,
                                            kOutFrac)
                      .at(0, 0, 0);
+      },
+      5)});
+
+  // int8 datapath on the same geometry; recipe from the observed ranges.
+  const algo::Int8ConvQuant i8q = [&] {
+    const nn::Tensor ref = algo::conv_im2col(in, f, bias, 1, 1, true);
+    float in_mn = 0.0f, in_mx = 0.0f, out_mn = 0.0f, out_mx = 0.0f;
+    for (float v : in.vec()) {
+      in_mn = std::min(in_mn, v);
+      in_mx = std::max(in_mx, v);
+    }
+    for (float v : ref.vec()) {
+      out_mn = std::min(out_mn, v);
+      out_mx = std::max(out_mx, v);
+    }
+    return algo::make_int8_conv_quant(f, in_mn, in_mx, out_mn, out_mx);
+  }();
+  measured.push_back({"im2col_gemm_i8", best_ms(
+      [&] {
+        g_sink = algo::conv_quant_i8(in, f, bias, 1, 1, true, i8q).at(0, 0, 0);
       },
       5)});
 
@@ -162,6 +196,17 @@ int main(int argc, char** argv) {
   if (speedup < 2.0) {
     std::printf("perf_smoke: FAIL — blocked GEMM must beat the scalar seed "
                 "by at least 2x in Release builds\n");
+    ok = false;
+  }
+
+  // int8 must pay for itself: narrower panels + 16-wide micro-kernel should
+  // beat the i16 path at the same geometry, single-threaded.
+  const double i16_ms = measured[2].ms;   // direct_fixed_gemm
+  const double i8_ms = measured[4].ms;    // im2col_gemm_i8
+  std::printf("perf_smoke: int8 vs i16 — %.2fx\n", i16_ms / i8_ms);
+  if (i8_ms >= i16_ms) {
+    std::printf("perf_smoke: FAIL — int8 im2col+GEMM must beat the i16 path "
+                "single-threaded\n");
     ok = false;
   }
 

@@ -135,6 +135,111 @@ nn::Tensor conv_direct_fixed(const nn::Tensor& in,
   return out;
 }
 
+nn::Tensor conv_quant_i8(const nn::Tensor& in, const nn::FilterBank& filters,
+                         const std::vector<float>& bias, int stride, int pad,
+                         bool fused_relu, const Int8ConvQuant& q) {
+  const nn::Shape s = in.shape();
+  const int k = filters.kernel();
+  const int oh = (s.h + 2 * pad - k) / stride + 1;
+  const int ow = (s.w + 2 * pad - k) / stride + 1;
+  const int cols = oh * ow;
+  const int rows = s.c * k * k;
+  const int out_c = filters.out_channels();
+
+  // Constants of the layer (weights, folded bias, requant scales). The
+  // streaming engines derive these once per layer; here they are derived per
+  // call — this variant's job is numerics, the engines own amortization.
+  const std::vector<std::int8_t> wq = quantize_filters_i8(filters, q);
+  const std::vector<std::int32_t> bq = fold_bias_i8(bias, q, wq.data(),
+                                                    out_c, rows);
+  const std::vector<float> rs = requant_scales(q, out_c);
+  const std::int8_t pad_value = quantize_act_i8(0.0f, q.in_scale, q.in_zp);
+
+  kernels::ScratchArena& arena = kernels::ScratchArena::tls();
+  kernels::ScratchArena::Scope scope(arena);
+  std::int8_t* inq =
+      arena.alloc<std::int8_t>(static_cast<std::size_t>(in.size()));
+  kernels::parallel_for(static_cast<std::size_t>(in.size()), 4096, 0,
+                        [&](std::size_t i) {
+                          inq[i] = quantize_act_i8(in.data()[i], q.in_scale,
+                                                   q.in_zp);
+                        });
+
+  std::int8_t* mat =
+      arena.alloc<std::int8_t>(static_cast<std::size_t>(rows) * cols);
+  kernels::im2col_i8(inq, s.c, s.h, s.w, k, stride, pad, oh, ow, mat,
+                     pad_value, /*threads=*/0);
+
+  std::int8_t* outq =
+      arena.alloc<std::int8_t>(static_cast<std::size_t>(out_c) * cols);
+  kernels::QuantParams qp;
+  qp.scales = rs.data();
+  qp.per_channel = true;
+  qp.bias = bq.data();
+  qp.zero_point = q.out_zp;
+  qp.relu = fused_relu;
+  kernels::gemm_i8(out_c, cols, rows, wq.data(), rows, mat, cols, outq, cols,
+                   qp, /*threads=*/0);
+
+  nn::Tensor out(out_c, oh, ow);
+  kernels::parallel_for(
+      static_cast<std::size_t>(out_c) * cols, 4096, 0, [&](std::size_t i) {
+        out.data()[i] = dequantize_act_i8(outq[i], q.out_scale, q.out_zp);
+      });
+  return out;
+}
+
+nn::Tensor conv_quant_i8_scalar(const nn::Tensor& in,
+                                const nn::FilterBank& filters,
+                                const std::vector<float>& bias, int stride,
+                                int pad, bool fused_relu,
+                                const Int8ConvQuant& q) {
+  const nn::Shape s = in.shape();
+  const int k = filters.kernel();
+  const int oh = (s.h + 2 * pad - k) / stride + 1;
+  const int ow = (s.w + 2 * pad - k) / stride + 1;
+  const int rows = s.c * k * k;
+  const int out_c = filters.out_channels();
+
+  const std::vector<std::int8_t> wq = quantize_filters_i8(filters, q);
+  const std::vector<std::int32_t> bq = fold_bias_i8(bias, q, wq.data(),
+                                                    out_c, rows);
+  const std::vector<float> rs = requant_scales(q, out_c);
+  const std::int8_t pad_value = quantize_act_i8(0.0f, q.in_scale, q.in_zp);
+
+  std::vector<std::int8_t> inq(static_cast<std::size_t>(in.size()));
+  for (std::size_t i = 0; i < inq.size(); ++i) {
+    inq[i] = quantize_act_i8(in.data()[i], q.in_scale, q.in_zp);
+  }
+  const auto in_at = [&](int c, int h, int w) -> std::int32_t {
+    if (h < 0 || h >= s.h || w < 0 || w >= s.w) return pad_value;
+    return inq[(static_cast<std::size_t>(c) * s.h + h) * s.w + w];
+  };
+
+  nn::Tensor out(out_c, oh, ow);
+  for (int n = 0; n < out_c; ++n) {
+    const std::int8_t* w = wq.data() + static_cast<std::size_t>(n) * rows;
+    for (int i = 0; i < oh; ++i) {
+      for (int j = 0; j < ow; ++j) {
+        std::int32_t acc = bq[static_cast<std::size_t>(n)];
+        std::size_t r = 0;
+        for (int c = 0; c < s.c; ++c) {
+          for (int u = 0; u < k; ++u) {
+            for (int v = 0; v < k; ++v, ++r) {
+              acc += static_cast<std::int32_t>(w[r]) *
+                     in_at(c, i * stride + u - pad, j * stride + v - pad);
+            }
+          }
+        }
+        const std::int8_t oq = kernels::requantize_i32(
+            acc, rs[static_cast<std::size_t>(n)], q.out_zp, fused_relu);
+        out.at(n, i, j) = dequantize_act_i8(oq, q.out_scale, q.out_zp);
+      }
+    }
+  }
+  return out;
+}
+
 nn::Tensor conv_direct_fixed_scalar(const nn::Tensor& in,
                                     const nn::FilterBank& filters,
                                     const std::vector<float>& bias, int stride,

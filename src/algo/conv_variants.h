@@ -8,6 +8,7 @@
 // `*_scalar` variants are the seed implementations, kept as golden
 // references for equivalence tests and as the bench baseline.
 
+#include "algo/int8_quant.h"
 #include "nn/tensor.h"
 
 namespace hetacc::algo {
@@ -51,5 +52,26 @@ namespace hetacc::algo {
     const nn::Tensor& in, const nn::FilterBank& filters,
     const std::vector<float>& bias, int stride, int pad, bool fused_relu,
     int data_frac, int weight_frac, int out_frac);
+
+/// Convolution on the int8 datapath: input quantized to the asymmetric i8
+/// activation grid of `q`, weights to per-channel symmetric i8, exact i32
+/// accumulation via im2col + gemm_i8, requantize-on-writeback to i8 output
+/// codes (bias and fused ReLU folded into the epilogue), then dequantized
+/// back to a float tensor on the output grid. Bit-exact for any thread count
+/// and ISA stamp (see kernels/gemm.h).
+[[nodiscard]] nn::Tensor conv_quant_i8(const nn::Tensor& in,
+                                       const nn::FilterBank& filters,
+                                       const std::vector<float>& bias,
+                                       int stride, int pad, bool fused_relu,
+                                       const Int8ConvQuant& q);
+
+/// Scalar golden reference of conv_quant_i8: naive loop nest over i8 codes
+/// with the same requantize_i32 epilogue — must match bit-for-bit.
+[[nodiscard]] nn::Tensor conv_quant_i8_scalar(const nn::Tensor& in,
+                                              const nn::FilterBank& filters,
+                                              const std::vector<float>& bias,
+                                              int stride, int pad,
+                                              bool fused_relu,
+                                              const Int8ConvQuant& q);
 
 }  // namespace hetacc::algo

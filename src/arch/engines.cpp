@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "algo/int8_quant.h"
 #include "fixed/fixed16.h"
 
 namespace hetacc::arch {
@@ -12,6 +13,27 @@ namespace {
 
 float maybe_quantize(float v, int frac) {
   return frac >= 0 ? fixed::quantize_to_float(v, frac) : v;
+}
+
+/// Snap a value onto the mode's input grid: the i8 activation grid in int8
+/// mode (round-trip through the code so buffered floats are exactly
+/// representable and later re-quantization recovers the same code), the
+/// Q(in_frac) grid in fixed mode, identity in float mode.
+float quantize_mode_in(const NumericMode& m, float v) {
+  if (m.int8()) {
+    return algo::dequantize_act_i8(
+        algo::quantize_act_i8(v, m.in_scale, m.in_zp), m.in_scale, m.in_zp);
+  }
+  return maybe_quantize(v, m.in_frac);
+}
+
+float quantize_mode_out(const NumericMode& m, float v) {
+  if (m.int8()) {
+    return algo::dequantize_act_i8(
+        algo::quantize_act_i8(v, m.out_scale, m.out_zp), m.out_scale,
+        m.out_zp);
+  }
+  return maybe_quantize(v, m.out_frac);
 }
 
 /// Common row-ingestion machinery: presents the input as a padded stream of
@@ -79,8 +101,9 @@ class RowWindowBase : public StreamEngine {
     for (int c = 0; c < layer_.in.c; ++c) {
       for (int w = 0; w < layer_.in.w; ++w) {
         padded[static_cast<std::size_t>(c) * padded_w_ + pad_ + w] =
-            maybe_quantize(r.data[static_cast<std::size_t>(c) * layer_.in.w + w],
-                           mode_.in_frac);
+            quantize_mode_in(
+                mode_,
+                r.data[static_cast<std::size_t>(c) * layer_.in.w + w]);
       }
     }
     lb_.push_row(padded);
@@ -106,14 +129,20 @@ class ConvDirectEngine final : public RowWindowBase {
  public:
   ConvDirectEngine(const nn::Layer& layer, const nn::ConvWeights& w,
                    NumericMode mode,
-                   std::shared_ptr<const kernels::PackedLhsF32> packed)
+                   std::shared_ptr<const kernels::PackedLhsF32> packed,
+                   std::shared_ptr<const Int8ConvConstants> i8c)
       // Paper §4.2: the conventional line buffer has K + S lines.
       : RowWindowBase(layer, layer.conv().kernel + layer.conv().stride, mode),
         bias_(w.bias),
-        packed_(std::move(packed)) {
+        packed_(std::move(packed)),
+        i8c_(std::move(i8c)) {
     const int k = layer.conv().kernel;
     const int kk = layer.in.c * k * k;
-    if (!packed_) {
+    if (mode_.int8()) {
+      if (!i8c_) i8c_ = make_int8_conv_constants(layer, w, mode_);
+      patch8_.resize(static_cast<std::size_t>(kk) * layer.out.w);
+      out8_.resize(static_cast<std::size_t>(layer.out.c) * layer.out.w);
+    } else if (!packed_) {
       // Weights packed into GEMM micro-panels once per engine, never per row.
       packed_ = std::make_shared<const kernels::PackedLhsF32>(
           w.filters.data(), layer.out.c, kk, kk);
@@ -152,6 +181,34 @@ class ConvDirectEngine final : public RowWindowBase {
       }
     }
 
+    if (mode_.int8()) {
+      // Recover the exact i8 codes of the buffered (grid-snapped) patch —
+      // synthetic padding rows hold real 0.0, which quantizes to the input
+      // zero-point, exactly the pad code im2col would have used — then run
+      // the integer datapath: exact i32 accumulation, requantize-on-
+      // writeback epilogue, dequantized onto the output grid.
+      const std::size_t np = patch_.size();
+      for (std::size_t p = 0; p < np; ++p) {
+        patch8_[p] = algo::quantize_act_i8(patch_[p], mode_.in_scale,
+                                           mode_.in_zp);
+      }
+      kernels::QuantParams qp;
+      qp.scales = i8c_->requant.data();
+      qp.per_channel = true;
+      qp.bias = i8c_->bias.data();
+      qp.zero_point = mode_.out_zp;
+      qp.relu = cp.fused_relu;
+      kernels::gemm_i8(i8c_->packed, ow, patch8_.data(), ow, out8_.data(),
+                       ow, qp, /*threads=*/0);
+      Row r;
+      r.data.resize(static_cast<std::size_t>(layer_.out.c) * ow);
+      for (std::size_t i = 0; i < r.data.size(); ++i) {
+        r.data[i] = algo::dequantize_act_i8(out8_[i], mode_.out_scale,
+                                            mode_.out_zp);
+      }
+      return r;
+    }
+
     // One GEMM per output row; the MAC tree accumulates in double, exactly
     // like the seed's per-pixel loop nest.
     kernels::gemm_f32d(*packed_, ow, patch_.data(), ow, acc_.data(), ow,
@@ -173,8 +230,11 @@ class ConvDirectEngine final : public RowWindowBase {
 
   std::vector<float> bias_;
   std::shared_ptr<const kernels::PackedLhsF32> packed_;
+  std::shared_ptr<const Int8ConvConstants> i8c_;
   std::vector<float> patch_;
   std::vector<double> acc_;
+  std::vector<std::int8_t> patch8_;
+  std::vector<std::int8_t> out8_;
 };
 
 // --------------------------------------------------------------------------
@@ -328,7 +388,7 @@ class PoolEngine final : public RowWindowBase {
                 ? best
                 : (count ? sum / static_cast<float>(count) : 0.0f);
         r.data[static_cast<std::size_t>(c) * layer_.out.w + j] =
-            maybe_quantize(val, mode_.out_frac);
+            quantize_mode_out(mode_, val);
       }
     }
     return r;
@@ -362,16 +422,16 @@ class LrnEngine final : public StreamEngine {
       for (int w = 0; w < W; ++w) {
         float ss = 0.0f;
         for (int cc = lo; cc <= hi; ++cc) {
-          const float x = maybe_quantize(
-              r.data[static_cast<std::size_t>(cc) * W + w], mode_.in_frac);
+          const float x = quantize_mode_in(
+              mode_, r.data[static_cast<std::size_t>(cc) * W + w]);
           ss += x * x;
         }
         const float denom = std::pow(
             p.k + p.alpha / static_cast<float>(p.local_size) * ss, p.beta);
-        const float x = maybe_quantize(
-            r.data[static_cast<std::size_t>(c) * W + w], mode_.in_frac);
+        const float x = quantize_mode_in(
+            mode_, r.data[static_cast<std::size_t>(c) * W + w]);
         o.data[static_cast<std::size_t>(c) * W + w] =
-            maybe_quantize(x / denom, mode_.out_frac);
+            quantize_mode_out(mode_, x / denom);
       }
     }
     out.push(std::move(o));
@@ -402,7 +462,7 @@ class ReluEngine final : public StreamEngine {
     if (done() || in.empty() || out.full()) return false;
     Row r = in.pop();
     for (auto& x : r.data) {
-      x = maybe_quantize(std::max(x, 0.0f), mode_.out_frac);
+      x = quantize_mode_out(mode_, std::max(x, 0.0f));
     }
     out.push(std::move(r));
     ++rows_emitted_;
@@ -417,11 +477,45 @@ class ReluEngine final : public StreamEngine {
 
 }  // namespace
 
+std::shared_ptr<const Int8ConvConstants> make_int8_conv_constants(
+    const nn::Layer& layer, const nn::ConvWeights& w,
+    const NumericMode& mode) {
+  if (!mode.int8()) {
+    throw std::invalid_argument("int8 constants need an int8 mode ('" +
+                                layer.name + "')");
+  }
+  const int k = layer.conv().kernel;
+  const int rows = layer.in.c * k * k;
+  algo::Int8ConvQuant q;
+  q.in_scale = mode.in_scale;
+  q.in_zp = mode.in_zp;
+  q.out_scale = mode.out_scale;
+  q.out_zp = mode.out_zp;
+  q.per_channel = true;
+  q.w_scales.resize(static_cast<std::size_t>(layer.out.c));
+  for (int n = 0; n < layer.out.c; ++n) {
+    float m = 0.0f;
+    const float* wp =
+        w.filters.data() + static_cast<std::size_t>(n) * rows;
+    for (int j = 0; j < rows; ++j) m = std::max(m, std::abs(wp[j]));
+    q.w_scales[static_cast<std::size_t>(n)] = m > 0.0f ? m / 127.0f : 1.0f;
+  }
+  const std::vector<std::int8_t> wq = algo::quantize_filters_i8(w.filters, q);
+  auto consts = std::make_shared<Int8ConvConstants>();
+  consts->packed =
+      kernels::PackedLhsI8(wq.data(), layer.out.c, rows, rows);
+  consts->requant = algo::requant_scales(q, layer.out.c);
+  consts->bias = algo::fold_bias_i8(w.bias, q, wq.data(), layer.out.c, rows);
+  consts->pad_value = algo::quantize_act_i8(0.0f, q.in_scale, q.in_zp);
+  return consts;
+}
+
 std::unique_ptr<StreamEngine> make_engine(
     const nn::Layer& layer, const nn::ConvWeights* weights,
     std::optional<algo::WinogradTransform> wino, NumericMode mode,
     std::shared_ptr<const kernels::WinogradPlan> wino_plan,
-    std::shared_ptr<const kernels::PackedLhsF32> packed_weights) {
+    std::shared_ptr<const kernels::PackedLhsF32> packed_weights,
+    std::shared_ptr<const Int8ConvConstants> int8_consts) {
   switch (layer.kind) {
     case nn::LayerKind::kConv: {
       if (!weights) {
@@ -429,11 +523,16 @@ std::unique_ptr<StreamEngine> make_engine(
                                     layer.name + "')");
       }
       if (wino) {
+        if (mode.int8()) {
+          throw std::invalid_argument(
+              "int8 mode is conventional-only ('" + layer.name + "')");
+        }
         return std::make_unique<WinogradEngine>(layer, *weights, *wino, mode,
                                                 std::move(wino_plan));
       }
       return std::make_unique<ConvDirectEngine>(layer, *weights, mode,
-                                                std::move(packed_weights));
+                                                std::move(packed_weights),
+                                                std::move(int8_consts));
     }
     case nn::LayerKind::kPool:
       return std::make_unique<PoolEngine>(layer, mode);

@@ -19,12 +19,40 @@ namespace hetacc::arch {
 
 /// Numeric mode of an engine's datapath. `out_frac < 0` keeps the engine in
 /// float mode; otherwise inputs and outputs are quantized to Q(frac) 16-bit
-/// grids, modeling the fixed datapath of the generated hardware.
+/// grids, modeling the fixed datapath of the generated hardware. With `i8`
+/// set the engine instead runs the int8 datapath: activations live on the
+/// asymmetric i8 grid (scale, zero-point) below, conv engines compute in
+/// exact i8 x i8 -> i32 with requantize-on-writeback, and the frac fields
+/// are ignored.
 struct NumericMode {
   int in_frac = -1;
   int out_frac = -1;
-  [[nodiscard]] bool fixed() const { return out_frac >= 0; }
+  bool i8 = false;
+  float in_scale = 1.0f;
+  std::int32_t in_zp = 0;
+  float out_scale = 1.0f;
+  std::int32_t out_zp = 0;
+  [[nodiscard]] bool fixed() const { return out_frac >= 0 && !i8; }
+  [[nodiscard]] bool int8() const { return i8; }
 };
+
+/// Per-layer constants of an int8 conv engine, derived once from the float
+/// filters (after any fault-protection CRC verification — see
+/// arch/pipeline.cpp) and shared across engine instances: the packed i8
+/// weight panels, the requantization scales, the folded i32 bias, and the
+/// input-grid padding code.
+struct Int8ConvConstants {
+  kernels::PackedLhsI8 packed;
+  std::vector<float> requant;     ///< per out-channel writeback scales
+  std::vector<std::int32_t> bias; ///< zp-corrected i32 bias
+  std::int8_t pad_value = 0;      ///< i8 code of real 0.0 on the input grid
+};
+
+/// Derives the int8 constants of a conv layer from its float weights and the
+/// activation grids in `mode` (which must have i8 set).
+[[nodiscard]] std::shared_ptr<const Int8ConvConstants>
+make_int8_conv_constants(const nn::Layer& layer, const nn::ConvWeights& w,
+                         const NumericMode& mode);
 
 class StreamEngine {
  public:
@@ -62,6 +90,7 @@ class StreamEngine {
     const nn::Layer& layer, const nn::ConvWeights* weights,
     std::optional<algo::WinogradTransform> wino, NumericMode mode,
     std::shared_ptr<const kernels::WinogradPlan> wino_plan = nullptr,
-    std::shared_ptr<const kernels::PackedLhsF32> packed_weights = nullptr);
+    std::shared_ptr<const kernels::PackedLhsF32> packed_weights = nullptr,
+    std::shared_ptr<const Int8ConvConstants> int8_consts = nullptr);
 
 }  // namespace hetacc::arch

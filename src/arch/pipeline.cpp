@@ -39,6 +39,7 @@ void FusionPipeline::derive_layer_constants() {
   const std::size_t layer_count = net_.size() - 1;
   wino_plans_.assign(layer_count, nullptr);
   packed_weights_.assign(layer_count, nullptr);
+  int8_consts_.assign(layer_count, nullptr);
   // Weight-store SEUs hit one word per panel of this many floats.
   constexpr std::size_t kPanelFloats = 512;
   for (std::size_t i = 0; i + 1 < net_.size(); ++i) {
@@ -89,9 +90,23 @@ void FusionPipeline::derive_layer_constants() {
       }
       wino_plans_[i] = std::move(plan);
     } else if (choices_[i].algo == fpga::ConvAlgo::kConventional) {
-      const int kk = l.in.c * l.conv().kernel * l.conv().kernel;
-      packed_weights_[i] = std::make_shared<const kernels::PackedLhsF32>(
-          filters->data(), l.out.c, kk, kk);
+      if (choices_[i].mode.int8()) {
+        // Int8 panels are derived from the (CRC-verified or golden) float
+        // filters the same way the f32 panels are, so the protection path
+        // above covers them too — a detected weight-panel SEU reloads the
+        // golden copy before quantization, never silently bypassing CRC.
+        if (filters == &w.filters) {
+          int8_consts_[i] = make_int8_conv_constants(l, w, choices_[i].mode);
+        } else {
+          nn::ConvWeights resident_w{*filters, w.bias};
+          int8_consts_[i] =
+              make_int8_conv_constants(l, resident_w, choices_[i].mode);
+        }
+      } else {
+        const int kk = l.in.c * l.conv().kernel * l.conv().kernel;
+        packed_weights_[i] = std::make_shared<const kernels::PackedLhsF32>(
+            filters->data(), l.out.c, kk, kk);
+      }
     }
   }
 }
@@ -145,7 +160,7 @@ std::vector<std::unique_ptr<StreamEngine>> FusionPipeline::build_engine_set()
       t = algo::winograd(choices_[i].wino_m, l.conv().kernel);
     }
     engines.push_back(make_engine(l, w, t, choices_[i].mode, wino_plans_[i],
-                                  packed_weights_[i]));
+                                  packed_weights_[i], int8_consts_[i]));
   }
   return engines;
 }

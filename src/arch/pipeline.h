@@ -133,6 +133,7 @@ class FusionPipeline {
   /// choices_; null where not applicable).
   std::vector<std::shared_ptr<const kernels::WinogradPlan>> wino_plans_;
   std::vector<std::shared_ptr<const kernels::PackedLhsF32>> packed_weights_;
+  std::vector<std::shared_ptr<const Int8ConvConstants>> int8_consts_;
   std::vector<std::unique_ptr<StreamEngine>> engines_;
   PipelineStats stats_;
   std::unique_ptr<fault::FaultInjector> injector_;

@@ -66,7 +66,7 @@ std::string Strategy::describe(const nn::Network& net) const {
     for (std::size_t k = 0; k < g.impls.size(); ++k) {
       const auto& ipl = g.impls[k];
       const nn::Layer& l = net[g.first + k];
-      os << "    " << l.name << ": " << fpga::to_string(ipl.cfg.algo)
+      os << "    " << l.name << ": " << fpga::algo_label(ipl.cfg)
          << " p=" << ipl.cfg.parallelism(l.window())
          << " dsp=" << ipl.res.dsp << " bram=" << ipl.res.bram18k
          << " cycles=" << ipl.compute_cycles << "\n";

@@ -24,7 +24,7 @@ std::string strategy_to_csv(const Strategy& s, const nn::Network& net) {
       const nn::Layer& l = net[g.first + k];
       const auto& ipl = g.impls[k];
       os << gi << ',' << g.first + k << ',' << l.name << ','
-         << nn::to_string(l.kind) << ',' << fpga::to_string(ipl.cfg.algo)
+         << nn::to_string(l.kind) << ',' << fpga::algo_label(ipl.cfg)
          << ','
          << (ipl.cfg.algo == fpga::ConvAlgo::kWinograd ? ipl.cfg.wino_m : 0)
          << ',' << ipl.cfg.tn << ',' << ipl.cfg.tm << ',' << ipl.cfg.tk << ','
@@ -70,7 +70,7 @@ std::string strategy_to_markdown(const Strategy& s, const nn::Network& net) {
     for (std::size_t k = 0; k < g.impls.size(); ++k) {
       const nn::Layer& l = net[g.first + k];
       const auto& ipl = g.impls[k];
-      os << "| " << l.name << " | " << fpga::to_string(ipl.cfg.algo) << " | "
+      os << "| " << l.name << " | " << fpga::algo_label(ipl.cfg) << " | "
          << ipl.cfg.parallelism(l.window()) << " | " << ipl.res.bram18k
          << " | " << ipl.res.dsp << " | " << ipl.res.ff << " | "
          << ipl.res.lut << " |\n";
@@ -180,7 +180,7 @@ Strategy strategy_from_csv(const std::string& csv, const nn::Network& net,
     }
 
     fpga::Implementation ipl;
-    if (!fpga::algo_from_string(f[4], ipl.cfg.algo)) {
+    if (!fpga::algo_from_label(f[4], ipl.cfg)) {
       throw ParseError(
           "strategy csv: unknown algorithm '" + std::string(f[4]) + "'",
           line_no);
@@ -227,10 +227,13 @@ Strategy strategy_from_csv(const std::string& csv, const nn::Network& net,
                          line_no);
       }
     }
-    // Weight words are a pure function of the layer (not exported).
+    // Weight words are a pure function of the layer + datapath (not
+    // exported). int8 packs two weights per 16-bit word.
     if (l.kind == nn::LayerKind::kConv) {
-      ipl.weight_words = static_cast<long long>(l.out.c) * l.conv_fan_in() *
-                         l.conv().kernel * l.conv().kernel;
+      const long long count = static_cast<long long>(l.out.c) *
+                              l.conv_fan_in() * l.conv().kernel *
+                              l.conv().kernel;
+      ipl.weight_words = ipl.cfg.int8 ? (count + 1) / 2 : count;
       ipl.mults_performed = fpga::EngineModel::algo_mults(l, ipl.cfg);
     }
 

@@ -47,6 +47,22 @@ bool algo_from_string(std::string_view s, ConvAlgo& out) {
   return true;
 }
 
+std::string algo_label(const EngineConfig& cfg) {
+  std::string s{to_string(cfg.algo)};
+  if (cfg.int8) s += "-i8";
+  return s;
+}
+
+bool algo_from_label(std::string_view s, EngineConfig& cfg) {
+  cfg.int8 = false;
+  if (s == "conventional-i8") {
+    cfg.algo = ConvAlgo::kConventional;
+    cfg.int8 = true;
+    return true;
+  }
+  return algo_from_string(s, cfg.algo);
+}
+
 std::vector<int> divisors_up_to(int x, int cap) {
   std::vector<int> out;
   for (int d = 1; d <= x && d <= cap; ++d) {
@@ -121,11 +137,21 @@ Implementation EngineModel::implement_conv(const nn::Layer& layer,
   cfg.tn = std::clamp(cfg.tn, 1, M);
   cfg.tm = std::clamp(cfg.tm, 1, N);
   cfg.tk = std::clamp(cfg.tk, 1, K * K);
+  if (cfg.int8 && cfg.algo != ConvAlgo::kConventional) {
+    throw std::invalid_argument(
+        "int8 engines are conventional-only (layer '" + layer.name + "')");
+  }
 
   Implementation ipl;
   ipl.cfg = cfg;
   ipl.mults_performed = algo_mults(layer, cfg);
-  ipl.weight_words = static_cast<long long>(N) * M * K * K;
+  // Weight footprint in 16-bit device words. int8 packs two weights per
+  // word (ceil for odd counts); every downstream consumer — DDR weight
+  // traffic, CRC check cycles, report bytes — multiplies by
+  // dev.data_bytes, so the halving propagates without special cases there.
+  const long long weight_count = static_cast<long long>(N) * M * K * K;
+  ipl.weight_words =
+      cfg.int8 ? cost::ceil_div(weight_count, 2) : weight_count;
 
   long long line_rows = 0;
   long long cycles = 0;
@@ -175,11 +201,19 @@ Implementation EngineModel::implement_conv(const nn::Layer& layer,
         M, N, K, cfg.tn, cfg.tm, cfg.tk,
         static_cast<long long>(layer.out.h) * layer.out.w);
     line_rows = K + cp.stride;
-    ipl.res.dsp = static_cast<long long>(cfg.tn) * cfg.tm * cfg.tk;
+    // LUT/FF scale with multiplier lanes; DSPs pack int8_mults_per_dsp
+    // int8 lanes each (DSP48E port chaining), so the int8 DSP demand is
+    // ceil(lanes / pack) while the cycle schedule is unchanged.
+    const long long lanes =
+        static_cast<long long>(cfg.tn) * cfg.tm * cfg.tk;
+    ipl.res.dsp =
+        cfg.int8
+            ? cost::ceil_div(lanes, std::max(1, p_.int8_mults_per_dsp))
+            : lanes;
     ipl.res.lut = static_cast<long long>(
-        p_.base_lut + p_.lut_per_mult_conv * ipl.res.dsp);
+        p_.base_lut + p_.lut_per_mult_conv * static_cast<double>(lanes));
     ipl.res.ff = static_cast<long long>(
-        p_.base_ff + p_.ff_per_mult_conv * ipl.res.dsp);
+        p_.base_ff + p_.ff_per_mult_conv * static_cast<double>(lanes));
   }
   ipl.compute_cycles = cost::apply_efficiency(cycles, p_.compute_efficiency);
 
@@ -202,15 +236,21 @@ Implementation EngineModel::implement_conv(const nn::Layer& layer,
   //      AlexNet conv4's 1.3M weight words exceed the ZC706's BRAM).
   // Either way the kernels cross DDR once per image (paper §5 excludes that
   // traffic from T). The engine takes whichever regime is cheaper.
+  // int8 engines buffer 8-bit activations on chip; the weight footprint is
+  // already expressed in 16-bit word equivalents (two int8 codes per word),
+  // so the weight stores stay at 16-bit word width.
+  const int act_bits = cfg.int8 ? 8 : 16;
   const long long lb_bram =
-      p_.include_line_buffer ? bram18k_for(lb_words, 16, lb_banks) : 0;
+      p_.include_line_buffer ? bram18k_for(lb_words, act_bits, lb_banks) : 0;
   const long long bram_weight_stationary =
       lb_bram + bram18k_for(ipl.weight_words, 16, w_banks);
   const long long fmap_words = layer.in.elems();
-  const long long wbuf_words =
+  long long wbuf_words =
       2ll * cfg.tm * M * K * K;  // double-buffered output-channel block
+  if (cfg.int8) wbuf_words = cost::ceil_div(wbuf_words, 2);
   const long long bram_input_stationary =
-      (p_.include_line_buffer ? bram18k_for(fmap_words, 16, lb_banks) : 0) +
+      (p_.include_line_buffer ? bram18k_for(fmap_words, act_bits, lb_banks)
+                              : 0) +
       bram18k_for(std::min(wbuf_words, ipl.weight_words), 16, w_banks);
   ipl.res.bram18k = std::min(bram_weight_stationary, bram_input_stationary);
 
@@ -401,6 +441,30 @@ std::vector<EngineConfig> EngineModel::candidates(
     }
     auto ladder = pareto_ladder(std::move(conv), p_.ladder_ratio);
     out.insert(out.end(), ladder.begin(), ladder.end());
+
+    if (p_.enable_int8) {
+      // int8 twins of the conventional ladder. The DSP demand is the packed
+      // count, so lane tiers beyond the 16-bit DSP ceiling become reachable;
+      // a separate Pareto pass keeps both precisions on offer and lets the
+      // fusion DP trade accuracy for resources per layer.
+      const int pack = std::max(1, p_.int8_mults_per_dsp);
+      std::vector<RatedConfig> conv8;
+      for (int tn : tns) {
+        for (int tm : tms) {
+          for (int tk : {1, K, K * K}) {
+            EngineConfig c{ConvAlgo::kConventional, tn, tm, tk, 4, true};
+            const long long dsp =
+                cost::ceil_div(c.parallelism(K), pack);
+            if (dsp > dsp_cap) continue;
+            const long long cycles =
+                cost::conv_cycles_conventional(M, N, K, tn, tm, tk, hw);
+            conv8.push_back({c, cycles, dsp});
+          }
+        }
+      }
+      auto l8 = pareto_ladder(std::move(conv8), p_.ladder_ratio);
+      out.insert(out.end(), l8.begin(), l8.end());
+    }
 
     if (p_.enable_stride2_winograd && p_.enable_winograd && cp.stride == 2 &&
         K >= 2 && K <= 7) {

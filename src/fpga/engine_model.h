@@ -31,6 +31,18 @@ enum class ConvAlgo : std::uint8_t {
 /// parser reports its own typed error with line context).
 [[nodiscard]] bool algo_from_string(std::string_view s, ConvAlgo& out);
 
+struct EngineConfig;
+
+/// Algorithm + datapath label for reports and the strategy CSV:
+/// to_string(algo), with "-i8" appended for the int8 datapath
+/// ("conventional-i8"). 16-bit configs keep the legacy tokens so existing
+/// strategy CSVs stay byte-identical.
+[[nodiscard]] std::string algo_label(const EngineConfig& cfg);
+
+/// Inverse of algo_label: sets cfg.algo and cfg.int8, leaves the unroll
+/// fields untouched. Returns false for unknown tokens.
+[[nodiscard]] bool algo_from_label(std::string_view s, EngineConfig& cfg);
+
 /// One point in the per-layer design space explored by Algorithm 2
 /// lines 10-11. Parallelism is structured as unroll factors, the product of
 /// which is the single "parallelism" number the paper reports (Table 2).
@@ -40,6 +52,10 @@ struct EngineConfig {
   int tm = 1;      ///< output-channel unroll (conv only)
   int tk = 1;      ///< kernel-tap unroll (conventional conv only)
   int wino_m = 4;  ///< Winograd output tile size (paper fixes F(4x4,3x3))
+  /// int8 datapath (conventional conv only): two 8-bit multiplies pack into
+  /// one DSP48E and the weight footprint halves; same lane count, same
+  /// cycle schedule. Serialized as the "conventional-i8" algorithm name.
+  bool int8 = false;
 
   /// Multiplier lanes issued per cycle; equals the DSP demand for conv
   /// engines. Winograd engines hold an (m+r-1)^2 multiplier array per
@@ -113,6 +129,13 @@ struct EngineModelParams {
   // Extension beyond the paper: offer the polyphase stride-2 Winograd
   // decomposition for stride-2 convolutions (ResNet-style layers).
   bool enable_stride2_winograd = false;
+  // Extension beyond the paper: offer int8 twins of every conventional conv
+  // candidate. Two int8 multiplies pack into one DSP48E (port chaining), the
+  // on-chip weight footprint and the weight DDR traffic halve, and the line
+  // buffer stores 8-bit words; feature-map streaming stays on the 16-bit
+  // interconnect. Off by default — the paper's datapath is 16-bit fixed.
+  bool enable_int8 = false;
+  int int8_mults_per_dsp = 2;
 
   // --- Hardening overheads (the --protect toolflow mode) ---
   // When true every engine carries its fault detectors: a CRC-32 checker on

@@ -1,0 +1,46 @@
+#pragma once
+// Blocking autotuner: bounded coordinate-descent search over the
+// BlockingParams of each GEMM datapath (MC / KC / NC / grain; KC only where
+// tunable — see blocking.h), measuring a representative im2col-shaped GEMM
+// on this machine. Winners are installed into the dispatch registry via
+// set_blocking() and can be persisted with save_tuning_cache_file() for the
+// next process to load.
+//
+// The search can only change speed, never results: every candidate goes
+// through set_blocking()'s sanitizer, which pins KC on float datapaths, and
+// MC/NC/grain never alter any element's accumulation chain.
+
+#include <string>
+#include <vector>
+
+#include "kernels/blocking.h"
+
+namespace hetacc::kernels {
+
+struct AutotuneOptions {
+  double budget_ms = 1000.0;  ///< measurement budget per datapath
+  int threads = 0;            ///< worker knob passed to the GEMMs (0 = default)
+  int reps = 2;               ///< timed repetitions per candidate (min taken)
+};
+
+struct AutotuneResult {
+  Datapath dp = Datapath::kF32;
+  BlockingParams best;     ///< winner (== default when nothing beat it)
+  double best_ms = 0.0;    ///< best candidate time
+  double default_ms = 0.0; ///< shipped-defaults time on the same workload
+  int trials = 0;          ///< candidates measured before the budget ran out
+};
+
+/// Tunes one datapath within `budget_ms` and installs the winner via
+/// set_blocking(). The previously installed blocking is replaced.
+AutotuneResult autotune_datapath(Datapath dp, const AutotuneOptions& opts);
+
+/// Tunes every datapath (budget applies per datapath) and installs the
+/// winners. Returns one result per datapath in enum order.
+std::vector<AutotuneResult> autotune_all(const AutotuneOptions& opts);
+
+/// One-line human summary ("i8: mc=128 kc=512 nc=0 grain=0  1.23ms
+/// (default 1.51ms, 14 trials)").
+std::string autotune_summary(const AutotuneResult& r);
+
+}  // namespace hetacc::kernels

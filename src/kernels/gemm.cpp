@@ -11,14 +11,14 @@ namespace hetacc::kernels {
 
 namespace {
 
-// A-side register/cache blocking, shared by every datapath (PackedLhsT bakes
-// this layout, so it is compile-time and identical for gemm_f32/gemm_f32d
-// consumers of the same packed weights). The B-side register width NR is per
+// A-side register blocking, shared by every datapath (PackedLhsT bakes this
+// interleave, so it is compile-time). The B-side register width NR is per
 // (TA, TAcc) pair — see MK below — chosen so the micro-kernel's accumulator
-// file fills the 256-bit register budget of the widest dispatch stamp.
+// file fills the 256-bit register budget of the widest dispatch stamp. The
+// cache-level blocking (MC/KC/NC/grain) is runtime: per-datapath
+// BlockingParams from blocking.h, tuned by the persistent autotuner cache,
+// defaulting to the constants this driver shipped with (MC=96, KC=256).
 constexpr int MR = 4;
-constexpr int KC = 256;
-constexpr int MC = 96;
 
 #if (defined(__GNUC__) || defined(__clang__)) && !defined(HETACC_NO_SIMD)
 #define HETACC_VEC 1
@@ -64,6 +64,7 @@ void micro_scalar(int kb, const TA* a, const TA* b, TAcc* acc) {
 typedef float vf4 __attribute__((vector_size(16)));
 typedef float vf8 __attribute__((vector_size(32)));
 typedef double vd4 __attribute__((vector_size(32)));
+typedef std::int8_t vb8 __attribute__((vector_size(8)));
 typedef std::int16_t vs8 __attribute__((vector_size(16)));
 typedef std::int32_t vi8 __attribute__((vector_size(32)));
 typedef std::int64_t vl8 __attribute__((vector_size(64)));
@@ -115,6 +116,7 @@ struct MK;
 template <>
 struct MK<float, float> {
   static constexpr int NR = 16;
+  static constexpr Datapath dp = Datapath::kF32;
   using Fn = void (*)(int, const float*, const float*, float*);
   static Fn pick(bool simd) {
 #ifdef HETACC_VEC
@@ -134,6 +136,7 @@ struct MK<float, float> {
 template <>
 struct MK<float, double> {
   static constexpr int NR = 8;
+  static constexpr Datapath dp = Datapath::kF32d;
   using Fn = void (*)(int, const float*, const float*, double*);
   static Fn pick(bool simd) {
 #ifdef HETACC_VEC
@@ -153,6 +156,7 @@ struct MK<float, double> {
 template <>
 struct MK<double, double> {
   static constexpr int NR = 8;
+  static constexpr Datapath dp = Datapath::kF64;
   using Fn = void (*)(int, const double*, const double*, double*);
   static Fn pick(bool simd) {
 #ifdef HETACC_VEC
@@ -172,6 +176,7 @@ struct MK<double, double> {
 template <>
 struct MK<std::int16_t, std::int64_t> {
   static constexpr int NR = 8;
+  static constexpr Datapath dp = Datapath::kI16;
   using Fn = void (*)(int, const std::int16_t*, const std::int16_t*,
                       std::int64_t*);
   static Fn pick(bool simd) {
@@ -186,6 +191,27 @@ struct MK<std::int16_t, std::int64_t> {
     (void)simd;
 #endif
     return &micro_scalar<std::int16_t, std::int64_t, NR>;
+  }
+};
+
+template <>
+struct MK<std::int8_t, std::int32_t> {
+  static constexpr int NR = 16;
+  static constexpr Datapath dp = Datapath::kI8;
+  using Fn = void (*)(int, const std::int8_t*, const std::int8_t*,
+                      std::int32_t*);
+  static Fn pick(bool simd) {
+#ifdef HETACC_VEC
+    if (simd) {
+#ifdef HETACC_X86_DISPATCH
+      if (cpu_has_avx2_fma()) return &micro_i8_avx2;
+#endif
+      return &micro_i8_base;
+    }
+#else
+    (void)simd;
+#endif
+    return &micro_scalar<std::int8_t, std::int32_t, NR>;
   }
 };
 
@@ -223,25 +249,53 @@ void pack_b_panel(const T* B, int ldb, int p0, int kb, int j0, int cols,
   }
 }
 
-/// Blocked GEMM driver. Exactly one of A / pA is used. Per KC step: pack B
-/// once (parallel over panels, then shared read-only), pack A blocks unless
-/// pre-packed, then run the 2D (MC-block x NR-panel) tile grid cooperatively
-/// — every tile owns a disjoint patch of C, each KC step is a barrier, and
-/// per-element accumulation is k-ascending, so output bytes are independent
-/// of the thread count and chunk grain.
-template <typename TA, typename TAcc, typename TC, typename TBias>
+/// Requantizing writeback sink of the int8 datapath: the final i8 output
+/// plus the QuantParams the last-KC epilogue applies. The staging i32 C of
+/// gemm_run holds partial sums only between KC steps (single-step runs never
+/// touch it).
+struct RequantSink {
+  std::int8_t* c8 = nullptr;
+  int ldc8 = 0;
+  const QuantParams* q = nullptr;
+};
+
+/// Blocked GEMM driver. Exactly one of A / pA is used. Per KC step and NC
+/// block: pack B once (parallel over panels, then shared read-only), pack A
+/// blocks once per KC step unless pre-packed, then run the 2D (MC-block x
+/// NR-panel) tile grid cooperatively — every tile owns a disjoint patch of
+/// C, each KC step is a barrier, and per-element accumulation is
+/// k-ascending, so output bytes are independent of the thread count, the
+/// chunk grain, and the MC/NC/grain blocking (KC regrouping is additionally
+/// exact on the integer datapaths; see blocking.h).
+///
+/// With kRequant, C is an i32 staging buffer (null when K fits one KC step)
+/// and the last-KC writeback requantizes straight into sink->c8 alongside
+/// bias and ReLU.
+template <typename TA, typename TAcc, typename TC, typename TBias,
+          bool kRequant = false>
 void gemm_run(int M, int N, int K, const TA* A, int lda,
               const PackedLhsT<TA>* pA, const TA* B, int ldb, TC* C, int ldc,
-              const TBias* bias, bool relu, int threads, bool use_simd) {
+              const TBias* bias, bool relu, int threads, bool use_simd,
+              const BlockingParams& bp, const RequantSink* sink = nullptr) {
   if (M <= 0 || N <= 0) return;
   if (K <= 0) {
     for (int i = 0; i < M; ++i) {
-      TC v = bias ? static_cast<TC>(bias[i]) : TC{};
-      if constexpr (std::is_floating_point_v<TC>) {
-        if (relu) v = std::max(v, TC(0));
+      if constexpr (kRequant) {
+        const QuantParams& q = *sink->q;
+        const std::int32_t acc0 =
+            bias ? static_cast<std::int32_t>(bias[i]) : 0;
+        const float sc = q.per_channel ? q.scales[i] : q.scales[0];
+        const std::int8_t v = requantize_i32(acc0, sc, q.zero_point, q.relu);
+        std::int8_t* orow = sink->c8 + static_cast<std::size_t>(i) * sink->ldc8;
+        for (int j = 0; j < N; ++j) orow[j] = v;
+      } else {
+        TC v = bias ? static_cast<TC>(bias[i]) : TC{};
+        if constexpr (std::is_floating_point_v<TC>) {
+          if (relu) v = std::max(v, TC(0));
+        }
+        TC* crow = C + static_cast<std::size_t>(i) * ldc;
+        for (int j = 0; j < N; ++j) crow[j] = v;
       }
-      TC* crow = C + static_cast<std::size_t>(i) * ldc;
-      for (int j = 0; j < N; ++j) crow[j] = v;
     }
     return;
   }
@@ -249,114 +303,193 @@ void gemm_run(int M, int N, int K, const TA* A, int lda,
   const typename MK<TA, TAcc>::Fn micro = MK<TA, TAcc>::pick(use_simd);
   if (threads == 0) threads = num_threads();
 
-  const int jpanels = (N + NR - 1) / NR;
-  const int iblocks = (M + MC - 1) / MC;
-  const int mpanels_cap = (MC + MR - 1) / MR;
+  // Pre-packed A bakes its (MC, KC); otherwise take the dispatch blocking.
+  const int mc = pA ? pA->mc() : bp.mc;
+  const int kc = pA ? pA->kc() : bp.kc;
+  const int ncb = bp.nc > 0 ? std::min(bp.nc, N) : N;
+
+  const int iblocks = (M + mc - 1) / mc;
+  const int jpanels_cap = (ncb + NR - 1) / NR;
+  const int mpanels_cap = (mc + MR - 1) / MR;
 
   ScratchArena& arena = ScratchArena::tls();
   ScratchArena::Scope scope(arena);
-  TA* bpack = arena.alloc<TA>(static_cast<std::size_t>(jpanels) * NR * KC);
+  TA* bpack =
+      arena.alloc<TA>(static_cast<std::size_t>(jpanels_cap) * NR * kc);
   TA* apack = nullptr;
   if (!pA) {
     apack = arena.alloc<TA>(static_cast<std::size_t>(iblocks) * mpanels_cap *
-                            MR * KC);
+                            MR * kc);
   }
 
   const int tw = std::max(1, resolve_threads(threads));
-  const std::size_t tasks =
-      static_cast<std::size_t>(iblocks) * static_cast<std::size_t>(jpanels);
-  const std::size_t grain = std::clamp<std::size_t>(
-      tasks / (static_cast<std::size_t>(tw) * 4), 1, 16);
+  const std::size_t grain_cap = bp.grain > 0
+                                    ? static_cast<std::size_t>(bp.grain)
+                                    : static_cast<std::size_t>(16);
 
-  for (int p0 = 0, pb = 0; p0 < K; p0 += KC, ++pb) {
-    const int kb = std::min(KC, K - p0);
+  for (int p0 = 0, pb = 0; p0 < K; p0 += kc, ++pb) {
+    const int kb = std::min(kc, K - p0);
     const bool first = (p0 == 0);
     const bool last = (p0 + kb == K);
 
-    // Pack the whole B panel row for this KC step once; every compute task
-    // below reads it, no task re-packs.
-    parallel_for(static_cast<std::size_t>(jpanels), 8, threads,
-                 [&](std::size_t pj) {
-                   const int j0 = static_cast<int>(pj) * NR;
-                   pack_b_panel<TA, NR>(B, ldb, p0, kb, j0,
-                                        std::min(NR, N - j0),
-                                        bpack + pj * static_cast<std::size_t>(NR) * kb);
-                 });
     if (!pA) {
       parallel_for(static_cast<std::size_t>(iblocks), 1, threads,
                    [&](std::size_t ib) {
-                     const int i0 = static_cast<int>(ib) * MC;
-                     pack_a_panels(A, lda, i0, std::min(MC, M - i0), p0, kb,
+                     const int i0 = static_cast<int>(ib) * mc;
+                     pack_a_panels(A, lda, i0, std::min(mc, M - i0), p0, kb,
                                    apack + ib * static_cast<std::size_t>(
                                                     mpanels_cap) *
                                                MR * kb);
                    });
     }
 
-    // 2D cooperative tile grid. Task index g walks NR-panels fastest so
-    // consecutive chunks reuse the same packed A block while B panels stream.
-    parallel_for(tasks, grain, threads, [&](std::size_t g) {
-      const int ib = static_cast<int>(g / jpanels);
-      const int pj = static_cast<int>(g % jpanels);
-      const int i0 = ib * MC;
-      const int mb = std::min(MC, M - i0);
-      const TA* ablk =
-          pA ? pA->block(pb, ib).data()
-             : apack + ib * static_cast<std::size_t>(mpanels_cap) * MR * kb;
-      const TA* bp = bpack + pj * static_cast<std::size_t>(NR) * kb;
-      const int j0 = pj * NR;
-      const int cols = std::min(NR, N - j0);
-      const int ipanels = (mb + MR - 1) / MR;
-      for (int pi = 0; pi < ipanels; ++pi) {
-        TAcc acc[MR * NR];
-        micro(kb, ablk + static_cast<std::size_t>(pi) * MR * kb, bp, acc);
-        const int rows = std::min(MR, mb - pi * MR);
-        for (int ir = 0; ir < rows; ++ir) {
-          const int i = i0 + pi * MR + ir;
-          TC* crow = C + static_cast<std::size_t>(i) * ldc + j0;
-          const TAcc* arow = acc + ir * NR;
-          if (first) {
-            if (bias) {
-              const TAcc bv = static_cast<TAcc>(bias[i]);
-              for (int jr = 0; jr < cols; ++jr) {
-                crow[jr] = static_cast<TC>(bv + arow[jr]);
+    for (int jc = 0; jc < N; jc += ncb) {
+      const int nb = std::min(ncb, N - jc);
+      const int jpanels = (nb + NR - 1) / NR;
+
+      // Pack this NC block's B panel row once; every compute task below
+      // reads it, no task re-packs.
+      parallel_for(static_cast<std::size_t>(jpanels), 8, threads,
+                   [&](std::size_t pj) {
+                     const int j0 = jc + static_cast<int>(pj) * NR;
+                     pack_b_panel<TA, NR>(
+                         B, ldb, p0, kb, j0, std::min(NR, N - j0),
+                         bpack + pj * static_cast<std::size_t>(NR) * kb);
+                   });
+
+      // 2D cooperative tile grid. Task index g walks NR-panels fastest so
+      // consecutive chunks reuse the same packed A block while B panels
+      // stream.
+      const std::size_t tasks = static_cast<std::size_t>(iblocks) *
+                                static_cast<std::size_t>(jpanels);
+      const std::size_t grain = std::clamp<std::size_t>(
+          tasks / (static_cast<std::size_t>(tw) * 4), 1, grain_cap);
+      parallel_for(tasks, grain, threads, [&](std::size_t g) {
+        const int ib = static_cast<int>(g / jpanels);
+        const int pj = static_cast<int>(g % jpanels);
+        const int i0 = ib * mc;
+        const int mb = std::min(mc, M - i0);
+        const TA* ablk =
+            pA ? pA->block(pb, ib).data()
+               : apack + ib * static_cast<std::size_t>(mpanels_cap) * MR * kb;
+        const TA* bpan = bpack + pj * static_cast<std::size_t>(NR) * kb;
+        const int j0 = jc + pj * NR;
+        const int cols = std::min(NR, N - j0);
+        const int ipanels = (mb + MR - 1) / MR;
+        for (int pi = 0; pi < ipanels; ++pi) {
+          TAcc acc[MR * NR];
+          micro(kb, ablk + static_cast<std::size_t>(pi) * MR * kb, bpan, acc);
+          const int rows = std::min(MR, mb - pi * MR);
+          for (int ir = 0; ir < rows; ++ir) {
+            const int i = i0 + pi * MR + ir;
+            const TAcc* arow = acc + ir * NR;
+            if constexpr (kRequant) {
+              const QuantParams& q = *sink->q;
+              if (last) {
+                // Requantize-on-writeback: fold bias (or the staged partial
+                // sum), scale, RNE, zero-point, ReLU, saturate — straight
+                // into the i8 output, no second pass over C.
+                const float sc = q.per_channel ? q.scales[i] : q.scales[0];
+                std::int8_t* orow =
+                    sink->c8 + static_cast<std::size_t>(i) * sink->ldc8 + j0;
+                if (first) {
+                  const std::int32_t bv =
+                      bias ? static_cast<std::int32_t>(bias[i]) : 0;
+                  for (int jr = 0; jr < cols; ++jr) {
+                    orow[jr] = requantize_i32(bv + arow[jr], sc,
+                                              q.zero_point, q.relu);
+                  }
+                } else {
+                  const TC* srow =
+                      C + static_cast<std::size_t>(i) * ldc + j0;
+                  for (int jr = 0; jr < cols; ++jr) {
+                    orow[jr] = requantize_i32(srow[jr] + arow[jr], sc,
+                                              q.zero_point, q.relu);
+                  }
+                }
+              } else {
+                TC* crow = C + static_cast<std::size_t>(i) * ldc + j0;
+                if (first) {
+                  const std::int32_t bv =
+                      bias ? static_cast<std::int32_t>(bias[i]) : 0;
+                  for (int jr = 0; jr < cols; ++jr) {
+                    crow[jr] = bv + arow[jr];
+                  }
+                } else {
+                  for (int jr = 0; jr < cols; ++jr) crow[jr] += arow[jr];
+                }
               }
             } else {
-              for (int jr = 0; jr < cols; ++jr) {
-                crow[jr] = static_cast<TC>(arow[jr]);
+              TC* crow = C + static_cast<std::size_t>(i) * ldc + j0;
+              if (first) {
+                if (bias) {
+                  const TAcc bv = static_cast<TAcc>(bias[i]);
+                  for (int jr = 0; jr < cols; ++jr) {
+                    crow[jr] = static_cast<TC>(bv + arow[jr]);
+                  }
+                } else {
+                  for (int jr = 0; jr < cols; ++jr) {
+                    crow[jr] = static_cast<TC>(arow[jr]);
+                  }
+                }
+              } else {
+                for (int jr = 0; jr < cols; ++jr) {
+                  crow[jr] = static_cast<TC>(static_cast<TAcc>(crow[jr]) +
+                                             arow[jr]);
+                }
               }
-            }
-          } else {
-            for (int jr = 0; jr < cols; ++jr) {
-              crow[jr] = static_cast<TC>(static_cast<TAcc>(crow[jr]) +
-                                         arow[jr]);
-            }
-          }
-          if constexpr (std::is_floating_point_v<TC>) {
-            if (last && relu) {
-              for (int jr = 0; jr < cols; ++jr) {
-                crow[jr] = std::max(crow[jr], TC(0));
+              if constexpr (std::is_floating_point_v<TC>) {
+                if (last && relu) {
+                  for (int jr = 0; jr < cols; ++jr) {
+                    crow[jr] = std::max(crow[jr], TC(0));
+                  }
+                }
               }
             }
           }
         }
-      }
-    });
+      });
+    }
   }
   if constexpr (!std::is_floating_point_v<TC>) (void)relu;
 }
 
 }  // namespace
 
+namespace {
+
+/// Datapath whose blocking a PackedLhsT<T> built without an explicit
+/// BlockingParams should bake: the pack layout is per element type, shared
+/// by every datapath consuming that type (f32 and f32d read the same float
+/// pack, and float KC is pinned, so their blocking agrees by construction).
 template <typename T>
-PackedLhsT<T>::PackedLhsT(const T* A, int M, int K, int lda) : m_(M), k_(K) {
-  pblocks_ = K > 0 ? (K + KC - 1) / KC : 0;
-  iblocks_ = M > 0 ? (M + MC - 1) / MC : 0;
+constexpr Datapath pack_datapath();
+template <>
+constexpr Datapath pack_datapath<float>() {
+  return Datapath::kF32;
+}
+template <>
+constexpr Datapath pack_datapath<std::int8_t>() {
+  return Datapath::kI8;
+}
+
+}  // namespace
+
+template <typename T>
+PackedLhsT<T>::PackedLhsT(const T* A, int M, int K, int lda)
+    : PackedLhsT(A, M, K, lda, blocking_for(pack_datapath<T>())) {}
+
+template <typename T>
+PackedLhsT<T>::PackedLhsT(const T* A, int M, int K, int lda,
+                          const BlockingParams& bp)
+    : m_(M), k_(K), mc_(bp.mc), kc_(bp.kc) {
+  pblocks_ = K > 0 ? (K + kc_ - 1) / kc_ : 0;
+  iblocks_ = M > 0 ? (M + mc_ - 1) / mc_ : 0;
   blocks_.resize(static_cast<std::size_t>(pblocks_) * iblocks_);
-  for (int p0 = 0, pb = 0; p0 < K; p0 += KC, ++pb) {
-    const int kb = std::min(KC, K - p0);
-    for (int i0 = 0, ib = 0; i0 < M; i0 += MC, ++ib) {
-      const int mb = std::min(MC, M - i0);
+  for (int p0 = 0, pb = 0; p0 < K; p0 += kc_, ++pb) {
+    const int kb = std::min(kc_, K - p0);
+    for (int i0 = 0, ib = 0; i0 < M; i0 += mc_, ++ib) {
+      const int mb = std::min(mc_, M - i0);
       const int panels = (mb + MR - 1) / MR;
       auto& blk = blocks_[static_cast<std::size_t>(pb) * iblocks_ + ib];
       blk.resize(static_cast<std::size_t>(panels) * MR * kb);
@@ -366,46 +499,99 @@ PackedLhsT<T>::PackedLhsT(const T* A, int M, int K, int lda) : m_(M), k_(K) {
 }
 
 template class PackedLhsT<float>;
+template class PackedLhsT<std::int8_t>;
 
 void gemm_f32(int M, int N, int K, const float* A, int lda, const float* B,
               int ldb, float* C, int ldc, const float* bias, bool relu,
               int threads) {
   gemm_run<float, float, float, float>(M, N, K, A, lda, nullptr, B, ldb, C,
-                                       ldc, bias, relu, threads, true);
+                                       ldc, bias, relu, threads, true,
+                                       blocking_for(Datapath::kF32));
 }
 
 void gemm_f32(const PackedLhsF32& A, int N, const float* B, int ldb, float* C,
               int ldc, const float* bias, bool relu, int threads) {
   gemm_run<float, float, float, float>(A.rows(), N, A.depth(), nullptr, 0, &A,
                                        B, ldb, C, ldc, bias, relu, threads,
-                                       true);
+                                       true, blocking_for(Datapath::kF32));
 }
 
 void gemm_f32d(int M, int N, int K, const float* A, int lda, const float* B,
                int ldb, double* C, int ldc, const float* bias, bool relu,
                int threads) {
   gemm_run<float, double, double, float>(M, N, K, A, lda, nullptr, B, ldb, C,
-                                         ldc, bias, relu, threads, true);
+                                         ldc, bias, relu, threads, true,
+                                         blocking_for(Datapath::kF32d));
 }
 
 void gemm_f32d(const PackedLhsF32& A, int N, const float* B, int ldb,
                double* C, int ldc, const float* bias, bool relu, int threads) {
   gemm_run<float, double, double, float>(A.rows(), N, A.depth(), nullptr, 0,
                                          &A, B, ldb, C, ldc, bias, relu,
-                                         threads, true);
+                                         threads, true,
+                                         blocking_for(Datapath::kF32d));
 }
 
 void gemm_f64(int M, int N, int K, const double* A, int lda, const double* B,
               int ldb, double* C, int ldc, int threads) {
   gemm_run<double, double, double, double>(M, N, K, A, lda, nullptr, B, ldb, C,
-                                           ldc, nullptr, false, threads, true);
+                                           ldc, nullptr, false, threads, true,
+                                           blocking_for(Datapath::kF64));
 }
 
 void gemm_i16(int M, int N, int K, const std::int16_t* A, int lda,
               const std::int16_t* B, int ldb, std::int64_t* C, int ldc,
               int threads) {
   gemm_run<std::int16_t, std::int64_t, std::int64_t, std::int64_t>(
-      M, N, K, A, lda, nullptr, B, ldb, C, ldc, nullptr, false, threads, true);
+      M, N, K, A, lda, nullptr, B, ldb, C, ldc, nullptr, false, threads, true,
+      blocking_for(Datapath::kI16));
+}
+
+namespace {
+
+/// Shared body of the i8 entries: stage partial i32 sums in the arena only
+/// when K spans more than one KC step; otherwise the single KC step
+/// requantizes directly and the staging pointer is never formed.
+void gemm_i8_run(int M, int N, int K, const std::int8_t* A, int lda,
+                 const PackedLhsI8* pA, const std::int8_t* B, int ldb,
+                 std::int8_t* C, int ldc, const QuantParams& q, int threads,
+                 bool use_simd) {
+  const BlockingParams bp = blocking_for(Datapath::kI8);
+  const int kc = pA ? pA->kc() : bp.kc;
+  RequantSink sink{C, ldc, &q};
+  ScratchArena& arena = ScratchArena::tls();
+  ScratchArena::Scope scope(arena);
+  std::int32_t* stage = nullptr;
+  int lds = 0;
+  if (K > kc && M > 0 && N > 0) {
+    stage = arena.alloc<std::int32_t>(static_cast<std::size_t>(M) * N);
+    lds = N;
+  }
+  gemm_run<std::int8_t, std::int32_t, std::int32_t, std::int32_t, true>(
+      M, N, K, A, lda, pA, B, ldb, stage, lds, q.bias, false, threads,
+      use_simd, bp, &sink);
+}
+
+}  // namespace
+
+void gemm_i8(int M, int N, int K, const std::int8_t* A, int lda,
+             const std::int8_t* B, int ldb, std::int8_t* C, int ldc,
+             const QuantParams& q, int threads) {
+  gemm_i8_run(M, N, K, A, lda, nullptr, B, ldb, C, ldc, q, threads, true);
+}
+
+void gemm_i8(const PackedLhsI8& A, int N, const std::int8_t* B, int ldb,
+             std::int8_t* C, int ldc, const QuantParams& q, int threads) {
+  gemm_i8_run(A.rows(), N, A.depth(), nullptr, 0, &A, B, ldb, C, ldc, q,
+              threads, true);
+}
+
+void gemm_i8_i32(int M, int N, int K, const std::int8_t* A, int lda,
+                 const std::int8_t* B, int ldb, std::int32_t* C, int ldc,
+                 int threads) {
+  gemm_run<std::int8_t, std::int32_t, std::int32_t, std::int32_t>(
+      M, N, K, A, lda, nullptr, B, ldb, C, ldc, nullptr, false, threads, true,
+      blocking_for(Datapath::kI8));
 }
 
 namespace fallback {
@@ -414,21 +600,24 @@ void gemm_f32(int M, int N, int K, const float* A, int lda, const float* B,
               int ldb, float* C, int ldc, const float* bias, bool relu,
               int threads) {
   gemm_run<float, float, float, float>(M, N, K, A, lda, nullptr, B, ldb, C,
-                                       ldc, bias, relu, threads, false);
+                                       ldc, bias, relu, threads, false,
+                                       blocking_for(Datapath::kF32));
 }
 
 void gemm_f32d(int M, int N, int K, const float* A, int lda, const float* B,
                int ldb, double* C, int ldc, const float* bias, bool relu,
                int threads) {
   gemm_run<float, double, double, float>(M, N, K, A, lda, nullptr, B, ldb, C,
-                                         ldc, bias, relu, threads, false);
+                                         ldc, bias, relu, threads, false,
+                                         blocking_for(Datapath::kF32d));
 }
 
 void gemm_f64(int M, int N, int K, const double* A, int lda, const double* B,
               int ldb, double* C, int ldc, int threads) {
   gemm_run<double, double, double, double>(M, N, K, A, lda, nullptr, B, ldb,
                                            C, ldc, nullptr, false, threads,
-                                           false);
+                                           false,
+                                           blocking_for(Datapath::kF64));
 }
 
 void gemm_i16(int M, int N, int K, const std::int16_t* A, int lda,
@@ -436,7 +625,21 @@ void gemm_i16(int M, int N, int K, const std::int16_t* A, int lda,
               int threads) {
   gemm_run<std::int16_t, std::int64_t, std::int64_t, std::int64_t>(
       M, N, K, A, lda, nullptr, B, ldb, C, ldc, nullptr, false, threads,
-      false);
+      false, blocking_for(Datapath::kI16));
+}
+
+void gemm_i8(int M, int N, int K, const std::int8_t* A, int lda,
+             const std::int8_t* B, int ldb, std::int8_t* C, int ldc,
+             const QuantParams& q, int threads) {
+  gemm_i8_run(M, N, K, A, lda, nullptr, B, ldb, C, ldc, q, threads, false);
+}
+
+void gemm_i8_i32(int M, int N, int K, const std::int8_t* A, int lda,
+                 const std::int8_t* B, int ldb, std::int32_t* C, int ldc,
+                 int threads) {
+  gemm_run<std::int8_t, std::int32_t, std::int32_t, std::int32_t>(
+      M, N, K, A, lda, nullptr, B, ldb, C, ldc, nullptr, false, threads,
+      false, blocking_for(Datapath::kI8));
 }
 
 }  // namespace fallback
@@ -453,7 +656,8 @@ namespace {
 
 template <typename T>
 void im2col_impl(const T* in, int C, int H, int W, int kernel, int stride,
-                 int pad, int out_h, int out_w, T* mat, int threads) {
+                 int pad, int out_h, int out_w, T* mat, T pad_value,
+                 int threads) {
   const std::size_t cols = static_cast<std::size_t>(out_h) * out_w;
   const std::size_t kk = static_cast<std::size_t>(kernel) * kernel;
   const std::size_t rows = static_cast<std::size_t>(C) * kk;
@@ -469,7 +673,7 @@ void im2col_impl(const T* in, int C, int H, int W, int kernel, int stride,
       T* drow = dst + static_cast<std::size_t>(i) * out_w;
       const int h = i * stride + u - pad;
       if (h < 0 || h >= H) {
-        std::fill(drow, drow + out_w, T{});
+        std::fill(drow, drow + out_w, pad_value);
         continue;
       }
       const T* srow = plane + static_cast<std::size_t>(h) * W;
@@ -477,18 +681,18 @@ void im2col_impl(const T* in, int C, int H, int W, int kernel, int stride,
         // Contiguous span: j in [max(0, pad-v), min(out_w, W+pad-v)).
         const int j_lo = std::max(0, pad - v);
         const int j_hi = std::min(out_w, W + pad - v);
-        if (j_lo > 0) std::fill(drow, drow + j_lo, T{});
+        if (j_lo > 0) std::fill(drow, drow + j_lo, pad_value);
         if (j_hi > j_lo) {
           std::memcpy(drow + j_lo, srow + j_lo + v - pad,
                       static_cast<std::size_t>(j_hi - j_lo) * sizeof(T));
         }
         if (j_hi < out_w) {
-          std::fill(drow + std::max(j_hi, 0), drow + out_w, T{});
+          std::fill(drow + std::max(j_hi, 0), drow + out_w, pad_value);
         }
       } else {
         for (int j = 0; j < out_w; ++j) {
           const int w = j * stride + v - pad;
-          drow[j] = (w < 0 || w >= W) ? T{} : srow[w];
+          drow[j] = (w < 0 || w >= W) ? pad_value : srow[w];
         }
       }
     }
@@ -499,13 +703,22 @@ void im2col_impl(const T* in, int C, int H, int W, int kernel, int stride,
 
 void im2col_f32(const float* in, int C, int H, int W, int kernel, int stride,
                 int pad, int out_h, int out_w, float* mat, int threads) {
-  im2col_impl(in, C, H, W, kernel, stride, pad, out_h, out_w, mat, threads);
+  im2col_impl(in, C, H, W, kernel, stride, pad, out_h, out_w, mat, 0.0f,
+              threads);
 }
 
 void im2col_i16(const std::int16_t* in, int C, int H, int W, int kernel,
                 int stride, int pad, int out_h, int out_w, std::int16_t* mat,
                 int threads) {
-  im2col_impl(in, C, H, W, kernel, stride, pad, out_h, out_w, mat, threads);
+  im2col_impl(in, C, H, W, kernel, stride, pad, out_h, out_w, mat,
+              std::int16_t{0}, threads);
+}
+
+void im2col_i8(const std::int8_t* in, int C, int H, int W, int kernel,
+               int stride, int pad, int out_h, int out_w, std::int8_t* mat,
+               std::int8_t pad_value, int threads) {
+  im2col_impl(in, C, H, W, kernel, stride, pad, out_h, out_w, mat, pad_value,
+              threads);
 }
 
 }  // namespace hetacc::kernels

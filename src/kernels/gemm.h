@@ -18,25 +18,42 @@
 // byte-identical for any `threads` value. A single accumulation chain is
 // never split; per output element it is strictly ascending in k.
 //
+// Blocking (MC/KC/NC/grain) comes from the per-datapath BlockingParams in
+// blocking.h — tuned entries from the persistent autotuner cache when
+// loaded, the shipped defaults otherwise. KC is pinned on float datapaths
+// (accumulation grouping) and tunable on integer ones (exact accumulation),
+// so a cache hit can only change speed, never bytes.
+//
 // Scratch (packed panels, im2col matrices) comes from the calling thread's
 // ScratchArena, so steady-state calls perform zero heap allocations.
 
+#include <cmath>
 #include <cstdint>
 #include <vector>
+
+#include "kernels/blocking.h"
 
 namespace hetacc::kernels {
 
 /// Left operand pre-packed into micro-panels (weights reused across many
 /// GEMM calls: conv engines pack once per layer, not once per image/row).
+/// The pack bakes the (MC, KC) blocking it was built with; gemm_run reads it
+/// back from the pack so pre-packed dispatch stays consistent even when the
+/// tuned blocking changes between pack time and call time.
 template <typename T>
 class PackedLhsT {
  public:
   PackedLhsT() = default;
-  /// Packs row-major A (M x K, leading dimension lda).
+  /// Packs row-major A (M x K, leading dimension lda) with the datapath's
+  /// current blocking (f32 for float, i8 for int8 element types).
   PackedLhsT(const T* A, int M, int K, int lda);
+  /// Packs with an explicit blocking (autotuner / tests).
+  PackedLhsT(const T* A, int M, int K, int lda, const BlockingParams& bp);
 
   [[nodiscard]] int rows() const { return m_; }
   [[nodiscard]] int depth() const { return k_; }
+  [[nodiscard]] int mc() const { return mc_; }
+  [[nodiscard]] int kc() const { return kc_; }
   /// Panel block for K-block pb and M-block ib (kernel-layer internal).
   [[nodiscard]] const std::vector<T>& block(int pb, int ib) const {
     return blocks_[static_cast<std::size_t>(pb) * iblocks_ + ib];
@@ -44,10 +61,12 @@ class PackedLhsT {
 
  private:
   int m_ = 0, k_ = 0, pblocks_ = 0, iblocks_ = 0;
+  int mc_ = 96, kc_ = 256;
   std::vector<std::vector<T>> blocks_;
 };
 
 using PackedLhsF32 = PackedLhsT<float>;
+using PackedLhsI8 = PackedLhsT<std::int8_t>;
 
 /// C (M x N, ldc) = A (M x K, lda) * B (K x N, ldb), float accumulation.
 /// If `bias` is non-null, row i is offset by bias[i]; `relu` clamps at 0.
@@ -76,6 +95,53 @@ void gemm_i16(int M, int N, int K, const std::int16_t* A, int lda,
               const std::int16_t* B, int ldb, std::int64_t* C, int ldc,
               int threads);
 
+/// Requantize-on-writeback parameters of the int8 datapath. The i32
+/// accumulator of output row i is offset by bias[i] (a per-channel i32 bias
+/// with the input zero-point correction pre-folded), scaled by scales[i] (or
+/// scales[0] when !per_channel), rounded to nearest-even, offset by the
+/// output zero-point, optionally ReLU-clamped at that zero-point, and
+/// saturated to [-128, 127].
+struct QuantParams {
+  const float* scales = nullptr;      ///< per-channel (len M) or single scale
+  bool per_channel = true;
+  const std::int32_t* bias = nullptr; ///< per-row i32 bias; null = 0
+  std::int32_t zero_point = 0;        ///< output zero-point
+  bool relu = false;                  ///< clamp at the output zero-point
+};
+
+/// The one requantization formula, shared by every i8 path (SIMD stamps,
+/// scalar fallback, golden references, streaming engines) so they are
+/// bit-identical: round-to-nearest-even via llrint under the default
+/// FE_TONEAREST mode, then saturate. The product is exact in double (the
+/// i32 accumulator has < 53 significant bits), so the result is a function
+/// of (acc, scale) alone — never of the ISA stamp that produced acc.
+inline std::int8_t requantize_i32(std::int32_t acc, float scale,
+                                  std::int32_t zero_point, bool relu) {
+  long long r = std::llrint(static_cast<double>(acc) *
+                            static_cast<double>(scale)) +
+                zero_point;
+  if (relu && r < zero_point) r = zero_point;
+  if (r < -128) r = -128;
+  if (r > 127) r = 127;
+  return static_cast<std::int8_t>(r);
+}
+
+/// int8 x int8 GEMM with i32 accumulation and the requantize epilogue folded
+/// into the last-KC writeback: C (i8) = requantize(A * B + bias). Multi-KC
+/// runs stage partial i32 sums in the scratch arena; results are bit-exact
+/// for any thread count, blocking, and ISA stamp.
+void gemm_i8(int M, int N, int K, const std::int8_t* A, int lda,
+             const std::int8_t* B, int ldb, std::int8_t* C, int ldc,
+             const QuantParams& q, int threads);
+void gemm_i8(const PackedLhsI8& A, int N, const std::int8_t* B, int ldb,
+             std::int8_t* C, int ldc, const QuantParams& q, int threads);
+
+/// Raw-accumulator variant: exact i32 output, no requantization (tests and
+/// callers that fold their own epilogue). C is overwritten.
+void gemm_i8_i32(int M, int N, int K, const std::int8_t* A, int lda,
+                 const std::int8_t* B, int ldb, std::int32_t* C, int ldc,
+                 int threads);
+
 /// im2col lowering of a CHW image into the patch matrix: one row per
 /// (channel, ku, kv) tap, one column per output pixel, zero outside the
 /// padded extent. `mat` must hold (C*kernel*kernel) * (out_h*out_w) elements.
@@ -86,6 +152,12 @@ void im2col_f32(const float* in, int C, int H, int W, int kernel, int stride,
 void im2col_i16(const std::int16_t* in, int C, int H, int W, int kernel,
                 int stride, int pad, int out_h, int out_w, std::int16_t* mat,
                 int threads = 1);
+/// int8 im2col with an explicit padding value: asymmetric activation
+/// quantization maps real 0.0 to the zero-point, not to byte 0, so the
+/// padded extent must be filled with `pad_value` (= the input zero-point).
+void im2col_i8(const std::int8_t* in, int C, int H, int W, int kernel,
+               int stride, int pad, int out_h, int out_w, std::int8_t* mat,
+               std::int8_t pad_value = 0, int threads = 1);
 
 /// Scalar-micro-kernel reference builds of the GEMM entry points. Same
 /// blocking, packing, and accumulation order as the SIMD paths, but the
@@ -105,6 +177,12 @@ void gemm_f64(int M, int N, int K, const double* A, int lda, const double* B,
 void gemm_i16(int M, int N, int K, const std::int16_t* A, int lda,
               const std::int16_t* B, int ldb, std::int64_t* C, int ldc,
               int threads);
+void gemm_i8(int M, int N, int K, const std::int8_t* A, int lda,
+             const std::int8_t* B, int ldb, std::int8_t* C, int ldc,
+             const QuantParams& q, int threads);
+void gemm_i8_i32(int M, int N, int K, const std::int8_t* A, int lda,
+                 const std::int8_t* B, int ldb, std::int32_t* C, int ldc,
+                 int threads);
 }  // namespace fallback
 
 /// True when the runtime dispatcher selected a SIMD micro-kernel (either the

@@ -16,6 +16,10 @@ struct LayerRange {
   std::string name;
   float max_abs_in = 0.0f;
   float max_abs_out = 0.0f;
+  float min_in = 0.0f;   ///< signed range, for the asymmetric int8 grid
+  float max_in = 0.0f;
+  float min_out = 0.0f;
+  float max_out = 0.0f;
   int in_frac = 15;
   int out_frac = 15;
 };
@@ -25,6 +29,12 @@ struct Calibration {
 
   /// Per-layer numeric modes for arch::FusionPipeline.
   [[nodiscard]] std::vector<arch::NumericMode> modes() const;
+
+  /// Per-layer int8 modes: asymmetric activation grids (scale, zero-point)
+  /// derived from the observed signed ranges. Per-channel weight scales are
+  /// derived later from the filters themselves (arch engines / algo
+  /// conv_quant_i8), so the mode only carries the activation grids.
+  [[nodiscard]] std::vector<arch::NumericMode> modes_int8() const;
 };
 
 /// Observes ranges over the given sample inputs (at least one required) and

@@ -219,6 +219,70 @@ TEST_F(EngineModelTest, LadderIsAParetoFrontThinnedGeometrically) {
   }
 }
 
+TEST_F(EngineModelTest, Int8HalvesDspWeightWordsAndActivationBram) {
+  const nn::Layer& conv = vgg_head_[2];
+  EngineConfig c16{ConvAlgo::kConventional, 4, 8, 9, 4, false};
+  EngineConfig c8 = c16;
+  c8.int8 = true;
+  const Implementation a = model_.implement(conv, c16);
+  const Implementation b = model_.implement(conv, c8);
+  // Two i8 multiplies share one DSP48 (port chaining), two i8 weights share
+  // one 16-bit DDR word, and the line buffers hold 8-bit activations.
+  EXPECT_EQ(b.res.dsp, (a.res.dsp + 1) / 2);
+  EXPECT_EQ(b.weight_words, (a.weight_words + 1) / 2);
+  EXPECT_LT(b.res.bram18k, a.res.bram18k);
+  // Same unrolls -> same schedule: the datapath changes area, not cycles.
+  EXPECT_EQ(b.compute_cycles, a.compute_cycles);
+  EXPECT_EQ(b.mults_performed, a.mults_performed);
+}
+
+TEST_F(EngineModelTest, Int8IsConventionalOnly) {
+  EngineConfig bad{ConvAlgo::kWinograd, 4, 8, 1, 4, true};
+  EXPECT_THROW((void)model_.implement(vgg_head_[2], bad),
+               std::invalid_argument);
+}
+
+TEST_F(EngineModelTest, Int8CandidatesGatedAndReachPastTheDspCeiling) {
+  // Default params: no int8 candidates at all.
+  for (const auto& c : model_.candidates(vgg_head_[2])) {
+    EXPECT_FALSE(c.int8);
+  }
+  EngineModelParams p;
+  p.enable_int8 = true;
+  const EngineModel m(zc706(), p);
+  int n_i8 = 0;
+  int best_i8_par = 0, best_i16_par = 0;
+  const int k = vgg_head_[2].conv().kernel * vgg_head_[2].conv().kernel;
+  for (const auto& c : m.candidates(vgg_head_[2])) {
+    if (c.int8) {
+      ++n_i8;
+      EXPECT_EQ(c.algo, ConvAlgo::kConventional);
+      best_i8_par = std::max(best_i8_par, c.parallelism(k));
+    } else if (c.algo == ConvAlgo::kConventional) {
+      best_i16_par = std::max(best_i16_par, c.parallelism(k));
+    }
+  }
+  EXPECT_GT(n_i8, 0);
+  // Packing two multiplies per DSP lets the int8 ladder reach lane counts
+  // the 16-bit ladder cannot fit under the same DSP budget.
+  EXPECT_GT(best_i8_par, best_i16_par);
+}
+
+TEST(AlgoLabel, Int8RoundTripsAndRejectsGarbage) {
+  EngineConfig c{ConvAlgo::kConventional, 2, 3, 4, 4, true};
+  EXPECT_EQ(algo_label(c), "conventional-i8");
+  EngineConfig back;
+  ASSERT_TRUE(algo_from_label("conventional-i8", back));
+  EXPECT_EQ(back.algo, ConvAlgo::kConventional);
+  EXPECT_TRUE(back.int8);
+  ASSERT_TRUE(algo_from_label("conventional", back));
+  EXPECT_FALSE(back.int8);
+  ASSERT_TRUE(algo_from_label("winograd", back));
+  EXPECT_FALSE(back.int8);
+  EXPECT_FALSE(algo_from_label("winograd-i8", back));
+  EXPECT_FALSE(algo_from_label("i8", back));
+}
+
 TEST(Divisors, Basics) {
   EXPECT_EQ(divisors_up_to(12, 100), (std::vector<int>{1, 2, 3, 4, 6, 12}));
   EXPECT_EQ(divisors_up_to(12, 4), (std::vector<int>{1, 2, 3, 4}));

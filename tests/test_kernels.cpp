@@ -573,5 +573,323 @@ TEST(Parallel, ResolveThreadsRespectsHardwareCap) {
   EXPECT_LE(kernels::resolve_threads(2), 2);
 }
 
+// ----------------------------------------------------------- int8 datapath --
+
+/// Restores default dispatch blocking on scope exit so blocking overrides
+/// cannot leak between tests.
+struct BlockingGuard {
+  ~BlockingGuard() { kernels::clear_tuned_blocking(); }
+};
+
+std::vector<std::int8_t> random_i8(std::size_t n, std::mt19937& rng) {
+  std::uniform_int_distribution<int> d(-128, 127);
+  std::vector<std::int8_t> v(n);
+  for (auto& x : v) x = std::int8_t(d(rng));
+  return v;
+}
+
+TEST(GemmI8, I32AccumulationExactAgainstNaive) {
+  std::mt19937 rng(29);
+  const int M = 21, N = 35, K = 530;  // straddles the KC=256 panel boundary
+  const auto A = random_i8(std::size_t(M) * K, rng);
+  const auto B = random_i8(std::size_t(K) * N, rng);
+  std::vector<std::int32_t> got(std::size_t(M) * N), want(std::size_t(M) * N);
+  kernels::gemm_i8_i32(M, N, K, A.data(), K, B.data(), N, got.data(), N, 1);
+  for (int i = 0; i < M; ++i) {
+    for (int j = 0; j < N; ++j) {
+      std::int32_t acc = 0;
+      for (int k = 0; k < K; ++k) {
+        acc += std::int32_t(A[i * K + k]) * B[k * N + j];
+      }
+      want[std::size_t(i) * N + j] = acc;
+    }
+  }
+  EXPECT_EQ(got, want);
+}
+
+TEST(GemmI8, RequantizeRoundsToEvenAndSaturates) {
+  using kernels::requantize_i32;
+  // Round-to-nearest-even on exact .5 ties (llrint under FE_TONEAREST).
+  EXPECT_EQ(0, requantize_i32(1, 0.5f, 0, false));    // 0.5 -> 0 (even)
+  EXPECT_EQ(2, requantize_i32(3, 0.5f, 0, false));    // 1.5 -> 2 (even)
+  EXPECT_EQ(2, requantize_i32(5, 0.5f, 0, false));    // 2.5 -> 2 (even)
+  EXPECT_EQ(-2, requantize_i32(-3, 0.5f, 0, false));  // -1.5 -> -2 (even)
+  // Saturation to the i8 range, both directions.
+  EXPECT_EQ(127, requantize_i32(100000, 1.0f, 0, false));
+  EXPECT_EQ(-128, requantize_i32(-100000, 1.0f, 0, false));
+  // Zero-point offsets after scaling; saturation applies post-offset.
+  EXPECT_EQ(13, requantize_i32(10, 1.0f, 3, false));
+  EXPECT_EQ(127, requantize_i32(126, 1.0f, 100, false));
+  // ReLU clamps at the output zero-point, not at code 0.
+  EXPECT_EQ(5, requantize_i32(-40, 1.0f, 5, true));
+  EXPECT_EQ(45, requantize_i32(40, 1.0f, 5, true));
+}
+
+TEST(GemmI8, WritebackMatchesScalarEpiloguePerChannelAndPerTensor) {
+  std::mt19937 rng(31);
+  const int M = 17, N = 29, K = 310;
+  const auto A = random_i8(std::size_t(M) * K, rng);
+  const auto B = random_i8(std::size_t(K) * N, rng);
+  std::vector<std::int32_t> acc(std::size_t(M) * N);
+  kernels::gemm_i8_i32(M, N, K, A.data(), K, B.data(), N, acc.data(), N, 1);
+
+  std::uniform_real_distribution<float> sd(1e-4f, 5e-3f);
+  std::vector<float> scales(static_cast<std::size_t>(M));
+  for (auto& s : scales) s = sd(rng);
+  std::vector<std::int32_t> bias(static_cast<std::size_t>(M));
+  std::uniform_int_distribution<int> bd(-5000, 5000);
+  for (auto& b : bias) b = bd(rng);
+
+  for (const bool per_channel : {true, false}) {
+    for (const bool relu : {false, true}) {
+      kernels::QuantParams q{scales.data(), per_channel, bias.data(),
+                             /*zero_point=*/-7, relu};
+      std::vector<std::int8_t> got(std::size_t(M) * N);
+      kernels::gemm_i8(M, N, K, A.data(), K, B.data(), N, got.data(), N, q,
+                       1);
+      for (int i = 0; i < M; ++i) {
+        const float s = per_channel ? scales[std::size_t(i)] : scales[0];
+        for (int j = 0; j < N; ++j) {
+          const std::int8_t want = kernels::requantize_i32(
+              acc[std::size_t(i) * N + j] + bias[std::size_t(i)], s, -7,
+              relu);
+          ASSERT_EQ(want, got[std::size_t(i) * N + j])
+              << "i=" << i << " j=" << j << " per_channel=" << per_channel
+              << " relu=" << relu;
+        }
+      }
+    }
+  }
+}
+
+TEST(GemmI8, SaturatingWritebackBothRails) {
+  // All-max operands drive the accumulator far past the i8 range in both
+  // directions; the epilogue must saturate, not wrap.
+  const int M = 2, N = 3, K = 64;
+  std::vector<std::int8_t> A(std::size_t(M) * K), B(std::size_t(K) * N);
+  for (int k = 0; k < K; ++k) {
+    A[k] = 127;                  // row 0: +127 * +127 * K
+    A[K + k] = 127;              // row 1 vs negative B column
+    for (int j = 0; j < N; ++j) B[k * N + j] = (j == 2) ? -128 : 127;
+  }
+  const float one = 1.0f;
+  kernels::QuantParams q{&one, false, nullptr, 0, false};
+  std::vector<std::int8_t> C(std::size_t(M) * N);
+  kernels::gemm_i8(M, N, K, A.data(), K, B.data(), N, C.data(), N, q, 1);
+  for (int i = 0; i < M; ++i) {
+    EXPECT_EQ(127, C[std::size_t(i) * N + 0]);
+    EXPECT_EQ(127, C[std::size_t(i) * N + 1]);
+    EXPECT_EQ(-128, C[std::size_t(i) * N + 2]);
+  }
+}
+
+TEST(GemmI8, SimdBitExactAgainstScalarFallback) {
+  std::mt19937 rng(37);
+  const int M = 43, N = 61, K = 333;
+  const auto A = random_i8(std::size_t(M) * K, rng);
+  const auto B = random_i8(std::size_t(K) * N, rng);
+  std::uniform_real_distribution<float> sd(1e-4f, 1e-2f);
+  std::vector<float> scales(static_cast<std::size_t>(M));
+  for (auto& s : scales) s = sd(rng);
+  std::vector<std::int32_t> bias(static_cast<std::size_t>(M));
+  std::uniform_int_distribution<int> bd(-2000, 2000);
+  for (auto& b : bias) b = bd(rng);
+  kernels::QuantParams q{scales.data(), true, bias.data(), 4, true};
+
+  std::vector<std::int8_t> simd(std::size_t(M) * N), ref(std::size_t(M) * N);
+  kernels::gemm_i8(M, N, K, A.data(), K, B.data(), N, simd.data(), N, q, 1);
+  kernels::fallback::gemm_i8(M, N, K, A.data(), K, B.data(), N, ref.data(),
+                             N, q, 1);
+  EXPECT_EQ(0, std::memcmp(simd.data(), ref.data(), simd.size()));
+
+  std::vector<std::int32_t> simd32(std::size_t(M) * N),
+      ref32(std::size_t(M) * N);
+  kernels::gemm_i8_i32(M, N, K, A.data(), K, B.data(), N, simd32.data(), N,
+                       1);
+  kernels::fallback::gemm_i8_i32(M, N, K, A.data(), K, B.data(), N,
+                                 ref32.data(), N, 1);
+  EXPECT_EQ(simd32, ref32);
+}
+
+TEST(GemmI8, ThreadAndBlockingInvarianceBytewise) {
+  ThreadGuard tguard;
+  BlockingGuard bguard;
+  std::mt19937 rng(41);
+  const int M = 53, N = 87, K = 700;  // multi-KC under every kc below
+  const auto A = random_i8(std::size_t(M) * K, rng);
+  const auto B = random_i8(std::size_t(K) * N, rng);
+  std::uniform_real_distribution<float> sd(1e-4f, 1e-2f);
+  std::vector<float> scales(static_cast<std::size_t>(M));
+  for (auto& s : scales) s = sd(rng);
+  kernels::QuantParams q{scales.data(), true, nullptr, -3, false};
+
+  kernels::clear_tuned_blocking();
+  std::vector<std::int8_t> want(std::size_t(M) * N);
+  kernels::gemm_i8(M, N, K, A.data(), K, B.data(), N, want.data(), N, q, 1);
+
+  const kernels::BlockingParams overrides[] = {
+      {},                  // shipped defaults
+      {64, 128, 64, 4},    // small everything, NC blocking on
+      {256, 512, 0, 0},    // two uneven KC steps (512 + 188)
+      {8, 16, 32, 1},      // degenerate minima
+  };
+  for (const auto& bp : overrides) {
+    kernels::set_blocking(kernels::Datapath::kI8, bp);
+    for (int t : {1, 2, 5, 8}) {
+      std::vector<std::int8_t> got(std::size_t(M) * N);
+      kernels::gemm_i8(M, N, K, A.data(), K, B.data(), N, got.data(), N, q,
+                       t);
+      EXPECT_EQ(0, std::memcmp(want.data(), got.data(), want.size()))
+          << "mc=" << bp.mc << " kc=" << bp.kc << " nc=" << bp.nc
+          << " grain=" << bp.grain << " threads=" << t;
+    }
+  }
+}
+
+TEST(GemmI8, PackedMatchesRawAcrossBlockingChange) {
+  BlockingGuard bguard;
+  std::mt19937 rng(43);
+  const int M = 31, N = 44, K = 290;
+  const auto A = random_i8(std::size_t(M) * K, rng);
+  const auto B = random_i8(std::size_t(K) * N, rng);
+  const float s = 0.002f;
+  kernels::QuantParams q{&s, false, nullptr, 0, false};
+
+  // Pack with an explicit blocking, then point dispatch somewhere else: the
+  // pack must keep using the blocking it was built with.
+  const kernels::PackedLhsI8 pa(A.data(), M, K, K,
+                                kernels::BlockingParams{64, 128, 0, 0});
+  EXPECT_EQ(64, pa.mc());
+  EXPECT_EQ(128, pa.kc());
+  kernels::set_blocking(kernels::Datapath::kI8, {256, 512, 256, 8});
+
+  std::vector<std::int8_t> raw(std::size_t(M) * N), packed(std::size_t(M) * N);
+  kernels::gemm_i8(M, N, K, A.data(), K, B.data(), N, raw.data(), N, q, 1);
+  kernels::gemm_i8(pa, N, B.data(), N, packed.data(), N, q, 1);
+  EXPECT_EQ(0, std::memcmp(raw.data(), packed.data(), raw.size()));
+}
+
+TEST(GemmI8, Im2colUsesZeroPointPadding) {
+  // 1 channel, 2x2 image, 3x3 kernel, pad 1: every patch touches padding.
+  const std::int8_t img[4] = {10, 20, 30, 40};
+  const std::int8_t pad = -7;  // asymmetric grid: real 0.0 != code 0
+  std::vector<std::int8_t> mat(std::size_t(9) * 4);
+  kernels::im2col_i8(img, 1, 2, 2, 3, 1, 1, 2, 2, mat.data(), pad);
+  // Column 0 (output pixel (0,0)): taps off the top/left edge must be the
+  // zero-point code, the in-bounds taps the image values.
+  EXPECT_EQ(pad, mat[0 * 4 + 0]);  // (-1,-1)
+  EXPECT_EQ(pad, mat[1 * 4 + 0]);  // (-1, 0)
+  EXPECT_EQ(pad, mat[3 * 4 + 0]);  // ( 0,-1)
+  EXPECT_EQ(10, mat[4 * 4 + 0]);   // ( 0, 0)
+  EXPECT_EQ(20, mat[5 * 4 + 0]);   // ( 0, 1)
+  EXPECT_EQ(30, mat[7 * 4 + 0]);   // ( 1, 0)
+  EXPECT_EQ(40, mat[8 * 4 + 0]);   // ( 1, 1)
+  int pads = 0;
+  for (std::int8_t v : mat) pads += (v == pad);
+  EXPECT_EQ(20, pads);  // 9*4 taps, 16 in-bounds reads
+}
+
+TEST(ConvKernels, QuantI8BlockedMatchesScalarSeedBitExact) {
+  ThreadGuard guard;
+  std::mt19937 rng(47);
+  const ConvCase cases[] = {
+      {3, 8, 11, 3, 1, 1}, {16, 7, 9, 1, 1, 0},  {5, 13, 14, 5, 2, 2},
+      {9, 9, 8, 3, 2, 1},  {12, 6, 17, 3, 1, 0},
+  };
+  for (const auto& c : cases) {
+    Tensor in(c.in_c, c.hw, c.hw);
+    FilterBank f(c.out_c, c.in_c, c.k);
+    nn::fill_deterministic(in, 11);
+    nn::fill_deterministic(f, 12);
+    std::vector<float> bias(std::size_t(c.out_c));
+    nn::fill_deterministic(bias, 13);
+
+    float in_mn = 0.0f, in_mx = 0.0f;
+    for (float v : in.vec()) {
+      in_mn = std::min(in_mn, v);
+      in_mx = std::max(in_mx, v);
+    }
+    // The output range only shapes the grid; any sane bracket works.
+    const algo::Int8ConvQuant q =
+        algo::make_int8_conv_quant(f, in_mn, in_mx, -40.0f, 40.0f);
+
+    const Tensor want = algo::conv_quant_i8_scalar(in, f, bias, c.stride,
+                                                   c.pad, true, q);
+    for (int t : {1, 3}) {
+      kernels::set_num_threads(t);
+      const Tensor got =
+          algo::conv_quant_i8(in, f, bias, c.stride, c.pad, true, q);
+      ASSERT_EQ(want.shape(), got.shape());
+      EXPECT_EQ(0, std::memcmp(want.data(), got.data(),
+                               std::size_t(want.size()) * sizeof(float)))
+          << "in_c=" << c.in_c << " out_c=" << c.out_c << " k=" << c.k
+          << " stride=" << c.stride << " threads=" << t;
+    }
+  }
+  kernels::set_num_threads(1);
+}
+
+// ---------------------------------------------------- blocking tuning cache --
+
+TEST(Blocking, SanitizePinsFloatKcAndClampsRanges) {
+  BlockingGuard guard;
+  // Float datapaths: KC is part of the accumulation grouping, so a tuned KC
+  // must be forced back to the default.
+  kernels::set_blocking(kernels::Datapath::kF32, {128, 512, 0, 0});
+  EXPECT_EQ(kernels::default_blocking(kernels::Datapath::kF32).kc,
+            kernels::blocking_for(kernels::Datapath::kF32).kc);
+  EXPECT_EQ(128, kernels::blocking_for(kernels::Datapath::kF32).mc);
+  EXPECT_FALSE(kernels::kc_tunable(kernels::Datapath::kF32));
+  EXPECT_FALSE(kernels::kc_tunable(kernels::Datapath::kF64));
+
+  // Integer datapaths: exact accumulation commutes, KC tunes freely.
+  kernels::set_blocking(kernels::Datapath::kI8, {130, 512, 7, 9999});
+  const auto bp = kernels::blocking_for(kernels::Datapath::kI8);
+  EXPECT_TRUE(kernels::kc_tunable(kernels::Datapath::kI8));
+  EXPECT_EQ(512, bp.kc);
+  EXPECT_EQ(128, bp.mc);    // clamped to a multiple of MR=4
+  EXPECT_EQ(32, bp.nc);     // nonzero NC clamped up to the minimum
+  EXPECT_EQ(4096, bp.grain);
+}
+
+TEST(Blocking, CacheJsonRoundTripsAndIgnoresForeignEntries) {
+  BlockingGuard guard;
+  kernels::set_blocking(kernels::Datapath::kI8, {192, 384, 256, 8});
+  kernels::set_blocking(kernels::Datapath::kF32, {64, 256, 512, 0});
+  const std::string json = kernels::tuning_cache_to_json();
+
+  kernels::clear_tuned_blocking();
+  EXPECT_EQ(kernels::default_blocking(kernels::Datapath::kI8),
+            kernels::blocking_for(kernels::Datapath::kI8));
+  EXPECT_EQ(2, kernels::load_tuning_cache_json(json));
+  EXPECT_EQ((kernels::BlockingParams{192, 384, 256, 8}),
+            kernels::blocking_for(kernels::Datapath::kI8));
+  EXPECT_EQ((kernels::BlockingParams{64, 256, 512, 0}),
+            kernels::blocking_for(kernels::Datapath::kF32));
+
+  // Entries measured on another machine must not apply.
+  kernels::clear_tuned_blocking();
+  std::string foreign = json;
+  const std::string me = kernels::machine_topology_key();
+  for (std::size_t at = foreign.find(me); at != std::string::npos;
+       at = foreign.find(me, at + 1)) {
+    foreign.replace(at, me.size(), "other-box");
+  }
+  EXPECT_EQ(0, kernels::load_tuning_cache_json(foreign));
+  EXPECT_EQ(kernels::default_blocking(kernels::Datapath::kI8),
+            kernels::blocking_for(kernels::Datapath::kI8));
+
+  // A version bump invalidates the whole document.
+  kernels::clear_tuned_blocking();
+  std::string stale = json;
+  const std::string vkey = "\"version\": ";
+  const std::size_t vat = stale.find(vkey);
+  ASSERT_NE(std::string::npos, vat);
+  stale.insert(vat + vkey.size(), "9");
+  EXPECT_EQ(0, kernels::load_tuning_cache_json(stale));
+  EXPECT_EQ(kernels::default_blocking(kernels::Datapath::kF32),
+            kernels::blocking_for(kernels::Datapath::kF32));
+}
+
 }  // namespace
 }  // namespace hetacc

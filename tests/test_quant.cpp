@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+
+#include "algo/int8_quant.h"
 #include "arch/pipeline.h"
 #include "nn/model_zoo.h"
 
@@ -114,6 +118,91 @@ TEST_F(CalibrationTest, WeightQuantizationRoundsToGrid) {
   const auto a = nn::run_network(net_, ws_, probe);
   const auto b = nn::run_network(net_, q, probe);
   EXPECT_LT(a.max_abs_diff(b), 5e-3f);
+}
+
+TEST(ActQuantGrid, ExtendsRangeToZeroAndNudgesZeroPoint) {
+  // Positive-only range: extended down to 0 so the padding value (real 0.0)
+  // has an exact code, which lands the zero-point on the bottom rail.
+  const algo::ActQuant pos = algo::choose_act_quant(2.0f, 10.0f);
+  EXPECT_FLOAT_EQ(pos.scale, 10.0f / 255.0f);
+  EXPECT_EQ(pos.zp, -128);
+  EXPECT_FLOAT_EQ(algo::dequantize_act_i8(algo::quantize_act_i8(
+                      0.0f, pos.scale, pos.zp), pos.scale, pos.zp), 0.0f);
+
+  // Negative-only range: extended up to 0, zero-point on the top rail.
+  const algo::ActQuant neg = algo::choose_act_quant(-6.0f, -1.0f);
+  EXPECT_FLOAT_EQ(neg.scale, 6.0f / 255.0f);
+  EXPECT_EQ(neg.zp, 127);
+  EXPECT_FLOAT_EQ(algo::dequantize_act_i8(algo::quantize_act_i8(
+                      0.0f, neg.scale, neg.zp), neg.scale, neg.zp), 0.0f);
+
+  // Signed range: both rails reachable within one step of the endpoints.
+  const algo::ActQuant s = algo::choose_act_quant(-3.0f, 5.0f);
+  EXPECT_FLOAT_EQ(s.scale, 8.0f / 255.0f);
+  EXPECT_GE(s.zp, -128);
+  EXPECT_LE(s.zp, 127);
+  EXPECT_NEAR(algo::dequantize_act_i8(127, s.scale, s.zp), 5.0f, s.scale);
+  EXPECT_NEAR(algo::dequantize_act_i8(-128, s.scale, s.zp), -3.0f, s.scale);
+  // Real 0.0 maps exactly onto code zp and back.
+  EXPECT_EQ(algo::quantize_act_i8(0.0f, s.scale, s.zp),
+            static_cast<std::int8_t>(s.zp));
+}
+
+TEST(ActQuantGrid, DegenerateRangeFallsBackToIdentity) {
+  // An all-zero tensor has no usable range: identity grid.
+  const algo::ActQuant zero = algo::choose_act_quant(0.0f, 0.0f);
+  EXPECT_FLOAT_EQ(zero.scale, 1.0f);
+  EXPECT_EQ(zero.zp, 0);
+  // A constant nonzero tensor is NOT degenerate — extending to include 0.0
+  // gives it a real span.
+  const algo::ActQuant constant = algo::choose_act_quant(5.0f, 5.0f);
+  EXPECT_FLOAT_EQ(constant.scale, 5.0f / 255.0f);
+}
+
+TEST_F(CalibrationTest, ModesInt8CarryActivationGridsFromObservedRanges) {
+  const Calibration cal = calibrate(net_, ws_, samples_);
+  const auto modes = cal.modes_int8();
+  ASSERT_EQ(modes.size(), cal.layers.size());
+  for (std::size_t i = 0; i < modes.size(); ++i) {
+    const auto& m = modes[i];
+    const auto& lr = cal.layers[i];
+    EXPECT_TRUE(m.int8());
+    EXPECT_FALSE(m.fixed());  // int8 modes are not Q-format modes
+    const algo::ActQuant in = algo::choose_act_quant(lr.min_in, lr.max_in);
+    const algo::ActQuant out = algo::choose_act_quant(lr.min_out, lr.max_out);
+    EXPECT_FLOAT_EQ(m.in_scale, in.scale) << lr.name;
+    EXPECT_EQ(m.in_zp, in.zp) << lr.name;
+    EXPECT_FLOAT_EQ(m.out_scale, out.scale) << lr.name;
+    EXPECT_EQ(m.out_zp, out.zp) << lr.name;
+    // The grid covers the observed output range: the top code dequantizes
+    // to at least max_out minus one step.
+    EXPECT_GE(algo::dequantize_act_i8(127, m.out_scale, m.out_zp),
+              lr.max_out - m.out_scale) << lr.name;
+    EXPECT_LE(algo::dequantize_act_i8(-128, m.out_scale, m.out_zp),
+              std::min(lr.min_out, 0.0f) + m.out_scale) << lr.name;
+  }
+}
+
+TEST_F(CalibrationTest, Int8PipelineTracksFloatReference) {
+  const Calibration cal = calibrate(net_, ws_, samples_, 1);
+  nn::Tensor probe(net_[0].out);
+  nn::fill_deterministic(probe, 99);
+  const nn::Tensor golden = nn::run_network(net_, ws_, probe);
+  float range = 0.0f;
+  for (float v : golden.vec()) range = std::max(range, std::abs(v));
+
+  arch::FusionPipeline pipe(net_, ws_, [&] {
+    std::vector<arch::LayerChoice> ch(net_.size() - 1);
+    const auto modes = cal.modes_int8();
+    for (std::size_t i = 0; i < ch.size(); ++i) ch[i].mode = modes[i];
+    return ch;
+  }());
+  const float err = pipe.run(probe).max_abs_diff(golden);
+  // int8 is coarser than calibrated 16-bit but must stay a small fraction
+  // of the output range (the hetacc --int8 testbed reports <1% on real
+  // layer stacks; 5% here is generous for a 4-layer random-weight net).
+  EXPECT_LT(err, 0.05f * range);
+  EXPECT_GT(range, 0.0f);
 }
 
 TEST(CalibrationAlexNet, HeadEndToEnd) {

@@ -9,6 +9,8 @@
 
 #include "arch/pipeline.h"
 #include "core/dp_optimizer.h"
+#include "cost/group_timing.h"
+#include "fpga/engine_model.h"
 #include "nn/model_zoo.h"
 #include "nn/reference.h"
 #include "support/error.h"
@@ -115,6 +117,59 @@ TEST_F(StrategyIoTest, CsvRoundTripsThroughTheInverseParser) {
     EXPECT_EQ(b.timing.transfer_bytes, a.timing.transfer_bytes);
   }
   EXPECT_EQ(back.latency_cycles(), result_.strategy.latency_cycles());
+}
+
+TEST_F(StrategyIoTest, Int8ImplsRoundTripThroughTheAlgorithmLabel) {
+  // Re-implement every conv layer on the int8 datapath (int8 engines are
+  // conventional-only) and re-derive the group timings, then push the
+  // strategy through the CSV writer and the inverse parser. The int8 flag
+  // rides in the algorithm token ("conventional-i8"), so the strict 16/17
+  // field format is unchanged.
+  fpga::EngineModelParams p;
+  p.enable_int8 = true;
+  const fpga::EngineModel i8_model(dev_, p);
+  Strategy s = result_.strategy;
+  int flipped = 0;
+  for (auto& g : s.groups) {
+    for (std::size_t k = 0; k < g.impls.size(); ++k) {
+      const nn::Layer& l = net_[g.first + k];
+      if (l.kind != nn::LayerKind::kConv) continue;
+      fpga::EngineConfig cfg = g.impls[k].cfg;
+      cfg.algo = fpga::ConvAlgo::kConventional;
+      cfg.int8 = true;
+      g.impls[k] = i8_model.implement(l, cfg);
+      ++flipped;
+    }
+    g.timing =
+        cost::evaluate_group_timing(net_, g.first, g.last, g.impls, dev_);
+  }
+  ASSERT_GT(flipped, 0);
+
+  const std::string csv = strategy_to_csv(s, net_);
+  EXPECT_NE(csv.find("conventional-i8"), std::string::npos);
+  const Strategy back = strategy_from_csv(csv, net_, dev_);
+  ASSERT_EQ(back.groups.size(), s.groups.size());
+  for (std::size_t gi = 0; gi < back.groups.size(); ++gi) {
+    const auto& a = s.groups[gi];
+    const auto& b = back.groups[gi];
+    ASSERT_EQ(b.impls.size(), a.impls.size());
+    for (std::size_t k = 0; k < b.impls.size(); ++k) {
+      EXPECT_EQ(b.impls[k].cfg, a.impls[k].cfg);  // includes the int8 flag
+      EXPECT_EQ(b.impls[k].weight_words, a.impls[k].weight_words);
+      const nn::Layer& l = net_[a.first + k];
+      if (l.kind == nn::LayerKind::kConv) {
+        EXPECT_TRUE(b.impls[k].cfg.int8);
+        // int8 packs two weights per 16-bit word (ceil).
+        const long long count = static_cast<long long>(l.out.c) *
+                                l.conv_fan_in() * l.conv().kernel *
+                                l.conv().kernel;
+        EXPECT_EQ(b.impls[k].weight_words, (count + 1) / 2);
+      }
+    }
+    EXPECT_EQ(b.timing.latency_cycles, a.timing.latency_cycles);
+    EXPECT_EQ(b.timing.transfer_bytes, a.timing.transfer_bytes);
+  }
+  EXPECT_EQ(back.latency_cycles(), s.latency_cycles());
 }
 
 TEST_F(StrategyIoTest, CrlfCsvStillRoundTrips) {

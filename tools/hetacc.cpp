@@ -29,6 +29,7 @@
 #include "fault/protect.h"
 #include "nn/graph.h"
 #include "nn/model_zoo.h"
+#include "quant/calibration.h"
 #include "serve/server.h"
 #include "support/error.h"
 #include "toolflow/toolflow.h"
@@ -55,6 +56,10 @@ void usage() {
       "  --explore-tiles     per-layer Winograd tile-size exploration\n"
       "  --conventional-only disable Winograd (homogeneous baseline)\n"
       "  --wino-tile M       uniform Winograd tile size (default 4)\n"
+      "  --int8              offer int8 engines (two multiplies per DSP,\n"
+      "                      halved weight traffic) alongside the 16-bit\n"
+      "                      ones; prints the accuracy-vs-cycles trade\n"
+      "                      (optimizer delta + functional testbed error)\n"
       "  --threads N         worker threads for the fusion-table DSE and the\n"
       "                      functional-simulation kernels (0 = all cores,\n"
       "                      default 1); strategies and simulated tensors are\n"
@@ -95,6 +100,49 @@ void print_report_line(const char* tag, const core::StrategyReport& r) {
       "FF %7lld  LUT %7lld\n",
       tag, r.latency_ms, r.effective_gops, r.peak_resources.dsp,
       r.peak_resources.bram18k, r.peak_resources.ff, r.peak_resources.lut);
+}
+
+/// --int8: the accuracy half of the accuracy-vs-cycles trade. The cycles
+/// half comes from the optimizer (int8 engine ladders competed with the
+/// 16-bit ones); here the network's leading layers run functionally on a
+/// capped input (same testbed discipline as --fault-campaign) through the
+/// float, calibrated 16-bit fixed, and calibrated int8 datapaths, and the
+/// deviation against the float reference is reported for both.
+void print_int8_accuracy(const nn::Network& accel_net,
+                         std::uint32_t weight_seed) {
+  nn::Network qnet("int8-testbed");
+  const nn::Shape in0 = accel_net[0].out;
+  qnet.input({in0.c, std::min(in0.h, 56), std::min(in0.w, 56)});
+  const std::size_t klast = std::min<std::size_t>(3, accel_net.size() - 1);
+  for (std::size_t i = 1; i <= klast; ++i) qnet.add(accel_net[i]);
+
+  const auto ws = nn::WeightStore::deterministic(qnet, weight_seed);
+  nn::Tensor in(qnet[0].out);
+  nn::fill_deterministic(in, 7);
+  const auto cal = quant::calibrate(qnet, ws, {in});
+
+  auto choices_for = [&](const std::vector<arch::NumericMode>& modes) {
+    std::vector<arch::LayerChoice> ch(klast);
+    for (std::size_t j = 0; j < klast; ++j) ch[j].mode = modes[j];
+    return ch;
+  };
+  arch::FusionPipeline pf(qnet, ws);
+  arch::FusionPipeline p16(qnet, ws, choices_for(cal.modes()));
+  arch::FusionPipeline p8(qnet, ws, choices_for(cal.modes_int8()));
+  const nn::Tensor ref = pf.run(in);
+  const nn::Tensor o16 = p16.run(in);
+  const nn::Tensor o8 = p8.run(in);
+
+  float ref_abs = 0.0f;
+  for (float v : ref.vec()) ref_abs = std::max(ref_abs, std::abs(v));
+  const float e16 = ref.max_abs_diff(o16);
+  const float e8 = ref.max_abs_diff(o8);
+  std::printf("int8 accuracy (functional testbed, %zu layers, input %s):\n",
+              klast, qnet[0].out.str().c_str());
+  std::printf("  16-bit fixed  L-inf %.4g  (%.3f %% of output range)\n", e16,
+              ref_abs > 0 ? 100.0 * e16 / ref_abs : 0.0);
+  std::printf("  int8          L-inf %.4g  (%.3f %% of output range)\n\n", e8,
+              ref_abs > 0 ? 100.0 * e8 / ref_abs : 0.0);
 }
 
 /// --protect: run the flow both ways and show what the hardening costs. The
@@ -454,6 +502,8 @@ int run_cli(int argc, char** argv) {
       params.enable_winograd = false;
     } else if (!std::strcmp(argv[i], "--wino-tile")) {
       params.wino_tile_m = std::atoi(next("--wino-tile"));
+    } else if (!std::strcmp(argv[i], "--int8")) {
+      params.enable_int8 = true;
     } else if (!std::strcmp(argv[i], "--threads")) {
       opt.threads = std::atoi(next("--threads"));
       opt.optimizer.threads = opt.threads;
@@ -523,7 +573,7 @@ int run_cli(int argc, char** argv) {
   // paper's Algorithm 1 (same result, validated by tests).
   toolflow::ToolflowResult result;
   if (interval || params.explore_wino_tiles || !params.enable_winograd ||
-      params.wino_tile_m != 4) {
+      params.wino_tile_m != 4 || params.enable_int8) {
     // Custom engine model path.
     if (opt.protect) {
       params.protect = true;
@@ -551,6 +601,41 @@ int run_cli(int argc, char** argv) {
     result.report =
         core::make_report(result.optimization.strategy, result.accel_net,
                           dev);
+    if (params.enable_int8) {
+      // Cycles half of the accuracy-vs-cycles trade: the same DSE with the
+      // int8 ladders withheld, so the delta is exactly what int8 bought.
+      fpga::EngineModelParams p16 = params;
+      p16.enable_int8 = false;
+      const fpga::EngineModel model16(dev, p16);
+      const auto r16 = interval
+                           ? core::optimize_interval(result.accel_net,
+                                                     model16, oo)
+                           : core::optimize(result.accel_net, model16, oo);
+      long long int8_layers = 0, conv_layers = 0;
+      for (const auto& g : result.optimization.strategy.groups) {
+        for (const auto& ipl : g.impls) {
+          if (ipl.cfg.algo == fpga::ConvAlgo::kNone) continue;
+          ++conv_layers;
+          if (ipl.cfg.int8) ++int8_layers;
+        }
+      }
+      std::printf("int8 trade (vs 16-bit-only DSE): %lld of %lld conv "
+                  "layers chose int8\n",
+                  int8_layers, conv_layers);
+      if (r16.feasible) {
+        const auto rep16 =
+            core::make_report(r16.strategy, result.accel_net, dev);
+        print_report_line("16-bit only", rep16);
+        print_report_line("with int8", result.report);
+        const double d =
+            rep16.latency_ms > 0
+                ? 100.0 * (result.report.latency_ms - rep16.latency_ms) /
+                      rep16.latency_ms
+                : 0.0;
+        std::printf("  latency delta %+.2f %%\n\n", d);
+      }
+      print_int8_accuracy(result.accel_net, opt.weight_seed);
+    }
     if (opt.generate_code && result.accel_net.is_chain()) {
       const auto ws =
           nn::WeightStore::deterministic(result.accel_net, opt.weight_seed);
