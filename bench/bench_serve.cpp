@@ -1,11 +1,14 @@
-// SRV: resilient-serving-runtime characterization for DESIGN.md §11.
+// SRV: resilient-serving-runtime characterization for DESIGN.md §11/§14.
 // Drives the same synthetic arrival trace through the Server under three
 // conditions — healthy, mid-trace fault burst (wedged primary), and
 // fallback-only — and reports the virtual-time service quality (p50/p99
 // latency, degraded share, retries) next to the real wall-clock execution
 // throughput of the worker pool. The fault-burst row quantifies the price
 // of resilience: how much tail latency the retry + breaker machinery spends
-// to keep zero requests lost. Emits a table and BENCH_serve.json.
+// to keep zero requests lost. A second section pits the degradation ladder
+// against shed-everything and the binary pair on an oscillating-overload
+// trace (the §14 hot-swap scenario) and on a burst-then-calm recovery
+// trace. Emits a table and BENCH_serve.json.
 
 #include <chrono>
 #include <cstdio>
@@ -127,7 +130,89 @@ int main(int argc, char** argv) {
       b.submitted - b.completed - b.rejected_queue_full - b.shed_deadline -
           b.failed);
 
+  // ---- degradation ladder vs shed-everything under oscillating overload.
+  // Burst arrivals (one per 400 cycles) land between the 2-replica home
+  // capacity (one per 500) and the int8 rung's (one per 320): the primary
+  // drowns, the deep rung keeps up. The ladder may hot-swap onto the
+  // 640-cycle int8 rung; the binary pair and the shed-only server must
+  // ride out the bursts at home.
+  std::printf("\nladder under oscillating overload (deadline 4000 cycles)\n\n");
+  const std::size_t per_phase = n / 8 > 8 ? n / 8 : 8;
+  const serve::ArrivalTrace osc = serve::ArrivalTrace::oscillating(
+      /*periods=*/4, per_phase, /*burst=*/400, /*lull=*/2000, /*seed=*/11);
+  // One long burst, then a long calm tail: how fast the dwell-gated ascent
+  // returns to home after sustained pressure.
+  const serve::ArrivalTrace recovery = serve::ArrivalTrace::oscillating(
+      /*periods=*/1, 2 * per_phase, /*burst=*/400, /*lull=*/2000,
+      /*seed=*/13);
+
+  const auto ladder_cfg = [&] {
+    serve::ServerConfig cfg = config(/*threads=*/0);
+    cfg.queue_capacity = 32;
+    cfg.deadline_cycles = 4000;
+    cfg.backoff_base_cycles = 125;
+    // Load axis only: the fault rows above already characterize the
+    // breaker, and the overload traces carry no fault burst.
+    cfg.breaker.failure_threshold = 1 << 20;
+    cfg.breaker.deadline_miss_threshold = 1 << 20;
+    return cfg;
+  }();
+
+  const auto ladder_mode = [](long long cycles, const char* label) {
+    serve::ServingMode m;
+    m.service_cycles = cycles;
+    m.label = label;
+    return m;
+  };
+  serve::ServingLadder three;
+  three.rungs = {ladder_mode(1600, "protected"), ladder_mode(1000, "primary"),
+                 ladder_mode(640, "int8")};
+  three.home = 1;
+  serve::ServingLadder pair;
+  pair.rungs = {ladder_mode(1600, "fallback"), ladder_mode(1000, "primary")};
+  pair.home = 1;
+  serve::ServingLadder shed;
+  shed.rungs = {ladder_mode(1000, "primary")};
+  shed.home = 0;
+
+  const auto run_ladder = [&](const std::string& name,
+                              const serve::ArrivalTrace& trace,
+                              serve::ServingLadder l) {
+    serve::Server server(net, ws, std::move(l), ladder_cfg);
+    const auto t0 = std::chrono::steady_clock::now();
+    const serve::ServerStats s = server.run(trace);
+    const auto t1 = std::chrono::steady_clock::now();
+    emit(recs, name, s,
+         std::chrono::duration<double, std::milli>(t1 - t0).count());
+    std::printf("  %-12s %6lld within deadline, %lld shed, "
+                "%lld rung moves\n",
+                "", s.completed - s.deadline_misses, s.shed_deadline,
+                s.rung_transitions);
+    return s;
+  };
+
+  const serve::ServerStats s_shed = run_ladder("over-shed", osc, shed);
+  const serve::ServerStats s_pair = run_ladder("over-binary", osc, pair);
+  const serve::ServerStats s_ladd = run_ladder("over-ladder", osc, three);
+  const serve::ServerStats s_recv =
+      run_ladder("burst-recover", recovery, three);
+
+  const long long wd_shed = s_shed.completed - s_shed.deadline_misses;
+  const long long wd_ladd = s_ladd.completed - s_ladd.deadline_misses;
+  std::printf(
+      "\nladder delta: %+lld within-deadline vs shed-everything, "
+      "%+lld vs binary pair; recovery run ended after %lld rung moves\n",
+      wd_ladd - wd_shed,
+      wd_ladd - (s_pair.completed - s_pair.deadline_misses),
+      s_recv.rung_transitions);
+
   write_json(recs, "BENCH_serve.json");
-  return (h.accounted() && b.accounted() && recs[2].stats.accounted()) ? 0
-                                                                       : 1;
+  const bool ok = h.accounted() && b.accounted() &&
+                  recs[2].stats.accounted() && s_shed.accounted() &&
+                  s_pair.accounted() && s_ladd.accounted() &&
+                  s_recv.accounted() &&
+                  // The whole point of the ladder: degraded-rung service
+                  // beats shedding everything the primary cannot absorb.
+                  wd_ladd > wd_shed;
+  return ok ? 0 : 1;
 }

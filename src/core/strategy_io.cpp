@@ -265,6 +265,196 @@ Strategy strategy_from_csv(const std::string& csv, const nn::Network& net,
   return s;
 }
 
+namespace {
+
+std::string rung_flags_string(const LadderRungCsv& r) {
+  std::string s;
+  if (r.home) s += "home";
+  if (r.protect) s += s.empty() ? "protect" : "|protect";
+  if (r.int8) s += s.empty() ? "int8" : "|int8";
+  return s.empty() ? "-" : s;
+}
+
+}  // namespace
+
+std::string ladder_to_csv(const std::vector<LadderRungCsv>& rungs,
+                          const nn::Network& net) {
+  std::ostringstream os;
+  const bool dag = !net.is_chain();
+  os << (dag ? kStrategyCsvHeaderDag : kStrategyCsvHeader)
+     << ",rung,service_cycles,rung_label,rung_flags\n";
+  for (std::size_t ri = 0; ri < rungs.size(); ++ri) {
+    const LadderRungCsv& r = rungs[ri];
+    if (r.label.find(',') != std::string::npos) {
+      throw ParseError("ladder csv: rung label '" + r.label +
+                       "' must not contain commas");
+    }
+    const std::string suffix = "," + std::to_string(ri) + "," +
+                               std::to_string(r.service_cycles) + "," +
+                               r.label + "," + rung_flags_string(r);
+    // Re-emit the rung's strategy through the one strategy writer and
+    // append the rung columns to every layer row.
+    std::istringstream rows(strategy_to_csv(r.strategy, net));
+    std::string line;
+    std::getline(rows, line);  // drop the per-rung header
+    while (std::getline(rows, line)) {
+      if (!line.empty()) os << line << suffix << '\n';
+    }
+  }
+  return os.str();
+}
+
+std::vector<LadderRungCsv> ladder_from_csv(const std::string& csv,
+                                           const nn::Network& net,
+                                           const fpga::Device& dev) {
+  const bool dag = !net.is_chain();
+  const std::string base_header =
+      std::string(dag ? kStrategyCsvHeaderDag : kStrategyCsvHeader);
+  const std::size_t base_fields = dag ? 17 : 16;
+
+  std::istringstream in(csv);
+  std::string line;
+  int line_no = 0;
+  if (!std::getline(in, line)) {
+    throw ParseError("ladder csv: empty input", 1);
+  }
+  ++line_no;
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  if (line != base_header + ",rung,service_cycles,rung_label,rung_flags") {
+    throw ParseError("ladder csv: bad header '" + line + "'", line_no);
+  }
+
+  // Slice the file into per-rung strategy sub-documents, keeping the
+  // original line number of every row so delegated parse errors can be
+  // reported against the ladder file, not the reconstructed block.
+  struct Block {
+    LadderRungCsv rung;
+    std::string body;              ///< base-format rows, no header
+    std::vector<int> body_lines;   ///< original line per body row
+    int first_line = 0;
+  };
+  std::vector<Block> blocks;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    const auto f = split_fields(line);
+    if (f.size() != base_fields + 4) {
+      throw ParseError("ladder csv: expected " +
+                           std::to_string(base_fields + 4) + " fields, got " +
+                           std::to_string(f.size()),
+                       line_no);
+    }
+    const long long ri = parse_ll(f[base_fields], "rung", line_no);
+    const long long svc =
+        parse_ll(f[base_fields + 1], "service_cycles", line_no);
+    const std::string label(f[base_fields + 2]);
+    const std::string_view flags = f[base_fields + 3];
+    const auto nblocks = static_cast<long long>(blocks.size());
+    if (ri != nblocks && ri != nblocks - 1) {
+      throw ParseError("ladder csv: rung index " + std::to_string(ri) +
+                           " out of order (rungs must be dense blocks, "
+                           "expected " +
+                           std::to_string(nblocks - 1) + " or " +
+                           std::to_string(nblocks) + ")",
+                       line_no);
+    }
+    if (ri == nblocks) {
+      Block b;
+      b.first_line = line_no;
+      b.rung.service_cycles = svc;
+      b.rung.label = label;
+      for (const std::string_view tok : {std::string_view("home"),
+                                         std::string_view("protect"),
+                                         std::string_view("int8")}) {
+        bool found = false;
+        std::size_t start = 0;
+        while (start <= flags.size()) {
+          const std::size_t bar = flags.find('|', start);
+          const std::string_view piece =
+              flags.substr(start, bar == std::string_view::npos
+                                      ? std::string_view::npos
+                                      : bar - start);
+          if (piece == tok) found = true;
+          if (piece != tok && piece != "-" && piece != "home" &&
+              piece != "protect" && piece != "int8") {
+            throw ParseError("ladder csv: unknown rung flag '" +
+                                 std::string(piece) + "'",
+                             line_no);
+          }
+          if (bar == std::string_view::npos) break;
+          start = bar + 1;
+        }
+        if (tok == "home") b.rung.home = found;
+        if (tok == "protect") b.rung.protect = found;
+        if (tok == "int8") b.rung.int8 = found;
+      }
+      blocks.push_back(std::move(b));
+    }
+    Block& b = blocks.back();
+    if (svc != b.rung.service_cycles || label != b.rung.label ||
+        rung_flags_string(b.rung) != flags) {
+      throw ParseError("ladder csv: rung " + std::to_string(ri) +
+                           " metadata changes mid-block (every row of a "
+                           "rung repeats service_cycles/label/flags, flags "
+                           "in home|protect|int8 order)",
+                       line_no);
+    }
+    // Strip the four rung columns: keep everything before the comma that
+    // starts field `base_fields`.
+    std::size_t cut = 0;
+    for (std::size_t i = 0; i < base_fields; ++i) cut += f[i].size() + 1;
+    b.body += line.substr(0, cut - 1);
+    b.body += '\n';
+    b.body_lines.push_back(line_no);
+  }
+  if (blocks.empty()) {
+    throw ParseError("ladder csv: no rung rows", line_no);
+  }
+
+  fpga::Device pdev = dev;
+  pdev.protection.enabled = true;
+  std::vector<LadderRungCsv> out;
+  int homes = 0;
+  for (std::size_t ri = 0; ri < blocks.size(); ++ri) {
+    Block& b = blocks[ri];
+    if (b.rung.service_cycles <= 0) {
+      throw ParseError("ladder csv: rung " + std::to_string(ri) +
+                           " service_cycles must be positive",
+                       b.first_line);
+    }
+    if (ri > 0 &&
+        b.rung.service_cycles >= out.back().service_cycles) {
+      throw ParseError("ladder csv: service_cycles must strictly decrease "
+                       "down the ladder (rung " + std::to_string(ri) + ")",
+                       b.first_line);
+    }
+    if (b.rung.home) ++homes;
+    try {
+      b.rung.strategy = strategy_from_csv(
+          base_header + "\n" + b.body, net, b.rung.protect ? pdev : dev);
+    } catch (const ParseError& e) {
+      // Delegated errors carry sub-document line numbers (header = 1, row k
+      // = k+1); map them back onto the ladder file.
+      const int sub = e.line();
+      const int mapped =
+          sub >= 2 && sub - 2 < static_cast<int>(b.body_lines.size())
+              ? b.body_lines[static_cast<std::size_t>(sub - 2)]
+              : b.first_line;
+      throw ParseError("ladder csv rung " + std::to_string(ri) + ": " +
+                           e.what(),
+                       mapped);
+    }
+    out.push_back(std::move(b.rung));
+  }
+  if (homes != 1) {
+    throw ParseError("ladder csv: exactly one rung must carry the 'home' "
+                     "flag, found " + std::to_string(homes),
+                     1);
+  }
+  return out;
+}
+
 std::string report_to_csv_row(const StrategyReport& r) {
   std::ostringstream os;
   os << r.latency_cycles << ',' << r.latency_ms << ',' << r.effective_gops

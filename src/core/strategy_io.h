@@ -4,6 +4,7 @@
 // markdown table for reports.
 
 #include <string>
+#include <vector>
 
 #include "core/report.h"
 #include "core/strategy.h"
@@ -42,5 +43,36 @@ namespace hetacc::core {
 [[nodiscard]] Strategy strategy_from_csv(const std::string& csv,
                                          const nn::Network& net,
                                          const fpga::Device& dev);
+
+/// One rung of a serving-ladder file: a full strategy plus the rung-level
+/// columns the serving runtime needs (modeled service time, display label,
+/// home/protect/int8 flags).
+struct LadderRungCsv {
+  Strategy strategy;
+  long long service_cycles = 0;
+  std::string label;
+  bool home = false;     ///< the preferred (primary) operating point
+  bool protect = false;  ///< priced under --protect hardening
+  bool int8 = false;     ///< serves on the int8 datapath
+};
+
+/// Multi-strategy ladder file: the strategy CSV with four rung columns
+/// appended (`rung,service_cycles,rung_label,rung_flags`), the same way the
+/// DAG format appended `inputs`. Rung blocks are concatenated in ladder
+/// order; every row of a block repeats its rung's metadata, so any row is
+/// self-describing. `rung_flags` is a '|'-joined subset of
+/// {home, protect, int8}, '-' when empty. Labels must not contain commas.
+[[nodiscard]] std::string ladder_to_csv(const std::vector<LadderRungCsv>& rungs,
+                                        const nn::Network& net);
+
+/// Inverse of ladder_to_csv. Each rung block is reconstructed through
+/// strategy_from_csv (protect rungs against the protection-enabled device —
+/// their timing re-derives under hardened transfer pricing). Throws
+/// hetacc::ParseError with the 1-based line number *in the ladder file* on
+/// malformed rows, non-dense rung indices, inconsistent rung metadata
+/// within a block, a missing/duplicate home rung, non-positive service
+/// times, or service times not strictly decreasing down the ladder.
+[[nodiscard]] std::vector<LadderRungCsv> ladder_from_csv(
+    const std::string& csv, const nn::Network& net, const fpga::Device& dev);
 
 }  // namespace hetacc::core

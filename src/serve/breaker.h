@@ -49,6 +49,10 @@ class CircuitBreaker {
   /// open -> half-open transition once the cooldown has elapsed.
   [[nodiscard]] BreakerState state(long long now);
 
+  /// Last committed state, with NO cooldown side effect — for observers
+  /// (the regime controller) that must not perturb the transition log.
+  [[nodiscard]] BreakerState current() const { return state_; }
+
   /// Half-open probe admission: true grants the (single) probe slot, and
   /// the caller must report the probe's outcome via record_success /
   /// record_failure. While a probe is in flight further requests are served

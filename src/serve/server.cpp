@@ -17,16 +17,14 @@ namespace {
 
 constexpr long long kInf = std::numeric_limits<long long>::max();
 
-/// splitmix64 finalizer — folds (request id, response CRC) into the
-/// order-independent response digest.
+/// splitmix64 finalizer — folds (request id, response CRC) and the rung
+/// transition log into the order-independent response digest.
 constexpr std::uint64_t mix64(std::uint64_t x) {
   x += 0x9E3779B97F4A7C15ull;
   x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
   x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
   return x ^ (x >> 31);
 }
-
-enum class Mode : std::uint8_t { kPrimary, kDegraded };
 
 /// What a worker reports back to the dispatcher. Fault identity comes from
 /// the structured FaultError payload, so the stats and the CLI can say what
@@ -38,13 +36,13 @@ struct JobResult {
   std::uint32_t crc = 0;
 };
 
-/// One execution unit: (request, attempt) pinned to a serving mode. The
+/// One execution unit: (request, attempt) pinned to a ladder rung. The
 /// dispatcher owns the Job; workers only borrow the pointer long enough to
 /// fulfill the promise.
 struct Job {
   std::uint64_t request_id = 0;
   int attempt = 1;
-  Mode mode = Mode::kPrimary;
+  int rung = 0;
   bool faulted = false;      ///< run against the fault-burst pipeline
   bool reset_first = false;  ///< retry path: reset() the pipeline first
   std::uint32_t input_seed = 0;
@@ -53,12 +51,11 @@ struct Job {
 
 }  // namespace
 
-Server::Server(nn::Network net, nn::WeightStore ws, ServingMode primary,
-               ServingMode fallback, ServerConfig cfg)
+Server::Server(nn::Network net, nn::WeightStore ws, ServingLadder ladder,
+               ServerConfig cfg)
     : net_(std::move(net)),
       ws_(std::move(ws)),
-      primary_(std::move(primary)),
-      fallback_(std::move(fallback)),
+      ladder_(std::move(ladder)),
       cfg_(cfg) {
   if (cfg_.replicas < 1) {
     throw ServeError(ServeError::Reason::kConfig,
@@ -69,30 +66,70 @@ Server::Server(nn::Network net, nn::WeightStore ws, ServingMode primary,
     throw ServeError(ServeError::Reason::kConfig,
                      "queue capacity must be >= 1");
   }
-  if (primary_.service_cycles <= 0 || fallback_.service_cycles <= 0) {
-    throw ServeError(ServeError::Reason::kConfig,
-                     "service_cycles must be positive for both modes");
-  }
   if (cfg_.max_retries < 0 || cfg_.backoff_base_cycles < 0 ||
       cfg_.backoff_cap_cycles < cfg_.backoff_base_cycles) {
     throw ServeError(ServeError::Reason::kConfig,
                      "invalid retry/backoff configuration");
   }
-  const std::size_t layer_count = net_.empty() ? 0 : net_.size() - 1;
-  if (net_.empty() || net_[0].kind != nn::LayerKind::kInput ||
-      (!primary_.choices.empty() && primary_.choices.size() != layer_count) ||
-      (!fallback_.choices.empty() &&
-       fallback_.choices.size() != layer_count)) {
+  if (ladder_.rungs.empty()) {
     throw ServeError(ServeError::Reason::kConfig,
-                     "network/choices mismatch (net must start with an input "
-                     "layer; choices must cover every following layer)");
+                     "serving ladder must have at least one rung");
+  }
+  if (ladder_.home >= ladder_.rungs.size()) {
+    throw ServeError(ServeError::Reason::kConfig,
+                     "ladder home rung " + std::to_string(ladder_.home) +
+                         " out of range (ladder has " +
+                         std::to_string(ladder_.rungs.size()) + " rungs)");
+  }
+  const std::size_t layer_count = net_.empty() ? 0 : net_.size() - 1;
+  const bool net_ok = !net_.empty() && net_[0].kind == nn::LayerKind::kInput;
+  for (std::size_t i = 0; i < ladder_.rungs.size(); ++i) {
+    const ServingMode& m = ladder_.rungs[i];
+    if (m.service_cycles <= 0) {
+      throw ServeError(ServeError::Reason::kConfig,
+                       "service_cycles must be positive for every rung "
+                       "(rung " + std::to_string(i) + ")");
+    }
+    if (!net_ok ||
+        (!m.choices.empty() && m.choices.size() != layer_count)) {
+      throw ServeError(
+          ServeError::Reason::kConfig,
+          "network/choices mismatch (net must start with an input "
+          "layer; choices must cover every following layer)");
+    }
+    // Descending below home must buy throughput, or the load controller
+    // would degrade accuracy for nothing. Rungs above home are merely "no
+    // faster than their neighbor below" by convention and not enforced —
+    // the PR 5 pair may price both modes identically.
+    if (i > ladder_.home &&
+        m.service_cycles >= ladder_.rungs[i - 1].service_cycles) {
+      throw ServeError(ServeError::Reason::kConfig,
+                       "rungs deeper than home must be strictly faster: "
+                       "rung " + std::to_string(i) + " is not");
+    }
   }
 }
+
+Server::Server(nn::Network net, nn::WeightStore ws, ServingMode primary,
+               ServingMode fallback, ServerConfig cfg)
+    : Server(std::move(net), std::move(ws),
+             [&] {
+               ServingLadder l;
+               if (fallback.label.empty()) fallback.label = "fallback";
+               if (primary.label.empty()) primary.label = "primary";
+               l.rungs.push_back(std::move(fallback));
+               l.rungs.push_back(std::move(primary));
+               l.home = 1;  // home == deepest: the load axis is inert, so
+                            // behavior is byte-identical to the PR 5 pair
+               return l;
+             }(),
+             cfg) {}
 
 Server::~Server() = default;
 
 ServerStats Server::run(const ArrivalTrace& trace) {
   breaker_log_.clear();
+  rung_log_.clear();
   for (std::size_t i = 0; i < trace.requests.size(); ++i) {
     if (trace.requests[i].id != i) {
       throw ServeError(ServeError::Reason::kConfig,
@@ -101,9 +138,17 @@ ServerStats Server::run(const ArrivalTrace& trace) {
   }
 
   ServerStats stats;
+  stats.rung_completions.assign(ladder_.rungs.size(), 0);
   SimClock internal_clock;
   Clock* const clock = cfg_.clock ? cfg_.clock : &internal_clock;
   CircuitBreaker breaker(cfg_.breaker);
+  std::vector<long long> rung_cycles(ladder_.rungs.size());
+  for (std::size_t i = 0; i < ladder_.rungs.size(); ++i) {
+    rung_cycles[i] = ladder_.rungs[i].service_cycles;
+  }
+  RegimeController regime(std::move(rung_cycles), ladder_.home,
+                          cfg_.queue_capacity, cfg_.regime);
+  const int home = regime.home();
 
   const std::size_t n = trace.requests.size();
   const int replicas = cfg_.replicas;
@@ -119,37 +164,38 @@ ServerStats Server::run(const ArrivalTrace& trace) {
   std::vector<std::thread> workers;
   workers.reserve(static_cast<std::size_t>(worker_count));
   for (int w = 0; w < worker_count; ++w) {
-    workers.emplace_back([this, &exec_q, &trace] {
-      // Worker-owned pipeline instances, built on first use: the healthy
-      // primary, the primary with the trace's fault burst installed, and
-      // the degraded fallback. Owning them per worker keeps every run()
-      // data-race-free without locking the pipelines.
-      std::unique_ptr<arch::FusionPipeline> healthy, faulted, degraded;
+    workers.emplace_back([this, &exec_q, &trace, home] {
+      // Worker-owned pipeline instances, built on first use: at most one
+      // per rung this worker actually serves, plus the home rung with the
+      // trace's fault burst installed. Owning them per worker keeps every
+      // run() data-race-free without locking the pipelines.
+      std::vector<std::unique_ptr<arch::FusionPipeline>> rung_pipes(
+          ladder_.rungs.size());
+      std::unique_ptr<arch::FusionPipeline> faulted;
       Job* job = nullptr;
       while (exec_q.pop(job)) {
         JobResult r;
         try {
           arch::FusionPipeline* p = nullptr;
-          if (job->mode == Mode::kDegraded) {
-            if (!degraded) {
-              degraded = std::make_unique<arch::FusionPipeline>(
-                  net_, ws_, fallback_.choices);
-            }
-            p = degraded.get();
-          } else if (job->faulted) {
+          if (job->faulted) {
             if (!faulted) {
               faulted = std::make_unique<arch::FusionPipeline>(
-                  net_, ws_, primary_.choices);
-              faulted->install_fault_plan(trace.burst.plan,
-                                          primary_.protect);
+                  net_, ws_,
+                  ladder_.rungs[static_cast<std::size_t>(home)].choices);
+              faulted->install_fault_plan(
+                  trace.burst.plan,
+                  ladder_.rungs[static_cast<std::size_t>(home)].protect);
             }
             p = faulted.get();
           } else {
-            if (!healthy) {
-              healthy = std::make_unique<arch::FusionPipeline>(
-                  net_, ws_, primary_.choices);
+            auto& slot = rung_pipes[static_cast<std::size_t>(job->rung)];
+            if (!slot) {
+              slot = std::make_unique<arch::FusionPipeline>(
+                  net_, ws_,
+                  ladder_.rungs[static_cast<std::size_t>(job->rung)]
+                      .choices);
             }
-            p = healthy.get();
+            p = slot.get();
           }
           if (job->reset_first) p->reset();
           nn::Tensor in(net_[0].out);
@@ -175,7 +221,7 @@ ServerStats Server::run(const ArrivalTrace& trace) {
     long long completion = 0;
     std::uint64_t id = 0;
     int attempt = 1;
-    Mode mode = Mode::kPrimary;
+    int rung = 0;
     bool probe = false;
     int replica = 0;
     std::unique_ptr<Job> job;
@@ -191,6 +237,7 @@ ServerStats Server::run(const ArrivalTrace& trace) {
   std::vector<Retry> retries;
   std::deque<std::uint64_t> waitq;
   std::size_t next_arrival = 0;
+  long long last_event = 0;  ///< latest virtual cycle any event carried
 
   const auto backoff = [&](int attempt) {
     long long b = std::max<long long>(cfg_.backoff_base_cycles, 1);
@@ -248,35 +295,39 @@ ServerStats Server::run(const ArrivalTrace& trace) {
         ++stats.shed_deadline;
         continue;
       }
-      Mode mode = Mode::kPrimary;
+      int rung = home;
       bool probe = false;
       if (force_fb) {
-        mode = Mode::kDegraded;
+        // Retry budget exhausted on the home rung: downgrade onto the
+        // conservative rung (the PR 5 "once to the fallback" path).
+        rung = regime.conservative_rung();
       } else {
         const BreakerState st = breaker.state(now);
-        if (st == BreakerState::kClosed) {
-          mode = Mode::kPrimary;
-        } else if (st == BreakerState::kHalfOpen &&
-                   breaker.try_acquire_probe(now)) {
-          mode = Mode::kPrimary;
+        regime.on_breaker(now, st != BreakerState::kClosed);
+        if (st == BreakerState::kHalfOpen &&
+            breaker.try_acquire_probe(now)) {
+          rung = home;  // probes always test the primary rung
           probe = true;
         } else {
-          mode = Mode::kDegraded;
+          rung = regime.rung();
         }
       }
-      const ServingMode& m = mode == Mode::kPrimary ? primary_ : fallback_;
+      const ServingMode& m = ladder_.rungs[static_cast<std::size_t>(rung)];
       InFlight f;
       f.completion = now + m.service_cycles;
       f.id = id;
       f.attempt = attempt;
-      f.mode = mode;
+      f.rung = rung;
       f.probe = probe;
       f.replica = k;
       f.job = std::make_unique<Job>();
       f.job->request_id = id;
       f.job->attempt = attempt;
-      f.job->mode = mode;
-      f.job->faulted = mode == Mode::kPrimary && trace.burst.covers(now);
+      f.job->rung = rung;
+      // The trace's fault burst strikes the primary design; any rung off
+      // home — the pre-hardened conservative strategy or a load-descended
+      // deep rung — runs on a pipeline the burst does not cover.
+      f.job->faulted = rung == home && trace.burst.covers(now);
       f.job->reset_first = attempt > 1;
       f.job->input_seed = trace.requests[id].input_seed;
       f.fut = f.job->done.get_future();
@@ -294,7 +345,8 @@ ServerStats Server::run(const ArrivalTrace& trace) {
     if (r.ok) {
       const long long lat = now - trace.requests[f.id].arrival_cycle;
       ++stats.completed;
-      if (f.mode == Mode::kDegraded) ++stats.completed_degraded;
+      ++stats.rung_completions[static_cast<std::size_t>(f.rung)];
+      if (f.rung != home) ++stats.completed_degraded;
       if (f.attempt > 1) ++stats.faults_absorbed;
       stats.latency.record(lat);
       stats.response_hash +=
@@ -302,27 +354,31 @@ ServerStats Server::run(const ArrivalTrace& trace) {
       const bool late =
           cfg_.deadline_cycles > 0 && lat > cfg_.deadline_cycles;
       if (late) ++stats.deadline_misses;
-      if (f.mode == Mode::kPrimary) {
+      if (f.rung == home) {
         if (late) {
           breaker.record_deadline_miss(now);
         } else {
           breaker.record_success(now);
         }
       }
+      regime.observe_completion(now, late);
     } else {
-      if (f.mode == Mode::kPrimary) breaker.record_failure(now);
-      if (f.mode == Mode::kDegraded) {
-        // The fallback strategy faulted too: nothing left to downgrade to.
+      if (f.rung == home) breaker.record_failure(now);
+      if (f.rung != home) {
+        // An off-home strategy faulted too: nothing left to downgrade to.
         ++stats.failed;
       } else {
         // Transient primary fault: re-dispatch after deterministic capped
         // exponential backoff — to a reset() primary while the retry
-        // budget lasts, then once to the fallback strategy.
+        // budget lasts, then once to the conservative rung.
         ++stats.retries;
         retries.push_back({now + backoff(f.attempt), f.id, f.attempt + 1,
                            f.attempt > cfg_.max_retries});
       }
     }
+    // Breaker moves caused by this completion (open on failures, close on
+    // probe success) move the rung pointer at the same virtual cycle.
+    regime.on_breaker(now, breaker.current() != BreakerState::kClosed);
   };
 
   // Event loop. Ties resolve completions < retries < arrivals so resources
@@ -354,13 +410,16 @@ ServerStats Server::run(const ArrivalTrace& trace) {
         InFlight f = std::move(inflight[best]);
         inflight.erase(inflight.begin() + static_cast<long>(best));
         const long long now = f.completion;
+        last_event = std::max(last_event, now);
         handle_completion(std::move(f));
         try_dispatch(now);
       } else if (t_ret <= t_arr && t_ret < kInf) {
         clock->advance_to(t_ret);
+        last_event = std::max(last_event, t_ret);
         try_dispatch(t_ret);
       } else if (t_arr < kInf) {
         clock->advance_to(t_arr);
+        last_event = std::max(last_event, t_arr);
         const std::uint64_t id = trace.requests[next_arrival].id;
         ++next_arrival;
         ++stats.submitted;
@@ -374,6 +433,9 @@ ServerStats Server::run(const ArrivalTrace& trace) {
           stats.queue_peak = std::max(
               stats.queue_peak, static_cast<long long>(waitq.size()));
         }
+        // The load axis watches the admission queue at its high-water
+        // moments — arrivals — and the miss window at completions.
+        regime.observe_queue(t_arr, waitq.size());
         try_dispatch(t_arr);
       } else {
         break;  // defensive: cannot happen (waitq implies busy replicas)
@@ -387,6 +449,20 @@ ServerStats Server::run(const ArrivalTrace& trace) {
 
   exec_q.close();
   for (auto& w : workers) w.join();
+
+  regime.finish(last_event);
+  rung_log_ = regime.log();
+  stats.rung_cycles = regime.cycles_in_rung();
+  stats.rung_transitions = static_cast<long long>(rung_log_.size());
+  // Fold the walk itself into the digest: runs only match if they moved
+  // between the same rungs, for the same reasons, at the same cycles.
+  for (const RungTransition& t : rung_log_) {
+    stats.response_hash += mix64(
+        static_cast<std::uint64_t>(t.cycle) * 0x2545F4914F6CDD1Dull ^
+        (static_cast<std::uint64_t>(static_cast<unsigned>(t.from)) << 24) ^
+        (static_cast<std::uint64_t>(static_cast<unsigned>(t.to)) << 16) ^
+        static_cast<std::uint64_t>(static_cast<unsigned>(t.reason)));
+  }
 
   stats.breaker_opens = breaker.opens();
   stats.breaker_closes = breaker.closes();

@@ -1,33 +1,41 @@
 #pragma once
 // The resilient serving runtime over arch::FusionPipeline. One Server owns
-// a network, its weights, and two ways of serving it:
+// a network, its weights, and an ordered **degradation ladder** of serving
+// modes (PR 5's primary/fallback pair is the two-rung special case):
 //
-//   primary  — the optimizer's latency-optimal strategy
-//   fallback — a pre-optimized degraded strategy (tighter resource /
-//              protection budget; typically `--protect`-priced and slower)
+//   rung 0        — most conservative (slowest; typically the `--protect`
+//                   re-optimization an operator pre-computes and ships)
+//   rung `home`   — the optimizer's latency-optimal primary strategy
+//   deeper rungs  — strictly faster Pareto points (int8 / conventional-i8):
+//                   degraded accuracy traded for throughput, deliberately
 //
 // run(trace) drives an arrival trace through the full request lifecycle:
 // bounded-queue admission (reject when full — the queue can never grow
 // without bound), deadline enforcement with load-shedding of already-late
 // requests, capped-exponential-backoff retries that re-dispatch faulted
-// requests to a freshly reset() pipeline, and a circuit breaker that
-// downgrades to the fallback strategy after sustained failures and probes
-// half-open recovery back to the primary.
+// requests to a freshly reset() pipeline, a circuit breaker whose
+// open/half-open transitions move the served rung off `home` instead of
+// flipping a boolean, and a load-regime controller (serve/regime.h) that
+// descends to faster rungs under queue/deadline pressure and climbs back
+// with dwell-gated hysteresis.
 //
-// Determinism contract (DESIGN.md §11): every stats-bearing decision is
+// Determinism contract (DESIGN.md §11/§14): every stats-bearing decision is
 // made by the single dispatcher thread in *virtual* time — arrival cycles
 // come from the trace, service cycles from the cost layer's strategy
-// latencies, fault outcomes from the counter-hash FaultInjector — so the
-// same trace + seed + config produces a byte-identical ServerStats for any
-// `threads` value. Real worker threads only decide how fast the functional
-// pipeline work is ground through, never what the answer is.
+// latencies, fault outcomes from the counter-hash FaultInjector, rung moves
+// from virtual-time signals — so the same trace + seed + config produces a
+// byte-identical ServerStats and rung-transition log for any `threads`
+// value. Real worker threads only decide how fast the functional pipeline
+// work is ground through, never what the answer is.
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "arch/pipeline.h"
 #include "serve/breaker.h"
 #include "serve/clock.h"
+#include "serve/regime.h"
 #include "serve/stats.h"
 #include "serve/trace.h"
 
@@ -40,8 +48,20 @@ struct ServingMode {
   std::vector<arch::LayerChoice> choices;
   long long service_cycles = 0;
   /// Hardening installed when this mode's pipeline runs inside a fault
-  /// burst (primary) — the detectors that absorb recoverable SEUs.
+  /// burst (home rung only) — the detectors that absorb recoverable SEUs.
   fault::ProtectionConfig protect = fault::ProtectionConfig::all_on();
+  /// Display label for rung tables and the transition timeline.
+  std::string label;
+};
+
+/// The degradation ladder: rungs ordered most-conservative first, `home`
+/// the preferred operating point. Rungs deeper than home must be strictly
+/// faster (service_cycles strictly decreasing) — that is what makes load
+/// descent meaningful. toolflow::build_serving_ladder emits this shape;
+/// hand-built ladders are validated by the Server constructor.
+struct ServingLadder {
+  std::vector<ServingMode> rungs;
+  std::size_t home = 0;
 };
 
 struct ServerConfig {
@@ -53,14 +73,16 @@ struct ServerConfig {
   int replicas = 2;
   /// Per-request deadline in cycles from arrival; 0 disables deadlines.
   long long deadline_cycles = 0;
-  /// Fault-retry budget on the primary before downgrading the request to
-  /// the fallback strategy.
+  /// Fault-retry budget on the home rung before downgrading the request to
+  /// the conservative rung.
   int max_retries = 2;
   /// Capped exponential backoff (jitter-free, deterministic):
   /// backoff(attempt) = min(base << (attempt-1), cap).
   long long backoff_base_cycles = 1024;
   long long backoff_cap_cycles = 16384;
   BreakerConfig breaker;
+  /// Load-regime hysteresis (watermarks, miss window, dwell gates).
+  RegimeConfig regime;
   /// Real execution worker threads (OptimizerOptions convention: 1 = serial,
   /// 0 = all cores, n = n). Never affects ServerStats.
   int threads = 0;
@@ -71,9 +93,16 @@ struct ServerConfig {
 
 class Server {
  public:
-  /// `net` must start with an input layer (FusionPipeline contract); both
-  /// modes' choices must match its layer count. Throws
-  /// ServeError(kConfig) on an unusable configuration.
+  /// `net` must start with an input layer (FusionPipeline contract); every
+  /// rung's choices must match its layer count. Throws ServeError(kConfig)
+  /// on an unusable configuration (empty ladder, home out of range, deeper
+  /// rungs not strictly faster, non-positive service times).
+  Server(nn::Network net, nn::WeightStore ws, ServingLadder ladder,
+         ServerConfig cfg);
+
+  /// PR 5 compatibility: the binary primary/fallback pair, expressed as the
+  /// two-rung ladder [fallback, primary] with home = 1. Behavior (and every
+  /// stat) is byte-identical to the PR 5 server.
   Server(nn::Network net, nn::WeightStore ws, ServingMode primary,
          ServingMode fallback, ServerConfig cfg);
   ~Server();
@@ -90,16 +119,23 @@ class Server {
   [[nodiscard]] const std::vector<BreakerTransition>& breaker_log() const {
     return breaker_log_;
   }
+  /// Rung transitions of the last run() — the timeline the CLI prints and
+  /// the CI soak greps. Folded into ServerStats::response_hash, so two runs
+  /// that agree on the hash walked the ladder identically.
+  [[nodiscard]] const std::vector<RungTransition>& rung_log() const {
+    return rung_log_;
+  }
 
   [[nodiscard]] const ServerConfig& config() const { return cfg_; }
+  [[nodiscard]] const ServingLadder& ladder() const { return ladder_; }
 
  private:
   nn::Network net_;
   nn::WeightStore ws_;
-  ServingMode primary_;
-  ServingMode fallback_;
+  ServingLadder ladder_;
   ServerConfig cfg_;
   std::vector<BreakerTransition> breaker_log_;
+  std::vector<RungTransition> rung_log_;
 };
 
 }  // namespace hetacc::serve

@@ -76,6 +76,9 @@ bool ServerStats::operator==(const ServerStats& o) const {
          faults_absorbed == o.faults_absorbed &&
          breaker_opens == o.breaker_opens &&
          breaker_closes == o.breaker_closes && queue_peak == o.queue_peak &&
+         rung_completions == o.rung_completions &&
+         rung_cycles == o.rung_cycles &&
+         rung_transitions == o.rung_transitions &&
          response_hash == o.response_hash && latency == o.latency;
 }
 
@@ -91,8 +94,16 @@ std::string ServerStats::summary() const {
      << faults_absorbed << "\n"
      << "  breaker     " << breaker_opens << " opens, " << breaker_closes
      << " closes\n"
-     << "  queue peak  " << queue_peak << "\n"
-     << "  latency     p50 " << latency.p50() << "  p99 " << latency.p99()
+     << "  queue peak  " << queue_peak << "\n";
+  if (!rung_completions.empty()) {
+    os << "  rungs       ";
+    for (std::size_t i = 0; i < rung_completions.size(); ++i) {
+      if (i) os << " / ";
+      os << "r" << i << ":" << rung_completions[i];
+    }
+    os << " completions, " << rung_transitions << " transitions\n";
+  }
+  os << "  latency     p50 " << latency.p50() << "  p99 " << latency.p99()
      << "  max " << latency.max() << " cycles\n"
      << "  accounted   " << (accounted() ? "yes" : "NO — REQUESTS LOST")
      << "\n";
@@ -112,6 +123,17 @@ std::string ServerStats::to_json() const {
      << ", \"breaker_opens\": " << breaker_opens
      << ", \"breaker_closes\": " << breaker_closes
      << ", \"queue_peak\": " << queue_peak
+     << ", \"rung_completions\": [";
+  for (std::size_t i = 0; i < rung_completions.size(); ++i) {
+    if (i) os << ", ";
+    os << rung_completions[i];
+  }
+  os << "], \"rung_cycles\": [";
+  for (std::size_t i = 0; i < rung_cycles.size(); ++i) {
+    if (i) os << ", ";
+    os << rung_cycles[i];
+  }
+  os << "], \"rung_transitions\": " << rung_transitions
      << ", \"latency_p50\": " << latency.p50()
      << ", \"latency_p99\": " << latency.p99()
      << ", \"latency_max\": " << latency.max()

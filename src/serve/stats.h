@@ -62,11 +62,21 @@ struct ServerStats {
   long long breaker_closes = 0;
   long long queue_peak = 0;           ///< max virtual queue occupancy
 
+  // Degradation-ladder accounting (index-aligned with the ladder rungs;
+  // sized by Server::run). A two-rung PR 5 pair reports here too:
+  // rung_completions = {fallback, primary} completions.
+  std::vector<long long> rung_completions;
+  /// Virtual cycles the effective rung pointer spent at each rung.
+  std::vector<long long> rung_cycles;
+  long long rung_transitions = 0;     ///< moves in the rung-transition log
+
   LatencyHistogram latency;           ///< completed requests, cycles
 
   /// Order-independent digest of every delivered response payload (CRC-32
-  /// of the output tensor folded with the request id). Two runs that agree
-  /// here delivered bitwise-identical answers to every request.
+  /// of the output tensor folded with the request id), plus the full rung
+  /// transition log folded in at the end of the run. Two runs that agree
+  /// here delivered bitwise-identical answers to every request *and*
+  /// walked the degradation ladder identically.
   std::uint64_t response_hash = 0;
 
   /// Zero-lost-requests invariant.

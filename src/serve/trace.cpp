@@ -47,6 +47,36 @@ ArrivalTrace ArrivalTrace::synthetic(std::size_t n,
   return t;
 }
 
+ArrivalTrace ArrivalTrace::oscillating(std::size_t periods,
+                                       std::size_t per_phase,
+                                       long long burst_interarrival_cycles,
+                                       long long lull_interarrival_cycles,
+                                       std::uint64_t seed) {
+  ArrivalTrace t;
+  t.requests.reserve(periods * per_phase * 2);
+  long long clock = 0;
+  std::uint64_t i = 0;
+  for (std::size_t p = 0; p < periods; ++p) {
+    for (int phase = 0; phase < 2; ++phase) {
+      const long long mean = std::max<long long>(
+          phase == 0 ? burst_interarrival_cycles : lull_interarrival_cycles,
+          1);
+      for (std::size_t k = 0; k < per_phase; ++k, ++i) {
+        const std::uint64_t h = mix64(seed ^ mix64(i));
+        // Same jitter discipline as synthetic(): uniform in [mean/2, 3mean/2).
+        clock += mean / 2 + static_cast<long long>(
+                                h % static_cast<std::uint64_t>(mean));
+        TraceRequest r;
+        r.id = i;
+        r.arrival_cycle = clock;
+        r.input_seed = static_cast<std::uint32_t>(h >> 32);
+        t.requests.push_back(r);
+      }
+    }
+  }
+  return t;
+}
+
 std::string ArrivalTrace::to_csv() const {
   std::ostringstream os;
   os << "id,arrival_cycle,input_seed\n";

@@ -54,6 +54,18 @@ struct ArrivalTrace {
                                               std::uint64_t seed,
                                               double surge_factor = 1.0);
 
+  /// Deterministic square-wave load: `periods` alternating burst/lull
+  /// phases of `per_phase` requests each. Burst phases use hash-jittered
+  /// gaps around `burst_interarrival_cycles`, lull phases around
+  /// `lull_interarrival_cycles` (lull should be the larger). This is the
+  /// oscillating-overload stimulus the degradation-ladder hysteresis tests
+  /// and the CI soak drive: sustained pressure, then sustained calm,
+  /// repeated — a controller without dwell gating flaps on it.
+  [[nodiscard]] static ArrivalTrace oscillating(
+      std::size_t periods, std::size_t per_phase,
+      long long burst_interarrival_cycles,
+      long long lull_interarrival_cycles, std::uint64_t seed);
+
   /// CSV form: header `id,arrival_cycle,input_seed`, one row per request.
   [[nodiscard]] std::string to_csv() const;
   /// Inverse of to_csv. Throws hetacc::ParseError with a 1-based line

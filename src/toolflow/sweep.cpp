@@ -19,6 +19,7 @@ std::vector<SweepPoint> sweep_budgets(const nn::Network& net,
     if (r.feasible) {
       p.groups = r.strategy.groups.size();
       p.report = core::make_report(r.strategy, net, model.device());
+      p.strategy = r.strategy;
     }
     out.push_back(std::move(p));
   }

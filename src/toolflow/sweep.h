@@ -18,6 +18,9 @@ struct SweepPoint {
   bool feasible = false;
   std::size_t groups = 0;
   core::StrategyReport report;
+  /// The winning strategy itself (empty when infeasible) — the ladder
+  /// builder turns frontier points into serving rungs.
+  core::Strategy strategy;
 };
 
 struct SweepOptions {

@@ -10,6 +10,7 @@
 //          [--protect] [--fault-campaign] [--fault-seed N]
 //          [--serve SPEC] [--serve-deadline N] [--serve-queue N]
 //          [--serve-replicas N] [--serve-retries N] [--serve-fault LO:HI|auto]
+//          [--serve-ladder N|auto]
 //
 // Exit codes (see src/support/error.h): 0 success, 2 parse/validate,
 // 3 infeasible, 4 unrecovered fault, 5 serving-runtime failure, 1 internal.
@@ -32,6 +33,7 @@
 #include "quant/calibration.h"
 #include "serve/server.h"
 #include "support/error.h"
+#include "toolflow/ladder.h"
 #include "toolflow/toolflow.h"
 
 using namespace hetacc;
@@ -91,7 +93,17 @@ void usage() {
       "  --serve-retries N   primary retry budget per request (default 2)\n"
       "  --serve-fault SPEC  fault burst striking the primary: LO:HI cycle\n"
       "                      window, or 'auto' for the middle third of the\n"
-      "                      trace (plan seeded by --fault-seed)\n");
+      "                      trace (plan seeded by --fault-seed)\n"
+      "  --serve-ladder N    serve from an N-rung degradation ladder (or\n"
+      "                      'auto') instead of the binary primary/fallback\n"
+      "                      pair: --protect rung above the primary, relaxed-\n"
+      "                      budget and int8/conventional-i8 rungs below it;\n"
+      "                      a load-regime controller descends to faster\n"
+      "                      rungs under queue/deadline pressure and climbs\n"
+      "                      back with dwell-gated hysteresis. The trace SPEC\n"
+      "                      osc:P:K[:BURST[:LULL[:SEED]]] generates P\n"
+      "                      square-wave load periods of K requests per\n"
+      "                      phase for exercising the controller\n");
 }
 
 void print_report_line(const char* tag, const core::StrategyReport& r) {
@@ -290,12 +302,13 @@ int run_fault_campaign(const nn::Network& net, const fpga::Device& dev,
 
 /// --serve: everything the serving runtime needs from the command line.
 struct ServeCliOptions {
-  std::string spec;          ///< trace CSV path or synth:N[:MEAN[:SEED]]
+  std::string spec;          ///< trace CSV path, synth:..., or osc:...
   long long deadline = -1;   ///< -1 = derive from the primary latency
   std::size_t queue = 64;
   int replicas = 2;
   int retries = 2;
   std::string fault;         ///< "", "auto", or "LO:HI"
+  std::string ladder;        ///< "" = binary pair, "auto" or rung count
 };
 
 /// --serve: run the resilient serving runtime over the optimized strategy.
@@ -312,15 +325,6 @@ int run_serve(const nn::Network& net, const fpga::Device& dev,
   opt.generate_code = false;
   opt.protect = false;
   const auto primary_flow = toolflow::run_toolflow(net, dev, opt);
-
-  toolflow::ToolflowOptions fopt = opt;
-  fopt.protect = true;
-  const auto fb_flow = toolflow::run_toolflow(net, dev, fopt);
-  fpga::Device pdev = dev;
-  pdev.protection.enabled = true;
-  const core::Strategy fb_strategy = core::strategy_from_csv(
-      core::strategy_to_csv(fb_flow.optimization.strategy, fb_flow.accel_net),
-      fb_flow.accel_net, pdev);
 
   // Functional testbed: leading layers on a capped input (the request
   // payloads), aligned with the strategies' per-layer choices.
@@ -340,34 +344,86 @@ int run_serve(const nn::Network& net, const fpga::Device& dev,
     ch.resize(klast);
     return ch;
   };
+  const auto ws = nn::WeightStore::deterministic(snet, opt.weight_seed);
 
-  serve::ServingMode primary;
-  primary.choices = choices_of(primary_flow.optimization.strategy);
-  primary.service_cycles =
-      primary_flow.optimization.strategy.latency_cycles();
-  serve::ServingMode fallback;
-  fallback.choices = choices_of(fb_strategy);
-  fallback.service_cycles = fb_strategy.latency_cycles();
+  // The degradation ladder (--serve-ladder) or the PR 5 binary pair. The
+  // ladder is round-tripped through its multi-strategy CSV form the way an
+  // operator would pre-compute and ship it; per-rung numeric modes come
+  // from the testbed calibration (int8 rungs serve in the asymmetric int8
+  // activation grids).
+  serve::ServingLadder ladder;
+  toolflow::ServingLadderPlan plan;
+  const bool use_ladder = !so.ladder.empty();
+  if (use_ladder) {
+    toolflow::LadderOptions lopt;
+    lopt.optimizer = opt.optimizer;
+    lopt.threads = opt.threads;
+    if (so.ladder != "auto") {
+      const long long n = std::atoll(so.ladder.c_str());
+      if (n < 2) {
+        throw ServeError(ServeError::Reason::kConfig,
+                         "--serve-ladder wants a rung count >= 2 or 'auto', "
+                         "got '" + so.ladder + "'");
+      }
+      lopt.max_rungs = static_cast<std::size_t>(n);
+    }
+    const auto& built = toolflow::cached_serving_ladder(net, dev, lopt);
+    plan = toolflow::ServingLadderPlan::from_csv_rungs(
+        core::ladder_from_csv(
+            core::ladder_to_csv(built.to_csv_rungs(), built.accel_net),
+            built.accel_net, dev),
+        built.accel_net);
+
+    nn::Tensor cal_in(snet[0].out);
+    nn::fill_deterministic(cal_in, 7);
+    const auto cal = quant::calibrate(snet, ws, {cal_in});
+    ladder = plan.to_serving_modes(klast, cal.modes(), cal.modes_int8());
+  } else {
+    toolflow::ToolflowOptions fopt = opt;
+    fopt.protect = true;
+    const auto fb_flow = toolflow::run_toolflow(net, dev, fopt);
+    fpga::Device pdev = dev;
+    pdev.protection.enabled = true;
+    const core::Strategy fb_strategy = core::strategy_from_csv(
+        core::strategy_to_csv(fb_flow.optimization.strategy,
+                              fb_flow.accel_net),
+        fb_flow.accel_net, pdev);
+
+    serve::ServingMode primary;
+    primary.label = "primary";
+    primary.choices = choices_of(primary_flow.optimization.strategy);
+    primary.service_cycles =
+        primary_flow.optimization.strategy.latency_cycles();
+    serve::ServingMode fallback;
+    fallback.label = "fallback";
+    fallback.choices = choices_of(fb_strategy);
+    fallback.service_cycles = fb_strategy.latency_cycles();
+    ladder.rungs = {std::move(fallback), std::move(primary)};
+    ladder.home = 1;
+  }
+  const long long primary_cycles =
+      ladder.rungs[ladder.home].service_cycles;
 
   serve::ServerConfig cfg;
   cfg.queue_capacity = so.queue;
   cfg.replicas = so.replicas;
   cfg.max_retries = so.retries;
   cfg.deadline_cycles =
-      so.deadline >= 0 ? so.deadline : 4 * primary.service_cycles;
-  cfg.backoff_base_cycles = std::max<long long>(primary.service_cycles / 8, 1);
+      so.deadline >= 0 ? so.deadline : 4 * primary_cycles;
+  cfg.backoff_base_cycles = std::max<long long>(primary_cycles / 8, 1);
   cfg.backoff_cap_cycles = 4 * cfg.backoff_base_cycles;
-  cfg.breaker.cooldown_cycles = 2 * primary.service_cycles;
+  cfg.breaker.cooldown_cycles = 2 * primary_cycles;
   cfg.threads = opt.threads;
 
-  // The trace: synthetic (synth:N[:MEAN[:SEED]]) or a CSV file.
+  // The trace: synthetic (synth:N[:MEAN[:SEED]]), square-wave oscillating
+  // load (osc:P:K[:BURST[:LULL[:SEED]]]), or a CSV file.
   serve::ArrivalTrace trace;
   if (so.spec.rfind("synth:", 0) == 0) {
     std::istringstream is(so.spec.substr(6));
     std::string f;
     std::size_t n = 0;
     long long mean =
-        std::max<long long>(3 * primary.service_cycles / so.replicas, 1);
+        std::max<long long>(3 * primary_cycles / so.replicas, 1);
     std::uint64_t seed = 1;
     if (std::getline(is, f, ':')) n = std::stoull(f);
     if (std::getline(is, f, ':')) mean = std::stoll(f);
@@ -377,6 +433,30 @@ int run_serve(const nn::Network& net, const fpga::Device& dev,
                        "synth trace needs a request count: " + so.spec);
     }
     trace = serve::ArrivalTrace::synthetic(n, mean, seed, /*surge=*/2.0);
+  } else if (so.spec.rfind("osc:", 0) == 0) {
+    std::istringstream is(so.spec.substr(4));
+    std::string f;
+    std::size_t periods = 0, per_phase = 0;
+    // Defaults: bursts arrive at twice the replicas' drain rate (sustained
+    // pressure), lulls at a quarter of it (sustained calm).
+    long long burst =
+        std::max<long long>(primary_cycles / (2 * so.replicas), 1);
+    long long lull =
+        std::max<long long>(4 * primary_cycles / so.replicas, 1);
+    std::uint64_t seed = 1;
+    if (std::getline(is, f, ':')) periods = std::stoull(f);
+    if (std::getline(is, f, ':')) per_phase = std::stoull(f);
+    if (std::getline(is, f, ':')) burst = std::stoll(f);
+    if (std::getline(is, f, ':')) lull = std::stoll(f);
+    if (std::getline(is, f, ':')) seed = std::stoull(f);
+    if (periods == 0 || per_phase == 0) {
+      throw ServeError(ServeError::Reason::kConfig,
+                       "osc trace needs periods and per-phase counts: " +
+                           so.spec);
+    }
+    trace =
+        serve::ArrivalTrace::oscillating(periods, per_phase, burst, lull,
+                                         seed);
   } else {
     std::ifstream f(so.spec);
     if (!f) {
@@ -415,19 +495,44 @@ int run_serve(const nn::Network& net, const fpga::Device& dev,
               primary_flow.full_net.name().c_str(), dev.name.c_str(),
               trace.requests.size(), cfg.replicas, cfg.queue_capacity,
               cfg.deadline_cycles);
-  std::printf("  primary   %lld cycles/request (%zu-layer testbed)\n",
-              primary.service_cycles, klast);
-  std::printf("  fallback  %lld cycles/request (protected re-optimization, "
-              "CSV round-trip)\n",
-              fallback.service_cycles);
+  if (use_ladder) {
+    // Rung table with per-rung accuracy: every rung's functional testbed
+    // output against the float reference, so the table shows exactly what
+    // descending to an int8 rung costs (satisfying the deepest-throughput
+    // rung is conventional-i8's quantized datapath).
+    arch::FusionPipeline ref_pipe(snet, ws);
+    nn::Tensor probe(snet[0].out);
+    nn::fill_deterministic(probe, 7);
+    const nn::Tensor ref = ref_pipe.run(probe);
+    float ref_abs = 0.0f;
+    for (float v : ref.vec()) ref_abs = std::max(ref_abs, std::abs(v));
+    std::printf("degradation ladder (%zu rungs, CSV round-trip, "
+                "%zu-layer testbed):\n",
+                ladder.rungs.size(), klast);
+    for (std::size_t i = 0; i < ladder.rungs.size(); ++i) {
+      const auto& m = ladder.rungs[i];
+      arch::FusionPipeline p(snet, ws, m.choices);
+      const float err = ref.max_abs_diff(p.run(probe));
+      std::printf("  rung %zu  %-16s %12lld cycles/request  "
+                  "L-inf %.4g (%.3f%% of range)%s\n",
+                  i, m.label.c_str(), m.service_cycles, err,
+                  ref_abs > 0 ? 100.0 * err / ref_abs : 0.0,
+                  i == ladder.home ? "  [home]" : "");
+    }
+  } else {
+    std::printf("  primary   %lld cycles/request (%zu-layer testbed)\n",
+                ladder.rungs[1].service_cycles, klast);
+    std::printf("  fallback  %lld cycles/request (protected re-optimization, "
+                "CSV round-trip)\n",
+                ladder.rungs[0].service_cycles);
+  }
   if (trace.burst.active()) {
     std::printf("  fault burst [%lld, %lld) cycles, seed %llu\n",
                 trace.burst.from_cycle, trace.burst.until_cycle,
                 static_cast<unsigned long long>(fault_seed));
   }
 
-  const auto ws = nn::WeightStore::deterministic(snet, opt.weight_seed);
-  serve::Server server(snet, ws, primary, fallback, cfg);
+  serve::Server server(snet, ws, std::move(ladder), cfg);
   const serve::ServerStats stats = server.run(trace);
 
   std::printf("\nserver stats:\n%s", stats.summary().c_str());
@@ -437,6 +542,13 @@ int run_serve(const nn::Network& net, const fpga::Device& dev,
       std::printf("  cycle %10lld  %s -> %s\n", t.cycle,
                   std::string(serve::to_string(t.from)).c_str(),
                   std::string(serve::to_string(t.to)).c_str());
+    }
+  }
+  if (!server.rung_log().empty()) {
+    std::printf("rung transitions:\n");
+    for (const auto& t : server.rung_log()) {
+      std::printf("  cycle %10lld  r%d -> r%d  (%s)\n", t.cycle, t.from,
+                  t.to, std::string(serve::to_string(t.reason)).c_str());
     }
   }
   std::printf("json: %s\n", stats.to_json().c_str());
@@ -453,7 +565,7 @@ int run_serve(const nn::Network& net, const fpga::Device& dev,
   if (stats.failed > 0) {
     throw Error(ErrorCategory::kServe,
                 std::to_string(stats.failed) +
-                    " request(s) failed on the degraded fallback");
+                    " request(s) failed on a degraded rung");
   }
   return 0;
 }
@@ -525,6 +637,8 @@ int run_cli(int argc, char** argv) {
       serve_opts.replicas = std::atoi(next("--serve-replicas"));
     } else if (!std::strcmp(argv[i], "--serve-retries")) {
       serve_opts.retries = std::atoi(next("--serve-retries"));
+    } else if (!std::strcmp(argv[i], "--serve-ladder")) {
+      serve_opts.ladder = next("--serve-ladder");
     } else if (!std::strcmp(argv[i], "--serve-fault")) {
       serve_opts.fault = next("--serve-fault");
     } else if (!std::strcmp(argv[i], "--help") || !std::strcmp(argv[i], "-h")) {
