@@ -1,0 +1,207 @@
+// FLEET: multi-model fleet-serving characterization for DESIGN.md §15.
+// Drives the same multi-tenant traces (three models, each with a steady
+// stream and a bursty oscillator) through the FleetServer under three
+// conditions and quantifies the two fleet mechanisms:
+//
+//   fleet-batch1       dynamic batching off (cap 1) — the per-request
+//                      setup cost is paid on every request
+//   fleet-batched      batching on (cap 8, one-service-time age budget)
+//   fleet-copies       batching on, shared prepack cache off — every
+//                      replica packs its own bundle (the per-replica-copy
+//                      memory baseline)
+//   fleet-autoscale    batching + sharing + replica autoscale, for the
+//                      cold-vs-warm spin-up numbers
+//
+// Exit status asserts the two §15 claims: dynamic batching buys >= 1.3x
+// virtual-time throughput over batch=1 at an equal-or-better deadline-miss
+// rate, and the shared cache keeps strictly fewer resident bytes than
+// replicas x per-replica copies. Emits a table and BENCH_fleet.json with
+// both verdicts.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "nn/model_zoo.h"
+#include "serve/fleet.h"
+#include "serve_common.h"
+
+using namespace hetacc;
+
+namespace {
+
+/// Three single-rung models (no regime descent, so the batch1-vs-batched
+/// delta is batching alone) over the tiny functional testbed.
+std::vector<serve::FleetModel> make_models(int replicas) {
+  const long long service[3] = {1000, 800, 1200};
+  std::vector<serve::FleetModel> models;
+  for (int m = 0; m < 3; ++m) {
+    serve::FleetModel fm;
+    fm.name = "model-" + std::to_string(m);
+    fm.net = nn::tiny_net(4, 16);
+    fm.ws = nn::WeightStore::deterministic(fm.net, 21 + m);
+    serve::ServingMode home;
+    home.label = "home";
+    home.service_cycles = service[m];
+    fm.ladder.rungs = {std::move(home)};
+    fm.ladder.home = 0;
+    fm.replicas = replicas;
+    models.push_back(std::move(fm));
+  }
+  return models;
+}
+
+struct Scenario {
+  serve::FleetStats stats;
+  long long submitted = 0;
+  long long misses = 0;  ///< deadline misses + deadline sheds
+  double throughput = 0.0;  ///< completed per kilo-cycle of virtual time
+};
+
+long long miss_count(const serve::FleetStats& s) {
+  long long m = 0;
+  for (const auto& t : s.tenants) m += t.deadline_misses + t.shed_deadline;
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t n = argc > 1 ? std::stoull(argv[1]) : 1500;
+  const int replicas = 2;
+  bench::header("FLEET", "multi-model fleet: batching + shared prepack cache");
+
+  // Per model: a steady stream plus a bursty oscillator, together arriving
+  // faster than the batch=1 pool can drain (2 replicas / service) but near
+  // what batching unlocks — the regime where amortizing the per-batch setup
+  // is the difference between shedding and keeping up.
+  std::vector<serve::TenantConfig> tenants;
+  std::vector<serve::ArrivalTrace> traces;
+  const auto models = make_models(replicas);
+  for (std::size_t m = 0; m < models.size(); ++m) {
+    const long long svc = models[m].ladder.rungs[0].service_cycles;
+    serve::TenantConfig steady;
+    steady.name = models[m].name + "/steady";
+    steady.model = m;
+    steady.weight = 2;
+    steady.queue_capacity = 32;
+    steady.deadline_cycles = 12 * svc;
+    steady.batch_cap = 8;
+    steady.batch_age_cycles = svc;
+    serve::TenantConfig bursty = steady;
+    bursty.name = models[m].name + "/bursty";
+    bursty.weight = 1;
+    tenants.push_back(std::move(steady));
+    traces.push_back(serve::ArrivalTrace::synthetic(
+        n, /*mean=*/2 * svc / 5, /*seed=*/31 + 2 * m, /*surge=*/2.0));
+    tenants.push_back(std::move(bursty));
+    traces.push_back(serve::ArrivalTrace::oscillating(
+        /*periods=*/8, /*per_phase=*/n / 16 > 4 ? n / 16 : 4,
+        /*burst=*/svc / 4, /*lull=*/3 * svc / 2, /*seed=*/32 + 2 * m));
+  }
+  std::printf("%zu models x %d replicas, %zu tenants, ~%zu requests each\n\n",
+              models.size(), replicas, tenants.size(), n);
+
+  std::vector<bench::ServeRecord> recs;
+  const auto run = [&](const std::string& name, std::size_t batch_cap,
+                       bool share, bool autoscale) {
+    serve::FleetConfig cfg;
+    cfg.threads = 0;
+    cfg.share_prepack = share;
+    cfg.batch_setup_frac = 0.5;
+    cfg.autoscale.enabled = autoscale;
+    cfg.autoscale.max_replicas = replicas + 2;
+    cfg.autoscale.up_queue_frac = 0.15;
+    cfg.autoscale.dwell_cycles = 4000;
+    cfg.autoscale.spinup_cold_cycles = 2000;
+    cfg.autoscale.spinup_warm_cycles = 250;
+    auto ts = tenants;
+    if (batch_cap == 1) {
+      for (auto& t : ts) {
+        t.batch_cap = 1;
+        t.batch_age_cycles = 0;
+      }
+    }
+    serve::FleetServer fleet(make_models(replicas), std::move(ts), cfg);
+    double wall_ms = 0.0;
+    Scenario sc;
+    sc.stats = bench::timed_ms(wall_ms, [&] { return fleet.run(traces); });
+    for (const auto& t : sc.stats.tenants) sc.submitted += t.submitted;
+    sc.misses = miss_count(sc.stats);
+    sc.throughput = sc.stats.makespan_cycles > 0
+                        ? 1000.0 *
+                              static_cast<double>(sc.stats.completed_total()) /
+                              static_cast<double>(sc.stats.makespan_cycles)
+                        : 0.0;
+    recs.push_back({name, sc.stats.to_json(), wall_ms,
+                    bench::req_per_s(sc.stats.completed_total(), wall_ms)});
+    std::printf("  %-16s %6lld ok  %5lld missed/shed  %7.3f req/kcyc  "
+                "cache %8lld B resident (%lld saved)  %s\n",
+                name.c_str(), sc.stats.completed_total(), sc.misses,
+                sc.throughput, sc.stats.cache.resident_bytes,
+                sc.stats.cache.bytes_saved,
+                sc.stats.accounted() ? "accounted" : "LOST REQUESTS");
+    return sc;
+  };
+
+  const Scenario batch1 = run("fleet-batch1", 1, true, false);
+  const Scenario batched = run("fleet-batched", 8, true, false);
+  const Scenario copies = run("fleet-copies", 8, false, false);
+  const Scenario scaled = run("fleet-autoscale", 8, true, true);
+
+  // Claim (a): batching amortizes the per-batch setup into >= 1.3x
+  // virtual-time throughput without trading deadline quality away.
+  const double speedup =
+      batch1.throughput > 0.0 ? batched.throughput / batch1.throughput : 0.0;
+  const double miss1 = batch1.submitted > 0
+                           ? static_cast<double>(batch1.misses) /
+                                 static_cast<double>(batch1.submitted)
+                           : 0.0;
+  const double missb = batched.submitted > 0
+                           ? static_cast<double>(batched.misses) /
+                                 static_cast<double>(batched.submitted)
+                           : 0.0;
+  // Claim (b): sharing keeps one bundle per (model, rung) resident instead
+  // of one per replica.
+  const long long shared_bytes = batched.stats.cache.resident_bytes;
+  const long long copy_bytes = copies.stats.cache.resident_bytes;
+  const bool batching_ok = speedup >= 1.3 && missb <= miss1;
+  const bool cache_ok = shared_bytes < copy_bytes;
+
+  std::printf("\nbatching: %.2fx throughput vs batch=1 (miss rate %.3f vs "
+              "%.3f) -> %s\n",
+              speedup, missb, miss1, batching_ok ? "ok" : "FAIL");
+  std::printf("sharing:  %lld bytes resident vs %lld per-replica copies "
+              "(%d replicas) -> %s\n",
+              shared_bytes, copy_bytes, replicas, cache_ok ? "ok" : "FAIL");
+  std::printf("spin-ups: %lld cold / %lld warm across the autoscale run\n",
+              scaled.stats.models[0].cold_spinups +
+                  scaled.stats.models[1].cold_spinups +
+                  scaled.stats.models[2].cold_spinups,
+              scaled.stats.models[0].warm_spinups +
+                  scaled.stats.models[1].warm_spinups +
+                  scaled.stats.models[2].warm_spinups);
+
+  std::FILE* f = std::fopen("BENCH_fleet.json", "w");
+  if (f) {
+    std::fprintf(f,
+                 "{\"batching_speedup\": %.3f, \"batch1_miss_rate\": %.4f, "
+                 "\"batched_miss_rate\": %.4f, \"batching_ok\": %s, "
+                 "\"shared_resident_bytes\": %lld, "
+                 "\"replica_copy_resident_bytes\": %lld, \"cache_ok\": %s, "
+                 "\"scenarios\": %s}\n",
+                 speedup, miss1, missb, batching_ok ? "true" : "false",
+                 shared_bytes, copy_bytes, cache_ok ? "true" : "false",
+                 bench::records_json(recs).c_str());
+    std::fclose(f);
+    std::printf("wrote BENCH_fleet.json (%zu scenarios)\n", recs.size());
+  } else {
+    std::printf("warning: cannot open BENCH_fleet.json for writing\n");
+  }
+
+  const bool accounted = batch1.stats.accounted() &&
+                         batched.stats.accounted() &&
+                         copies.stats.accounted() && scaled.stats.accounted();
+  return accounted && batching_ok && cache_ok ? 0 : 1;
+}

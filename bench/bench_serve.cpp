@@ -10,7 +10,6 @@
 // trace (the §14 hot-swap scenario) and on a burst-then-calm recovery
 // trace. Emits a table and BENCH_serve.json.
 
-#include <chrono>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -18,17 +17,11 @@
 #include "bench_util.h"
 #include "nn/model_zoo.h"
 #include "serve/server.h"
+#include "serve_common.h"
 
 using namespace hetacc;
 
 namespace {
-
-struct Record {
-  std::string scenario;
-  serve::ServerStats stats;
-  double wall_ms = 0.0;
-  double req_per_s = 0.0;
-};
 
 serve::ServerConfig config(int threads) {
   serve::ServerConfig cfg;
@@ -43,11 +36,10 @@ serve::ServerConfig config(int threads) {
   return cfg;
 }
 
-void emit(std::vector<Record>& out, const std::string& scenario,
+void emit(std::vector<bench::ServeRecord>& out, const std::string& scenario,
           const serve::ServerStats& s, double wall_ms) {
-  Record r{scenario, s, wall_ms,
-           wall_ms > 0.0 ? 1000.0 * static_cast<double>(s.completed) / wall_ms
-                         : 0.0};
+  bench::ServeRecord r{scenario, s.to_json(), wall_ms,
+                       bench::req_per_s(s.completed, wall_ms)};
   std::printf(
       "  %-12s %6lld ok (%4lld degraded) %4lld retries  p50 %7lld  "
       "p99 %7lld cyc  %8.1f req/s  %s\n",
@@ -55,26 +47,6 @@ void emit(std::vector<Record>& out, const std::string& scenario,
       s.latency.p50(), s.latency.p99(), r.req_per_s,
       s.accounted() ? "accounted" : "LOST REQUESTS");
   out.push_back(std::move(r));
-}
-
-void write_json(const std::vector<Record>& recs, const char* path) {
-  std::FILE* f = std::fopen(path, "w");
-  if (!f) {
-    std::printf("warning: cannot open %s for writing\n", path);
-    return;
-  }
-  std::fprintf(f, "[\n");
-  for (std::size_t i = 0; i < recs.size(); ++i) {
-    const Record& r = recs[i];
-    std::fprintf(f,
-                 "  {\"scenario\": \"%s\", \"wall_ms\": %.3f, "
-                 "\"req_per_s\": %.1f, \"stats\": %s}%s\n",
-                 r.scenario.c_str(), r.wall_ms, r.req_per_s,
-                 r.stats.to_json().c_str(), i + 1 < recs.size() ? "," : "");
-  }
-  std::fprintf(f, "]\n");
-  std::fclose(f);
-  std::printf("wrote %s (%zu records)\n", path, recs.size());
 }
 
 }  // namespace
@@ -99,30 +71,26 @@ int main(int argc, char** argv) {
   burst.burst.plan.wedge_channel = 0;
   burst.burst.plan.wedge_after_pushes = 2;
 
-  std::vector<Record> recs;
+  std::vector<bench::ServeRecord> recs;
   const auto run = [&](const std::string& name,
                        const serve::ArrivalTrace& trace,
                        const serve::ServingMode& prim) {
     serve::Server server(net, ws, prim, fallback, config(/*threads=*/0));
-    const auto t0 = std::chrono::steady_clock::now();
-    const serve::ServerStats s = server.run(trace);
-    const auto t1 = std::chrono::steady_clock::now();
-    emit(recs, name, s,
-         std::chrono::duration<double, std::milli>(t1 - t0).count());
+    double wall_ms = 0.0;
+    const serve::ServerStats s =
+        bench::timed_ms(wall_ms, [&] { return server.run(trace); });
+    emit(recs, name, s, wall_ms);
+    return s;
   };
 
   std::printf("%zu requests, 2 replicas, primary %lld / fallback %lld "
               "cycles per request\n\n",
               n, primary.service_cycles, fallback.service_cycles);
-  run("healthy", healthy, primary);
-  run("fault-burst", burst, primary);
+  const serve::ServerStats h = run("healthy", healthy, primary);
+  const serve::ServerStats b = run("fault-burst", burst, primary);
   // Fallback-only: what the degraded strategy alone would deliver — the
   // lower bound the breaker degrades toward.
-  run("fallback", healthy, fallback);
-
-  // Degraded-mode delta: the tail-latency price of riding out the burst.
-  const auto& h = recs[0].stats;
-  const auto& b = recs[1].stats;
+  const serve::ServerStats s_fb = run("fallback", healthy, fallback);
   std::printf(
       "\nfault-burst delta vs healthy: p99 %+lld cycles, %lld retried, "
       "%lld served degraded, %lld lost\n",
@@ -179,11 +147,10 @@ int main(int argc, char** argv) {
                               const serve::ArrivalTrace& trace,
                               serve::ServingLadder l) {
     serve::Server server(net, ws, std::move(l), ladder_cfg);
-    const auto t0 = std::chrono::steady_clock::now();
-    const serve::ServerStats s = server.run(trace);
-    const auto t1 = std::chrono::steady_clock::now();
-    emit(recs, name, s,
-         std::chrono::duration<double, std::milli>(t1 - t0).count());
+    double wall_ms = 0.0;
+    const serve::ServerStats s =
+        bench::timed_ms(wall_ms, [&] { return server.run(trace); });
+    emit(recs, name, s, wall_ms);
     std::printf("  %-12s %6lld within deadline, %lld shed, "
                 "%lld rung moves\n",
                 "", s.completed - s.deadline_misses, s.shed_deadline,
@@ -206,9 +173,9 @@ int main(int argc, char** argv) {
       wd_ladd - (s_pair.completed - s_pair.deadline_misses),
       s_recv.rung_transitions);
 
-  write_json(recs, "BENCH_serve.json");
+  bench::write_serve_json(recs, "BENCH_serve.json");
   const bool ok = h.accounted() && b.accounted() &&
-                  recs[2].stats.accounted() && s_shed.accounted() &&
+                  s_fb.accounted() && s_shed.accounted() &&
                   s_pair.accounted() && s_ladd.accounted() &&
                   s_recv.accounted() &&
                   // The whole point of the ladder: degraded-rung service

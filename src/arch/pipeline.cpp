@@ -10,6 +10,25 @@
 
 namespace hetacc::arch {
 
+long long PrepackBundle::resident_bytes() const {
+  long long total = 0;
+  for (const auto& p : wino) {
+    if (!p) continue;
+    total += static_cast<long long>(
+        (p->bt.size() + p->at.size() + p->u.size()) * sizeof(double));
+  }
+  for (const auto& p : packed) {
+    if (p) total += p->footprint_bytes();
+  }
+  for (const auto& p : int8) {
+    if (!p) continue;
+    total += p->packed.footprint_bytes();
+    total += static_cast<long long>(p->requant.size() * sizeof(float));
+    total += static_cast<long long>(p->bias.size() * sizeof(std::int32_t));
+  }
+  return total;
+}
+
 FusionPipeline::FusionPipeline(const nn::Network& net,
                                const nn::WeightStore& ws,
                                std::vector<LayerChoice> choices)
@@ -26,6 +45,29 @@ FusionPipeline::FusionPipeline(const nn::Network& net,
   engines_ = build_engine_set();
 }
 
+FusionPipeline::FusionPipeline(const nn::Network& net,
+                               const nn::WeightStore& ws,
+                               std::vector<LayerChoice> choices,
+                               std::shared_ptr<const PrepackBundle> prepack)
+    : net_(net), ws_(ws), choices_(std::move(choices)),
+      prepack_(std::move(prepack)) {
+  if (net_.empty() || net_[0].kind != nn::LayerKind::kInput) {
+    throw std::invalid_argument("FusionPipeline: net must start with input");
+  }
+  const std::size_t layer_count = net_.size() - 1;
+  if (choices_.empty()) choices_.resize(layer_count);
+  if (choices_.size() != layer_count) {
+    throw std::invalid_argument("FusionPipeline: choices size mismatch");
+  }
+  if (!prepack_ || prepack_->wino.size() != layer_count ||
+      prepack_->packed.size() != layer_count ||
+      prepack_->int8.size() != layer_count) {
+    throw std::invalid_argument(
+        "FusionPipeline: adopted prepack bundle does not match layer count");
+  }
+  engines_ = build_engine_set();
+}
+
 void FusionPipeline::derive_layer_constants() {
   // Derive per-layer constants once: transformed Winograd filters (the seed
   // re-ran transform_filters for every image) and packed GEMM weight panels.
@@ -36,10 +78,16 @@ void FusionPipeline::derive_layer_constants() {
   // load time; on mismatch it reloads the golden copy from DDR — the
   // "retry-with-reload" path — so protected runs derive from clean weights
   // and count the event as detected + recovered.
+  //
+  // The constants land in a *fresh* bundle assigned at the end: bundles are
+  // immutable once published, so a fleet peer that adopted the previous one
+  // (shared_prepack()) keeps a valid, un-struck copy for as long as it holds
+  // the pointer.
   const std::size_t layer_count = net_.size() - 1;
-  wino_plans_.assign(layer_count, nullptr);
-  packed_weights_.assign(layer_count, nullptr);
-  int8_consts_.assign(layer_count, nullptr);
+  PrepackBundle b;
+  b.wino.assign(layer_count, nullptr);
+  b.packed.assign(layer_count, nullptr);
+  b.int8.assign(layer_count, nullptr);
   // Weight-store SEUs hit one word per panel of this many floats.
   constexpr std::size_t kPanelFloats = 512;
   for (std::size_t i = 0; i + 1 < net_.size(); ++i) {
@@ -88,7 +136,7 @@ void FusionPipeline::derive_layer_constants() {
           *plan = golden;  // re-transform from the clean filters
         }
       }
-      wino_plans_[i] = std::move(plan);
+      b.wino[i] = std::move(plan);
     } else if (choices_[i].algo == fpga::ConvAlgo::kConventional) {
       if (choices_[i].mode.int8()) {
         // Int8 panels are derived from the (CRC-verified or golden) float
@@ -96,19 +144,20 @@ void FusionPipeline::derive_layer_constants() {
         // above covers them too — a detected weight-panel SEU reloads the
         // golden copy before quantization, never silently bypassing CRC.
         if (filters == &w.filters) {
-          int8_consts_[i] = make_int8_conv_constants(l, w, choices_[i].mode);
+          b.int8[i] = make_int8_conv_constants(l, w, choices_[i].mode);
         } else {
           nn::ConvWeights resident_w{*filters, w.bias};
-          int8_consts_[i] =
+          b.int8[i] =
               make_int8_conv_constants(l, resident_w, choices_[i].mode);
         }
       } else {
         const int kk = l.in.c * l.conv().kernel * l.conv().kernel;
-        packed_weights_[i] = std::make_shared<const kernels::PackedLhsF32>(
+        b.packed[i] = std::make_shared<const kernels::PackedLhsF32>(
             filters->data(), l.out.c, kk, kk);
       }
     }
   }
+  prepack_ = std::make_shared<const PrepackBundle>(std::move(b));
 }
 
 void FusionPipeline::install_fault_plan(const fault::FaultPlan& plan,
@@ -127,7 +176,13 @@ void FusionPipeline::clear_fault_plan() {
 }
 
 void FusionPipeline::reset() {
-  derive_layer_constants();
+  // Clean pipelines keep their (possibly shared) bundle: a re-derive from
+  // the golden weight store would be value-identical, so skipping it makes
+  // reset() cheap and keeps fleet peers pointer-aliased. Under a fault plan
+  // the re-derive is the whole point — the deterministic SEUs re-strike
+  // fresh resident copies — and it publishes a new private bundle, leaving
+  // any peer's adopted copy untouched.
+  if (injector_) derive_layer_constants();
   engines_ = build_engine_set();
 }
 
@@ -159,8 +214,8 @@ std::vector<std::unique_ptr<StreamEngine>> FusionPipeline::build_engine_set()
         choices_[i].algo == fpga::ConvAlgo::kWinograd) {
       t = algo::winograd(choices_[i].wino_m, l.conv().kernel);
     }
-    engines.push_back(make_engine(l, w, t, choices_[i].mode, wino_plans_[i],
-                                  packed_weights_[i], int8_consts_[i]));
+    engines.push_back(make_engine(l, w, t, choices_[i].mode, prepack_->wino[i],
+                                  prepack_->packed[i], prepack_->int8[i]));
   }
   return engines;
 }
@@ -188,7 +243,7 @@ std::vector<nn::Tensor> FusionPipeline::run_batch(
       (inputs.size() + static_cast<std::size_t>(std::max(want, 1)) - 1) /
       static_cast<std::size_t>(std::max(want, 1));
   // One engine set per claimed range (engines are stateful); the per-layer
-  // constants in wino_plans_/packed_weights_ are shared by all of them.
+  // constants in the prepack bundle are shared by all of them.
   kernels::parallel_for_ranges(
       inputs.size(), per, threads, [&](std::size_t lo, std::size_t hi) {
         auto engines = build_engine_set();

@@ -34,6 +34,23 @@ struct PipelineStats {
   long long total_steps = 0;
 };
 
+/// Per-layer derived constants — transformed Winograd filter planes, packed
+/// GEMM weight panels, int8 quantized constants — index-aligned with the
+/// pipeline's layer choices (null where a layer has none). Immutable once
+/// built; pipelines hold it by shared_ptr so replicas serving the same
+/// (model, strategy, datapath) alias one copy instead of duplicating the
+/// dominant memory cost. serve::PrepackCache keys and refcounts these
+/// bundles across a fleet.
+struct PrepackBundle {
+  std::vector<std::shared_ptr<const kernels::WinogradPlan>> wino;
+  std::vector<std::shared_ptr<const kernels::PackedLhsF32>> packed;
+  std::vector<std::shared_ptr<const Int8ConvConstants>> int8;
+
+  /// Resident bytes of every constant held (panel blocks, transform planes,
+  /// requant tables) — what one more private replica copy would cost.
+  [[nodiscard]] long long resident_bytes() const;
+};
+
 class FusionPipeline {
  public:
   /// `net` must start with an input layer; engines are built for layers
@@ -41,6 +58,16 @@ class FusionPipeline {
   /// all-conventional float).
   FusionPipeline(const nn::Network& net, const nn::WeightStore& ws,
                  std::vector<LayerChoice> choices = {});
+
+  /// Warm construction: adopts a peer's derived constants instead of
+  /// re-deriving them. The caller guarantees `prepack` was derived for an
+  /// identical (net, weights, choices) triple — replicas of the same fleet
+  /// rung — and only the vector sizes are validated. Spin-up skips the
+  /// dominant pack/transform work, and the two pipelines provably alias:
+  /// shared_prepack() returns pointer-equal bundles.
+  FusionPipeline(const nn::Network& net, const nn::WeightStore& ws,
+                 std::vector<LayerChoice> choices,
+                 std::shared_ptr<const PrepackBundle> prepack);
 
   /// Streams one image through the pipeline; returns the final output.
   /// Engines are reset (not rebuilt) between calls, so per-layer constants
@@ -73,13 +100,25 @@ class FusionPipeline {
   }
 
   /// Full recovery hook for the serving layer's retry-with-reload path:
-  /// re-derives every per-layer constant from the golden weight store and
-  /// rebuilds the engine set, exactly as construction did. Idempotent —
-  /// calling it twice leaves the same state as calling it once. With a fault
-  /// plan installed the same deterministic SEUs re-strike the fresh resident
-  /// copies (and protection recovers them if enabled), so reset() models
-  /// "reload the accelerator", not "disable the faults".
+  /// rebuilds the engine set and restores golden per-layer constants.
+  /// Idempotent — calling it twice leaves the same state as calling it once.
+  /// A clean pipeline (no fault plan) keeps its current bundle: re-deriving
+  /// from the golden weight store would be value-identical, so skipping it
+  /// preserves both the spin-up cost and any aliasing a fleet's prepack
+  /// cache established. With a fault plan installed the re-derive is
+  /// mandatory — the same deterministic SEUs re-strike fresh resident copies
+  /// (and protection recovers them if enabled) — and it lands in a *new*
+  /// private bundle, so peers sharing the old one are never invalidated.
   void reset();
+
+  /// The pipeline's derived-constant bundle. Two pipelines built from the
+  /// same (model, strategy) alias iff these are pointer-equal. Re-derives
+  /// (reset() under a fault plan, install/clear_fault_plan) swap in a fresh
+  /// bundle rather than mutating the shared one, so a peer's handle stays
+  /// valid for as long as the peer holds it.
+  [[nodiscard]] std::shared_ptr<const PrepackBundle> shared_prepack() const {
+    return prepack_;
+  }
 
   /// Cooperative cancellation hook: while `token` is non-null, run() /
   /// run_batch() poll it once per fed input row and abandon the stream with
@@ -129,11 +168,9 @@ class FusionPipeline {
   nn::Network net_;
   nn::WeightStore ws_;
   std::vector<LayerChoice> choices_;
-  /// Per-layer constants shared across engine sets (index-aligned with
-  /// choices_; null where not applicable).
-  std::vector<std::shared_ptr<const kernels::WinogradPlan>> wino_plans_;
-  std::vector<std::shared_ptr<const kernels::PackedLhsF32>> packed_weights_;
-  std::vector<std::shared_ptr<const Int8ConvConstants>> int8_consts_;
+  /// Per-layer constants shared across engine sets — and, when adopted via
+  /// the warm constructor, across whole pipelines.
+  std::shared_ptr<const PrepackBundle> prepack_;
   std::vector<std::unique_ptr<StreamEngine>> engines_;
   PipelineStats stats_;
   std::unique_ptr<fault::FaultInjector> injector_;

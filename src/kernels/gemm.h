@@ -59,6 +59,17 @@ class PackedLhsT {
     return blocks_[static_cast<std::size_t>(pb) * iblocks_ + ib];
   }
 
+  /// Bytes resident in the packed panel blocks — the dominant per-pipeline
+  /// memory cost a serving fleet's shared prepack cache deduplicates across
+  /// replicas (see serve/prepack_cache.h).
+  [[nodiscard]] long long footprint_bytes() const {
+    long long total = 0;
+    for (const auto& blk : blocks_) {
+      total += static_cast<long long>(blk.size() * sizeof(T));
+    }
+    return total;
+  }
+
  private:
   int m_ = 0, k_ = 0, pblocks_ = 0, iblocks_ = 0;
   int mc_ = 96, kc_ = 256;

@@ -148,6 +148,12 @@ class Pool {
   std::shared_ptr<Job> current_;
   std::uint64_t generation_ = 0;
   bool stop_ = false;
+
+ public:
+  [[nodiscard]] std::size_t worker_count() {
+    std::lock_guard<std::mutex> lk(mutex_);
+    return workers_.size();
+  }
 };
 
 void dispatch(std::size_t n, std::size_t grain,
@@ -212,6 +218,8 @@ int resolve_threads(int threads) {
   if (threads <= 0) return hc;
   return std::min(threads, hc);
 }
+
+std::size_t pool_thread_count() { return Pool::instance().worker_count(); }
 
 void parallel_for(std::size_t n, int threads,
                   const std::function<void(std::size_t)>& fn) {

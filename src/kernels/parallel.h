@@ -27,6 +27,12 @@ void set_num_threads(int threads);
 /// runs with every core instead of a fraction of them (see Pool).
 [[nodiscard]] int resolve_threads(int threads);
 
+/// Worker threads currently parked in the process-wide pool (the caller of a
+/// parallel region is not counted). Observability hook for the serving
+/// fleet's one-shared-pool invariant: constructing N pipelines or replicas
+/// must never grow this past the hardware clamp (at most cores - 1).
+[[nodiscard]] std::size_t pool_thread_count();
+
 /// Runs fn(i) for every i in [0, n), distributing indices over up to
 /// `threads` workers (0 = kernel-layer default via num_threads(); 1 or n <= 1
 /// runs inline). The calling thread participates, so `threads = k` uses the

@@ -1,0 +1,865 @@
+#include "serve/fleet.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <deque>
+#include <future>
+#include <limits>
+#include <map>
+#include <sstream>
+#include <thread>
+
+#include "fault/crc32.h"
+#include "kernels/parallel.h"
+#include "serve/queue.h"
+#include "support/error.h"
+
+namespace hetacc::serve {
+
+namespace {
+
+constexpr long long kInf = std::numeric_limits<long long>::max();
+
+/// splitmix64 finalizer — same digest primitive as serve/server.cpp, so the
+/// fleet hash has the same order-independence properties.
+constexpr std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+/// Globally unique request key for the response digest.
+constexpr std::uint64_t request_key(std::size_t tenant, std::uint64_t id) {
+  return ((static_cast<std::uint64_t>(tenant) + 1) << 32) ^ (id + 1);
+}
+
+/// One coalesced dispatch: a batch of same-(model, rung) requests ground
+/// through a warm pipeline by whichever worker picks it up. The response
+/// CRCs come back index-aligned with `seeds`; an empty vector signals an
+/// execution error (cannot happen without a fault plan, but accounted as
+/// `failed` rather than lost).
+struct FleetJob {
+  std::size_t model = 0;
+  int rung = 0;
+  std::shared_ptr<const arch::PrepackBundle> bundle;
+  std::vector<std::uint32_t> seeds;
+  std::promise<std::vector<std::uint32_t>> done;
+};
+
+}  // namespace
+
+bool TenantStats::operator==(const TenantStats& o) const {
+  return name == o.name && submitted == o.submitted &&
+         rejected_queue_full == o.rejected_queue_full &&
+         shed_deadline == o.shed_deadline && completed == o.completed &&
+         failed == o.failed && deadline_misses == o.deadline_misses &&
+         completed_degraded == o.completed_degraded &&
+         queue_peak == o.queue_peak && latency == o.latency;
+}
+
+double ModelStats::mean_batch() const {
+  if (batches == 0) return 0.0;
+  long long requests = 0;
+  for (std::size_t b = 0; b < batch_size_counts.size(); ++b) {
+    requests += batch_size_counts[b] * static_cast<long long>(b);
+  }
+  return static_cast<double>(requests) / static_cast<double>(batches);
+}
+
+bool ModelStats::operator==(const ModelStats& o) const {
+  return name == o.name && batches == o.batches &&
+         batch_size_counts == o.batch_size_counts &&
+         rung_completions == o.rung_completions &&
+         rung_transitions == o.rung_transitions && scale_ups == o.scale_ups &&
+         scale_downs == o.scale_downs && replica_peak == o.replica_peak &&
+         cold_spinups == o.cold_spinups && warm_spinups == o.warm_spinups &&
+         spinup_cycles == o.spinup_cycles;
+}
+
+bool FleetStats::accounted() const {
+  for (const TenantStats& t : tenants) {
+    if (!t.accounted()) return false;
+  }
+  return true;
+}
+
+long long FleetStats::completed_total() const {
+  long long total = 0;
+  for (const TenantStats& t : tenants) total += t.completed;
+  return total;
+}
+
+bool FleetStats::operator==(const FleetStats& o) const {
+  return tenants == o.tenants && models == o.models && cache == o.cache &&
+         makespan_cycles == o.makespan_cycles &&
+         response_hash == o.response_hash;
+}
+
+std::string FleetStats::summary() const {
+  std::ostringstream os;
+  os << "  tenant                       sub   rej  shed  done  miss   "
+        "p50        p99\n";
+  for (const TenantStats& t : tenants) {
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "  %-24s %7lld %5lld %5lld %5lld %5lld  %8lld  %9lld\n",
+                  t.name.c_str(), t.submitted, t.rejected_queue_full,
+                  t.shed_deadline, t.completed, t.deadline_misses,
+                  t.latency.p50(), t.latency.p99());
+    os << line;
+  }
+  for (const ModelStats& m : models) {
+    char line[200];
+    std::snprintf(line, sizeof(line),
+                  "  model %-16s %6lld batches (mean %.2f)  replicas peak %d  "
+                  "scale +%lld/-%lld  spinup %lldc/%lldw (%lld cycles)  "
+                  "rung moves %lld\n",
+                  m.name.c_str(), m.batches, m.mean_batch(), m.replica_peak,
+                  m.scale_ups, m.scale_downs, m.cold_spinups, m.warm_spinups,
+                  m.spinup_cycles, m.rung_transitions);
+    os << line;
+  }
+  os << "  cache       " << cache.hits << " hits, " << cache.misses
+     << " misses, " << cache.resident_bytes << " bytes resident (peak "
+     << cache.peak_resident_bytes << "), " << cache.bytes_saved
+     << " bytes saved\n"
+     << "  makespan    " << makespan_cycles << " cycles\n"
+     << "  accounted   " << (accounted() ? "yes" : "NO — REQUESTS LOST")
+     << "\n";
+  return os.str();
+}
+
+std::string FleetStats::to_json() const {
+  std::ostringstream os;
+  os << "{\"tenants\": [";
+  for (std::size_t i = 0; i < tenants.size(); ++i) {
+    const TenantStats& t = tenants[i];
+    if (i) os << ", ";
+    os << "{\"name\": \"" << t.name << "\", \"submitted\": " << t.submitted
+       << ", \"rejected_queue_full\": " << t.rejected_queue_full
+       << ", \"shed_deadline\": " << t.shed_deadline
+       << ", \"completed\": " << t.completed << ", \"failed\": " << t.failed
+       << ", \"deadline_misses\": " << t.deadline_misses
+       << ", \"completed_degraded\": " << t.completed_degraded
+       << ", \"queue_peak\": " << t.queue_peak
+       << ", \"latency_p50\": " << t.latency.p50()
+       << ", \"latency_p99\": " << t.latency.p99() << "}";
+  }
+  os << "], \"models\": [";
+  for (std::size_t i = 0; i < models.size(); ++i) {
+    const ModelStats& m = models[i];
+    if (i) os << ", ";
+    os << "{\"name\": \"" << m.name << "\", \"batches\": " << m.batches
+       << ", \"batch_size_counts\": [";
+    for (std::size_t b = 0; b < m.batch_size_counts.size(); ++b) {
+      if (b) os << ", ";
+      os << m.batch_size_counts[b];
+    }
+    os << "], \"rung_completions\": [";
+    for (std::size_t r = 0; r < m.rung_completions.size(); ++r) {
+      if (r) os << ", ";
+      os << m.rung_completions[r];
+    }
+    os << "], \"rung_transitions\": " << m.rung_transitions
+       << ", \"scale_ups\": " << m.scale_ups
+       << ", \"scale_downs\": " << m.scale_downs
+       << ", \"replica_peak\": " << m.replica_peak
+       << ", \"cold_spinups\": " << m.cold_spinups
+       << ", \"warm_spinups\": " << m.warm_spinups
+       << ", \"spinup_cycles\": " << m.spinup_cycles << "}";
+  }
+  os << "], \"cache\": {\"hits\": " << cache.hits
+     << ", \"misses\": " << cache.misses
+     << ", \"evictions\": " << cache.evictions
+     << ", \"resident_bytes\": " << cache.resident_bytes
+     << ", \"peak_resident_bytes\": " << cache.peak_resident_bytes
+     << ", \"bytes_saved\": " << cache.bytes_saved
+     << "}, \"makespan_cycles\": " << makespan_cycles
+     << ", \"response_hash\": " << response_hash << "}";
+  return os.str();
+}
+
+FleetServer::FleetServer(std::vector<FleetModel> models,
+                         std::vector<TenantConfig> tenants, FleetConfig cfg)
+    : models_(std::move(models)), tenants_(std::move(tenants)), cfg_(cfg) {
+  if (models_.empty()) {
+    throw ServeError(ServeError::Reason::kConfig,
+                     "fleet needs at least one model");
+  }
+  if (tenants_.empty()) {
+    throw ServeError(ServeError::Reason::kConfig,
+                     "fleet needs at least one tenant");
+  }
+  if (cfg_.batch_setup_frac < 0.0 || cfg_.batch_setup_frac >= 1.0) {
+    throw ServeError(ServeError::Reason::kConfig,
+                     "batch_setup_frac must be in [0, 1)");
+  }
+  const AutoscaleConfig& as = cfg_.autoscale;
+  if (as.enabled &&
+      (as.min_replicas < 1 || as.max_replicas < as.min_replicas ||
+       as.up_streak < 1 || as.down_streak < 1 ||
+       as.spinup_cold_cycles < 0 || as.spinup_warm_cycles < 0)) {
+    throw ServeError(ServeError::Reason::kConfig,
+                     "invalid autoscale configuration");
+  }
+  for (std::size_t mi = 0; mi < models_.size(); ++mi) {
+    const FleetModel& m = models_[mi];
+    if (m.replicas < 1) {
+      throw ServeError(ServeError::Reason::kConfig,
+                       "model '" + m.name + "' needs >= 1 initial replica");
+    }
+    if (m.ladder.rungs.empty() || m.ladder.home >= m.ladder.rungs.size()) {
+      throw ServeError(ServeError::Reason::kConfig,
+                       "model '" + m.name + "' has an unusable ladder");
+    }
+    if (m.net.empty() || m.net[0].kind != nn::LayerKind::kInput) {
+      throw ServeError(ServeError::Reason::kConfig,
+                       "model '" + m.name + "' net must start with input");
+    }
+    const std::size_t layer_count = m.net.size() - 1;
+    for (std::size_t i = 0; i < m.ladder.rungs.size(); ++i) {
+      const ServingMode& r = m.ladder.rungs[i];
+      if (r.service_cycles <= 0 ||
+          (!r.choices.empty() && r.choices.size() != layer_count)) {
+        throw ServeError(ServeError::Reason::kConfig,
+                         "model '" + m.name + "' rung " + std::to_string(i) +
+                             " is malformed");
+      }
+      if (i > m.ladder.home &&
+          r.service_cycles >= m.ladder.rungs[i - 1].service_cycles) {
+        throw ServeError(ServeError::Reason::kConfig,
+                         "model '" + m.name +
+                             "': rungs deeper than home must be strictly "
+                             "faster (rung " + std::to_string(i) + " is not)");
+      }
+    }
+  }
+  for (const TenantConfig& t : tenants_) {
+    if (t.model >= models_.size()) {
+      throw ServeError(ServeError::Reason::kConfig,
+                       "tenant '" + t.name + "' references model " +
+                           std::to_string(t.model) + " of " +
+                           std::to_string(models_.size()));
+    }
+    if (t.weight < 1 || t.queue_capacity < 1 || t.batch_cap < 1 ||
+        t.batch_age_cycles < 0 || t.deadline_cycles < 0) {
+      throw ServeError(ServeError::Reason::kConfig,
+                       "tenant '" + t.name + "' has an invalid config");
+    }
+  }
+}
+
+FleetServer::~FleetServer() = default;
+
+FleetStats FleetServer::run(const std::vector<ArrivalTrace>& traces) {
+  if (traces.size() != tenants_.size()) {
+    throw ServeError(ServeError::Reason::kConfig,
+                     "fleet run wants one trace per tenant (" +
+                         std::to_string(tenants_.size()) + "), got " +
+                         std::to_string(traces.size()));
+  }
+  for (std::size_t t = 0; t < traces.size(); ++t) {
+    if (traces[t].burst.active()) {
+      throw ServeError(ServeError::Reason::kConfig,
+                       "fleet traces do not support fault bursts");
+    }
+    for (std::size_t i = 0; i < traces[t].requests.size(); ++i) {
+      if (traces[t].requests[i].id != i) {
+        throw ServeError(ServeError::Reason::kConfig,
+                         "trace ids must be dense from 0 (tenant '" +
+                             tenants_[t].name + "')");
+      }
+    }
+  }
+
+  rung_logs_.assign(models_.size(), {});
+  scale_log_.clear();
+
+  FleetStats stats;
+  stats.tenants.resize(tenants_.size());
+  for (std::size_t t = 0; t < tenants_.size(); ++t) {
+    stats.tenants[t].name = tenants_[t].name;
+  }
+  stats.models.resize(models_.size());
+  for (std::size_t m = 0; m < models_.size(); ++m) {
+    stats.models[m].name = models_[m].name;
+    stats.models[m].rung_completions.assign(models_[m].ladder.rungs.size(),
+                                            0);
+  }
+
+  // Merged arrival stream, ordered (cycle, tenant, id) — the global event
+  // order every run sees regardless of threads.
+  struct Arrival {
+    long long cycle = 0;
+    std::size_t tenant = 0;
+    std::uint64_t id = 0;
+  };
+  std::vector<Arrival> arrivals;
+  for (std::size_t t = 0; t < traces.size(); ++t) {
+    for (const TraceRequest& r : traces[t].requests) {
+      arrivals.push_back({r.arrival_cycle, t, r.id});
+    }
+  }
+  std::sort(arrivals.begin(), arrivals.end(),
+            [](const Arrival& a, const Arrival& b) {
+              if (a.cycle != b.cycle) return a.cycle < b.cycle;
+              if (a.tenant != b.tenant) return a.tenant < b.tenant;
+              return a.id < b.id;
+            });
+
+  // ---- Dispatcher state (virtual time; workers never touch any of it). --
+  PrepackCache cache(cfg_.share_prepack);
+
+  struct Replica {
+    int id = 0;
+    long long busy_until = -1;  ///< -1 = free
+    long long ready_at = 0;
+    bool spinning = false;  ///< between spawn and its replica-ready event
+    bool retired = false;
+    std::unique_ptr<RegimeController> regime;
+    std::vector<std::unique_ptr<PrepackCache::Lease>> leases;  ///< per rung
+  };
+  struct ModelState {
+    std::vector<Replica> replicas;
+    int next_replica_id = 0;
+    std::vector<std::size_t> tenant_ids;
+    std::vector<long long> deficit;  ///< DRR, aligned with tenant_ids
+    std::size_t drr_next = 0;        ///< next tenant_ids slot to visit
+    long long batch_timer = kInf;    ///< armed virtual-age close cycle
+    std::size_t cap_total = 0;       ///< sum of tenant queue capacities
+    std::size_t up_depth = 0, down_depth = 0;  ///< autoscale watermarks
+    int up_streak = 0, idle_streak = 0;
+    long long last_scale = 0;
+    std::vector<long long> service;  ///< per-rung service cycles
+  };
+  std::vector<ModelState> mstate(models_.size());
+  std::vector<std::deque<std::uint64_t>> tq(tenants_.size());
+  for (std::size_t t = 0; t < tenants_.size(); ++t) {
+    ModelState& ms = mstate[tenants_[t].model];
+    ms.tenant_ids.push_back(t);
+    ms.cap_total += tenants_[t].queue_capacity;
+  }
+  for (std::size_t m = 0; m < models_.size(); ++m) {
+    ModelState& ms = mstate[m];
+    if (ms.tenant_ids.empty()) {
+      throw ServeError(ServeError::Reason::kConfig,
+                       "model '" + models_[m].name + "' has no tenants");
+    }
+    ms.deficit.assign(ms.tenant_ids.size(), 0);
+    ms.up_depth = static_cast<std::size_t>(
+        cfg_.autoscale.up_queue_frac *
+        static_cast<double>(ms.cap_total));
+    ms.down_depth = static_cast<std::size_t>(
+        cfg_.autoscale.down_queue_frac *
+        static_cast<double>(ms.cap_total));
+    for (const ServingMode& r : models_[m].ladder.rungs) {
+      ms.service.push_back(r.service_cycles);
+    }
+  }
+
+  const auto bundle_key = [&](std::size_t m, int rung) {
+    // (model, strategy/rung, datapath): the rung label carries the strategy
+    // identity and the datapath mode is a function of the rung's choices.
+    return models_[m].name + "/r" + std::to_string(rung);
+  };
+  const auto acquire_rung = [&](std::size_t m, Replica& rep, int rung) {
+    auto& slot = rep.leases[static_cast<std::size_t>(rung)];
+    if (slot) return false;  // already leased; not a cache event
+    auto lease = cache.acquire(bundle_key(m, rung), [&] {
+      arch::FusionPipeline p(
+          models_[m].net, models_[m].ws,
+          models_[m].ladder.rungs[static_cast<std::size_t>(rung)].choices);
+      return p.shared_prepack();
+    });
+    const bool hit = lease.hit;
+    slot = std::make_unique<PrepackCache::Lease>(std::move(lease));
+    return hit;
+  };
+  const auto live_count = [&](const ModelState& ms) {
+    int live = 0;
+    for (const Replica& r : ms.replicas) {
+      if (!r.retired) ++live;
+    }
+    return live;
+  };
+  const auto pending_total = [&](const ModelState& ms) {
+    std::size_t total = 0;
+    for (std::size_t t : ms.tenant_ids) total += tq[t].size();
+    return total;
+  };
+
+  const auto spawn_replica = [&](std::size_t m, long long now, bool initial) {
+    ModelState& ms = mstate[m];
+    Replica rep;
+    rep.id = ms.next_replica_id++;
+    rep.regime = std::make_unique<RegimeController>(
+        ms.service, models_[m].ladder.home, ms.cap_total, cfg_.regime);
+    rep.leases.resize(models_[m].ladder.rungs.size());
+    // The home-rung bundle decides cold vs warm: a cold spin-up derives the
+    // constants, a warm one adopts the resident copy a peer already built.
+    const bool hit =
+        acquire_rung(m, rep, static_cast<int>(models_[m].ladder.home));
+    const long long spinup = hit ? cfg_.autoscale.spinup_warm_cycles
+                                 : cfg_.autoscale.spinup_cold_cycles;
+    if (hit) {
+      ++stats.models[m].warm_spinups;
+    } else {
+      ++stats.models[m].cold_spinups;
+    }
+    if (initial) {
+      // Initial replicas are pre-warmed before traffic: ready at cycle 0,
+      // their (modeled) spin-up happened offline and is not charged.
+      rep.ready_at = 0;
+    } else {
+      rep.ready_at = now + spinup;
+      rep.spinning = true;
+      stats.models[m].spinup_cycles += spinup;
+    }
+    ms.replicas.push_back(std::move(rep));
+    stats.models[m].replica_peak =
+        std::max(stats.models[m].replica_peak, live_count(ms));
+  };
+
+  for (std::size_t m = 0; m < models_.size(); ++m) {
+    for (int k = 0; k < models_[m].replicas; ++k) {
+      spawn_replica(m, 0, /*initial=*/true);
+    }
+  }
+
+  // ---- Real execution machinery: ONE shared job queue + worker set for
+  // the whole fleet. Replicas are virtual-time capacity, not threads — a
+  // 32-replica fleet on a 4-core box still runs at most resolve_threads()
+  // workers, all drawing kernel parallelism from the one process pool.
+  int max_replicas_total = 0;
+  for (std::size_t m = 0; m < models_.size(); ++m) {
+    max_replicas_total += cfg_.autoscale.enabled
+                              ? std::max(cfg_.autoscale.max_replicas,
+                                         models_[m].replicas)
+                              : models_[m].replicas;
+  }
+  BoundedQueue<FleetJob*> exec_q(
+      static_cast<std::size_t>(max_replicas_total) + 2);
+  const int worker_count =
+      std::max(1, std::min(kernels::resolve_threads(cfg_.threads),
+                           max_replicas_total));
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(worker_count));
+  for (int w = 0; w < worker_count; ++w) {
+    workers.emplace_back([this, &exec_q] {
+      // Worker-owned warm pipelines, one per (model, rung) this worker
+      // actually serves — every one adopts the dispatcher's shared bundle,
+      // so construction skips the pack/transform work entirely.
+      std::map<std::pair<std::size_t, int>,
+               std::unique_ptr<arch::FusionPipeline>>
+          pipes;
+      FleetJob* job = nullptr;
+      while (exec_q.pop(job)) {
+        std::vector<std::uint32_t> crcs;
+        try {
+          auto& slot = pipes[{job->model, job->rung}];
+          if (!slot) {
+            slot = std::make_unique<arch::FusionPipeline>(
+                models_[job->model].net, models_[job->model].ws,
+                models_[job->model]
+                    .ladder.rungs[static_cast<std::size_t>(job->rung)]
+                    .choices,
+                job->bundle);
+          }
+          crcs.reserve(job->seeds.size());
+          for (const std::uint32_t seed : job->seeds) {
+            nn::Tensor in(models_[job->model].net[0].out);
+            nn::fill_deterministic(in, seed);
+            const nn::Tensor out = slot->run(in);
+            crcs.push_back(fault::crc32_f32(out.data(), out.vec().size()));
+          }
+        } catch (const std::exception&) {
+          crcs.clear();  // signals execution failure for the whole batch
+        }
+        job->done.set_value(std::move(crcs));
+      }
+    });
+  }
+
+  // ---- The discrete-event loop. Event ties resolve completions <
+  // replica-ready < batch-close timers < arrivals, so capacity frees up and
+  // comes online before batches close and before new work is admitted.
+  struct BatchItem {
+    std::size_t tenant = 0;
+    std::uint64_t id = 0;
+    long long arrival = 0;
+  };
+  struct InFlight {
+    long long completion = 0;
+    std::size_t model = 0;
+    std::size_t replica = 0;  ///< index into mstate[model].replicas
+    int rung = 0;
+    std::vector<BatchItem> items;
+    std::unique_ptr<FleetJob> job;
+    std::future<std::vector<std::uint32_t>> fut;
+  };
+  std::vector<InFlight> inflight;
+  std::size_t next_arrival = 0;
+  long long last_completion = 0;
+
+  // Deterministic batch close rule: dispatch when pending >= the effective
+  // cap (min over tenants with queued work) OR the oldest pending request
+  // of some tenant has aged past that tenant's budget. Otherwise arm the
+  // model's close timer at the earliest such age-out cycle.
+  const auto form_batch = [&](std::size_t m,
+                              long long now) -> std::vector<BatchItem> {
+    ModelState& ms = mstate[m];
+    std::size_t avail = 0;
+    std::size_t cap = 0;
+    long long close_at = kInf;
+    for (const std::size_t t : ms.tenant_ids) {
+      if (tq[t].empty()) continue;
+      avail += tq[t].size();
+      cap = cap == 0 ? tenants_[t].batch_cap
+                     : std::min(cap, tenants_[t].batch_cap);
+      const TraceRequest& front = traces[t].requests[tq[t].front()];
+      close_at = std::min(close_at, front.arrival_cycle +
+                                        tenants_[t].batch_age_cycles);
+    }
+    if (avail == 0) return {};
+    if (avail < cap && now < close_at) {
+      ms.batch_timer = std::min(
+          ms.batch_timer == kInf ? close_at : ms.batch_timer, close_at);
+      return {};
+    }
+    // Deficit round-robin over the model's tenants: quantum = weight, cost
+    // 1 per request. A drained queue forfeits its deficit (standard DRR),
+    // so an idle tenant cannot bank service.
+    std::vector<BatchItem> batch;
+    const std::size_t T = ms.tenant_ids.size();
+    while (batch.size() < cap) {
+      bool any = false;
+      for (const std::size_t t : ms.tenant_ids) {
+        if (!tq[t].empty()) {
+          any = true;
+          break;
+        }
+      }
+      if (!any) break;
+      const std::size_t ti = ms.drr_next;
+      const std::size_t t = ms.tenant_ids[ti];
+      if (tq[t].empty()) {
+        ms.deficit[ti] = 0;
+        ms.drr_next = (ti + 1) % T;
+        continue;
+      }
+      ms.deficit[ti] += tenants_[t].weight;
+      while (ms.deficit[ti] >= 1 && !tq[t].empty() && batch.size() < cap) {
+        const std::uint64_t id = tq[t].front();
+        tq[t].pop_front();
+        const TraceRequest& req = traces[t].requests[id];
+        if (tenants_[t].deadline_cycles > 0 &&
+            now > req.arrival_cycle + tenants_[t].deadline_cycles) {
+          // Load-shedding: already late at dispatch — free to drop, so it
+          // does not consume the tenant's deficit.
+          ++stats.tenants[t].shed_deadline;
+          continue;
+        }
+        batch.push_back({t, id, req.arrival_cycle});
+        --ms.deficit[ti];
+      }
+      if (tq[t].empty()) ms.deficit[ti] = 0;
+      if (batch.size() >= cap) {
+        // Mid-round stop: the pointer stays on a tenant with live deficit
+        // and queued work (it resumes first), advances otherwise.
+        if (tq[t].empty() || ms.deficit[ti] < 1) ms.drr_next = (ti + 1) % T;
+        break;
+      }
+      ms.drr_next = (ti + 1) % T;
+    }
+    return batch;
+  };
+
+  const auto try_dispatch = [&](std::size_t m, long long now) {
+    ModelState& ms = mstate[m];
+    while (true) {
+      int k = -1;
+      for (std::size_t i = 0; i < ms.replicas.size(); ++i) {
+        const Replica& r = ms.replicas[i];
+        if (!r.retired && !r.spinning && r.busy_until < 0) {
+          k = static_cast<int>(i);
+          break;
+        }
+      }
+      if (k < 0) return;
+      std::vector<BatchItem> batch = form_batch(m, now);
+      if (batch.empty()) return;
+      Replica& rep = ms.replicas[static_cast<std::size_t>(k)];
+      const int rung = rep.regime->rung();
+      acquire_rung(m, rep, rung);  // deterministic cache event if first use
+      const long long service =
+          ms.service[static_cast<std::size_t>(rung)];
+      const long long setup =
+          static_cast<long long>(static_cast<double>(service) *
+                                 cfg_.batch_setup_frac);
+      const long long svc =
+          setup + static_cast<long long>(batch.size()) * (service - setup);
+      InFlight f;
+      f.completion = now + svc;
+      f.model = m;
+      f.replica = static_cast<std::size_t>(k);
+      f.rung = rung;
+      f.items = std::move(batch);
+      f.job = std::make_unique<FleetJob>();
+      f.job->model = m;
+      f.job->rung = rung;
+      f.job->bundle =
+          rep.leases[static_cast<std::size_t>(rung)]->bundle;
+      for (const BatchItem& it : f.items) {
+        f.job->seeds.push_back(
+            traces[it.tenant].requests[it.id].input_seed);
+      }
+      f.fut = f.job->done.get_future();
+      rep.busy_until = f.completion;
+      ++stats.models[m].batches;
+      auto& hist = stats.models[m].batch_size_counts;
+      if (hist.size() <= f.items.size()) hist.resize(f.items.size() + 1, 0);
+      ++hist[f.items.size()];
+      exec_q.push(f.job.get());
+      inflight.push_back(std::move(f));
+    }
+  };
+
+  const auto maybe_scale = [&](std::size_t m, long long now) {
+    const AutoscaleConfig& as = cfg_.autoscale;
+    if (!as.enabled) return;
+    ModelState& ms = mstate[m];
+    const int live = live_count(ms);
+    if (ms.up_streak >= as.up_streak && live < as.max_replicas &&
+        now - ms.last_scale >= as.dwell_cycles) {
+      spawn_replica(m, now, /*initial=*/false);
+      ++stats.models[m].scale_ups;
+      scale_log_.push_back({now, m, true, live + 1});
+      ms.up_streak = 0;
+      ms.last_scale = now;
+      return;
+    }
+    if (ms.idle_streak >= as.down_streak && live > as.min_replicas &&
+        now - ms.last_scale >= as.dwell_cycles) {
+      // Retire the youngest free, ready replica; a fully busy pool keeps
+      // the streak and retries at the next observation.
+      for (std::size_t i = ms.replicas.size(); i-- > 0;) {
+        Replica& r = ms.replicas[i];
+        if (r.retired || r.spinning || r.busy_until >= 0) continue;
+        r.retired = true;
+        r.regime->finish(now);
+        for (auto& lease : r.leases) {
+          if (lease) cache.release(*lease);
+          lease.reset();
+        }
+        ++stats.models[m].scale_downs;
+        scale_log_.push_back({now, m, false, live - 1});
+        ms.idle_streak = 0;
+        ms.last_scale = now;
+        return;
+      }
+    }
+  };
+
+  const auto handle_completion = [&](InFlight f) {
+    const long long now = f.completion;
+    last_completion = std::max(last_completion, now);
+    std::vector<std::uint32_t> crcs = f.fut.get();  // may still be running
+    ModelState& ms = mstate[f.model];
+    Replica& rep = ms.replicas[f.replica];
+    rep.busy_until = -1;
+    const bool ok = crcs.size() == f.items.size();
+    const int home = static_cast<int>(models_[f.model].ladder.home);
+    for (std::size_t i = 0; i < f.items.size(); ++i) {
+      const BatchItem& it = f.items[i];
+      TenantStats& ts = stats.tenants[it.tenant];
+      if (!ok) {
+        ++ts.failed;
+        continue;
+      }
+      const long long lat = now - it.arrival;
+      ++ts.completed;
+      ts.latency.record(lat);
+      if (f.rung != home) ++ts.completed_degraded;
+      stats.response_hash += mix64(
+          request_key(it.tenant, it.id) * 0x9E3779B97F4A7C15ull ^ crcs[i]);
+      const bool late = tenants_[it.tenant].deadline_cycles > 0 &&
+                        lat > tenants_[it.tenant].deadline_cycles;
+      if (late) ++ts.deadline_misses;
+      rep.regime->observe_completion(now, late);
+    }
+    if (ok) {
+      stats.models[f.model]
+          .rung_completions[static_cast<std::size_t>(f.rung)] +=
+          static_cast<long long>(f.items.size());
+    }
+    if (cfg_.autoscale.enabled && pending_total(ms) == 0) {
+      ++ms.idle_streak;
+      ms.up_streak = 0;
+    }
+    maybe_scale(f.model, now);
+  };
+
+  const std::size_t n_arrivals = arrivals.size();
+  const auto queues_empty = [&] {
+    for (const auto& q : tq) {
+      if (!q.empty()) return false;
+    }
+    return true;
+  };
+  const auto any_spinning = [&] {
+    for (const ModelState& ms : mstate) {
+      for (const Replica& r : ms.replicas) {
+        if (r.spinning) return true;
+      }
+    }
+    return false;
+  };
+
+  try {
+    while (next_arrival < n_arrivals || !inflight.empty() ||
+           !queues_empty() || any_spinning()) {
+      const long long t_arr = next_arrival < n_arrivals
+                                  ? arrivals[next_arrival].cycle
+                                  : kInf;
+      long long t_comp = kInf;
+      for (const InFlight& f : inflight) {
+        t_comp = std::min(t_comp, f.completion);
+      }
+      long long t_ready = kInf;
+      for (const ModelState& ms : mstate) {
+        for (const Replica& r : ms.replicas) {
+          if (r.spinning) t_ready = std::min(t_ready, r.ready_at);
+        }
+      }
+      long long t_timer = kInf;
+      for (const ModelState& ms : mstate) {
+        t_timer = std::min(t_timer, ms.batch_timer);
+      }
+
+      if (t_comp <= t_ready && t_comp <= t_timer && t_comp <= t_arr) {
+        // Earliest completion; ties broken by (model, replica, first item)
+        // so the pick order is a pure function of the virtual schedule.
+        std::size_t best = 0;
+        for (std::size_t i = 1; i < inflight.size(); ++i) {
+          const InFlight& a = inflight[i];
+          const InFlight& b = inflight[best];
+          if (a.completion < b.completion ||
+              (a.completion == b.completion &&
+               (a.model < b.model ||
+                (a.model == b.model && a.replica < b.replica)))) {
+            best = i;
+          }
+        }
+        InFlight f = std::move(inflight[best]);
+        inflight.erase(inflight.begin() + static_cast<long>(best));
+        const std::size_t m = f.model;
+        handle_completion(std::move(f));
+        try_dispatch(m, t_comp);
+      } else if (t_ready <= t_timer && t_ready <= t_arr && t_ready < kInf) {
+        std::size_t best_m = 0;
+        int best_r = -1;
+        for (std::size_t m = 0; m < mstate.size() && best_r < 0; ++m) {
+          for (const Replica& r : mstate[m].replicas) {
+            if (r.spinning && r.ready_at == t_ready) {
+              best_m = m;
+              best_r = r.id;
+              break;
+            }
+          }
+        }
+        for (Replica& r : mstate[best_m].replicas) {
+          if (r.id == best_r) r.spinning = false;
+        }
+        try_dispatch(best_m, t_ready);
+      } else if (t_timer <= t_arr && t_timer < kInf) {
+        for (std::size_t m = 0; m < mstate.size(); ++m) {
+          if (mstate[m].batch_timer == t_timer) {
+            mstate[m].batch_timer = kInf;
+            try_dispatch(m, t_timer);
+            break;  // one timer event per loop turn keeps ordering simple
+          }
+        }
+      } else if (t_arr < kInf) {
+        const Arrival& a = arrivals[next_arrival];
+        ++next_arrival;
+        const std::size_t t = a.tenant;
+        const std::size_t m = tenants_[t].model;
+        ModelState& ms = mstate[m];
+        TenantStats& ts = stats.tenants[t];
+        ++ts.submitted;
+        if (tq[t].size() >= tenants_[t].queue_capacity) {
+          ++ts.rejected_queue_full;
+        } else {
+          tq[t].push_back(a.id);
+          ts.queue_peak = std::max(ts.queue_peak,
+                                   static_cast<long long>(tq[t].size()));
+        }
+        const std::size_t depth = pending_total(ms);
+        for (Replica& r : ms.replicas) {
+          if (!r.retired) r.regime->observe_queue(a.cycle, depth);
+        }
+        if (cfg_.autoscale.enabled) {
+          if (depth >= std::max<std::size_t>(ms.up_depth, 1)) {
+            ++ms.up_streak;
+            ms.idle_streak = 0;
+          } else if (depth <= ms.down_depth) {
+            ++ms.idle_streak;
+            ms.up_streak = 0;
+          } else {
+            ms.up_streak = 0;
+            ms.idle_streak = 0;
+          }
+          maybe_scale(m, a.cycle);
+        }
+        try_dispatch(m, a.cycle);
+      } else {
+        break;  // defensive: cannot happen (pending work implies an event)
+      }
+    }
+  } catch (...) {
+    exec_q.close();
+    for (auto& w : workers) w.join();
+    throw;
+  }
+
+  exec_q.close();
+  for (auto& w : workers) w.join();
+
+  // Close the rung timelines and fold them — plus the scale timeline — into
+  // the digest, exactly as Server does for its single ladder walk.
+  for (std::size_t m = 0; m < models_.size(); ++m) {
+    ModelState& ms = mstate[m];
+    rung_logs_[m].resize(static_cast<std::size_t>(ms.next_replica_id));
+    for (Replica& r : ms.replicas) {
+      if (!r.retired) r.regime->finish(last_completion);
+      rung_logs_[m][static_cast<std::size_t>(r.id)] = r.regime->log();
+      stats.models[m].rung_transitions +=
+          static_cast<long long>(r.regime->log().size());
+      for (const RungTransition& t : r.regime->log()) {
+        stats.response_hash += mix64(
+            static_cast<std::uint64_t>(t.cycle) * 0x2545F4914F6CDD1Dull ^
+            (static_cast<std::uint64_t>(m + 1) << 40) ^
+            (static_cast<std::uint64_t>(static_cast<unsigned>(r.id)) << 32) ^
+            (static_cast<std::uint64_t>(static_cast<unsigned>(t.from))
+             << 24) ^
+            (static_cast<std::uint64_t>(static_cast<unsigned>(t.to))
+             << 16) ^
+            static_cast<std::uint64_t>(static_cast<unsigned>(t.reason)));
+      }
+    }
+  }
+  for (const ScaleEvent& e : scale_log_) {
+    stats.response_hash += mix64(
+        static_cast<std::uint64_t>(e.cycle) * 0xD1B54A32D192ED03ull ^
+        (static_cast<std::uint64_t>(e.model + 1) << 8) ^
+        (e.up ? 0x100u : 0u) ^
+        static_cast<std::uint64_t>(static_cast<unsigned>(e.replicas_after)));
+  }
+
+  stats.makespan_cycles = last_completion;
+  stats.cache = cache.stats();  // snapshot with live leases still resident
+  return stats;
+}
+
+}  // namespace hetacc::serve

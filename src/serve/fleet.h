@@ -1,0 +1,213 @@
+#pragma once
+// Multi-tenant fleet simulator over the single-dispatcher virtual-time loop
+// (DESIGN.md §15). One FleetServer owns M models, each with its own
+// degradation ladder and a pool of replicas, serving T tenants whose
+// arrival traces interleave on one virtual clock:
+//
+//  * shared prepack cache — replicas of the same (model, rung) alias one
+//    refcounted PrepackBundle (serve/prepack_cache.h) instead of each
+//    packing its own panels; cold spin-ups build the bundle, warm spin-ups
+//    adopt it, and both the bytes saved and the spin-up cycles saved are
+//    reported.
+//  * dynamic batching — the dispatcher coalesces queued same-(model, rung)
+//    requests into one batch per free replica, closed by a deterministic
+//    rule: pending >= the tenants' batch cap, OR virtual-time age (the
+//    oldest pending request's arrival + its tenant's batch-age budget has
+//    passed). Batch service time follows svc(b) = setup + b*(service -
+//    setup) with setup = service * batch_setup_frac, so svc(1) == service
+//    exactly and batching amortizes the setup fraction.
+//  * weighted-fair admission — per-tenant bounded queues drained by deficit
+//    round-robin (quantum = tenant weight, cost 1 per request), so a bursty
+//    tenant saturates its own queue, not its neighbors' service share.
+//  * degradation ladders per (model, replica) — each replica runs its own
+//    RegimeController on the model's ladder, descending under queue and
+//    deadline pressure with the existing dwell-gated hysteresis.
+//  * autoscale — streaks of pressure (queue above the up-watermark at
+//    arrivals) add replicas, streaks of idleness retire them, both gated by
+//    a per-model dwell so an oscillating trace cannot thrash the pool.
+//
+// Determinism contract (same as serve/server.h): every stats-bearing
+// decision — admission, DRR order, batch composition and close cycle,
+// rung moves, scale moves, cache hits — is made by the dispatcher thread in
+// virtual time, so FleetStats (histograms, hash, timelines included) is
+// byte-identical for any worker-thread count. Worker threads only grind the
+// functional pipeline work that yields each response's CRC.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serve/prepack_cache.h"
+#include "serve/server.h"
+#include "serve/stats.h"
+#include "serve/trace.h"
+
+namespace hetacc::serve {
+
+/// One model the fleet serves: a functional testbed network + weights (the
+/// request payload work) and its degradation ladder (service pricing +
+/// per-rung choices). toolflow::build_testbed_ladder emits this shape.
+struct FleetModel {
+  std::string name;
+  nn::Network net;
+  nn::WeightStore ws;
+  ServingLadder ladder;
+  int replicas = 1;  ///< initial replica count (autoscale moves it later)
+};
+
+/// One tenant: a stream of requests against a single model, with its own
+/// admission queue, SLO, fair-share weight, and batching budget.
+struct TenantConfig {
+  std::string name;
+  std::size_t model = 0;  ///< index into the fleet's model list
+  int weight = 1;         ///< DRR quantum: requests per round-robin round
+  std::size_t queue_capacity = 64;
+  long long deadline_cycles = 0;  ///< SLO; 0 disables deadline accounting
+  /// Batching budget: a batch closes when `batch_cap` requests are pending
+  /// (across the model's tenants; the effective cap is the min over tenants
+  /// with queued work) or when this tenant's oldest queued request has
+  /// waited `batch_age_cycles`. age = 0 dispatches immediately (batch=1
+  /// unless a backlog already queued up).
+  std::size_t batch_cap = 8;
+  long long batch_age_cycles = 0;
+};
+
+struct AutoscaleConfig {
+  bool enabled = false;
+  int min_replicas = 1;
+  int max_replicas = 4;
+  /// Arrival-time queue depth >= up_queue_frac * (model's total tenant
+  /// capacity) is a pressure observation; depth <= down_queue_frac * cap
+  /// (and a drained queue at completions) is an idle observation.
+  double up_queue_frac = 0.75;
+  double down_queue_frac = 0.05;
+  int up_streak = 6;     ///< consecutive pressure observations to scale up
+  int down_streak = 24;  ///< consecutive idle observations to scale down
+  long long dwell_cycles = 8192;  ///< min cycles between moves per model
+  /// Virtual spin-up cost of a new replica: cold pays the full prepack
+  /// derivation, warm adopts the shared bundle.
+  long long spinup_cold_cycles = 4096;
+  long long spinup_warm_cycles = 512;
+};
+
+struct FleetConfig {
+  int threads = 0;  ///< real worker threads; never affects FleetStats
+  /// Share prepack bundles across replicas (false = per-replica-copy
+  /// baseline for the bench comparison).
+  bool share_prepack = true;
+  /// Fraction of a rung's service time that is per-batch setup (weight
+  /// streaming, pipeline fill) rather than per-request work. svc(1) is
+  /// exactly the rung's service_cycles for any value.
+  double batch_setup_frac = 0.35;
+  RegimeConfig regime;
+  AutoscaleConfig autoscale;
+};
+
+struct TenantStats {
+  std::string name;
+  long long submitted = 0;
+  long long rejected_queue_full = 0;
+  long long shed_deadline = 0;
+  long long completed = 0;
+  long long failed = 0;
+  long long deadline_misses = 0;
+  long long completed_degraded = 0;  ///< served off the model's home rung
+  long long queue_peak = 0;
+  LatencyHistogram latency;
+
+  [[nodiscard]] bool accounted() const {
+    return submitted ==
+           rejected_queue_full + shed_deadline + completed + failed;
+  }
+  bool operator==(const TenantStats& o) const;
+};
+
+struct ModelStats {
+  std::string name;
+  long long batches = 0;
+  /// batch_size_counts[b] = batches that carried exactly b requests.
+  std::vector<long long> batch_size_counts;
+  std::vector<long long> rung_completions;  ///< summed over replicas
+  long long rung_transitions = 0;           ///< summed over replicas
+  long long scale_ups = 0;
+  long long scale_downs = 0;
+  int replica_peak = 0;
+  long long cold_spinups = 0;
+  long long warm_spinups = 0;
+  long long spinup_cycles = 0;  ///< virtual cycles paid spinning up
+
+  [[nodiscard]] double mean_batch() const;
+  bool operator==(const ModelStats& o) const;
+};
+
+struct FleetStats {
+  std::vector<TenantStats> tenants;  ///< index-aligned with the tenant list
+  std::vector<ModelStats> models;    ///< index-aligned with the model list
+  PrepackCacheStats cache;
+  long long makespan_cycles = 0;  ///< last completion's virtual cycle
+  /// Order-independent digest: every response CRC keyed by (tenant, id),
+  /// every rung transition of every replica, and every scale event. Two
+  /// runs that agree here answered, degraded, and scaled identically.
+  std::uint64_t response_hash = 0;
+
+  [[nodiscard]] bool accounted() const;
+  [[nodiscard]] long long completed_total() const;
+  bool operator==(const FleetStats& o) const;
+  [[nodiscard]] std::string summary() const;
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// A replica-pool change, for the CLI timeline and the CI soak greps.
+struct ScaleEvent {
+  long long cycle = 0;
+  std::size_t model = 0;
+  bool up = false;
+  int replicas_after = 0;
+};
+
+class FleetServer {
+ public:
+  /// Validates every model's ladder (Server rules: non-empty, home in
+  /// range, deeper rungs strictly faster) and every tenant (live model
+  /// index, weight >= 1, cap >= 1). Throws ServeError(kConfig) otherwise.
+  FleetServer(std::vector<FleetModel> models,
+              std::vector<TenantConfig> tenants, FleetConfig cfg);
+  ~FleetServer();
+
+  FleetServer(const FleetServer&) = delete;
+  FleetServer& operator=(const FleetServer&) = delete;
+
+  /// Serves the tenants' traces (index-aligned with the tenant list; ids
+  /// dense from 0 within each trace; fault bursts are not supported in the
+  /// fleet loop). Deterministic for a given (traces, config) regardless of
+  /// cfg.threads.
+  [[nodiscard]] FleetStats run(const std::vector<ArrivalTrace>& traces);
+
+  /// Rung timelines of the last run: one log per replica ever spun up,
+  /// indexed [model][replica id] (retired replicas keep their log).
+  [[nodiscard]] const std::vector<std::vector<std::vector<RungTransition>>>&
+  rung_logs() const {
+    return rung_logs_;
+  }
+  [[nodiscard]] const std::vector<ScaleEvent>& scale_log() const {
+    return scale_log_;
+  }
+
+  [[nodiscard]] const FleetConfig& config() const { return cfg_; }
+  [[nodiscard]] const std::vector<FleetModel>& models() const {
+    return models_;
+  }
+  [[nodiscard]] const std::vector<TenantConfig>& tenants() const {
+    return tenants_;
+  }
+
+ private:
+  std::vector<FleetModel> models_;
+  std::vector<TenantConfig> tenants_;
+  FleetConfig cfg_;
+  std::vector<std::vector<std::vector<RungTransition>>> rung_logs_;
+  std::vector<ScaleEvent> scale_log_;
+};
+
+}  // namespace hetacc::serve

@@ -1,0 +1,56 @@
+#include "serve/prepack_cache.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hetacc::serve {
+
+PrepackCache::Lease PrepackCache::acquire(const std::string& key,
+                                          const Builder& build) {
+  if (share_) {
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      ++it->second.refs;
+      ++stats_.hits;
+      stats_.bytes_saved += it->second.bytes;
+      return {it->second.bundle, key, true};
+    }
+  }
+  Lease lease;
+  lease.bundle = build();
+  if (!lease.bundle) {
+    throw std::logic_error("PrepackCache: builder returned null bundle");
+  }
+  lease.key = share_ ? key : key + "#" + std::to_string(serial_++);
+  lease.hit = false;
+  Entry e;
+  e.bundle = lease.bundle;
+  e.refs = 1;
+  e.bytes = lease.bundle->resident_bytes();
+  stats_.resident_bytes += e.bytes;
+  stats_.peak_resident_bytes =
+      std::max(stats_.peak_resident_bytes, stats_.resident_bytes);
+  ++stats_.misses;
+  entries_.emplace(lease.key, std::move(e));
+  return lease;
+}
+
+void PrepackCache::release(const Lease& lease) {
+  auto it = entries_.find(lease.key);
+  if (it == entries_.end() || it->second.refs <= 0) {
+    throw std::logic_error("PrepackCache: release without a live lease on '" +
+                           lease.key + "'");
+  }
+  if (--it->second.refs == 0) {
+    stats_.resident_bytes -= it->second.bytes;
+    ++stats_.evictions;
+    entries_.erase(it);
+  }
+}
+
+long long PrepackCache::refcount(const std::string& key) const {
+  auto it = entries_.find(key);
+  return it == entries_.end() ? 0 : it->second.refs;
+}
+
+}  // namespace hetacc::serve

@@ -5,6 +5,7 @@
 #include <mutex>
 #include <sstream>
 
+#include "quant/calibration.h"
 #include "support/error.h"
 #include "toolflow/sweep.h"
 #include "toolflow/toolflow.h"
@@ -248,6 +249,31 @@ std::vector<core::LadderRungCsv> ServingLadderPlan::to_csv_rungs() const {
     out.push_back(std::move(c));
   }
   return out;
+}
+
+TestbedLadder build_testbed_ladder(const nn::Network& net,
+                                   const fpga::Device& dev,
+                                   const LadderOptions& opt,
+                                   std::size_t max_layers, int max_hw,
+                                   std::uint32_t weight_seed) {
+  const ServingLadderPlan& plan = cached_serving_ladder(net, dev, opt);
+
+  TestbedLadder tb;
+  tb.net = nn::Network(net.name() + "-testbed");
+  const nn::Shape in0 = plan.accel_net[0].out;
+  tb.net.input({in0.c, std::min(in0.h, max_hw), std::min(in0.w, max_hw)});
+  const std::size_t klast =
+      std::min<std::size_t>(max_layers, plan.accel_net.size() - 1);
+  for (std::size_t i = 1; i <= klast; ++i) tb.net.add(plan.accel_net[i]);
+  tb.ws = nn::WeightStore::deterministic(tb.net, weight_seed);
+
+  // Per-rung numeric modes come from a one-probe testbed calibration, so
+  // int8 rungs serve in the same asymmetric activation grids --serve uses.
+  nn::Tensor cal_in(tb.net[0].out);
+  nn::fill_deterministic(cal_in, 7);
+  const auto cal = quant::calibrate(tb.net, tb.ws, {cal_in});
+  tb.ladder = plan.to_serving_modes(klast, cal.modes(), cal.modes_int8());
+  return tb;
 }
 
 ServingLadderPlan ServingLadderPlan::from_csv_rungs(

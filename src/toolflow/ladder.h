@@ -90,4 +90,22 @@ struct ServingLadderPlan {
     const nn::Network& net, const fpga::Device& dev,
     const LadderOptions& opt = {});
 
+/// One model's functional serving testbed: the accelerated portion's leading
+/// layers on a capped input (so 10k-request soaks stay fast), deterministic
+/// weights, and the cached degradation ladder in the serving runtime's shape
+/// — per-rung numeric modes from the testbed calibration, service cycles
+/// from the full-strategy pricing. The per-model unit `hetacc --serve`,
+/// `--fleet`, and the fleet benches all build; the DSE is paid once per
+/// (model, device) through cached_serving_ladder.
+struct TestbedLadder {
+  nn::Network net;
+  nn::WeightStore ws;
+  serve::ServingLadder ladder;
+};
+
+[[nodiscard]] TestbedLadder build_testbed_ladder(
+    const nn::Network& net, const fpga::Device& dev,
+    const LadderOptions& opt = {}, std::size_t max_layers = 3,
+    int max_hw = 32, std::uint32_t weight_seed = 42);
+
 }  // namespace hetacc::toolflow

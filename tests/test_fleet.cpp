@@ -1,0 +1,433 @@
+// Fleet-serving runtime: shared prepack bundles (warm construction aliases,
+// reset() never invalidates peers), the refcounted PrepackCache, the
+// deterministic batch close rule and its edge cases, weighted-fair (DRR)
+// admission, replica autoscale, the one-shared-worker-pool execution model,
+// and the fleet determinism contract — same traces + config produce
+// byte-identical FleetStats for any worker-thread count.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "arch/pipeline.h"
+#include "fault/fault.h"
+#include "kernels/parallel.h"
+#include "nn/model_zoo.h"
+#include "serve/fleet.h"
+#include "serve/prepack_cache.h"
+#include "support/error.h"
+
+namespace hetacc {
+namespace {
+
+using arch::FusionPipeline;
+using serve::ArrivalTrace;
+using serve::FleetConfig;
+using serve::FleetModel;
+using serve::FleetServer;
+using serve::FleetStats;
+using serve::PrepackCache;
+using serve::TenantConfig;
+
+nn::Tensor probe_input(const nn::Network& net) {
+  nn::Tensor t(net[0].out);
+  nn::fill_deterministic(t, 7);
+  return t;
+}
+
+// ------------------------------------------------- shared prepack bundles --
+class PrepackShareTest : public ::testing::Test {
+ protected:
+  PrepackShareTest()
+      : net_(nn::tiny_net(4, 16)),
+        ws_(nn::WeightStore::deterministic(net_, 21)),
+        input_(probe_input(net_)) {}
+  nn::Network net_;
+  nn::WeightStore ws_;
+  nn::Tensor input_;
+};
+
+TEST_F(PrepackShareTest, WarmConstructionAliasesThePeerBundle) {
+  FusionPipeline a(net_, ws_);
+  ASSERT_NE(a.shared_prepack(), nullptr);
+  EXPECT_GT(a.shared_prepack()->resident_bytes(), 0);
+
+  FusionPipeline b(net_, ws_, {}, a.shared_prepack());
+  EXPECT_EQ(a.shared_prepack().get(), b.shared_prepack().get());
+  EXPECT_EQ(a.run(input_), b.run(input_));
+}
+
+TEST_F(PrepackShareTest, CleanResetKeepsTheSharedBundle) {
+  FusionPipeline a(net_, ws_);
+  FusionPipeline b(net_, ws_, {}, a.shared_prepack());
+  const nn::Tensor golden = a.run(input_);
+
+  b.reset();  // clean: value-identical re-derive is skipped, aliasing kept
+  EXPECT_EQ(a.shared_prepack().get(), b.shared_prepack().get());
+  EXPECT_EQ(b.run(input_), golden);
+}
+
+TEST_F(PrepackShareTest, FaultedRederiveNeverInvalidatesPeers) {
+  FusionPipeline a(net_, ws_);
+  FusionPipeline b(net_, ws_, {}, a.shared_prepack());
+  const nn::Tensor golden = a.run(input_);
+  const auto before = a.shared_prepack();
+
+  // Installing a plan re-derives a's constants from struck filter copies —
+  // into a fresh private bundle. The peer keeps the original, untouched.
+  fault::FaultPlan p;
+  p.seed = 3;
+  p.weight_panel_flip_rate = 1.0;
+  a.install_fault_plan(p);
+  EXPECT_NE(a.shared_prepack().get(), before.get());
+  EXPECT_EQ(b.shared_prepack().get(), before.get());
+  EXPECT_NE(a.run(input_), golden);
+  EXPECT_EQ(b.run(input_), golden);
+
+  a.clear_fault_plan();
+  EXPECT_EQ(a.run(input_), golden);
+  EXPECT_EQ(b.shared_prepack().get(), before.get());
+}
+
+// -------------------------------------------------------- refcounted cache --
+TEST_F(PrepackShareTest, CacheRefcountsSharesAndEvicts) {
+  PrepackCache cache(/*share=*/true);
+  int builds = 0;
+  const PrepackCache::Builder build = [&] {
+    ++builds;
+    FusionPipeline p(net_, ws_);
+    return p.shared_prepack();
+  };
+
+  const auto l1 = cache.acquire("m/r0", build);
+  EXPECT_FALSE(l1.hit);
+  EXPECT_EQ(builds, 1);
+  const long long bytes = l1.bundle->resident_bytes();
+  ASSERT_GT(bytes, 0);
+
+  const auto l2 = cache.acquire("m/r0", build);
+  EXPECT_TRUE(l2.hit);
+  EXPECT_EQ(builds, 1);  // served from residence, not rebuilt
+  EXPECT_EQ(l1.bundle.get(), l2.bundle.get());
+  EXPECT_EQ(cache.refcount("m/r0"), 2);
+  EXPECT_EQ(cache.stats().hits, 1);
+  EXPECT_EQ(cache.stats().misses, 1);
+  EXPECT_EQ(cache.stats().resident_bytes, bytes);
+  EXPECT_EQ(cache.stats().bytes_saved, bytes);
+
+  cache.release(l1);
+  EXPECT_EQ(cache.refcount("m/r0"), 1);
+  EXPECT_EQ(cache.stats().evictions, 0);
+  cache.release(l2);
+  EXPECT_EQ(cache.refcount("m/r0"), 0);
+  EXPECT_EQ(cache.stats().evictions, 1);
+  EXPECT_EQ(cache.stats().resident_bytes, 0);
+  EXPECT_EQ(cache.stats().peak_resident_bytes, bytes);
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_THROW(cache.release(l2), std::logic_error);
+}
+
+TEST_F(PrepackShareTest, UnsharedCacheBuildsPrivateCopies) {
+  PrepackCache cache(/*share=*/false);
+  int builds = 0;
+  const PrepackCache::Builder build = [&] {
+    ++builds;
+    FusionPipeline p(net_, ws_);
+    return p.shared_prepack();
+  };
+
+  const auto l1 = cache.acquire("m/r0", build);
+  const auto l2 = cache.acquire("m/r0", build);
+  EXPECT_FALSE(l1.hit);
+  EXPECT_FALSE(l2.hit);
+  EXPECT_EQ(builds, 2);
+  EXPECT_NE(l1.bundle.get(), l2.bundle.get());
+  EXPECT_EQ(cache.entries(), 2u);
+  EXPECT_EQ(cache.stats().bytes_saved, 0);
+  EXPECT_EQ(cache.stats().resident_bytes, 2 * l1.bundle->resident_bytes());
+}
+
+// ------------------------------------------------------------ fleet fixture --
+FleetModel tiny_model(const std::string& name, int replicas,
+                      std::vector<long long> rung_cycles, std::size_t home,
+                      std::uint32_t seed = 21) {
+  FleetModel m;
+  m.name = name;
+  m.net = nn::tiny_net(4, 16);
+  m.ws = nn::WeightStore::deterministic(m.net, seed);
+  for (std::size_t i = 0; i < rung_cycles.size(); ++i) {
+    serve::ServingMode r;
+    r.label = "r" + std::to_string(i);
+    r.service_cycles = rung_cycles[i];
+    m.ladder.rungs.push_back(std::move(r));
+  }
+  m.ladder.home = home;
+  m.replicas = replicas;
+  return m;
+}
+
+TenantConfig tenant(const std::string& name, std::size_t model, int weight,
+                    std::size_t batch_cap, long long batch_age,
+                    long long deadline = 0) {
+  TenantConfig t;
+  t.name = name;
+  t.model = model;
+  t.weight = weight;
+  t.queue_capacity = 32;
+  t.deadline_cycles = deadline;
+  t.batch_cap = batch_cap;
+  t.batch_age_cycles = batch_age;
+  return t;
+}
+
+ArrivalTrace at_cycles(const std::vector<long long>& cycles) {
+  ArrivalTrace t;
+  for (std::size_t i = 0; i < cycles.size(); ++i) {
+    t.requests.push_back(
+        {i, cycles[i], static_cast<std::uint32_t>(100 + i)});
+  }
+  return t;
+}
+
+// -------------------------------------------------------- config validation --
+TEST(FleetConfigTest, RejectsMalformedModelsAndTenants) {
+  const auto model = [] { return tiny_model("m", 1, {1000}, 0); };
+  // Tenant pointing past the model list.
+  EXPECT_THROW(FleetServer({model()}, {tenant("t", 1, 1, 8, 0)}, {}),
+               ServeError);
+  // DRR weight below 1 cannot make progress.
+  EXPECT_THROW(FleetServer({model()}, {tenant("t", 0, 0, 8, 0)}, {}),
+               ServeError);
+  // A batch cap of zero can never close a batch.
+  EXPECT_THROW(FleetServer({model()}, {tenant("t", 0, 1, 0, 0)}, {}),
+               ServeError);
+  // setup fraction must leave per-request work positive.
+  FleetConfig cfg;
+  cfg.batch_setup_frac = 1.0;
+  EXPECT_THROW(FleetServer({model()}, {tenant("t", 0, 1, 8, 0)}, cfg),
+               ServeError);
+  // Deeper rungs must be strictly faster.
+  EXPECT_THROW(
+      FleetServer({tiny_model("m", 1, {1000, 1000}, 0)},
+                  {tenant("t", 0, 1, 8, 0)}, {}),
+      ServeError);
+}
+
+// ------------------------------------------------------- batch close rule --
+TEST(FleetBatchingTest, CapClosesABatchTheMomentItFills) {
+  FleetConfig cfg;
+  FleetServer fleet({tiny_model("m", 1, {1000}, 0)},
+                    {tenant("t", 0, 1, /*cap=*/4, /*age=*/1000000)}, cfg);
+  const FleetStats s = fleet.run({at_cycles({0, 0, 0, 0})});
+  ASSERT_TRUE(s.accounted());
+  EXPECT_EQ(s.models[0].batches, 1);
+  ASSERT_GT(s.models[0].batch_size_counts.size(), 4u);
+  EXPECT_EQ(s.models[0].batch_size_counts[4], 1);
+  EXPECT_EQ(s.tenants[0].completed, 4);
+}
+
+TEST(FleetBatchingTest, AgeBudgetDispatchesASingleStraggler) {
+  FleetConfig cfg;  // batch_setup_frac default: svc(1) == service exactly
+  FleetServer fleet({tiny_model("m", 1, {1000}, 0)},
+                    {tenant("t", 0, 1, /*cap=*/8, /*age=*/500)}, cfg);
+  const FleetStats s = fleet.run({at_cycles({0})});
+  ASSERT_TRUE(s.accounted());
+  EXPECT_EQ(s.models[0].batches, 1);
+  EXPECT_EQ(s.models[0].batch_size_counts[1], 1);
+  // The straggler waits its full age budget, then serves svc(1) == 1000.
+  EXPECT_EQ(s.tenants[0].latency.p50(), 1500);
+  EXPECT_EQ(s.makespan_cycles, 1500);
+}
+
+TEST(FleetBatchingTest, CapArrivingExactlyAtTheAgeDeadlineIsDeterministic) {
+  // The second request lands exactly on the first one's close cycle. The
+  // event order pins the outcome: the close timer fires before the
+  // same-cycle arrival, so the rule deterministically produces two
+  // single-request batches — never a race between cap and age.
+  FleetConfig cfg;
+  FleetServer fleet({tiny_model("m", 1, {1000}, 0)},
+                    {tenant("t", 0, 1, /*cap=*/2, /*age=*/50)}, cfg);
+  const FleetStats s = fleet.run({at_cycles({0, 50})});
+  ASSERT_TRUE(s.accounted());
+  EXPECT_EQ(s.models[0].batches, 2);
+  EXPECT_EQ(s.models[0].batch_size_counts[1], 2);
+  EXPECT_EQ(s.tenants[0].completed, 2);
+}
+
+TEST(FleetBatchingTest, EmptyLullTimersAreHarmlessNoOps) {
+  // A long silent gap between arrivals: the armed close timer outlives its
+  // batch, fires into an empty queue, and must neither dispatch anything
+  // nor stall termination.
+  FleetConfig cfg;
+  FleetServer fleet({tiny_model("m", 1, {1000}, 0)},
+                    {tenant("t", 0, 1, /*cap=*/8, /*age=*/500)}, cfg);
+  const FleetStats s = fleet.run({at_cycles({0, 100000})});
+  ASSERT_TRUE(s.accounted());
+  EXPECT_EQ(s.models[0].batches, 2);
+  EXPECT_EQ(s.models[0].batch_size_counts[1], 2);
+  EXPECT_EQ(s.makespan_cycles, 101500);
+}
+
+// ------------------------------------------------------------ DRR fairness --
+TEST(FleetDrrTest, BurstyTenantCannotStarveItsSteadyNeighbor) {
+  // One replica at 1000 cycles/request. The bursty tenant floods 100
+  // requests almost at once; the steady tenant trickles well under its
+  // fair share. DRR (weight 2:1) must keep serving the steady tenant out
+  // of the middle of the backlog instead of draining the flood first.
+  std::vector<long long> steady_cycles, burst_cycles;
+  for (int i = 0; i < 40; ++i) steady_cycles.push_back(2000LL * i);
+  for (int i = 0; i < 100; ++i) burst_cycles.push_back(10LL * i);
+  TenantConfig steady = tenant("steady", 0, 2, 8, 1000);
+  TenantConfig bursty = tenant("bursty", 0, 1, 8, 1000);
+  bursty.queue_capacity = 128;
+
+  FleetConfig cfg;
+  FleetServer fleet({tiny_model("m", 1, {1000}, 0)}, {steady, bursty}, cfg);
+  const FleetStats s =
+      fleet.run({at_cycles(steady_cycles), at_cycles(burst_cycles)});
+  ASSERT_TRUE(s.accounted());
+  EXPECT_EQ(s.tenants[0].completed, 40);
+  EXPECT_EQ(s.tenants[0].rejected_queue_full, 0);
+  EXPECT_EQ(s.tenants[1].completed, 100);
+  // The steady tenant's tail must not absorb the flood's queueing delay.
+  EXPECT_LT(s.tenants[0].latency.p99(), s.tenants[1].latency.p99());
+}
+
+// -------------------------------------------------------------- autoscale --
+TEST(FleetAutoscaleTest, OscillatingLoadScalesUpAndBackDown) {
+  FleetConfig cfg;
+  cfg.autoscale.enabled = true;
+  cfg.autoscale.min_replicas = 1;
+  cfg.autoscale.max_replicas = 4;
+  cfg.autoscale.up_queue_frac = 0.15;
+  cfg.autoscale.down_queue_frac = 0.05;
+  cfg.autoscale.up_streak = 4;
+  cfg.autoscale.down_streak = 12;
+  cfg.autoscale.dwell_cycles = 4000;
+  cfg.autoscale.spinup_cold_cycles = 2000;
+  cfg.autoscale.spinup_warm_cycles = 250;
+
+  TenantConfig t = tenant("osc", 0, 1, 8, 1000, /*deadline=*/12000);
+  const ArrivalTrace trace = ArrivalTrace::oscillating(
+      /*periods=*/6, /*per_phase=*/40, /*burst=*/250, /*lull=*/3000,
+      /*seed=*/11);
+  FleetServer fleet({tiny_model("m", 2, {1000}, 0)}, {t}, cfg);
+  const FleetStats s = fleet.run({trace});
+  ASSERT_TRUE(s.accounted());
+  EXPECT_GE(s.models[0].scale_ups, 1);
+  EXPECT_GE(s.models[0].scale_downs, 1);
+  EXPECT_GT(s.models[0].replica_peak, 2);
+  // The shared cache makes every post-first spin-up warm.
+  EXPECT_GE(s.models[0].warm_spinups, 1);
+  EXPECT_GT(s.models[0].spinup_cycles, 0);
+  EXPECT_EQ(s.models[0].scale_ups,
+            s.models[0].cold_spinups + s.models[0].warm_spinups -
+                2);  // the two initial replicas spin up uncharged
+  // The timeline and the stats agree.
+  long long ups = 0, downs = 0;
+  for (const auto& e : fleet.scale_log()) (e.up ? ups : downs) += 1;
+  EXPECT_EQ(ups, s.models[0].scale_ups);
+  EXPECT_EQ(downs, s.models[0].scale_downs);
+}
+
+// ------------------------------------------------ one shared worker pool --
+int live_os_threads() {
+  std::ifstream f("/proc/self/status");
+  std::string line;
+  while (std::getline(f, line)) {
+    if (line.rfind("Threads:", 0) == 0) {
+      return std::atoi(line.c_str() + 8);
+    }
+  }
+  return -1;
+}
+
+TEST(FleetPoolTest, ReplicasShareOneWorkerSetUnderTheThreadClamp) {
+  // 8 virtual replicas, 1 real worker thread: replicas are virtual-time
+  // capacity, not threads. The peak OS thread count during the run must
+  // stay within dispatcher + the clamped worker set (+ the sampler and
+  // whatever the process-wide kernel pool already holds) — a per-replica
+  // pool would show up as ~8 extra threads here.
+  std::vector<FleetModel> models;
+  models.push_back(tiny_model("a", 4, {1000}, 0));
+  models.push_back(tiny_model("b", 4, {800}, 0, 22));
+  std::vector<TenantConfig> tenants = {tenant("ta", 0, 1, 8, 500),
+                                       tenant("tb", 1, 1, 8, 400)};
+  FleetConfig cfg;
+  cfg.threads = 1;
+
+  const int baseline = live_os_threads();
+  ASSERT_GT(baseline, 0);
+  std::atomic<bool> stop{false};
+  std::atomic<int> peak{0};
+  std::thread sampler([&] {
+    while (!stop.load()) {
+      const int n = live_os_threads();
+      if (n > peak.load()) peak.store(n);
+      std::this_thread::yield();
+    }
+  });
+
+  FleetServer fleet(std::move(models), std::move(tenants), cfg);
+  const FleetStats s = fleet.run(
+      {ArrivalTrace::synthetic(300, 400, 5, 2.0),
+       ArrivalTrace::synthetic(300, 350, 6, 2.0)});
+  stop.store(true);
+  sampler.join();
+
+  ASSERT_TRUE(s.accounted());
+  // dispatcher thread is the caller; budget = 1 worker + 1 sampler + the
+  // process kernel pool (shared, not per-replica).
+  EXPECT_LE(peak.load(),
+            baseline + 2 + kernels::pool_thread_count());
+  EXPECT_LE(kernels::pool_thread_count(),
+            static_cast<int>(std::thread::hardware_concurrency()));
+}
+
+// ------------------------------------------------------------ determinism --
+TEST(FleetDeterminismTest, StatsAreByteIdenticalForAnyThreadCount) {
+  const auto build_models = [] {
+    std::vector<FleetModel> m;
+    m.push_back(tiny_model("a", 2, {1600, 1000, 640}, 1));
+    m.push_back(tiny_model("b", 2, {1200, 800}, 1, 22));
+    return m;
+  };
+  std::vector<TenantConfig> tenants = {
+      tenant("a/steady", 0, 2, 8, 1000, 12000),
+      tenant("a/bursty", 0, 1, 8, 1000, 12000),
+      tenant("b/steady", 1, 2, 8, 800, 9600),
+      tenant("b/bursty", 1, 1, 8, 800, 9600)};
+  const std::vector<ArrivalTrace> traces = {
+      ArrivalTrace::synthetic(150, 700, 41, 2.0),
+      ArrivalTrace::oscillating(4, 20, 250, 3000, 42),
+      ArrivalTrace::synthetic(150, 550, 43, 2.0),
+      ArrivalTrace::oscillating(4, 20, 200, 2400, 44)};
+
+  std::vector<FleetStats> runs;
+  for (const int threads : {1, 2, 8}) {
+    FleetConfig cfg;
+    cfg.threads = threads;
+    cfg.autoscale.enabled = true;
+    cfg.autoscale.max_replicas = 3;
+    cfg.autoscale.up_queue_frac = 0.15;
+    cfg.autoscale.dwell_cycles = 4000;
+    cfg.autoscale.spinup_cold_cycles = 2000;
+    cfg.autoscale.spinup_warm_cycles = 250;
+    FleetServer fleet(build_models(), tenants, cfg);
+    runs.push_back(fleet.run(traces));
+  }
+  ASSERT_TRUE(runs[0].accounted());
+  EXPECT_GT(runs[0].completed_total(), 0);
+  EXPECT_TRUE(runs[0] == runs[1]);
+  EXPECT_TRUE(runs[0] == runs[2]);
+  EXPECT_EQ(runs[0].to_json(), runs[1].to_json());
+  EXPECT_EQ(runs[0].to_json(), runs[2].to_json());
+}
+
+}  // namespace
+}  // namespace hetacc

@@ -31,6 +31,7 @@
 #include "nn/graph.h"
 #include "nn/model_zoo.h"
 #include "quant/calibration.h"
+#include "serve/fleet.h"
 #include "serve/server.h"
 #include "support/error.h"
 #include "toolflow/ladder.h"
@@ -103,7 +104,22 @@ void usage() {
       "                      back with dwell-gated hysteresis. The trace SPEC\n"
       "                      osc:P:K[:BURST[:LULL[:SEED]]] generates P\n"
       "                      square-wave load periods of K requests per\n"
-      "                      phase for exercising the controller\n");
+      "                      phase for exercising the controller\n"
+      "  --fleet SPEC        multi-tenant fleet simulation instead of\n"
+      "                      codegen: N replicas per model sharing one\n"
+      "                      prepack cache and one worker pool, dynamic\n"
+      "                      batching, weighted-fair (DRR) admission, and a\n"
+      "                      degradation ladder per (model, replica). SPEC\n"
+      "                      is REPLICAS[:REQUESTS[:SEED]] (default 2:300:1;\n"
+      "                      REQUESTS is per tenant, two tenants per model:\n"
+      "                      a steady stream and a bursty oscillator).\n"
+      "                      Stats are byte-identical for any --threads\n"
+      "  --fleet-models LIST comma-separated zoo models the fleet serves\n"
+      "                      (default alexnet,vgg-e,inception-mini,\n"
+      "                      resnet-mini)\n"
+      "  --fleet-autoscale   let per-model replica pools grow and shrink\n"
+      "                      under the queue-pressure watermarks (spin-ups\n"
+      "                      pay cold or warm cache costs)\n");
 }
 
 void print_report_line(const char* tag, const core::StrategyReport& r) {
@@ -298,6 +314,17 @@ int run_fault_campaign(const nn::Network& net, const fpga::Device& dev,
               "--fault-seed %llu to reproduce)\n",
               static_cast<unsigned long long>(seed));
   return 0;
+}
+
+nn::Network zoo_model(const std::string& name) {
+  if (name == "alexnet") return nn::alexnet();
+  if (name == "vgg-e") return nn::vgg_e();
+  if (name == "vgg16") return nn::vgg16();
+  if (name == "vgg-e-head") return nn::vgg_e_head();
+  if (name == "inception-mini") return nn::inception_mini();
+  if (name == "resnet-mini") return nn::resnet_mini();
+  throw ServeError(ServeError::Reason::kConfig,
+                   "unknown model '" + name + "'");
 }
 
 /// --serve: everything the serving runtime needs from the command line.
@@ -570,6 +597,151 @@ int run_serve(const nn::Network& net, const fpga::Device& dev,
   return 0;
 }
 
+/// --fleet: everything the fleet simulator needs from the command line.
+struct FleetCliOptions {
+  std::string spec;  ///< REPLICAS[:REQUESTS[:SEED]]
+  std::string models = "alexnet,vgg-e,inception-mini,resnet-mini";
+  bool autoscale = false;
+};
+
+/// --fleet: multi-tenant fleet simulation over the shared-cache / dynamic-
+/// batching / weighted-fair runtime (serve/fleet.h). Each named model gets
+/// its own testbed + degradation ladder (the DSE is paid once per model via
+/// the process-wide memo) and two tenants: a steady stream near the pool's
+/// drain rate and an oscillating bursty neighbor the fair-share admission
+/// must contain.
+int run_fleet(const fpga::Device& dev, const toolflow::ToolflowOptions& opt,
+              const FleetCliOptions& fo) {
+  int replicas = 2;
+  std::size_t requests = 300;
+  std::uint64_t seed = 1;
+  {
+    std::istringstream is(fo.spec);
+    std::string f;
+    if (std::getline(is, f, ':') && !f.empty()) replicas = std::atoi(f.c_str());
+    if (std::getline(is, f, ':') && !f.empty()) requests = std::stoull(f);
+    if (std::getline(is, f, ':') && !f.empty()) seed = std::stoull(f);
+  }
+  if (replicas < 1 || requests == 0) {
+    throw ServeError(ServeError::Reason::kConfig,
+                     "--fleet wants REPLICAS[:REQUESTS[:SEED]] with replicas "
+                     ">= 1 and requests >= 1, got '" +
+                         fo.spec + "'");
+  }
+
+  toolflow::LadderOptions lopt;
+  lopt.optimizer = opt.optimizer;
+  lopt.threads = opt.threads;
+  std::vector<serve::FleetModel> models;
+  {
+    std::istringstream is(fo.models);
+    std::string name;
+    while (std::getline(is, name, ',')) {
+      if (name.empty()) continue;
+      auto tb = toolflow::build_testbed_ladder(zoo_model(name), dev, lopt);
+      models.push_back({name, std::move(tb.net), std::move(tb.ws),
+                        std::move(tb.ladder), replicas});
+    }
+  }
+  if (models.empty()) {
+    throw ServeError(ServeError::Reason::kConfig,
+                     "--fleet-models wants a comma-separated model list");
+  }
+
+  serve::FleetConfig cfg;
+  cfg.threads = opt.threads;
+  std::vector<serve::TenantConfig> tenants;
+  std::vector<serve::ArrivalTrace> traces;
+  long long max_service = 1;
+  for (std::size_t m = 0; m < models.size(); ++m) {
+    const auto& lad = models[m].ladder;
+    const long long svc = lad.rungs[lad.home].service_cycles;
+    max_service = std::max(max_service, svc);
+
+    serve::TenantConfig steady;
+    steady.name = models[m].name + "/steady";
+    steady.model = m;
+    steady.weight = 2;
+    steady.queue_capacity = 32;
+    steady.deadline_cycles = 12 * svc;
+    steady.batch_cap = 8;
+    steady.batch_age_cycles = svc;
+    serve::TenantConfig bursty = steady;
+    bursty.name = models[m].name + "/bursty";
+    bursty.weight = 1;
+    tenants.push_back(std::move(steady));
+    traces.push_back(serve::ArrivalTrace::synthetic(
+        requests, std::max<long long>(3 * svc / (2 * replicas), 1),
+        seed + 2 * m, /*surge=*/2.0));
+    tenants.push_back(std::move(bursty));
+    const std::size_t periods = std::max<std::size_t>(requests / 50, 2);
+    const std::size_t per_phase =
+        std::max<std::size_t>(requests / (2 * periods), 1);
+    traces.push_back(serve::ArrivalTrace::oscillating(
+        periods, per_phase, std::max<long long>(svc / (2 * replicas), 1),
+        std::max<long long>(6 * svc / replicas, 1), seed + 2 * m + 1));
+  }
+  if (fo.autoscale) {
+    cfg.autoscale.enabled = true;
+    cfg.autoscale.min_replicas = 1;
+    cfg.autoscale.max_replicas = replicas + 2;
+    cfg.autoscale.up_queue_frac = 0.15;
+    cfg.autoscale.down_queue_frac = 0.05;
+    cfg.autoscale.dwell_cycles = 2 * max_service;
+    cfg.autoscale.spinup_cold_cycles = max_service;
+    cfg.autoscale.spinup_warm_cycles =
+        std::max<long long>(max_service / 8, 1);
+  }
+
+  std::printf("fleet: %zu model(s) x %d replica(s), %zu tenants, ~%zu "
+              "requests/tenant, threads %d%s\n",
+              models.size(), replicas, tenants.size(), requests, cfg.threads,
+              fo.autoscale ? ", autoscale on" : "");
+  for (const auto& m : models) {
+    std::printf("  %-16s %zu rungs, home %zu: %lld cycles/request\n",
+                m.name.c_str(), m.ladder.rungs.size(), m.ladder.home,
+                m.ladder.rungs[m.ladder.home].service_cycles);
+  }
+
+  serve::FleetServer fleet(std::move(models), std::move(tenants), cfg);
+  const serve::FleetStats stats = fleet.run(traces);
+
+  std::printf("\nfleet stats:\n%s", stats.summary().c_str());
+  if (!fleet.scale_log().empty()) {
+    std::printf("scale events:\n");
+    for (const auto& e : fleet.scale_log()) {
+      std::printf("  cycle %10lld  %-16s %s -> %d replica(s)\n", e.cycle,
+                  fleet.models()[e.model].name.c_str(),
+                  e.up ? "(scale-up)" : "(scale-down)", e.replicas_after);
+    }
+  }
+  for (std::size_t m = 0; m < fleet.rung_logs().size(); ++m) {
+    for (std::size_t r = 0; r < fleet.rung_logs()[m].size(); ++r) {
+      const auto& log = fleet.rung_logs()[m][r];
+      if (log.empty()) continue;
+      std::printf("rung transitions %s replica %zu:\n",
+                  fleet.models()[m].name.c_str(), r);
+      for (const auto& t : log) {
+        std::printf("  cycle %10lld  r%d -> r%d  (%s)\n", t.cycle, t.from,
+                    t.to, std::string(serve::to_string(t.reason)).c_str());
+      }
+    }
+  }
+  std::printf("fleet json: %s\n", stats.to_json().c_str());
+
+  if (!stats.accounted()) {
+    throw Error(ErrorCategory::kServe, "fleet request accounting mismatch");
+  }
+  long long failed = 0;
+  for (const auto& t : stats.tenants) failed += t.failed;
+  if (failed > 0) {
+    throw Error(ErrorCategory::kServe,
+                std::to_string(failed) +
+                    " request(s) failed on a degraded rung");
+  }
+  return 0;
+}
+
 int run_cli(int argc, char** argv) {
   std::string net_path, model_name = "alexnet", out_dir;
   fpga::Device dev = fpga::zc706();
@@ -579,6 +751,7 @@ int run_cli(int argc, char** argv) {
   bool fault_campaign = false;
   std::uint64_t fault_seed = 1;
   ServeCliOptions serve_opts;
+  FleetCliOptions fleet_opts;
   fpga::EngineModelParams params;
 
   for (int i = 1; i < argc; ++i) {
@@ -641,6 +814,12 @@ int run_cli(int argc, char** argv) {
       serve_opts.ladder = next("--serve-ladder");
     } else if (!std::strcmp(argv[i], "--serve-fault")) {
       serve_opts.fault = next("--serve-fault");
+    } else if (!std::strcmp(argv[i], "--fleet")) {
+      fleet_opts.spec = next("--fleet");
+    } else if (!std::strcmp(argv[i], "--fleet-models")) {
+      fleet_opts.models = next("--fleet-models");
+    } else if (!std::strcmp(argv[i], "--fleet-autoscale")) {
+      fleet_opts.autoscale = true;
     } else if (!std::strcmp(argv[i], "--help") || !std::strcmp(argv[i], "-h")) {
       usage();
       return 0;
@@ -649,6 +828,17 @@ int run_cli(int argc, char** argv) {
       usage();
       return 2;
     }
+  }
+
+  // --fleet brings its own model list; the single-model selection below
+  // does not apply.
+  if (!fleet_opts.spec.empty()) {
+    std::printf("target: %s (%s), %.1f GB/s DDR, %lld DSP48E, %lld "
+                "BRAM18K\n\n",
+                dev.name.c_str(), dev.chip.c_str(),
+                dev.bandwidth_bytes_per_s / 1e9, dev.capacity.dsp,
+                dev.capacity.bram18k);
+    return run_fleet(dev, opt, fleet_opts);
   }
 
   nn::Network net;
