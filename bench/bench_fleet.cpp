@@ -11,18 +11,23 @@
 //                      memory baseline)
 //   fleet-autoscale    batching + sharing + replica autoscale, for the
 //                      cold-vs-warm spin-up numbers
+//   fleet-faultburst   a 6x slow burst on one model-0 replica, hedging off
+//   fleet-hedged       the same burst with deterministic request hedging
 //
-// Exit status asserts the two §15 claims: dynamic batching buys >= 1.3x
+// Exit status asserts the §15 claims — dynamic batching buys >= 1.3x
 // virtual-time throughput over batch=1 at an equal-or-better deadline-miss
 // rate, and the shared cache keeps strictly fewer resident bytes than
-// replicas x per-replica copies. Emits a table and BENCH_fleet.json with
-// both verdicts.
+// replicas x per-replica copies — plus the §16 claim that hedging beats the
+// unhedged p99 on the struck model at < 5% duplicated work. Emits a table
+// and BENCH_fleet.json with all three verdicts.
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "bench_util.h"
+#include "fault/fleet_fault.h"
 #include "nn/model_zoo.h"
 #include "serve/fleet.h"
 #include "serve_common.h"
@@ -150,6 +155,48 @@ int main(int argc, char** argv) {
   const Scenario copies = run("fleet-copies", 8, false, false);
   const Scenario scaled = run("fleet-autoscale", 8, true, true);
 
+  // Fault-burst row (DESIGN.md §16): one replica of model-0 runs 6x slow
+  // for a ~100k-cycle burst mid-run. Hedging must pull the struck model's
+  // p99 back down while duplicating only a small fraction of the work —
+  // the whole point of hedging stragglers instead of replicating requests.
+  const auto run_burst = [&](const std::string& name, bool hedge) {
+    serve::FleetConfig cfg;
+    cfg.threads = 0;
+    cfg.batch_setup_frac = 0.5;
+    cfg.health.enabled = false;  // isolate hedging from quarantine rescue
+    cfg.hedge.enabled = hedge;
+    cfg.hedge.delay_cycles = 250;
+    fault::FleetFaultPlan plan;
+    fault::FleetFaultEvent slow;
+    slow.kind = fault::FleetFaultKind::kSlow;
+    slow.cycle = 100'000;
+    slow.model = 0;
+    slow.replica = 1;
+    slow.slow_factor = 6.0;
+    slow.slow_duration = 100'000;
+    plan.events.push_back(slow);
+    serve::FleetServer fleet(make_models(replicas), tenants, cfg);
+    double wall_ms = 0.0;
+    Scenario sc;
+    sc.stats =
+        bench::timed_ms(wall_ms, [&] { return fleet.run(traces, plan); });
+    for (const auto& t : sc.stats.tenants) sc.submitted += t.submitted;
+    sc.misses = miss_count(sc.stats);
+    recs.push_back({name, sc.stats.to_json(), wall_ms,
+                    bench::req_per_s(sc.stats.completed_total(), wall_ms)});
+    // The struck model's tail: worst p99 over model-0's two tenants.
+    const long long p99 = std::max(sc.stats.tenants[0].latency.p99(),
+                                   sc.stats.tenants[1].latency.p99());
+    std::printf("  %-16s %6lld ok  %5lld missed/shed  model-0 p99 %8lld  "
+                "%5lld hedges (%lld wins)  %s\n",
+                name.c_str(), sc.stats.completed_total(), sc.misses, p99,
+                sc.stats.hedges_fired, sc.stats.hedge_wins,
+                sc.stats.accounted() ? "accounted" : "LOST REQUESTS");
+    return sc;
+  };
+  const Scenario unhedged = run_burst("fleet-faultburst", false);
+  const Scenario hedged = run_burst("fleet-hedged", true);
+
   // Claim (a): batching amortizes the per-batch setup into >= 1.3x
   // virtual-time throughput without trading deadline quality away.
   const double speedup =
@@ -168,6 +215,20 @@ int main(int argc, char** argv) {
   const long long copy_bytes = copies.stats.cache.resident_bytes;
   const bool batching_ok = speedup >= 1.3 && missb <= miss1;
   const bool cache_ok = shared_bytes < copy_bytes;
+  // Claim (c): under the slow-replica burst, hedging beats the unhedged
+  // tail on the struck model at < 5% duplicated work.
+  const long long p99_unhedged =
+      std::max(unhedged.stats.tenants[0].latency.p99(),
+               unhedged.stats.tenants[1].latency.p99());
+  const long long p99_hedged =
+      std::max(hedged.stats.tenants[0].latency.p99(),
+               hedged.stats.tenants[1].latency.p99());
+  const double extra_work =
+      hedged.stats.completed_total() > 0
+          ? static_cast<double>(hedged.stats.hedges_fired) /
+                static_cast<double>(hedged.stats.completed_total())
+          : 1.0;
+  const bool hedging_ok = p99_hedged < p99_unhedged && extra_work < 0.05;
 
   std::printf("\nbatching: %.2fx throughput vs batch=1 (miss rate %.3f vs "
               "%.3f) -> %s\n",
@@ -175,6 +236,10 @@ int main(int argc, char** argv) {
   std::printf("sharing:  %lld bytes resident vs %lld per-replica copies "
               "(%d replicas) -> %s\n",
               shared_bytes, copy_bytes, replicas, cache_ok ? "ok" : "FAIL");
+  std::printf("hedging:  model-0 p99 %lld hedged vs %lld unhedged under the "
+              "slow burst (%.1f%% extra work) -> %s\n",
+              p99_hedged, p99_unhedged, 100.0 * extra_work,
+              hedging_ok ? "ok" : "FAIL");
   std::printf("spin-ups: %lld cold / %lld warm across the autoscale run\n",
               scaled.stats.models[0].cold_spinups +
                   scaled.stats.models[1].cold_spinups +
@@ -190,9 +255,13 @@ int main(int argc, char** argv) {
                  "\"batched_miss_rate\": %.4f, \"batching_ok\": %s, "
                  "\"shared_resident_bytes\": %lld, "
                  "\"replica_copy_resident_bytes\": %lld, \"cache_ok\": %s, "
+                 "\"p99_unhedged\": %lld, \"p99_hedged\": %lld, "
+                 "\"hedge_extra_work\": %.4f, \"hedging_ok\": %s, "
                  "\"scenarios\": %s}\n",
                  speedup, miss1, missb, batching_ok ? "true" : "false",
                  shared_bytes, copy_bytes, cache_ok ? "true" : "false",
+                 p99_unhedged, p99_hedged, extra_work,
+                 hedging_ok ? "true" : "false",
                  bench::records_json(recs).c_str());
     std::fclose(f);
     std::printf("wrote BENCH_fleet.json (%zu scenarios)\n", recs.size());
@@ -200,8 +269,9 @@ int main(int argc, char** argv) {
     std::printf("warning: cannot open BENCH_fleet.json for writing\n");
   }
 
-  const bool accounted = batch1.stats.accounted() &&
-                         batched.stats.accounted() &&
-                         copies.stats.accounted() && scaled.stats.accounted();
-  return accounted && batching_ok && cache_ok ? 0 : 1;
+  const bool accounted =
+      batch1.stats.accounted() && batched.stats.accounted() &&
+      copies.stats.accounted() && scaled.stats.accounted() &&
+      unhedged.stats.accounted() && hedged.stats.accounted();
+  return accounted && batching_ok && cache_ok && hedging_ok ? 0 : 1;
 }

@@ -29,6 +29,38 @@ long long PrepackBundle::resident_bytes() const {
   return total;
 }
 
+std::uint32_t PrepackBundle::content_crc() const {
+  std::uint32_t crc = 0u;
+  const auto fold = [&crc](const void* data, std::size_t bytes) {
+    crc = fault::crc32(data, bytes, crc);
+  };
+  const auto fold_packed = [&fold](const auto& pk) {
+    for (int pb = 0; pb < pk.pblocks(); ++pb) {
+      for (int ib = 0; ib < pk.iblocks(); ++ib) {
+        const auto& blk = pk.block(pb, ib);
+        fold(blk.data(), blk.size() * sizeof(blk[0]));
+      }
+    }
+  };
+  for (const auto& p : wino) {
+    if (!p) continue;
+    fold(p->bt.data(), p->bt.size() * sizeof(double));
+    fold(p->at.data(), p->at.size() * sizeof(double));
+    fold(p->u.data(), p->u.size() * sizeof(double));
+  }
+  for (const auto& p : packed) {
+    if (p) fold_packed(*p);
+  }
+  for (const auto& p : int8) {
+    if (!p) continue;
+    fold_packed(p->packed);
+    fold(p->requant.data(), p->requant.size() * sizeof(float));
+    fold(p->bias.data(), p->bias.size() * sizeof(std::int32_t));
+    fold(&p->pad_value, sizeof(p->pad_value));
+  }
+  return crc;
+}
+
 FusionPipeline::FusionPipeline(const nn::Network& net,
                                const nn::WeightStore& ws,
                                std::vector<LayerChoice> choices)

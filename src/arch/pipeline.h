@@ -49,6 +49,12 @@ struct PrepackBundle {
   /// Resident bytes of every constant held (panel blocks, transform planes,
   /// requant tables) — what one more private replica copy would cost.
   [[nodiscard]] long long resident_bytes() const;
+
+  /// CRC-32 over every resident constant byte, in the fixed layer-major walk
+  /// resident_bytes() uses. serve::PrepackCache records it at insert and
+  /// re-checks it on lease, so a bit flip in the shared resident copy is
+  /// caught before a spinning-up replica adopts the bundle.
+  [[nodiscard]] std::uint32_t content_crc() const;
 };
 
 class FusionPipeline {

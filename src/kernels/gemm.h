@@ -58,6 +58,10 @@ class PackedLhsT {
   [[nodiscard]] const std::vector<T>& block(int pb, int ib) const {
     return blocks_[static_cast<std::size_t>(pb) * iblocks_ + ib];
   }
+  /// Block-grid extents, so integrity scans (the prepack bundle CRC) can
+  /// walk every resident panel via block(pb, ib).
+  [[nodiscard]] int pblocks() const { return pblocks_; }
+  [[nodiscard]] int iblocks() const { return iblocks_; }
 
   /// Bytes resident in the packed panel blocks — the dominant per-pipeline
   /// memory cost a serving fleet's shared prepack cache deduplicates across

@@ -34,6 +34,15 @@ bool CircuitBreaker::try_acquire_probe(long long now) {
   return true;
 }
 
+void CircuitBreaker::force_open(long long now, long long cooldown_cycles) {
+  consecutive_failures_ = 0;
+  consecutive_misses_ = 0;
+  probe_in_flight_ = false;
+  probe_wins_ = 0;
+  transition(now, BreakerState::kOpen);
+  open_until_ = now + cooldown_cycles;
+}
+
 void CircuitBreaker::record_success(long long now) {
   consecutive_failures_ = 0;
   consecutive_misses_ = 0;

@@ -59,6 +59,13 @@ class CircuitBreaker {
   /// from the fallback.
   [[nodiscard]] bool try_acquire_probe(long long now);
 
+  /// Trips the breaker immediately with an explicit cooldown, bypassing the
+  /// consecutive-failure counters. For callers that score health themselves
+  /// and know the repair time up front — the fleet's quarantine machine uses
+  /// this with the replica's respawn spin-up as the cooldown, then walks the
+  /// ordinary open -> half-open -> closed probation sequence.
+  void force_open(long long now, long long cooldown_cycles);
+
   /// Outcome of a request served on the *primary* strategy.
   void record_success(long long now);
   void record_failure(long long now);

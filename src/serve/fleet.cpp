@@ -1,6 +1,7 @@
 #include "serve/fleet.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <deque>
 #include <future>
@@ -11,6 +12,7 @@
 
 #include "fault/crc32.h"
 #include "kernels/parallel.h"
+#include "serve/breaker.h"
 #include "serve/queue.h"
 #include "support/error.h"
 
@@ -20,16 +22,12 @@ namespace {
 
 constexpr long long kInf = std::numeric_limits<long long>::max();
 
-/// splitmix64 finalizer — same digest primitive as serve/server.cpp, so the
+/// Same digest primitive as serve/server.cpp (shared via stats.h), so the
 /// fleet hash has the same order-independence properties.
-constexpr std::uint64_t mix64(std::uint64_t x) {
-  x += 0x9E3779B97F4A7C15ull;
-  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
-  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
-  return x ^ (x >> 31);
-}
+constexpr std::uint64_t mix64(std::uint64_t x) { return digest_mix64(x); }
 
-/// Globally unique request key for the response digest.
+/// Globally unique request key for the response digest and the live-copy
+/// ledger hedging dedups through.
 constexpr std::uint64_t request_key(std::size_t tenant, std::uint64_t id) {
   return ((static_cast<std::uint64_t>(tenant) + 1) << 32) ^ (id + 1);
 }
@@ -38,16 +36,36 @@ constexpr std::uint64_t request_key(std::size_t tenant, std::uint64_t id) {
 /// through a warm pipeline by whichever worker picks it up. The response
 /// CRCs come back index-aligned with `seeds`; an empty vector signals an
 /// execution error (cannot happen without a fault plan, but accounted as
-/// `failed` rather than lost).
+/// `failed` rather than lost). `cancel` is the pipeline cancel token the
+/// dispatcher flips when the batch's virtual outcome no longer needs the
+/// real work (hedge loser, quarantine drain) — the only dispatcher->worker
+/// signal besides the queue itself, and it never carries stats.
 struct FleetJob {
   std::size_t model = 0;
   int rung = 0;
   std::shared_ptr<const arch::PrepackBundle> bundle;
   std::vector<std::uint32_t> seeds;
+  std::atomic<bool> cancel{false};
   std::promise<std::vector<std::uint32_t>> done;
 };
 
 }  // namespace
+
+std::string_view to_string(HealthEvent::Kind k) {
+  switch (k) {
+    case HealthEvent::Kind::kWedged: return "wedge-struck";
+    case HealthEvent::Kind::kCrashed: return "crash-struck";
+    case HealthEvent::Kind::kSlowed: return "slow-struck";
+    case HealthEvent::Kind::kCorrupted: return "bundle-corrupted";
+    case HealthEvent::Kind::kQuarantine: return "quarantine";
+    case HealthEvent::Kind::kRespawn: return "respawn";
+    case HealthEvent::Kind::kProbe: return "probe";
+    case HealthEvent::Kind::kReadmit: return "readmit";
+    case HealthEvent::Kind::kProbeFail: return "probe-fail";
+    case HealthEvent::Kind::kScrub: return "bundle-scrub";
+  }
+  return "?";
+}
 
 bool TenantStats::operator==(const TenantStats& o) const {
   return name == o.name && submitted == o.submitted &&
@@ -93,6 +111,11 @@ long long FleetStats::completed_total() const {
 bool FleetStats::operator==(const FleetStats& o) const {
   return tenants == o.tenants && models == o.models && cache == o.cache &&
          makespan_cycles == o.makespan_cycles &&
+         hedges_fired == o.hedges_fired && hedge_wins == o.hedge_wins &&
+         quarantines == o.quarantines && probes == o.probes &&
+         readmits == o.readmits && requeued == o.requeued &&
+         bundles_scrubbed == o.bundles_scrubbed &&
+         unrecovered_replicas == o.unrecovered_replicas &&
          response_hash == o.response_hash;
 }
 
@@ -124,6 +147,11 @@ std::string FleetStats::summary() const {
      << " misses, " << cache.resident_bytes << " bytes resident (peak "
      << cache.peak_resident_bytes << "), " << cache.bytes_saved
      << " bytes saved\n"
+     << "  faults      " << quarantines << " quarantines, " << probes
+     << " probes, " << readmits << " readmits, " << requeued << " requeued, "
+     << hedges_fired << " hedges (" << hedge_wins << " wins), "
+     << bundles_scrubbed << " bundles scrubbed, " << unrecovered_replicas
+     << " unrecovered\n"
      << "  makespan    " << makespan_cycles << " cycles\n"
      << "  accounted   " << (accounted() ? "yes" : "NO — REQUESTS LOST")
      << "\n";
@@ -175,7 +203,14 @@ std::string FleetStats::to_json() const {
      << ", \"resident_bytes\": " << cache.resident_bytes
      << ", \"peak_resident_bytes\": " << cache.peak_resident_bytes
      << ", \"bytes_saved\": " << cache.bytes_saved
-     << "}, \"makespan_cycles\": " << makespan_cycles
+     << ", \"scrubs\": " << cache.scrubs
+     << "}, \"hedges_fired\": " << hedges_fired
+     << ", \"hedge_wins\": " << hedge_wins
+     << ", \"quarantines\": " << quarantines << ", \"probes\": " << probes
+     << ", \"readmits\": " << readmits << ", \"requeued\": " << requeued
+     << ", \"bundles_scrubbed\": " << bundles_scrubbed
+     << ", \"unrecovered_replicas\": " << unrecovered_replicas
+     << ", \"makespan_cycles\": " << makespan_cycles
      << ", \"response_hash\": " << response_hash << "}";
   return os.str();
 }
@@ -202,6 +237,17 @@ FleetServer::FleetServer(std::vector<FleetModel> models,
        as.spinup_cold_cycles < 0 || as.spinup_warm_cycles < 0)) {
     throw ServeError(ServeError::Reason::kConfig,
                      "invalid autoscale configuration");
+  }
+  const HealthConfig& hc = cfg_.health;
+  if (hc.enabled && (hc.miss_window < 1 || hc.miss_threshold < 1 ||
+                     hc.failure_threshold < 1 || hc.watchdog_factor <= 1.0)) {
+    throw ServeError(ServeError::Reason::kConfig,
+                     "invalid health configuration (window/thresholds >= 1, "
+                     "watchdog_factor > 1)");
+  }
+  if (cfg_.hedge.enabled && cfg_.hedge.delay_cycles < 0) {
+    throw ServeError(ServeError::Reason::kConfig,
+                     "hedge delay must be >= 0 cycles");
   }
   for (std::size_t mi = 0; mi < models_.size(); ++mi) {
     const FleetModel& m = models_[mi];
@@ -253,6 +299,11 @@ FleetServer::FleetServer(std::vector<FleetModel> models,
 FleetServer::~FleetServer() = default;
 
 FleetStats FleetServer::run(const std::vector<ArrivalTrace>& traces) {
+  return run(traces, fault::FleetFaultPlan{});
+}
+
+FleetStats FleetServer::run(const std::vector<ArrivalTrace>& traces,
+                            const fault::FleetFaultPlan& plan) {
   if (traces.size() != tenants_.size()) {
     throw ServeError(ServeError::Reason::kConfig,
                      "fleet run wants one trace per tenant (" +
@@ -272,9 +323,24 @@ FleetStats FleetServer::run(const std::vector<ArrivalTrace>& traces) {
       }
     }
   }
+  fault::FleetFaultPlan chaos = plan;
+  chaos.normalize();
+  for (const fault::FleetFaultEvent& e : chaos.events) {
+    if (e.kind == fault::FleetFaultKind::kCorruptBundle &&
+        !cfg_.share_prepack) {
+      throw ServeError(ServeError::Reason::kConfig,
+                       "bundle-corruption faults need share_prepack (the "
+                       "per-copy baseline has no shared resident to flip)");
+    }
+    if (e.kind == fault::FleetFaultKind::kSlow && e.slow_factor <= 1.0) {
+      throw ServeError(ServeError::Reason::kConfig,
+                       "slow-replica faults need slow_factor > 1");
+    }
+  }
 
   rung_logs_.assign(models_.size(), {});
   scale_log_.clear();
+  health_log_.clear();
 
   FleetStats stats;
   stats.tenants.resize(tenants_.size());
@@ -311,12 +377,32 @@ FleetStats FleetServer::run(const std::vector<ArrivalTrace>& traces) {
   // ---- Dispatcher state (virtual time; workers never touch any of it). --
   PrepackCache cache(cfg_.share_prepack);
 
+  struct BatchItem {
+    std::size_t tenant = 0;
+    std::uint64_t id = 0;
+    long long arrival = 0;
+  };
   struct Replica {
+    enum class Health : std::uint8_t { kHealthy, kQuarantined, kProbation };
     int id = 0;
     long long busy_until = -1;  ///< -1 = free
     long long ready_at = 0;
     bool spinning = false;  ///< between spawn and its replica-ready event
     bool retired = false;
+    // Fault-domain state. The dispatcher *applies* wedge/crash/slow strikes
+    // but never reads them for scheduling decisions (it cannot know a
+    // replica is sick until the health layer detects it) — except that a
+    // wedged/crashed replica's batches simply never complete.
+    Health health = Health::kHealthy;
+    bool wedged = false;
+    bool crashed = false;
+    double slow_factor = 1.0;
+    long long slow_until = 0;  ///< kInf = until quarantine replaces it
+    std::unique_ptr<CircuitBreaker> gate;  ///< quarantine state machine
+    bool probe_pending = false;  ///< mirror of the gate's probe slot
+    std::deque<char> miss_ring;  ///< rolling service-overrun window
+    int window_misses = 0;
+    int consec_failures = 0;
     std::unique_ptr<RegimeController> regime;
     std::vector<std::unique_ptr<PrepackCache::Lease>> leases;  ///< per rung
   };
@@ -332,6 +418,8 @@ FleetStats FleetServer::run(const std::vector<ArrivalTrace>& traces) {
     int up_streak = 0, idle_streak = 0;
     long long last_scale = 0;
     std::vector<long long> service;  ///< per-rung service cycles
+    std::deque<BatchItem> rescue;    ///< requeued at quarantine; served first
+    std::deque<BatchItem> hedge_q;   ///< hedge copies awaiting a replica
   };
   std::vector<ModelState> mstate(models_.size());
   std::vector<std::deque<std::uint64_t>> tq(tenants_.size());
@@ -358,12 +446,47 @@ FleetStats FleetServer::run(const std::vector<ArrivalTrace>& traces) {
     }
   }
 
+  struct InFlight {
+    long long completion = 0;  ///< kInf while the replica is wedged/crashed
+    long long dispatched = 0;
+    long long nominal = 0;      ///< svc(b) at the dispatcher's price list
+    long long watchdog_at = kInf;
+    long long hedge_at = kInf;
+    std::size_t model = 0;
+    std::size_t replica = 0;  ///< index into mstate[model].replicas
+    int rung = 0;
+    bool hedged = false;    ///< hedge copies were cloned off this batch
+    bool is_hedge = false;  ///< this batch carries hedge copies
+    bool is_probe = false;  ///< probation probe batch
+    std::vector<BatchItem> items;
+    std::unique_ptr<FleetJob> job;
+    std::future<std::vector<std::uint32_t>> fut;
+  };
+  std::vector<InFlight> inflight;
+  // Cancelled batches whose real job may still be in the worker pipeline;
+  // their promises resolve before the workers join, after which these are
+  // safe to destroy. Futures are never read — the virtual outcome already
+  // settled without them.
+  std::vector<InFlight> zombies;
+  // Live-copy ledger for hedging dedup: copies = dispatched duplicates plus
+  // queued hedge clones; done = the request's single completion happened.
+  // Entries exist only between first dispatch and last copy's resolution,
+  // so the map stays O(in-flight), not O(trace).
+  struct ReqState {
+    int copies = 0;
+    bool done = false;
+  };
+  std::map<std::uint64_t, ReqState> req_state;
+  std::size_t next_arrival = 0;
+  long long last_completion = 0;
+
   const auto bundle_key = [&](std::size_t m, int rung) {
     // (model, strategy/rung, datapath): the rung label carries the strategy
     // identity and the datapath mode is a function of the rung's choices.
     return models_[m].name + "/r" + std::to_string(rung);
   };
-  const auto acquire_rung = [&](std::size_t m, Replica& rep, int rung) {
+  const auto acquire_rung = [&](std::size_t m, Replica& rep, int rung,
+                                long long now) {
     auto& slot = rep.leases[static_cast<std::size_t>(rung)];
     if (slot) return false;  // already leased; not a cache event
     auto lease = cache.acquire(bundle_key(m, rung), [&] {
@@ -373,6 +496,9 @@ FleetStats FleetServer::run(const std::vector<ArrivalTrace>& traces) {
       return p.shared_prepack();
     });
     const bool hit = lease.hit;
+    if (lease.scrubbed) {
+      health_log_.push_back({now, HealthEvent::Kind::kScrub, m, rep.id});
+    }
     slot = std::make_unique<PrepackCache::Lease>(std::move(lease));
     return hit;
   };
@@ -388,6 +514,14 @@ FleetStats FleetServer::run(const std::vector<ArrivalTrace>& traces) {
     for (std::size_t t : ms.tenant_ids) total += tq[t].size();
     return total;
   };
+  const auto model_cap = [&](std::size_t m) {
+    std::size_t cap = 0;
+    for (const std::size_t t : mstate[m].tenant_ids) {
+      cap = cap == 0 ? tenants_[t].batch_cap
+                     : std::min(cap, tenants_[t].batch_cap);
+    }
+    return std::max<std::size_t>(cap, 1);
+  };
 
   const auto spawn_replica = [&](std::size_t m, long long now, bool initial) {
     ModelState& ms = mstate[m];
@@ -396,10 +530,13 @@ FleetStats FleetServer::run(const std::vector<ArrivalTrace>& traces) {
     rep.regime = std::make_unique<RegimeController>(
         ms.service, models_[m].ladder.home, ms.cap_total, cfg_.regime);
     rep.leases.resize(models_[m].ladder.rungs.size());
+    BreakerConfig gate_cfg;
+    gate_cfg.probe_successes = 1;  // single-probe probation
+    rep.gate = std::make_unique<CircuitBreaker>(gate_cfg);
     // The home-rung bundle decides cold vs warm: a cold spin-up derives the
     // constants, a warm one adopts the resident copy a peer already built.
-    const bool hit =
-        acquire_rung(m, rep, static_cast<int>(models_[m].ladder.home));
+    const bool hit = acquire_rung(
+        m, rep, static_cast<int>(models_[m].ladder.home), now);
     const long long spinup = hit ? cfg_.autoscale.spinup_warm_cycles
                                  : cfg_.autoscale.spinup_cold_cycles;
     if (hit) {
@@ -438,8 +575,11 @@ FleetStats FleetServer::run(const std::vector<ArrivalTrace>& traces) {
                                          models_[m].replicas)
                               : models_[m].replicas;
   }
+  // Headroom beyond one-batch-per-replica: cancelled (zombie) jobs linger
+  // in the queue until a worker pops them, and quarantine bursts can stack
+  // a few; the bound only back-pressures the dispatcher, never drops.
   BoundedQueue<FleetJob*> exec_q(
-      static_cast<std::size_t>(max_replicas_total) + 2);
+      static_cast<std::size_t>(max_replicas_total) * 2 + 4);
   const int worker_count =
       std::max(1, std::min(kernels::resolve_threads(cfg_.threads),
                            max_replicas_total));
@@ -456,6 +596,7 @@ FleetStats FleetServer::run(const std::vector<ArrivalTrace>& traces) {
       FleetJob* job = nullptr;
       while (exec_q.pop(job)) {
         std::vector<std::uint32_t> crcs;
+        arch::FusionPipeline* pipe = nullptr;
         try {
           auto& slot = pipes[{job->model, job->rung}];
           if (!slot) {
@@ -466,42 +607,32 @@ FleetStats FleetServer::run(const std::vector<ArrivalTrace>& traces) {
                     .choices,
                 job->bundle);
           }
+          pipe = slot.get();
+          pipe->set_cancel_token(&job->cancel);
           crcs.reserve(job->seeds.size());
           for (const std::uint32_t seed : job->seeds) {
             nn::Tensor in(models_[job->model].net[0].out);
             nn::fill_deterministic(in, seed);
-            const nn::Tensor out = slot->run(in);
+            const nn::Tensor out = pipe->run(in);
             crcs.push_back(fault::crc32_f32(out.data(), out.vec().size()));
           }
         } catch (const std::exception&) {
-          crcs.clear();  // signals execution failure for the whole batch
+          // Execution failure OR cooperative cancellation — either way the
+          // batch carries no usable CRCs. The dispatcher distinguishes the
+          // two by whether it cancelled the job itself.
+          crcs.clear();
         }
+        if (pipe) pipe->set_cancel_token(nullptr);
         job->done.set_value(std::move(crcs));
       }
     });
   }
 
-  // ---- The discrete-event loop. Event ties resolve completions <
-  // replica-ready < batch-close timers < arrivals, so capacity frees up and
-  // comes online before batches close and before new work is admitted.
-  struct BatchItem {
-    std::size_t tenant = 0;
-    std::uint64_t id = 0;
-    long long arrival = 0;
-  };
-  struct InFlight {
-    long long completion = 0;
-    std::size_t model = 0;
-    std::size_t replica = 0;  ///< index into mstate[model].replicas
-    int rung = 0;
-    std::vector<BatchItem> items;
-    std::unique_ptr<FleetJob> job;
-    std::future<std::vector<std::uint32_t>> fut;
-  };
-  std::vector<InFlight> inflight;
-  std::size_t next_arrival = 0;
-  long long last_completion = 0;
-
+  // ---- The discrete-event loop. Event ties resolve fault strikes <
+  // completions < replica-ready < watchdog < hedge fire < batch-close
+  // timers < arrivals: faults land before anything else observes the cycle,
+  // capacity frees and comes online before sickness is judged, detection
+  // beats duplication, and both beat new admission.
   // Deterministic batch close rule: dispatch when pending >= the effective
   // cap (min over tenants with queued work) OR the oldest pending request
   // of some tenant has aged past that tenant's budget. Otherwise arm the
@@ -578,33 +709,116 @@ FleetStats FleetServer::run(const std::vector<ArrivalTrace>& traces) {
   const auto try_dispatch = [&](std::size_t m, long long now) {
     ModelState& ms = mstate[m];
     while (true) {
+      // Free-replica scan: healthy first, then a probation replica whose
+      // single probe slot is open (index order == id order, so the pick is
+      // a pure function of the virtual schedule).
       int k = -1;
+      bool probe = false;
       for (std::size_t i = 0; i < ms.replicas.size(); ++i) {
         const Replica& r = ms.replicas[i];
-        if (!r.retired && !r.spinning && r.busy_until < 0) {
+        if (r.retired || r.spinning || r.busy_until >= 0) continue;
+        if (r.health == Replica::Health::kHealthy) {
           k = static_cast<int>(i);
           break;
         }
       }
+      if (k < 0) {
+        for (std::size_t i = 0; i < ms.replicas.size(); ++i) {
+          const Replica& r = ms.replicas[i];
+          if (r.retired || r.spinning || r.busy_until >= 0) continue;
+          if (r.health == Replica::Health::kProbation && !r.probe_pending) {
+            k = static_cast<int>(i);
+            probe = true;
+            break;
+          }
+        }
+      }
       if (k < 0) return;
-      std::vector<BatchItem> batch = form_batch(m, now);
+      // Batch class priority: quarantine rescues, then hedge copies, then
+      // fresh DRR work. Rescue/hedge batches bypass the close rule — their
+      // requests were already admitted and are already late.
+      const std::size_t cap = model_cap(m);
+      std::vector<BatchItem> batch;
+      bool is_hedge = false;
+      while (!ms.rescue.empty() && batch.size() < cap) {
+        const BatchItem it = ms.rescue.front();
+        ms.rescue.pop_front();
+        const TenantConfig& tc = tenants_[it.tenant];
+        if (tc.deadline_cycles > 0 &&
+            now > it.arrival + tc.deadline_cycles) {
+          ++stats.tenants[it.tenant].shed_deadline;
+          req_state.erase(request_key(it.tenant, it.id));
+          continue;
+        }
+        batch.push_back(it);
+      }
+      if (batch.empty()) {
+        while (!ms.hedge_q.empty() && batch.size() < cap) {
+          const BatchItem it = ms.hedge_q.front();
+          ms.hedge_q.pop_front();
+          auto st = req_state.find(request_key(it.tenant, it.id));
+          if (st == req_state.end() || st->second.done) {
+            // The original finished while this copy queued — drop it.
+            if (st != req_state.end() && --st->second.copies == 0) {
+              req_state.erase(st);
+            }
+            continue;
+          }
+          batch.push_back(it);
+          is_hedge = true;
+        }
+      }
+      if (batch.empty()) batch = form_batch(m, now);
       if (batch.empty()) return;
       Replica& rep = ms.replicas[static_cast<std::size_t>(k)];
       const int rung = rep.regime->rung();
-      acquire_rung(m, rep, rung);  // deterministic cache event if first use
+      acquire_rung(m, rep, rung, now);  // deterministic cache event
       const long long service =
           ms.service[static_cast<std::size_t>(rung)];
       const long long setup =
           static_cast<long long>(static_cast<double>(service) *
                                  cfg_.batch_setup_frac);
-      const long long svc =
+      const long long nominal =
           setup + static_cast<long long>(batch.size()) * (service - setup);
+      // The dispatcher prices the batch at the *nominal* rate — it cannot
+      // know the replica is sick. The fault only shows in when (whether)
+      // the completion event actually fires.
+      long long actual = nominal;
+      if (rep.slow_factor > 1.0 && now < rep.slow_until) {
+        actual = static_cast<long long>(static_cast<double>(nominal) *
+                                        rep.slow_factor);
+      }
       InFlight f;
-      f.completion = now + svc;
+      f.completion =
+          (rep.wedged || rep.crashed) ? kInf : now + actual;
+      f.dispatched = now;
+      f.nominal = nominal;
       f.model = m;
       f.replica = static_cast<std::size_t>(k);
       f.rung = rung;
+      f.is_hedge = is_hedge;
       f.items = std::move(batch);
+      if (cfg_.health.enabled) {
+        f.watchdog_at =
+            now + static_cast<long long>(cfg_.health.watchdog_factor *
+                                         static_cast<double>(nominal));
+      }
+      if (cfg_.hedge.enabled && !is_hedge && !probe) {
+        f.hedge_at = now + nominal + cfg_.hedge.delay_cycles;
+      }
+      if (probe) {
+        (void)rep.gate->try_acquire_probe(now);  // scan guaranteed the slot
+        rep.probe_pending = true;
+        f.is_probe = true;
+        ++stats.probes;
+        health_log_.push_back({now, HealthEvent::Kind::kProbe, m, rep.id});
+      }
+      // Live-copy ledger: hedge copies were already counted at clone time.
+      if (!is_hedge) {
+        for (const BatchItem& it : f.items) {
+          ++req_state[request_key(it.tenant, it.id)].copies;
+        }
+      }
       f.job = std::make_unique<FleetJob>();
       f.job->model = m;
       f.job->rung = rung;
@@ -641,11 +855,14 @@ FleetStats FleetServer::run(const std::vector<ArrivalTrace>& traces) {
     }
     if (ms.idle_streak >= as.down_streak && live > as.min_replicas &&
         now - ms.last_scale >= as.dwell_cycles) {
-      // Retire the youngest free, ready replica; a fully busy pool keeps
-      // the streak and retries at the next observation.
+      // Retire the youngest free, ready, *healthy* replica; quarantined or
+      // probing replicas are mid-recovery and keep their slot.
       for (std::size_t i = ms.replicas.size(); i-- > 0;) {
         Replica& r = ms.replicas[i];
-        if (r.retired || r.spinning || r.busy_until >= 0) continue;
+        if (r.retired || r.spinning || r.busy_until >= 0 ||
+            r.health != Replica::Health::kHealthy) {
+          continue;
+        }
         r.retired = true;
         r.regime->finish(now);
         for (auto& lease : r.leases) {
@@ -661,6 +878,70 @@ FleetStats FleetServer::run(const std::vector<ArrivalTrace>& traces) {
     }
   };
 
+  // Quarantine: isolate the replica, cancel + rescue its in-flight batch,
+  // and respawn it in place through the cold/warm spin-up ledger. The gate
+  // breaker opens with the spin-up as cooldown, so the replica-ready event
+  // lands exactly when half-open probation can begin.
+  const auto quarantine = [&](std::size_t m, std::size_t ki, long long now) {
+    ModelState& ms = mstate[m];
+    Replica& rep = ms.replicas[ki];
+    if (rep.health == Replica::Health::kQuarantined) return;
+    ++stats.quarantines;
+    health_log_.push_back(
+        {now, HealthEvent::Kind::kQuarantine, m, rep.id});
+    for (std::size_t i = 0; i < inflight.size();) {
+      InFlight& f = inflight[i];
+      if (f.model != m || f.replica != ki) {
+        ++i;
+        continue;
+      }
+      f.job->cancel.store(true, std::memory_order_relaxed);
+      for (const BatchItem& it : f.items) {
+        auto st = req_state.find(request_key(it.tenant, it.id));
+        if (--st->second.copies == 0) {
+          if (st->second.done) {
+            req_state.erase(st);
+          } else {
+            // No other copy will complete this request: rescue it. It goes
+            // back through dispatch (and its deadline check) — never lost.
+            ms.rescue.push_back(it);
+            ++stats.requeued;
+          }
+        }
+      }
+      zombies.push_back(std::move(f));
+      inflight.erase(inflight.begin() + static_cast<long>(i));
+    }
+    // Fresh incarnation: the fault dies with the old one.
+    rep.wedged = false;
+    rep.crashed = false;
+    rep.slow_factor = 1.0;
+    rep.slow_until = 0;
+    rep.busy_until = -1;
+    rep.probe_pending = false;
+    rep.miss_ring.clear();
+    rep.window_misses = 0;
+    rep.consec_failures = 0;
+    rep.health = Replica::Health::kQuarantined;
+    for (auto& lease : rep.leases) {
+      if (lease) cache.release(*lease);
+      lease.reset();
+    }
+    const bool hit = acquire_rung(
+        m, rep, static_cast<int>(models_[m].ladder.home), now);
+    const long long spinup = hit ? cfg_.autoscale.spinup_warm_cycles
+                                 : cfg_.autoscale.spinup_cold_cycles;
+    if (hit) {
+      ++stats.models[m].warm_spinups;
+    } else {
+      ++stats.models[m].cold_spinups;
+    }
+    stats.models[m].spinup_cycles += spinup;
+    rep.ready_at = now + spinup;
+    rep.spinning = true;
+    rep.gate->force_open(now, spinup);
+  };
+
   const auto handle_completion = [&](InFlight f) {
     const long long now = f.completion;
     last_completion = std::max(last_completion, now);
@@ -670,29 +951,89 @@ FleetStats FleetServer::run(const std::vector<ArrivalTrace>& traces) {
     rep.busy_until = -1;
     const bool ok = crcs.size() == f.items.size();
     const int home = static_cast<int>(models_[f.model].ladder.home);
+    long long delivered = 0;
     for (std::size_t i = 0; i < f.items.size(); ++i) {
       const BatchItem& it = f.items[i];
       TenantStats& ts = stats.tenants[it.tenant];
+      auto st_it = req_state.find(request_key(it.tenant, it.id));
+      ReqState& st = st_it->second;
+      --st.copies;
       if (!ok) {
-        ++ts.failed;
+        // Failed execution: terminal only when this was the last copy.
+        if (st.copies == 0) {
+          if (!st.done) ++ts.failed;
+          req_state.erase(st_it);
+        }
         continue;
       }
+      if (st.done) {
+        // Hedge race loser: the request already completed elsewhere. Dedup
+        // keeps accounted() exact and the digest single-voiced.
+        if (st.copies == 0) req_state.erase(st_it);
+        continue;
+      }
+      st.done = true;
+      ++delivered;
       const long long lat = now - it.arrival;
       ++ts.completed;
       ts.latency.record(lat);
       if (f.rung != home) ++ts.completed_degraded;
+      if (f.is_hedge) ++stats.hedge_wins;
       stats.response_hash += mix64(
           request_key(it.tenant, it.id) * 0x9E3779B97F4A7C15ull ^ crcs[i]);
       const bool late = tenants_[it.tenant].deadline_cycles > 0 &&
                         lat > tenants_[it.tenant].deadline_cycles;
       if (late) ++ts.deadline_misses;
       rep.regime->observe_completion(now, late);
+      if (st.copies == 0) req_state.erase(st_it);
     }
     if (ok) {
       stats.models[f.model]
-          .rung_completions[static_cast<std::size_t>(f.rung)] +=
-          static_cast<long long>(f.items.size());
+          .rung_completions[static_cast<std::size_t>(f.rung)] += delivered;
     }
+
+    if (f.is_probe) {
+      rep.probe_pending = false;
+      const bool overran = now - f.dispatched > f.nominal;
+      if (ok && !overran) {
+        rep.gate->record_success(now);  // half-open -> closed (1 probe)
+        rep.health = Replica::Health::kHealthy;
+        rep.miss_ring.clear();
+        rep.window_misses = 0;
+        rep.consec_failures = 0;
+        ++stats.readmits;
+        health_log_.push_back(
+            {now, HealthEvent::Kind::kReadmit, f.model, rep.id});
+      } else {
+        health_log_.push_back(
+            {now, HealthEvent::Kind::kProbeFail, f.model, rep.id});
+        quarantine(f.model, f.replica, now);
+      }
+    } else if (cfg_.health.enabled &&
+               rep.health == Replica::Health::kHealthy) {
+      if (!ok) {
+        if (++rep.consec_failures >= cfg_.health.failure_threshold) {
+          quarantine(f.model, f.replica, now);
+        }
+      } else {
+        rep.consec_failures = 0;
+        // Replica-attributable miss: the batch overran its nominal svc(b).
+        // Honest replicas complete exactly on time in virtual time, so the
+        // window only ever fills on a sick one.
+        const bool overran = now - f.dispatched > f.nominal;
+        rep.miss_ring.push_back(overran ? 1 : 0);
+        if (overran) ++rep.window_misses;
+        if (static_cast<int>(rep.miss_ring.size()) >
+            cfg_.health.miss_window) {
+          if (rep.miss_ring.front()) --rep.window_misses;
+          rep.miss_ring.pop_front();
+        }
+        if (rep.window_misses >= cfg_.health.miss_threshold) {
+          quarantine(f.model, f.replica, now);
+        }
+      }
+    }
+
     if (cfg_.autoscale.enabled && pending_total(ms) == 0) {
       ++ms.idle_streak;
       ms.up_streak = 0;
@@ -700,10 +1041,128 @@ FleetStats FleetServer::run(const std::vector<ArrivalTrace>& traces) {
     maybe_scale(f.model, now);
   };
 
+  // A batch whose every request already completed elsewhere (its hedges all
+  // won) is pure waste: cancel the real work and free the replica now.
+  // Wedged/crashed replicas stay busy — there is nothing to free — and
+  // probes run to completion (probation needs their verdict).
+  const auto reap_deduped = [&](long long now) {
+    for (std::size_t i = 0; i < inflight.size();) {
+      InFlight& f = inflight[i];
+      const Replica& rep = mstate[f.model].replicas[f.replica];
+      if (f.is_probe || rep.wedged || rep.crashed) {
+        ++i;
+        continue;
+      }
+      bool all_done = !f.items.empty();
+      for (const BatchItem& it : f.items) {
+        auto st = req_state.find(request_key(it.tenant, it.id));
+        if (st == req_state.end() || !st->second.done) {
+          all_done = false;
+          break;
+        }
+      }
+      if (!all_done) {
+        ++i;
+        continue;
+      }
+      f.job->cancel.store(true, std::memory_order_relaxed);
+      for (const BatchItem& it : f.items) {
+        auto st = req_state.find(request_key(it.tenant, it.id));
+        if (st != req_state.end() && --st->second.copies == 0) {
+          req_state.erase(st);
+        }
+      }
+      const std::size_t m = f.model;
+      mstate[m].replicas[f.replica].busy_until = -1;
+      zombies.push_back(std::move(f));
+      inflight.erase(inflight.begin() + static_cast<long>(i));
+      try_dispatch(m, now);
+    }
+  };
+
+  const auto find_replica = [&](std::size_t m, int id) -> int {
+    const ModelState& ms = mstate[m];
+    for (std::size_t i = 0; i < ms.replicas.size(); ++i) {
+      if (ms.replicas[i].id == id) return static_cast<int>(i);
+    }
+    return -1;
+  };
+  const auto apply_fault = [&](const fault::FleetFaultEvent& e) {
+    const long long now = e.cycle;
+    if (e.model >= models_.size()) return;
+    if (e.kind == fault::FleetFaultKind::kCorruptBundle) {
+      const int rung = e.rung < 0
+                           ? static_cast<int>(models_[e.model].ladder.home)
+                           : e.rung;
+      if (rung >= static_cast<int>(models_[e.model].ladder.rungs.size())) {
+        return;
+      }
+      if (cache.corrupt_resident(bundle_key(e.model, rung))) {
+        health_log_.push_back(
+            {now, HealthEvent::Kind::kCorrupted, e.model, -1});
+      }
+      return;
+    }
+    const int ki = find_replica(e.model, e.replica);
+    if (ki < 0) return;
+    Replica& rep = mstate[e.model].replicas[static_cast<std::size_t>(ki)];
+    if (rep.retired || rep.spinning ||
+        rep.health != Replica::Health::kHealthy) {
+      return;  // already out of service — the strike is a no-op
+    }
+    switch (e.kind) {
+      case fault::FleetFaultKind::kWedge:
+        rep.wedged = true;
+        health_log_.push_back(
+            {now, HealthEvent::Kind::kWedged, e.model, rep.id});
+        // The in-flight batch will never virtually complete; only the
+        // watchdog (or a hedge) can save its requests now.
+        for (InFlight& f : inflight) {
+          if (f.model == e.model &&
+              f.replica == static_cast<std::size_t>(ki)) {
+            f.completion = kInf;
+          }
+        }
+        if (rep.busy_until >= 0) rep.busy_until = kInf;
+        break;
+      case fault::FleetFaultKind::kSlow:
+        rep.slow_factor = e.slow_factor;
+        rep.slow_until =
+            e.slow_duration > 0 ? now + e.slow_duration : kInf;
+        health_log_.push_back(
+            {now, HealthEvent::Kind::kSlowed, e.model, rep.id});
+        break;
+      case fault::FleetFaultKind::kCrash:
+        rep.crashed = true;
+        health_log_.push_back(
+            {now, HealthEvent::Kind::kCrashed, e.model, rep.id});
+        if (cfg_.health.enabled) {
+          // The virtual machine-check: detection is immediate.
+          quarantine(e.model, static_cast<std::size_t>(ki), now);
+          try_dispatch(e.model, now);
+        } else {
+          for (InFlight& f : inflight) {
+            if (f.model == e.model &&
+                f.replica == static_cast<std::size_t>(ki)) {
+              f.completion = kInf;
+            }
+          }
+          if (rep.busy_until >= 0) rep.busy_until = kInf;
+        }
+        break;
+      case fault::FleetFaultKind::kCorruptBundle:
+        break;  // handled above
+    }
+  };
+
   const std::size_t n_arrivals = arrivals.size();
+  std::size_t next_fault = 0;
   const auto queues_empty = [&] {
     for (const auto& q : tq) {
       if (!q.empty()) return false;
+    }
+    for (const ModelState& ms : mstate) {
+      if (!ms.rescue.empty() || !ms.hedge_q.empty()) return false;
     }
     return true;
   };
@@ -719,12 +1178,19 @@ FleetStats FleetServer::run(const std::vector<ArrivalTrace>& traces) {
   try {
     while (next_arrival < n_arrivals || !inflight.empty() ||
            !queues_empty() || any_spinning()) {
+      const long long t_fault = next_fault < chaos.events.size()
+                                    ? chaos.events[next_fault].cycle
+                                    : kInf;
       const long long t_arr = next_arrival < n_arrivals
                                   ? arrivals[next_arrival].cycle
                                   : kInf;
       long long t_comp = kInf;
+      long long t_watch = kInf;
+      long long t_hedge = kInf;
       for (const InFlight& f : inflight) {
         t_comp = std::min(t_comp, f.completion);
+        t_watch = std::min(t_watch, f.watchdog_at);
+        if (!f.hedged) t_hedge = std::min(t_hedge, f.hedge_at);
       }
       long long t_ready = kInf;
       for (const ModelState& ms : mstate) {
@@ -737,7 +1203,13 @@ FleetStats FleetServer::run(const std::vector<ArrivalTrace>& traces) {
         t_timer = std::min(t_timer, ms.batch_timer);
       }
 
-      if (t_comp <= t_ready && t_comp <= t_timer && t_comp <= t_arr) {
+      if (t_fault < kInf && t_fault <= t_comp && t_fault <= t_ready &&
+          t_fault <= t_watch && t_fault <= t_hedge && t_fault <= t_timer &&
+          t_fault <= t_arr) {
+        apply_fault(chaos.events[next_fault]);
+        ++next_fault;
+      } else if (t_comp < kInf && t_comp <= t_ready && t_comp <= t_watch &&
+                 t_comp <= t_hedge && t_comp <= t_timer && t_comp <= t_arr) {
         // Earliest completion; ties broken by (model, replica, first item)
         // so the pick order is a pure function of the virtual schedule.
         std::size_t best = 0;
@@ -755,8 +1227,11 @@ FleetStats FleetServer::run(const std::vector<ArrivalTrace>& traces) {
         inflight.erase(inflight.begin() + static_cast<long>(best));
         const std::size_t m = f.model;
         handle_completion(std::move(f));
+        reap_deduped(t_comp);
         try_dispatch(m, t_comp);
-      } else if (t_ready <= t_timer && t_ready <= t_arr && t_ready < kInf) {
+      } else if (t_ready < kInf && t_ready <= t_watch &&
+                 t_ready <= t_hedge && t_ready <= t_timer &&
+                 t_ready <= t_arr) {
         std::size_t best_m = 0;
         int best_r = -1;
         for (std::size_t m = 0; m < mstate.size() && best_r < 0; ++m) {
@@ -769,10 +1244,63 @@ FleetStats FleetServer::run(const std::vector<ArrivalTrace>& traces) {
           }
         }
         for (Replica& r : mstate[best_m].replicas) {
-          if (r.id == best_r) r.spinning = false;
+          if (r.id != best_r) continue;
+          r.spinning = false;
+          if (r.health == Replica::Health::kQuarantined) {
+            // Respawn finished; the gate's cooldown == spin-up, so reading
+            // the state commits open -> half-open and probation begins.
+            (void)r.gate->state(t_ready);
+            r.health = Replica::Health::kProbation;
+            health_log_.push_back(
+                {t_ready, HealthEvent::Kind::kRespawn, best_m, r.id});
+          }
         }
         try_dispatch(best_m, t_ready);
-      } else if (t_timer <= t_arr && t_timer < kInf) {
+      } else if (t_watch < kInf && t_watch <= t_hedge &&
+                 t_watch <= t_timer && t_watch <= t_arr) {
+        // Watchdog: a batch overdue past watchdog_factor x nominal means
+        // its replica wedged. Quarantine cancels + rescues the batch.
+        std::size_t best = inflight.size();
+        for (std::size_t i = 0; i < inflight.size(); ++i) {
+          const InFlight& f = inflight[i];
+          if (f.watchdog_at != t_watch) continue;
+          if (best == inflight.size() ||
+              f.model < inflight[best].model ||
+              (f.model == inflight[best].model &&
+               f.replica < inflight[best].replica)) {
+            best = i;
+          }
+        }
+        const std::size_t m = inflight[best].model;
+        const std::size_t ki = inflight[best].replica;
+        quarantine(m, ki, t_watch);
+        try_dispatch(m, t_watch);
+      } else if (t_hedge < kInf && t_hedge <= t_timer && t_hedge <= t_arr) {
+        // Hedge fire: clone the straggling batch's unfinished requests onto
+        // the model's hedge queue; the next free replica picks them up.
+        std::size_t best = inflight.size();
+        for (std::size_t i = 0; i < inflight.size(); ++i) {
+          const InFlight& f = inflight[i];
+          if (f.hedged || f.hedge_at != t_hedge) continue;
+          if (best == inflight.size() ||
+              f.model < inflight[best].model ||
+              (f.model == inflight[best].model &&
+               f.replica < inflight[best].replica)) {
+            best = i;
+          }
+        }
+        InFlight& f = inflight[best];
+        f.hedged = true;
+        ModelState& ms = mstate[f.model];
+        for (const BatchItem& it : f.items) {
+          auto st = req_state.find(request_key(it.tenant, it.id));
+          if (st == req_state.end() || st->second.done) continue;
+          ++st->second.copies;
+          ms.hedge_q.push_back(it);
+          ++stats.hedges_fired;
+        }
+        try_dispatch(f.model, t_hedge);
+      } else if (t_timer < kInf && t_timer <= t_arr) {
         for (std::size_t m = 0; m < mstate.size(); ++m) {
           if (mstate[m].batch_timer == t_timer) {
             mstate[m].batch_timer = kInf;
@@ -814,20 +1342,45 @@ FleetStats FleetServer::run(const std::vector<ArrivalTrace>& traces) {
         }
         try_dispatch(m, a.cycle);
       } else {
-        break;  // defensive: cannot happen (pending work implies an event)
+        // No event can fire: only wedged batches (health + hedging both
+        // off) remain. Their requests are lost — the accounting surfaces
+        // it — but the real jobs must still resolve before the join.
+        break;
       }
     }
   } catch (...) {
+    for (InFlight& f : inflight) {
+      f.job->cancel.store(true, std::memory_order_relaxed);
+    }
     exec_q.close();
     for (auto& w : workers) w.join();
     throw;
   }
 
+  for (InFlight& f : inflight) {
+    f.job->cancel.store(true, std::memory_order_relaxed);
+    zombies.push_back(std::move(f));
+  }
+  inflight.clear();
+
   exec_q.close();
   for (auto& w : workers) w.join();
+  // Workers have drained the queue: every zombie promise is resolved, so
+  // the zombie jobs (and their unread futures) are safe to destroy now.
+  zombies.clear();
 
-  // Close the rung timelines and fold them — plus the scale timeline — into
-  // the digest, exactly as Server does for its single ladder walk.
+  for (std::size_t m = 0; m < models_.size(); ++m) {
+    for (const Replica& r : mstate[m].replicas) {
+      if (!r.retired && (r.health != Replica::Health::kHealthy ||
+                         r.wedged || r.crashed)) {
+        ++stats.unrecovered_replicas;
+      }
+    }
+  }
+
+  // Close the rung timelines and fold them — plus the scale and
+  // fault-domain timelines — into the digest, exactly as Server does for
+  // its single ladder walk.
   for (std::size_t m = 0; m < models_.size(); ++m) {
     ModelState& ms = mstate[m];
     rung_logs_[m].resize(static_cast<std::size_t>(ms.next_replica_id));
@@ -856,9 +1409,28 @@ FleetStats FleetServer::run(const std::vector<ArrivalTrace>& traces) {
         (e.up ? 0x100u : 0u) ^
         static_cast<std::uint64_t>(static_cast<unsigned>(e.replicas_after)));
   }
+  for (const HealthEvent& e : health_log_) {
+    stats.response_hash += mix64(
+        static_cast<std::uint64_t>(e.cycle) * 0x9FB21C651E98DF25ull ^
+        (static_cast<std::uint64_t>(e.model + 1) << 20) ^
+        (static_cast<std::uint64_t>(static_cast<unsigned>(e.replica + 2))
+         << 8) ^
+        static_cast<std::uint64_t>(static_cast<unsigned>(e.kind)));
+  }
 
   stats.makespan_cycles = last_completion;
   stats.cache = cache.stats();  // snapshot with live leases still resident
+  stats.bundles_scrubbed = stats.cache.scrubs;
+  stats.response_hash += mix64(
+      static_cast<std::uint64_t>(stats.hedges_fired) * 0xD6E8FEB86659FD93ull ^
+      (static_cast<std::uint64_t>(stats.hedge_wins) << 40) ^
+      (static_cast<std::uint64_t>(stats.quarantines) << 24) ^
+      (static_cast<std::uint64_t>(stats.probes) << 12) ^
+      static_cast<std::uint64_t>(stats.readmits));
+  stats.response_hash += mix64(
+      static_cast<std::uint64_t>(stats.requeued) * 0xA0761D6478BD642Full ^
+      (static_cast<std::uint64_t>(stats.bundles_scrubbed) << 8) ^
+      static_cast<std::uint64_t>(stats.unrecovered_replicas));
   return stats;
 }
 

@@ -36,8 +36,10 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "fault/fleet_fault.h"
 #include "serve/prepack_cache.h"
 #include "serve/server.h"
 #include "serve/stats.h"
@@ -91,6 +93,42 @@ struct AutoscaleConfig {
   long long spinup_warm_cycles = 512;
 };
 
+/// Per-replica health scoring + the quarantine state machine (DESIGN.md
+/// §16). The miss signal is *replica-attributable*: a batch whose actual
+/// service time overran its nominal svc(b). Queue-wait lateness never
+/// implicates the replica, so an honest fleet under pure overload scores
+/// zero — only sick replicas (kSlow, kWedge) accumulate. Quarantine cancels
+/// and requeues the in-flight batch, releases the replica's bundle leases,
+/// respawns through the autoscale cold/warm spin-up ledger, and re-admits
+/// via a breaker-style single-probe probation (CircuitBreaker::force_open
+/// with the spin-up as the cooldown, then the ordinary open -> half-open ->
+/// closed walk). With `enabled = false` nothing detects or recovers faults:
+/// a wedge loses its requests — the failure mode this PR exists to close.
+struct HealthConfig {
+  bool enabled = true;
+  int miss_window = 8;        ///< rolling batch-completion window length
+  int miss_threshold = 3;     ///< overruns in window that quarantine
+  int failure_threshold = 2;  ///< consecutive execution failures likewise
+  /// A batch still unfinished at dispatch + watchdog_factor x nominal
+  /// svc(b) is a wedge; the watchdog quarantines the replica instead of
+  /// waiting for a completion that will never come. Must clear the worst
+  /// honest service time (any slow multiplier below it is caught by the
+  /// miss window, not the watchdog).
+  double watchdog_factor = 6.0;
+};
+
+/// Deterministic request hedging: once a batch is `delay_cycles` past its
+/// *nominal* completion, its unfinished requests are duplicated onto the
+/// next free replica; the first virtual-time completion wins and the losing
+/// copy's real work is cancelled through the pipeline cancel token. Dedup
+/// accounting keeps accounted() exact — each request lands in exactly one
+/// stats bin no matter how many copies raced — and the response digest
+/// folds the winner's CRC only.
+struct HedgeConfig {
+  bool enabled = false;
+  long long delay_cycles = 0;  ///< grace past nominal completion; >= 0
+};
+
 struct FleetConfig {
   int threads = 0;  ///< real worker threads; never affects FleetStats
   /// Share prepack bundles across replicas (false = per-replica-copy
@@ -102,6 +140,8 @@ struct FleetConfig {
   double batch_setup_frac = 0.35;
   RegimeConfig regime;
   AutoscaleConfig autoscale;
+  HealthConfig health;
+  HedgeConfig hedge;
 };
 
 struct TenantStats {
@@ -146,9 +186,21 @@ struct FleetStats {
   std::vector<ModelStats> models;    ///< index-aligned with the model list
   PrepackCacheStats cache;
   long long makespan_cycles = 0;  ///< last completion's virtual cycle
+
+  // Fault-domain accounting (all zero without a chaos plan or sick replica).
+  long long hedges_fired = 0;  ///< duplicate request copies dispatched
+  long long hedge_wins = 0;    ///< requests whose hedge copy finished first
+  long long quarantines = 0;   ///< replica isolations (wedge/crash/sick)
+  long long probes = 0;        ///< probation probe batches dispatched
+  long long readmits = 0;      ///< probations that closed healthy again
+  long long requeued = 0;      ///< in-flight requests rescued at quarantine
+  long long bundles_scrubbed = 0;  ///< corrupted residents caught by CRC
+  long long unrecovered_replicas = 0;  ///< not healthy when the run ended
+
   /// Order-independent digest: every response CRC keyed by (tenant, id),
-  /// every rung transition of every replica, and every scale event. Two
-  /// runs that agree here answered, degraded, and scaled identically.
+  /// every rung transition of every replica, every scale event, and the
+  /// whole fault-domain timeline + counters. Two runs that agree here
+  /// answered, degraded, scaled, and recovered identically.
   std::uint64_t response_hash = 0;
 
   [[nodiscard]] bool accounted() const;
@@ -165,6 +217,30 @@ struct ScaleEvent {
   bool up = false;
   int replicas_after = 0;
 };
+
+/// One entry in the fault-domain timeline: plan strikes as the dispatcher
+/// applied them, detections, and every quarantine -> respawn -> probe ->
+/// readmit step. Drives the CLI timeline and the CI soak greps.
+struct HealthEvent {
+  enum class Kind : std::uint8_t {
+    kWedged,       ///< plan strike: replica stopped completing work
+    kCrashed,      ///< plan strike: replica died (detection immediate)
+    kSlowed,       ///< plan strike: service multiplier applied
+    kCorrupted,    ///< plan strike: resident bundle flipped (replica = -1)
+    kQuarantine,   ///< replica isolated; in-flight batch cancelled/requeued
+    kRespawn,      ///< spin-up finished; probation begins
+    kProbe,        ///< single probation probe batch dispatched
+    kReadmit,      ///< probe succeeded; replica healthy again
+    kProbeFail,    ///< probe failed; back to quarantine
+    kScrub,        ///< corrupted bundle caught on lease and re-derived
+  };
+  long long cycle = 0;
+  Kind kind = Kind::kQuarantine;
+  std::size_t model = 0;
+  int replica = 0;  ///< dense per-model replica id; -1 for cache events
+};
+
+[[nodiscard]] std::string_view to_string(HealthEvent::Kind k);
 
 class FleetServer {
  public:
@@ -184,6 +260,15 @@ class FleetServer {
   /// cfg.threads.
   [[nodiscard]] FleetStats run(const std::vector<ArrivalTrace>& traces);
 
+  /// Chaos run: the same loop with `plan` merged in as the
+  /// highest-precedence event source (fault strikes resolve before
+  /// completions at the same cycle). Plan events later than the last live
+  /// fleet event never strike — the campaign out-ran the trace. Corruption
+  /// events require share_prepack (the per-copy baseline has no shared
+  /// resident to flip). Deterministic for any cfg.threads, plan included.
+  [[nodiscard]] FleetStats run(const std::vector<ArrivalTrace>& traces,
+                               const fault::FleetFaultPlan& plan);
+
   /// Rung timelines of the last run: one log per replica ever spun up,
   /// indexed [model][replica id] (retired replicas keep their log).
   [[nodiscard]] const std::vector<std::vector<std::vector<RungTransition>>>&
@@ -192,6 +277,10 @@ class FleetServer {
   }
   [[nodiscard]] const std::vector<ScaleEvent>& scale_log() const {
     return scale_log_;
+  }
+  /// Fault-domain timeline of the last run (strikes + recovery walk).
+  [[nodiscard]] const std::vector<HealthEvent>& health_log() const {
+    return health_log_;
   }
 
   [[nodiscard]] const FleetConfig& config() const { return cfg_; }
@@ -208,6 +297,7 @@ class FleetServer {
   FleetConfig cfg_;
   std::vector<std::vector<std::vector<RungTransition>>> rung_logs_;
   std::vector<ScaleEvent> scale_log_;
+  std::vector<HealthEvent> health_log_;
 };
 
 }  // namespace hetacc::serve

@@ -10,10 +10,35 @@ PrepackCache::Lease PrepackCache::acquire(const std::string& key,
   if (share_) {
     auto it = entries_.find(key);
     if (it != entries_.end()) {
-      ++it->second.refs;
-      ++stats_.hits;
-      stats_.bytes_saved += it->second.bytes;
-      return {it->second.bundle, key, true};
+      Entry& e = it->second;
+      const bool dirty =
+          verify_ && (e.corrupt || e.bundle->content_crc() != e.crc);
+      if (!dirty) {
+        ++e.refs;
+        ++stats_.hits;
+        stats_.bytes_saved += e.bytes;
+        return {e.bundle, key, true, false};
+      }
+      // Scrub: the resident master copy is corrupted. Re-derive a clean
+      // bundle and swap it in for this and future leases; peers that already
+      // adopted the old pointer keep their (on-chip) copies alive — only the
+      // cache's hand-out changes. Counts as a miss: the lease paid a build.
+      auto fresh = build();
+      if (!fresh) {
+        throw std::logic_error("PrepackCache: builder returned null bundle");
+      }
+      const long long fresh_bytes = fresh->resident_bytes();
+      stats_.resident_bytes += fresh_bytes - e.bytes;
+      stats_.peak_resident_bytes =
+          std::max(stats_.peak_resident_bytes, stats_.resident_bytes);
+      e.bundle = std::move(fresh);
+      e.bytes = fresh_bytes;
+      e.crc = verify_ ? e.bundle->content_crc() : 0u;
+      e.corrupt = false;
+      ++e.refs;
+      ++stats_.misses;
+      ++stats_.scrubs;
+      return {e.bundle, key, false, true};
     }
   }
   Lease lease;
@@ -27,6 +52,7 @@ PrepackCache::Lease PrepackCache::acquire(const std::string& key,
   e.bundle = lease.bundle;
   e.refs = 1;
   e.bytes = lease.bundle->resident_bytes();
+  e.crc = verify_ ? e.bundle->content_crc() : 0u;
   stats_.resident_bytes += e.bytes;
   stats_.peak_resident_bytes =
       std::max(stats_.peak_resident_bytes, stats_.resident_bytes);
@@ -46,6 +72,13 @@ void PrepackCache::release(const Lease& lease) {
     ++stats_.evictions;
     entries_.erase(it);
   }
+}
+
+bool PrepackCache::corrupt_resident(const std::string& key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return false;
+  it->second.corrupt = true;
+  return true;
 }
 
 long long PrepackCache::refcount(const std::string& key) const {

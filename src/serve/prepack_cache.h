@@ -18,6 +18,7 @@
 // mode stays strictly below 2x the per-replica cost.
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
@@ -34,19 +35,23 @@ struct PrepackCacheStats {
   long long resident_bytes = 0;       ///< bytes currently held
   long long peak_resident_bytes = 0;  ///< high-water mark of the above
   long long bytes_saved = 0;  ///< bytes a hit avoided duplicating (sum)
+  long long scrubs = 0;  ///< corrupted residents caught by CRC and re-derived
 
   bool operator==(const PrepackCacheStats& o) const {
     return hits == o.hits && misses == o.misses && evictions == o.evictions &&
            resident_bytes == o.resident_bytes &&
            peak_resident_bytes == o.peak_resident_bytes &&
-           bytes_saved == o.bytes_saved;
+           bytes_saved == o.bytes_saved && scrubs == o.scrubs;
   }
 };
 
 class PrepackCache {
  public:
   /// `share = false` disables deduplication (the per-replica-copy baseline).
-  explicit PrepackCache(bool share = true) : share_(share) {}
+  /// `verify = false` drops the CRC re-check on lease (measurement baseline;
+  /// the integrity guard is on by default).
+  explicit PrepackCache(bool share = true, bool verify = true)
+      : share_(share), verify_(verify) {}
 
   /// Builds a bundle on a cache miss. Must be deterministic for a given key
   /// (the fleet derives from golden weights, so it is).
@@ -60,11 +65,24 @@ class PrepackCache {
     std::shared_ptr<const arch::PrepackBundle> bundle;
     std::string key;
     bool hit = false;
+    bool scrubbed = false;  ///< the resident copy failed its CRC re-check
   };
 
   /// Returns the resident bundle for `key` (hit: refcount bumped, bytes
-  /// saved credited) or builds, inserts, and leases a new one (miss).
+  /// saved credited) or builds, inserts, and leases a new one (miss). When
+  /// the resident copy fails its CRC re-check, the lease is a *scrub*: the
+  /// bundle is re-derived and the clean copy replaces the resident one.
+  /// Peers that adopted the old pointer keep it alive and untouched — the
+  /// cache only stops handing the corrupted copy out. A scrub counts as a
+  /// miss (the lease paid a full re-derivation).
   [[nodiscard]] Lease acquire(const std::string& key, const Builder& build);
+
+  /// Simulates a bit flip in the resident master copy of `key` (dispatcher
+  /// only, like everything here). The flip is *virtual* — a flag, not a real
+  /// mutation — because workers may be streaming through the shared bytes;
+  /// the next acquire detects it exactly as a real CRC mismatch would.
+  /// Returns false (no-op) when the key is not resident.
+  bool corrupt_resident(const std::string& key);
 
   /// Ends a lease. The bundle is evicted when its last lease ends; a peer
   /// still holding the shared_ptr keeps its (immutable) bundle alive — the
@@ -81,8 +99,11 @@ class PrepackCache {
     std::shared_ptr<const arch::PrepackBundle> bundle;
     long long refs = 0;
     long long bytes = 0;
+    std::uint32_t crc = 0;  ///< content CRC recorded at insert
+    bool corrupt = false;   ///< virtual flip pending detection on next lease
   };
   bool share_;
+  bool verify_;
   long long serial_ = 0;  ///< synthesized-key counter for the baseline mode
   std::map<std::string, Entry> entries_;
   PrepackCacheStats stats_;

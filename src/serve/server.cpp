@@ -17,14 +17,9 @@ namespace {
 
 constexpr long long kInf = std::numeric_limits<long long>::max();
 
-/// splitmix64 finalizer — folds (request id, response CRC) and the rung
-/// transition log into the order-independent response digest.
-constexpr std::uint64_t mix64(std::uint64_t x) {
-  x += 0x9E3779B97F4A7C15ull;
-  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
-  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
-  return x ^ (x >> 31);
-}
+/// Folds (request id, response CRC) and the rung transition log into the
+/// order-independent response digest via the shared mixer in stats.h.
+constexpr std::uint64_t mix64(std::uint64_t x) { return digest_mix64(x); }
 
 /// What a worker reports back to the dispatcher. Fault identity comes from
 /// the structured FaultError payload, so the stats and the CLI can say what

@@ -13,6 +13,17 @@
 
 namespace hetacc::serve {
 
+/// splitmix64 finalizer — the shared counter-hash primitive every serving
+/// response digest folds with (single server, fleet, and the fault layer's
+/// identity hashes all use the same mixer, so digests compose). Pure and
+/// constexpr: a digest is a function of virtual-time event order only.
+[[nodiscard]] constexpr std::uint64_t digest_mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
 /// Latency distribution in cycles. Samples are kept exactly (a serving
 /// trace is bounded), so percentiles are exact order statistics and
 /// equality is multiset equality — the strongest determinism check.

@@ -27,6 +27,7 @@
 #include "caffe/importer.h"
 #include "core/strategy_io.h"
 #include "fault/fault.h"
+#include "fault/fleet_fault.h"
 #include "fault/protect.h"
 #include "nn/graph.h"
 #include "nn/model_zoo.h"
@@ -119,7 +120,18 @@ void usage() {
       "                      resnet-mini)\n"
       "  --fleet-autoscale   let per-model replica pools grow and shrink\n"
       "                      under the queue-pressure watermarks (spin-ups\n"
-      "                      pay cold or warm cache costs)\n");
+      "                      pay cold or warm cache costs)\n"
+      "  --fleet-chaos PLAN[:SEED]\n"
+      "                      run the fleet under a seeded fault campaign.\n"
+      "                      PLAN is a '+'-joined subset of {wedge, crash,\n"
+      "                      slow, corrupt} or 'mix'. Arms health scoring\n"
+      "                      (quarantine -> respawn -> probe -> readmit),\n"
+      "                      request hedging and the bundle CRC scrubber;\n"
+      "                      implies the default --fleet when none is\n"
+      "                      given. Exits 4 if any request is lost or a\n"
+      "                      replica ends the run unrecovered. Exit codes:\n"
+      "                      0 ok, 2 parse/validate, 3 infeasible, 4 fault\n"
+      "                      unabsorbed, 5 serve-layer failure\n");
 }
 
 void print_report_line(const char* tag, const core::StrategyReport& r) {
@@ -599,7 +611,8 @@ int run_serve(const nn::Network& net, const fpga::Device& dev,
 
 /// --fleet: everything the fleet simulator needs from the command line.
 struct FleetCliOptions {
-  std::string spec;  ///< REPLICAS[:REQUESTS[:SEED]]
+  std::string spec;   ///< REPLICAS[:REQUESTS[:SEED]]
+  std::string chaos;  ///< --fleet-chaos PLAN[:SEED]; empty = no chaos
   std::string models = "alexnet,vgg-e,inception-mini,resnet-mini";
   bool autoscale = false;
 };
@@ -693,18 +706,51 @@ int run_fleet(const fpga::Device& dev, const toolflow::ToolflowOptions& opt,
         std::max<long long>(max_service / 8, 1);
   }
 
+  // --fleet-chaos: build the seeded fault campaign, arm hedging (the
+  // tail-rescue path the bench measures), and scale the respawn ledger to
+  // the fleet's service times so quarantine downtime is visible but finite.
+  fault::FleetFaultPlan plan;
+  std::uint64_t chaos_seed = seed;
+  if (!fo.chaos.empty()) {
+    std::string spec = fo.chaos;
+    if (const auto pos = spec.find(':'); pos != std::string::npos) {
+      chaos_seed = std::stoull(spec.substr(pos + 1));
+      spec = spec.substr(0, pos);
+    }
+    plan = fault::make_fleet_campaign(spec, chaos_seed, models.size(),
+                                      replicas, max_service);
+    cfg.hedge.enabled = true;
+    cfg.hedge.delay_cycles = std::max<long long>(max_service / 4, 1);
+    if (!fo.autoscale) {
+      cfg.autoscale.spinup_cold_cycles = max_service;
+      cfg.autoscale.spinup_warm_cycles =
+          std::max<long long>(max_service / 8, 1);
+    }
+  }
+
   std::printf("fleet: %zu model(s) x %d replica(s), %zu tenants, ~%zu "
-              "requests/tenant, threads %d%s\n",
+              "requests/tenant, threads %d%s%s\n",
               models.size(), replicas, tenants.size(), requests, cfg.threads,
-              fo.autoscale ? ", autoscale on" : "");
+              fo.autoscale ? ", autoscale on" : "",
+              fo.chaos.empty() ? "" : ", chaos on");
   for (const auto& m : models) {
     std::printf("  %-16s %zu rungs, home %zu: %lld cycles/request\n",
                 m.name.c_str(), m.ladder.rungs.size(), m.ladder.home,
                 m.ladder.rungs[m.ladder.home].service_cycles);
   }
 
+  if (!plan.empty()) {
+    std::printf("chaos plan '%s' (seed %llu): %zu strike(s)\n",
+                fo.chaos.c_str(),
+                static_cast<unsigned long long>(chaos_seed),
+                plan.events.size());
+    for (const auto& e : plan.events) {
+      std::printf("  %s\n", e.describe().c_str());
+    }
+  }
+
   serve::FleetServer fleet(std::move(models), std::move(tenants), cfg);
-  const serve::FleetStats stats = fleet.run(traces);
+  const serve::FleetStats stats = fleet.run(traces, plan);
 
   std::printf("\nfleet stats:\n%s", stats.summary().c_str());
   if (!fleet.scale_log().empty()) {
@@ -727,7 +773,50 @@ int run_fleet(const fpga::Device& dev, const toolflow::ToolflowOptions& opt,
       }
     }
   }
+  if (!fleet.health_log().empty()) {
+    std::printf("fault timeline:\n");
+    for (const auto& e : fleet.health_log()) {
+      std::printf("  cycle %10lld  %-16s replica %3d  (%s)\n", e.cycle,
+                  fleet.models()[e.model].name.c_str(), e.replica,
+                  std::string(serve::to_string(e.kind)).c_str());
+    }
+  }
   std::printf("fleet json: %s\n", stats.to_json().c_str());
+
+  if (!fo.chaos.empty()) {
+    // Chaos verdict: every submitted request must land in exactly one
+    // terminal bin and every struck replica must be healthy again. Either
+    // failure is the fault-campaign exit (4), naming the domain it died in.
+    long long lost = 0;
+    for (const auto& t : stats.tenants) {
+      lost += t.submitted - t.rejected_queue_full - t.shed_deadline -
+              t.completed - t.failed;
+    }
+    if (lost > 0 || stats.unrecovered_replicas > 0) {
+      std::string where = "fleet";
+      long long unit = -1;
+      for (auto it = fleet.health_log().rbegin();
+           it != fleet.health_log().rend(); ++it) {
+        if (it->replica >= 0) {
+          where = fleet.models()[it->model].name + " replica " +
+                  std::to_string(it->replica) + " @ cycle " +
+                  std::to_string(it->cycle);
+          unit = it->replica;
+          break;
+        }
+      }
+      throw FaultError("chaos plan '" + fo.chaos + "' left " +
+                           std::to_string(lost) + " request(s) lost and " +
+                           std::to_string(stats.unrecovered_replicas) +
+                           " replica(s) unrecovered (last fault-domain "
+                           "event: " + where + ")",
+                       where, unit);
+    }
+    std::printf("chaos campaign absorbed: 0 lost, %lld quarantine(s), "
+                "%lld readmit(s), %lld hedge win(s), %lld scrub(s)\n",
+                stats.quarantines, stats.readmits, stats.hedge_wins,
+                stats.bundles_scrubbed);
+  }
 
   if (!stats.accounted()) {
     throw Error(ErrorCategory::kServe, "fleet request accounting mismatch");
@@ -816,6 +905,8 @@ int run_cli(int argc, char** argv) {
       serve_opts.fault = next("--serve-fault");
     } else if (!std::strcmp(argv[i], "--fleet")) {
       fleet_opts.spec = next("--fleet");
+    } else if (!std::strcmp(argv[i], "--fleet-chaos")) {
+      fleet_opts.chaos = next("--fleet-chaos");
     } else if (!std::strcmp(argv[i], "--fleet-models")) {
       fleet_opts.models = next("--fleet-models");
     } else if (!std::strcmp(argv[i], "--fleet-autoscale")) {
@@ -831,8 +922,9 @@ int run_cli(int argc, char** argv) {
   }
 
   // --fleet brings its own model list; the single-model selection below
-  // does not apply.
-  if (!fleet_opts.spec.empty()) {
+  // does not apply. --fleet-chaos alone implies the default fleet.
+  if (!fleet_opts.spec.empty() || !fleet_opts.chaos.empty()) {
+    if (fleet_opts.spec.empty()) fleet_opts.spec = "2:300:1";
     std::printf("target: %s (%s), %.1f GB/s DDR, %lld DSP48E, %lld "
                 "BRAM18K\n\n",
                 dev.name.c_str(), dev.chip.c_str(),
